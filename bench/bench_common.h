@@ -1,0 +1,97 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md section 3 for the full index).
+
+#ifndef LINBP_BENCH_BENCH_COMMON_H_
+#define LINBP_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "src/util/timer.h"
+
+namespace linbp {
+namespace bench {
+
+/// The paper's graph #index (Fig. 6a): Kronecker power index + 4.
+inline Graph PaperGraph(int index) {
+  return KroneckerPowerGraph(KroneckerPowerForPaperIndex(index));
+}
+
+/// Number of explicit nodes at the paper's 5% rate.
+inline std::int64_t FivePercent(std::int64_t n) {
+  return std::max<std::int64_t>(1, n * 5 / 100);
+}
+
+/// Number of explicit nodes at the paper's 1 permille rate.
+inline std::int64_t OnePermille(std::int64_t n) {
+  return std::max<std::int64_t>(1, n / 1000);
+}
+
+/// The paper's seeding protocol: 5% random nodes, k = 3, grid beliefs.
+inline SeededBeliefs PaperSeeds(const Graph& graph, std::uint64_t seed,
+                                int extra_digits = 0) {
+  return SeedPaperBeliefs(graph.num_nodes(), 3,
+                          FivePercent(graph.num_nodes()), seed, extra_digits);
+}
+
+/// Wall-clock seconds of one invocation.
+inline double TimeSeconds(const std::function<void()>& fn) {
+  WallTimer timer;
+  fn();
+  return timer.Seconds();
+}
+
+/// Minimal "--flag=value" parser for the bench binaries.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  /// Integer flag "--name=V" with a default.
+  std::int64_t Int(const char* name, std::int64_t fallback) const {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::atoll(argv_[i] + prefix.size());
+      }
+    }
+    return fallback;
+  }
+
+  /// Presence flag "--name".
+  bool Has(const char* name) const {
+    const std::string flag = std::string("--") + name;
+    for (int i = 1; i < argc_; ++i) {
+      if (flag == argv_[i]) return true;
+    }
+    return false;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+/// "4 sec" / "12.3 ms" style duration rendering.
+inline std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace linbp
+
+#endif  // LINBP_BENCH_BENCH_COMMON_H_

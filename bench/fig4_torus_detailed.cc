@@ -1,0 +1,118 @@
+// Experiment E1/E2 (Fig. 4a-d, Example 20): on the 8-node torus with the
+// Fig. 1c coupling, sweep eps_H and report the standardized beliefs of node
+// v4 under BP, LinBP and LinBP*, their standard deviations, and the
+// convergence thresholds. As eps_H -> 0 every method approaches the SBP
+// limit [-0.069, 1.258, -1.189]; each stops converging at its predicted
+// threshold (rho lines in the figure).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/bp.h"
+#include "src/core/convergence.h"
+#include "src/core/coupling.h"
+#include "src/core/labeling.h"
+#include "src/core/linbp.h"
+#include "src/core/sbp.h"
+#include "src/graph/beliefs.h"
+#include "src/util/table_printer.h"
+
+int main() {
+  using namespace linbp;
+
+  const Graph graph = TorusExampleGraph();
+  const CouplingMatrix coupling = AuctionCoupling();
+  DenseMatrix explicit_beliefs(8, 3);
+  const double seeds[3][3] = {{2, -1, -1}, {-1, 2, -1}, {-1, -1, 2}};
+  for (int v = 0; v < 3; ++v) {
+    for (int c = 0; c < 3; ++c) explicit_beliefs.At(v, c) = seeds[v][c];
+  }
+
+  std::printf("== Fig. 4 / Example 20: standardized beliefs of v4 ==\n\n");
+  const ConvergenceReport report = AnalyzeConvergence(graph, coupling);
+  std::printf("rho(A) = %.4f (paper: 2.414), rho(Hhat_o) = %.4f "
+              "(paper: 0.629)\n",
+              report.adjacency_spectral_radius,
+              report.coupling_spectral_radius);
+  std::printf("exact thresholds  (rho lines): LinBP %.4f (paper ~0.488), "
+              "LinBP* %.4f (paper ~0.658)\n",
+              report.exact_epsilon_linbp, report.exact_epsilon_linbp_star);
+  std::printf("norm bounds (|| lines, Lemma 9): LinBP %.4f (paper ~0.360), "
+              "LinBP* %.4f (paper ~0.455)\n\n",
+              report.sufficient_epsilon_linbp,
+              report.sufficient_epsilon_linbp_star);
+
+  const SbpResult sbp =
+      RunSbp(graph, coupling.residual(), explicit_beliefs, {0, 1, 2});
+  const std::vector<double> sbp_std =
+      Standardize(BeliefRow(sbp.beliefs, 3));
+  std::printf("SBP limit (dashed lines): [%.3f, %.3f, %.3f], "
+              "sigma = eps^3 * %.4f\n\n",
+              sbp_std[0], sbp_std[1], sbp_std[2],
+              StandardDeviation(BeliefRow(sbp.beliefs, 3)));
+
+  TablePrinter table({"eps_H", "BP c1", "BP c2", "BP c3", "LinBP c1",
+                      "LinBP c2", "LinBP c3", "LinBP* c1", "LinBP* c2",
+                      "LinBP* c3", "sig(BP)", "sig(LinBP)", "sig(LinBP*)"});
+  const std::vector<double> eps_grid = {0.01, 0.02, 0.05, 0.1, 0.2, 0.3,
+                                        0.4,  0.45, 0.5,  0.6, 0.7, 0.8, 1.0};
+  for (const double eps : eps_grid) {
+    std::vector<std::string> row = {TablePrinter::Num(eps, 3)};
+    // BP: priors must be valid probabilities; scale the residuals down the
+    // same way for every eps (standardization removes the scale again).
+    std::vector<std::string> bp_cells(3, "-");
+    std::string bp_sigma = "-";
+    if (eps < coupling.MaxStochasticScale()) {
+      BpOptions options;
+      options.max_iterations = 2000;
+      options.tolerance = 1e-12;
+      const BpResult bp =
+          RunBp(graph, coupling.ScaledStochastic(eps),
+                ResidualToProbability(explicit_beliefs.Scale(0.1)), options);
+      if (bp.converged) {
+        const std::vector<double> residual =
+            BeliefRow(ProbabilityToResidual(bp.beliefs), 3);
+        const std::vector<double> standardized = Standardize(residual);
+        for (int c = 0; c < 3; ++c) {
+          bp_cells[c] = TablePrinter::Num(standardized[c], 4);
+        }
+        bp_sigma = TablePrinter::Num(StandardDeviation(residual), 3);
+      }
+    }
+    row.insert(row.end(), bp_cells.begin(), bp_cells.end());
+
+    std::vector<std::string> lin_cells;
+    std::vector<std::string> sigma_cells = {bp_sigma};
+    for (const LinBpVariant variant :
+         {LinBpVariant::kLinBp, LinBpVariant::kLinBpStar}) {
+      LinBpOptions options;
+      options.variant = variant;
+      options.max_iterations = 3000;
+      options.tolerance = 1e-14;
+      const LinBpResult lin = RunLinBp(
+          graph, coupling.ScaledResidual(eps), explicit_beliefs, options);
+      if (lin.converged) {
+        const std::vector<double> residual = BeliefRow(lin.beliefs, 3);
+        const std::vector<double> standardized = Standardize(residual);
+        for (int c = 0; c < 3; ++c) {
+          lin_cells.push_back(TablePrinter::Num(standardized[c], 4));
+        }
+        sigma_cells.push_back(
+            TablePrinter::Num(StandardDeviation(residual), 3));
+      } else {
+        for (int c = 0; c < 3; ++c) lin_cells.push_back("-");
+        sigma_cells.push_back("-");
+      }
+    }
+    row.insert(row.end(), lin_cells.begin(), lin_cells.end());
+    row.insert(row.end(), sigma_cells.begin(), sigma_cells.end());
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\n('-' marks non-convergence; note BP stops converging first, then\n"
+      "LinBP at ~0.488, then LinBP* at ~0.658, matching Fig. 4.)\n");
+  return 0;
+}

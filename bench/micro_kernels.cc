@@ -1,0 +1,127 @@
+// Experiment E15: google-benchmark micro-benchmarks of the hot kernels
+// behind every experiment — the SpMM at the heart of the LinBP update, one
+// full LinBP sweep, one BP message sweep, a complete SBP pass, geodesic
+// BFS, and the power-iteration step of the convergence criteria.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/bp.h"
+#include "src/core/convergence.h"
+#include "src/core/coupling.h"
+#include "src/core/linbp.h"
+#include "src/core/sbp.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "src/la/kron_ops.h"
+
+namespace {
+
+using namespace linbp;
+
+// One shared graph per size (the Kronecker powers of Fig. 6a).
+const Graph& GraphForPower(int power) {
+  static std::map<int, Graph>* cache = new std::map<int, Graph>();
+  auto it = cache->find(power);
+  if (it == cache->end()) {
+    it = cache->emplace(power, KroneckerPowerGraph(power)).first;
+  }
+  return it->second;
+}
+
+void BM_SparseDenseMultiply(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(graph.num_nodes(), 3,
+                       graph.num_nodes() / 20 + 1, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph.adjacency().MultiplyDense(seeded.residuals));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+}
+BENCHMARK(BM_SparseDenseMultiply)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_LinBpSweep(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const CouplingMatrix coupling = KroneckerExperimentCoupling();
+  const DenseMatrix hhat = coupling.ScaledResidual(0.0005);
+  const DenseMatrix hhat2 = hhat.Multiply(hhat);
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(graph.num_nodes(), 3,
+                       graph.num_nodes() / 20 + 1, 43);
+  DenseMatrix beliefs = seeded.residuals;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LinBpPropagate(graph.adjacency(), graph.weighted_degrees(), hhat,
+                       hhat2, beliefs, /*with_echo=*/true));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+}
+BENCHMARK(BM_LinBpSweep)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_BpFiveSweeps(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const CouplingMatrix coupling = KroneckerExperimentCoupling();
+  const DenseMatrix h = coupling.ScaledStochastic(0.0005);
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(graph.num_nodes(), 3,
+                       graph.num_nodes() / 20 + 1, 44);
+  const DenseMatrix priors = ResidualToProbability(seeded.residuals);
+  BpOptions options;
+  options.max_iterations = 5;
+  options.tolerance = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunBp(graph, h, priors, options));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges() *
+                          5);
+}
+BENCHMARK(BM_BpFiveSweeps)->Arg(5)->Arg(7);
+
+void BM_SbpFullPass(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const CouplingMatrix coupling = KroneckerExperimentCoupling();
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(graph.num_nodes(), 3,
+                       graph.num_nodes() / 20 + 1, 45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSbp(graph, coupling.residual(),
+                                    seeded.residuals,
+                                    seeded.explicit_nodes));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+}
+BENCHMARK(BM_SbpFullPass)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_GeodesicBfs(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(graph.num_nodes(), 3,
+                       graph.num_nodes() / 20 + 1, 46);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeodesicNumbers(graph, seeded.explicit_nodes));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+}
+BENCHMARK(BM_GeodesicBfs)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_PowerIterationStep(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const CouplingMatrix coupling = KroneckerExperimentCoupling();
+  const LinBpOperator op(&graph.adjacency(), graph.weighted_degrees(),
+                         coupling.ScaledResidual(0.0005),
+                         /*with_echo=*/true);
+  std::vector<double> x(op.dim(), 1.0);
+  std::vector<double> y;
+  for (auto _ : state) {
+    op.Apply(x, &y);
+    benchmark::DoNotOptimize(y);
+    std::swap(x, y);
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+}
+BENCHMARK(BM_PowerIterationStep)->Arg(5)->Arg(7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Incremental labeling of a growing network with Delta-SBP (Sect. 6.3).
+//
+// SBP's nearest-labeled-neighbor semantics supports incremental
+// maintenance: when edges or labels arrive, only the affected region is
+// recomputed. This example streams updates into an SbpState and compares
+// the incremental cost (nodes touched) against recomputing from scratch,
+// checking that both produce identical beliefs.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/coupling.h"
+#include "src/core/sbp.h"
+#include "src/core/sbp_incremental.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "src/util/random.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace linbp;
+  const std::int64_t n = 20000;
+  Rng rng(123);
+
+  // Start from a sparse random network with 1% labeled nodes.
+  const Graph start = RandomConnectedGraph(n, n / 2, /*seed=*/5);
+  const SeededBeliefs seeded = SeedPaperBeliefs(n, 3, n / 100, /*seed=*/6);
+  const CouplingMatrix coupling = AuctionCoupling();
+
+  WallTimer timer;
+  SbpState state = SbpState::FromGraph(start, coupling.residual(),
+                                       seeded.residuals,
+                                       seeded.explicit_nodes);
+  std::printf("initial SBP over %lld nodes / %lld edges: %.1f ms\n\n",
+              static_cast<long long>(n),
+              static_cast<long long>(start.num_undirected_edges()),
+              timer.Millis());
+
+  std::vector<Edge> all_edges = start.edges();
+  DenseMatrix residuals = seeded.residuals;
+  std::vector<std::int64_t> explicit_nodes = seeded.explicit_nodes;
+
+  std::printf("%-8s %-10s %14s %14s %14s\n", "batch", "kind",
+              "touched nodes", "incr [ms]", "scratch [ms]");
+  for (int batch = 1; batch <= 6; ++batch) {
+    const bool edge_batch = batch % 2 == 1;
+    if (edge_batch) {
+      // Stream 20 new random edges.
+      std::vector<Edge> updates;
+      while (updates.size() < 20) {
+        const std::int64_t u = rng.NextInt(0, n - 1);
+        const std::int64_t v = rng.NextInt(0, n - 1);
+        if (u == v || start.adjacency().At(u, v) != 0.0) continue;
+        bool dup = false;
+        for (const Edge& e : updates) {
+          if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) dup = true;
+        }
+        if (dup) continue;
+        updates.push_back({u, v, 1.0});
+      }
+      timer.Reset();
+      state.AddEdges(updates);
+      const double incr_ms = timer.Millis();
+      all_edges.insert(all_edges.end(), updates.begin(), updates.end());
+
+      timer.Reset();
+      const Graph rebuilt(n, all_edges);
+      const SbpResult scratch = RunSbp(rebuilt, coupling.residual(),
+                                       residuals, explicit_nodes);
+      const double scratch_ms = timer.Millis();
+      std::printf("%-8d %-10s %14lld %14.2f %14.2f\n", batch, "edges",
+                  static_cast<long long>(state.last_update_recomputed_nodes()),
+                  incr_ms, scratch_ms);
+      if (scratch.beliefs.MaxAbsDiff(state.beliefs()) > 1e-10) {
+        std::printf("  !! incremental result deviates from scratch\n");
+        return 1;
+      }
+    } else {
+      // Stream 10 new labels.
+      std::vector<std::int64_t> nodes;
+      DenseMatrix rows(10, 3);
+      while (nodes.size() < 10) {
+        const std::int64_t v = rng.NextInt(0, n - 1);
+        bool dup = false;
+        for (const std::int64_t u : nodes) {
+          if (u == v) dup = true;
+        }
+        if (dup) continue;
+        const auto row = ExplicitResidualForClass(
+            3, static_cast<std::int64_t>(rng.NextBounded(3)), 0.15);
+        for (int c = 0; c < 3; ++c) {
+          rows.At(static_cast<std::int64_t>(nodes.size()), c) = row[c];
+          residuals.At(v, c) = row[c];
+        }
+        bool known = false;
+        for (const std::int64_t u : explicit_nodes) {
+          if (u == v) known = true;
+        }
+        if (!known) explicit_nodes.push_back(v);
+        nodes.push_back(v);
+      }
+      timer.Reset();
+      state.AddExplicitBeliefs(nodes, rows);
+      const double incr_ms = timer.Millis();
+
+      timer.Reset();
+      const Graph rebuilt(n, all_edges);
+      const SbpResult scratch = RunSbp(rebuilt, coupling.residual(),
+                                       residuals, explicit_nodes);
+      const double scratch_ms = timer.Millis();
+      std::printf("%-8d %-10s %14lld %14.2f %14.2f\n", batch, "labels",
+                  static_cast<long long>(state.last_update_recomputed_nodes()),
+                  incr_ms, scratch_ms);
+      if (scratch.beliefs.MaxAbsDiff(state.beliefs()) > 1e-10) {
+        std::printf("  !! incremental result deviates from scratch\n");
+        return 1;
+      }
+    }
+  }
+  std::printf(
+      "\nEvery incremental update matched the from-scratch recomputation\n"
+      "while touching only a small neighborhood of the change.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Standard (loopy) belief propagation, Eqs. 1-3 of the paper.
+//
+// This is the baseline LinBP linearizes. Messages live on directed edges
+// and are normalized so their entries sum to k (Eq. 3), the scaling under
+// which the linearization's centering around 1 is exact. The implementation
+// uses prefix/suffix products per node to form the "all neighbors except t"
+// products without divisions, so zero entries in H or in explicit beliefs
+// are handled exactly.
+
+#ifndef LINBP_CORE_BP_H_
+#define LINBP_CORE_BP_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// Options for RunBp.
+struct BpOptions {
+  /// Maximum number of synchronous message-update sweeps.
+  int max_iterations = 100;
+  /// Stop when the largest absolute message change falls below this.
+  double tolerance = 1e-9;
+  /// Treat message values larger than this as divergence.
+  double divergence_threshold = 1e12;
+  /// Keep the final messages in BpResult::messages (diagnostics; used to
+  /// validate the Lemma 6 message linearization).
+  bool keep_messages = false;
+};
+
+/// Result of a BP run.
+struct BpResult {
+  /// n x k posterior beliefs; rows sum to 1.
+  DenseMatrix beliefs;
+  int iterations = 0;
+  bool converged = false;
+  bool diverged = false;
+  /// Largest absolute message change in the final sweep.
+  double last_delta = 0.0;
+  /// With BpOptions::keep_messages: the final messages, laid out as
+  /// messages[e * k + i] for CSR adjacency slot e — slot e in row s with
+  /// column t holds the message s -> t. Entries of one message sum to k
+  /// (Eq. 3's normalization).
+  std::vector<double> messages;
+};
+
+/// Runs loopy BP on `graph` with stochastic coupling matrix `h` (k x k,
+/// symmetric, non-negative) and prior beliefs `priors` (n x k, every row
+/// summing to 1; unlabeled nodes carry the uniform row 1/k).
+///
+/// Edge weights are ignored (standard BP has no weighted-edge semantics in
+/// the paper; its experiments use unweighted graphs).
+BpResult RunBp(const Graph& graph, const DenseMatrix& h,
+               const DenseMatrix& priors, const BpOptions& options = {});
+
+/// Exact marginals of the pairwise Markov random field that BP
+/// approximates, by brute-force enumeration of all k^n states:
+///   P(x) ~ prod_s priors(s, x_s) * prod_{(s,t) in E} h(x_s, x_t).
+/// Only feasible for tiny graphs; used to validate BP on trees.
+DenseMatrix ExactMarginals(const Graph& graph, const DenseMatrix& h,
+                           const DenseMatrix& priors);
+
+}  // namespace linbp
+
+#endif  // LINBP_CORE_BP_H_

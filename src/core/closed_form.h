@@ -1,0 +1,44 @@
+// Closed-form solutions of LinBP (Proposition 7 of the paper).
+//
+//   vec(B) = (I_nk - Hhat (x) A + Hhat^2 (x) D)^-1 vec(E)   (LinBP,  Eq. 11)
+//   vec(B) = (I_nk - Hhat (x) A)^-1 vec(E)                  (LinBP*, Eq. 12)
+//
+// Two evaluation strategies are provided: a dense LU solve that literally
+// materializes the Kronecker system (small graphs, tests) and the Jacobi
+// fixed-point method on the implicit operator (any size; identical to the
+// iterative updates but run to a tolerance).
+
+#ifndef LINBP_CORE_CLOSED_FORM_H_
+#define LINBP_CORE_CLOSED_FORM_H_
+
+#include "src/core/linbp.h"
+#include "src/graph/graph.h"
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// Materializes I_nk - Hhat (x) A [+ Hhat^2 (x) D] and LU-solves for the
+/// final beliefs. Aborts if n * k exceeds `max_dim` (default keeps the
+/// dense system below ~64 MB). The kLinBpExact variant applies Prop. 7 to
+/// Eq. 29 (modulations Hhat* and Hhat Hhat*).
+DenseMatrix ClosedFormLinBpDense(const Graph& graph, const DenseMatrix& hhat,
+                                 const DenseMatrix& explicit_residuals,
+                                 LinBpVariant variant = LinBpVariant::kLinBp,
+                                 std::int64_t max_dim = 3000);
+
+/// Solves the same system with the Jacobi method on the implicit Kronecker
+/// operator; converges iff the spectral radius criterion of Lemma 8 holds.
+struct ClosedFormIterativeResult {
+  DenseMatrix beliefs;
+  int iterations = 0;
+  bool converged = false;
+};
+ClosedFormIterativeResult ClosedFormLinBpIterative(
+    const Graph& graph, const DenseMatrix& hhat,
+    const DenseMatrix& explicit_residuals,
+    LinBpVariant variant = LinBpVariant::kLinBp, int max_iterations = 1000,
+    double tolerance = 1e-13);
+
+}  // namespace linbp
+
+#endif  // LINBP_CORE_CLOSED_FORM_H_

@@ -1,0 +1,105 @@
+#include "src/core/coupling.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+CouplingMatrix CouplingMatrix::FromStochastic(const DenseMatrix& h,
+                                              double tol) {
+  LINBP_CHECK(h.rows() == h.cols() && h.rows() >= 2);
+  LINBP_CHECK_MSG(h.IsSymmetric(tol), "coupling matrix must be symmetric");
+  const std::int64_t k = h.rows();
+  for (std::int64_t i = 0; i < k; ++i) {
+    double row_sum = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      LINBP_CHECK_MSG(h.At(i, j) >= -tol, "entries must be non-negative");
+      row_sum += h.At(i, j);
+    }
+    LINBP_CHECK_MSG(std::abs(row_sum - 1.0) <= tol,
+                    "rows must sum to 1 (doubly stochastic)");
+  }
+  return CouplingMatrix(h.AddScalar(-1.0 / static_cast<double>(k)));
+}
+
+CouplingMatrix CouplingMatrix::FromResidual(const DenseMatrix& hhat,
+                                            double tol) {
+  LINBP_CHECK(hhat.rows() == hhat.cols() && hhat.rows() >= 2);
+  LINBP_CHECK_MSG(hhat.IsSymmetric(tol), "residual must be symmetric");
+  const std::int64_t k = hhat.rows();
+  for (std::int64_t i = 0; i < k; ++i) {
+    double row_sum = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) row_sum += hhat.At(i, j);
+    LINBP_CHECK_MSG(std::abs(row_sum) <= tol, "residual rows must sum to 0");
+  }
+  return CouplingMatrix(hhat);
+}
+
+DenseMatrix CouplingMatrix::ScaledResidual(double eps_h) const {
+  return residual_.Scale(eps_h);
+}
+
+DenseMatrix CouplingMatrix::ScaledStochastic(double eps_h) const {
+  return residual_.Scale(eps_h).AddScalar(1.0 / static_cast<double>(k()));
+}
+
+double CouplingMatrix::MaxStochasticScale() const {
+  double most_negative = 0.0;
+  for (const double v : residual_.data()) {
+    most_negative = std::min(most_negative, v);
+  }
+  if (most_negative == 0.0) return std::numeric_limits<double>::infinity();
+  return (1.0 / static_cast<double>(k())) / -most_negative;
+}
+
+bool CouplingMatrix::IsHomophily() const {
+  for (std::int64_t i = 0; i < k(); ++i) {
+    for (std::int64_t j = 0; j < k(); ++j) {
+      if (j != i && residual_.At(i, i) <= residual_.At(j, i)) return false;
+    }
+  }
+  return true;
+}
+
+CouplingMatrix HomophilyCoupling2() {
+  return CouplingMatrix::FromStochastic(DenseMatrix{{0.8, 0.2}, {0.2, 0.8}});
+}
+
+CouplingMatrix HeterophilyCoupling2() {
+  return CouplingMatrix::FromStochastic(DenseMatrix{{0.3, 0.7}, {0.7, 0.3}});
+}
+
+CouplingMatrix AuctionCoupling() {
+  return CouplingMatrix::FromStochastic(
+      DenseMatrix{{0.6, 0.3, 0.1}, {0.3, 0.0, 0.7}, {0.1, 0.7, 0.2}});
+}
+
+CouplingMatrix KroneckerExperimentCoupling() {
+  return CouplingMatrix::FromResidual(
+      DenseMatrix{{10, -4, -6}, {-4, 7, -3}, {-6, -3, 9}});
+}
+
+CouplingMatrix DblpCoupling() {
+  return CouplingMatrix::FromResidual(DenseMatrix{{6, -2, -2, -2},
+                                                  {-2, 6, -2, -2},
+                                                  {-2, -2, 6, -2},
+                                                  {-2, -2, -2, 6}});
+}
+
+CouplingMatrix UniformHomophilyCoupling(std::int64_t k, double strength) {
+  LINBP_CHECK(k >= 2);
+  LINBP_CHECK(strength > 0.0 &&
+              strength <= 1.0 / static_cast<double>(k));
+  DenseMatrix hhat(k, k);
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      hhat.At(i, j) =
+          i == j ? strength * static_cast<double>(k - 1) : -strength;
+    }
+  }
+  return CouplingMatrix::FromResidual(hhat);
+}
+
+}  // namespace linbp

@@ -1,0 +1,81 @@
+// Coupling (heterophily) matrices H and their residuals Hhat.
+//
+// Problem 1 of the paper requires a symmetric, doubly stochastic k x k
+// coupling matrix H where H(j, i) is the relative influence of class j of a
+// node on class i of its neighbor. LinBP and SBP work with the residual
+// Hhat = H - 1/k, usually factored as Hhat = eps_H * Hhat_o into a fixed
+// unscaled matrix and a scaling parameter (Sect. 6.2).
+
+#ifndef LINBP_CORE_COUPLING_H_
+#define LINBP_CORE_COUPLING_H_
+
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// Validated coupling matrix. Construct via FromStochastic (a proper doubly
+/// stochastic matrix) or FromResidual (an unscaled residual whose rows and
+/// columns sum to zero, like the paper's Fig. 6b).
+class CouplingMatrix {
+ public:
+  /// Builds from a symmetric doubly stochastic matrix with non-negative
+  /// entries; aborts if the input violates those properties beyond `tol`.
+  static CouplingMatrix FromStochastic(const DenseMatrix& h,
+                                       double tol = 1e-9);
+
+  /// Builds from a symmetric residual matrix whose rows/columns sum to 0.
+  static CouplingMatrix FromResidual(const DenseMatrix& hhat,
+                                     double tol = 1e-9);
+
+  /// Number of classes k.
+  std::int64_t k() const { return residual_.rows(); }
+
+  /// The unscaled residual Hhat_o.
+  const DenseMatrix& residual() const { return residual_; }
+
+  /// The scaled residual Hhat = eps_h * Hhat_o.
+  DenseMatrix ScaledResidual(double eps_h) const;
+
+  /// The stochastic matrix 1/k + eps_h * Hhat_o (input to standard BP).
+  /// With eps_h small enough all entries are non-negative.
+  DenseMatrix ScaledStochastic(double eps_h) const;
+
+  /// Largest eps_h for which ScaledStochastic has non-negative entries
+  /// (infinity if the residual is zero).
+  double MaxStochasticScale() const;
+
+  /// True if some H(i,i) dominates its column (homophily footnote 6).
+  bool IsHomophily() const;
+
+ private:
+  explicit CouplingMatrix(DenseMatrix residual)
+      : residual_(std::move(residual)) {}
+  DenseMatrix residual_;
+};
+
+/// Fig. 1a: 2-class homophily ([[0.8, 0.2], [0.2, 0.8]]).
+CouplingMatrix HomophilyCoupling2();
+
+/// Fig. 1b: 2-class heterophily ([[0.3, 0.7], [0.7, 0.3]]).
+CouplingMatrix HeterophilyCoupling2();
+
+/// Fig. 1c: the 3-class online-auction matrix (Honest/Accomplice/Fraudster).
+CouplingMatrix AuctionCoupling();
+
+/// Fig. 6b: the unscaled residual used in the synthetic experiments,
+/// [[10, -4, -6], [-4, 7, -3], [-6, -3, 9]], kept at the paper's raw scale
+/// so the eps_H thresholds of Fig. 7f/g reproduce verbatim.
+CouplingMatrix KroneckerExperimentCoupling();
+
+/// Fig. 11a: 4-class homophily residual [[6,-2,-2,-2], [-2,6,-2,-2], ...],
+/// kept at the paper's raw scale.
+CouplingMatrix DblpCoupling();
+
+/// Generic k-class homophily: diagonal (k-1)/k * strength advantage,
+/// expressed as the residual of the stochastic matrix with
+/// H(i,i) = 1/k + (k-1)*s and H(i,j) = 1/k - s (s = strength).
+CouplingMatrix UniformHomophilyCoupling(std::int64_t k, double strength);
+
+}  // namespace linbp
+
+#endif  // LINBP_CORE_COUPLING_H_

@@ -1,0 +1,85 @@
+#include "src/core/coupling_estimation.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+DenseMatrix SinkhornKnopp(const DenseMatrix& positive, int max_iterations,
+                          double tolerance) {
+  const std::int64_t k = positive.rows();
+  LINBP_CHECK(positive.cols() == k);
+  for (const double v : positive.data()) {
+    LINBP_CHECK_MSG(v > 0.0, "Sinkhorn needs strictly positive entries");
+  }
+  // Symmetric scaling: H = diag(x) M diag(x) with x updated until rows sum
+  // to 1. For symmetric M this converges to the symmetric doubly
+  // stochastic scaling.
+  std::vector<double> scale(k, 1.0);
+  DenseMatrix h = positive;
+  for (int it = 0; it < max_iterations; ++it) {
+    double max_error = 0.0;
+    for (std::int64_t i = 0; i < k; ++i) {
+      double row_sum = 0.0;
+      for (std::int64_t j = 0; j < k; ++j) {
+        row_sum += positive.At(i, j) * scale[i] * scale[j];
+      }
+      max_error = std::max(max_error, std::abs(row_sum - 1.0));
+      scale[i] /= std::sqrt(row_sum);
+    }
+    if (max_error < tolerance) break;
+  }
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      h.At(i, j) = positive.At(i, j) * scale[i] * scale[j];
+    }
+  }
+  // Clean up the residual asymmetry from finite iteration counts.
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = i + 1; j < k; ++j) {
+      const double symmetric = 0.5 * (h.At(i, j) + h.At(j, i));
+      h.At(i, j) = symmetric;
+      h.At(j, i) = symmetric;
+    }
+  }
+  return h;
+}
+
+std::optional<CouplingEstimate> EstimateCoupling(
+    const Graph& graph, const std::vector<int>& labels, std::int64_t k,
+    const CouplingEstimationOptions& options) {
+  LINBP_CHECK(static_cast<std::int64_t>(labels.size()) == graph.num_nodes());
+  LINBP_CHECK(k >= 2);
+  LINBP_CHECK(options.smoothing >= 0.0);
+
+  DenseMatrix counts(k, k);
+  std::int64_t observed = 0;
+  for (const Edge& e : graph.edges()) {
+    const int cu = labels[e.u];
+    const int cv = labels[e.v];
+    if (cu < 0 || cv < 0) continue;
+    LINBP_CHECK(cu < k && cv < k);
+    // Count both orientations so the matrix stays symmetric.
+    counts.At(cu, cv) += e.weight;
+    counts.At(cv, cu) += e.weight;
+    ++observed;
+  }
+  if (observed == 0) return std::nullopt;
+
+  DenseMatrix smoothed = counts.AddScalar(options.smoothing);
+  if (options.smoothing == 0.0) {
+    for (const double v : smoothed.data()) {
+      if (v <= 0.0) return std::nullopt;  // Sinkhorn needs positivity
+    }
+  }
+  const DenseMatrix balanced =
+      SinkhornKnopp(smoothed, options.max_sinkhorn_iterations,
+                    options.sinkhorn_tolerance);
+  CouplingEstimate estimate{
+      CouplingMatrix::FromStochastic(balanced, /*tol=*/1e-6), observed,
+      counts};
+  return estimate;
+}
+
+}  // namespace linbp

@@ -1,0 +1,52 @@
+#include "src/core/fabp.h"
+
+#include <cmath>
+
+#include "src/la/kron_ops.h"
+#include "src/la/solvers.h"
+#include "src/util/check.h"
+
+namespace linbp {
+namespace {
+
+// y = c1 * A x - c2 * D x, the FaBP propagation operator.
+class FabpOperator final : public LinearOperator {
+ public:
+  FabpOperator(const Graph* graph, double c1, double c2)
+      : graph_(graph), c1_(c1), c2_(c2) {}
+  std::int64_t dim() const override { return graph_->num_nodes(); }
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override {
+    *y = graph_->adjacency().MultiplyVector(x);
+    const std::vector<double>& degrees = graph_->weighted_degrees();
+    for (std::int64_t s = 0; s < dim(); ++s) {
+      (*y)[s] = c1_ * (*y)[s] - c2_ * degrees[s] * x[s];
+    }
+  }
+
+ private:
+  const Graph* graph_;
+  double c1_;
+  double c2_;
+};
+
+}  // namespace
+
+FabpResult RunFabp(const Graph& graph, double h,
+                   const std::vector<double>& explicit_residuals,
+                   int max_iterations, double tolerance) {
+  LINBP_CHECK(static_cast<std::int64_t>(explicit_residuals.size()) ==
+              graph.num_nodes());
+  LINBP_CHECK_MSG(std::abs(h) < 0.5, "|h| must be < 1/2");
+  const double denom = 1.0 - 4.0 * h * h;
+  const FabpOperator op(&graph, 2.0 * h / denom, 4.0 * h * h / denom);
+  const JacobiResult jacobi =
+      JacobiSolve(op, explicit_residuals, max_iterations, tolerance);
+  FabpResult result;
+  result.beliefs = jacobi.solution;
+  result.iterations = jacobi.iterations;
+  result.converged = jacobi.converged;
+  return result;
+}
+
+}  // namespace linbp

@@ -1,0 +1,37 @@
+// Binary-class linearized BP (Appendix E of the paper; FaBP of Koutra et
+// al., ECML/PKDD'11).
+//
+// For k = 2 the residuals collapse to scalars: beliefs bhat = [b, -b],
+// coupling Hhat = [[h, -h], [-h, h]]. The steady state satisfies
+//   b = (I_n - c1 * A + c2 * D)^-1 e
+// with c1 = 2h / (1 - 4h^2) and c2 = 4h^2 / (1 - 4h^2). This equals the
+// kLinBpExact variant specialized to k = 2 (the paper shows both centering
+// choices lead to the same equation).
+
+#ifndef LINBP_CORE_FABP_H_
+#define LINBP_CORE_FABP_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace linbp {
+
+/// Result of a FaBP solve.
+struct FabpResult {
+  /// Per-node scalar residual belief in class 0 (class 1 is its negation).
+  std::vector<double> beliefs;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Solves the binary linearized system by Jacobi iteration. `h` is the
+/// scalar coupling residual (homophily h > 0, heterophily h < 0, |h| < 1/2)
+/// and `explicit_residuals` the per-node scalar priors (0 if unlabeled).
+FabpResult RunFabp(const Graph& graph, double h,
+                   const std::vector<double>& explicit_residuals,
+                   int max_iterations = 1000, double tolerance = 1e-13);
+
+}  // namespace linbp
+
+#endif  // LINBP_CORE_FABP_H_

@@ -1,0 +1,131 @@
+#include "src/core/labeling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+double StandardDeviation(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double variance = 0.0;
+  for (const double v : x) variance += (v - mean) * (v - mean);
+  return std::sqrt(variance / static_cast<double>(x.size()));
+}
+
+std::vector<double> Standardize(const std::vector<double>& x) {
+  const double sigma = StandardDeviation(x);
+  std::vector<double> out(x.size(), 0.0);
+  if (sigma == 0.0) return out;
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - mean) / sigma;
+  return out;
+}
+
+DenseMatrix StandardizeRows(const DenseMatrix& beliefs) {
+  DenseMatrix out(beliefs.rows(), beliefs.cols());
+  std::vector<double> row(beliefs.cols());
+  for (std::int64_t s = 0; s < beliefs.rows(); ++s) {
+    for (std::int64_t c = 0; c < beliefs.cols(); ++c) row[c] = beliefs.At(s, c);
+    const std::vector<double> standardized = Standardize(row);
+    for (std::int64_t c = 0; c < beliefs.cols(); ++c) {
+      out.At(s, c) = standardized[c];
+    }
+  }
+  return out;
+}
+
+std::int64_t TopBeliefAssignment::TotalBeliefs() const {
+  std::int64_t total = 0;
+  for (const auto& cs : classes) total += static_cast<std::int64_t>(cs.size());
+  return total;
+}
+
+TopBeliefAssignment TopBeliefs(const DenseMatrix& beliefs,
+                               double tie_tolerance) {
+  LINBP_CHECK(tie_tolerance >= 0.0);
+  TopBeliefAssignment out;
+  out.classes.resize(beliefs.rows());
+  for (std::int64_t s = 0; s < beliefs.rows(); ++s) {
+    double max_value = beliefs.At(s, 0);
+    double min_value = beliefs.At(s, 0);
+    for (std::int64_t c = 1; c < beliefs.cols(); ++c) {
+      max_value = std::max(max_value, beliefs.At(s, c));
+      min_value = std::min(min_value, beliefs.At(s, c));
+    }
+    const double spread = max_value - min_value;
+    if (spread == 0.0) {
+      // Fully tied row: every class is a top belief.
+      for (std::int64_t c = 0; c < beliefs.cols(); ++c) {
+        out.classes[s].push_back(static_cast<int>(c));
+      }
+      continue;
+    }
+    const double cutoff = max_value - tie_tolerance * spread;
+    for (std::int64_t c = 0; c < beliefs.cols(); ++c) {
+      if (beliefs.At(s, c) >= cutoff) {
+        out.classes[s].push_back(static_cast<int>(c));
+      }
+    }
+  }
+  return out;
+}
+
+QualityMetrics CompareAssignments(const TopBeliefAssignment& ground_truth,
+                                  const TopBeliefAssignment& other,
+                                  const std::vector<std::int64_t>& nodes) {
+  LINBP_CHECK(ground_truth.classes.size() == other.classes.size());
+  QualityMetrics metrics;
+  auto accumulate = [&](std::int64_t s) {
+    const auto& gt = ground_truth.classes[s];
+    const auto& ot = other.classes[s];
+    metrics.ground_truth_total += static_cast<std::int64_t>(gt.size());
+    metrics.other_total += static_cast<std::int64_t>(ot.size());
+    // Both lists are sorted; count the intersection.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < gt.size() && j < ot.size()) {
+      if (gt[i] == ot[j]) {
+        ++metrics.shared;
+        ++i;
+        ++j;
+      } else if (gt[i] < ot[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  };
+  if (nodes.empty()) {
+    for (std::size_t s = 0; s < ground_truth.classes.size(); ++s) {
+      accumulate(static_cast<std::int64_t>(s));
+    }
+  } else {
+    for (const std::int64_t s : nodes) {
+      LINBP_CHECK(s >= 0 &&
+                  s < static_cast<std::int64_t>(ground_truth.classes.size()));
+      accumulate(s);
+    }
+  }
+  if (metrics.ground_truth_total > 0) {
+    metrics.recall = static_cast<double>(metrics.shared) /
+                     static_cast<double>(metrics.ground_truth_total);
+  }
+  if (metrics.other_total > 0) {
+    metrics.precision = static_cast<double>(metrics.shared) /
+                        static_cast<double>(metrics.other_total);
+  }
+  if (metrics.precision + metrics.recall > 0.0) {
+    metrics.f1 = 2.0 * metrics.precision * metrics.recall /
+                 (metrics.precision + metrics.recall);
+  }
+  return metrics;
+}
+
+}  // namespace linbp

@@ -1,0 +1,60 @@
+// Standardization, top-belief assignment, and the quality metrics of
+// Sect. 7 of the paper.
+
+#ifndef LINBP_CORE_LABELING_H_
+#define LINBP_CORE_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// zeta(x) of Def. 11: (x - mean) / population standard deviation; the zero
+/// vector when the standard deviation is zero.
+std::vector<double> Standardize(const std::vector<double>& x);
+
+/// Population standard deviation of a vector (sigma in the paper).
+double StandardDeviation(const std::vector<double>& x);
+
+/// Applies zeta to every row of a belief matrix.
+DenseMatrix StandardizeRows(const DenseMatrix& beliefs);
+
+/// Per-node set of top classes. Multiple classes appear only on ties.
+struct TopBeliefAssignment {
+  /// classes[s] lists the top classes of node s in increasing order.
+  std::vector<std::vector<int>> classes;
+
+  /// Total number of (node, class) pairs.
+  std::int64_t TotalBeliefs() const;
+};
+
+/// Returns the classes with highest belief per node (Problem 1). With the
+/// default tie_tolerance of 0 only exactly equal values tie (the paper's
+/// semantics: LinBP returns unique top beliefs while SBP can compute exact
+/// ties); a positive tolerance also ties classes with
+/// max - b <= tie_tolerance * (max - min). Rows whose entries are all equal
+/// yield all classes.
+TopBeliefAssignment TopBeliefs(const DenseMatrix& beliefs,
+                               double tie_tolerance = 0.0);
+
+/// Precision / recall / F1 between a ground-truth assignment and another
+/// method's assignment, counting shared (node, class) pairs (Sect. 7).
+struct QualityMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::int64_t shared = 0;
+  std::int64_t ground_truth_total = 0;
+  std::int64_t other_total = 0;
+};
+
+/// Compares assignments over all nodes, or over `nodes` when non-empty.
+QualityMetrics CompareAssignments(const TopBeliefAssignment& ground_truth,
+                                  const TopBeliefAssignment& other,
+                                  const std::vector<std::int64_t>& nodes = {});
+
+}  // namespace linbp
+
+#endif  // LINBP_CORE_LABELING_H_

@@ -1,0 +1,70 @@
+#include "src/core/linbp.h"
+
+#include <cmath>
+
+#include "src/la/dense_linalg.h"
+#include "src/la/kron_ops.h"
+#include "src/util/check.h"
+
+namespace linbp {
+
+DenseMatrix ExactModulation(const DenseMatrix& hhat) {
+  LINBP_CHECK(hhat.rows() == hhat.cols());
+  const DenseMatrix lhs =
+      DenseMatrix::Identity(hhat.rows()).Sub(hhat.Multiply(hhat));
+  const auto inverse = Inverse(lhs);
+  LINBP_CHECK_MSG(inverse.has_value(), "I - Hhat^2 is singular");
+  return inverse->Multiply(hhat);
+}
+
+LinBpResult RunLinBp(const Graph& graph, const DenseMatrix& hhat,
+                     const DenseMatrix& explicit_residuals,
+                     const LinBpOptions& options) {
+  const std::int64_t n = graph.num_nodes();
+  const std::int64_t k = hhat.rows();
+  LINBP_CHECK(hhat.cols() == k && k >= 2);
+  LINBP_CHECK(explicit_residuals.rows() == n &&
+              explicit_residuals.cols() == k);
+
+  // Pick the modulation matrices for the requested variant. For kLinBpExact
+  // the per-edge modulation is Hhat* and the echo term uses Hhat * Hhat*
+  // (Eq. 29); for kLinBp both collapse to Hhat and Hhat^2 (Theorem 4).
+  DenseMatrix modulation = hhat;
+  if (options.variant == LinBpVariant::kLinBpExact) {
+    modulation = ExactModulation(hhat);
+  }
+  const DenseMatrix echo_modulation = hhat.Multiply(modulation);
+  const bool with_echo = options.variant != LinBpVariant::kLinBpStar;
+
+  LinBpResult result;
+  result.beliefs = explicit_residuals;
+  const std::vector<double>& degrees = graph.weighted_degrees();
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    DenseMatrix next = LinBpPropagate(graph.adjacency(), degrees, modulation,
+                                      echo_modulation, result.beliefs,
+                                      with_echo);
+    double delta = 0.0;
+    double magnitude = 0.0;
+    for (std::int64_t s = 0; s < n; ++s) {
+      for (std::int64_t c = 0; c < k; ++c) {
+        const double value = explicit_residuals.At(s, c) + next.At(s, c);
+        delta = std::max(delta, std::abs(value - result.beliefs.At(s, c)));
+        magnitude = std::max(magnitude, std::abs(value));
+        result.beliefs.At(s, c) = value;
+      }
+    }
+    result.iterations = it;
+    result.last_delta = delta;
+    if (!std::isfinite(delta) || magnitude > options.divergence_threshold) {
+      result.diverged = true;
+      break;
+    }
+    if (delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace linbp

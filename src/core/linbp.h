@@ -1,0 +1,62 @@
+// Linearized Belief Propagation (Theorem 4 of the paper).
+//
+// Iterative updates:
+//   LinBP  (Eq. 6):  B <- E + A*B*Hhat - D*B*Hhat^2   (echo cancellation)
+//   LinBP* (Eq. 7):  B <- E + A*B*Hhat
+// plus the "exact" variant of Eq. 29, which keeps Hhat* = (I-Hhat^2)^-1 Hhat
+// instead of approximating it by Hhat:
+//   LinBP^e:         B <- E + A*B*Hhat* - D*B*Hhat*Hhat*
+// All matrices are residuals (centered); beliefs are n x k.
+
+#ifndef LINBP_CORE_LINBP_H_
+#define LINBP_CORE_LINBP_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// Which update equation to run.
+enum class LinBpVariant {
+  kLinBp,       // Eq. 6, with echo cancellation
+  kLinBpStar,   // Eq. 7, without echo cancellation
+  kLinBpExact,  // Eq. 29, with the exact Hhat* modulation
+};
+
+/// Options for RunLinBp.
+struct LinBpOptions {
+  LinBpVariant variant = LinBpVariant::kLinBp;
+  /// Maximum number of update sweeps. The paper's timing experiments use a
+  /// fixed count of 5; quality experiments iterate to convergence.
+  int max_iterations = 100;
+  /// Stop when the largest absolute belief change falls below this.
+  double tolerance = 1e-12;
+  /// Treat belief magnitudes larger than this as divergence.
+  double divergence_threshold = 1e12;
+};
+
+/// Result of a LinBP run. Beliefs are residuals (rows sum to ~0).
+struct LinBpResult {
+  DenseMatrix beliefs;
+  int iterations = 0;
+  bool converged = false;
+  bool diverged = false;
+  double last_delta = 0.0;
+};
+
+/// Runs LinBP on `graph` with scaled residual coupling `hhat` (k x k) and
+/// explicit residual beliefs `explicit_residuals` (n x k; zero rows for
+/// unlabeled nodes). Edge weights are honored per Sect. 5.2.
+LinBpResult RunLinBp(const Graph& graph, const DenseMatrix& hhat,
+                     const DenseMatrix& explicit_residuals,
+                     const LinBpOptions& options = {});
+
+/// The Hhat* = (I_k - Hhat^2)^-1 * Hhat modulation matrix of Lemma 6.
+/// Requires I - Hhat^2 to be invertible (true for all entries << 1/k).
+DenseMatrix ExactModulation(const DenseMatrix& hhat);
+
+}  // namespace linbp
+
+#endif  // LINBP_CORE_LINBP_H_

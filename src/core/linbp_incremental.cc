@@ -1,0 +1,78 @@
+#include "src/core/linbp_incremental.h"
+
+#include <cmath>
+
+#include "src/la/kron_ops.h"
+#include "src/util/check.h"
+
+namespace linbp {
+
+LinBpState::LinBpState(Graph graph, DenseMatrix hhat,
+                       DenseMatrix explicit_residuals, LinBpOptions options)
+    : graph_(std::move(graph)),
+      hhat_(std::move(hhat)),
+      explicit_residuals_(std::move(explicit_residuals)),
+      options_(options),
+      beliefs_(explicit_residuals_) {
+  LINBP_CHECK(hhat_.rows() == hhat_.cols());
+  LINBP_CHECK(explicit_residuals_.rows() == graph_.num_nodes());
+  LINBP_CHECK(explicit_residuals_.cols() == hhat_.rows());
+  LINBP_CHECK_MSG(options_.variant != LinBpVariant::kLinBpExact,
+                  "warm-started updates support kLinBp / kLinBpStar");
+  cold_start_iterations_ = Solve();
+}
+
+int LinBpState::Solve() {
+  const std::int64_t n = graph_.num_nodes();
+  const std::int64_t k = hhat_.rows();
+  const DenseMatrix hhat2 = hhat_.Multiply(hhat_);
+  const bool with_echo = options_.variant == LinBpVariant::kLinBp;
+  converged_ = false;
+  for (int it = 1; it <= options_.max_iterations; ++it) {
+    const DenseMatrix propagated =
+        LinBpPropagate(graph_.adjacency(), graph_.weighted_degrees(), hhat_,
+                       hhat2, beliefs_, with_echo);
+    double delta = 0.0;
+    double magnitude = 0.0;
+    for (std::int64_t s = 0; s < n; ++s) {
+      for (std::int64_t c = 0; c < k; ++c) {
+        const double value =
+            explicit_residuals_.At(s, c) + propagated.At(s, c);
+        delta = std::max(delta, std::abs(value - beliefs_.At(s, c)));
+        magnitude = std::max(magnitude, std::abs(value));
+        beliefs_.At(s, c) = value;
+      }
+    }
+    if (!std::isfinite(delta) || magnitude > options_.divergence_threshold) {
+      return it;  // diverged; converged_ stays false
+    }
+    if (delta <= options_.tolerance) {
+      converged_ = true;
+      return it;
+    }
+  }
+  return options_.max_iterations;
+}
+
+int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
+                                      const DenseMatrix& residuals) {
+  LINBP_CHECK(static_cast<std::int64_t>(nodes.size()) == residuals.rows());
+  LINBP_CHECK(residuals.cols() == hhat_.rows());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    LINBP_CHECK(nodes[i] >= 0 && nodes[i] < graph_.num_nodes());
+    for (std::int64_t c = 0; c < hhat_.rows(); ++c) {
+      explicit_residuals_.At(nodes[i], c) =
+          residuals.At(static_cast<std::int64_t>(i), c);
+    }
+  }
+  return Solve();
+}
+
+int LinBpState::AddEdges(const std::vector<Edge>& edges) {
+  std::vector<Edge> combined = graph_.edges();
+  combined.insert(combined.end(), edges.begin(), edges.end());
+  graph_ = Graph(graph_.num_nodes(), combined);
+  return Solve();
+}
+
+}  // namespace linbp

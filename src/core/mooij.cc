@@ -1,0 +1,101 @@
+#include "src/core/mooij.h"
+
+#include <cmath>
+
+#include "src/core/convergence.h"
+#include "src/la/kron_ops.h"
+#include "src/la/solvers.h"
+#include "src/util/check.h"
+
+namespace linbp {
+namespace {
+
+// Implicit operator for the directed edge matrix: x is indexed by CSR slot
+// e = (u -> v); y[e] = sum over in-edges (w -> u), w != v, of x[(w -> u)].
+// In-edges of u are the reverses of u's out-slots, so
+//   y[(u -> v)] = (sum over out-slots f of u of x[reverse[f]])
+//               - x[reverse of (v -> u)'s ... ] = in_sum(u) - x[(v -> u)].
+class EdgeMatrixOperator final : public LinearOperator {
+ public:
+  explicit EdgeMatrixOperator(const Graph* graph)
+      : graph_(graph), reverse_(ReverseEdgeIndex(graph->adjacency())) {}
+
+  std::int64_t dim() const override {
+    return graph_->adjacency().NumNonZeros();
+  }
+
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override {
+    const SparseMatrix& a = graph_->adjacency();
+    const auto& row_ptr = a.row_ptr();
+    const std::int64_t n = a.rows();
+    in_sum_.assign(n, 0.0);
+    for (std::int64_t u = 0; u < n; ++u) {
+      for (std::int64_t e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+        in_sum_[u] += x[reverse_[e]];
+      }
+    }
+    y->resize(x.size());
+    for (std::int64_t u = 0; u < n; ++u) {
+      for (std::int64_t e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+        // e is the directed edge u -> v; reverse_[e] is v -> u.
+        (*y)[e] = in_sum_[u] - x[reverse_[e]];
+      }
+    }
+  }
+
+ private:
+  const Graph* graph_;
+  std::vector<std::int64_t> reverse_;
+  mutable std::vector<double> in_sum_;
+};
+
+}  // namespace
+
+double MooijCouplingConstant(const DenseMatrix& h) {
+  const std::int64_t k = h.rows();
+  LINBP_CHECK(h.cols() == k && k >= 2);
+  double max_abs_log = 0.0;
+  for (std::int64_t c1 = 0; c1 < k; ++c1) {
+    for (std::int64_t c2 = 0; c2 < k; ++c2) {
+      if (c1 == c2) continue;
+      for (std::int64_t d1 = 0; d1 < k; ++d1) {
+        for (std::int64_t d2 = 0; d2 < k; ++d2) {
+          if (d1 == d2) continue;
+          const double numerator = h.At(c1, d1) * h.At(c2, d2);
+          const double denominator = h.At(c1, d2) * h.At(c2, d1);
+          if (denominator <= 0.0 || numerator <= 0.0) {
+            return 1.0;  // tanh(inf): the bound degenerates
+          }
+          max_abs_log =
+              std::max(max_abs_log, std::abs(std::log(numerator /
+                                                      denominator)));
+        }
+      }
+    }
+  }
+  return std::tanh(0.25 * max_abs_log);
+}
+
+double EdgeMatrixSpectralRadius(const Graph& graph, int max_iterations,
+                                double tolerance) {
+  const EdgeMatrixOperator op(&graph);
+  return PowerIteration(op, max_iterations, tolerance).spectral_radius;
+}
+
+BoundComparison CompareConvergenceBounds(const Graph& graph,
+                                         const DenseMatrix& hhat) {
+  BoundComparison comparison;
+  const double k = static_cast<double>(hhat.rows());
+  const DenseMatrix h = hhat.AddScalar(1.0 / k);
+  comparison.coupling_constant = MooijCouplingConstant(h);
+  comparison.edge_matrix_radius = EdgeMatrixSpectralRadius(graph);
+  comparison.adjacency_radius = AdjacencySpectralRadius(graph);
+  comparison.mooij_value =
+      comparison.coupling_constant * comparison.edge_matrix_radius;
+  comparison.linbp_star_value =
+      CouplingSpectralRadius(hhat) * comparison.adjacency_radius;
+  return comparison;
+}
+
+}  // namespace linbp

@@ -1,0 +1,43 @@
+// The Mooij-Kappen sufficient convergence bound for standard BP
+// (Appendix G of the paper).
+//
+// For pairwise potentials with a single coupling matrix H the bound reads
+//   c(H) * rho(A_edge) < 1,
+// where c(H) = max_{c1 != c2, d1 != d2} tanh( 1/4 |log (H(c1,d1) H(c2,d2))
+// / (H(c1,d2) H(c2,d1))| ) and A_edge is the 2|E| x 2|E| directed edge
+// matrix in which edge (u -> v) feeds every edge (v -> w), w != u. The
+// appendix compares this against the LinBP* criterion rho(Hhat) rho(A) < 1
+// and observes empirically that rho(A_edge) + 1 ~ rho(A).
+
+#ifndef LINBP_CORE_MOOIJ_H_
+#define LINBP_CORE_MOOIJ_H_
+
+#include "src/graph/graph.h"
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// c(H) of Appendix G for a stochastic coupling matrix H (entries >= 0).
+/// Returns 1 (the tanh limit) if any cross ratio involves a zero entry.
+double MooijCouplingConstant(const DenseMatrix& h);
+
+/// Spectral radius of the directed edge matrix A_edge (power iteration on
+/// an implicit operator; the matrix has one row per directed edge).
+double EdgeMatrixSpectralRadius(const Graph& graph, int max_iterations = 500,
+                                double tolerance = 1e-10);
+
+/// Both sides of the Appendix G comparison for Hhat = eps * Hhat_o and
+/// H = 1/k + Hhat.
+struct BoundComparison {
+  double mooij_value = 0.0;        // c(H) * rho(A_edge); BP converges if < 1
+  double linbp_star_value = 0.0;   // rho(Hhat) * rho(A); LinBP* conv. if < 1
+  double edge_matrix_radius = 0.0;
+  double adjacency_radius = 0.0;
+  double coupling_constant = 0.0;  // c(H)
+};
+BoundComparison CompareConvergenceBounds(const Graph& graph,
+                                         const DenseMatrix& hhat);
+
+}  // namespace linbp
+
+#endif  // LINBP_CORE_MOOIJ_H_

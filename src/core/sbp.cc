@@ -1,0 +1,114 @@
+#include "src/core/sbp.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+std::vector<std::int64_t> GeodesicNumbers(
+    const Graph& graph, const std::vector<std::int64_t>& sources) {
+  const std::int64_t n = graph.num_nodes();
+  std::vector<std::int64_t> geodesic(n, kUnreachable);
+  std::deque<std::int64_t> queue;
+  for (const std::int64_t s : sources) {
+    LINBP_CHECK(s >= 0 && s < n);
+    if (geodesic[s] != 0) {
+      geodesic[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  const auto& row_ptr = graph.adjacency().row_ptr();
+  const auto& col_idx = graph.adjacency().col_idx();
+  while (!queue.empty()) {
+    const std::int64_t u = queue.front();
+    queue.pop_front();
+    for (std::int64_t e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+      const std::int64_t v = col_idx[e];
+      if (geodesic[v] == kUnreachable) {
+        geodesic[v] = geodesic[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return geodesic;
+}
+
+SparseMatrix ModifiedAdjacency(const Graph& graph,
+                               const std::vector<std::int64_t>& geodesic) {
+  const std::int64_t n = graph.num_nodes();
+  LINBP_CHECK(static_cast<std::int64_t>(geodesic.size()) == n);
+  std::vector<Triplet> triplets;
+  for (const Edge& e : graph.edges()) {
+    const std::int64_t gu = geodesic[e.u];
+    const std::int64_t gv = geodesic[e.v];
+    if (gu == kUnreachable || gv == kUnreachable || gu == gv) continue;
+    if (gu < gv) {
+      triplets.push_back({e.u, e.v, e.weight});
+    } else {
+      triplets.push_back({e.v, e.u, e.weight});
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+SbpResult RunSbp(const Graph& graph, const DenseMatrix& hhat,
+                 const DenseMatrix& explicit_residuals,
+                 const std::vector<std::int64_t>& explicit_nodes) {
+  const std::int64_t n = graph.num_nodes();
+  const std::int64_t k = hhat.rows();
+  LINBP_CHECK(hhat.cols() == k && k >= 2);
+  LINBP_CHECK(explicit_residuals.rows() == n && explicit_residuals.cols() == k);
+
+  SbpResult result;
+  result.geodesic = GeodesicNumbers(graph, explicit_nodes);
+  result.beliefs = DenseMatrix(n, k);
+  for (const std::int64_t s : explicit_nodes) {
+    for (std::int64_t c = 0; c < k; ++c) {
+      result.beliefs.At(s, c) = explicit_residuals.At(s, c);
+    }
+  }
+
+  // Bucket nodes by geodesic number so levels can be processed in order.
+  std::int64_t max_geodesic = 0;
+  for (const std::int64_t g : result.geodesic) {
+    max_geodesic = std::max(max_geodesic, g);
+  }
+  result.max_geodesic = max_geodesic;
+  std::vector<std::vector<std::int64_t>> levels(max_geodesic + 1);
+  for (std::int64_t s = 0; s < n; ++s) {
+    if (result.geodesic[s] > 0) levels[result.geodesic[s]].push_back(s);
+  }
+
+  const auto& row_ptr = graph.adjacency().row_ptr();
+  const auto& col_idx = graph.adjacency().col_idx();
+  const auto& values = graph.adjacency().values();
+  std::vector<double> aggregated(k);
+  for (std::int64_t level = 1; level <= max_geodesic; ++level) {
+    for (const std::int64_t t : levels[level]) {
+      // Sum the weighted beliefs of parents (geodesic level - 1) ...
+      std::fill(aggregated.begin(), aggregated.end(), 0.0);
+      for (std::int64_t e = row_ptr[t]; e < row_ptr[t + 1]; ++e) {
+        const std::int64_t s = col_idx[e];
+        if (result.geodesic[s] != level - 1) continue;
+        const double w = values[e];
+        for (std::int64_t c = 0; c < k; ++c) {
+          aggregated[c] += w * result.beliefs.At(s, c);
+        }
+      }
+      // ... then modulate once through Hhat (b_t = Hhat^T * sum, i.e. the
+      // row-vector product sum^T * Hhat as in B <- A B Hhat).
+      for (std::int64_t c = 0; c < k; ++c) {
+        double value = 0.0;
+        for (std::int64_t j = 0; j < k; ++j) {
+          value += aggregated[j] * hhat.At(j, c);
+        }
+        result.beliefs.At(t, c) = value;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace linbp

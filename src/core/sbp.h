@@ -1,0 +1,53 @@
+// Single-Pass Belief Propagation (Sect. 6 of the paper).
+//
+// SBP assigns to every node the beliefs aggregated over all shortest paths
+// from explicitly labeled nodes (Def. 15): for a node with geodesic number
+// g, beliefs are Hhat^g applied to the weighted sum of explicit beliefs at
+// the far end of each geodesic path. Equivalently (Lemma 17), SBP equals
+// LinBP* on the DAG obtained by dropping edges between equal geodesic
+// numbers and orienting the rest from lower to higher geodesic number.
+// Information crosses every edge at most once, hence "single-pass".
+
+#ifndef LINBP_CORE_SBP_H_
+#define LINBP_CORE_SBP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// Geodesic number marker for nodes unreachable from any explicit node.
+inline constexpr std::int64_t kUnreachable = -1;
+
+/// Geodesic numbers (Def. 14): BFS distance to the nearest node in
+/// `sources`; kUnreachable for nodes in other components.
+std::vector<std::int64_t> GeodesicNumbers(
+    const Graph& graph, const std::vector<std::int64_t>& sources);
+
+/// The modified adjacency matrix A* of Lemma 17: edges between equal
+/// geodesic numbers removed, remaining edges directed from lower to higher
+/// geodesic number; A*(s, t) = w means s -> t. The result is a DAG.
+SparseMatrix ModifiedAdjacency(const Graph& graph,
+                               const std::vector<std::int64_t>& geodesic);
+
+/// Result of an SBP run. Beliefs are residuals; unreachable nodes have
+/// zero beliefs and geodesic kUnreachable.
+struct SbpResult {
+  DenseMatrix beliefs;
+  std::vector<std::int64_t> geodesic;
+  std::int64_t max_geodesic = 0;
+};
+
+/// Runs SBP: propagates explicit residual beliefs level by level along the
+/// geodesic DAG. `explicit_nodes` lists the labeled nodes (their rows in
+/// `explicit_residuals` are the prior beliefs; other rows are ignored).
+SbpResult RunSbp(const Graph& graph, const DenseMatrix& hhat,
+                 const DenseMatrix& explicit_residuals,
+                 const std::vector<std::int64_t>& explicit_nodes);
+
+}  // namespace linbp
+
+#endif  // LINBP_CORE_SBP_H_

@@ -1,0 +1,207 @@
+#include "src/core/sbp_incremental.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+SbpState::SbpState(std::int64_t num_nodes, DenseMatrix hhat)
+    : adjacency_(num_nodes),
+      hhat_(std::move(hhat)),
+      beliefs_(num_nodes, hhat_.rows()),
+      geodesic_(num_nodes, kUnreachable),
+      is_explicit_(num_nodes, false) {
+  LINBP_CHECK(hhat_.rows() == hhat_.cols() && hhat_.rows() >= 2);
+}
+
+SbpState SbpState::FromGraph(const Graph& graph, DenseMatrix hhat,
+                             const DenseMatrix& explicit_residuals,
+                             const std::vector<std::int64_t>& explicit_nodes) {
+  SbpState state(graph.num_nodes(), std::move(hhat));
+  for (const Edge& e : graph.edges()) {
+    state.adjacency_[e.u].push_back({e.v, e.weight});
+    state.adjacency_[e.v].push_back({e.u, e.weight});
+  }
+  DenseMatrix rows(static_cast<std::int64_t>(explicit_nodes.size()),
+                   state.k());
+  for (std::size_t i = 0; i < explicit_nodes.size(); ++i) {
+    for (std::int64_t c = 0; c < state.k(); ++c) {
+      rows.At(static_cast<std::int64_t>(i), c) =
+          explicit_residuals.At(explicit_nodes[i], c);
+    }
+  }
+  state.AddExplicitBeliefs(explicit_nodes, rows);
+  return state;
+}
+
+void SbpState::RecomputeBeliefs(std::int64_t t) {
+  const std::int64_t num_classes = k();
+  std::vector<double> aggregated(num_classes, 0.0);
+  for (const Neighbor& nb : adjacency_[t]) {
+    if (geodesic_[nb.node] != geodesic_[t] - 1) continue;
+    for (std::int64_t c = 0; c < num_classes; ++c) {
+      aggregated[c] += nb.weight * beliefs_.At(nb.node, c);
+    }
+  }
+  for (std::int64_t c = 0; c < num_classes; ++c) {
+    double value = 0.0;
+    for (std::int64_t j = 0; j < num_classes; ++j) {
+      value += aggregated[j] * hhat_.At(j, c);
+    }
+    beliefs_.At(t, c) = value;
+  }
+  ++last_update_recomputed_nodes_;
+}
+
+void SbpState::PropagateDirty(std::vector<std::int64_t> dirty) {
+  // Bucket by geodesic level; process ascending so parents are final when a
+  // child is recomputed. Cascades only ever target level g + 1.
+  std::vector<std::vector<std::int64_t>> buckets;
+  std::vector<bool> marked(num_nodes(), false);
+  auto enqueue = [&](std::int64_t node) {
+    if (marked[node] || is_explicit_[node]) return;
+    const std::int64_t g = geodesic_[node];
+    if (g == kUnreachable) return;
+    if (static_cast<std::int64_t>(buckets.size()) <= g) buckets.resize(g + 1);
+    buckets[g].push_back(node);
+    marked[node] = true;
+  };
+  for (const std::int64_t node : dirty) enqueue(node);
+  for (std::size_t level = 1; level < buckets.size(); ++level) {
+    // buckets may grow while iterating; index-based loops throughout.
+    for (std::size_t i = 0; i < buckets[level].size(); ++i) {
+      const std::int64_t t = buckets[level][i];
+      RecomputeBeliefs(t);
+      for (const Neighbor& nb : adjacency_[t]) {
+        if (geodesic_[nb.node] == geodesic_[t] + 1) enqueue(nb.node);
+      }
+    }
+  }
+}
+
+void SbpState::AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
+                                  const DenseMatrix& residuals) {
+  LINBP_CHECK(static_cast<std::int64_t>(nodes.size()) == residuals.rows());
+  LINBP_CHECK(residuals.cols() == k());
+  last_update_recomputed_nodes_ = 0;
+
+  // Phase 1: install the new explicit beliefs and geodesic number 0.
+  std::unordered_map<std::int64_t, std::int64_t> old_geodesic;
+  std::deque<std::int64_t> relax_queue;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::int64_t v = nodes[i];
+    LINBP_CHECK(v >= 0 && v < num_nodes());
+    if (!is_explicit_[v]) {
+      is_explicit_[v] = true;
+      explicit_nodes_.push_back(v);
+      old_geodesic.emplace(v, geodesic_[v]);
+      geodesic_[v] = 0;
+      relax_queue.push_back(v);
+    }
+    for (std::int64_t c = 0; c < k(); ++c) {
+      beliefs_.At(v, c) = residuals.At(static_cast<std::int64_t>(i), c);
+    }
+  }
+
+  // Phase 2: BFS relaxation of geodesic numbers (they can only decrease).
+  while (!relax_queue.empty()) {
+    const std::int64_t u = relax_queue.front();
+    relax_queue.pop_front();
+    for (const Neighbor& nb : adjacency_[u]) {
+      if (geodesic_[nb.node] == kUnreachable ||
+          geodesic_[nb.node] > geodesic_[u] + 1) {
+        old_geodesic.emplace(nb.node, geodesic_[nb.node]);
+        geodesic_[nb.node] = geodesic_[u] + 1;
+        relax_queue.push_back(nb.node);
+      }
+    }
+  }
+
+  // Phase 3: seed the dirty set.
+  std::vector<std::int64_t> dirty;
+  for (const auto& [changed, old_g] : old_geodesic) {
+    dirty.push_back(changed);  // enqueue skips explicit nodes itself
+    for (const Neighbor& nb : adjacency_[changed]) {
+      // Former children lost a parent; new children gained one.
+      if ((old_g != kUnreachable && geodesic_[nb.node] == old_g + 1) ||
+          geodesic_[nb.node] == geodesic_[changed] + 1) {
+        dirty.push_back(nb.node);
+      }
+    }
+  }
+  // Overwritten explicit beliefs (geodesic unchanged) still dirty their
+  // children.
+  for (const std::int64_t v : nodes) {
+    for (const Neighbor& nb : adjacency_[v]) {
+      if (geodesic_[nb.node] == 1) dirty.push_back(nb.node);
+    }
+  }
+  PropagateDirty(std::move(dirty));
+}
+
+void SbpState::AddEdges(const std::vector<Edge>& edges) {
+  last_update_recomputed_nodes_ = 0;
+
+  // Phase 1: extend the adjacency lists.
+  for (const Edge& e : edges) {
+    LINBP_CHECK(e.u >= 0 && e.u < num_nodes() && e.v >= 0 &&
+                e.v < num_nodes());
+    LINBP_CHECK_MSG(e.u != e.v, "self-loops are not supported");
+    for (const Neighbor& nb : adjacency_[e.u]) {
+      LINBP_CHECK_MSG(nb.node != e.v, "duplicate edge");
+    }
+    adjacency_[e.u].push_back({e.v, e.weight});
+    adjacency_[e.v].push_back({e.u, e.weight});
+  }
+
+  // Phase 2: relax geodesic numbers across the new edges, then outward.
+  std::unordered_map<std::int64_t, std::int64_t> old_geodesic;
+  std::deque<std::int64_t> relax_queue;
+  auto relax = [&](std::int64_t from, std::int64_t to) {
+    if (geodesic_[from] == kUnreachable) return;
+    const std::int64_t candidate = geodesic_[from] + 1;
+    if (geodesic_[to] == kUnreachable || geodesic_[to] > candidate) {
+      old_geodesic.emplace(to, geodesic_[to]);
+      geodesic_[to] = candidate;
+      relax_queue.push_back(to);
+    }
+  };
+  for (const Edge& e : edges) {
+    relax(e.u, e.v);
+    relax(e.v, e.u);
+  }
+  while (!relax_queue.empty()) {
+    const std::int64_t u = relax_queue.front();
+    relax_queue.pop_front();
+    for (const Neighbor& nb : adjacency_[u]) relax(u, nb.node);
+  }
+
+  // Phase 3: seed the dirty set — geodesic changes (plus their former and
+  // current children) and new geodesic-crossing edges.
+  std::vector<std::int64_t> dirty;
+  for (const auto& [changed, old_g] : old_geodesic) {
+    dirty.push_back(changed);
+    for (const Neighbor& nb : adjacency_[changed]) {
+      if ((old_g != kUnreachable && geodesic_[nb.node] == old_g + 1) ||
+          geodesic_[nb.node] == geodesic_[changed] + 1) {
+        dirty.push_back(nb.node);
+      }
+    }
+  }
+  for (const Edge& e : edges) {
+    if (geodesic_[e.u] != kUnreachable &&
+        geodesic_[e.v] == geodesic_[e.u] + 1) {
+      dirty.push_back(e.v);
+    }
+    if (geodesic_[e.v] != kUnreachable &&
+        geodesic_[e.u] == geodesic_[e.v] + 1) {
+      dirty.push_back(e.u);
+    }
+  }
+  PropagateDirty(std::move(dirty));
+}
+
+}  // namespace linbp

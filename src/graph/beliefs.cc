@@ -1,0 +1,80 @@
+#include "src/graph/beliefs.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace linbp {
+
+DenseMatrix ResidualToProbability(const DenseMatrix& residual) {
+  const double k = static_cast<double>(residual.cols());
+  LINBP_CHECK(k > 0);
+  return residual.AddScalar(1.0 / k);
+}
+
+DenseMatrix ProbabilityToResidual(const DenseMatrix& probability) {
+  const double k = static_cast<double>(probability.cols());
+  LINBP_CHECK(k > 0);
+  return probability.AddScalar(-1.0 / k);
+}
+
+std::vector<double> ExplicitResidualForClass(std::int64_t k, std::int64_t cls,
+                                             double strength) {
+  LINBP_CHECK(k >= 2 && cls >= 0 && cls < k);
+  std::vector<double> residual(k, -strength / static_cast<double>(k));
+  residual[cls] += strength;
+  return residual;
+}
+
+SeededBeliefs SeedPaperBeliefs(std::int64_t num_nodes, std::int64_t k,
+                               std::int64_t num_explicit, std::uint64_t seed,
+                               int extra_digits) {
+  LINBP_CHECK(k >= 2);
+  LINBP_CHECK(num_explicit >= 0 && num_explicit <= num_nodes);
+  Rng rng(seed);
+  // Sample distinct nodes.
+  std::unordered_set<std::int64_t> chosen;
+  while (static_cast<std::int64_t>(chosen.size()) < num_explicit) {
+    chosen.insert(rng.NextInt(0, num_nodes - 1));
+  }
+  SeededBeliefs out;
+  out.residuals = DenseMatrix(num_nodes, k);
+  out.explicit_nodes.assign(chosen.begin(), chosen.end());
+  std::sort(out.explicit_nodes.begin(), out.explicit_nodes.end());
+  double extra_scale = 1.0;
+  for (int d = 0; d < extra_digits; ++d) extra_scale /= 10.0;
+  for (const std::int64_t node : out.explicit_nodes) {
+    // Redraw any all-zero row: an explicit node must deviate from the
+    // uniform belief (the paper defines explicit nodes by ehat != 0, and
+    // the relational encoding represents zero residuals as absent rows).
+    bool all_zero = true;
+    while (all_zero) {
+      double sum = 0.0;
+      for (std::int64_t c = 0; c + 1 < k; ++c) {
+        // Grid {-0.1, -0.09, ..., 0.09, 0.1} (21 values), plus optional
+        // extra digits to avoid exact ties (the paper's recommendation).
+        double value = 0.01 * static_cast<double>(rng.NextInt(-10, 10));
+        if (extra_digits > 0) {
+          value += 0.01 * extra_scale *
+                   static_cast<double>(rng.NextInt(-9, 9));
+        }
+        out.residuals.At(node, c) = value;
+        sum += value;
+        if (value != 0.0) all_zero = false;
+      }
+      out.residuals.At(node, k - 1) = -sum;
+    }
+  }
+  return out;
+}
+
+std::vector<double> BeliefRow(const DenseMatrix& matrix, std::int64_t node) {
+  LINBP_CHECK(node >= 0 && node < matrix.rows());
+  std::vector<double> row(matrix.cols());
+  for (std::int64_t c = 0; c < matrix.cols(); ++c) row[c] = matrix.At(node, c);
+  return row;
+}
+
+}  // namespace linbp

@@ -1,0 +1,54 @@
+// Belief matrices and the paper's explicit-belief seeding protocol.
+//
+// Beliefs live in two equivalent representations:
+//   * probability rows summing to 1 (standard BP),
+//   * residual rows centered around 1/k and summing to 0 (LinBP / SBP).
+// Explicit beliefs are the rows with nonzero residuals.
+
+#ifndef LINBP_GRAPH_BELIEFS_H_
+#define LINBP_GRAPH_BELIEFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// Converts a residual belief matrix (rows sum to 0) to probabilities
+/// (adds 1/k to every entry).
+DenseMatrix ResidualToProbability(const DenseMatrix& residual);
+
+/// Converts a probability belief matrix (rows sum to 1) to residuals
+/// (subtracts 1/k from every entry).
+DenseMatrix ProbabilityToResidual(const DenseMatrix& probability);
+
+/// Residual belief vector for "node believes class `cls`" with the given
+/// strength: strength * (indicator(cls) - 1/k). Strength 1 corresponds to a
+/// one-hot probability row.
+std::vector<double> ExplicitResidualForClass(std::int64_t k, std::int64_t cls,
+                                             double strength);
+
+/// Explicit beliefs produced by the paper's seeding protocol (Sect. 7):
+/// a subset of nodes receives random centered beliefs; for each chosen node,
+/// k-1 classes get random values from {-0.1, -0.09, ..., 0.09, 0.1} and the
+/// last class the negative sum.
+struct SeededBeliefs {
+  DenseMatrix residuals;                    // n x k, zero rows if unlabeled
+  std::vector<std::int64_t> explicit_nodes; // sorted node ids
+};
+
+/// Seeds `num_explicit` distinct random nodes of an n-node graph
+/// (deterministic under `seed`). `extra_digits` > 0 adds that many extra
+/// random decimal digits to each belief, the paper's tie-avoidance trick
+/// ("0.0503 instead of 0.05").
+SeededBeliefs SeedPaperBeliefs(std::int64_t num_nodes, std::int64_t k,
+                               std::int64_t num_explicit, std::uint64_t seed,
+                               int extra_digits = 0);
+
+/// Row `node` of `matrix` as a vector of length k.
+std::vector<double> BeliefRow(const DenseMatrix& matrix, std::int64_t node);
+
+}  // namespace linbp
+
+#endif  // LINBP_GRAPH_BELIEFS_H_

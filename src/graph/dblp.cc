@@ -1,0 +1,167 @@
+#include "src/graph/dblp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace linbp {
+namespace {
+
+// Samples an index in [0, n) with Zipf(1.0) popularity via inverse-CDF on a
+// precomputed cumulative table.
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(std::int64_t n) : cdf_(n) {
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      total += 1.0 / static_cast<double>(i + 1);
+      cdf_[i] = total;
+    }
+    for (auto& v : cdf_) v /= total;
+  }
+
+  std::int64_t Sample(Rng* rng) const {
+    const double u = rng->NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? static_cast<std::int64_t>(cdf_.size()) - 1
+                            : it - cdf_.begin();
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+DblpGraph MakeSyntheticDblp(const DblpConfig& config) {
+  LINBP_CHECK(config.num_classes >= 2);
+  LINBP_CHECK(config.num_conferences >= config.num_classes);
+  LINBP_CHECK(config.min_authors_per_paper >= 1);
+  LINBP_CHECK(config.max_authors_per_paper >= config.min_authors_per_paper);
+  LINBP_CHECK(config.min_terms_per_paper >= 1);
+  LINBP_CHECK(config.max_terms_per_paper >= config.min_terms_per_paper);
+  Rng rng(config.seed);
+
+  const std::int64_t k = config.num_classes;
+  const std::int64_t paper_base = 0;
+  const std::int64_t author_base = paper_base + config.num_papers;
+  const std::int64_t conf_base = author_base + config.num_authors;
+  const std::int64_t term_base = conf_base + config.num_conferences;
+  const std::int64_t num_nodes = term_base + config.num_terms;
+
+  DblpGraph out;
+  out.num_classes = k;
+  out.node_class.assign(num_nodes, -1);
+  out.node_kind.assign(num_nodes, DblpNodeKind::kPaper);
+  for (std::int64_t i = author_base; i < conf_base; ++i) {
+    out.node_kind[i] = DblpNodeKind::kAuthor;
+  }
+  for (std::int64_t i = conf_base; i < term_base; ++i) {
+    out.node_kind[i] = DblpNodeKind::kConference;
+  }
+  for (std::int64_t i = term_base; i < num_nodes; ++i) {
+    out.node_kind[i] = DblpNodeKind::kTerm;
+  }
+
+  // Conferences: round-robin over classes (e.g. 5 venues per area).
+  for (std::int64_t c = 0; c < config.num_conferences; ++c) {
+    out.node_class[conf_base + c] = static_cast<int>(c % k);
+  }
+  // Authors: one home area each.
+  for (std::int64_t a = 0; a < config.num_authors; ++a) {
+    out.node_class[author_base + a] = static_cast<int>(rng.NextBounded(k));
+  }
+  // Terms: area-specific with probability term_specific_prob, else generic.
+  for (std::int64_t t = 0; t < config.num_terms; ++t) {
+    if (rng.NextBernoulli(config.term_specific_prob)) {
+      out.node_class[term_base + t] = static_cast<int>(rng.NextBounded(k));
+    }
+  }
+
+  // Popularity distributions: prolific authors and frequent terms.
+  ZipfSampler author_popularity(config.num_authors);
+  ZipfSampler term_popularity(config.num_terms);
+
+  std::vector<Edge> edges;
+  edges.reserve(config.num_papers *
+                (config.max_authors_per_paper + config.max_terms_per_paper +
+                 1));
+  std::unordered_set<std::uint64_t> used;
+  auto add_edge = [&](std::int64_t u, std::int64_t v) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(std::min(u, v))
+                               << 32) |
+                              static_cast<std::uint64_t>(std::max(u, v));
+    if (used.insert(key).second) edges.push_back({u, v, 1.0});
+  };
+
+  for (std::int64_t p = 0; p < config.num_papers; ++p) {
+    const int paper_class = static_cast<int>(rng.NextBounded(k));
+    const std::int64_t paper = paper_base + p;
+    out.node_class[paper] = paper_class;
+
+    // Conference: a venue of the paper's area with high probability.
+    std::int64_t conf;
+    if (rng.NextBernoulli(0.9)) {
+      const std::int64_t venues_per_class = config.num_conferences / k;
+      conf = paper_class +
+             static_cast<std::int64_t>(rng.NextBounded(venues_per_class)) * k;
+    } else {
+      conf = static_cast<std::int64_t>(rng.NextBounded(config.num_conferences));
+    }
+    add_edge(paper, conf_base + conf);
+
+    // Authors: rejection-sample popular authors whose home area matches
+    // with probability author_same_class_prob.
+    const std::int64_t num_authors =
+        rng.NextInt(config.min_authors_per_paper, config.max_authors_per_paper);
+    for (std::int64_t i = 0; i < num_authors; ++i) {
+      std::int64_t author = 0;
+      const bool want_same = rng.NextBernoulli(config.author_same_class_prob);
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        author = author_popularity.Sample(&rng);
+        const bool same =
+            out.node_class[author_base + author] == paper_class;
+        if (same == want_same) break;
+      }
+      add_edge(paper, author_base + author);
+    }
+
+    // Terms: mostly terms of the paper's area or generic ones.
+    const std::int64_t num_terms =
+        rng.NextInt(config.min_terms_per_paper, config.max_terms_per_paper);
+    for (std::int64_t i = 0; i < num_terms; ++i) {
+      std::int64_t term = 0;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        term = term_popularity.Sample(&rng);
+        const int term_class = out.node_class[term_base + term];
+        if (term_class < 0 || term_class == paper_class) break;
+      }
+      add_edge(paper, term_base + term);
+    }
+  }
+
+  // Explicit labels: all conferences (strongly indicative, as in the
+  // original dataset) plus random papers/authors up to labeled_fraction.
+  std::unordered_set<std::int64_t> labeled;
+  for (std::int64_t c = 0; c < config.num_conferences; ++c) {
+    labeled.insert(conf_base + c);
+  }
+  const auto target =
+      static_cast<std::int64_t>(std::llround(config.labeled_fraction *
+                                             static_cast<double>(num_nodes)));
+  while (static_cast<std::int64_t>(labeled.size()) < target) {
+    // Only papers and authors receive extra labels; their classes are known.
+    const std::int64_t node = rng.NextInt(0, conf_base - 1);
+    labeled.insert(node);
+  }
+  out.labeled_nodes.assign(labeled.begin(), labeled.end());
+  std::sort(out.labeled_nodes.begin(), out.labeled_nodes.end());
+
+  out.graph = Graph(num_nodes, edges);
+  return out;
+}
+
+}  // namespace linbp

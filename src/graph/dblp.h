@@ -1,0 +1,67 @@
+// Synthetic DBLP-like heterogeneous graph (substitute for the real dataset).
+//
+// The paper's Appendix F.2 experiment uses the DBLP subset of [Ji et al.,
+// ECML/PKDD'10]: 36,138 nodes (papers, authors, conferences, terms),
+// 341,564 directed edges, 4 classes (AI, DB, DM, IR), 10.4% of the nodes
+// explicitly labeled. That snapshot is not redistributable here, so this
+// module generates a synthetic graph with the same node-type mix, class
+// structure, degree profile, and labeling rate:
+//   * each paper belongs to one of 4 areas and is connected to its authors,
+//     one conference, and its title terms;
+//   * conferences are few and strongly area-specific;
+//   * authors mostly publish inside one area;
+//   * terms are many, Zipf-popular, and partially area-specific (titles
+//     share generic words across areas).
+// The experiment itself (F1 agreement of LinBP/LinBP*/SBP with BP under
+// homophily) only depends on these structural properties.
+
+#ifndef LINBP_GRAPH_DBLP_H_
+#define LINBP_GRAPH_DBLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace linbp {
+
+/// Parameters of the synthetic DBLP generator. Defaults approximate the
+/// scale of the paper's dataset; tests and benches shrink them.
+struct DblpConfig {
+  std::int64_t num_papers = 14000;
+  std::int64_t num_authors = 14500;
+  std::int64_t num_conferences = 20;
+  std::int64_t num_terms = 7600;
+  std::int64_t num_classes = 4;           // AI, DB, DM, IR
+  double labeled_fraction = 0.104;        // ~10.4% of all nodes
+  double author_same_class_prob = 0.85;   // author-paper class agreement
+  double term_specific_prob = 0.65;       // term belongs to one area
+  std::int64_t min_authors_per_paper = 1;
+  std::int64_t max_authors_per_paper = 4;
+  std::int64_t min_terms_per_paper = 4;
+  std::int64_t max_terms_per_paper = 10;
+  std::uint64_t seed = 42;
+};
+
+/// Node kinds, in node-id order: papers, authors, conferences, terms.
+enum class DblpNodeKind { kPaper, kAuthor, kConference, kTerm };
+
+/// The generated graph plus metadata.
+struct DblpGraph {
+  Graph graph;
+  std::int64_t num_classes = 4;
+  /// Ground-truth class per node; -1 for nodes without a clear class
+  /// (generic terms).
+  std::vector<int> node_class;
+  /// Kind of each node.
+  std::vector<DblpNodeKind> node_kind;
+  /// Nodes carrying explicit labels (sorted).
+  std::vector<std::int64_t> labeled_nodes;
+};
+
+/// Generates the synthetic DBLP graph; deterministic under config.seed.
+DblpGraph MakeSyntheticDblp(const DblpConfig& config);
+
+}  // namespace linbp
+
+#endif  // LINBP_GRAPH_DBLP_H_

@@ -1,0 +1,171 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace linbp {
+namespace {
+
+// Key for de-duplicating undirected edges in the random generators.
+std::uint64_t EdgeKey(std::int64_t u, std::int64_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+Graph KroneckerPowerGraph(int power) {
+  LINBP_CHECK(power >= 1);
+  // Seed: the path P3 (adjacency entries (0,1), (1,0), (1,2), (2,1)).
+  // Kronecker product rule: (u, v) is an edge of A^{(x)h} iff
+  // (u_i, v_i) is a seed edge for every base-3 digit position i.
+  // We expand iteratively: E_h = {(3u+a, 3v+b) : (u,v) in E_{h-1},
+  // (a,b) in E_seed}, keeping only u < v to enumerate undirected edges once.
+  const std::pair<int, int> seed_entries[] = {{0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  // Directed entry lists keep the recursion simple; we halve at the end.
+  std::vector<std::pair<std::int64_t, std::int64_t>> entries = {
+      {0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  std::int64_t num_nodes = 3;
+  for (int level = 2; level <= power; ++level) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> next;
+    next.reserve(entries.size() * 4);
+    for (const auto& [u, v] : entries) {
+      for (const auto& [a, b] : seed_entries) {
+        next.emplace_back(3 * u + a, 3 * v + b);
+      }
+    }
+    entries = std::move(next);
+    num_nodes *= 3;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(entries.size() / 2);
+  for (const auto& [u, v] : entries) {
+    if (u < v) edges.push_back({u, v, 1.0});
+  }
+  return Graph(num_nodes, edges);
+}
+
+int KroneckerPowerForPaperIndex(int index) {
+  LINBP_CHECK(index >= 1);
+  return index + 4;
+}
+
+Graph TorusExampleGraph() {
+  // 0-indexed: v1..v4 are nodes 0..3 (outer), v5..v8 are nodes 4..7 (inner).
+  const std::vector<Edge> edges = {
+      {4, 5, 1.0}, {5, 6, 1.0}, {6, 7, 1.0}, {4, 7, 1.0},  // inner cycle
+      {0, 4, 1.0}, {1, 5, 1.0}, {2, 6, 1.0}, {3, 7, 1.0},  // spokes
+  };
+  return Graph(8, edges);
+}
+
+Graph Figure5ExampleGraph() {
+  // 0-indexed: paper node v_i is node i-1.
+  const std::vector<Edge> edges = {
+      {0, 2, 1.0}, {0, 3, 1.0}, {0, 4, 1.0}, {1, 2, 1.0}, {1, 3, 1.0},
+      {2, 6, 1.0}, {3, 4, 1.0}, {4, 5, 1.0}, {5, 6, 1.0},
+  };
+  return Graph(7, edges);
+}
+
+Graph PathGraph(std::int64_t num_nodes) {
+  LINBP_CHECK(num_nodes >= 1);
+  std::vector<Edge> edges;
+  for (std::int64_t i = 0; i + 1 < num_nodes; ++i) {
+    edges.push_back({i, i + 1, 1.0});
+  }
+  return Graph(num_nodes, edges);
+}
+
+Graph CycleGraph(std::int64_t num_nodes) {
+  LINBP_CHECK(num_nodes >= 3);
+  std::vector<Edge> edges;
+  for (std::int64_t i = 0; i < num_nodes; ++i) {
+    edges.push_back({i, (i + 1) % num_nodes, 1.0});
+  }
+  return Graph(num_nodes, edges);
+}
+
+Graph BinaryTreeGraph(std::int64_t num_nodes) {
+  LINBP_CHECK(num_nodes >= 1);
+  std::vector<Edge> edges;
+  for (std::int64_t i = 1; i < num_nodes; ++i) {
+    edges.push_back({(i - 1) / 2, i, 1.0});
+  }
+  return Graph(num_nodes, edges);
+}
+
+Graph GridGraph(std::int64_t rows, std::int64_t cols) {
+  LINBP_CHECK(rows >= 1 && cols >= 1);
+  std::vector<Edge> edges;
+  auto id = [cols](std::int64_t r, std::int64_t c) { return r * cols + c; };
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1), 1.0});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c), 1.0});
+    }
+  }
+  return Graph(rows * cols, edges);
+}
+
+Graph ErdosRenyiGraph(std::int64_t num_nodes, std::int64_t num_edges,
+                      std::uint64_t seed) {
+  LINBP_CHECK(num_nodes >= 2);
+  const std::int64_t max_edges = num_nodes * (num_nodes - 1) / 2;
+  LINBP_CHECK(num_edges >= 0 && num_edges <= max_edges);
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> used;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  while (static_cast<std::int64_t>(edges.size()) < num_edges) {
+    const std::int64_t u = rng.NextInt(0, num_nodes - 1);
+    const std::int64_t v = rng.NextInt(0, num_nodes - 1);
+    if (u == v) continue;
+    if (!used.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back({u, v, 1.0});
+  }
+  return Graph(num_nodes, edges);
+}
+
+Graph RandomConnectedGraph(std::int64_t num_nodes, std::int64_t extra_edges,
+                           std::uint64_t seed) {
+  return RandomWeightedConnectedGraph(num_nodes, extra_edges, 1.0, 1.0, seed);
+}
+
+Graph RandomWeightedConnectedGraph(std::int64_t num_nodes,
+                                   std::int64_t extra_edges,
+                                   double min_weight, double max_weight,
+                                   std::uint64_t seed) {
+  LINBP_CHECK(num_nodes >= 1);
+  LINBP_CHECK(min_weight <= max_weight);
+  Rng rng(seed);
+  auto weight = [&] {
+    return min_weight + (max_weight - min_weight) * rng.NextDouble();
+  };
+  std::unordered_set<std::uint64_t> used;
+  std::vector<Edge> edges;
+  // Random spanning tree: attach each node to a random earlier node.
+  for (std::int64_t v = 1; v < num_nodes; ++v) {
+    const std::int64_t u = rng.NextInt(0, v - 1);
+    used.insert(EdgeKey(u, v));
+    edges.push_back({u, v, weight()});
+  }
+  const std::int64_t max_extra =
+      num_nodes * (num_nodes - 1) / 2 - (num_nodes - 1);
+  std::int64_t remaining = std::min(extra_edges, max_extra);
+  while (remaining > 0) {
+    const std::int64_t u = rng.NextInt(0, num_nodes - 1);
+    const std::int64_t v = rng.NextInt(0, num_nodes - 1);
+    if (u == v) continue;
+    if (!used.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back({u, v, weight()});
+    --remaining;
+  }
+  return Graph(num_nodes, edges);
+}
+
+}  // namespace linbp

@@ -1,0 +1,73 @@
+// Graph generators for the paper's experiments and for tests.
+//
+// The paper's synthetic workload (Fig. 6a) is a family of Kronecker graphs
+// [Leskovec et al., PKDD'05] with n = 3^h nodes and e = 4^h adjacency
+// entries: exactly the deterministic Kronecker powers of the 3-node path
+// P3, whose adjacency matrix has 4 nonzero entries. The Fig. 5c "torus" is
+// the 8-node example graph of Example 20 (inner 4-cycle plus 4 spokes),
+// verified against every constant reported in the paper (rho(A) = 1 +
+// sqrt(2), convergence thresholds 0.488 / 0.658 / 0.360 / 0.455).
+
+#ifndef LINBP_GRAPH_GENERATORS_H_
+#define LINBP_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace linbp {
+
+/// Deterministic Kronecker power of the path P3: n = 3^power nodes and
+/// 4^power adjacency entries, matching Fig. 6a ("graph #g" has
+/// power = g + 4). `power` must be >= 1.
+Graph KroneckerPowerGraph(int power);
+
+/// The paper numbers its Kronecker graphs 1..9; returns the Kronecker power
+/// for that index (index + 4).
+int KroneckerPowerForPaperIndex(int index);
+
+/// The 8-node Example 20 graph (Fig. 5c): inner cycle v5-v6-v7-v8 plus
+/// spokes v1-v5, v2-v6, v3-v7, v4-v8. Nodes are 0-indexed, so paper node
+/// v_i is node i-1.
+Graph TorusExampleGraph();
+
+/// The 7-node graph of Fig. 5a/b (Examples 16 and 18). Edges: v1-v3, v1-v4,
+/// v1-v5, v2-v3, v2-v4, v3-v7, v4-v5, v5-v6, v6-v7. With explicit beliefs
+/// at v2 and v7 this reproduces both examples: v1 has geodesic number 2
+/// with three shortest paths (two from v2, one from v7), and edge v1-v5
+/// connects two geodesic-2 nodes so SBP drops it (Example 18).
+Graph Figure5ExampleGraph();
+
+/// Path graph 0-1-2-...-(n-1).
+Graph PathGraph(std::int64_t num_nodes);
+
+/// Cycle graph on n >= 3 nodes.
+Graph CycleGraph(std::int64_t num_nodes);
+
+/// Complete binary tree with `num_nodes` nodes (node i's parent is
+/// (i-1)/2).
+Graph BinaryTreeGraph(std::int64_t num_nodes);
+
+/// 2D grid of rows x cols nodes with 4-neighborhoods.
+Graph GridGraph(std::int64_t rows, std::int64_t cols);
+
+/// Erdos-Renyi G(n, m): `num_edges` distinct undirected edges sampled
+/// uniformly, deterministic under `seed`.
+Graph ErdosRenyiGraph(std::int64_t num_nodes, std::int64_t num_edges,
+                      std::uint64_t seed);
+
+/// Random connected graph: a random spanning tree plus `extra_edges`
+/// random non-duplicate edges. Used heavily by property tests.
+Graph RandomConnectedGraph(std::int64_t num_nodes, std::int64_t extra_edges,
+                           std::uint64_t seed);
+
+/// Same as RandomConnectedGraph but with random edge weights drawn
+/// uniformly from [min_weight, max_weight].
+Graph RandomWeightedConnectedGraph(std::int64_t num_nodes,
+                                   std::int64_t extra_edges,
+                                   double min_weight, double max_weight,
+                                   std::uint64_t seed);
+
+}  // namespace linbp
+
+#endif  // LINBP_GRAPH_GENERATORS_H_

@@ -1,0 +1,62 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+Graph::Graph(std::int64_t num_nodes, const std::vector<Edge>& edges)
+    : adjacency_(num_nodes, num_nodes) {
+  edges_.reserve(edges.size());
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    LINBP_CHECK(e.u >= 0 && e.u < num_nodes && e.v >= 0 && e.v < num_nodes);
+    LINBP_CHECK_MSG(e.u != e.v, "self-loops are not supported");
+    Edge normalized = e;
+    if (normalized.u > normalized.v) std::swap(normalized.u, normalized.v);
+    edges_.push_back(normalized);
+    triplets.push_back({normalized.u, normalized.v, normalized.weight});
+    triplets.push_back({normalized.v, normalized.u, normalized.weight});
+  }
+  // Reject duplicates: FromTriplets would silently sum them.
+  std::vector<std::pair<std::int64_t, std::int64_t>> keys;
+  keys.reserve(edges_.size());
+  for (const Edge& e : edges_) keys.emplace_back(e.u, e.v);
+  std::sort(keys.begin(), keys.end());
+  LINBP_CHECK_MSG(std::adjacent_find(keys.begin(), keys.end()) == keys.end(),
+                  "duplicate undirected edge");
+  adjacency_ = SparseMatrix::FromTriplets(num_nodes, num_nodes,
+                                          std::move(triplets));
+  weighted_degrees_ = adjacency_.SquaredRowSums();
+}
+
+std::int64_t Graph::Degree(std::int64_t node) const {
+  LINBP_CHECK(node >= 0 && node < num_nodes());
+  return adjacency_.row_ptr()[node + 1] - adjacency_.row_ptr()[node];
+}
+
+std::vector<std::int64_t> ReverseEdgeIndex(const SparseMatrix& adjacency) {
+  LINBP_CHECK(adjacency.rows() == adjacency.cols());
+  const auto& row_ptr = adjacency.row_ptr();
+  const auto& col_idx = adjacency.col_idx();
+  std::vector<std::int64_t> reverse(col_idx.size());
+  for (std::int64_t s = 0; s < adjacency.rows(); ++s) {
+    for (std::int64_t e = row_ptr[s]; e < row_ptr[s + 1]; ++e) {
+      const std::int64_t t = col_idx[e];
+      // Within row t, columns are sorted; binary search for s.
+      const auto begin = col_idx.begin() + row_ptr[t];
+      const auto end = col_idx.begin() + row_ptr[t + 1];
+      const auto it =
+          std::lower_bound(begin, end, static_cast<std::int32_t>(s));
+      LINBP_CHECK_MSG(it != end && *it == s,
+                      "adjacency matrix is not structurally symmetric");
+      reverse[e] = it - col_idx.begin();
+    }
+  }
+  return reverse;
+}
+
+}  // namespace linbp

@@ -1,0 +1,75 @@
+// Undirected weighted graphs.
+//
+// A Graph is built incrementally from undirected edges and then frozen into
+// a symmetric CSR adjacency matrix. Per Sect. 5.2 of the paper, the degree
+// of a node in a weighted graph is the sum of the *squared* weights of its
+// incident edges (the echo travels across each edge twice).
+
+#ifndef LINBP_GRAPH_GRAPH_H_
+#define LINBP_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/la/sparse_matrix.h"
+
+namespace linbp {
+
+/// One undirected weighted edge.
+struct Edge {
+  std::int64_t u = 0;
+  std::int64_t v = 0;
+  double weight = 1.0;
+};
+
+/// Immutable undirected weighted graph with a CSR adjacency view.
+class Graph {
+ public:
+  /// Creates an empty graph with no nodes.
+  Graph() : adjacency_(0, 0) {}
+
+  /// Builds a graph on `num_nodes` nodes from undirected edges. Each edge
+  /// {u, v, w} contributes both A(u,v) = w and A(v,u) = w. Self-loops and
+  /// duplicate edges are rejected (the paper's graphs have neither).
+  Graph(std::int64_t num_nodes, const std::vector<Edge>& edges);
+
+  std::int64_t num_nodes() const { return adjacency_.rows(); }
+
+  /// Number of stored adjacency entries (2x the undirected edge count, the
+  /// paper's convention in Fig. 6a).
+  std::int64_t num_directed_edges() const { return adjacency_.NumNonZeros(); }
+
+  /// Number of undirected edges.
+  std::int64_t num_undirected_edges() const {
+    return adjacency_.NumNonZeros() / 2;
+  }
+
+  /// Symmetric weighted adjacency matrix A.
+  const SparseMatrix& adjacency() const { return adjacency_; }
+
+  /// Weighted degrees d_s = sum over neighbors of w_{s,t}^2 (Sect. 5.2).
+  /// For unweighted graphs this equals the ordinary degree.
+  const std::vector<double>& weighted_degrees() const {
+    return weighted_degrees_;
+  }
+
+  /// Number of neighbors of `node`.
+  std::int64_t Degree(std::int64_t node) const;
+
+  /// The original undirected edge list (u < v normalized).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  SparseMatrix adjacency_;
+  std::vector<double> weighted_degrees_;
+  std::vector<Edge> edges_;
+};
+
+/// For a structurally symmetric CSR matrix, returns for every stored entry
+/// e = (s -> t) the index of its mirror entry (t -> s). Message-passing BP
+/// and the directed edge matrix of Appendix G both need this mapping.
+std::vector<std::int64_t> ReverseEdgeIndex(const SparseMatrix& adjacency);
+
+}  // namespace linbp
+
+#endif  // LINBP_GRAPH_GRAPH_H_

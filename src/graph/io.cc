@@ -1,0 +1,147 @@
+#include "src/graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace linbp {
+namespace {
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string ParseError(const std::string& path, int line_number,
+                       const std::string& message) {
+  std::ostringstream out;
+  out << path << ":" << line_number << ": " << message;
+  return out.str();
+}
+
+}  // namespace
+
+bool WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);  // weights must round-trip exactly
+  out << "# undirected edge list: u v w  (" << graph.num_nodes()
+      << " nodes, " << graph.num_undirected_edges() << " edges)\n";
+  for (const Edge& e : graph.edges()) {
+    out << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Graph> ReadEdgeList(const std::string& path,
+                                  std::string* error,
+                                  std::int64_t num_nodes_hint) {
+  LINBP_CHECK(error != nullptr);
+  std::ifstream in(path);
+  if (!in) {
+    *error = path + ": cannot open";
+    return std::nullopt;
+  }
+  std::vector<Edge> edges;
+  std::int64_t max_node = -1;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream fields(line);
+    Edge e;
+    if (!(fields >> e.u >> e.v)) {
+      *error = ParseError(path, line_number, "expected 'u v [w]'");
+      return std::nullopt;
+    }
+    if (!(fields >> e.weight)) e.weight = 1.0;
+    if (e.u < 0 || e.v < 0) {
+      *error = ParseError(path, line_number, "negative node id");
+      return std::nullopt;
+    }
+    if (e.u == e.v) {
+      *error = ParseError(path, line_number, "self-loop");
+      return std::nullopt;
+    }
+    max_node = std::max({max_node, e.u, e.v});
+    edges.push_back(e);
+  }
+  const std::int64_t num_nodes = std::max(max_node + 1, num_nodes_hint);
+  // Detect duplicates here so malformed files fail with a file-level error
+  // instead of a CHECK abort inside Graph.
+  std::unordered_set<std::uint64_t> seen;
+  for (const Edge& e : edges) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(e.u, e.v)) << 32) |
+        static_cast<std::uint64_t>(std::max(e.u, e.v));
+    if (!seen.insert(key).second) {
+      *error = path + ": duplicate edge " + std::to_string(e.u) + "-" +
+               std::to_string(e.v);
+      return std::nullopt;
+    }
+  }
+  return Graph(num_nodes, edges);
+}
+
+bool WriteBeliefs(const DenseMatrix& residuals,
+                  const std::vector<std::int64_t>& explicit_nodes,
+                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# explicit residual beliefs: v c b\n";
+  out.precision(17);
+  for (const std::int64_t v : explicit_nodes) {
+    for (std::int64_t c = 0; c < residuals.cols(); ++c) {
+      const double b = residuals.At(v, c);
+      if (b != 0.0) out << v << ' ' << c << ' ' << b << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<SeededBeliefs> ReadBeliefs(const std::string& path,
+                                         std::int64_t num_nodes,
+                                         std::int64_t k, std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  std::ifstream in(path);
+  if (!in) {
+    *error = path + ": cannot open";
+    return std::nullopt;
+  }
+  SeededBeliefs out;
+  out.residuals = DenseMatrix(num_nodes, k);
+  std::unordered_set<std::int64_t> nodes;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream fields(line);
+    std::int64_t v = 0;
+    std::int64_t c = 0;
+    double b = 0.0;
+    if (!(fields >> v >> c >> b)) {
+      *error = ParseError(path, line_number, "expected 'v c b'");
+      return std::nullopt;
+    }
+    if (v < 0 || v >= num_nodes || c < 0 || c >= k) {
+      *error = ParseError(path, line_number, "node or class out of range");
+      return std::nullopt;
+    }
+    out.residuals.At(v, c) += b;
+    nodes.insert(v);
+  }
+  out.explicit_nodes.assign(nodes.begin(), nodes.end());
+  std::sort(out.explicit_nodes.begin(), out.explicit_nodes.end());
+  return out;
+}
+
+}  // namespace linbp

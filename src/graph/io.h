@@ -1,0 +1,43 @@
+// Plain-text persistence for graphs and belief matrices.
+//
+// Formats match the relational schemas of Sect. 5.3 so data can round-trip
+// between files, the matrix implementations, and the relational engine:
+//   edge list:   one "u v [w]" line per undirected edge (w defaults to 1),
+//                '#' starts a comment line;
+//   belief list: one "v c b" line per nonzero residual entry.
+
+#ifndef LINBP_GRAPH_IO_H_
+#define LINBP_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/graph/beliefs.h"
+#include "src/graph/graph.h"
+
+namespace linbp {
+
+/// Writes the graph as an edge list. Returns false on I/O failure.
+bool WriteEdgeList(const Graph& graph, const std::string& path);
+
+/// Reads an edge list. The node count is max(node id) + 1, or
+/// `num_nodes_hint` if that is larger (use it to keep trailing isolated
+/// nodes). Returns nullopt and fills *error on parse or I/O failure.
+std::optional<Graph> ReadEdgeList(const std::string& path,
+                                  std::string* error,
+                                  std::int64_t num_nodes_hint = 0);
+
+/// Writes the nonzero rows of a residual belief matrix as "v c b" lines.
+bool WriteBeliefs(const DenseMatrix& residuals,
+                  const std::vector<std::int64_t>& explicit_nodes,
+                  const std::string& path);
+
+/// Reads a belief list into an n x k residual matrix plus the sorted list
+/// of nodes that had at least one entry.
+std::optional<SeededBeliefs> ReadBeliefs(const std::string& path,
+                                         std::int64_t num_nodes,
+                                         std::int64_t k, std::string* error);
+
+}  // namespace linbp
+
+#endif  // LINBP_GRAPH_IO_H_

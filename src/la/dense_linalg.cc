@@ -1,0 +1,138 @@
+#include "src/la/dense_linalg.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+std::optional<LuFactorization> LuFactorization::Compute(const DenseMatrix& a) {
+  LINBP_CHECK(a.rows() == a.cols());
+  const std::int64_t n = a.rows();
+  LuFactorization f;
+  f.lu_ = a;
+  f.pivots_.resize(n);
+  for (std::int64_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude entry in this column.
+    std::int64_t pivot_row = col;
+    double pivot_mag = std::abs(f.lu_.At(col, col));
+    for (std::int64_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(f.lu_.At(r, col));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < 1e-300) return std::nullopt;  // numerically singular
+    f.pivots_[col] = static_cast<int>(pivot_row);
+    if (pivot_row != col) {
+      for (std::int64_t c = 0; c < n; ++c) {
+        std::swap(f.lu_.At(col, c), f.lu_.At(pivot_row, c));
+      }
+    }
+    const double pivot = f.lu_.At(col, col);
+    for (std::int64_t r = col + 1; r < n; ++r) {
+      const double factor = f.lu_.At(r, col) / pivot;
+      f.lu_.At(r, col) = factor;
+      if (factor == 0.0) continue;
+      for (std::int64_t c = col + 1; c < n; ++c) {
+        f.lu_.At(r, c) -= factor * f.lu_.At(col, c);
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<double> LuFactorization::Solve(const std::vector<double>& b) const {
+  const std::int64_t n = lu_.rows();
+  LINBP_CHECK(static_cast<std::int64_t>(b.size()) == n);
+  std::vector<double> x = b;
+  // Apply the row permutation, then forward- and back-substitute.
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::swap(x[i], x[pivots_[i]]);
+  }
+  for (std::int64_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::int64_t j = 0; j < i; ++j) acc -= lu_.At(i, j) * x[j];
+    x[i] = acc;
+  }
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    double acc = x[i];
+    for (std::int64_t j = i + 1; j < n; ++j) acc -= lu_.At(i, j) * x[j];
+    x[i] = acc / lu_.At(i, i);
+  }
+  return x;
+}
+
+DenseMatrix LuFactorization::SolveMatrix(const DenseMatrix& b) const {
+  LINBP_CHECK(b.rows() == lu_.rows());
+  DenseMatrix x(b.rows(), b.cols());
+  std::vector<double> column(b.rows());
+  for (std::int64_t c = 0; c < b.cols(); ++c) {
+    for (std::int64_t r = 0; r < b.rows(); ++r) column[r] = b.At(r, c);
+    const std::vector<double> solved = Solve(column);
+    for (std::int64_t r = 0; r < b.rows(); ++r) x.At(r, c) = solved[r];
+  }
+  return x;
+}
+
+std::optional<DenseMatrix> Inverse(const DenseMatrix& a) {
+  const auto lu = LuFactorization::Compute(a);
+  if (!lu.has_value()) return std::nullopt;
+  return lu->SolveMatrix(DenseMatrix::Identity(a.rows()));
+}
+
+std::vector<double> SymmetricEigenvalues(const DenseMatrix& a, double tol,
+                                         int max_sweeps) {
+  LINBP_CHECK_MSG(a.IsSymmetric(1e-9), "Jacobi eigensolver needs symmetry");
+  DenseMatrix m = a;
+  const std::int64_t n = m.rows();
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off_diag = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        off_diag += m.At(i, j) * m.At(i, j);
+      }
+    }
+    if (std::sqrt(2.0 * off_diag) < tol) break;
+    for (std::int64_t p = 0; p < n; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        const double apq = m.At(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m.At(p, p);
+        const double aqq = m.At(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable computation of tan of the rotation angle.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const double mip = m.At(i, p);
+          const double miq = m.At(i, q);
+          m.At(i, p) = c * mip - s * miq;
+          m.At(i, q) = s * mip + c * miq;
+        }
+        for (std::int64_t i = 0; i < n; ++i) {
+          const double mpi = m.At(p, i);
+          const double mqi = m.At(q, i);
+          m.At(p, i) = c * mpi - s * mqi;
+          m.At(q, i) = s * mpi + c * mqi;
+        }
+      }
+    }
+  }
+  std::vector<double> eigenvalues(n);
+  for (std::int64_t i = 0; i < n; ++i) eigenvalues[i] = m.At(i, i);
+  return eigenvalues;
+}
+
+double SymmetricSpectralRadius(const DenseMatrix& a) {
+  double radius = 0.0;
+  for (const double ev : SymmetricEigenvalues(a)) {
+    radius = std::max(radius, std::abs(ev));
+  }
+  return radius;
+}
+
+}  // namespace linbp

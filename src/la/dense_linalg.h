@@ -1,0 +1,50 @@
+// Dense factorizations and eigenvalue routines for small matrices.
+//
+// The paper needs: inverses of (I_k - Hhat^2) (Lemma 6), LU solves of the
+// nk x nk closed-form system on small graphs (Prop. 7), and eigenvalues of
+// the symmetric residual coupling matrix Hhat (rho(Hhat), Lemma 8).
+
+#ifndef LINBP_LA_DENSE_LINALG_H_
+#define LINBP_LA_DENSE_LINALG_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Returns std::nullopt if the matrix is numerically singular.
+class LuFactorization {
+ public:
+  /// Factors `a`; fails (returns nullopt) on singular input.
+  static std::optional<LuFactorization> Compute(const DenseMatrix& a);
+
+  /// Solves A x = b for one right-hand side.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves A X = B column-by-column.
+  DenseMatrix SolveMatrix(const DenseMatrix& b) const;
+
+ private:
+  LuFactorization() = default;
+  DenseMatrix lu_;             // combined L (unit diag) and U factors
+  std::vector<int> pivots_;    // row permutation
+};
+
+/// Returns the inverse of a square matrix, or nullopt if singular.
+std::optional<DenseMatrix> Inverse(const DenseMatrix& a);
+
+/// All eigenvalues of a symmetric matrix via the cyclic Jacobi rotation
+/// method. The input must be symmetric; values are returned unsorted.
+std::vector<double> SymmetricEigenvalues(const DenseMatrix& a,
+                                         double tol = 1e-13,
+                                         int max_sweeps = 64);
+
+/// Spectral radius (max |eigenvalue|) of a symmetric matrix.
+double SymmetricSpectralRadius(const DenseMatrix& a);
+
+}  // namespace linbp
+
+#endif  // LINBP_LA_DENSE_LINALG_H_

@@ -1,0 +1,186 @@
+#include "src/la/dense_matrix.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+DenseMatrix::DenseMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  LINBP_CHECK(rows >= 0 && cols >= 0);
+}
+
+DenseMatrix::DenseMatrix(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<std::int64_t>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<std::int64_t>(rows.begin()->size());
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    LINBP_CHECK(static_cast<std::int64_t>(row.size()) == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+DenseMatrix DenseMatrix::Identity(std::int64_t dim) {
+  DenseMatrix m(dim, dim);
+  for (std::int64_t i = 0; i < dim; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::Diagonal(const std::vector<double>& diag) {
+  const auto dim = static_cast<std::int64_t>(diag.size());
+  DenseMatrix m(dim, dim);
+  for (std::int64_t i = 0; i < dim; ++i) m.At(i, i) = diag[i];
+  return m;
+}
+
+DenseMatrix DenseMatrix::Add(const DenseMatrix& other) const {
+  LINBP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  DenseMatrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + other.data_[i];
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Sub(const DenseMatrix& other) const {
+  LINBP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  DenseMatrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - other.data_[i];
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Scale(double scalar) const {
+  DenseMatrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * scalar;
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  LINBP_CHECK(cols_ == other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t l = 0; l < cols_; ++l) {
+      const double a = At(i, l);
+      if (a == 0.0) continue;
+      for (std::int64_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += a * other.At(l, j);
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::AddScalar(double value) const {
+  DenseMatrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + value;
+  }
+  return out;
+}
+
+std::vector<double> DenseMatrix::MultiplyVector(
+    const std::vector<double>& x) const {
+  LINBP_CHECK(static_cast<std::int64_t>(x.size()) == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < cols_; ++j) acc += At(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& other) const {
+  LINBP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = std::abs(data_[i] - other.data_[i]);
+    if (d > max_diff) max_diff = d;
+  }
+  return max_diff;
+}
+
+double DenseMatrix::MaxAbs() const {
+  double max_abs = 0.0;
+  for (const double v : data_) {
+    if (std::abs(v) > max_abs) max_abs = std::abs(v);
+  }
+  return max_abs;
+}
+
+bool DenseMatrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t j = i + 1; j < cols_; ++j) {
+      if (std::abs(At(i, j) - At(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> DenseMatrix::Vectorize() const {
+  std::vector<double> v(rows_ * cols_);
+  for (std::int64_t j = 0; j < cols_; ++j) {
+    for (std::int64_t i = 0; i < rows_; ++i) v[j * rows_ + i] = At(i, j);
+  }
+  return v;
+}
+
+DenseMatrix DenseMatrix::FromVectorized(const std::vector<double>& v,
+                                        std::int64_t rows, std::int64_t cols) {
+  LINBP_CHECK(static_cast<std::int64_t>(v.size()) == rows * cols);
+  DenseMatrix m(rows, cols);
+  for (std::int64_t j = 0; j < cols; ++j) {
+    for (std::int64_t i = 0; i < rows; ++i) m.At(i, j) = v[j * rows + i];
+  }
+  return m;
+}
+
+DenseMatrix DenseMatrix::Kronecker(const DenseMatrix& other) const {
+  DenseMatrix out(rows_ * other.rows_, cols_ * other.cols_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      const double a = At(i, j);
+      if (a == 0.0) continue;
+      for (std::int64_t p = 0; p < other.rows_; ++p) {
+        for (std::int64_t q = 0; q < other.cols_; ++q) {
+          out.At(i * other.rows_ + p, j * other.cols_ + q) =
+              a * other.At(p, q);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string DenseMatrix::ToString(int digits) const {
+  std::ostringstream out;
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    out << (i == 0 ? "[[" : " [");
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*g", digits, At(i, j));
+      out << (j == 0 ? "" : ", ") << buf;
+    }
+    out << (i + 1 == rows_ ? "]]" : "]\n");
+  }
+  return out.str();
+}
+
+}  // namespace linbp

@@ -1,0 +1,103 @@
+// Small dense matrices (row-major, double).
+//
+// Used throughout for k x k coupling matrices, n x k belief matrices, and
+// the materialized nk x nk closed-form systems on small graphs. The class
+// deliberately stays minimal: the library's large objects are sparse
+// (src/la/sparse_matrix.h); dense matrices here are either tiny (k <= ~10)
+// or test-sized.
+
+#ifndef LINBP_LA_DENSE_MATRIX_H_
+#define LINBP_LA_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace linbp {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  /// Creates an empty 0 x 0 matrix.
+  DenseMatrix() = default;
+
+  /// Creates a `rows` x `cols` matrix of zeros.
+  DenseMatrix(std::int64_t rows, std::int64_t cols);
+
+  /// Creates a matrix from nested initializer lists:
+  ///   DenseMatrix m{{1, 2}, {3, 4}};
+  /// All rows must have the same length.
+  DenseMatrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Returns the `dim` x `dim` identity matrix.
+  static DenseMatrix Identity(std::int64_t dim);
+
+  /// Returns a matrix with `diag` on the diagonal and zeros elsewhere.
+  static DenseMatrix Diagonal(const std::vector<double>& diag);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  double& At(std::int64_t r, std::int64_t c) { return data_[r * cols_ + c]; }
+  double At(std::int64_t r, std::int64_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row-major storage (size rows * cols).
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Returns this + other. Shapes must match.
+  DenseMatrix Add(const DenseMatrix& other) const;
+
+  /// Returns this - other. Shapes must match.
+  DenseMatrix Sub(const DenseMatrix& other) const;
+
+  /// Returns this * scalar.
+  DenseMatrix Scale(double scalar) const;
+
+  /// Returns this * other (standard matrix product). Inner dims must match.
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// Returns the transpose.
+  DenseMatrix Transpose() const;
+
+  /// Returns this with `value` added to every entry.
+  DenseMatrix AddScalar(double value) const;
+
+  /// Returns matrix-vector product this * x. x.size() must equal cols().
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+
+  /// Maximum absolute difference to `other` (shapes must match).
+  double MaxAbsDiff(const DenseMatrix& other) const;
+
+  /// Maximum absolute entry.
+  double MaxAbs() const;
+
+  /// True if the matrix equals its transpose up to `tol`.
+  bool IsSymmetric(double tol = 1e-12) const;
+
+  /// vec(X): stacks columns into a single vector of length rows * cols
+  /// (column-major order, as in the paper's closed form).
+  std::vector<double> Vectorize() const;
+
+  /// Inverse of vec: rebuilds a rows x cols matrix from a stacked vector.
+  static DenseMatrix FromVectorized(const std::vector<double>& v,
+                                    std::int64_t rows, std::int64_t cols);
+
+  /// Kronecker product this (x) other.
+  DenseMatrix Kronecker(const DenseMatrix& other) const;
+
+  /// Human-readable rendering for test failure messages.
+  std::string ToString(int digits = 6) const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace linbp
+
+#endif  // LINBP_LA_DENSE_MATRIX_H_

@@ -1,0 +1,77 @@
+#include "src/la/kron_ops.h"
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+DenseOperator::DenseOperator(DenseMatrix m) : m_(std::move(m)) {
+  LINBP_CHECK(m_.rows() == m_.cols());
+}
+
+void DenseOperator::Apply(const std::vector<double>& x,
+                          std::vector<double>* y) const {
+  *y = m_.MultiplyVector(x);
+}
+
+DenseMatrix LinBpPropagate(const SparseMatrix& adjacency,
+                           const std::vector<double>& degrees,
+                           const DenseMatrix& hhat, const DenseMatrix& hhat2,
+                           const DenseMatrix& beliefs, bool with_echo) {
+  const std::int64_t n = adjacency.rows();
+  const std::int64_t k = hhat.rows();
+  LINBP_CHECK(adjacency.cols() == n);
+  LINBP_CHECK(beliefs.rows() == n && beliefs.cols() == k);
+  // A * B, then (A*B) * Hhat.
+  DenseMatrix propagated = adjacency.MultiplyDense(beliefs).Multiply(hhat);
+  if (!with_echo) return propagated;
+  LINBP_CHECK(static_cast<std::int64_t>(degrees.size()) == n);
+  // Echo cancellation: subtract D * B * Hhat^2 row by row (D is diagonal).
+  const DenseMatrix echo = beliefs.Multiply(hhat2);
+  for (std::int64_t s = 0; s < n; ++s) {
+    const double d = degrees[s];
+    for (std::int64_t c = 0; c < k; ++c) {
+      propagated.At(s, c) -= d * echo.At(s, c);
+    }
+  }
+  return propagated;
+}
+
+LinBpOperator::LinBpOperator(const SparseMatrix* adjacency,
+                             std::vector<double> degrees, DenseMatrix hhat,
+                             bool with_echo)
+    : adjacency_(adjacency),
+      degrees_(std::move(degrees)),
+      hhat_(std::move(hhat)),
+      hhat2_(hhat_.Multiply(hhat_)),
+      with_echo_(with_echo) {
+  LINBP_CHECK(adjacency_ != nullptr);
+  LINBP_CHECK(adjacency_->rows() == adjacency_->cols());
+  LINBP_CHECK(hhat_.rows() == hhat_.cols());
+  LINBP_CHECK(static_cast<std::int64_t>(degrees_.size()) ==
+              adjacency_->rows());
+}
+
+std::int64_t LinBpOperator::dim() const {
+  return adjacency_->rows() * hhat_.rows();
+}
+
+void LinBpOperator::Apply(const std::vector<double>& x,
+                          std::vector<double>* y) const {
+  const std::int64_t n = adjacency_->rows();
+  const std::int64_t k = hhat_.rows();
+  const DenseMatrix b = UnvectorizeBeliefs(x, n, k);
+  const DenseMatrix out =
+      LinBpPropagate(*adjacency_, degrees_, hhat_, hhat2_, b, with_echo_);
+  *y = VectorizeBeliefs(out);
+}
+
+DenseMatrix UnvectorizeBeliefs(const std::vector<double>& v, std::int64_t n,
+                               std::int64_t k) {
+  return DenseMatrix::FromVectorized(v, n, k);
+}
+
+std::vector<double> VectorizeBeliefs(const DenseMatrix& b) {
+  return b.Vectorize();
+}
+
+}  // namespace linbp

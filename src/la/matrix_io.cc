@@ -1,0 +1,71 @@
+#include "src/la/matrix_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+bool WriteDenseMatrix(const DenseMatrix& matrix, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << "# " << matrix.rows() << " x " << matrix.cols() << " matrix\n";
+  for (std::int64_t r = 0; r < matrix.rows(); ++r) {
+    for (std::int64_t c = 0; c < matrix.cols(); ++c) {
+      out << (c == 0 ? "" : " ") << matrix.At(r, c);
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<DenseMatrix> ReadDenseMatrix(const std::string& path,
+                                           std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  std::ifstream in(path);
+  if (!in) {
+    *error = path + ": cannot open";
+    return std::nullopt;
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::vector<double> row;
+    double value = 0.0;
+    while (fields >> value) row.push_back(value);
+    if (!fields.eof()) {
+      *error = path + ":" + std::to_string(line_number) + ": bad number";
+      return std::nullopt;
+    }
+    if (row.empty()) continue;
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      *error = path + ":" + std::to_string(line_number) +
+               ": inconsistent row length";
+      return std::nullopt;
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    *error = path + ": no rows";
+    return std::nullopt;
+  }
+  DenseMatrix matrix(static_cast<std::int64_t>(rows.size()),
+                     static_cast<std::int64_t>(rows.front().size()));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      matrix.At(static_cast<std::int64_t>(r), static_cast<std::int64_t>(c)) =
+          rows[r][c];
+    }
+  }
+  return matrix;
+}
+
+}  // namespace linbp

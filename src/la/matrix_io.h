@@ -1,0 +1,25 @@
+// Plain-text I/O for dense matrices (coupling matrices, belief dumps).
+//
+// Format: one row per line, whitespace-separated values; '#' starts a
+// comment. All rows must have the same number of columns.
+
+#ifndef LINBP_LA_MATRIX_IO_H_
+#define LINBP_LA_MATRIX_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// Writes the matrix with full precision. Returns false on I/O failure.
+bool WriteDenseMatrix(const DenseMatrix& matrix, const std::string& path);
+
+/// Reads a matrix; returns nullopt and fills *error on failure.
+std::optional<DenseMatrix> ReadDenseMatrix(const std::string& path,
+                                           std::string* error);
+
+}  // namespace linbp
+
+#endif  // LINBP_LA_MATRIX_IO_H_

@@ -1,0 +1,34 @@
+// Matrix norms used by the sufficient convergence criteria.
+//
+// Lemma 9 of the paper bounds the spectral radius by any sub-multiplicative
+// norm and recommends the set M = {Frobenius, induced-1, induced-inf},
+// taking the minimum. All three are implemented for dense and CSR matrices.
+
+#ifndef LINBP_LA_NORMS_H_
+#define LINBP_LA_NORMS_H_
+
+#include "src/la/dense_matrix.h"
+#include "src/la/sparse_matrix.h"
+
+namespace linbp {
+
+/// Elementwise 2-norm: sqrt(sum a_ij^2).
+double FrobeniusNorm(const DenseMatrix& a);
+double FrobeniusNorm(const SparseMatrix& a);
+
+/// Induced 1-norm: maximum absolute column sum.
+double Induced1Norm(const DenseMatrix& a);
+double Induced1Norm(const SparseMatrix& a);
+
+/// Induced infinity-norm: maximum absolute row sum.
+double InducedInfNorm(const DenseMatrix& a);
+double InducedInfNorm(const SparseMatrix& a);
+
+/// min over the paper's recommended norm set M = {Frobenius, induced-1,
+/// induced-inf}; an upper bound on the spectral radius (Lemma 9).
+double MinNorm(const DenseMatrix& a);
+double MinNorm(const SparseMatrix& a);
+
+}  // namespace linbp
+
+#endif  // LINBP_LA_NORMS_H_

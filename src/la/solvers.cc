@@ -1,0 +1,73 @@
+#include "src/la/solvers.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace linbp {
+
+PowerIterationResult PowerIteration(const LinearOperator& op,
+                                    int max_iterations, double tolerance,
+                                    std::uint64_t seed) {
+  const std::int64_t n = op.dim();
+  PowerIterationResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.NextDouble() + 0.1;
+  std::vector<double> y;
+  double prev_estimate = -1.0;
+  for (int it = 1; it <= max_iterations; ++it) {
+    op.Apply(x, &y);
+    double norm_sq = 0.0;
+    for (const double v : y) norm_sq += v * v;
+    const double norm = std::sqrt(norm_sq);
+    result.iterations = it;
+    if (norm == 0.0) {
+      // x is in the null space; the dominant eigenvalue estimate is 0.
+      result.spectral_radius = 0.0;
+      result.converged = true;
+      return result;
+    }
+    for (std::int64_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+    result.spectral_radius = norm;
+    if (prev_estimate >= 0.0 &&
+        std::abs(norm - prev_estimate) <=
+            tolerance * std::max(1.0, std::abs(norm))) {
+      result.converged = true;
+      return result;
+    }
+    prev_estimate = norm;
+  }
+  return result;
+}
+
+JacobiResult JacobiSolve(const LinearOperator& op, const std::vector<double>& x,
+                         int max_iterations, double tolerance) {
+  LINBP_CHECK(static_cast<std::int64_t>(x.size()) == op.dim());
+  JacobiResult result;
+  result.solution.assign(x.size(), 0.0);
+  std::vector<double> propagated;
+  for (int it = 1; it <= max_iterations; ++it) {
+    op.Apply(result.solution, &propagated);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double next = x[i] + propagated[i];
+      delta = std::max(delta, std::abs(next - result.solution[i]));
+      result.solution[i] = next;
+    }
+    result.iterations = it;
+    result.last_delta = delta;
+    if (delta <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace linbp

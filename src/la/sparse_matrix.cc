@@ -1,0 +1,167 @@
+#include "src/la/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+SparseMatrix::SparseMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+  LINBP_CHECK(rows >= 0 && cols >= 0);
+}
+
+SparseMatrix SparseMatrix::FromTriplets(std::int64_t rows, std::int64_t cols,
+                                        std::vector<Triplet> triplets) {
+  SparseMatrix m(rows, cols);
+  for (const Triplet& t : triplets) {
+    LINBP_CHECK(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  std::size_t i = 0;
+  while (i < triplets.size()) {
+    // Sum runs of duplicate (row, col) coordinates.
+    double sum = triplets[i].value;
+    std::size_t j = i + 1;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(static_cast<std::int32_t>(triplets[i].col));
+    m.values_.push_back(sum);
+    ++m.row_ptr_[triplets[i].row + 1];
+    i = j;
+  }
+  for (std::int64_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+std::vector<double> SparseMatrix::MultiplyVector(
+    const std::vector<double>& x) const {
+  LINBP_CHECK(static_cast<std::int64_t>(x.size()) == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      acc += values_[e] * x[col_idx_[e]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> SparseMatrix::TransposeMultiplyVector(
+    const std::vector<double>& x) const {
+  LINBP_CHECK(static_cast<std::int64_t>(x.size()) == rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      y[col_idx_[e]] += values_[e] * xr;
+    }
+  }
+  return y;
+}
+
+DenseMatrix SparseMatrix::MultiplyDense(const DenseMatrix& b) const {
+  LINBP_CHECK(b.rows() == cols_);
+  const std::int64_t k = b.cols();
+  DenseMatrix out(rows_, k);
+  const double* b_data = b.data().data();
+  double* out_data = out.mutable_data().data();
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    double* out_row = out_data + r * k;
+    for (std::int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const double w = values_[e];
+      const double* b_row = b_data + static_cast<std::int64_t>(col_idx_[e]) * k;
+      for (std::int64_t c = 0; c < k; ++c) out_row[c] += w * b_row[c];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  SparseMatrix t(cols_, rows_);
+  t.col_idx_.resize(values_.size());
+  t.values_.resize(values_.size());
+  // Counting sort of entries by column index.
+  for (const std::int32_t c : col_idx_) ++t.row_ptr_[c + 1];
+  for (std::int64_t r = 0; r < cols_; ++r) t.row_ptr_[r + 1] += t.row_ptr_[r];
+  std::vector<std::int64_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const std::int64_t pos = cursor[col_idx_[e]]++;
+      t.col_idx_[pos] = static_cast<std::int32_t>(r);
+      t.values_[pos] = values_[e];
+    }
+  }
+  return t;
+}
+
+std::vector<double> SparseMatrix::AbsRowSums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      sums[r] += std::abs(values_[e]);
+    }
+  }
+  return sums;
+}
+
+std::vector<double> SparseMatrix::AbsColSums() const {
+  std::vector<double> sums(cols_, 0.0);
+  for (std::size_t e = 0; e < values_.size(); ++e) {
+    sums[col_idx_[e]] += std::abs(values_[e]);
+  }
+  return sums;
+}
+
+std::vector<double> SparseMatrix::SquaredRowSums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      sums[r] += values_[e] * values_[e];
+    }
+  }
+  return sums;
+}
+
+double SparseMatrix::At(std::int64_t row, std::int64_t col) const {
+  LINBP_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  const auto begin = col_idx_.begin() + row_ptr_[row];
+  const auto end = col_idx_.begin() + row_ptr_[row + 1];
+  const auto it =
+      std::lower_bound(begin, end, static_cast<std::int32_t>(col));
+  if (it == end || *it != col) return 0.0;
+  return values_[it - col_idx_.begin()];
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix d(rows_, cols_);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      d.At(r, col_idx_[e]) += values_[e];
+    }
+  }
+  return d;
+}
+
+bool SparseMatrix::IsSymmetric() const {
+  if (rows_ != cols_) return false;
+  const SparseMatrix t = Transpose();
+  if (t.row_ptr_ != row_ptr_ || t.col_idx_ != col_idx_) return false;
+  for (std::size_t e = 0; e < values_.size(); ++e) {
+    if (t.values_[e] != values_[e]) return false;
+  }
+  return true;
+}
+
+}  // namespace linbp

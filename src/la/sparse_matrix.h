@@ -1,0 +1,94 @@
+// Compressed-sparse-row (CSR) matrices.
+//
+// The adjacency matrix A of the network is the only large matrix in the
+// paper; every algorithm reduces to products of A with skinny dense n x k
+// matrices (SpMM) or vectors (SpMV). The CSR layout here is immutable once
+// built, which keeps the hot kernels simple and cache-friendly.
+
+#ifndef LINBP_LA_SPARSE_MATRIX_H_
+#define LINBP_LA_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+
+/// One (row, col, value) coordinate entry used to build a SparseMatrix.
+struct Triplet {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR sparse matrix of doubles.
+class SparseMatrix {
+ public:
+  /// Creates an empty rows x cols matrix (no stored entries).
+  SparseMatrix(std::int64_t rows, std::int64_t cols);
+
+  /// Builds from coordinate triplets. Duplicate (row, col) pairs are summed;
+  /// entries that sum to exactly zero are kept (callers that want pruning
+  /// should not emit them). Indices must be in range.
+  static SparseMatrix FromTriplets(std::int64_t rows, std::int64_t cols,
+                                   std::vector<Triplet> triplets);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  /// Number of stored entries.
+  std::int64_t NumNonZeros() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+
+  /// CSR internals, exposed for kernels that iterate rows directly.
+  const std::vector<std::int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// y = A * x.
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+
+  /// y = A^T * x (without materializing the transpose).
+  std::vector<double> TransposeMultiplyVector(
+      const std::vector<double>& x) const;
+
+  /// C = A * B for a dense row-major B with a small number of columns.
+  /// This is the LinBP hot kernel (B is the n x k belief matrix).
+  DenseMatrix MultiplyDense(const DenseMatrix& b) const;
+
+  /// Returns the explicit transpose (CSR of A^T).
+  SparseMatrix Transpose() const;
+
+  /// Row sums of |a_ij| (used for the induced infinity norm).
+  std::vector<double> AbsRowSums() const;
+
+  /// Column sums of |a_ij| (used for the induced 1-norm).
+  std::vector<double> AbsColSums() const;
+
+  /// Row sums of a_ij^2; for a symmetric weighted adjacency matrix this is
+  /// the paper's weighted degree d_s = sum of squared edge weights
+  /// (Sect. 5.2).
+  std::vector<double> SquaredRowSums() const;
+
+  /// Value at (row, col); zero if not stored. O(log deg) per lookup.
+  double At(std::int64_t row, std::int64_t col) const;
+
+  /// Materializes the matrix densely (tests and small closed forms only).
+  DenseMatrix ToDense() const;
+
+  /// True if the matrix equals its transpose exactly (pattern and values).
+  bool IsSymmetric() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<std::int32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace linbp
+
+#endif  // LINBP_LA_SPARSE_MATRIX_H_

@@ -1,0 +1,144 @@
+#include "src/relational/linbp_sql.h"
+
+#include "src/relational/ops.h"
+#include "src/util/check.h"
+
+namespace linbp {
+
+Table MakeAdjacencyTable(const Graph& graph) {
+  Table a({"s", "t", "w"},
+          {ColumnType::kInt, ColumnType::kInt, ColumnType::kDouble});
+  a.Reserve(graph.num_directed_edges());
+  for (const Edge& e : graph.edges()) {
+    a.AppendRow({Value::Int(e.u), Value::Int(e.v), Value::Double(e.weight)});
+    a.AppendRow({Value::Int(e.v), Value::Int(e.u), Value::Double(e.weight)});
+  }
+  return a;
+}
+
+Table MakeBeliefTable(const DenseMatrix& residuals,
+                      const std::vector<std::int64_t>& explicit_nodes) {
+  Table e({"v", "c", "b"},
+          {ColumnType::kInt, ColumnType::kInt, ColumnType::kDouble});
+  for (const std::int64_t node : explicit_nodes) {
+    for (std::int64_t c = 0; c < residuals.cols(); ++c) {
+      const double b = residuals.At(node, c);
+      if (b != 0.0) {
+        e.AppendRow({Value::Int(node), Value::Int(c), Value::Double(b)});
+      }
+    }
+  }
+  return e;
+}
+
+Table MakeCouplingTable(const DenseMatrix& hhat) {
+  Table h({"c1", "c2", "h"},
+          {ColumnType::kInt, ColumnType::kInt, ColumnType::kDouble});
+  for (std::int64_t i = 0; i < hhat.rows(); ++i) {
+    for (std::int64_t j = 0; j < hhat.cols(); ++j) {
+      h.AppendRow(
+          {Value::Int(i), Value::Int(j), Value::Double(hhat.At(i, j))});
+    }
+  }
+  return h;
+}
+
+DenseMatrix BeliefsFromTable(const Table& beliefs, std::int64_t num_nodes,
+                             std::int64_t k) {
+  DenseMatrix out(num_nodes, k);
+  const auto& v = beliefs.IntColumn("v");
+  const auto& c = beliefs.IntColumn("c");
+  const auto& b = beliefs.DoubleColumn("b");
+  for (std::int64_t r = 0; r < beliefs.num_rows(); ++r) {
+    LINBP_CHECK(v[r] >= 0 && v[r] < num_nodes && c[r] >= 0 && c[r] < k);
+    out.At(v[r], c[r]) += b[r];
+  }
+  return out;
+}
+
+Table DeriveDegreeTable(const Table& a) {
+  // D(s, sum(w*w)) :- A(s, t, w).
+  const Table squared = WithComputedDoubleColumn(
+      a, "ww", [](const Table& t, std::int64_t r) {
+        const double w = t.DoubleAt(t.ColumnIndex("w"), r);
+        return w * w;
+      });
+  Table d = GroupBy(squared, {"s"}, {{AggregateOp::kSum, "ww", "d"}});
+  return Rename(d, {"s"}, {"v"});
+}
+
+Table DeriveCouplingSquaredTable(const Table& h) {
+  // H2(c1, c2, sum(h1*h2)) :- H(c1, c3, h1), H(c3, c2, h2)  (Eq. 20).
+  const Table right = Rename(h, {"c1", "c2", "h"}, {"c3", "c2n", "h2"});
+  const Table joined = EquiJoin(h, right, {"c2"}, {"c3"});
+  const Table product = WithComputedDoubleColumn(
+      joined, "hh", [](const Table& t, std::int64_t r) {
+        return t.DoubleAt(t.ColumnIndex("h"), r) *
+               t.DoubleAt(t.ColumnIndex("h2"), r);
+      });
+  Table h2 = GroupBy(product, {"c1", "c2n"}, {{AggregateOp::kSum, "hh", "h"}});
+  return Rename(h2, {"c2n"}, {"c2"});
+}
+
+namespace {
+
+// V1(t, c2, sum(w*b*h)) :- A(s,t,w), B(s,c1,b), H(c1,c2,h).
+Table ComputeV1(const Table& a, const Table& b, const Table& h) {
+  const Table ab = EquiJoin(a, b, {"s"}, {"v"});  // (s, t, w, c, b)
+  const Table abh = EquiJoin(ab, h, {"c"}, {"c1"});  // + (c2, h)
+  const Table product = WithComputedDoubleColumn(
+      abh, "p", [](const Table& t, std::int64_t r) {
+        return t.DoubleAt(t.ColumnIndex("w"), r) *
+               t.DoubleAt(t.ColumnIndex("b"), r) *
+               t.DoubleAt(t.ColumnIndex("h"), r);
+      });
+  Table v1 = GroupBy(product, {"t", "c2"}, {{AggregateOp::kSum, "p", "b"}});
+  return Rename(v1, {"t", "c2"}, {"v", "c"});
+}
+
+// V2(s, c2, sum(d*b*h)) :- D(s,d), B(s,c1,b), H2(c1,c2,h).
+Table ComputeV2(const Table& d, const Table& b, const Table& h2) {
+  const Table db = EquiJoin(d, b, {"v"}, {"v"});  // (v, d, c, b)
+  const Table dbh = EquiJoin(db, h2, {"c"}, {"c1"});  // + (c2, h)
+  const Table product = WithComputedDoubleColumn(
+      dbh, "p", [](const Table& t, std::int64_t r) {
+        return t.DoubleAt(t.ColumnIndex("d"), r) *
+               t.DoubleAt(t.ColumnIndex("b"), r) *
+               t.DoubleAt(t.ColumnIndex("h"), r);
+      });
+  Table v2 = GroupBy(product, {"v", "c2"}, {{AggregateOp::kSum, "p", "b"}});
+  return Rename(v2, {"c2"}, {"c"});
+}
+
+}  // namespace
+
+Table RunLinBpSql(const Table& a, const Table& e, const Table& h,
+                  int iterations, bool with_echo) {
+  const Table d = DeriveDegreeTable(a);
+  const Table h2 = DeriveCouplingSquaredTable(h);
+
+  // B(v, c, b) :- E(v, c, b)  (line 1 of Algorithm 1).
+  Table b = e;
+  for (int it = 0; it < iterations; ++it) {
+    const Table v1 = ComputeV1(a, b, h);
+    // Recombine via union-all + group-by (footnote 15): B = E + V1 - V2.
+    Table combined = e;
+    UnionAllInPlace(&combined, v1);
+    if (with_echo) {
+      const Table v2 = ComputeV2(d, b, h2);
+      const Table v2_negated = Project(
+          Rename(WithComputedDoubleColumn(
+                     v2, "nb",
+                     [](const Table& t, std::int64_t r) {
+                       return -t.DoubleAt(t.ColumnIndex("b"), r);
+                     }),
+                 {"b", "nb"}, {"b_old", "b"}),
+          {"v", "c", "b"});
+      UnionAllInPlace(&combined, v2_negated);
+    }
+    b = GroupBy(combined, {"v", "c"}, {{AggregateOp::kSum, "b", "b"}});
+  }
+  return b;
+}
+
+}  // namespace linbp

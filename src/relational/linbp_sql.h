@@ -1,0 +1,53 @@
+// LinBP as a relational operator plan (Algorithm 1 / Sect. 5.3).
+//
+// Schemas match the paper:
+//   A(s, t, w)    weighted directed adjacency entries (both directions)
+//   E(v, c, b)    explicit residual beliefs (only nonzero rows)
+//   H(c1, c2, h)  residual coupling strengths
+//   D(v, d)       weighted degrees, derived:  D(s, sum(w*w)) :- A(s, t, w)
+//   H2(c1,c2,h)   Hhat^2, derived per Eq. 20
+//   B(v, c, b)    final residual beliefs (rows absent = residual 0)
+// Each iteration materializes V1 = A B H and V2 = D B H2 and recombines
+// them with E via union-all + group-by (the paper's footnote 15).
+
+#ifndef LINBP_RELATIONAL_LINBP_SQL_H_
+#define LINBP_RELATIONAL_LINBP_SQL_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/la/dense_matrix.h"
+#include "src/relational/table.h"
+
+namespace linbp {
+
+/// A(s, t, w) from a graph (two rows per undirected edge).
+Table MakeAdjacencyTable(const Graph& graph);
+
+/// E(v, c, b) from residual beliefs: one row per nonzero entry of the
+/// listed explicit nodes.
+Table MakeBeliefTable(const DenseMatrix& residuals,
+                      const std::vector<std::int64_t>& explicit_nodes);
+
+/// H(c1, c2, h) from a (scaled) residual coupling matrix, all k*k entries.
+Table MakeCouplingTable(const DenseMatrix& hhat);
+
+/// Materializes a belief table back into a dense n x k residual matrix
+/// (missing rows become zeros).
+DenseMatrix BeliefsFromTable(const Table& beliefs, std::int64_t num_nodes,
+                             std::int64_t k);
+
+/// D(v, d) :- A(s, t, w), d = sum(w * w) group by s.
+Table DeriveDegreeTable(const Table& a);
+
+/// H2(c1, c2, h) :- H(c1, c3, h1), H(c3, c2, h2), h = sum(h1 * h2)  (Eq. 20).
+Table DeriveCouplingSquaredTable(const Table& h);
+
+/// Runs `iterations` sweeps of Algorithm 1 and returns B(v, c, b).
+/// With `with_echo` false the V2 term is skipped (LinBP*).
+Table RunLinBpSql(const Table& a, const Table& e, const Table& h,
+                  int iterations, bool with_echo = true);
+
+}  // namespace linbp
+
+#endif  // LINBP_RELATIONAL_LINBP_SQL_H_

@@ -1,0 +1,352 @@
+#include "src/relational/ops.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace linbp {
+namespace {
+
+// Packs one or two int key columns into a single 64-bit hash key. Values
+// must fit in 32 bits (node and class ids always do).
+class KeyReader {
+ public:
+  KeyReader(const Table& table, const std::vector<std::string>& keys) {
+    LINBP_CHECK_MSG(!keys.empty() && keys.size() <= 2,
+                    "1 or 2 int key columns supported");
+    for (const auto& key : keys) {
+      columns_.push_back(&table.IntColumn(key));
+    }
+  }
+
+  std::uint64_t At(std::int64_t row) const {
+    std::uint64_t packed = 0;
+    for (const auto* column : columns_) {
+      const std::int64_t v = (*column)[row];
+      LINBP_CHECK_MSG(v >= 0 && v <= 0x7fffffff, "key out of 32-bit range");
+      packed = (packed << 32) | static_cast<std::uint64_t>(v);
+    }
+    return packed;
+  }
+
+ private:
+  std::vector<const std::vector<std::int64_t>*> columns_;
+};
+
+// Schema of the join output and the mapping back to source columns.
+struct JoinSchema {
+  std::vector<std::string> names;
+  std::vector<ColumnType> types;
+  std::vector<std::int64_t> left_columns;   // indices into left
+  std::vector<std::int64_t> right_columns;  // indices into right
+};
+
+JoinSchema MakeJoinSchema(const Table& left, const Table& right,
+                          const std::vector<std::string>& right_keys,
+                          const std::string& right_prefix) {
+  JoinSchema schema;
+  for (std::int64_t c = 0; c < left.num_columns(); ++c) {
+    schema.names.push_back(left.column_names()[c]);
+    schema.types.push_back(left.column_types()[c]);
+    schema.left_columns.push_back(c);
+  }
+  for (std::int64_t c = 0; c < right.num_columns(); ++c) {
+    const std::string& name = right.column_names()[c];
+    if (std::find(right_keys.begin(), right_keys.end(), name) !=
+        right_keys.end()) {
+      continue;  // key columns equal the left side's; drop them
+    }
+    const bool clashes =
+        std::find(schema.names.begin(), schema.names.end(), name) !=
+        schema.names.end();
+    schema.names.push_back(clashes ? right_prefix + name : name);
+    schema.types.push_back(right.column_types()[c]);
+    schema.right_columns.push_back(c);
+  }
+  return schema;
+}
+
+}  // namespace
+
+Table EquiJoin(const Table& left, const Table& right,
+               const std::vector<std::string>& left_keys,
+               const std::vector<std::string>& right_keys,
+               const std::string& right_prefix) {
+  LINBP_CHECK(left_keys.size() == right_keys.size());
+  const JoinSchema schema =
+      MakeJoinSchema(left, right, right_keys, right_prefix);
+  Table out(schema.names, schema.types);
+
+  // Build a hash index on the smaller input conceptually; for simplicity we
+  // always build on the right (algorithm plans put the smaller table right).
+  const KeyReader right_reader(right, right_keys);
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> index;
+  index.reserve(right.num_rows() * 2);
+  for (std::int64_t r = 0; r < right.num_rows(); ++r) {
+    index[right_reader.At(r)].push_back(r);
+  }
+
+  const KeyReader left_reader(left, left_keys);
+  std::vector<Value> row(schema.names.size());
+  for (std::int64_t l = 0; l < left.num_rows(); ++l) {
+    const auto it = index.find(left_reader.At(l));
+    if (it == index.end()) continue;
+    for (const std::int64_t r : it->second) {
+      std::size_t c = 0;
+      for (const std::int64_t lc : schema.left_columns) {
+        row[c++] = left.column_types()[lc] == ColumnType::kInt
+                       ? Value::Int(left.IntAt(lc, l))
+                       : Value::Double(left.DoubleAt(lc, l));
+      }
+      for (const std::int64_t rc : schema.right_columns) {
+        row[c++] = right.column_types()[rc] == ColumnType::kInt
+                       ? Value::Int(right.IntAt(rc, r))
+                       : Value::Double(right.DoubleAt(rc, r));
+      }
+      out.AppendRow(row);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Table FilterByKeyMembership(const Table& left, const Table& right,
+                            const std::vector<std::string>& left_keys,
+                            const std::vector<std::string>& right_keys,
+                            bool keep_matches) {
+  LINBP_CHECK(left_keys.size() == right_keys.size());
+  const KeyReader right_reader(right, right_keys);
+  std::unordered_set<std::uint64_t> keys;
+  keys.reserve(right.num_rows() * 2);
+  for (std::int64_t r = 0; r < right.num_rows(); ++r) {
+    keys.insert(right_reader.At(r));
+  }
+  Table out(left.column_names(), left.column_types());
+  const KeyReader left_reader(left, left_keys);
+  for (std::int64_t l = 0; l < left.num_rows(); ++l) {
+    const bool match = keys.contains(left_reader.At(l));
+    if (match == keep_matches) out.AppendRowFrom(left, l);
+  }
+  return out;
+}
+
+}  // namespace
+
+Table SemiJoin(const Table& left, const Table& right,
+               const std::vector<std::string>& left_keys,
+               const std::vector<std::string>& right_keys) {
+  return FilterByKeyMembership(left, right, left_keys, right_keys, true);
+}
+
+Table AntiJoin(const Table& left, const Table& right,
+               const std::vector<std::string>& left_keys,
+               const std::vector<std::string>& right_keys) {
+  return FilterByKeyMembership(left, right, left_keys, right_keys, false);
+}
+
+Table GroupBy(const Table& table, const std::vector<std::string>& keys,
+              const std::vector<Aggregate>& aggregates) {
+  std::vector<std::string> out_names = keys;
+  std::vector<ColumnType> out_types(keys.size(), ColumnType::kInt);
+  for (const Aggregate& agg : aggregates) {
+    out_names.push_back(agg.output);
+    out_types.push_back(agg.op == AggregateOp::kCount
+                            ? ColumnType::kInt
+                            : table.TypeOf(agg.input));
+  }
+  Table out(out_names, out_types);
+
+  const KeyReader reader(table, keys);
+  // group id per distinct key, in first-seen order.
+  std::unordered_map<std::uint64_t, std::int64_t> group_of;
+  std::vector<std::int64_t> representative_row;
+  std::vector<std::int64_t> group_ids(table.num_rows());
+  for (std::int64_t r = 0; r < table.num_rows(); ++r) {
+    const auto [it, inserted] = group_of.try_emplace(
+        reader.At(r), static_cast<std::int64_t>(representative_row.size()));
+    if (inserted) representative_row.push_back(r);
+    group_ids[r] = it->second;
+  }
+  const auto num_groups = static_cast<std::int64_t>(representative_row.size());
+
+  // Evaluate each aggregate into per-group accumulators.
+  std::vector<std::vector<double>> double_accumulators(aggregates.size());
+  std::vector<std::vector<std::int64_t>> int_accumulators(aggregates.size());
+  for (std::size_t a = 0; a < aggregates.size(); ++a) {
+    const Aggregate& agg = aggregates[a];
+    const bool is_int = agg.op == AggregateOp::kCount ||
+                        table.TypeOf(agg.input) == ColumnType::kInt;
+    if (agg.op == AggregateOp::kCount) {
+      int_accumulators[a].assign(num_groups, 0);
+      for (std::int64_t r = 0; r < table.num_rows(); ++r) {
+        ++int_accumulators[a][group_ids[r]];
+      }
+      continue;
+    }
+    if (is_int) {
+      int_accumulators[a].assign(
+          num_groups, agg.op == AggregateOp::kMin
+                          ? std::numeric_limits<std::int64_t>::max()
+                          : 0);
+      const auto& column = table.IntColumn(agg.input);
+      for (std::int64_t r = 0; r < table.num_rows(); ++r) {
+        auto& acc = int_accumulators[a][group_ids[r]];
+        acc = agg.op == AggregateOp::kMin ? std::min(acc, column[r])
+                                          : acc + column[r];
+      }
+    } else {
+      double_accumulators[a].assign(
+          num_groups, agg.op == AggregateOp::kMin
+                          ? std::numeric_limits<double>::infinity()
+                          : 0.0);
+      const auto& column = table.DoubleColumn(agg.input);
+      for (std::int64_t r = 0; r < table.num_rows(); ++r) {
+        auto& acc = double_accumulators[a][group_ids[r]];
+        acc = agg.op == AggregateOp::kMin ? std::min(acc, column[r])
+                                          : acc + column[r];
+      }
+    }
+  }
+
+  std::vector<Value> row(out_names.size());
+  for (std::int64_t g = 0; g < num_groups; ++g) {
+    std::size_t c = 0;
+    for (const auto& key : keys) {
+      row[c++] = Value::Int(table.IntAt(table.ColumnIndex(key),
+                                        representative_row[g]));
+    }
+    for (std::size_t a = 0; a < aggregates.size(); ++a) {
+      if (out_types[keys.size() + a] == ColumnType::kInt) {
+        row[c++] = Value::Int(int_accumulators[a][g]);
+      } else {
+        row[c++] = Value::Double(double_accumulators[a][g]);
+      }
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Table Filter(const Table& table,
+             const std::function<bool(const Table&, std::int64_t)>& predicate) {
+  Table out(table.column_names(), table.column_types());
+  for (std::int64_t r = 0; r < table.num_rows(); ++r) {
+    if (predicate(table, r)) out.AppendRowFrom(table, r);
+  }
+  return out;
+}
+
+Table Project(const Table& table, const std::vector<std::string>& columns) {
+  std::vector<ColumnType> types;
+  for (const auto& name : columns) types.push_back(table.TypeOf(name));
+  Table out(columns, types);
+  std::vector<std::int64_t> indices;
+  for (const auto& name : columns) indices.push_back(table.ColumnIndex(name));
+  std::vector<Value> row(columns.size());
+  for (std::int64_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < indices.size(); ++c) {
+      row[c] = table.TypeOf(columns[c]) == ColumnType::kInt
+                   ? Value::Int(table.IntAt(indices[c], r))
+                   : Value::Double(table.DoubleAt(indices[c], r));
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Table Rename(const Table& table, const std::vector<std::string>& from,
+             const std::vector<std::string>& to) {
+  LINBP_CHECK(from.size() == to.size());
+  std::vector<std::string> names = table.column_names();
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    names[table.ColumnIndex(from[i])] = to[i];
+  }
+  Table out(names, table.column_types());
+  for (std::int64_t r = 0; r < table.num_rows(); ++r) out.AppendRowFrom(table, r);
+  return out;
+}
+
+void UnionAllInPlace(Table* dest, const Table& source) {
+  LINBP_CHECK(dest->column_names() == source.column_names());
+  for (std::int64_t r = 0; r < source.num_rows(); ++r) {
+    dest->AppendRowFrom(source, r);
+  }
+}
+
+Table WithComputedDoubleColumn(
+    const Table& table, const std::string& name,
+    const std::function<double(const Table&, std::int64_t)>& fn) {
+  std::vector<std::string> names = table.column_names();
+  std::vector<ColumnType> types = table.column_types();
+  names.push_back(name);
+  types.push_back(ColumnType::kDouble);
+  Table out(names, types);
+  std::vector<Value> row(names.size());
+  for (std::int64_t r = 0; r < table.num_rows(); ++r) {
+    for (std::int64_t c = 0; c < table.num_columns(); ++c) {
+      row[c] = table.column_types()[c] == ColumnType::kInt
+                   ? Value::Int(table.IntAt(c, r))
+                   : Value::Double(table.DoubleAt(c, r));
+    }
+    row.back() = Value::Double(fn(table, r));
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Table WithComputedIntColumn(
+    const Table& table, const std::string& name,
+    const std::function<std::int64_t(const Table&, std::int64_t)>& fn) {
+  std::vector<std::string> names = table.column_names();
+  std::vector<ColumnType> types = table.column_types();
+  names.push_back(name);
+  types.push_back(ColumnType::kInt);
+  Table out(names, types);
+  std::vector<Value> row(names.size());
+  for (std::int64_t r = 0; r < table.num_rows(); ++r) {
+    for (std::int64_t c = 0; c < table.num_columns(); ++c) {
+      row[c] = table.column_types()[c] == ColumnType::kInt
+                   ? Value::Int(table.IntAt(c, r))
+                   : Value::Double(table.DoubleAt(c, r));
+    }
+    row.back() = Value::Int(fn(table, r));
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Table DistinctKeys(const Table& table, const std::vector<std::string>& keys) {
+  const Table projected = Project(table, keys);
+  const KeyReader reader(projected, keys);
+  std::unordered_set<std::uint64_t> seen;
+  Table out(projected.column_names(), projected.column_types());
+  for (std::int64_t r = 0; r < projected.num_rows(); ++r) {
+    if (seen.insert(reader.At(r)).second) out.AppendRowFrom(projected, r);
+  }
+  return out;
+}
+
+void Upsert(Table* target, const Table& source,
+            const std::vector<std::string>& keys) {
+  LINBP_CHECK(target->column_names() == source.column_names());
+  // DELETE FROM target WHERE key IN (SELECT key FROM source), then INSERT.
+  Table kept = AntiJoin(*target, source, keys, keys);
+  UnionAllInPlace(&kept, source);
+  *target = std::move(kept);
+}
+
+std::int64_t CountDistinctKeys(const Table& table,
+                               const std::vector<std::string>& keys) {
+  const KeyReader reader(table, keys);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::int64_t r = 0; r < table.num_rows(); ++r) {
+    seen.insert(reader.At(r));
+  }
+  return static_cast<std::int64_t>(seen.size());
+}
+
+}  // namespace linbp

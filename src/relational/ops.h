@@ -1,0 +1,94 @@
+// Relational operators over Table.
+//
+// Enough of a query engine to express Algorithms 1-4 of the paper as
+// operator plans: hash equi-joins on up to two integer key columns,
+// group-by with sum/min/count aggregates, anti-/semi-joins (the paper's
+// "not exists" and "except" clauses), filters, projections, union-all, and
+// keyed upserts (the paper's "!" notation, Fig. 9d).
+
+#ifndef LINBP_RELATIONAL_OPS_H_
+#define LINBP_RELATIONAL_OPS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/relational/table.h"
+
+namespace linbp {
+
+/// Hash equi-join. Keys are int columns (1 or 2 of them). The output schema
+/// is all left columns followed by all non-key right columns; clashing
+/// right column names get the `right_prefix` prepended.
+Table EquiJoin(const Table& left, const Table& right,
+               const std::vector<std::string>& left_keys,
+               const std::vector<std::string>& right_keys,
+               const std::string& right_prefix = "r_");
+
+/// Rows of `left` with at least one key match in `right`.
+Table SemiJoin(const Table& left, const Table& right,
+               const std::vector<std::string>& left_keys,
+               const std::vector<std::string>& right_keys);
+
+/// Rows of `left` with no key match in `right` (NOT EXISTS).
+Table AntiJoin(const Table& left, const Table& right,
+               const std::vector<std::string>& left_keys,
+               const std::vector<std::string>& right_keys);
+
+/// Aggregate function for GroupBy.
+enum class AggregateOp { kSum, kMin, kCount };
+
+/// One aggregate: `input` is a column of the source table (ignored for
+/// kCount), `output` the name of the result column.
+struct Aggregate {
+  AggregateOp op;
+  std::string input;
+  std::string output;
+};
+
+/// Groups by int key columns and evaluates aggregates. kSum/kMin keep the
+/// input column's type; kCount yields an int column.
+Table GroupBy(const Table& table, const std::vector<std::string>& keys,
+              const std::vector<Aggregate>& aggregates);
+
+/// Keeps rows for which `predicate(table, row)` returns true.
+Table Filter(const Table& table,
+             const std::function<bool(const Table&, std::int64_t)>& predicate);
+
+/// Keeps only `columns`, in the given order.
+Table Project(const Table& table, const std::vector<std::string>& columns);
+
+/// Renames columns (parallel old/new vectors).
+Table Rename(const Table& table, const std::vector<std::string>& from,
+             const std::vector<std::string>& to);
+
+/// Appends all rows of `source` (identical schema) to `dest`.
+void UnionAllInPlace(Table* dest, const Table& source);
+
+/// Appends a double column computed row-by-row from existing columns.
+Table WithComputedDoubleColumn(
+    const Table& table, const std::string& name,
+    const std::function<double(const Table&, std::int64_t)>& fn);
+
+/// Appends an int column computed row-by-row from existing columns.
+Table WithComputedIntColumn(
+    const Table& table, const std::string& name,
+    const std::function<std::int64_t(const Table&, std::int64_t)>& fn);
+
+/// Deduplicates rows on the given int key columns (keeps first occurrence),
+/// projecting to exactly those columns.
+Table DistinctKeys(const Table& table, const std::vector<std::string>& keys);
+
+/// The paper's "!" upsert (Fig. 9d): deletes every row of `target` whose
+/// key appears in `source`, then inserts all rows of `source`. Schemas must
+/// match; keys are int columns.
+void Upsert(Table* target, const Table& source,
+            const std::vector<std::string>& keys);
+
+/// Number of distinct key combinations in the table.
+std::int64_t CountDistinctKeys(const Table& table,
+                               const std::vector<std::string>& keys);
+
+}  // namespace linbp
+
+#endif  // LINBP_RELATIONAL_OPS_H_

@@ -1,0 +1,124 @@
+#include "src/relational/sql_text.h"
+
+namespace linbp {
+
+std::string SchemaSql() {
+  return R"sql(CREATE TABLE A  (s  BIGINT, t  BIGINT, w DOUBLE PRECISION);
+CREATE TABLE E  (v  BIGINT, c  BIGINT, b DOUBLE PRECISION);
+CREATE TABLE H  (c1 BIGINT, c2 BIGINT, h DOUBLE PRECISION);
+CREATE TABLE D  (v  BIGINT, d  DOUBLE PRECISION);
+CREATE TABLE H2 (c1 BIGINT, c2 BIGINT, h DOUBLE PRECISION);
+CREATE TABLE B  (v  BIGINT, c  BIGINT, b DOUBLE PRECISION);
+CREATE TABLE G  (v  BIGINT, g  BIGINT);
+)sql";
+}
+
+std::string CouplingSquaredSql() {
+  // Eq. 20 / Fig. 9a.
+  return R"sql(INSERT INTO H2
+SELECT H1.c1, H2.c2, SUM(H1.h * H2.h) AS h
+FROM H AS H1, H AS H2
+WHERE H1.c2 = H2.c1
+GROUP BY H1.c1, H2.c2;
+)sql";
+}
+
+std::string DegreeSql() {
+  return R"sql(INSERT INTO D
+SELECT A.s AS v, SUM(A.w * A.w) AS d
+FROM A
+GROUP BY A.s;
+)sql";
+}
+
+std::string LinBpIterationSql(bool with_echo) {
+  // Algorithm 1, lines 3-4 (footnote 15: UNION ALL + GROUP BY).
+  std::string sql = R"sql(CREATE TEMP TABLE V1 AS
+SELECT A.t AS v, H.c2 AS c, SUM(A.w * B.b * H.h) AS b
+FROM A, B, H
+WHERE A.s = B.v AND B.c = H.c1
+GROUP BY A.t, H.c2;
+)sql";
+  if (with_echo) {
+    sql += R"sql(
+CREATE TEMP TABLE V2 AS
+SELECT D.v, H2.c2 AS c, SUM(D.d * B.b * H2.h) AS b
+FROM D, B, H2
+WHERE D.v = B.v AND B.c = H2.c1
+GROUP BY D.v, H2.c2;
+)sql";
+  }
+  sql += R"sql(
+DELETE FROM B;
+INSERT INTO B
+SELECT u.v, u.c, SUM(u.b) AS b
+FROM (
+  SELECT v, c, b FROM E
+  UNION ALL
+  SELECT v, c, b FROM V1
+)sql";
+  if (with_echo) {
+    sql += R"sql(  UNION ALL
+  SELECT v, c, -b FROM V2
+)sql";
+  }
+  sql += R"sql() AS u
+GROUP BY u.v, u.c;
+
+DROP TABLE V1;
+)sql";
+  if (with_echo) sql += "DROP TABLE V2;\n";
+  return sql;
+}
+
+std::string TopBeliefSql() {
+  // Fig. 9b.
+  return R"sql(SELECT B.v, B.c
+FROM B,
+     (SELECT B2.v, MAX(B2.b) AS b
+      FROM B AS B2
+      GROUP BY B2.v) AS X
+WHERE B.v = X.v AND B.b = X.b;
+)sql";
+}
+
+std::string SbpInitializationSql() {
+  // Algorithm 2, line 1.
+  return R"sql(INSERT INTO G
+SELECT DISTINCT E.v, 0 AS g FROM E;
+
+INSERT INTO B
+SELECT v, c, b FROM E;
+)sql";
+}
+
+std::string SbpLevelSql() {
+  // Algorithm 2, lines 4-5 for level :i (Fig. 9c shows i = 1). The host
+  // driver binds :i and loops until no rows are inserted into G.
+  return R"sql(INSERT INTO G
+SELECT DISTINCT A.t AS v, :i AS g
+FROM G, A
+WHERE G.v = A.s AND G.g = :i - 1
+  AND A.t NOT IN (SELECT G2.v FROM G AS G2);
+
+INSERT INTO B
+SELECT Gt.v, H.c2 AS c, SUM(A.w * B.b * H.h) AS b
+FROM G AS Gt, A, B, G AS Gs, H
+WHERE Gt.g = :i
+  AND A.t = Gt.v AND A.s = Gs.v AND Gs.g = :i - 1
+  AND B.v = A.s AND B.c = H.c1
+GROUP BY Gt.v, H.c2;
+)sql";
+}
+
+std::string UpsertBeliefsSql() {
+  // Fig. 9d: the "!B(v,c,b) :- Bn(v,c,b)" upsert.
+  return R"sql(DELETE FROM B
+WHERE v IN (SELECT Bn.v FROM Bn);
+
+INSERT INTO B
+SELECT * FROM Bn;
+)sql";
+}
+
+}  // namespace linbp

@@ -1,0 +1,45 @@
+// Rendering the paper's algorithms as actual SQL text (Fig. 9 / Sect. 5.3).
+//
+// The authors published their LinBP/SBP implementations as PostgreSQL
+// scripts; this module regenerates equivalent SQL from the same schemas so
+// the operator plans in linbp_sql.cc / sbp_sql.cc can be audited against a
+// real DBMS. The emitted statements use only standard joins, aggregates,
+// UNION ALL, and NOT EXISTS (plus a driver loop the host has to provide,
+// exactly as in the paper).
+
+#ifndef LINBP_RELATIONAL_SQL_TEXT_H_
+#define LINBP_RELATIONAL_SQL_TEXT_H_
+
+#include <string>
+
+namespace linbp {
+
+/// CREATE TABLE statements for the paper's schema: A(s,t,w), E(v,c,b),
+/// H(c1,c2,h), plus derived D(v,d) and H2(c1,c2,h) and result B(v,c,b).
+std::string SchemaSql();
+
+/// Eq. 20 / Fig. 9a: materializing H2 = Hhat^2.
+std::string CouplingSquaredSql();
+
+/// The degree table D(s, sum(w*w)) of Sect. 5.3.
+std::string DegreeSql();
+
+/// One LinBP iteration (Algorithm 1, lines 3-4): V1 = A B H, V2 = D B H2,
+/// recombined with E via UNION ALL + GROUP BY (footnote 15). With
+/// `with_echo` false the V2 branch is omitted (LinBP*).
+std::string LinBpIterationSql(bool with_echo = true);
+
+/// Fig. 9b: the top-belief query over B.
+std::string TopBeliefSql();
+
+/// Algorithm 2 as SQL: the initialization plus the per-level loop body
+/// (Fig. 9c shows the geodesic-frontier insert for i = 1).
+std::string SbpInitializationSql();
+std::string SbpLevelSql();
+
+/// Fig. 9d: the upsert ("!B") pattern used by the incremental algorithms.
+std::string UpsertBeliefsSql();
+
+}  // namespace linbp
+
+#endif  // LINBP_RELATIONAL_SQL_TEXT_H_

@@ -1,0 +1,135 @@
+#include "src/relational/table.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+Table::Table(std::vector<std::string> names, std::vector<ColumnType> types)
+    : names_(std::move(names)), types_(std::move(types)) {
+  LINBP_CHECK(names_.size() == types_.size());
+  std::unordered_set<std::string> seen;
+  for (const auto& name : names_) {
+    LINBP_CHECK_MSG(seen.insert(name).second, "duplicate column name");
+  }
+  columns_.resize(names_.size());
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    columns_[c].type = types_[c];
+  }
+}
+
+std::int64_t Table::ColumnIndex(const std::string& name) const {
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    if (names_[c] == name) return static_cast<std::int64_t>(c);
+  }
+  LINBP_CHECK_MSG(false, name.c_str());
+  return -1;
+}
+
+bool Table::HasColumn(const std::string& name) const {
+  for (const auto& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const std::vector<std::int64_t>& Table::IntColumn(std::int64_t index) const {
+  LINBP_CHECK(types_[index] == ColumnType::kInt);
+  return columns_[index].ints;
+}
+
+const std::vector<double>& Table::DoubleColumn(std::int64_t index) const {
+  LINBP_CHECK(types_[index] == ColumnType::kDouble);
+  return columns_[index].doubles;
+}
+
+void Table::AppendRow(const std::vector<Value>& values) {
+  LINBP_CHECK(values.size() == names_.size());
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    LINBP_CHECK(values[c].type == types_[c]);
+    if (types_[c] == ColumnType::kInt) {
+      columns_[c].ints.push_back(values[c].int_value);
+    } else {
+      columns_[c].doubles.push_back(values[c].double_value);
+    }
+  }
+  ++num_rows_;
+}
+
+void Table::AppendRowFrom(const Table& source, std::int64_t row) {
+  LINBP_CHECK(source.num_columns() == num_columns());
+  LINBP_CHECK(row >= 0 && row < source.num_rows());
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    LINBP_CHECK(source.types_[c] == types_[c]);
+    if (types_[c] == ColumnType::kInt) {
+      columns_[c].ints.push_back(source.columns_[c].ints[row]);
+    } else {
+      columns_[c].doubles.push_back(source.columns_[c].doubles[row]);
+    }
+  }
+  ++num_rows_;
+}
+
+void Table::Clear() {
+  for (auto& column : columns_) {
+    column.ints.clear();
+    column.doubles.clear();
+  }
+  num_rows_ = 0;
+}
+
+void Table::Reserve(std::int64_t rows) {
+  for (auto& column : columns_) {
+    if (column.type == ColumnType::kInt) {
+      column.ints.reserve(rows);
+    } else {
+      column.doubles.reserve(rows);
+    }
+  }
+}
+
+std::int64_t Table::IntAt(std::int64_t column, std::int64_t row) const {
+  LINBP_CHECK(types_[column] == ColumnType::kInt);
+  return columns_[column].ints[row];
+}
+
+double Table::DoubleAt(std::int64_t column, std::int64_t row) const {
+  LINBP_CHECK(types_[column] == ColumnType::kDouble);
+  return columns_[column].doubles[row];
+}
+
+std::string Table::ToString(std::int64_t max_rows) const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    out << (c == 0 ? "" : " | ") << names_[c];
+  }
+  out << "  (" << num_rows_ << " rows)\n";
+  const std::int64_t limit = std::min(num_rows_, max_rows);
+  for (std::int64_t r = 0; r < limit; ++r) {
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      out << (c == 0 ? "" : " | ");
+      if (types_[c] == ColumnType::kInt) {
+        out << columns_[c].ints[r];
+      } else {
+        out << columns_[c].doubles[r];
+      }
+    }
+    out << '\n';
+  }
+  if (limit < num_rows_) out << "...\n";
+  return out.str();
+}
+
+std::vector<std::int64_t>* Table::MutableIntColumn(std::int64_t index) {
+  LINBP_CHECK(types_[index] == ColumnType::kInt);
+  return &columns_[index].ints;
+}
+
+std::vector<double>* Table::MutableDoubleColumn(std::int64_t index) {
+  LINBP_CHECK(types_[index] == ColumnType::kDouble);
+  return &columns_[index].doubles;
+}
+
+}  // namespace linbp

@@ -1,0 +1,105 @@
+// A tiny in-memory column-store table.
+//
+// Sections 5.3 and 6.3 of the paper implement LinBP and SBP in standard SQL
+// (joins + aggregates + iteration) on PostgreSQL. This module provides the
+// minimal relational substrate needed to express those algorithms as
+// operator plans: named columns of int64 or double, plus the operators in
+// src/relational/ops.h. Missing rows mean "residual zero", the same sparse
+// encoding the paper's SQL schema uses.
+
+#ifndef LINBP_RELATIONAL_TABLE_H_
+#define LINBP_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace linbp {
+
+/// Column type tag.
+enum class ColumnType { kInt, kDouble };
+
+/// One table cell used by row-wise construction helpers.
+struct Value {
+  ColumnType type;
+  std::int64_t int_value;
+  double double_value;
+
+  static Value Int(std::int64_t v) { return {ColumnType::kInt, v, 0.0}; }
+  static Value Double(double v) { return {ColumnType::kDouble, 0, v}; }
+};
+
+/// Column-oriented table with a fixed schema.
+class Table {
+ public:
+  /// Creates an empty table; `names` and `types` must have equal size and
+  /// names must be unique.
+  Table(std::vector<std::string> names, std::vector<ColumnType> types);
+
+  std::int64_t num_rows() const { return num_rows_; }
+  std::int64_t num_columns() const {
+    return static_cast<std::int64_t>(names_.size());
+  }
+  const std::vector<std::string>& column_names() const { return names_; }
+  const std::vector<ColumnType>& column_types() const { return types_; }
+
+  /// Index of a column by name; aborts if absent.
+  std::int64_t ColumnIndex(const std::string& name) const;
+
+  /// True if the table has a column with that name.
+  bool HasColumn(const std::string& name) const;
+
+  ColumnType TypeOf(const std::string& name) const {
+    return types_[ColumnIndex(name)];
+  }
+
+  /// Raw column access (by index or name). Type must match.
+  const std::vector<std::int64_t>& IntColumn(std::int64_t index) const;
+  const std::vector<double>& DoubleColumn(std::int64_t index) const;
+  const std::vector<std::int64_t>& IntColumn(const std::string& name) const {
+    return IntColumn(ColumnIndex(name));
+  }
+  const std::vector<double>& DoubleColumn(const std::string& name) const {
+    return DoubleColumn(ColumnIndex(name));
+  }
+
+  /// Appends one row; values must match the schema.
+  void AppendRow(const std::vector<Value>& values);
+
+  /// Appends row `row` of `source`, whose schema must match exactly.
+  void AppendRowFrom(const Table& source, std::int64_t row);
+
+  /// Removes all rows.
+  void Clear();
+
+  /// Pre-allocates capacity.
+  void Reserve(std::int64_t rows);
+
+  /// Cell accessors.
+  std::int64_t IntAt(std::int64_t column, std::int64_t row) const;
+  double DoubleAt(std::int64_t column, std::int64_t row) const;
+
+  /// Renders the table for debugging / test failure messages.
+  std::string ToString(std::int64_t max_rows = 50) const;
+
+  /// Direct mutable column access for operators (same-type columns only).
+  std::vector<std::int64_t>* MutableIntColumn(std::int64_t index);
+  std::vector<double>* MutableDoubleColumn(std::int64_t index);
+  void set_num_rows(std::int64_t rows) { num_rows_ = rows; }
+
+ private:
+  struct Column {
+    ColumnType type;
+    std::vector<std::int64_t> ints;
+    std::vector<double> doubles;
+  };
+
+  std::vector<std::string> names_;
+  std::vector<ColumnType> types_;
+  std::vector<Column> columns_;
+  std::int64_t num_rows_ = 0;
+};
+
+}  // namespace linbp
+
+#endif  // LINBP_RELATIONAL_TABLE_H_

@@ -1,0 +1,32 @@
+// Lightweight precondition / invariant macros.
+//
+// LINBP_CHECK aborts with a diagnostic when a documented precondition of a
+// public API is violated or an internal invariant breaks. The library does
+// not throw exceptions; misuse is a programming error, not a recoverable
+// condition.
+
+#ifndef LINBP_UTIL_CHECK_H_
+#define LINBP_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define LINBP_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LINBP_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define LINBP_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LINBP_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // LINBP_UTIL_CHECK_H_

@@ -1,0 +1,80 @@
+#include "src/util/random.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/check.h"
+
+namespace linbp {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* x) {
+  std::uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  LINBP_CHECK(bound > 0);
+  // Rejection sampling on the top of the range to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  while (true) {
+    const std::uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  LINBP_CHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+}  // namespace linbp

@@ -1,0 +1,74 @@
+#include "src/util/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace linbp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  LINBP_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      // Right-align every cell; simple and uniform.
+      out << std::string(widths[c] - row[c].size(), ' ') << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) sep += "  ";
+    sep += std::string(widths[c], '-');
+  }
+  out << sep << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string TablePrinter::Int(long long value) {
+  const bool negative = value < 0;
+  unsigned long long magnitude =
+      negative ? -static_cast<unsigned long long>(value) : value;
+  std::string digits = std::to_string(magnitude);
+  std::string grouped;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) grouped += ' ';
+    grouped += *it;
+    ++count;
+  }
+  if (negative) grouped += '-';
+  return {grouped.rbegin(), grouped.rend()};
+}
+
+}  // namespace linbp

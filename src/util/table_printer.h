@@ -1,0 +1,42 @@
+// Aligned plain-text tables for the benchmark harnesses.
+//
+// Every experiment binary prints the same rows/series the paper reports;
+// this helper keeps the output readable and diffable.
+
+#ifndef LINBP_UTIL_TABLE_PRINTER_H_
+#define LINBP_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace linbp {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+  /// Formats a double with `digits` significant digits.
+  static std::string Num(double value, int digits = 4);
+
+  /// Formats an integer with thousands separators ("1 048 576").
+  static std::string Int(long long value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace linbp
+
+#endif  // LINBP_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing for the benchmark harnesses.
+
+#ifndef LINBP_UTIL_TIMER_H_
+#define LINBP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace linbp {
+
+/// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace linbp
+
+#endif  // LINBP_UTIL_TIMER_H_

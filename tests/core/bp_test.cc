@@ -1,0 +1,214 @@
+#include "src/core/bp.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/core/coupling.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+
+// Priors with every row uniform except the listed (node, class, strength)
+// overrides (residual form converted to probabilities).
+DenseMatrix PriorsWithSeeds(
+    std::int64_t n, std::int64_t k,
+    const std::vector<std::tuple<std::int64_t, std::int64_t, double>>& seeds) {
+  DenseMatrix residual(n, k);
+  for (const auto& [node, cls, strength] : seeds) {
+    const auto row = ExplicitResidualForClass(k, cls, strength);
+    for (std::int64_t c = 0; c < k; ++c) residual.At(node, c) = row[c];
+  }
+  return ResidualToProbability(residual);
+}
+
+TEST(ExactMarginalsTest, UniformEverythingIsUniform) {
+  const Graph g = PathGraph(3);
+  const DenseMatrix h = HomophilyCoupling2().ScaledStochastic(0.0);
+  const DenseMatrix priors = PriorsWithSeeds(3, 2, {});
+  const DenseMatrix marginals = ExactMarginals(g, h, priors);
+  ExpectMatrixNear(marginals, priors, 1e-12);
+}
+
+TEST(ExactMarginalsTest, SingleNodeIsItsPrior) {
+  const Graph g(1, {});
+  const DenseMatrix priors{{0.7, 0.3}};
+  const DenseMatrix h = HomophilyCoupling2().ScaledStochastic(0.3);
+  ExpectMatrixNear(ExactMarginals(g, h, priors), priors, 1e-12);
+}
+
+TEST(ExactMarginalsTest, HomophilyPullsNeighborTowardSeed) {
+  const Graph g = PathGraph(2);
+  const DenseMatrix h{{0.8, 0.2}, {0.2, 0.8}};
+  const DenseMatrix priors = PriorsWithSeeds(2, 2, {{0, 0, 0.5}});
+  const DenseMatrix marginals = ExactMarginals(g, h, priors);
+  EXPECT_GT(marginals.At(1, 0), 0.5);
+}
+
+TEST(BpTest, UniformInputsStayUniform) {
+  const Graph g = CycleGraph(6);
+  const DenseMatrix h = AuctionCoupling().ScaledStochastic(0.1);
+  const DenseMatrix priors = PriorsWithSeeds(6, 3, {});
+  const BpResult result = RunBp(g, h, priors);
+  EXPECT_TRUE(result.converged);
+  ExpectMatrixNear(result.beliefs, priors, 1e-9);
+}
+
+TEST(BpTest, HomophilyPropagatesLabelsAlongPath) {
+  const Graph g = PathGraph(5);
+  const DenseMatrix h{{0.8, 0.2}, {0.2, 0.8}};
+  const DenseMatrix priors = PriorsWithSeeds(5, 2, {{0, 0, 0.6}});
+  const BpResult result = RunBp(g, h, priors);
+  ASSERT_TRUE(result.converged);
+  for (std::int64_t v = 0; v < 5; ++v) {
+    EXPECT_GT(result.beliefs.At(v, 0), 0.5) << v;
+  }
+  // Influence decays with distance.
+  EXPECT_GT(result.beliefs.At(1, 0), result.beliefs.At(2, 0));
+  EXPECT_GT(result.beliefs.At(2, 0), result.beliefs.At(3, 0));
+}
+
+TEST(BpTest, HeterophilyAlternatesLabelsAlongPath) {
+  // "Opposites attract": neighbors of a T node should lean S.
+  const Graph g = PathGraph(4);
+  const DenseMatrix h{{0.3, 0.7}, {0.7, 0.3}};
+  const DenseMatrix priors = PriorsWithSeeds(4, 2, {{0, 0, 0.6}});
+  const BpResult result = RunBp(g, h, priors);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LT(result.beliefs.At(1, 0), 0.5);
+  EXPECT_GT(result.beliefs.At(2, 0), 0.5);
+  EXPECT_LT(result.beliefs.At(3, 0), 0.5);
+}
+
+TEST(BpTest, BeliefsAreNormalized) {
+  const Graph g = TorusExampleGraph();
+  const DenseMatrix h = AuctionCoupling().ScaledStochastic(0.2);
+  const DenseMatrix priors =
+      PriorsWithSeeds(8, 3, {{0, 0, 0.3}, {1, 1, 0.3}, {2, 2, 0.3}});
+  const BpResult result = RunBp(g, h, priors);
+  for (std::int64_t v = 0; v < 8; ++v) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < 3; ++c) {
+      sum += result.beliefs.At(v, c);
+      EXPECT_GE(result.beliefs.At(v, c), 0.0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(BpTest, IterationCapReported) {
+  const Graph g = CycleGraph(8);
+  const DenseMatrix h = HomophilyCoupling2().ScaledStochastic(0.9);
+  const DenseMatrix priors = PriorsWithSeeds(8, 2, {{0, 0, 0.5}});
+  BpOptions options;
+  options.max_iterations = 3;
+  options.tolerance = 0.0;
+  const BpResult result = RunBp(g, h, priors, options);
+  EXPECT_EQ(result.iterations, 3);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(BpTest, ContradictoryHardEvidenceBreaksDown) {
+  // Two adjacent nodes both *certainly* accomplices is impossible under the
+  // auction model (H(A, A) = 0): the message products collapse to zero and
+  // BP must report the breakdown instead of fabricating beliefs.
+  const Graph g = PathGraph(3);
+  const DenseMatrix h{{0.6, 0.3, 0.1}, {0.3, 0.0, 0.7}, {0.1, 0.7, 0.2}};
+  DenseMatrix priors(3, 3);
+  for (int v = 0; v < 3; ++v) priors.At(v, 1) = 1.0;  // one-hot accomplice
+  const BpResult result = RunBp(g, h, priors);
+  EXPECT_TRUE(result.diverged);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(BpTest, KeepMessagesReturnsNormalizedMessages) {
+  const Graph g = PathGraph(4);
+  const DenseMatrix h = HomophilyCoupling2().ScaledStochastic(0.3);
+  const DenseMatrix priors = PriorsWithSeeds(4, 2, {{0, 0, 0.4}});
+  BpOptions options;
+  options.keep_messages = true;
+  options.tolerance = 1e-13;
+  options.max_iterations = 500;
+  const BpResult result = RunBp(g, h, priors, options);
+  ASSERT_TRUE(result.converged);
+  ASSERT_EQ(result.messages.size(),
+            static_cast<std::size_t>(g.num_directed_edges() * 2));
+  // Every message sums to k (Eq. 3's normalization).
+  for (std::int64_t e = 0; e < g.num_directed_edges(); ++e) {
+    EXPECT_NEAR(result.messages[e * 2] + result.messages[e * 2 + 1], 2.0,
+                1e-12);
+  }
+}
+
+TEST(BpDeathTest, RejectsNegativeCoupling) {
+  const Graph g = PathGraph(2);
+  EXPECT_DEATH(
+      RunBp(g, DenseMatrix{{1.2, -0.2}, {-0.2, 1.2}},
+            PriorsWithSeeds(2, 2, {})),
+      "H must be >= 0");
+}
+
+// BP is exact on trees: beliefs equal the brute-force marginals of the
+// pairwise MRF (the foundational property the paper builds on).
+struct TreeCase {
+  const char* name;
+  int graph_kind;  // 0 = path, 1 = star (binary tree), 2 = binary tree 7
+  int k;
+  std::uint64_t seed;
+};
+
+class BpTreeExactTest : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(BpTreeExactTest, MatchesExactMarginalsOnTrees) {
+  const TreeCase& param = GetParam();
+  Graph g = param.graph_kind == 0   ? PathGraph(6)
+            : param.graph_kind == 1 ? BinaryTreeGraph(5)
+                                    : BinaryTreeGraph(7);
+  // Random valid stochastic coupling and priors.
+  const DenseMatrix hhat =
+      testing::RandomResidualCoupling(param.k, 0.08, param.seed);
+  const CouplingMatrix coupling = CouplingMatrix::FromResidual(hhat);
+  const DenseMatrix h = coupling.ScaledStochastic(1.0);
+  Rng rng(param.seed + 1);
+  DenseMatrix residual(g.num_nodes(), param.k);
+  for (std::int64_t v = 0; v < g.num_nodes(); ++v) {
+    if (!rng.NextBernoulli(0.5)) continue;
+    double sum = 0.0;
+    for (std::int64_t c = 0; c + 1 < param.k; ++c) {
+      residual.At(v, c) = 0.15 * (2.0 * rng.NextDouble() - 1.0);
+      sum += residual.At(v, c);
+    }
+    residual.At(v, param.k - 1) = -sum;
+  }
+  const DenseMatrix priors = ResidualToProbability(residual);
+
+  BpOptions options;
+  options.max_iterations = 200;
+  options.tolerance = 1e-13;
+  const BpResult bp = RunBp(g, h, priors, options);
+  ASSERT_TRUE(bp.converged);
+  const DenseMatrix exact = ExactMarginals(g, h, priors);
+  ExpectMatrixNear(bp.beliefs, exact, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BpTreeExactTest,
+    ::testing::Values(TreeCase{"path_k2_a", 0, 2, 1},
+                      TreeCase{"path_k2_b", 0, 2, 2},
+                      TreeCase{"path_k3", 0, 3, 3},
+                      TreeCase{"star_k2", 1, 2, 4},
+                      TreeCase{"star_k3", 1, 3, 5},
+                      TreeCase{"star_k4", 1, 4, 6},
+                      TreeCase{"tree7_k2", 2, 2, 7},
+                      TreeCase{"tree7_k3", 2, 3, 8},
+                      TreeCase{"tree7_k4", 2, 4, 9}),
+    [](const ::testing::TestParamInfo<TreeCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace linbp

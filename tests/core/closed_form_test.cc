@@ -1,0 +1,111 @@
+#include "src/core/closed_form.h"
+
+#include "gtest/gtest.h"
+#include "src/core/coupling.h"
+#include "src/la/kron_ops.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+
+TEST(ClosedFormTest, TwoNodeStarVariantHandValue) {
+  // LinBP* on a single edge with Hhat = [[h, -h], [-h, h]] reduces to the
+  // scalar system b1 = e1 + 2h b2, b2 = e2 + 2h b1, so
+  // b1 = (e1 + 2h e2) / (1 - 4h^2).
+  const double h = 0.1;
+  const Graph g(2, {{0, 1, 1.0}});
+  const DenseMatrix hhat{{h, -h}, {-h, h}};
+  DenseMatrix e(2, 2);
+  e.At(0, 0) = 0.05;
+  e.At(0, 1) = -0.05;
+  e.At(1, 0) = -0.02;
+  e.At(1, 1) = 0.02;
+  const DenseMatrix b =
+      ClosedFormLinBpDense(g, hhat, e, LinBpVariant::kLinBpStar);
+  const double denom = 1.0 - 4.0 * h * h;
+  EXPECT_NEAR(b.At(0, 0), (0.05 + 2 * h * -0.02) / denom, 1e-12);
+  EXPECT_NEAR(b.At(1, 0), (-0.02 + 2 * h * 0.05) / denom, 1e-12);
+  EXPECT_NEAR(b.At(0, 1), -b.At(0, 0), 1e-12);
+}
+
+TEST(ClosedFormTest, SolutionSatisfiesFixedPointEquation) {
+  // B = E + A B Hhat - D B Hhat^2 must hold exactly (Eq. 4).
+  const Graph g = TorusExampleGraph();
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.1);
+  const SeededBeliefs seeded = SeedPaperBeliefs(8, 3, 3, /*seed=*/11);
+  const DenseMatrix b = ClosedFormLinBpDense(g, hhat, seeded.residuals);
+  const DenseMatrix rhs = seeded.residuals.Add(
+      LinBpPropagate(g.adjacency(), g.weighted_degrees(), hhat,
+                     hhat.Multiply(hhat), b, /*with_echo=*/true));
+  ExpectMatrixNear(b, rhs, 1e-11);
+}
+
+struct VariantCase {
+  const char* name;
+  LinBpVariant variant;
+};
+
+class ClosedFormVariantTest
+    : public ::testing::TestWithParam<std::tuple<VariantCase, int>> {};
+
+TEST_P(ClosedFormVariantTest, DenseMatchesIterativeUpdates) {
+  const auto& [variant_case, seed] = GetParam();
+  const Graph g = RandomConnectedGraph(9, 6, seed);
+  const DenseMatrix hhat =
+      testing::RandomResidualCoupling(3, 0.05, seed + 10);
+  const SeededBeliefs seeded = SeedPaperBeliefs(9, 3, 3, seed + 20);
+
+  const DenseMatrix dense =
+      ClosedFormLinBpDense(g, hhat, seeded.residuals, variant_case.variant);
+
+  LinBpOptions options;
+  options.variant = variant_case.variant;
+  options.max_iterations = 400;
+  options.tolerance = 1e-14;
+  const LinBpResult iterative = RunLinBp(g, hhat, seeded.residuals, options);
+  ASSERT_TRUE(iterative.converged);
+  ExpectMatrixNear(iterative.beliefs, dense, 1e-10);
+}
+
+TEST_P(ClosedFormVariantTest, DenseMatchesJacobiOperatorSolve) {
+  const auto& [variant_case, seed] = GetParam();
+  const Graph g = RandomWeightedConnectedGraph(8, 5, 0.5, 1.5, seed + 30);
+  const DenseMatrix hhat =
+      testing::RandomResidualCoupling(2, 0.08, seed + 40);
+  const SeededBeliefs seeded = SeedPaperBeliefs(8, 2, 3, seed + 50);
+
+  const DenseMatrix dense =
+      ClosedFormLinBpDense(g, hhat, seeded.residuals, variant_case.variant);
+  const ClosedFormIterativeResult jacobi = ClosedFormLinBpIterative(
+      g, hhat, seeded.residuals, variant_case.variant, 500, 1e-14);
+  ASSERT_TRUE(jacobi.converged);
+  ExpectMatrixNear(jacobi.beliefs, dense, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, ClosedFormVariantTest,
+    ::testing::Combine(
+        ::testing::Values(VariantCase{"LinBp", LinBpVariant::kLinBp},
+                          VariantCase{"LinBpStar", LinBpVariant::kLinBpStar},
+                          VariantCase{"LinBpExact",
+                                      LinBpVariant::kLinBpExact}),
+        ::testing::Range(0, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<VariantCase, int>>& info) {
+      return std::string(std::get<0>(info.param).name) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ClosedFormDeathTest, RejectsOversizedDenseSystem) {
+  const Graph g = KroneckerPowerGraph(5);  // 243 nodes * 3 classes = 729 > 100
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.01);
+  EXPECT_DEATH(ClosedFormLinBpDense(g, hhat, DenseMatrix(243, 3),
+                                    LinBpVariant::kLinBp, /*max_dim=*/100),
+               "too large");
+}
+
+}  // namespace
+}  // namespace linbp

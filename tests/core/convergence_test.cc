@@ -1,0 +1,129 @@
+#include "src/core/convergence.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "gtest/gtest.h"
+#include "src/core/coupling.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+TEST(ConvergenceTest, AdjacencySpectralRadiusOfCycle) {
+  EXPECT_NEAR(AdjacencySpectralRadius(CycleGraph(8)), 2.0, 1e-7);
+}
+
+TEST(ConvergenceTest, AdjacencySpectralRadiusOfPath2) {
+  EXPECT_NEAR(AdjacencySpectralRadius(PathGraph(2)), 1.0, 1e-7);
+}
+
+TEST(ConvergenceTest, WeightedAdjacencyRadiusScales) {
+  const Graph unit(2, {{0, 1, 1.0}});
+  const Graph heavy(2, {{0, 1, 3.0}});
+  EXPECT_NEAR(AdjacencySpectralRadius(heavy),
+              3.0 * AdjacencySpectralRadius(unit), 1e-6);
+}
+
+// Example 20's full set of convergence constants on the torus graph.
+TEST(ConvergenceTest, Example20Constants) {
+  const Graph g = TorusExampleGraph();
+  const CouplingMatrix coupling = AuctionCoupling();
+  const ConvergenceReport report = AnalyzeConvergence(g, coupling);
+  EXPECT_NEAR(report.adjacency_spectral_radius, 1.0 + std::numbers::sqrt2,
+              1e-6);                                              // ~2.414
+  EXPECT_NEAR(report.coupling_spectral_radius, 0.6292, 1e-3);     // ~0.629
+  EXPECT_NEAR(report.exact_epsilon_linbp, 0.4877, 2e-3);          // ~0.488
+  EXPECT_NEAR(report.exact_epsilon_linbp_star, 0.6583, 2e-3);     // ~0.658
+  EXPECT_NEAR(report.sufficient_epsilon_linbp, 0.3598, 2e-3);     // ~0.360
+  EXPECT_NEAR(report.sufficient_epsilon_linbp_star, 0.4545, 2e-3);// ~0.455
+}
+
+TEST(ConvergenceTest, LinBpStarThresholdIsClosedForm) {
+  const Graph g = RandomConnectedGraph(20, 15, /*seed=*/1);
+  const CouplingMatrix coupling = AuctionCoupling();
+  const double threshold =
+      ExactEpsilonThreshold(g, coupling, LinBpVariant::kLinBpStar);
+  const double expected =
+      1.0 / (CouplingSpectralRadius(coupling.residual()) *
+             AdjacencySpectralRadius(g));
+  EXPECT_NEAR(threshold, expected, 1e-9);
+}
+
+TEST(ConvergenceTest, LinBpConvergesPredicate) {
+  const Graph g = TorusExampleGraph();
+  const CouplingMatrix coupling = AuctionCoupling();
+  EXPECT_TRUE(
+      LinBpConverges(g, coupling.ScaledResidual(0.4), LinBpVariant::kLinBp));
+  EXPECT_FALSE(
+      LinBpConverges(g, coupling.ScaledResidual(0.6), LinBpVariant::kLinBp));
+  EXPECT_TRUE(LinBpConverges(g, coupling.ScaledResidual(0.6),
+                             LinBpVariant::kLinBpStar));
+  EXPECT_FALSE(LinBpConverges(g, coupling.ScaledResidual(0.7),
+                              LinBpVariant::kLinBpStar));
+}
+
+// Lemma 8 is exact: the iterative updates converge strictly below the
+// threshold and diverge strictly above it.
+class ExactThresholdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactThresholdTest, ThresholdSeparatesConvergenceFromDivergence) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = RandomConnectedGraph(12, 10, seed);
+  const DenseMatrix residual = testing::RandomResidualCoupling(3, 1.0, seed);
+  const CouplingMatrix coupling = CouplingMatrix::FromResidual(residual);
+  const SeededBeliefs seeded = SeedPaperBeliefs(12, 3, 4, seed + 5);
+
+  for (const LinBpVariant variant :
+       {LinBpVariant::kLinBp, LinBpVariant::kLinBpStar}) {
+    const double threshold = ExactEpsilonThreshold(g, coupling, variant);
+    LinBpOptions options;
+    options.variant = variant;
+    options.max_iterations = 3000;
+    options.tolerance = 1e-11;
+    const LinBpResult below =
+        RunLinBp(g, coupling.ScaledResidual(0.9 * threshold),
+                 seeded.residuals, options);
+    EXPECT_FALSE(below.diverged);
+    EXPECT_TRUE(below.converged);
+    const LinBpResult above =
+        RunLinBp(g, coupling.ScaledResidual(1.1 * threshold),
+                 seeded.residuals, options);
+    EXPECT_TRUE(above.diverged || !above.converged);
+  }
+}
+
+TEST_P(ExactThresholdTest, SufficientBoundsAreConservative) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = RandomConnectedGraph(15, 12, seed + 100);
+  const CouplingMatrix coupling = CouplingMatrix::FromResidual(
+      testing::RandomResidualCoupling(3, 1.0, seed + 100));
+  for (const LinBpVariant variant :
+       {LinBpVariant::kLinBp, LinBpVariant::kLinBpStar}) {
+    const double exact = ExactEpsilonThreshold(g, coupling, variant);
+    const double sufficient = SufficientEpsilonBound(g, coupling, variant);
+    EXPECT_LE(sufficient, exact * (1.0 + 1e-6));
+    EXPECT_GT(sufficient, 0.0);
+  }
+  // Lemma 23 is also conservative (w.r.t. the LinBP exact threshold).
+  const double simple = SimpleEpsilonBound(g, coupling);
+  EXPECT_LE(simple,
+            ExactEpsilonThreshold(g, coupling, LinBpVariant::kLinBp) *
+                (1.0 + 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactThresholdTest, ::testing::Range(0, 5));
+
+TEST(ConvergenceTest, WeightedGraphThresholdAccountsForWeights) {
+  // Heavier edges shrink the convergence region.
+  const CouplingMatrix coupling = AuctionCoupling();
+  const Graph light = RandomWeightedConnectedGraph(10, 6, 1.0, 1.0, 7);
+  const Graph heavy = RandomWeightedConnectedGraph(10, 6, 2.0, 2.0, 7);
+  EXPECT_GT(ExactEpsilonThreshold(light, coupling, LinBpVariant::kLinBpStar),
+            ExactEpsilonThreshold(heavy, coupling, LinBpVariant::kLinBpStar));
+}
+
+}  // namespace
+}  // namespace linbp

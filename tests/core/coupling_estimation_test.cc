@@ -1,0 +1,166 @@
+#include "src/core/coupling_estimation.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/util/random.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+
+// Generates a fully labeled graph whose edges are drawn according to a
+// target coupling matrix: endpoints' classes are sampled from the joint
+// distribution H(i, j) / k.
+struct PlantedGraph {
+  Graph graph;
+  std::vector<int> labels;
+};
+
+PlantedGraph PlantGraph(const DenseMatrix& h, std::int64_t num_nodes,
+                        std::int64_t num_edges, std::uint64_t seed) {
+  const std::int64_t k = h.rows();
+  Rng rng(seed);
+  PlantedGraph out;
+  out.labels.resize(num_nodes);
+  for (auto& label : out.labels) {
+    label = static_cast<int>(rng.NextBounded(k));
+  }
+  // Nodes bucketed by class for endpoint sampling.
+  std::vector<std::vector<std::int64_t>> by_class(k);
+  for (std::int64_t v = 0; v < num_nodes; ++v) {
+    by_class[out.labels[v]].push_back(v);
+  }
+  std::vector<Edge> edges;
+  std::vector<std::vector<bool>> used(num_nodes,
+                                      std::vector<bool>(num_nodes, false));
+  while (static_cast<std::int64_t>(edges.size()) < num_edges) {
+    // Sample a class pair from the joint H(i, j)/k, then endpoints.
+    const double u = rng.NextDouble();
+    double acc = 0.0;
+    std::int64_t ci = 0;
+    std::int64_t cj = 0;
+    for (std::int64_t i = 0; i < k && acc < u; ++i) {
+      for (std::int64_t j = 0; j < k && acc < u; ++j) {
+        acc += h.At(i, j) / static_cast<double>(k);
+        ci = i;
+        cj = j;
+      }
+    }
+    if (by_class[ci].empty() || by_class[cj].empty()) continue;
+    const std::int64_t a =
+        by_class[ci][rng.NextBounded(by_class[ci].size())];
+    const std::int64_t b =
+        by_class[cj][rng.NextBounded(by_class[cj].size())];
+    if (a == b || used[a][b]) continue;
+    used[a][b] = used[b][a] = true;
+    edges.push_back({a, b, 1.0});
+  }
+  out.graph = Graph(num_nodes, edges);
+  return out;
+}
+
+TEST(SinkhornKnoppTest, AlreadyStochasticIsFixedPoint) {
+  const DenseMatrix h{{0.7, 0.3}, {0.3, 0.7}};
+  ExpectMatrixNear(SinkhornKnopp(h, 200, 1e-13), h, 1e-10);
+}
+
+TEST(SinkhornKnoppTest, BalancesRowsAndColumns) {
+  const DenseMatrix m{{4.0, 1.0, 2.0}, {1.0, 3.0, 1.0}, {2.0, 1.0, 5.0}};
+  const DenseMatrix balanced = SinkhornKnopp(m, 500, 1e-13);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    double row = 0.0;
+    double col = 0.0;
+    for (std::int64_t j = 0; j < 3; ++j) {
+      row += balanced.At(i, j);
+      col += balanced.At(j, i);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+    EXPECT_NEAR(col, 1.0, 1e-9);
+  }
+  EXPECT_TRUE(balanced.IsSymmetric(1e-9));
+}
+
+TEST(SinkhornKnoppTest, PreservesSymmetry) {
+  const DenseMatrix m = testing::RandomSymmetricMatrix(4, 0.4, 11)
+                            .AddScalar(1.0);  // positive, symmetric
+  EXPECT_TRUE(SinkhornKnopp(m, 500, 1e-13).IsSymmetric(1e-9));
+}
+
+TEST(EstimateCouplingTest, NoLabeledEdgesReturnsNullopt) {
+  const Graph g = PathGraph(4);
+  const std::vector<int> labels = {-1, 0, -1, 1};  // no labeled pair adjacent
+  EXPECT_FALSE(EstimateCoupling(g, labels, 2).has_value());
+}
+
+TEST(EstimateCouplingTest, CountsAreSymmetricAndComplete) {
+  const Graph g = PathGraph(4);
+  const std::vector<int> labels = {0, 1, 1, 0};
+  const auto estimate = EstimateCoupling(g, labels, 2);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_EQ(estimate->observed_edges, 3);
+  // Edges: (0,1): 0-1, (1,2): 1-1, (2,3): 1-0.
+  EXPECT_EQ(estimate->counts.At(0, 1), 2.0);
+  EXPECT_EQ(estimate->counts.At(1, 0), 2.0);
+  EXPECT_EQ(estimate->counts.At(1, 1), 2.0);
+  EXPECT_EQ(estimate->counts.At(0, 0), 0.0);
+}
+
+TEST(EstimateCouplingTest, WeightsActAsFractionalCounts) {
+  const Graph g(2, {{0, 1, 2.5}});
+  const std::vector<int> labels = {0, 0};
+  const auto estimate = EstimateCoupling(g, labels, 2);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_EQ(estimate->counts.At(0, 0), 5.0);  // both orientations
+}
+
+TEST(EstimateCouplingTest, PartialLabelsOnlyUseLabeledPairs) {
+  const Graph g = PathGraph(5);
+  const std::vector<int> labels = {0, 0, -1, 1, 1};
+  const auto estimate = EstimateCoupling(g, labels, 2);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_EQ(estimate->observed_edges, 2);  // 0-1 and 3-4
+}
+
+class EstimateRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimateRecoveryTest, RecoversPlantedCoupling) {
+  const std::uint64_t seed = GetParam();
+  // A clearly structured target: strong homophily for class 0, mild
+  // heterophily between 1 and 2.
+  const DenseMatrix target{{0.6, 0.3, 0.1},
+                           {0.3, 0.0, 0.7},
+                           {0.1, 0.7, 0.2}};
+  const PlantedGraph planted = PlantGraph(target, 600, 8000, seed);
+  CouplingEstimationOptions options;
+  options.smoothing = 0.5;
+  const auto estimate =
+      EstimateCoupling(planted.graph, planted.labels, 3, options);
+  ASSERT_TRUE(estimate.has_value());
+  // With 8000 sampled edges the estimate lands within a few percent.
+  ExpectMatrixNear(estimate->coupling.residual(),
+                   target.AddScalar(-1.0 / 3.0), 0.05);
+}
+
+TEST_P(EstimateRecoveryTest, PartialLabelingStillRecovers) {
+  const std::uint64_t seed = GetParam() + 100;
+  const DenseMatrix target{{0.8, 0.2}, {0.2, 0.8}};
+  PlantedGraph planted = PlantGraph(target, 500, 6000, seed);
+  // Hide 50% of the labels.
+  Rng rng(seed + 1);
+  for (auto& label : planted.labels) {
+    if (rng.NextBernoulli(0.5)) label = -1;
+  }
+  const auto estimate = EstimateCoupling(planted.graph, planted.labels, 2);
+  ASSERT_TRUE(estimate.has_value());
+  ExpectMatrixNear(estimate->coupling.residual(),
+                   target.AddScalar(-0.5), 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimateRecoveryTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,141 @@
+#include "src/core/coupling.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+
+TEST(CouplingMatrixTest, FromStochasticCenters) {
+  const CouplingMatrix coupling = HomophilyCoupling2();
+  ExpectMatrixNear(coupling.residual(),
+                   DenseMatrix{{0.3, -0.3}, {-0.3, 0.3}}, 1e-12);
+}
+
+TEST(CouplingMatrixTest, ResidualRowsSumToZero) {
+  for (const CouplingMatrix& coupling :
+       {HomophilyCoupling2(), HeterophilyCoupling2(), AuctionCoupling(),
+        KroneckerExperimentCoupling(), DblpCoupling()}) {
+    const DenseMatrix& residual = coupling.residual();
+    for (std::int64_t i = 0; i < residual.rows(); ++i) {
+      double row_sum = 0.0;
+      double col_sum = 0.0;
+      for (std::int64_t j = 0; j < residual.cols(); ++j) {
+        row_sum += residual.At(i, j);
+        col_sum += residual.At(j, i);
+      }
+      EXPECT_NEAR(row_sum, 0.0, 1e-12);
+      EXPECT_NEAR(col_sum, 0.0, 1e-12);
+    }
+    EXPECT_TRUE(residual.IsSymmetric(1e-12));
+  }
+}
+
+TEST(CouplingMatrixTest, AuctionResidualMatchesExample20) {
+  // Hhat_o = Fig. 1c matrix - 1/3 (Example 20).
+  const DenseMatrix expected =
+      DenseMatrix{{0.6, 0.3, 0.1}, {0.3, 0.0, 0.7}, {0.1, 0.7, 0.2}}
+          .AddScalar(-1.0 / 3.0);
+  ExpectMatrixNear(AuctionCoupling().residual(), expected, 1e-12);
+}
+
+TEST(CouplingMatrixTest, ScaledResidualScalesLinearly) {
+  const CouplingMatrix coupling = AuctionCoupling();
+  ExpectMatrixNear(coupling.ScaledResidual(0.5),
+                   coupling.residual().Scale(0.5), 1e-15);
+}
+
+TEST(CouplingMatrixTest, ScaledStochasticRowsSumToOne) {
+  const CouplingMatrix coupling = KroneckerExperimentCoupling();
+  const DenseMatrix h = coupling.ScaledStochastic(0.01);
+  for (std::int64_t i = 0; i < h.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::int64_t j = 0; j < h.cols(); ++j) row_sum += h.At(i, j);
+    EXPECT_NEAR(row_sum, 1.0, 1e-12);
+  }
+}
+
+TEST(CouplingMatrixTest, MaxStochasticScale) {
+  // Fig. 6b residual: the most negative entry is -6, so eps <= (1/3)/6.
+  EXPECT_NEAR(KroneckerExperimentCoupling().MaxStochasticScale(),
+              1.0 / 18.0, 1e-12);
+  // At that scale the stochastic matrix has a zero entry but none negative.
+  const DenseMatrix h =
+      KroneckerExperimentCoupling().ScaledStochastic(1.0 / 18.0);
+  for (const double v : h.data()) EXPECT_GE(v, -1e-12);
+}
+
+TEST(CouplingMatrixTest, MaxStochasticScaleInfiniteForZeroResidual) {
+  const CouplingMatrix coupling =
+      CouplingMatrix::FromResidual(DenseMatrix(2, 2));
+  EXPECT_TRUE(std::isinf(coupling.MaxStochasticScale()));
+}
+
+TEST(CouplingMatrixTest, IsHomophilyClassification) {
+  EXPECT_TRUE(HomophilyCoupling2().IsHomophily());
+  EXPECT_FALSE(HeterophilyCoupling2().IsHomophily());
+  // Fig. 1c mixes homophily (H) with heterophily (A/F).
+  EXPECT_FALSE(AuctionCoupling().IsHomophily());
+  EXPECT_TRUE(DblpCoupling().IsHomophily());
+  EXPECT_TRUE(UniformHomophilyCoupling(5, 0.1).IsHomophily());
+}
+
+TEST(CouplingMatrixTest, UniformHomophilyResidual) {
+  const CouplingMatrix coupling = UniformHomophilyCoupling(3, 0.1);
+  ExpectMatrixNear(coupling.residual(),
+                   DenseMatrix{{0.2, -0.1, -0.1},
+                               {-0.1, 0.2, -0.1},
+                               {-0.1, -0.1, 0.2}},
+                   1e-12);
+}
+
+TEST(CouplingMatrixTest, DblpCouplingMatchesFigure11a) {
+  const CouplingMatrix coupling = DblpCoupling();
+  const DenseMatrix& residual = coupling.residual();
+  EXPECT_EQ(residual.rows(), 4);
+  EXPECT_EQ(residual.At(0, 0), 6.0);
+  EXPECT_EQ(residual.At(0, 1), -2.0);
+}
+
+TEST(CouplingMatrixDeathTest, RejectsAsymmetricStochastic) {
+  EXPECT_DEATH(CouplingMatrix::FromStochastic(
+                   DenseMatrix{{0.7, 0.3}, {0.2, 0.8}}),
+               "symmetric");
+}
+
+TEST(CouplingMatrixDeathTest, RejectsNonStochasticRows) {
+  EXPECT_DEATH(CouplingMatrix::FromStochastic(
+                   DenseMatrix{{0.9, 0.3}, {0.3, 0.9}}),
+               "sum to 1");
+}
+
+TEST(CouplingMatrixDeathTest, RejectsNegativeEntries) {
+  EXPECT_DEATH(CouplingMatrix::FromStochastic(
+                   DenseMatrix{{1.2, -0.2}, {-0.2, 1.2}}),
+               "non-negative");
+}
+
+TEST(CouplingMatrixDeathTest, RejectsUncenteredResidual) {
+  EXPECT_DEATH(CouplingMatrix::FromResidual(
+                   DenseMatrix{{0.2, 0.1}, {0.1, 0.2}}),
+               "sum to 0");
+}
+
+class RandomCouplingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCouplingTest, RandomResidualsAreValid) {
+  const DenseMatrix residual =
+      testing::RandomResidualCoupling(4, 0.1, GetParam());
+  // Must pass validation without aborting.
+  const CouplingMatrix coupling = CouplingMatrix::FromResidual(residual);
+  EXPECT_EQ(coupling.k(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCouplingTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,112 @@
+#include "src/core/fabp.h"
+
+#include "gtest/gtest.h"
+#include "src/core/closed_form.h"
+#include "src/core/convergence.h"
+#include "src/core/coupling.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectVectorNear;
+
+TEST(FabpTest, SingleEdgeHandValue) {
+  // b = (I - c1 A + c2 D)^-1 e with c1 = 2h/(1-4h^2), c2 = 4h^2/(1-4h^2).
+  // For two nodes with e = (e0, 0):
+  //   (1 + c2) b0 - c1 b1 = e0,  -c1 b0 + (1 + c2) b1 = 0.
+  const double h = 0.15;
+  const double denom = 1.0 - 4.0 * h * h;
+  const double c1 = 2.0 * h / denom;
+  const double c2 = 4.0 * h * h / denom;
+  const Graph g(2, {{0, 1, 1.0}});
+  const FabpResult result = RunFabp(g, h, {0.08, 0.0});
+  ASSERT_TRUE(result.converged);
+  const double det = (1.0 + c2) * (1.0 + c2) - c1 * c1;
+  EXPECT_NEAR(result.beliefs[0], 0.08 * (1.0 + c2) / det, 1e-10);
+  EXPECT_NEAR(result.beliefs[1], 0.08 * c1 / det, 1e-10);
+}
+
+TEST(FabpTest, HomophilyKeepsSign) {
+  const Graph g = PathGraph(4);
+  const FabpResult result = RunFabp(g, 0.1, {0.1, 0.0, 0.0, 0.0});
+  ASSERT_TRUE(result.converged);
+  for (const double b : result.beliefs) EXPECT_GT(b, 0.0);
+}
+
+TEST(FabpTest, HeterophilyAlternatesSign) {
+  const Graph g = PathGraph(4);
+  const FabpResult result = RunFabp(g, -0.1, {0.1, 0.0, 0.0, 0.0});
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.beliefs[0], 0.0);
+  EXPECT_LT(result.beliefs[1], 0.0);
+  EXPECT_GT(result.beliefs[2], 0.0);
+  EXPECT_LT(result.beliefs[3], 0.0);
+}
+
+TEST(FabpDeathTest, RejectsCouplingOutOfRange) {
+  const Graph g = PathGraph(2);
+  EXPECT_DEATH(RunFabp(g, 0.5, {0.0, 0.0}), "1/2");
+}
+
+// Appendix E: for k = 2 the binary linearization coincides with the
+// kLinBpExact variant of the multi-class system.
+class FabpEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FabpEquivalenceTest, MatchesExactLinBpWithTwoClasses) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = RandomConnectedGraph(12, 9, seed);
+  Rng rng(seed + 1);
+  // Keep the coupling safely inside the convergence region of the Jacobi
+  // solve: rho(c1 A) ~ 2h rho(A) must stay below 1.
+  const double h = 0.4 / AdjacencySpectralRadius(g) *
+                   (0.5 + 0.5 * rng.NextDouble());
+
+  // Scalar explicit beliefs -> 2-column residual matrix [e, -e].
+  std::vector<double> e_scalar(12, 0.0);
+  DenseMatrix e(12, 2);
+  for (std::int64_t v = 0; v < 4; ++v) {
+    e_scalar[v] = 0.2 * (2.0 * rng.NextDouble() - 1.0);
+    e.At(v, 0) = e_scalar[v];
+    e.At(v, 1) = -e_scalar[v];
+  }
+  const FabpResult fabp = RunFabp(g, h, e_scalar, 2000, 1e-14);
+  ASSERT_TRUE(fabp.converged);
+
+  const DenseMatrix hhat{{h, -h}, {-h, h}};
+  const DenseMatrix linbp =
+      ClosedFormLinBpDense(g, hhat, e, LinBpVariant::kLinBpExact);
+  std::vector<double> linbp_first(12);
+  for (std::int64_t v = 0; v < 12; ++v) {
+    linbp_first[v] = linbp.At(v, 0);
+    // Columns are antisymmetric in the binary case.
+    EXPECT_NEAR(linbp.At(v, 1), -linbp.At(v, 0), 1e-10);
+  }
+  ExpectVectorNear(fabp.beliefs, linbp_first, 1e-9);
+}
+
+TEST_P(FabpEquivalenceTest, WeightedGraphsMatchToo) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = RandomWeightedConnectedGraph(10, 6, 0.5, 1.5, seed + 100);
+  const double h = 0.08;
+  std::vector<double> e_scalar(10, 0.0);
+  DenseMatrix e(10, 2);
+  e_scalar[0] = 0.1;
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.1;
+  const FabpResult fabp = RunFabp(g, h, e_scalar, 2000, 1e-14);
+  ASSERT_TRUE(fabp.converged);
+  const DenseMatrix hhat{{h, -h}, {-h, h}};
+  const DenseMatrix linbp =
+      ClosedFormLinBpDense(g, hhat, e, LinBpVariant::kLinBpExact);
+  for (std::int64_t v = 0; v < 10; ++v) {
+    EXPECT_NEAR(fabp.beliefs[v], linbp.At(v, 0), 1e-9) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabpEquivalenceTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,122 @@
+#include "src/core/labeling.h"
+
+#include "gtest/gtest.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectVectorNear;
+
+// The three standardization examples below Def. 11 of the paper.
+TEST(StandardizeTest, PaperExamples) {
+  ExpectVectorNear(Standardize({1, 0}), {1, -1}, 1e-12);
+  ExpectVectorNear(Standardize({1, 1, 1}), {0, 0, 0}, 0.0);
+  ExpectVectorNear(Standardize({1, 0, 0, 0, 0}), {2, -0.5, -0.5, -0.5, -0.5},
+                   1e-12);
+}
+
+TEST(StandardizeTest, ScaleInvariance) {
+  // zeta(lambda x) = zeta(x), the property behind Corollary 13.
+  const std::vector<double> x = {4, -1, -1, -1, -1};
+  ExpectVectorNear(Standardize(x), Standardize({40, -10, -10, -10, -10}),
+                   1e-12);
+}
+
+TEST(StandardizeTest, PaperSigmaExample) {
+  // sigma([4,-1,-1,-1,-1]) = 2 and sigma([40,...]) = 20 (Sect. 6.1).
+  EXPECT_NEAR(StandardDeviation({4, -1, -1, -1, -1}), 2.0, 1e-12);
+  EXPECT_NEAR(StandardDeviation({40, -10, -10, -10, -10}), 20.0, 1e-12);
+}
+
+TEST(StandardizeTest, EmptyVector) {
+  EXPECT_TRUE(Standardize({}).empty());
+  EXPECT_EQ(StandardDeviation({}), 0.0);
+}
+
+TEST(StandardizeRowsTest, AppliesPerRow) {
+  DenseMatrix m{{1, 0}, {1, 1}};
+  const DenseMatrix out = StandardizeRows(m);
+  EXPECT_NEAR(out.At(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(out.At(0, 1), -1.0, 1e-12);
+  EXPECT_EQ(out.At(1, 0), 0.0);
+  EXPECT_EQ(out.At(1, 1), 0.0);
+}
+
+TEST(TopBeliefsTest, UniqueMaxima) {
+  DenseMatrix beliefs{{0.5, 0.2, 0.3}, {-1.0, -0.2, -0.5}};
+  const TopBeliefAssignment top = TopBeliefs(beliefs);
+  ASSERT_EQ(top.classes.size(), 2u);
+  EXPECT_EQ(top.classes[0], std::vector<int>{0});
+  EXPECT_EQ(top.classes[1], std::vector<int>{1});
+  EXPECT_EQ(top.TotalBeliefs(), 2);
+}
+
+TEST(TopBeliefsTest, ExactTies) {
+  DenseMatrix beliefs{{0.01, 0.01, -0.02}};
+  const TopBeliefAssignment top = TopBeliefs(beliefs);
+  EXPECT_EQ(top.classes[0], (std::vector<int>{0, 1}));
+}
+
+TEST(TopBeliefsTest, AllEqualRowTiesEverything) {
+  DenseMatrix beliefs{{0.0, 0.0, 0.0}};
+  const TopBeliefAssignment top = TopBeliefs(beliefs);
+  EXPECT_EQ(top.classes[0], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TopBeliefsTest, ToleranceSeparatesNearTies) {
+  // The paper's example: LinBP produced [1.0000000014, 1.0000000002,
+  // -2.0000000016]e-2 (no tie) while SBP produced [1, 1, -2]e-2 (tie).
+  DenseMatrix linbp_row{{1.0000000014e-2, 1.0000000002e-2, -2.0000000016e-2}};
+  DenseMatrix sbp_row{{1e-2, 1e-2, -2e-2}};
+  EXPECT_EQ(TopBeliefs(linbp_row).classes[0], std::vector<int>{0});
+  EXPECT_EQ(TopBeliefs(sbp_row).classes[0], (std::vector<int>{0, 1}));
+}
+
+TEST(CompareAssignmentsTest, PaperPrecisionRecallExample) {
+  // GT: {v1->c1, v2->c2, v3->c3}; other: {v1->{c1,c2}, v2->c2, v3->c2}.
+  // Then r = 2/3 and p = 2/4 (Sect. 7).
+  TopBeliefAssignment gt;
+  gt.classes = {{0}, {1}, {2}};
+  TopBeliefAssignment other;
+  other.classes = {{0, 1}, {1}, {1}};
+  const QualityMetrics metrics = CompareAssignments(gt, other);
+  EXPECT_NEAR(metrics.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.precision, 2.0 / 4.0, 1e-12);
+  EXPECT_EQ(metrics.shared, 2);
+  EXPECT_NEAR(metrics.f1,
+              2.0 * (0.5 * 2.0 / 3.0) / (0.5 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(CompareAssignmentsTest, IdenticalAssignmentsScorePerfect) {
+  TopBeliefAssignment a;
+  a.classes = {{0}, {1, 2}, {2}};
+  const QualityMetrics metrics = CompareAssignments(a, a);
+  EXPECT_EQ(metrics.precision, 1.0);
+  EXPECT_EQ(metrics.recall, 1.0);
+  EXPECT_EQ(metrics.f1, 1.0);
+}
+
+TEST(CompareAssignmentsTest, NodeSubsetRestrictsScoring) {
+  TopBeliefAssignment gt;
+  gt.classes = {{0}, {1}, {2}};
+  TopBeliefAssignment other;
+  other.classes = {{0}, {0}, {0}};
+  const QualityMetrics all = CompareAssignments(gt, other);
+  EXPECT_NEAR(all.recall, 1.0 / 3.0, 1e-12);
+  const QualityMetrics subset = CompareAssignments(gt, other, {0});
+  EXPECT_EQ(subset.recall, 1.0);
+  const QualityMetrics subset2 = CompareAssignments(gt, other, {1, 2});
+  EXPECT_EQ(subset2.recall, 0.0);
+  EXPECT_EQ(subset2.f1, 0.0);
+}
+
+TEST(CompareAssignmentsTest, EmptyAssignments) {
+  TopBeliefAssignment empty;
+  const QualityMetrics metrics = CompareAssignments(empty, empty);
+  EXPECT_EQ(metrics.precision, 0.0);
+  EXPECT_EQ(metrics.recall, 0.0);
+}
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,177 @@
+#include "src/core/linbp_incremental.h"
+
+#include "gtest/gtest.h"
+#include "src/core/coupling.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+
+LinBpOptions TightOptions(LinBpVariant variant = LinBpVariant::kLinBp) {
+  LinBpOptions options;
+  options.variant = variant;
+  options.max_iterations = 1000;
+  options.tolerance = 1e-13;
+  return options;
+}
+
+TEST(LinBpStateTest, ColdStartMatchesRunLinBp) {
+  const Graph g = RandomConnectedGraph(20, 15, /*seed=*/1);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.05);
+  const SeededBeliefs seeded = SeedPaperBeliefs(20, 3, 5, /*seed=*/2);
+  const LinBpState state(g, hhat, seeded.residuals, TightOptions());
+  ASSERT_TRUE(state.converged());
+  const LinBpResult reference =
+      RunLinBp(g, hhat, seeded.residuals, TightOptions());
+  ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-11);
+}
+
+TEST(LinBpStateTest, BeliefUpdateMatchesColdSolve) {
+  const Graph g = RandomConnectedGraph(25, 20, /*seed=*/3);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.05);
+  SeededBeliefs seeded = SeedPaperBeliefs(25, 3, 6, /*seed=*/4);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+
+  // Flip one node's explicit beliefs.
+  DenseMatrix row(1, 3);
+  row.At(0, 0) = -0.08;
+  row.At(0, 1) = 0.05;
+  row.At(0, 2) = 0.03;
+  const std::int64_t node = seeded.explicit_nodes[0];
+  state.UpdateExplicitBeliefs({node}, row);
+  ASSERT_TRUE(state.converged());
+
+  for (int c = 0; c < 3; ++c) seeded.residuals.At(node, c) = row.At(0, c);
+  const LinBpResult reference =
+      RunLinBp(g, hhat, seeded.residuals, TightOptions());
+  ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-10);
+}
+
+TEST(LinBpStateTest, WarmStartUsesFewerSweepsForSmallChanges) {
+  const Graph g = RandomConnectedGraph(200, 300, /*seed=*/5);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.03);
+  const SeededBeliefs seeded = SeedPaperBeliefs(200, 3, 20, /*seed=*/6);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+  const int cold = state.cold_start_iterations();
+
+  // A tiny nudge to one explicit belief re-converges much faster.
+  DenseMatrix row(1, 3);
+  const std::int64_t node = seeded.explicit_nodes[0];
+  for (int c = 0; c < 3; ++c) {
+    row.At(0, c) = seeded.residuals.At(node, c) * 1.01;
+  }
+  const int warm = state.UpdateExplicitBeliefs({node}, row);
+  ASSERT_TRUE(state.converged());
+  EXPECT_LT(warm, cold);
+}
+
+TEST(LinBpStateTest, EdgeUpdateMatchesColdSolve) {
+  const Graph g = RandomConnectedGraph(25, 15, /*seed=*/7);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.04);
+  const SeededBeliefs seeded = SeedPaperBeliefs(25, 3, 5, /*seed=*/8);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+
+  // Add an edge not present yet.
+  std::int64_t u = 0;
+  std::int64_t v = 0;
+  for (u = 0; u < 25 && v == 0; ++u) {
+    for (std::int64_t w = u + 1; w < 25; ++w) {
+      if (g.adjacency().At(u, w) == 0.0) {
+        v = w;
+        break;
+      }
+    }
+    if (v != 0) break;
+  }
+  ASSERT_NE(v, 0);
+  state.AddEdges({{u, v, 1.0}});
+  ASSERT_TRUE(state.converged());
+
+  std::vector<Edge> edges = g.edges();
+  edges.push_back({u, v, 1.0});
+  const LinBpResult reference = RunLinBp(Graph(25, edges), hhat,
+                                         seeded.residuals, TightOptions());
+  ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-10);
+}
+
+TEST(LinBpStateTest, StarVariantSupported) {
+  const Graph g = RandomConnectedGraph(15, 10, /*seed=*/9);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.05);
+  const SeededBeliefs seeded = SeedPaperBeliefs(15, 3, 4, /*seed=*/10);
+  LinBpState state(g, hhat, seeded.residuals,
+                   TightOptions(LinBpVariant::kLinBpStar));
+  ASSERT_TRUE(state.converged());
+  const LinBpResult reference =
+      RunLinBp(g, hhat, seeded.residuals,
+               TightOptions(LinBpVariant::kLinBpStar));
+  ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-11);
+}
+
+TEST(LinBpStateDeathTest, ExactVariantRejected) {
+  const Graph g = PathGraph(3);
+  EXPECT_DEATH(LinBpState(g, AuctionCoupling().ScaledResidual(0.05),
+                          DenseMatrix(3, 3),
+                          TightOptions(LinBpVariant::kLinBpExact)),
+               "kLinBp");
+}
+
+class LinBpIncrementalRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinBpIncrementalRandomTest, SequencesOfUpdatesStayExact) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed + 31);
+  const std::int64_t n = 30;
+  const Graph g = RandomConnectedGraph(n, 25, seed);
+  const DenseMatrix hhat =
+      testing::RandomResidualCoupling(3, 0.03, seed + 1);
+  SeededBeliefs seeded = SeedPaperBeliefs(n, 3, 6, seed + 2);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+  std::vector<Edge> edges = g.edges();
+
+  for (int round = 0; round < 3; ++round) {
+    if (round % 2 == 0) {
+      // Belief update.
+      const std::int64_t node = rng.NextInt(0, n - 1);
+      DenseMatrix row(1, 3);
+      double sum = 0.0;
+      for (int c = 0; c < 2; ++c) {
+        row.At(0, c) = 0.1 * (2.0 * rng.NextDouble() - 1.0);
+        sum += row.At(0, c);
+      }
+      row.At(0, 2) = -sum;
+      state.UpdateExplicitBeliefs({node}, row);
+      for (int c = 0; c < 3; ++c) {
+        seeded.residuals.At(node, c) = row.At(0, c);
+      }
+    } else {
+      // Edge update.
+      while (true) {
+        const std::int64_t u = rng.NextInt(0, n - 1);
+        const std::int64_t v = rng.NextInt(0, n - 1);
+        if (u == v) continue;
+        bool exists = false;
+        for (const Edge& e : edges) {
+          if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) exists = true;
+        }
+        if (exists) continue;
+        state.AddEdges({{u, v, 1.0}});
+        edges.push_back({u, v, 1.0});
+        break;
+      }
+    }
+    ASSERT_TRUE(state.converged());
+    const LinBpResult reference = RunLinBp(
+        Graph(n, edges), hhat, seeded.residuals, TightOptions());
+    ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinBpIncrementalRandomTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace linbp

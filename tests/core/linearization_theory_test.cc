@@ -1,0 +1,163 @@
+// Numerical verification of the linearization lemmas of Sect. 4: the
+// centered BP equations (Lemma 5) and the steady-state message equation
+// (Lemma 6) hold for BP's actual messages up to higher-order residual
+// terms. These tests bridge the BP implementation and the LinBP derivation.
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/bp.h"
+#include "src/core/coupling.h"
+#include "src/core/linbp.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+struct SteadyState {
+  Graph graph;
+  DenseMatrix hhat;              // scaled residual coupling
+  DenseMatrix belief_residuals;  // bhat from BP
+  DenseMatrix explicit_residuals;
+  std::vector<double> messages;  // raw messages (centered around 1)
+  double eps;
+};
+
+SteadyState RunToSteadyState(double eps, std::uint64_t seed) {
+  SteadyState state{RandomConnectedGraph(12, 8, seed),
+                    DenseMatrix(),
+                    DenseMatrix(),
+                    DenseMatrix(),
+                    {},
+                    eps};
+  const CouplingMatrix coupling = AuctionCoupling();
+  state.hhat = coupling.ScaledResidual(eps);
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(state.graph.num_nodes(), 3, 4, seed + 1);
+  state.explicit_residuals = seeded.residuals;
+  BpOptions options;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-15;
+  options.keep_messages = true;
+  const BpResult bp = RunBp(state.graph, coupling.ScaledStochastic(eps),
+                            ResidualToProbability(seeded.residuals), options);
+  EXPECT_TRUE(bp.converged);
+  state.belief_residuals = ProbabilityToResidual(bp.beliefs);
+  state.messages = bp.messages;
+  return state;
+}
+
+// Lemma 6: mhat_st = k (I - Hhat^2)^-1 Hhat (bhat_s - Hhat bhat_t), with an
+// error that is higher order in the residual magnitudes.
+TEST(LinearizationTheoryTest, Lemma6SteadyStateMessages) {
+  const double eps = 0.01;
+  const SteadyState state = RunToSteadyState(eps, /*seed=*/3);
+  const std::int64_t k = 3;
+  const DenseMatrix modulation = ExactModulation(state.hhat);  // (I-H^2)^-1 H
+
+  const auto& row_ptr = state.graph.adjacency().row_ptr();
+  const auto& col_idx = state.graph.adjacency().col_idx();
+  double max_message = 0.0;
+  double max_error = 0.0;
+  for (std::int64_t s = 0; s < state.graph.num_nodes(); ++s) {
+    for (std::int64_t e = row_ptr[s]; e < row_ptr[s + 1]; ++e) {
+      const std::int64_t t = col_idx[e];
+      // Predicted residual message (column-vector convention: the message
+      // transforms via Hhat^T = Hhat).
+      std::vector<double> combined(k);
+      for (std::int64_t i = 0; i < k; ++i) {
+        double ht = 0.0;
+        for (std::int64_t j = 0; j < k; ++j) {
+          ht += state.hhat.At(j, i) * state.belief_residuals.At(t, j);
+        }
+        combined[i] = state.belief_residuals.At(s, i) - ht;
+      }
+      for (std::int64_t i = 0; i < k; ++i) {
+        double predicted = 0.0;
+        for (std::int64_t j = 0; j < k; ++j) {
+          predicted += modulation.At(j, i) * combined[j];
+        }
+        predicted *= static_cast<double>(k);
+        const double actual = state.messages[e * k + i] - 1.0;
+        max_message = std::max(max_message, std::abs(actual));
+        max_error = std::max(max_error, std::abs(actual - predicted));
+      }
+    }
+  }
+  ASSERT_GT(max_message, 0.0);
+  // The linearization error is second order: at eps = 0.01 the residual
+  // messages are ~1e-3 and the error a few percent of them.
+  EXPECT_LT(max_error, 0.05 * max_message);
+}
+
+TEST(LinearizationTheoryTest, Lemma6ErrorShrinksWithEps) {
+  // Halving eps should shrink the *relative* linearization error roughly
+  // linearly (the dropped terms are one order higher).
+  auto relative_error = [](double eps, std::uint64_t seed) {
+    const SteadyState state = RunToSteadyState(eps, seed);
+    const std::int64_t k = 3;
+    const DenseMatrix modulation = ExactModulation(state.hhat);
+    const auto& row_ptr = state.graph.adjacency().row_ptr();
+    const auto& col_idx = state.graph.adjacency().col_idx();
+    double max_message = 0.0;
+    double max_error = 0.0;
+    for (std::int64_t s = 0; s < state.graph.num_nodes(); ++s) {
+      for (std::int64_t e = row_ptr[s]; e < row_ptr[s + 1]; ++e) {
+        const std::int64_t t = col_idx[e];
+        for (std::int64_t i = 0; i < k; ++i) {
+          double predicted = 0.0;
+          for (std::int64_t j = 0; j < k; ++j) {
+            double ht = 0.0;
+            for (std::int64_t g = 0; g < k; ++g) {
+              ht += state.hhat.At(g, j) * state.belief_residuals.At(t, g);
+            }
+            predicted += modulation.At(j, i) *
+                         (state.belief_residuals.At(s, j) - ht);
+          }
+          predicted *= static_cast<double>(k);
+          const double actual = state.messages[e * k + i] - 1.0;
+          max_message = std::max(max_message, std::abs(actual));
+          max_error = std::max(max_error, std::abs(actual - predicted));
+        }
+      }
+    }
+    return max_error / max_message;
+  };
+  const double coarse = relative_error(0.04, 7);
+  const double fine = relative_error(0.01, 7);
+  EXPECT_LT(fine, coarse);
+}
+
+// Lemma 5 (first equation): bhat_s(i) ~ ehat_s(i) + (1/k) sum_u mhat_us(i).
+TEST(LinearizationTheoryTest, Lemma5CenteredBeliefUpdate) {
+  const double eps = 0.01;
+  const SteadyState state = RunToSteadyState(eps, /*seed=*/11);
+  const std::int64_t k = 3;
+  const auto& row_ptr = state.graph.adjacency().row_ptr();
+  const std::vector<std::int64_t> reverse =
+      ReverseEdgeIndex(state.graph.adjacency());
+  double max_belief = 0.0;
+  double max_error = 0.0;
+  for (std::int64_t s = 0; s < state.graph.num_nodes(); ++s) {
+    for (std::int64_t i = 0; i < k; ++i) {
+      double incoming = 0.0;
+      for (std::int64_t e = row_ptr[s]; e < row_ptr[s + 1]; ++e) {
+        incoming += state.messages[reverse[e] * k + i] - 1.0;
+      }
+      const double predicted =
+          state.explicit_residuals.At(s, i) +
+          incoming / static_cast<double>(k);
+      const double actual = state.belief_residuals.At(s, i);
+      max_belief = std::max(max_belief, std::abs(actual));
+      max_error = std::max(max_error, std::abs(actual - predicted));
+    }
+  }
+  ASSERT_GT(max_belief, 0.0);
+  EXPECT_LT(max_error, 0.05 * max_belief);
+}
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,119 @@
+#include "src/core/mooij.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/core/convergence.h"
+#include "src/core/coupling.h"
+#include "src/graph/generators.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+TEST(MooijCouplingConstantTest, BinaryHomophilyHandValue) {
+  // c(H) for [[0.6, 0.4], [0.4, 0.6]]: the only cross ratio is
+  // (0.6 * 0.6) / (0.4 * 0.4) = 2.25, so c = tanh(log(2.25)/4) = 0.2.
+  const DenseMatrix h{{0.6, 0.4}, {0.4, 0.6}};
+  EXPECT_NEAR(MooijCouplingConstant(h), 0.2, 1e-12);
+}
+
+TEST(MooijCouplingConstantTest, UniformCouplingHasZeroConstant) {
+  const DenseMatrix h{{0.5, 0.5}, {0.5, 0.5}};
+  EXPECT_EQ(MooijCouplingConstant(h), 0.0);
+}
+
+TEST(MooijCouplingConstantTest, ZeroEntryDegenerates) {
+  // Fig. 1c has H(A, A) = 0, so the bound collapses to c = 1.
+  const DenseMatrix h =
+      AuctionCoupling().residual().AddScalar(1.0 / 3.0);
+  EXPECT_EQ(MooijCouplingConstant(h), 1.0);
+}
+
+TEST(MooijCouplingConstantTest, SymmetricInLogRatio) {
+  // Swapping numerator and denominator must not change the constant.
+  const DenseMatrix h{{0.7, 0.3}, {0.3, 0.7}};
+  const DenseMatrix h_swapped{{0.3, 0.7}, {0.7, 0.3}};
+  EXPECT_NEAR(MooijCouplingConstant(h), MooijCouplingConstant(h_swapped),
+              1e-12);
+}
+
+TEST(EdgeMatrixSpectralRadiusTest, PathIsNilpotent) {
+  // On a path every non-backtracking walk dies at an endpoint: rho = 0.
+  EXPECT_NEAR(EdgeMatrixSpectralRadius(PathGraph(6)), 0.0, 1e-6);
+}
+
+TEST(EdgeMatrixSpectralRadiusTest, CycleIsOne) {
+  // On a cycle every directed edge has exactly one continuation: rho = 1.
+  EXPECT_NEAR(EdgeMatrixSpectralRadius(CycleGraph(7)), 1.0, 1e-6);
+}
+
+TEST(EdgeMatrixSpectralRadiusTest, RegularGraphIsDegreeMinusOne) {
+  // For a d-regular graph the non-backtracking radius is d - 1.
+  const Graph k4(4, {{0, 1, 1.0},
+                     {0, 2, 1.0},
+                     {0, 3, 1.0},
+                     {1, 2, 1.0},
+                     {1, 3, 1.0},
+                     {2, 3, 1.0}});
+  EXPECT_NEAR(EdgeMatrixSpectralRadius(k4), 2.0, 1e-6);
+}
+
+class EdgeMatrixRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeMatrixRandomTest, EdgeRadiusBelowAdjacencyRadius) {
+  // Appendix G observes rho(A_edge) < rho(A) (roughly rho(A_edge) + 1 ~
+  // rho(A) on real networks).
+  const Graph g = RandomConnectedGraph(30, 40, GetParam());
+  EXPECT_LT(EdgeMatrixSpectralRadius(g), AdjacencySpectralRadius(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeMatrixRandomTest, ::testing::Range(0, 6));
+
+TEST(CompareConvergenceBoundsTest, ReportsBothSides) {
+  const Graph g = CycleGraph(10);
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.2);
+  const BoundComparison comparison = CompareConvergenceBounds(g, hhat);
+  EXPECT_NEAR(comparison.adjacency_radius, 2.0, 1e-6);
+  EXPECT_NEAR(comparison.edge_matrix_radius, 1.0, 1e-6);
+  // rho(Hhat) = 2 * 0.2 * 0.3... : Hhat = 0.2*[[0.3,-0.3],[-0.3,0.3]] has
+  // eigenvalues {0, 0.12}; rho = 0.12.
+  EXPECT_NEAR(comparison.linbp_star_value, 0.12 * 2.0, 1e-6);
+  EXPECT_GT(comparison.coupling_constant, 0.0);
+  EXPECT_NEAR(comparison.mooij_value, comparison.coupling_constant * 1.0,
+              1e-9);
+}
+
+TEST(CompareConvergenceBoundsTest, NeitherBoundSubsumesTheOther) {
+  // Appendix G's point, direction 1: on a binary-class cycle the Mooij
+  // bound can hold while LinBP*'s criterion is violated.
+  const Graph cycle = CycleGraph(12);
+  const DenseMatrix binary = HomophilyCoupling2().ScaledResidual(1.0);
+  const BoundComparison b1 = CompareConvergenceBounds(cycle, binary);
+  // c(H) for [[0.8, 0.2], [0.2, 0.8]] is tanh(log(16)/4) ~ 0.6; rho(Hhat) =
+  // 0.6 and rho(A) = 2: BP's bound holds (0.6 < 1), LinBP*'s does not.
+  EXPECT_LT(b1.mooij_value, 1.0);
+  EXPECT_GT(b1.linbp_star_value, 1.0);
+
+  // Direction 2 (multi-class, c(H) > rho(Hhat)): a near-heterophily 3-class
+  // coupling on K4 where rho(A_edge) = 2 and rho(A) = 3. At scale 0.65 the
+  // cross-ratios are extreme (c ~ 0.54 so c * 2 > 1) while the linear
+  // residual stays small (rho(Hhat) * 3 ~ 0.92 < 1).
+  const Graph k4(4, {{0, 1, 1.0},
+                     {0, 2, 1.0},
+                     {0, 3, 1.0},
+                     {1, 2, 1.0},
+                     {1, 3, 1.0},
+                     {2, 3, 1.0}});
+  const DenseMatrix base{{0.02, 0.49, 0.49},
+                         {0.49, 0.02, 0.49},
+                         {0.49, 0.49, 0.02}};
+  const DenseMatrix multi =
+      CouplingMatrix::FromStochastic(base).residual().Scale(0.65);
+  const BoundComparison b2 = CompareConvergenceBounds(k4, multi);
+  EXPECT_GE(b2.mooij_value, 1.0);
+  EXPECT_LT(b2.linbp_star_value, 1.0);
+}
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,239 @@
+// Degenerate-input and failure-injection coverage across the public API:
+// empty graphs, graphs with no labels, fully labeled graphs, single nodes,
+// disconnected components, zero couplings, and zero-iteration runs. None of
+// these may crash, and each has a well-defined result.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/core/bp.h"
+#include "src/core/convergence.h"
+#include "src/core/coupling.h"
+#include "src/core/labeling.h"
+#include "src/core/linbp.h"
+#include "src/core/sbp.h"
+#include "src/core/sbp_incremental.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "src/relational/linbp_sql.h"
+#include "src/relational/sbp_sql.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+
+TEST(RobustnessTest, EdgelessGraphLinBp) {
+  const Graph g(5, {});
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.1);
+  DenseMatrix e(5, 3);
+  e.At(2, 0) = 0.1;
+  e.At(2, 1) = -0.1;
+  const LinBpResult result = RunLinBp(g, hhat, e);
+  EXPECT_TRUE(result.converged);
+  // No propagation: beliefs equal the explicit beliefs.
+  ExpectMatrixNear(result.beliefs, e, 1e-15);
+}
+
+TEST(RobustnessTest, EdgelessGraphBp) {
+  const Graph g(4, {});
+  const DenseMatrix h = HomophilyCoupling2().ScaledStochastic(0.3);
+  DenseMatrix priors(4, 2);
+  for (int v = 0; v < 4; ++v) {
+    priors.At(v, 0) = 0.6;
+    priors.At(v, 1) = 0.4;
+  }
+  const BpResult result = RunBp(g, h, priors);
+  EXPECT_TRUE(result.converged);
+  ExpectMatrixNear(result.beliefs, priors, 1e-15);
+}
+
+TEST(RobustnessTest, SingleNodeGraph) {
+  const Graph g(1, {});
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.3);
+  DenseMatrix e(1, 2);
+  e.At(0, 0) = 0.2;
+  e.At(0, 1) = -0.2;
+  EXPECT_TRUE(RunLinBp(g, hhat, e).converged);
+  const SbpResult sbp = RunSbp(g, hhat, e, {0});
+  EXPECT_EQ(sbp.geodesic[0], 0);
+  EXPECT_EQ(sbp.beliefs.At(0, 0), 0.2);
+}
+
+TEST(RobustnessTest, NoLabelsSbp) {
+  const Graph g = PathGraph(5);
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.3);
+  const SbpResult sbp = RunSbp(g, hhat, DenseMatrix(5, 2), {});
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(sbp.geodesic[v], kUnreachable);
+    EXPECT_EQ(sbp.beliefs.At(v, 0), 0.0);
+  }
+}
+
+TEST(RobustnessTest, FullyLabeledSbp) {
+  const Graph g = CycleGraph(6);
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.3);
+  const SeededBeliefs seeded = SeedPaperBeliefs(6, 2, 6, /*seed=*/1);
+  const SbpResult sbp =
+      RunSbp(g, hhat, seeded.residuals, seeded.explicit_nodes);
+  // Every node keeps its own explicit beliefs (geodesic 0 everywhere).
+  EXPECT_EQ(sbp.max_geodesic, 0);
+  ExpectMatrixNear(sbp.beliefs, seeded.residuals, 0.0);
+}
+
+TEST(RobustnessTest, ZeroCouplingFreezesPropagation) {
+  const Graph g = PathGraph(4);
+  const DenseMatrix zero(2, 2);
+  DenseMatrix e(4, 2);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.1;
+  const LinBpResult lin = RunLinBp(g, zero, e);
+  EXPECT_TRUE(lin.converged);
+  ExpectMatrixNear(lin.beliefs, e, 0.0);
+  const SbpResult sbp = RunSbp(g, zero, e, {0});
+  EXPECT_EQ(sbp.beliefs.At(1, 0), 0.0);  // modulated once through zero
+}
+
+TEST(RobustnessTest, ZeroIterationLinBpSqlReturnsExplicit) {
+  const Graph g = PathGraph(3);
+  const SeededBeliefs seeded = SeedPaperBeliefs(3, 3, 1, /*seed=*/2);
+  const Table b = RunLinBpSql(
+      MakeAdjacencyTable(g),
+      MakeBeliefTable(seeded.residuals, seeded.explicit_nodes),
+      MakeCouplingTable(AuctionCoupling().ScaledResidual(0.1)),
+      /*iterations=*/0);
+  ExpectMatrixNear(BeliefsFromTable(b, 3, 3), seeded.residuals, 0.0);
+}
+
+TEST(RobustnessTest, SbpSqlWithNoExplicitBeliefs) {
+  const Graph g = PathGraph(4);
+  Table e({"v", "c", "b"},
+          {ColumnType::kInt, ColumnType::kInt, ColumnType::kDouble});
+  const SbpSql sbp(MakeAdjacencyTable(g), e,
+                   MakeCouplingTable(HomophilyCoupling2().residual()));
+  EXPECT_EQ(sbp.geodesic().num_rows(), 0);
+  EXPECT_EQ(sbp.beliefs().num_rows(), 0);
+}
+
+TEST(RobustnessTest, SbpStateOnEmptyGraphThenEdges) {
+  // Build up a graph entirely through incremental updates.
+  SbpState state(4, HomophilyCoupling2().ScaledResidual(0.4));
+  DenseMatrix row(1, 2);
+  row.At(0, 0) = 0.1;
+  row.At(0, 1) = -0.1;
+  state.AddExplicitBeliefs({0}, row);
+  state.AddEdges({{0, 1, 1.0}});
+  state.AddEdges({{1, 2, 1.0}, {2, 3, 1.0}});
+  const Graph g = PathGraph(4);
+  DenseMatrix e(4, 2);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.1;
+  const SbpResult reference = RunSbp(
+      g, HomophilyCoupling2().ScaledResidual(0.4), e, {0});
+  EXPECT_EQ(state.geodesic(), reference.geodesic);
+  ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-14);
+}
+
+TEST(RobustnessTest, DisconnectedComponentsStayIndependent) {
+  // Two components, labels in only one; LinBP must leave the other at 0.
+  const Graph g(6, {{0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 1.0}, {4, 5, 1.0}});
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.1);
+  DenseMatrix e(6, 3);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.05;
+  e.At(0, 2) = -0.05;
+  const LinBpResult result = RunLinBp(g, hhat, e);
+  ASSERT_TRUE(result.converged);
+  for (int v = 3; v < 6; ++v) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(result.beliefs.At(v, c), 0.0);
+  }
+}
+
+TEST(RobustnessTest, ConvergenceAnalysisOnEdgelessGraph) {
+  const Graph g(3, {});
+  // rho(A) = 0: every scale converges; the threshold search must terminate
+  // and report an infinite threshold instead of looping forever.
+  const CouplingMatrix coupling = AuctionCoupling();
+  EXPECT_EQ(AdjacencySpectralRadius(g), 0.0);
+  EXPECT_TRUE(
+      LinBpConverges(g, coupling.ScaledResidual(100.0), LinBpVariant::kLinBp));
+  EXPECT_TRUE(std::isinf(
+      ExactEpsilonThreshold(g, coupling, LinBpVariant::kLinBp)));
+}
+
+TEST(RobustnessTest, TopBeliefsOnEmptyMatrix) {
+  const TopBeliefAssignment top = TopBeliefs(DenseMatrix(0, 0));
+  EXPECT_TRUE(top.classes.empty());
+  EXPECT_EQ(top.TotalBeliefs(), 0);
+}
+
+// Relabeling the nodes must permute the results and nothing else.
+class PermutationEquivarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermutationEquivarianceTest, LinBpAndSbpAreEquivariant) {
+  const std::uint64_t seed = GetParam();
+  const std::int64_t n = 18;
+  const Graph g = RandomConnectedGraph(n, 14, seed);
+  const DenseMatrix hhat = testing::RandomResidualCoupling(3, 0.1, seed + 1);
+  const SeededBeliefs seeded = SeedPaperBeliefs(n, 3, 4, seed + 2);
+
+  // Random permutation pi: new id of old node v is pi[v].
+  Rng rng(seed + 3);
+  std::vector<std::int64_t> pi(n);
+  for (std::int64_t v = 0; v < n; ++v) pi[v] = v;
+  for (std::int64_t v = n - 1; v > 0; --v) {
+    std::swap(pi[v], pi[rng.NextInt(0, v)]);
+  }
+  std::vector<Edge> permuted_edges;
+  for (const Edge& e : g.edges()) {
+    permuted_edges.push_back({pi[e.u], pi[e.v], e.weight});
+  }
+  const Graph permuted(n, permuted_edges);
+  DenseMatrix permuted_residuals(n, 3);
+  std::vector<std::int64_t> permuted_explicit;
+  for (const std::int64_t v : seeded.explicit_nodes) {
+    permuted_explicit.push_back(pi[v]);
+    for (int c = 0; c < 3; ++c) {
+      permuted_residuals.At(pi[v], c) = seeded.residuals.At(v, c);
+    }
+  }
+
+  const LinBpResult lin = RunLinBp(g, hhat, seeded.residuals);
+  const LinBpResult lin_permuted =
+      RunLinBp(permuted, hhat, permuted_residuals);
+  ASSERT_TRUE(lin.converged && lin_permuted.converged);
+  for (std::int64_t v = 0; v < n; ++v) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(lin_permuted.beliefs.At(pi[v], c), lin.beliefs.At(v, c),
+                  1e-12);
+    }
+  }
+
+  const SbpResult sbp =
+      RunSbp(g, hhat, seeded.residuals, seeded.explicit_nodes);
+  const SbpResult sbp_permuted =
+      RunSbp(permuted, hhat, permuted_residuals, permuted_explicit);
+  for (std::int64_t v = 0; v < n; ++v) {
+    EXPECT_EQ(sbp_permuted.geodesic[pi[v]], sbp.geodesic[v]);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(sbp_permuted.beliefs.At(pi[v], c), sbp.beliefs.At(v, c),
+                  1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationEquivarianceTest,
+                         ::testing::Range(0, 5));
+
+TEST(RobustnessTest, SelfConsistencyUnderPermutedEdgeInput) {
+  // Graph construction must not depend on edge order.
+  std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 3, 0.5}};
+  const Graph a(4, edges);
+  std::reverse(edges.begin(), edges.end());
+  const Graph b(4, edges);
+  ExpectMatrixNear(a.adjacency().ToDense(), b.adjacency().ToDense(), 0.0);
+}
+
+}  // namespace
+}  // namespace linbp

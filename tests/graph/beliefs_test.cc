@@ -1,0 +1,114 @@
+#include "src/graph/beliefs.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+using testing::ExpectVectorNear;
+
+TEST(BeliefConversionTest, ResidualToProbabilityAddsUniform) {
+  DenseMatrix residual{{0.1, -0.1}, {0.0, 0.0}};
+  ExpectMatrixNear(ResidualToProbability(residual),
+                   DenseMatrix{{0.6, 0.4}, {0.5, 0.5}}, 1e-15);
+}
+
+TEST(BeliefConversionTest, RoundTrip) {
+  const DenseMatrix residual = testing::RandomMatrix(4, 3, 0.05, 1);
+  ExpectMatrixNear(ProbabilityToResidual(ResidualToProbability(residual)),
+                   residual, 1e-15);
+}
+
+TEST(ExplicitResidualForClassTest, SumsToZero) {
+  const auto r = ExplicitResidualForClass(4, 1, 0.8);
+  double sum = 0.0;
+  for (const double v : r) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-15);
+  EXPECT_NEAR(r[1], 0.8 - 0.2, 1e-15);
+  EXPECT_NEAR(r[0], -0.2, 1e-15);
+}
+
+TEST(ExplicitResidualForClassTest, StrengthOneIsOneHotProbability) {
+  const auto r = ExplicitResidualForClass(2, 0, 1.0);
+  EXPECT_NEAR(r[0] + 0.5, 1.0, 1e-15);
+  EXPECT_NEAR(r[1] + 0.5, 0.0, 1e-15);
+}
+
+TEST(SeedPaperBeliefsTest, CountAndSortedNodes) {
+  const SeededBeliefs seeded = SeedPaperBeliefs(100, 3, 12, /*seed=*/5);
+  EXPECT_EQ(seeded.explicit_nodes.size(), 12u);
+  for (std::size_t i = 1; i < seeded.explicit_nodes.size(); ++i) {
+    EXPECT_LT(seeded.explicit_nodes[i - 1], seeded.explicit_nodes[i]);
+  }
+}
+
+TEST(SeedPaperBeliefsTest, RowsAreCenteredResiduals) {
+  const SeededBeliefs seeded = SeedPaperBeliefs(50, 3, 10, /*seed=*/6);
+  for (const std::int64_t node : seeded.explicit_nodes) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < 3; ++c) sum += seeded.residuals.At(node, c);
+    EXPECT_NEAR(sum, 0.0, 1e-15);
+  }
+}
+
+TEST(SeedPaperBeliefsTest, ValuesComeFromThePaperGrid) {
+  // Without extra digits, the first k-1 classes use the grid
+  // {-0.10, -0.09, ..., 0.10}.
+  const SeededBeliefs seeded = SeedPaperBeliefs(50, 3, 20, /*seed=*/7);
+  for (const std::int64_t node : seeded.explicit_nodes) {
+    for (std::int64_t c = 0; c + 1 < 3; ++c) {
+      const double v = seeded.residuals.At(node, c);
+      EXPECT_LE(std::abs(v), 0.1 + 1e-12);
+      const double hundredths = v * 100.0;
+      EXPECT_NEAR(hundredths, std::round(hundredths), 1e-9);
+    }
+  }
+}
+
+TEST(SeedPaperBeliefsTest, UnlabeledRowsAreZero) {
+  const SeededBeliefs seeded = SeedPaperBeliefs(30, 4, 5, /*seed=*/8);
+  std::vector<bool> is_explicit(30, false);
+  for (const std::int64_t node : seeded.explicit_nodes) {
+    is_explicit[node] = true;
+  }
+  for (std::int64_t v = 0; v < 30; ++v) {
+    if (is_explicit[v]) continue;
+    for (std::int64_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(seeded.residuals.At(v, c), 0.0);
+    }
+  }
+}
+
+TEST(SeedPaperBeliefsTest, Deterministic) {
+  const SeededBeliefs a = SeedPaperBeliefs(64, 3, 9, /*seed=*/42);
+  const SeededBeliefs b = SeedPaperBeliefs(64, 3, 9, /*seed=*/42);
+  EXPECT_EQ(a.explicit_nodes, b.explicit_nodes);
+  EXPECT_EQ(a.residuals.MaxAbsDiff(b.residuals), 0.0);
+}
+
+TEST(SeedPaperBeliefsTest, ExtraDigitsBreakTies) {
+  // The paper's tie-avoidance: extra digits make values like 0.0503.
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(50, 3, 20, /*seed=*/9, /*extra_digits=*/2);
+  bool any_off_grid = false;
+  for (const std::int64_t node : seeded.explicit_nodes) {
+    const double v = seeded.residuals.At(node, 0);
+    const double hundredths = v * 100.0;
+    if (std::abs(hundredths - std::round(hundredths)) > 1e-9) {
+      any_off_grid = true;
+    }
+  }
+  EXPECT_TRUE(any_off_grid);
+}
+
+TEST(BeliefRowTest, ExtractsRow) {
+  DenseMatrix m{{1, 2}, {3, 4}};
+  ExpectVectorNear(BeliefRow(m, 1), {3.0, 4.0}, 0.0);
+}
+
+}  // namespace
+}  // namespace linbp

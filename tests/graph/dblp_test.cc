@@ -1,0 +1,126 @@
+#include "src/graph/dblp.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/core/sbp.h"
+
+namespace linbp {
+namespace {
+
+DblpConfig SmallConfig() {
+  DblpConfig config;
+  config.num_papers = 400;
+  config.num_authors = 420;
+  config.num_conferences = 20;
+  config.num_terms = 200;
+  config.seed = 123;
+  return config;
+}
+
+TEST(DblpTest, NodeLayout) {
+  const DblpConfig config = SmallConfig();
+  const DblpGraph dblp = MakeSyntheticDblp(config);
+  const std::int64_t total = config.num_papers + config.num_authors +
+                             config.num_conferences + config.num_terms;
+  EXPECT_EQ(dblp.graph.num_nodes(), total);
+  EXPECT_EQ(dblp.node_kind[0], DblpNodeKind::kPaper);
+  EXPECT_EQ(dblp.node_kind[config.num_papers], DblpNodeKind::kAuthor);
+  EXPECT_EQ(dblp.node_kind[config.num_papers + config.num_authors],
+            DblpNodeKind::kConference);
+  EXPECT_EQ(dblp.node_kind[total - 1], DblpNodeKind::kTerm);
+}
+
+TEST(DblpTest, ConferencesRoundRobinClasses) {
+  const DblpConfig config = SmallConfig();
+  const DblpGraph dblp = MakeSyntheticDblp(config);
+  const std::int64_t conf_base = config.num_papers + config.num_authors;
+  for (std::int64_t c = 0; c < config.num_conferences; ++c) {
+    EXPECT_EQ(dblp.node_class[conf_base + c],
+              static_cast<int>(c % config.num_classes));
+  }
+}
+
+TEST(DblpTest, LabeledFractionApproximatesTarget) {
+  const DblpConfig config = SmallConfig();
+  const DblpGraph dblp = MakeSyntheticDblp(config);
+  const double fraction =
+      static_cast<double>(dblp.labeled_nodes.size()) /
+      static_cast<double>(dblp.graph.num_nodes());
+  EXPECT_NEAR(fraction, config.labeled_fraction, 0.01);
+}
+
+TEST(DblpTest, LabeledNodesHaveKnownClasses) {
+  const DblpGraph dblp = MakeSyntheticDblp(SmallConfig());
+  for (const std::int64_t node : dblp.labeled_nodes) {
+    EXPECT_GE(dblp.node_class[node], 0) << node;
+    EXPECT_LT(dblp.node_class[node], dblp.num_classes);
+  }
+}
+
+TEST(DblpTest, EdgesOnlyConnectPapersToEntities) {
+  // The graph is paper-centric: every edge touches exactly one paper.
+  const DblpConfig config = SmallConfig();
+  const DblpGraph dblp = MakeSyntheticDblp(config);
+  for (const Edge& e : dblp.graph.edges()) {
+    const bool u_is_paper = dblp.node_kind[e.u] == DblpNodeKind::kPaper;
+    const bool v_is_paper = dblp.node_kind[e.v] == DblpNodeKind::kPaper;
+    EXPECT_TRUE(u_is_paper != v_is_paper)
+        << "edge " << e.u << "-" << e.v;
+  }
+}
+
+TEST(DblpTest, EveryPaperHasConferenceAuthorsAndTerms) {
+  const DblpConfig config = SmallConfig();
+  const DblpGraph dblp = MakeSyntheticDblp(config);
+  // Papers connect to >= 1 author + 1 conference + >= min_terms (some term
+  // picks may collide, so allow a small slack).
+  for (std::int64_t p = 0; p < config.num_papers; ++p) {
+    EXPECT_GE(dblp.graph.Degree(p),
+              1 + config.min_authors_per_paper + 1);
+  }
+}
+
+TEST(DblpTest, NonIsolatedNodesAreReachableFromLabels) {
+  // Zipf popularity leaves some tail authors/terms without any paper; those
+  // are isolated by construction. Every node with an edge should be in the
+  // labeled component (papers link everything through conferences).
+  const DblpGraph dblp = MakeSyntheticDblp(SmallConfig());
+  const auto geodesic = GeodesicNumbers(dblp.graph, dblp.labeled_nodes);
+  std::int64_t connected = 0;
+  std::int64_t reachable = 0;
+  for (std::int64_t v = 0; v < dblp.graph.num_nodes(); ++v) {
+    if (dblp.graph.Degree(v) == 0) continue;
+    ++connected;
+    if (geodesic[v] != kUnreachable) ++reachable;
+  }
+  EXPECT_GT(reachable, connected * 95 / 100);
+}
+
+TEST(DblpTest, Deterministic) {
+  const DblpGraph a = MakeSyntheticDblp(SmallConfig());
+  const DblpGraph b = MakeSyntheticDblp(SmallConfig());
+  EXPECT_EQ(a.graph.num_directed_edges(), b.graph.num_directed_edges());
+  EXPECT_EQ(a.labeled_nodes, b.labeled_nodes);
+  EXPECT_EQ(a.node_class, b.node_class);
+}
+
+TEST(DblpTest, DifferentSeedsDiffer) {
+  DblpConfig config = SmallConfig();
+  const DblpGraph a = MakeSyntheticDblp(config);
+  config.seed = 999;
+  const DblpGraph b = MakeSyntheticDblp(config);
+  EXPECT_NE(a.labeled_nodes, b.labeled_nodes);
+}
+
+TEST(DblpTest, DefaultScaleApproximatesPaperDataset) {
+  // The defaults target ~36k nodes and ~300k+ directed edges (the paper's
+  // DBLP subset has 36,138 nodes and 341,564 directed edges).
+  const DblpConfig config;
+  const std::int64_t total = config.num_papers + config.num_authors +
+                             config.num_conferences + config.num_terms;
+  EXPECT_NEAR(static_cast<double>(total), 36138.0, 600.0);
+}
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,102 @@
+#include "src/graph/graph.h"
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectVectorNear;
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_directed_edges(), 0);
+}
+
+TEST(GraphTest, TriangleBasics) {
+  const Graph g(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_undirected_edges(), 3);
+  EXPECT_EQ(g.num_directed_edges(), 6);
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_TRUE(g.adjacency().IsSymmetric());
+}
+
+TEST(GraphTest, IsolatedNodesAllowed) {
+  const Graph g(5, {{0, 1, 1.0}});
+  EXPECT_EQ(g.Degree(4), 0);
+  EXPECT_EQ(g.weighted_degrees()[4], 0.0);
+}
+
+TEST(GraphTest, EdgesAreNormalizedLowerFirst) {
+  const Graph g(3, {{2, 0, 1.5}});
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].u, 0);
+  EXPECT_EQ(g.edges()[0].v, 2);
+  EXPECT_EQ(g.adjacency().At(0, 2), 1.5);
+  EXPECT_EQ(g.adjacency().At(2, 0), 1.5);
+}
+
+TEST(GraphTest, WeightedDegreesAreSumsOfSquaredWeights) {
+  // Sect. 5.2: d_s = sum of squared weights (echo crosses edges twice).
+  const Graph g(3, {{0, 1, 2.0}, {0, 2, 3.0}});
+  ExpectVectorNear(g.weighted_degrees(), {13.0, 4.0, 9.0}, 1e-14);
+}
+
+TEST(GraphTest, UnweightedDegreesMatchPlainDegrees) {
+  const Graph g = RandomConnectedGraph(20, 15, /*seed=*/7);
+  for (std::int64_t s = 0; s < g.num_nodes(); ++s) {
+    EXPECT_DOUBLE_EQ(g.weighted_degrees()[s],
+                     static_cast<double>(g.Degree(s)));
+  }
+}
+
+TEST(GraphDeathTest, RejectsSelfLoops) {
+  EXPECT_DEATH(Graph(2, {{0, 0, 1.0}}), "self-loops");
+}
+
+TEST(GraphDeathTest, RejectsDuplicateEdges) {
+  EXPECT_DEATH(Graph(3, {{0, 1, 1.0}, {1, 0, 2.0}}), "duplicate");
+}
+
+TEST(GraphDeathTest, RejectsOutOfRangeNodes) {
+  EXPECT_DEATH(Graph(2, {{0, 5, 1.0}}), "");
+}
+
+TEST(ReverseEdgeIndexTest, SingleEdge) {
+  const Graph g(2, {{0, 1, 1.0}});
+  const auto reverse = ReverseEdgeIndex(g.adjacency());
+  ASSERT_EQ(reverse.size(), 2u);
+  EXPECT_EQ(reverse[0], 1);
+  EXPECT_EQ(reverse[1], 0);
+}
+
+class ReverseEdgeIndexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReverseEdgeIndexRandomTest, MirrorsEveryEntry) {
+  const Graph g = RandomConnectedGraph(15, 20, GetParam());
+  const SparseMatrix& a = g.adjacency();
+  const auto reverse = ReverseEdgeIndex(a);
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  for (std::int64_t s = 0; s < a.rows(); ++s) {
+    for (std::int64_t e = row_ptr[s]; e < row_ptr[s + 1]; ++e) {
+      const std::int64_t t = col_idx[e];
+      const std::int64_t mirror = reverse[e];
+      // The mirror entry lives in row t and points back at s.
+      EXPECT_GE(mirror, row_ptr[t]);
+      EXPECT_LT(mirror, row_ptr[t + 1]);
+      EXPECT_EQ(col_idx[mirror], s);
+      // reverse is an involution.
+      EXPECT_EQ(reverse[mirror], e);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReverseEdgeIndexRandomTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,127 @@
+#include "src/graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(EdgeListIoTest, RoundTrip) {
+  const Graph original = RandomWeightedConnectedGraph(20, 15, 0.5, 2.0, 3);
+  const std::string path = TempPath("roundtrip.edges");
+  ASSERT_TRUE(WriteEdgeList(original, path));
+  std::string error;
+  const auto loaded = ReadEdgeList(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded->num_undirected_edges(), original.num_undirected_edges());
+  ExpectMatrixNear(loaded->adjacency().ToDense(),
+                   original.adjacency().ToDense(), 1e-12);
+}
+
+TEST(EdgeListIoTest, DefaultWeightIsOne) {
+  const std::string path = TempPath("unweighted.edges");
+  WriteFile(path, "0 1\n1 2\n");
+  std::string error;
+  const auto graph = ReadEdgeList(path, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->num_nodes(), 3);
+  EXPECT_EQ(graph->adjacency().At(0, 1), 1.0);
+}
+
+TEST(EdgeListIoTest, CommentsAndBlanksIgnored) {
+  const std::string path = TempPath("comments.edges");
+  WriteFile(path, "# header\n\n0 1 2.5\n  \n# tail\n");
+  std::string error;
+  const auto graph = ReadEdgeList(path, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->num_undirected_edges(), 1);
+  EXPECT_EQ(graph->adjacency().At(1, 0), 2.5);
+}
+
+TEST(EdgeListIoTest, NumNodesHintKeepsIsolatedNodes) {
+  const std::string path = TempPath("hint.edges");
+  WriteFile(path, "0 1\n");
+  std::string error;
+  const auto graph = ReadEdgeList(path, &error, /*num_nodes_hint=*/5);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->num_nodes(), 5);
+}
+
+TEST(EdgeListIoTest, ReportsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(ReadEdgeList(TempPath("nope.edges"), &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(EdgeListIoTest, ReportsMalformedLine) {
+  const std::string path = TempPath("bad.edges");
+  WriteFile(path, "0 x\n");
+  std::string error;
+  EXPECT_FALSE(ReadEdgeList(path, &error).has_value());
+  EXPECT_NE(error.find(":1:"), std::string::npos);
+}
+
+TEST(EdgeListIoTest, ReportsSelfLoopAndDuplicate) {
+  const std::string self_loop = TempPath("selfloop.edges");
+  WriteFile(self_loop, "2 2\n");
+  std::string error;
+  EXPECT_FALSE(ReadEdgeList(self_loop, &error).has_value());
+  EXPECT_NE(error.find("self-loop"), std::string::npos);
+
+  const std::string duplicate = TempPath("dup.edges");
+  WriteFile(duplicate, "0 1\n1 0\n");
+  EXPECT_FALSE(ReadEdgeList(duplicate, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(BeliefIoTest, RoundTrip) {
+  const SeededBeliefs original = SeedPaperBeliefs(30, 3, 6, /*seed=*/9);
+  const std::string path = TempPath("beliefs.txt");
+  ASSERT_TRUE(WriteBeliefs(original.residuals, original.explicit_nodes,
+                           path));
+  std::string error;
+  const auto loaded = ReadBeliefs(path, 30, 3, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->explicit_nodes, original.explicit_nodes);
+  ExpectMatrixNear(loaded->residuals, original.residuals, 1e-15);
+}
+
+TEST(BeliefIoTest, RangeChecked) {
+  const std::string path = TempPath("beliefs_bad.txt");
+  WriteFile(path, "5 0 0.1\n");
+  std::string error;
+  EXPECT_FALSE(ReadBeliefs(path, 5, 3, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(BeliefIoTest, FullPrecisionRoundTrip) {
+  DenseMatrix residuals(2, 2);
+  residuals.At(0, 0) = 0.1234567890123456789;
+  residuals.At(0, 1) = -0.1234567890123456789;
+  const std::string path = TempPath("precision.txt");
+  ASSERT_TRUE(WriteBeliefs(residuals, {0}, path));
+  std::string error;
+  const auto loaded = ReadBeliefs(path, 2, 2, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->residuals.At(0, 0), residuals.At(0, 0));
+}
+
+}  // namespace
+}  // namespace linbp

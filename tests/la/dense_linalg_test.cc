@@ -1,0 +1,134 @@
+#include "src/la/dense_linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+using testing::ExpectVectorNear;
+using testing::RandomMatrix;
+using testing::RandomSymmetricMatrix;
+
+TEST(LuFactorizationTest, SolvesHandSystem) {
+  // 2x + y = 5, x + 3y = 10  =>  x = 1, y = 3.
+  const auto lu = LuFactorization::Compute(DenseMatrix{{2, 1}, {1, 3}});
+  ASSERT_TRUE(lu.has_value());
+  ExpectVectorNear(lu->Solve({5, 10}), {1, 3}, 1e-12);
+}
+
+TEST(LuFactorizationTest, SolveRequiresPivoting) {
+  // Zero top-left pivot forces a row swap.
+  const auto lu = LuFactorization::Compute(DenseMatrix{{0, 1}, {1, 0}});
+  ASSERT_TRUE(lu.has_value());
+  ExpectVectorNear(lu->Solve({3, 7}), {7, 3}, 1e-12);
+}
+
+TEST(LuFactorizationTest, DetectsSingularMatrix) {
+  EXPECT_FALSE(
+      LuFactorization::Compute(DenseMatrix{{1, 2}, {2, 4}}).has_value());
+  EXPECT_FALSE(
+      LuFactorization::Compute(DenseMatrix(3, 3)).has_value());
+}
+
+TEST(LuFactorizationTest, SolveMatrixMatchesColumnSolves) {
+  const DenseMatrix a = RandomMatrix(5, 5, 1.0, 21).Add(
+      DenseMatrix::Identity(5).Scale(3.0));  // well-conditioned
+  const DenseMatrix b = RandomMatrix(5, 3, 1.0, 22);
+  const auto lu = LuFactorization::Compute(a);
+  ASSERT_TRUE(lu.has_value());
+  const DenseMatrix x = lu->SolveMatrix(b);
+  ExpectMatrixNear(a.Multiply(x), b, 1e-10);
+}
+
+TEST(InverseTest, HandValue) {
+  const auto inv = Inverse(DenseMatrix{{4, 7}, {2, 6}});
+  ASSERT_TRUE(inv.has_value());
+  ExpectMatrixNear(*inv, DenseMatrix{{0.6, -0.7}, {-0.2, 0.4}}, 1e-12);
+}
+
+TEST(InverseTest, SingularReturnsNullopt) {
+  EXPECT_FALSE(Inverse(DenseMatrix{{1, 1}, {1, 1}}).has_value());
+}
+
+class InverseRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InverseRandomTest, ProductWithInverseIsIdentity) {
+  const DenseMatrix a = RandomMatrix(4, 4, 1.0, GetParam()).Add(
+      DenseMatrix::Identity(4).Scale(2.5));
+  const auto inv = Inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  ExpectMatrixNear(a.Multiply(*inv), DenseMatrix::Identity(4), 1e-10);
+  ExpectMatrixNear(inv->Multiply(a), DenseMatrix::Identity(4), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InverseRandomTest, ::testing::Range(0, 8));
+
+TEST(SymmetricEigenvaluesTest, DiagonalMatrix) {
+  auto values = SymmetricEigenvalues(DenseMatrix::Diagonal({3.0, -1.0, 2.0}));
+  std::sort(values.begin(), values.end());
+  ExpectVectorNear(values, {-1.0, 2.0, 3.0}, 1e-12);
+}
+
+TEST(SymmetricEigenvaluesTest, HandValue2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  auto values = SymmetricEigenvalues(DenseMatrix{{2, 1}, {1, 2}});
+  std::sort(values.begin(), values.end());
+  ExpectVectorNear(values, {1.0, 3.0}, 1e-12);
+}
+
+TEST(SymmetricEigenvaluesTest, PaperCouplingMatrix) {
+  // rho(Hhat_o) ~ 0.6292 for the Fig. 1c residual (Example 20).
+  const DenseMatrix hhat =
+      DenseMatrix{{0.6, 0.3, 0.1}, {0.3, 0.0, 0.7}, {0.1, 0.7, 0.2}}
+          .AddScalar(-1.0 / 3.0);
+  EXPECT_NEAR(SymmetricSpectralRadius(hhat), 0.62915, 1e-4);
+}
+
+class SymmetricEigenRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricEigenRandomTest, TraceAndFrobeniusInvariants) {
+  const DenseMatrix a = RandomSymmetricMatrix(5, 2.0, GetParam());
+  const auto values = SymmetricEigenvalues(a);
+  double trace = 0.0;
+  double frobenius_sq = 0.0;
+  for (std::int64_t i = 0; i < 5; ++i) {
+    trace += a.At(i, i);
+    for (std::int64_t j = 0; j < 5; ++j) {
+      frobenius_sq += a.At(i, j) * a.At(i, j);
+    }
+  }
+  double eigen_sum = 0.0;
+  double eigen_sq_sum = 0.0;
+  for (const double v : values) {
+    eigen_sum += v;
+    eigen_sq_sum += v * v;
+  }
+  EXPECT_NEAR(eigen_sum, trace, 1e-9);
+  EXPECT_NEAR(eigen_sq_sum, frobenius_sq, 1e-8);
+}
+
+TEST_P(SymmetricEigenRandomTest, EigenvaluesSolveCharacteristicSystem) {
+  // For each eigenvalue lambda, A - lambda I must be singular.
+  const DenseMatrix a = RandomSymmetricMatrix(4, 1.0, GetParam() + 50);
+  for (const double lambda : SymmetricEigenvalues(a)) {
+    const DenseMatrix shifted =
+        a.Sub(DenseMatrix::Identity(4).Scale(lambda));
+    // Singular matrices have at least one tiny singular value; test via the
+    // inverse blowing up or failing outright.
+    const auto inv = Inverse(shifted);
+    if (inv.has_value()) {
+      EXPECT_GT(inv->MaxAbs(), 1e6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymmetricEigenRandomTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace linbp

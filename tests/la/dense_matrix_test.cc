@@ -1,0 +1,170 @@
+#include "src/la/dense_matrix.h"
+
+#include "gtest/gtest.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+using testing::ExpectVectorNear;
+using testing::RandomMatrix;
+
+TEST(DenseMatrixTest, DefaultIsEmpty) {
+  DenseMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+}
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(2, 3);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    for (std::int64_t c = 0; c < 3; ++c) EXPECT_EQ(m.At(r, c), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, InitializerList) {
+  DenseMatrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_EQ(m.At(1, 2), 6.0);
+}
+
+TEST(DenseMatrixTest, Identity) {
+  const DenseMatrix eye = DenseMatrix::Identity(3);
+  ExpectMatrixNear(eye, DenseMatrix{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}, 0.0);
+}
+
+TEST(DenseMatrixTest, Diagonal) {
+  const DenseMatrix d = DenseMatrix::Diagonal({2.0, -1.0});
+  ExpectMatrixNear(d, DenseMatrix{{2, 0}, {0, -1}}, 0.0);
+}
+
+TEST(DenseMatrixTest, AddSubScale) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  DenseMatrix b{{5, 6}, {7, 8}};
+  ExpectMatrixNear(a.Add(b), DenseMatrix{{6, 8}, {10, 12}}, 0.0);
+  ExpectMatrixNear(b.Sub(a), DenseMatrix{{4, 4}, {4, 4}}, 0.0);
+  ExpectMatrixNear(a.Scale(2.0), DenseMatrix{{2, 4}, {6, 8}}, 0.0);
+  ExpectMatrixNear(a.AddScalar(1.0), DenseMatrix{{2, 3}, {4, 5}}, 0.0);
+}
+
+TEST(DenseMatrixTest, MultiplyHandValue) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  DenseMatrix b{{5, 6}, {7, 8}};
+  ExpectMatrixNear(a.Multiply(b), DenseMatrix{{19, 22}, {43, 50}}, 1e-14);
+}
+
+TEST(DenseMatrixTest, MultiplyRectangular) {
+  DenseMatrix a{{1, 0, 2}, {0, 3, 0}};
+  DenseMatrix b{{1, 1}, {2, 0}, {0, 5}};
+  ExpectMatrixNear(a.Multiply(b), DenseMatrix{{1, 11}, {6, 0}}, 1e-14);
+}
+
+TEST(DenseMatrixTest, MultiplyByIdentity) {
+  const DenseMatrix a = RandomMatrix(4, 4, 2.0, /*seed=*/1);
+  ExpectMatrixNear(a.Multiply(DenseMatrix::Identity(4)), a, 0.0);
+  ExpectMatrixNear(DenseMatrix::Identity(4).Multiply(a), a, 0.0);
+}
+
+TEST(DenseMatrixTest, Transpose) {
+  DenseMatrix a{{1, 2, 3}, {4, 5, 6}};
+  ExpectMatrixNear(a.Transpose(), DenseMatrix{{1, 4}, {2, 5}, {3, 6}}, 0.0);
+}
+
+TEST(DenseMatrixTest, TransposeOfProduct) {
+  const DenseMatrix a = RandomMatrix(3, 4, 1.0, 2);
+  const DenseMatrix b = RandomMatrix(4, 5, 1.0, 3);
+  ExpectMatrixNear(a.Multiply(b).Transpose(),
+                   b.Transpose().Multiply(a.Transpose()), 1e-12);
+}
+
+TEST(DenseMatrixTest, MultiplyVector) {
+  DenseMatrix a{{1, 2}, {3, 4}, {5, 6}};
+  ExpectVectorNear(a.MultiplyVector({1.0, -1.0}), {-1.0, -1.0, -1.0}, 1e-14);
+}
+
+TEST(DenseMatrixTest, MaxAbsAndDiff) {
+  DenseMatrix a{{1, -7}, {3, 4}};
+  DenseMatrix b{{1, -7}, {3, 9}};
+  EXPECT_EQ(a.MaxAbs(), 7.0);
+  EXPECT_EQ(a.MaxAbsDiff(b), 5.0);
+  EXPECT_EQ(a.MaxAbsDiff(a), 0.0);
+}
+
+TEST(DenseMatrixTest, IsSymmetric) {
+  EXPECT_TRUE((DenseMatrix{{1, 2}, {2, 3}}).IsSymmetric());
+  EXPECT_FALSE((DenseMatrix{{1, 2}, {2.1, 3}}).IsSymmetric());
+  EXPECT_TRUE((DenseMatrix{{1, 2}, {2.1, 3}}).IsSymmetric(/*tol=*/0.2));
+  EXPECT_FALSE(RandomMatrix(2, 3, 1.0, 4).IsSymmetric());  // non-square
+}
+
+TEST(DenseMatrixTest, VectorizeIsColumnMajor) {
+  DenseMatrix a{{1, 4}, {2, 5}, {3, 6}};
+  ExpectVectorNear(a.Vectorize(), {1, 2, 3, 4, 5, 6}, 0.0);
+}
+
+TEST(DenseMatrixTest, VectorizeRoundTrip) {
+  const DenseMatrix a = RandomMatrix(4, 3, 5.0, 5);
+  ExpectMatrixNear(DenseMatrix::FromVectorized(a.Vectorize(), 4, 3), a, 0.0);
+}
+
+TEST(DenseMatrixTest, KroneckerHandValue) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  DenseMatrix b{{0, 1}, {1, 0}};
+  ExpectMatrixNear(a.Kronecker(b),
+                   DenseMatrix{{0, 1, 0, 2},
+                               {1, 0, 2, 0},
+                               {0, 3, 0, 4},
+                               {3, 0, 4, 0}},
+                   0.0);
+}
+
+TEST(DenseMatrixTest, KroneckerMixedProductProperty) {
+  // (A (x) B)(C (x) D) = AC (x) BD.
+  const DenseMatrix a = RandomMatrix(2, 2, 1.0, 6);
+  const DenseMatrix b = RandomMatrix(3, 3, 1.0, 7);
+  const DenseMatrix c = RandomMatrix(2, 2, 1.0, 8);
+  const DenseMatrix d = RandomMatrix(3, 3, 1.0, 9);
+  ExpectMatrixNear(a.Kronecker(b).Multiply(c.Kronecker(d)),
+                   a.Multiply(c).Kronecker(b.Multiply(d)), 1e-12);
+}
+
+// Roth's column lemma, the identity behind Prop. 7 of the paper:
+// vec(X Y Z) = (Z^T (x) X) vec(Y).
+TEST(DenseMatrixTest, RothsColumnLemma) {
+  const DenseMatrix x = RandomMatrix(3, 4, 1.0, 10);
+  const DenseMatrix y = RandomMatrix(4, 2, 1.0, 11);
+  const DenseMatrix z = RandomMatrix(2, 5, 1.0, 12);
+  const std::vector<double> lhs = x.Multiply(y).Multiply(z).Vectorize();
+  const std::vector<double> rhs =
+      z.Transpose().Kronecker(x).MultiplyVector(y.Vectorize());
+  ExpectVectorNear(lhs, rhs, 1e-12);
+}
+
+class DenseMatrixRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseMatrixRandomTest, MultiplyAssociativity) {
+  const std::uint64_t seed = GetParam();
+  const DenseMatrix a = RandomMatrix(3, 4, 1.0, seed);
+  const DenseMatrix b = RandomMatrix(4, 2, 1.0, seed + 100);
+  const DenseMatrix c = RandomMatrix(2, 3, 1.0, seed + 200);
+  ExpectMatrixNear(a.Multiply(b).Multiply(c), a.Multiply(b.Multiply(c)),
+                   1e-12);
+}
+
+TEST_P(DenseMatrixRandomTest, DistributivityOverAddition) {
+  const std::uint64_t seed = GetParam();
+  const DenseMatrix a = RandomMatrix(3, 3, 1.0, seed);
+  const DenseMatrix b = RandomMatrix(3, 3, 1.0, seed + 1);
+  const DenseMatrix c = RandomMatrix(3, 3, 1.0, seed + 2);
+  ExpectMatrixNear(a.Add(b).Multiply(c),
+                   a.Multiply(c).Add(b.Multiply(c)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseMatrixRandomTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,111 @@
+#include "src/la/kron_ops.h"
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+using testing::ExpectVectorNear;
+using testing::RandomMatrix;
+using testing::RandomResidualCoupling;
+
+// Dense reference of the LinBP operator: Hhat (x) A [- Hhat^2 (x) D].
+DenseMatrix DenseLinBpOperator(const Graph& graph, const DenseMatrix& hhat,
+                               bool with_echo) {
+  const DenseMatrix a = graph.adjacency().ToDense();
+  DenseMatrix m = hhat.Kronecker(a);
+  if (with_echo) {
+    const DenseMatrix d = DenseMatrix::Diagonal(graph.weighted_degrees());
+    m = m.Sub(hhat.Multiply(hhat).Kronecker(d));
+  }
+  return m;
+}
+
+TEST(DenseOperatorTest, AppliesMatrix) {
+  const DenseOperator op(DenseMatrix{{1, 2}, {3, 4}});
+  EXPECT_EQ(op.dim(), 2);
+  std::vector<double> y;
+  op.Apply({1.0, 1.0}, &y);
+  ExpectVectorNear(y, {3.0, 7.0}, 0.0);
+}
+
+TEST(LinBpPropagateTest, SingleEdgeHandValue) {
+  // Two nodes, one edge. A*B*Hhat swaps the rows of B then modulates.
+  const Graph g(2, {{0, 1, 1.0}});
+  const DenseMatrix hhat{{0.1, -0.1}, {-0.1, 0.1}};
+  DenseMatrix beliefs{{1.0, -1.0}, {0.0, 0.0}};
+  const DenseMatrix out =
+      LinBpPropagate(g.adjacency(), g.weighted_degrees(), hhat,
+                     hhat.Multiply(hhat), beliefs, /*with_echo=*/false);
+  // Node 1 receives Hhat^T * [1, -1] = [0.2, -0.2]; node 0 receives zero.
+  ExpectMatrixNear(out, DenseMatrix{{0, 0}, {0.2, -0.2}}, 1e-14);
+}
+
+TEST(LinBpPropagateTest, EchoCancellationSubtractsDBH2) {
+  const Graph g(2, {{0, 1, 1.0}});
+  const DenseMatrix hhat{{0.1, -0.1}, {-0.1, 0.1}};
+  const DenseMatrix hhat2 = hhat.Multiply(hhat);
+  DenseMatrix beliefs{{1.0, -1.0}, {2.0, -2.0}};
+  const DenseMatrix with_echo =
+      LinBpPropagate(g.adjacency(), g.weighted_degrees(), hhat, hhat2,
+                     beliefs, /*with_echo=*/true);
+  const DenseMatrix without_echo =
+      LinBpPropagate(g.adjacency(), g.weighted_degrees(), hhat, hhat2,
+                     beliefs, /*with_echo=*/false);
+  const DenseMatrix echo = beliefs.Multiply(hhat2);  // degrees are 1
+  ExpectMatrixNear(with_echo, without_echo.Sub(echo), 1e-14);
+}
+
+class LinBpOperatorTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(LinBpOperatorTest, MatchesDenseKroneckerMatrix) {
+  const auto [seed, with_echo] = GetParam();
+  const Graph graph = RandomConnectedGraph(7, 6, seed);
+  const DenseMatrix hhat = RandomResidualCoupling(3, 0.1, seed + 1);
+  const LinBpOperator op(&graph.adjacency(), graph.weighted_degrees(), hhat,
+                         with_echo);
+  ASSERT_EQ(op.dim(), 21);
+  const DenseMatrix reference = DenseLinBpOperator(graph, hhat, with_echo);
+  const DenseMatrix x = RandomMatrix(21, 1, 1.0, seed + 2);
+  std::vector<double> x_vec(21);
+  for (int i = 0; i < 21; ++i) x_vec[i] = x.At(i, 0);
+  std::vector<double> y;
+  op.Apply(x_vec, &y);
+  ExpectVectorNear(y, reference.MultiplyVector(x_vec), 1e-12);
+}
+
+TEST_P(LinBpOperatorTest, WeightedGraphMatchesDense) {
+  const auto [seed, with_echo] = GetParam();
+  const Graph graph =
+      RandomWeightedConnectedGraph(6, 5, 0.5, 2.0, seed + 100);
+  const DenseMatrix hhat = RandomResidualCoupling(2, 0.1, seed + 101);
+  const LinBpOperator op(&graph.adjacency(), graph.weighted_degrees(), hhat,
+                         with_echo);
+  const DenseMatrix reference = DenseLinBpOperator(graph, hhat, with_echo);
+  std::vector<double> x_vec(12);
+  Rng rng(seed + 102);
+  for (auto& v : x_vec) v = rng.NextDouble();
+  std::vector<double> y;
+  op.Apply(x_vec, &y);
+  ExpectVectorNear(y, reference.MultiplyVector(x_vec), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndEcho, LinBpOperatorTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Bool()));
+
+TEST(VectorizeBeliefsTest, RoundTrip) {
+  const DenseMatrix b = RandomMatrix(5, 3, 1.0, 9);
+  const std::vector<double> v = VectorizeBeliefs(b);
+  // Column-major: entry (s, j) lands at index j*n + s.
+  EXPECT_EQ(v[2 * 5 + 3], b.At(3, 2));
+  ExpectMatrixNear(UnvectorizeBeliefs(v, 5, 3), b, 0.0);
+}
+
+}  // namespace
+}  // namespace linbp

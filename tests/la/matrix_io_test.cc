@@ -1,0 +1,72 @@
+#include "src/la/matrix_io.h"
+
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(MatrixIoTest, RoundTrip) {
+  const DenseMatrix original = testing::RandomMatrix(4, 3, 2.0, 5);
+  const std::string path = TempPath("matrix.txt");
+  ASSERT_TRUE(WriteDenseMatrix(original, path));
+  std::string error;
+  const auto loaded = ReadDenseMatrix(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ExpectMatrixNear(*loaded, original, 0.0);
+}
+
+TEST(MatrixIoTest, CommentsAndBlankLines) {
+  const std::string path = TempPath("commented.txt");
+  WriteFile(path, "# coupling\n1 2 # trailing comment\n\n3 4\n");
+  std::string error;
+  const auto loaded = ReadDenseMatrix(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ExpectMatrixNear(*loaded, DenseMatrix{{1, 2}, {3, 4}}, 0.0);
+}
+
+TEST(MatrixIoTest, RejectsRaggedRows) {
+  const std::string path = TempPath("ragged.txt");
+  WriteFile(path, "1 2\n3\n");
+  std::string error;
+  EXPECT_FALSE(ReadDenseMatrix(path, &error).has_value());
+  EXPECT_NE(error.find("inconsistent"), std::string::npos);
+}
+
+TEST(MatrixIoTest, RejectsBadNumbers) {
+  const std::string path = TempPath("nan.txt");
+  WriteFile(path, "1 two\n");
+  std::string error;
+  EXPECT_FALSE(ReadDenseMatrix(path, &error).has_value());
+  EXPECT_NE(error.find("bad number"), std::string::npos);
+}
+
+TEST(MatrixIoTest, RejectsEmptyFile) {
+  const std::string path = TempPath("empty.txt");
+  WriteFile(path, "# nothing\n");
+  std::string error;
+  EXPECT_FALSE(ReadDenseMatrix(path, &error).has_value());
+  EXPECT_NE(error.find("no rows"), std::string::npos);
+}
+
+TEST(MatrixIoTest, MissingFile) {
+  std::string error;
+  EXPECT_FALSE(ReadDenseMatrix(TempPath("absent.txt"), &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace linbp

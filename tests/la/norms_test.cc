@@ -1,0 +1,86 @@
+#include "src/la/norms.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/la/dense_linalg.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::RandomSymmetricMatrix;
+
+SparseMatrix ToSparse(const DenseMatrix& d) {
+  std::vector<Triplet> triplets;
+  for (std::int64_t r = 0; r < d.rows(); ++r) {
+    for (std::int64_t c = 0; c < d.cols(); ++c) {
+      if (d.At(r, c) != 0.0) triplets.push_back({r, c, d.At(r, c)});
+    }
+  }
+  return SparseMatrix::FromTriplets(d.rows(), d.cols(), std::move(triplets));
+}
+
+TEST(NormsTest, FrobeniusHandValue) {
+  const DenseMatrix a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 5.0);
+}
+
+TEST(NormsTest, Induced1IsMaxColumnSum) {
+  const DenseMatrix a{{1, -5}, {2, 3}};
+  EXPECT_DOUBLE_EQ(Induced1Norm(a), 8.0);  // |−5| + |3|
+}
+
+TEST(NormsTest, InducedInfIsMaxRowSum) {
+  const DenseMatrix a{{1, -5}, {2, 3}};
+  EXPECT_DOUBLE_EQ(InducedInfNorm(a), 6.0);  // |1| + |−5|
+}
+
+TEST(NormsTest, MinNormPicksSmallest) {
+  const DenseMatrix a{{1, -5}, {2, 3}};
+  EXPECT_DOUBLE_EQ(MinNorm(a),
+                   std::min({FrobeniusNorm(a), 8.0, 6.0}));
+}
+
+TEST(NormsTest, EmptyMatrixNormsAreZero) {
+  const SparseMatrix empty(0, 0);
+  EXPECT_EQ(FrobeniusNorm(empty), 0.0);
+  EXPECT_EQ(Induced1Norm(empty), 0.0);
+  EXPECT_EQ(InducedInfNorm(empty), 0.0);
+}
+
+class NormsRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormsRandomTest, SparseNormsMatchDense) {
+  const DenseMatrix a = RandomSymmetricMatrix(6, 2.0, GetParam());
+  const SparseMatrix s = ToSparse(a);
+  EXPECT_NEAR(FrobeniusNorm(s), FrobeniusNorm(a), 1e-12);
+  EXPECT_NEAR(Induced1Norm(s), Induced1Norm(a), 1e-12);
+  EXPECT_NEAR(InducedInfNorm(s), InducedInfNorm(a), 1e-12);
+  EXPECT_NEAR(MinNorm(s), MinNorm(a), 1e-12);
+}
+
+TEST_P(NormsRandomTest, NormsUpperBoundSpectralRadius) {
+  // Lemma 9 rests on rho(X) <= ||X|| for sub-multiplicative norms.
+  const DenseMatrix a = RandomSymmetricMatrix(5, 1.0, GetParam() + 10);
+  const double rho = SymmetricSpectralRadius(a);
+  EXPECT_LE(rho, FrobeniusNorm(a) + 1e-10);
+  EXPECT_LE(rho, Induced1Norm(a) + 1e-10);
+  EXPECT_LE(rho, InducedInfNorm(a) + 1e-10);
+  EXPECT_LE(rho, MinNorm(a) + 1e-10);
+}
+
+TEST_P(NormsRandomTest, NormsAreSubMultiplicative) {
+  const DenseMatrix a = RandomSymmetricMatrix(4, 1.0, GetParam() + 20);
+  const DenseMatrix b = RandomSymmetricMatrix(4, 1.0, GetParam() + 30);
+  const DenseMatrix ab = a.Multiply(b);
+  EXPECT_LE(FrobeniusNorm(ab), FrobeniusNorm(a) * FrobeniusNorm(b) + 1e-10);
+  EXPECT_LE(Induced1Norm(ab), Induced1Norm(a) * Induced1Norm(b) + 1e-10);
+  EXPECT_LE(InducedInfNorm(ab),
+            InducedInfNorm(a) * InducedInfNorm(b) + 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormsRandomTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,141 @@
+#include "src/la/sparse_matrix.h"
+
+#include "gtest/gtest.h"
+#include "src/util/random.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+using testing::ExpectVectorNear;
+using testing::RandomMatrix;
+
+SparseMatrix RandomSparse(std::int64_t rows, std::int64_t cols,
+                          std::int64_t entries, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  for (std::int64_t i = 0; i < entries; ++i) {
+    triplets.push_back({rng.NextInt(0, rows - 1), rng.NextInt(0, cols - 1),
+                        2.0 * rng.NextDouble() - 1.0});
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  SparseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.NumNonZeros(), 0);
+  EXPECT_EQ(m.At(1, 2), 0.0);
+}
+
+TEST(SparseMatrixTest, FromTripletsBasic) {
+  const SparseMatrix m =
+      SparseMatrix::FromTriplets(2, 3, {{0, 1, 2.0}, {1, 0, -1.0}});
+  EXPECT_EQ(m.NumNonZeros(), 2);
+  EXPECT_EQ(m.At(0, 1), 2.0);
+  EXPECT_EQ(m.At(1, 0), -1.0);
+  EXPECT_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(SparseMatrixTest, DuplicateTripletsAreSummed) {
+  const SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, -1.0}, {0, 0, 0.5}});
+  EXPECT_EQ(m.NumNonZeros(), 2);
+  EXPECT_EQ(m.At(0, 0), 4.0);
+  EXPECT_EQ(m.At(1, 1), -1.0);
+}
+
+TEST(SparseMatrixTest, RowsAreSortedByColumn) {
+  const SparseMatrix m = SparseMatrix::FromTriplets(
+      1, 5, {{0, 4, 1.0}, {0, 0, 2.0}, {0, 2, 3.0}});
+  ASSERT_EQ(m.NumNonZeros(), 3);
+  EXPECT_EQ(m.col_idx()[0], 0);
+  EXPECT_EQ(m.col_idx()[1], 2);
+  EXPECT_EQ(m.col_idx()[2], 4);
+}
+
+TEST(SparseMatrixTest, ToDenseHandValue) {
+  const SparseMatrix m =
+      SparseMatrix::FromTriplets(2, 2, {{0, 1, 3.0}, {1, 0, 4.0}});
+  ExpectMatrixNear(m.ToDense(), DenseMatrix{{0, 3}, {4, 0}}, 0.0);
+}
+
+TEST(SparseMatrixTest, MultiplyVectorMatchesDense) {
+  const SparseMatrix m = RandomSparse(6, 4, 12, /*seed=*/1);
+  Rng rng(2);
+  std::vector<double> x(4);
+  for (auto& v : x) v = rng.NextDouble();
+  ExpectVectorNear(m.MultiplyVector(x), m.ToDense().MultiplyVector(x), 1e-13);
+}
+
+TEST(SparseMatrixTest, TransposeMultiplyVectorMatchesDense) {
+  const SparseMatrix m = RandomSparse(6, 4, 12, /*seed=*/3);
+  Rng rng(4);
+  std::vector<double> x(6);
+  for (auto& v : x) v = rng.NextDouble();
+  ExpectVectorNear(m.TransposeMultiplyVector(x),
+                   m.ToDense().Transpose().MultiplyVector(x), 1e-13);
+}
+
+TEST(SparseMatrixTest, MultiplyDenseMatchesDense) {
+  const SparseMatrix m = RandomSparse(5, 5, 10, /*seed=*/5);
+  const DenseMatrix b = RandomMatrix(5, 3, 1.0, 6);
+  ExpectMatrixNear(m.MultiplyDense(b), m.ToDense().Multiply(b), 1e-13);
+}
+
+TEST(SparseMatrixTest, TransposeMatchesDense) {
+  const SparseMatrix m = RandomSparse(4, 7, 15, /*seed=*/7);
+  ExpectMatrixNear(m.Transpose().ToDense(), m.ToDense().Transpose(), 0.0);
+}
+
+TEST(SparseMatrixTest, AbsRowAndColSums) {
+  const SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, -2.0}, {0, 1, 3.0}, {1, 1, -4.0}});
+  ExpectVectorNear(m.AbsRowSums(), {5.0, 4.0}, 0.0);
+  ExpectVectorNear(m.AbsColSums(), {2.0, 7.0}, 0.0);
+}
+
+TEST(SparseMatrixTest, SquaredRowSums) {
+  const SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, -2.0}, {0, 1, 3.0}, {1, 1, 0.5}});
+  ExpectVectorNear(m.SquaredRowSums(), {13.0, 0.25}, 1e-15);
+}
+
+TEST(SparseMatrixTest, IsSymmetric) {
+  EXPECT_TRUE(SparseMatrix::FromTriplets(2, 2, {{0, 1, 2.0}, {1, 0, 2.0}})
+                  .IsSymmetric());
+  EXPECT_FALSE(SparseMatrix::FromTriplets(2, 2, {{0, 1, 2.0}, {1, 0, 3.0}})
+                   .IsSymmetric());
+  EXPECT_FALSE(
+      SparseMatrix::FromTriplets(2, 2, {{0, 1, 2.0}}).IsSymmetric());
+  EXPECT_FALSE(RandomSparse(2, 3, 2, 8).IsSymmetric());  // non-square
+}
+
+class SparseRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseRandomTest, DenseRoundTripsThroughKernels) {
+  const std::uint64_t seed = GetParam();
+  const SparseMatrix m = RandomSparse(8, 8, 20, seed);
+  const DenseMatrix dense = m.ToDense();
+  // Transpose twice is the identity transformation.
+  ExpectMatrixNear(m.Transpose().Transpose().ToDense(), dense, 0.0);
+  // SpMM against the identity reproduces the matrix.
+  ExpectMatrixNear(m.MultiplyDense(DenseMatrix::Identity(8)), dense, 0.0);
+}
+
+TEST_P(SparseRandomTest, AtMatchesDense) {
+  const SparseMatrix m = RandomSparse(6, 6, 14, GetParam() + 40);
+  const DenseMatrix dense = m.ToDense();
+  for (std::int64_t r = 0; r < 6; ++r) {
+    for (std::int64_t c = 0; c < 6; ++c) {
+      EXPECT_EQ(m.At(r, c), dense.At(r, c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseRandomTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,246 @@
+#include "src/relational/ops.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "src/util/random.h"
+
+namespace linbp {
+namespace {
+
+Table MakeLeft() {
+  Table t({"k", "x"}, {ColumnType::kInt, ColumnType::kDouble});
+  t.AppendRow({Value::Int(1), Value::Double(10)});
+  t.AppendRow({Value::Int(2), Value::Double(20)});
+  t.AppendRow({Value::Int(2), Value::Double(21)});
+  t.AppendRow({Value::Int(3), Value::Double(30)});
+  return t;
+}
+
+Table MakeRight() {
+  Table t({"k", "y"}, {ColumnType::kInt, ColumnType::kInt});
+  t.AppendRow({Value::Int(2), Value::Int(200)});
+  t.AppendRow({Value::Int(3), Value::Int(300)});
+  t.AppendRow({Value::Int(3), Value::Int(301)});
+  t.AppendRow({Value::Int(4), Value::Int(400)});
+  return t;
+}
+
+TEST(EquiJoinTest, SingleKeyJoin) {
+  const Table joined = EquiJoin(MakeLeft(), MakeRight(), {"k"}, {"k"});
+  // Matches: k=2 (2 left rows x 1 right), k=3 (1 x 2) = 4 rows.
+  EXPECT_EQ(joined.num_rows(), 4);
+  EXPECT_EQ(joined.num_columns(), 3);  // k, x, y
+  EXPECT_TRUE(joined.HasColumn("y"));
+  // Row order follows the left table.
+  EXPECT_EQ(joined.IntAt(joined.ColumnIndex("k"), 0), 2);
+  EXPECT_EQ(joined.IntAt(joined.ColumnIndex("y"), 0), 200);
+}
+
+TEST(EquiJoinTest, NameClashGetsPrefix) {
+  Table right({"k", "x"}, {ColumnType::kInt, ColumnType::kDouble});
+  right.AppendRow({Value::Int(1), Value::Double(-1)});
+  const Table joined = EquiJoin(MakeLeft(), right, {"k"}, {"k"});
+  EXPECT_TRUE(joined.HasColumn("x"));
+  EXPECT_TRUE(joined.HasColumn("r_x"));
+  EXPECT_EQ(joined.num_rows(), 1);
+  EXPECT_EQ(joined.DoubleAt(joined.ColumnIndex("r_x"), 0), -1.0);
+}
+
+TEST(EquiJoinTest, TwoKeyJoin) {
+  Table a({"u", "v", "w"},
+          {ColumnType::kInt, ColumnType::kInt, ColumnType::kDouble});
+  a.AppendRow({Value::Int(1), Value::Int(2), Value::Double(0.5)});
+  a.AppendRow({Value::Int(1), Value::Int(3), Value::Double(0.6)});
+  Table b({"u", "v", "z"},
+          {ColumnType::kInt, ColumnType::kInt, ColumnType::kDouble});
+  b.AppendRow({Value::Int(1), Value::Int(3), Value::Double(9)});
+  const Table joined = EquiJoin(a, b, {"u", "v"}, {"u", "v"});
+  EXPECT_EQ(joined.num_rows(), 1);
+  EXPECT_EQ(joined.DoubleAt(joined.ColumnIndex("w"), 0), 0.6);
+  EXPECT_EQ(joined.DoubleAt(joined.ColumnIndex("z"), 0), 9.0);
+}
+
+TEST(SemiAntiJoinTest, PartitionsLeftRows) {
+  const Table semi = SemiJoin(MakeLeft(), MakeRight(), {"k"}, {"k"});
+  const Table anti = AntiJoin(MakeLeft(), MakeRight(), {"k"}, {"k"});
+  EXPECT_EQ(semi.num_rows(), 3);  // k = 2, 2, 3
+  EXPECT_EQ(anti.num_rows(), 1);  // k = 1
+  EXPECT_EQ(anti.IntAt(0, 0), 1);
+  EXPECT_EQ(semi.num_rows() + anti.num_rows(), MakeLeft().num_rows());
+}
+
+TEST(GroupByTest, SumDouble) {
+  const Table grouped =
+      GroupBy(MakeLeft(), {"k"}, {{AggregateOp::kSum, "x", "total"}});
+  EXPECT_EQ(grouped.num_rows(), 3);
+  // Groups appear in first-seen order: 1, 2, 3.
+  EXPECT_EQ(grouped.IntAt(0, 0), 1);
+  EXPECT_EQ(grouped.DoubleAt(1, 0), 10.0);
+  EXPECT_EQ(grouped.IntAt(0, 1), 2);
+  EXPECT_EQ(grouped.DoubleAt(1, 1), 41.0);
+}
+
+TEST(GroupByTest, MinAndCount) {
+  const Table grouped = GroupBy(MakeRight(), {"k"},
+                                {{AggregateOp::kMin, "y", "min_y"},
+                                 {AggregateOp::kCount, "", "n"}});
+  EXPECT_EQ(grouped.num_rows(), 3);
+  EXPECT_EQ(grouped.IntAt(grouped.ColumnIndex("min_y"), 1), 300);
+  EXPECT_EQ(grouped.IntAt(grouped.ColumnIndex("n"), 1), 2);
+}
+
+TEST(GroupByTest, TwoKeyGrouping) {
+  Table t({"a", "b", "x"},
+          {ColumnType::kInt, ColumnType::kInt, ColumnType::kDouble});
+  t.AppendRow({Value::Int(1), Value::Int(1), Value::Double(1)});
+  t.AppendRow({Value::Int(1), Value::Int(2), Value::Double(2)});
+  t.AppendRow({Value::Int(1), Value::Int(1), Value::Double(3)});
+  const Table grouped =
+      GroupBy(t, {"a", "b"}, {{AggregateOp::kSum, "x", "x"}});
+  EXPECT_EQ(grouped.num_rows(), 2);
+  EXPECT_EQ(grouped.DoubleAt(grouped.ColumnIndex("x"), 0), 4.0);
+}
+
+TEST(FilterTest, KeepsMatchingRows) {
+  const Table filtered =
+      Filter(MakeLeft(), [](const Table& t, std::int64_t r) {
+        return t.IntAt(0, r) == 2;
+      });
+  EXPECT_EQ(filtered.num_rows(), 2);
+}
+
+TEST(ProjectTest, ReordersColumns) {
+  const Table projected = Project(MakeLeft(), {"x", "k"});
+  EXPECT_EQ(projected.num_columns(), 2);
+  EXPECT_EQ(projected.column_names()[0], "x");
+  EXPECT_EQ(projected.DoubleAt(0, 0), 10.0);
+  EXPECT_EQ(projected.IntAt(1, 0), 1);
+}
+
+TEST(RenameTest, RenamesInPlace) {
+  const Table renamed = Rename(MakeLeft(), {"k"}, {"key"});
+  EXPECT_TRUE(renamed.HasColumn("key"));
+  EXPECT_FALSE(renamed.HasColumn("k"));
+  EXPECT_EQ(renamed.num_rows(), 4);
+}
+
+TEST(UnionAllTest, AppendsRows) {
+  Table dest = MakeLeft();
+  UnionAllInPlace(&dest, MakeLeft());
+  EXPECT_EQ(dest.num_rows(), 8);
+}
+
+TEST(ComputedColumnTest, DoubleColumn) {
+  const Table with = WithComputedDoubleColumn(
+      MakeLeft(), "x2", [](const Table& t, std::int64_t r) {
+        return 2.0 * t.DoubleAt(1, r);
+      });
+  EXPECT_EQ(with.DoubleAt(with.ColumnIndex("x2"), 2), 42.0);
+}
+
+TEST(ComputedColumnTest, IntColumn) {
+  const Table with = WithComputedIntColumn(
+      MakeLeft(), "k1", [](const Table& t, std::int64_t r) {
+        return t.IntAt(0, r) + 1;
+      });
+  EXPECT_EQ(with.IntAt(with.ColumnIndex("k1"), 3), 4);
+}
+
+TEST(DistinctKeysTest, DeduplicatesAndProjects) {
+  const Table distinct = DistinctKeys(MakeLeft(), {"k"});
+  EXPECT_EQ(distinct.num_rows(), 3);
+  EXPECT_EQ(distinct.num_columns(), 1);
+}
+
+TEST(UpsertTest, ReplacesMatchingKeysAndInserts) {
+  Table target = MakeLeft();
+  Table update({"k", "x"}, {ColumnType::kInt, ColumnType::kDouble});
+  update.AppendRow({Value::Int(2), Value::Double(99)});
+  update.AppendRow({Value::Int(7), Value::Double(70)});
+  Upsert(&target, update, {"k"});
+  // Both k=2 rows removed, replaced by one; k=7 inserted.
+  EXPECT_EQ(target.num_rows(), 4);
+  double sum = 0.0;
+  for (std::int64_t r = 0; r < target.num_rows(); ++r) {
+    if (target.IntAt(0, r) == 2) sum += target.DoubleAt(1, r);
+  }
+  EXPECT_EQ(sum, 99.0);
+}
+
+TEST(GroupByTest, MinOnDoubles) {
+  const Table grouped =
+      GroupBy(MakeLeft(), {"k"}, {{AggregateOp::kMin, "x", "min_x"}});
+  EXPECT_EQ(grouped.DoubleAt(1, 1), 20.0);  // min(20, 21)
+}
+
+TEST(EquiJoinTest, EmptyInputsYieldEmptyOutput) {
+  Table empty({"k", "y"}, {ColumnType::kInt, ColumnType::kDouble});
+  EXPECT_EQ(EquiJoin(MakeLeft(), empty, {"k"}, {"k"}).num_rows(), 0);
+  EXPECT_EQ(EquiJoin(empty, MakeLeft(), {"k"}, {"k"}).num_rows(), 0);
+  EXPECT_EQ(GroupBy(empty, {"k"}, {{AggregateOp::kSum, "y", "y"}}).num_rows(),
+            0);
+  EXPECT_EQ(AntiJoin(MakeLeft(), empty, {"k"}, {"k"}).num_rows(),
+            MakeLeft().num_rows());
+}
+
+TEST(UpsertTest, EmptySourceIsNoOp) {
+  Table target = MakeLeft();
+  Table empty({"k", "x"}, {ColumnType::kInt, ColumnType::kDouble});
+  Upsert(&target, empty, {"k"});
+  EXPECT_EQ(target.num_rows(), MakeLeft().num_rows());
+}
+
+TEST(CountDistinctKeysTest, Counts) {
+  EXPECT_EQ(CountDistinctKeys(MakeLeft(), {"k"}), 3);
+  EXPECT_EQ(CountDistinctKeys(MakeRight(), {"k"}), 3);
+}
+
+TEST(OpsDeathTest, TooManyKeyColumns) {
+  Table t({"a", "b", "c"},
+          {ColumnType::kInt, ColumnType::kInt, ColumnType::kInt});
+  EXPECT_DEATH(CountDistinctKeys(t, {"a", "b", "c"}), "");
+}
+
+// Randomized cross-check of the hash join against a nested-loop reference.
+class JoinRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinRandomTest, MatchesNestedLoopReference) {
+  Rng rng(GetParam() + 500);
+  Table left({"k", "x"}, {ColumnType::kInt, ColumnType::kDouble});
+  Table right({"k", "y"}, {ColumnType::kInt, ColumnType::kDouble});
+  for (int i = 0; i < 30; ++i) {
+    left.AppendRow({Value::Int(rng.NextInt(0, 9)),
+                    Value::Double(rng.NextDouble())});
+    right.AppendRow({Value::Int(rng.NextInt(0, 9)),
+                     Value::Double(rng.NextDouble())});
+  }
+  const Table joined = EquiJoin(left, right, {"k"}, {"k"});
+  std::int64_t expected = 0;
+  for (std::int64_t l = 0; l < left.num_rows(); ++l) {
+    for (std::int64_t r = 0; r < right.num_rows(); ++r) {
+      if (left.IntAt(0, l) == right.IntAt(0, r)) ++expected;
+    }
+  }
+  EXPECT_EQ(joined.num_rows(), expected);
+  // Aggregate invariant: sum of x over the join equals sum over left of
+  // x * (matching right rows).
+  double join_sum = 0.0;
+  for (std::int64_t r = 0; r < joined.num_rows(); ++r) {
+    join_sum += joined.DoubleAt(joined.ColumnIndex("x"), r);
+  }
+  double expected_sum = 0.0;
+  for (std::int64_t l = 0; l < left.num_rows(); ++l) {
+    std::int64_t matches = 0;
+    for (std::int64_t r = 0; r < right.num_rows(); ++r) {
+      if (left.IntAt(0, l) == right.IntAt(0, r)) ++matches;
+    }
+    expected_sum += left.DoubleAt(1, l) * static_cast<double>(matches);
+  }
+  EXPECT_NEAR(join_sum, expected_sum, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinRandomTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,218 @@
+#include "src/relational/sbp_sql.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "src/core/coupling.h"
+#include "src/core/sbp.h"
+#include "src/core/sbp_incremental.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "src/relational/linbp_sql.h"
+#include "src/relational/ops.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+
+// Compares an SbpSql state against a from-scratch native SBP run.
+void ExpectMatchesNative(const SbpSql& sql, const Graph& graph,
+                         const DenseMatrix& hhat,
+                         const DenseMatrix& explicit_residuals,
+                         std::vector<std::int64_t> explicit_nodes) {
+  std::sort(explicit_nodes.begin(), explicit_nodes.end());
+  const SbpResult native =
+      RunSbp(graph, hhat, explicit_residuals, explicit_nodes);
+  // Beliefs.
+  ExpectMatrixNear(
+      BeliefsFromTable(sql.beliefs(), graph.num_nodes(), hhat.rows()),
+      native.beliefs, 1e-11);
+  // Geodesic numbers (table only holds reachable nodes).
+  std::vector<std::int64_t> geodesic(graph.num_nodes(), kUnreachable);
+  const Table& g_table = sql.geodesic();
+  for (std::int64_t r = 0; r < g_table.num_rows(); ++r) {
+    geodesic[g_table.IntAt(g_table.ColumnIndex("v"), r)] =
+        g_table.IntAt(g_table.ColumnIndex("g"), r);
+  }
+  EXPECT_EQ(geodesic, native.geodesic);
+}
+
+TEST(SbpSqlTest, InitialAssignmentOnPath) {
+  const Graph g = PathGraph(5);
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.4);
+  DenseMatrix e(5, 2);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.1;
+  const SbpSql sql(MakeAdjacencyTable(g), MakeBeliefTable(e, {0}),
+                   MakeCouplingTable(hhat));
+  ExpectMatchesNative(sql, g, hhat, e, {0});
+}
+
+TEST(SbpSqlTest, UnreachableComponentStaysOutOfG) {
+  const Graph g(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.4);
+  DenseMatrix e(4, 2);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.1;
+  const SbpSql sql(MakeAdjacencyTable(g), MakeBeliefTable(e, {0}),
+                   MakeCouplingTable(hhat));
+  EXPECT_EQ(sql.geodesic().num_rows(), 2);  // only nodes 0 and 1
+  ExpectMatchesNative(sql, g, hhat, e, {0});
+}
+
+class SbpSqlRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SbpSqlRandomTest, InitialAssignmentMatchesNative) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = RandomConnectedGraph(25, 20, seed);
+  const DenseMatrix hhat = testing::RandomResidualCoupling(3, 0.2, seed + 1);
+  const SeededBeliefs seeded = SeedPaperBeliefs(25, 3, 5, seed + 2);
+  const SbpSql sql(MakeAdjacencyTable(g),
+                   MakeBeliefTable(seeded.residuals, seeded.explicit_nodes),
+                   MakeCouplingTable(hhat));
+  ExpectMatchesNative(sql, g, hhat, seeded.residuals, seeded.explicit_nodes);
+}
+
+TEST_P(SbpSqlRandomTest, AddExplicitBeliefsMatchesNative) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed + 77);
+  const std::int64_t n = 20;
+  const Graph g = RandomConnectedGraph(n, 15, seed);
+  const DenseMatrix hhat = testing::RandomResidualCoupling(3, 0.2, seed + 1);
+
+  DenseMatrix residuals(n, 3);
+  std::vector<std::int64_t> explicit_nodes = {0, 1};
+  auto fill_row = [&](std::int64_t node) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c + 1 < 3; ++c) {
+      residuals.At(node, c) = 0.2 * (2.0 * rng.NextDouble() - 1.0);
+      sum += residuals.At(node, c);
+    }
+    residuals.At(node, 2) = -sum;
+  };
+  fill_row(0);
+  fill_row(1);
+
+  SbpSql sql(MakeAdjacencyTable(g),
+             MakeBeliefTable(residuals, explicit_nodes),
+             MakeCouplingTable(hhat));
+
+  for (int round = 0; round < 2; ++round) {
+    // Batch of new/overwritten beliefs.
+    std::vector<std::int64_t> batch;
+    for (int i = 0; i < 3; ++i) {
+      const std::int64_t node = rng.NextInt(0, n - 1);
+      fill_row(node);
+      batch.push_back(node);
+      if (std::find(explicit_nodes.begin(), explicit_nodes.end(), node) ==
+          explicit_nodes.end()) {
+        explicit_nodes.push_back(node);
+      }
+    }
+    // Deduplicate batch nodes (MakeBeliefTable emits per-node rows).
+    std::sort(batch.begin(), batch.end());
+    batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+    sql.AddExplicitBeliefs(MakeBeliefTable(residuals, batch));
+    ExpectMatchesNative(sql, g, hhat, residuals, explicit_nodes);
+  }
+}
+
+TEST_P(SbpSqlRandomTest, AddEdgesMatchesNative) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed + 99);
+  const std::int64_t n = 18;
+  const Graph start = ErdosRenyiGraph(n, 12, seed + 3);
+  const DenseMatrix hhat = testing::RandomResidualCoupling(3, 0.25, seed + 4);
+  const SeededBeliefs seeded = SeedPaperBeliefs(n, 3, 3, seed + 5);
+
+  SbpSql sql(MakeAdjacencyTable(start),
+             MakeBeliefTable(seeded.residuals, seeded.explicit_nodes),
+             MakeCouplingTable(hhat));
+
+  std::vector<Edge> all_edges = start.edges();
+  auto exists = [&](std::int64_t u, std::int64_t v) {
+    for (const Edge& e : all_edges) {
+      if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) return true;
+    }
+    return false;
+  };
+  for (int round = 0; round < 2; ++round) {
+    std::vector<Edge> batch;
+    while (batch.size() < 3) {
+      const std::int64_t u = rng.NextInt(0, n - 1);
+      const std::int64_t v = rng.NextInt(0, n - 1);
+      if (u == v || exists(u, v)) continue;
+      bool dup = false;
+      for (const Edge& e : batch) {
+        if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) dup = true;
+      }
+      if (dup) continue;
+      batch.push_back({u, v, 1.0});
+    }
+    Table an({"s", "t", "w"},
+             {ColumnType::kInt, ColumnType::kInt, ColumnType::kDouble});
+    for (const Edge& e : batch) {
+      an.AppendRow(
+          {Value::Int(e.u), Value::Int(e.v), Value::Double(e.weight)});
+    }
+    sql.AddEdges(an);
+    all_edges.insert(all_edges.end(), batch.begin(), batch.end());
+    ExpectMatchesNative(sql, Graph(n, all_edges), hhat, seeded.residuals,
+                        seeded.explicit_nodes);
+  }
+}
+
+TEST_P(SbpSqlRandomTest, SqlAndNativeIncrementalAgree) {
+  // Three-way agreement: SQL state == native incremental state.
+  const std::uint64_t seed = GetParam();
+  const std::int64_t n = 15;
+  const Graph g = RandomConnectedGraph(n, 10, seed + 200);
+  const DenseMatrix hhat = testing::RandomResidualCoupling(2, 0.3, seed + 201);
+  const SeededBeliefs seeded = SeedPaperBeliefs(n, 2, 3, seed + 202);
+
+  SbpSql sql(MakeAdjacencyTable(g),
+             MakeBeliefTable(seeded.residuals, seeded.explicit_nodes),
+             MakeCouplingTable(hhat));
+  SbpState native = SbpState::FromGraph(g, hhat, seeded.residuals,
+                                        seeded.explicit_nodes);
+  ExpectMatrixNear(BeliefsFromTable(sql.beliefs(), n, 2), native.beliefs(),
+                   1e-11);
+
+  // One edge batch applied to both.
+  const std::vector<Edge> batch = {{0, n - 1, 1.0}};
+  if (!g.adjacency().At(0, n - 1)) {
+    Table an({"s", "t", "w"},
+             {ColumnType::kInt, ColumnType::kInt, ColumnType::kDouble});
+    an.AppendRow({Value::Int(0), Value::Int(n - 1), Value::Double(1.0)});
+    sql.AddEdges(an);
+    native.AddEdges(batch);
+    ExpectMatrixNear(BeliefsFromTable(sql.beliefs(), n, 2),
+                     native.beliefs(), 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SbpSqlRandomTest, ::testing::Range(0, 8));
+
+TEST(SbpSqlTest, NewBeliefsAttachUnreachableComponent) {
+  // Two components; the second has no labels until AddExplicitBeliefs.
+  const Graph g(6, {{0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 1.0}, {4, 5, 1.0}});
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.4);
+  DenseMatrix e(6, 2);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.1;
+  SbpSql sql(MakeAdjacencyTable(g), MakeBeliefTable(e, {0}),
+             MakeCouplingTable(hhat));
+  EXPECT_EQ(sql.geodesic().num_rows(), 3);
+
+  DenseMatrix e2 = e;
+  e2.At(3, 0) = -0.2;
+  e2.At(3, 1) = 0.2;
+  sql.AddExplicitBeliefs(MakeBeliefTable(e2, {3}));
+  ExpectMatchesNative(sql, g, hhat, e2, {0, 3});
+  EXPECT_EQ(sql.geodesic().num_rows(), 6);
+}
+
+}  // namespace
+}  // namespace linbp

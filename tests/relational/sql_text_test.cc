@@ -1,0 +1,87 @@
+#include "src/relational/sql_text.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace linbp {
+namespace {
+
+void ExpectContains(const std::string& haystack, const std::string& needle) {
+  EXPECT_NE(haystack.find(needle), std::string::npos)
+      << "missing \"" << needle << "\" in:\n"
+      << haystack;
+}
+
+TEST(SqlTextTest, SchemaDeclaresAllPaperTables) {
+  const std::string sql = SchemaSql();
+  for (const char* table :
+       {"CREATE TABLE A", "CREATE TABLE E", "CREATE TABLE H",
+        "CREATE TABLE D", "CREATE TABLE H2", "CREATE TABLE B",
+        "CREATE TABLE G"}) {
+    ExpectContains(sql, table);
+  }
+}
+
+TEST(SqlTextTest, CouplingSquaredMatchesEq20) {
+  const std::string sql = CouplingSquaredSql();
+  ExpectContains(sql, "SUM(H1.h * H2.h)");
+  ExpectContains(sql, "H1.c2 = H2.c1");
+  ExpectContains(sql, "GROUP BY H1.c1, H2.c2");
+}
+
+TEST(SqlTextTest, DegreeUsesSquaredWeights) {
+  // Sect. 5.2: the weighted degree sums squared weights.
+  ExpectContains(DegreeSql(), "SUM(A.w * A.w)");
+}
+
+TEST(SqlTextTest, LinBpIterationHasBothViews) {
+  const std::string sql = LinBpIterationSql(/*with_echo=*/true);
+  ExpectContains(sql, "SUM(A.w * B.b * H.h)");    // V1 = A B H
+  ExpectContains(sql, "SUM(D.d * B.b * H2.h)");   // V2 = D B H2
+  ExpectContains(sql, "UNION ALL");               // footnote 15
+  ExpectContains(sql, "-b FROM V2");              // echo subtracted
+  ExpectContains(sql, "GROUP BY u.v, u.c");
+}
+
+TEST(SqlTextTest, LinBpStarSkipsEcho) {
+  const std::string sql = LinBpIterationSql(/*with_echo=*/false);
+  EXPECT_EQ(sql.find("V2"), std::string::npos);
+  ExpectContains(sql, "SUM(A.w * B.b * H.h)");
+}
+
+TEST(SqlTextTest, TopBeliefMatchesFig9b) {
+  const std::string sql = TopBeliefSql();
+  ExpectContains(sql, "MAX(B2.b)");
+  ExpectContains(sql, "B.v = X.v AND B.b = X.b");
+}
+
+TEST(SqlTextTest, SbpLevelUsesFrontierAndNotIn) {
+  const std::string sql = SbpLevelSql();
+  ExpectContains(sql, "G.g = :i - 1");           // frontier
+  ExpectContains(sql, "NOT IN (SELECT G2.v");    // Fig. 9c negation
+  ExpectContains(sql, "SUM(A.w * B.b * H.h)");   // Algorithm 2 line 5
+}
+
+TEST(SqlTextTest, UpsertMatchesFig9d) {
+  const std::string sql = UpsertBeliefsSql();
+  ExpectContains(sql, "DELETE FROM B");
+  ExpectContains(sql, "WHERE v IN (SELECT Bn.v FROM Bn)");
+  ExpectContains(sql, "INSERT INTO B");
+}
+
+TEST(SqlTextTest, StatementsAreTerminated) {
+  for (const std::string& sql :
+       {SchemaSql(), CouplingSquaredSql(), DegreeSql(),
+        LinBpIterationSql(true), LinBpIterationSql(false), TopBeliefSql(),
+        SbpInitializationSql(), SbpLevelSql(), UpsertBeliefsSql()}) {
+    // Every non-empty statement ends with ';' (split on blank lines).
+    ASSERT_FALSE(sql.empty());
+    const auto last_non_ws = sql.find_last_not_of(" \n\t");
+    ASSERT_NE(last_non_ws, std::string::npos);
+    EXPECT_EQ(sql[last_non_ws], ';') << sql;
+  }
+}
+
+}  // namespace
+}  // namespace linbp

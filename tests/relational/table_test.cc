@@ -1,0 +1,83 @@
+#include "src/relational/table.h"
+
+#include "gtest/gtest.h"
+
+namespace linbp {
+namespace {
+
+Table MakeSampleTable() {
+  Table t({"id", "value"}, {ColumnType::kInt, ColumnType::kDouble});
+  t.AppendRow({Value::Int(1), Value::Double(1.5)});
+  t.AppendRow({Value::Int(2), Value::Double(-0.5)});
+  return t;
+}
+
+TEST(TableTest, EmptyTable) {
+  Table t({"a"}, {ColumnType::kInt});
+  EXPECT_EQ(t.num_rows(), 0);
+  EXPECT_EQ(t.num_columns(), 1);
+  EXPECT_TRUE(t.HasColumn("a"));
+  EXPECT_FALSE(t.HasColumn("b"));
+}
+
+TEST(TableTest, AppendAndRead) {
+  const Table t = MakeSampleTable();
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.IntAt(0, 0), 1);
+  EXPECT_EQ(t.IntAt(0, 1), 2);
+  EXPECT_EQ(t.DoubleAt(1, 0), 1.5);
+  EXPECT_EQ(t.DoubleAt(1, 1), -0.5);
+}
+
+TEST(TableTest, ColumnAccessByName) {
+  const Table t = MakeSampleTable();
+  EXPECT_EQ(t.ColumnIndex("value"), 1);
+  EXPECT_EQ(t.IntColumn("id")[1], 2);
+  EXPECT_EQ(t.DoubleColumn("value")[0], 1.5);
+  EXPECT_EQ(t.TypeOf("id"), ColumnType::kInt);
+}
+
+TEST(TableTest, AppendRowFromCopiesValues) {
+  const Table source = MakeSampleTable();
+  Table t({"id", "value"}, {ColumnType::kInt, ColumnType::kDouble});
+  t.AppendRowFrom(source, 1);
+  EXPECT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.IntAt(0, 0), 2);
+  EXPECT_EQ(t.DoubleAt(1, 0), -0.5);
+}
+
+TEST(TableTest, ClearRemovesRows) {
+  Table t = MakeSampleTable();
+  t.Clear();
+  EXPECT_EQ(t.num_rows(), 0);
+  EXPECT_EQ(t.num_columns(), 2);
+}
+
+TEST(TableTest, ToStringSmoke) {
+  const std::string rendered = MakeSampleTable().ToString();
+  EXPECT_NE(rendered.find("id"), std::string::npos);
+  EXPECT_NE(rendered.find("2 rows"), std::string::npos);
+}
+
+TEST(TableDeathTest, DuplicateColumnNames) {
+  EXPECT_DEATH(Table({"a", "a"}, {ColumnType::kInt, ColumnType::kInt}),
+               "duplicate");
+}
+
+TEST(TableDeathTest, UnknownColumn) {
+  const Table t = MakeSampleTable();
+  EXPECT_DEATH(t.ColumnIndex("nope"), "nope");
+}
+
+TEST(TableDeathTest, TypeMismatchOnAppend) {
+  Table t({"id"}, {ColumnType::kInt});
+  EXPECT_DEATH(t.AppendRow({Value::Double(1.0)}), "");
+}
+
+TEST(TableDeathTest, TypeMismatchOnRead) {
+  const Table t = MakeSampleTable();
+  EXPECT_DEATH(t.IntColumn("value"), "");
+}
+
+}  // namespace
+}  // namespace linbp

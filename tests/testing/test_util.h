@@ -1,0 +1,96 @@
+// Shared helpers for the test suite.
+
+#ifndef LINBP_TESTS_TESTING_TEST_UTIL_H_
+#define LINBP_TESTS_TESTING_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/la/dense_matrix.h"
+#include "src/util/random.h"
+
+namespace linbp {
+namespace testing {
+
+/// EXPECTs every entry of two matrices to agree within `tol`.
+inline void ExpectMatrixNear(const DenseMatrix& actual,
+                             const DenseMatrix& expected, double tol) {
+  ASSERT_EQ(actual.rows(), expected.rows());
+  ASSERT_EQ(actual.cols(), expected.cols());
+  for (std::int64_t r = 0; r < actual.rows(); ++r) {
+    for (std::int64_t c = 0; c < actual.cols(); ++c) {
+      EXPECT_NEAR(actual.At(r, c), expected.At(r, c), tol)
+          << "at (" << r << ", " << c << ")\nactual:\n"
+          << actual.ToString() << "\nexpected:\n"
+          << expected.ToString();
+    }
+  }
+}
+
+/// EXPECTs two vectors to agree within `tol`.
+inline void ExpectVectorNear(const std::vector<double>& actual,
+                             const std::vector<double>& expected, double tol) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], tol) << "at index " << i;
+  }
+}
+
+/// Random dense matrix with entries uniform in [-scale, scale].
+inline DenseMatrix RandomMatrix(std::int64_t rows, std::int64_t cols,
+                                double scale, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      m.At(r, c) = scale * (2.0 * rng.NextDouble() - 1.0);
+    }
+  }
+  return m;
+}
+
+/// Random symmetric matrix with entries uniform in [-scale, scale].
+inline DenseMatrix RandomSymmetricMatrix(std::int64_t dim, double scale,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(dim, dim);
+  for (std::int64_t r = 0; r < dim; ++r) {
+    for (std::int64_t c = r; c < dim; ++c) {
+      const double v = scale * (2.0 * rng.NextDouble() - 1.0);
+      m.At(r, c) = v;
+      m.At(c, r) = v;
+    }
+  }
+  return m;
+}
+
+/// Random symmetric residual coupling matrix: rows and columns sum to 0,
+/// entries on the order of `scale`.
+inline DenseMatrix RandomResidualCoupling(std::int64_t k, double scale,
+                                          std::uint64_t seed) {
+  // Project a random symmetric matrix onto the doubly-centered subspace:
+  // X - row_mean - col_mean + total_mean keeps symmetry and zeroes all row
+  // and column sums.
+  const DenseMatrix raw = RandomSymmetricMatrix(k, scale, seed);
+  std::vector<double> row_mean(k, 0.0);
+  double total = 0.0;
+  for (std::int64_t r = 0; r < k; ++r) {
+    for (std::int64_t c = 0; c < k; ++c) row_mean[r] += raw.At(r, c);
+    total += row_mean[r];
+    row_mean[r] /= static_cast<double>(k);
+  }
+  total /= static_cast<double>(k * k);
+  DenseMatrix out(k, k);
+  for (std::int64_t r = 0; r < k; ++r) {
+    for (std::int64_t c = 0; c < k; ++c) {
+      out.At(r, c) = raw.At(r, c) - row_mean[r] - row_mean[c] + total;
+    }
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace linbp
+
+#endif  // LINBP_TESTS_TESTING_TEST_UTIL_H_

@@ -1,0 +1,187 @@
+#include "tools/cli_lib.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/la/matrix_io.h"
+
+namespace linbp {
+namespace cli {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+// A labeled path: node 0 says class 0, node 4 says class 1.
+struct Fixture {
+  std::string graph_path = TempPath("cli_graph.txt");
+  std::string beliefs_path = TempPath("cli_beliefs.txt");
+  Fixture() {
+    WriteFile(graph_path, "0 1\n1 2\n2 3\n3 4\n");
+    WriteFile(beliefs_path, "0 0 0.1\n0 1 -0.1\n4 0 -0.1\n4 1 0.1\n");
+  }
+};
+
+TEST(ParseOptionsTest, RequiresGraphAndBeliefs) {
+  std::string error;
+  EXPECT_FALSE(ParseOptions({}, &error).has_value());
+  EXPECT_NE(error.find("required"), std::string::npos);
+  EXPECT_FALSE(ParseOptions({"--graph=g"}, &error).has_value());
+}
+
+TEST(ParseOptionsTest, RejectsUnknownFlagsAndMethods) {
+  std::string error;
+  EXPECT_FALSE(
+      ParseOptions({"--graph=g", "--beliefs=b", "--bogus"}, &error)
+          .has_value());
+  EXPECT_NE(error.find("unknown argument"), std::string::npos);
+  EXPECT_FALSE(ParseOptions({"--graph=g", "--beliefs=b",
+                             "--method=magic"},
+                            &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown method"), std::string::npos);
+}
+
+TEST(ParseOptionsTest, ParsesEverything) {
+  std::string error;
+  const auto options = ParseOptions(
+      {"--graph=g", "--beliefs=b", "--coupling=auction", "--method=sbp",
+       "--eps=0.01", "--k=3", "--output=o", "--report"},
+      &error);
+  ASSERT_TRUE(options.has_value()) << error;
+  EXPECT_EQ(options->coupling, "auction");
+  EXPECT_EQ(options->method, "sbp");
+  EXPECT_EQ(options->eps, "0.01");
+  EXPECT_EQ(options->k, 3);
+  EXPECT_TRUE(options->report);
+}
+
+TEST(RunPipelineTest, LabelsAPathWithEveryMethod) {
+  const Fixture fixture;
+  for (const std::string method : {"bp", "linbp", "linbp*", "sbp"}) {
+    Options options;
+    options.graph_path = fixture.graph_path;
+    options.beliefs_path = fixture.beliefs_path;
+    options.method = method;
+    std::string output;
+    std::string error;
+    ASSERT_EQ(RunPipeline(options, &output, &error), 0)
+        << method << ": " << error;
+    // Expect 5 lines; nodes near 0 get class 0, near 4 get class 1.
+    std::istringstream lines(output);
+    std::string line;
+    std::vector<std::string> rows;
+    while (std::getline(lines, line)) rows.push_back(line);
+    ASSERT_EQ(rows.size(), 5u) << method;
+    EXPECT_EQ(rows[0], "0 0") << method;
+    EXPECT_EQ(rows[1], "1 0") << method;
+    EXPECT_EQ(rows[3], "3 1") << method;
+    EXPECT_EQ(rows[4], "4 1") << method;
+  }
+}
+
+TEST(RunPipelineTest, WritesOutputFile) {
+  const Fixture fixture;
+  Options options;
+  options.graph_path = fixture.graph_path;
+  options.beliefs_path = fixture.beliefs_path;
+  options.output_path = TempPath("cli_labels.txt");
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunPipeline(options, &output, &error), 0) << error;
+  std::ifstream in(options.output_path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), output);
+}
+
+TEST(RunPipelineTest, CouplingFromFile) {
+  const Fixture fixture;
+  const std::string coupling_path = TempPath("cli_coupling.txt");
+  WriteFile(coupling_path, "0.8 0.2\n0.2 0.8\n");
+  Options options;
+  options.graph_path = fixture.graph_path;
+  options.beliefs_path = fixture.beliefs_path;
+  options.coupling = coupling_path;
+  std::string output;
+  std::string error;
+  EXPECT_EQ(RunPipeline(options, &output, &error), 0) << error;
+}
+
+TEST(RunPipelineTest, ResidualCouplingFromFile) {
+  const Fixture fixture;
+  const std::string coupling_path = TempPath("cli_residual.txt");
+  WriteFile(coupling_path, "0.3 -0.3\n-0.3 0.3\n");
+  Options options;
+  options.graph_path = fixture.graph_path;
+  options.beliefs_path = fixture.beliefs_path;
+  options.coupling = coupling_path;
+  std::string output;
+  std::string error;
+  EXPECT_EQ(RunPipeline(options, &output, &error), 0) << error;
+}
+
+TEST(RunPipelineTest, ExplicitEpsTooLargeDiverges) {
+  const Fixture fixture;
+  Options options;
+  options.graph_path = fixture.graph_path;
+  options.beliefs_path = fixture.beliefs_path;
+  options.eps = "5.0";  // way past the threshold on a path
+  std::string output;
+  std::string error;
+  EXPECT_EQ(RunPipeline(options, &output, &error), 2);
+  EXPECT_NE(error.find("diverged"), std::string::npos);
+}
+
+TEST(RunPipelineTest, ReportsMissingInputs) {
+  Options options;
+  options.graph_path = TempPath("absent_graph.txt");
+  options.beliefs_path = TempPath("absent_beliefs.txt");
+  std::string output;
+  std::string error;
+  EXPECT_EQ(RunPipeline(options, &output, &error), 1);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(RunPipelineTest, KMismatchRejected) {
+  const Fixture fixture;
+  Options options;
+  options.graph_path = fixture.graph_path;
+  options.beliefs_path = fixture.beliefs_path;
+  options.k = 5;  // homophily2 has k = 2
+  std::string output;
+  std::string error;
+  EXPECT_EQ(RunPipeline(options, &output, &error), 1);
+  EXPECT_NE(error.find("disagrees"), std::string::npos);
+}
+
+TEST(RunPipelineTest, HeterophilyFlipsTheMiddle) {
+  const Fixture fixture;
+  Options options;
+  options.graph_path = fixture.graph_path;
+  options.beliefs_path = fixture.beliefs_path;
+  options.coupling = "heterophily2";
+  options.method = "sbp";
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunPipeline(options, &output, &error), 0) << error;
+  std::istringstream lines(output);
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  // Node 1 is adjacent to the class-0 seed: heterophily flips it.
+  EXPECT_EQ(rows[1], "1 1");
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace linbp

@@ -1,0 +1,144 @@
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "src/util/random.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+
+namespace linbp {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.NextInt(5, 5), 5);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / samples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / samples, 1.0, 0.05);
+}
+
+TEST(RngDeathTest, BoundedRejectsZero) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextBounded(0), "");
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.Millis();
+  EXPECT_GE(elapsed, 15.0);
+  EXPECT_LT(elapsed, 2000.0);
+  timer.Reset();
+  EXPECT_LT(timer.Millis(), 15.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "bbbb"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333", "4"});
+  const std::string rendered = table.ToString();
+  // All lines have the same width.
+  std::size_t first_newline = rendered.find('\n');
+  const std::size_t width = first_newline;
+  std::size_t pos = 0;
+  while (pos < rendered.size()) {
+    const std::size_t next = rendered.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, width) << rendered;
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, NumFormatsSignificantDigits) {
+  EXPECT_EQ(TablePrinter::Num(1234.567, 4), "1235");
+  EXPECT_EQ(TablePrinter::Num(0.000123456, 3), "0.000123");
+  EXPECT_EQ(TablePrinter::Num(-2.5, 2), "-2.5");
+}
+
+TEST(TablePrinterTest, IntGroupsThousands) {
+  EXPECT_EQ(TablePrinter::Int(0), "0");
+  EXPECT_EQ(TablePrinter::Int(999), "999");
+  EXPECT_EQ(TablePrinter::Int(1000), "1 000");
+  EXPECT_EQ(TablePrinter::Int(1048576), "1 048 576");
+  EXPECT_EQ(TablePrinter::Int(-12345), "-12 345");
+}
+
+TEST(TablePrinterDeathTest, RowArityChecked) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "");
+}
+
+}  // namespace
+}  // namespace linbp

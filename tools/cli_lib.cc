@@ -1,0 +1,195 @@
+#include "tools/cli_lib.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/bp.h"
+#include "src/core/convergence.h"
+#include "src/core/coupling.h"
+#include "src/core/labeling.h"
+#include "src/core/linbp.h"
+#include "src/core/sbp.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/io.h"
+#include "src/la/matrix_io.h"
+
+namespace linbp {
+namespace cli {
+namespace {
+
+std::optional<CouplingMatrix> ResolveCoupling(const std::string& spec,
+                                              std::string* error) {
+  if (spec == "homophily2") return HomophilyCoupling2();
+  if (spec == "heterophily2") return HeterophilyCoupling2();
+  if (spec == "auction") return AuctionCoupling();
+  if (spec == "dblp4") return DblpCoupling();
+  const auto matrix = ReadDenseMatrix(spec, error);
+  if (!matrix.has_value()) return std::nullopt;
+  // Accept either a residual (rows sum to 0) or a stochastic matrix.
+  double row_sum = 0.0;
+  for (std::int64_t c = 0; c < matrix->cols(); ++c) {
+    row_sum += matrix->At(0, c);
+  }
+  if (std::abs(row_sum) < 1e-6) {
+    return CouplingMatrix::FromResidual(*matrix, 1e-6);
+  }
+  return CouplingMatrix::FromStochastic(*matrix, 1e-6);
+}
+
+}  // namespace
+
+std::string Usage() {
+  return
+      "linbp_cli --graph=EDGES --beliefs=BELIEFS [--coupling=PRESET|FILE]\n"
+      "          [--method=bp|linbp|linbp*|sbp] [--eps=auto|VALUE] [--k=K]\n"
+      "          [--output=FILE] [--report]\n"
+      "  EDGES:   'u v [w]' per line;  BELIEFS: 'v c b' per line\n"
+      "  presets: homophily2 heterophily2 auction dblp4\n";
+}
+
+std::optional<Options> ParseOptions(const std::vector<std::string>& args,
+                                    std::string* error) {
+  Options options;
+  for (const std::string& arg : args) {
+    auto value_of = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value_of("--graph=")) {
+      options.graph_path = *v;
+    } else if (auto v = value_of("--beliefs=")) {
+      options.beliefs_path = *v;
+    } else if (auto v = value_of("--coupling=")) {
+      options.coupling = *v;
+    } else if (auto v = value_of("--method=")) {
+      options.method = *v;
+    } else if (auto v = value_of("--eps=")) {
+      options.eps = *v;
+    } else if (auto v = value_of("--k=")) {
+      options.k = std::atoll(v->c_str());
+    } else if (auto v = value_of("--output=")) {
+      options.output_path = *v;
+    } else if (arg == "--report") {
+      options.report = true;
+    } else {
+      *error = "unknown argument: " + arg;
+      return std::nullopt;
+    }
+  }
+  if (options.graph_path.empty() || options.beliefs_path.empty()) {
+    *error = "--graph and --beliefs are required";
+    return std::nullopt;
+  }
+  if (options.method != "bp" && options.method != "linbp" &&
+      options.method != "linbp*" && options.method != "sbp") {
+    *error = "unknown method: " + options.method;
+    return std::nullopt;
+  }
+  return options;
+}
+
+int RunPipeline(const Options& options, std::string* output,
+                std::string* error) {
+  const auto graph = ReadEdgeList(options.graph_path, error);
+  if (!graph.has_value()) return 1;
+
+  const auto coupling = ResolveCoupling(options.coupling, error);
+  if (!coupling.has_value()) return 1;
+  const std::int64_t k = options.k > 0 ? options.k : coupling->k();
+  if (k != coupling->k()) {
+    *error = "--k disagrees with the coupling matrix size";
+    return 1;
+  }
+
+  const auto beliefs =
+      ReadBeliefs(options.beliefs_path, graph->num_nodes(), k, error);
+  if (!beliefs.has_value()) return 1;
+  if (beliefs->explicit_nodes.empty()) {
+    *error = options.beliefs_path + ": no explicit beliefs";
+    return 1;
+  }
+
+  // eps_H: explicit value, or half the exact LinBP threshold.
+  double eps = 0.0;
+  if (options.eps == "auto") {
+    const double threshold = ExactEpsilonThreshold(
+        *graph, *coupling,
+        options.method == "linbp*" ? LinBpVariant::kLinBpStar
+                                   : LinBpVariant::kLinBp);
+    eps = std::isfinite(threshold) ? 0.5 * threshold : 1.0;
+  } else {
+    eps = std::atof(options.eps.c_str());
+    if (!(eps > 0.0)) {
+      *error = "--eps must be positive or 'auto'";
+      return 1;
+    }
+  }
+
+  if (options.report) {
+    const ConvergenceReport report = AnalyzeConvergence(*graph, *coupling);
+    std::fprintf(stderr,
+                 "rho(A)=%.6g rho(Hhat_o)=%.6g exact eps: LinBP %.6g, "
+                 "LinBP* %.6g; using eps=%.6g\n",
+                 report.adjacency_spectral_radius,
+                 report.coupling_spectral_radius, report.exact_epsilon_linbp,
+                 report.exact_epsilon_linbp_star, eps);
+  }
+
+  // Run the chosen method.
+  DenseMatrix result_beliefs(graph->num_nodes(), k);
+  if (options.method == "bp") {
+    if (eps >= coupling->MaxStochasticScale()) {
+      *error = "eps too large for a stochastic coupling matrix";
+      return 1;
+    }
+    const BpResult result =
+        RunBp(*graph, coupling->ScaledStochastic(eps),
+              ResidualToProbability(beliefs->residuals));
+    if (result.diverged) {
+      *error = "BP diverged";
+      return 2;
+    }
+    result_beliefs = ProbabilityToResidual(result.beliefs);
+  } else if (options.method == "sbp") {
+    result_beliefs = RunSbp(*graph, coupling->residual(), beliefs->residuals,
+                            beliefs->explicit_nodes)
+                         .beliefs;
+  } else {
+    LinBpOptions lin_options;
+    lin_options.variant = options.method == "linbp*"
+                              ? LinBpVariant::kLinBpStar
+                              : LinBpVariant::kLinBp;
+    lin_options.max_iterations = 1000;
+    const LinBpResult result = RunLinBp(*graph, coupling->ScaledResidual(eps),
+                                        beliefs->residuals, lin_options);
+    if (result.diverged) {
+      *error = "LinBP diverged; lower --eps (see --report)";
+      return 2;
+    }
+    result_beliefs = result.beliefs;
+  }
+
+  // Emit "v class [class...]" lines (multiple classes on ties).
+  const TopBeliefAssignment top = TopBeliefs(result_beliefs);
+  std::ostringstream lines;
+  for (std::int64_t v = 0; v < graph->num_nodes(); ++v) {
+    lines << v;
+    for (const int cls : top.classes[v]) lines << ' ' << cls;
+    lines << '\n';
+  }
+  *output = lines.str();
+  if (!options.output_path.empty()) {
+    std::ofstream out(options.output_path);
+    if (!out) {
+      *error = options.output_path + ": cannot write";
+      return 1;
+    }
+    out << *output;
+  }
+  return 0;
+}
+
+}  // namespace cli
+}  // namespace linbp

@@ -1,0 +1,54 @@
+// Library behind the `linbp_cli` command-line tool.
+//
+// The pipeline reads an edge list and a belief list, picks a coupling
+// matrix (preset name or residual matrix file), chooses a convergence-safe
+// eps_H when asked to, runs one of {bp, linbp, linbp*, sbp}, and writes the
+// top-belief labels. Kept separate from main() so every step is unit
+// testable.
+
+#ifndef LINBP_TOOLS_CLI_LIB_H_
+#define LINBP_TOOLS_CLI_LIB_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace linbp {
+namespace cli {
+
+/// Parsed command-line options.
+struct Options {
+  std::string graph_path;
+  std::string beliefs_path;
+  /// Preset name (homophily2 | heterophily2 | auction | dblp4) or a path to
+  /// a residual coupling matrix file.
+  std::string coupling = "homophily2";
+  /// Method: bp | linbp | linbp* | sbp.
+  std::string method = "linbp";
+  /// "auto" picks half the Lemma 8 threshold; otherwise a double.
+  std::string eps = "auto";
+  /// Number of classes; 0 means "infer from the coupling matrix".
+  std::int64_t k = 0;
+  /// Output file for "v class" lines; empty writes to stdout.
+  std::string output_path;
+  /// Print the convergence report before running.
+  bool report = false;
+};
+
+/// Parses argv; returns nullopt and fills *error on unknown flags or
+/// missing required arguments.
+std::optional<Options> ParseOptions(const std::vector<std::string>& args,
+                                    std::string* error);
+
+/// One-line usage summary.
+std::string Usage();
+
+/// Runs the pipeline; returns the process exit code and fills *output with
+/// the produced label lines (also written to options.output_path if set).
+int RunPipeline(const Options& options, std::string* output,
+                std::string* error);
+
+}  // namespace cli
+}  // namespace linbp
+
+#endif  // LINBP_TOOLS_CLI_LIB_H_

@@ -1,0 +1,28 @@
+// Command-line front end for the linbp library; see cli_lib.h.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/cli_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  const auto options = linbp::cli::ParseOptions(args, &error);
+  if (!options.has_value()) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                 linbp::cli::Usage().c_str());
+    return 1;
+  }
+  std::string output;
+  const int code = linbp::cli::RunPipeline(*options, &output, &error);
+  if (code != 0) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return code;
+  }
+  if (options->output_path.empty()) {
+    std::fputs(output.c_str(), stdout);
+  }
+  return 0;
+}
