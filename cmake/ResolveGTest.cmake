@@ -1,0 +1,41 @@
+# Resolves a GoogleTest dependency without assuming network access.
+#
+# Order of preference:
+#   1. An installed package (Debian libgtest-dev ships static libs + headers,
+#      picked up by CMake's FindGTest).
+#   2. The vendored Debian source tree at /usr/src/googletest, built as a
+#      subproject.
+#   3. FetchContent from GitHub (online builds only).
+#
+# Afterwards the canonical GTest::gtest target exists.
+
+if(TARGET GTest::gtest)
+  return()
+endif()
+
+find_package(GTest QUIET)
+if(GTest_FOUND AND TARGET GTest::gtest)
+  message(STATUS "LinBP: using system GoogleTest")
+  return()
+endif()
+
+set(LINBP_VENDORED_GTEST "/usr/src/googletest" CACHE PATH
+  "Path to a GoogleTest source tree used when no installed package is found")
+if(EXISTS "${LINBP_VENDORED_GTEST}/CMakeLists.txt")
+  message(STATUS "LinBP: building vendored GoogleTest from ${LINBP_VENDORED_GTEST}")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory("${LINBP_VENDORED_GTEST}" "${CMAKE_BINARY_DIR}/_gtest" EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+  return()
+endif()
+
+message(STATUS "LinBP: fetching GoogleTest with FetchContent")
+include(FetchContent)
+FetchContent_Declare(googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

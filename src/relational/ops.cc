@@ -128,7 +128,7 @@ Table FilterByKeyMembership(const Table& left, const Table& right,
   Table out(left.column_names(), left.column_types());
   const KeyReader left_reader(left, left_keys);
   for (std::int64_t l = 0; l < left.num_rows(); ++l) {
-    const bool match = keys.contains(left_reader.At(l));
+    const bool match = keys.count(left_reader.At(l)) > 0;
     if (match == keep_matches) out.AppendRowFrom(left, l);
   }
   return out;

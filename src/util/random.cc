@@ -1,7 +1,6 @@
 #include "src/util/random.h"
 
 #include <cmath>
-#include <numbers>
 
 #include "src/util/check.h"
 
@@ -71,7 +70,8 @@ double Rng::NextGaussian() {
   while (u1 <= 1e-300) u1 = NextDouble();
   const double u2 = NextDouble();
   const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double angle = 2.0 * std::numbers::pi * u2;
+  constexpr double kPi = 3.14159265358979323846;
+  const double angle = 2.0 * kPi * u2;
   cached_gaussian_ = radius * std::sin(angle);
   has_cached_gaussian_ = true;
   return radius * std::cos(angle);

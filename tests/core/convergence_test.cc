@@ -1,7 +1,6 @@
 #include "src/core/convergence.h"
 
 #include <cmath>
-#include <numbers>
 
 #include "gtest/gtest.h"
 #include "src/core/coupling.h"
@@ -32,7 +31,7 @@ TEST(ConvergenceTest, Example20Constants) {
   const Graph g = TorusExampleGraph();
   const CouplingMatrix coupling = AuctionCoupling();
   const ConvergenceReport report = AnalyzeConvergence(g, coupling);
-  EXPECT_NEAR(report.adjacency_spectral_radius, 1.0 + std::numbers::sqrt2,
+  EXPECT_NEAR(report.adjacency_spectral_radius, 1.0 + std::sqrt(2.0),
               1e-6);                                              // ~2.414
   EXPECT_NEAR(report.coupling_spectral_radius, 0.6292, 1e-3);     // ~0.629
   EXPECT_NEAR(report.exact_epsilon_linbp, 0.4877, 2e-3);          // ~0.488

@@ -1,0 +1,93 @@
+// Fig. 10b consistency: incremental SBP (Algorithm 4) after edge
+// insertions must match a full from-scratch recompute within 1e-9.
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/coupling.h"
+#include "src/core/sbp.h"
+#include "src/core/sbp_incremental.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using testing::ExpectMatrixNear;
+using testing::RandomFreshEdges;
+
+constexpr double kRecomputeTol = 1e-9;
+
+void ExpectMatchesRecompute(const SbpState& state, const Graph& graph,
+                            const DenseMatrix& hhat,
+                            const DenseMatrix& residuals,
+                            const std::vector<std::int64_t>& explicit_nodes) {
+  const SbpResult cold = RunSbp(graph, hhat, residuals, explicit_nodes);
+  EXPECT_EQ(state.geodesic(), cold.geodesic);
+  ExpectMatrixNear(state.beliefs(), cold.beliefs, kRecomputeTol);
+}
+
+TEST(SbpIncrementalConsistencyTest, SingleEdgeInsertionMatchesRecompute) {
+  const std::int64_t n = 30;
+  const Graph g = RandomConnectedGraph(n, 20, /*seed=*/51);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.25);
+  const SeededBeliefs seeded = SeedPaperBeliefs(n, 3, 6, /*seed=*/52);
+
+  SbpState state =
+      SbpState::FromGraph(g, hhat, seeded.residuals, seeded.explicit_nodes);
+  Rng rng(501);
+  const std::vector<Edge> fresh = RandomFreshEdges(g.edges(), n, rng, 1);
+  state.AddEdges(fresh);
+
+  std::vector<Edge> all = g.edges();
+  all.insert(all.end(), fresh.begin(), fresh.end());
+  ExpectMatchesRecompute(state, Graph(n, all), hhat, seeded.residuals,
+                         seeded.explicit_nodes);
+}
+
+TEST(SbpIncrementalConsistencyTest, EdgeBatchSequenceMatchesRecompute) {
+  const std::int64_t n = 45;
+  // Sparse and possibly disconnected so insertions reshuffle geodesics.
+  const Graph start = ErdosRenyiGraph(n, 25, /*seed=*/61);
+  const DenseMatrix hhat =
+      testing::RandomResidualCoupling(3, 0.2, /*seed=*/62);
+  const SeededBeliefs seeded = SeedPaperBeliefs(n, 3, 5, /*seed=*/63);
+
+  SbpState state = SbpState::FromGraph(start, hhat, seeded.residuals,
+                                       seeded.explicit_nodes);
+  std::vector<Edge> all = start.edges();
+  Rng rng(601);
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<Edge> batch = RandomFreshEdges(all, n, rng, 2);
+    state.AddEdges(batch);
+    all.insert(all.end(), batch.begin(), batch.end());
+    ExpectMatchesRecompute(state, Graph(n, all), hhat, seeded.residuals,
+                           seeded.explicit_nodes);
+  }
+}
+
+TEST(SbpIncrementalConsistencyTest, InsertionTouchesOnlyAffectedRegion) {
+  // Fig. 10b's speedup argument: an inserted edge far from the labeled
+  // frontier recomputes only a small affected region, yet still agrees
+  // with the full recompute.
+  const std::int64_t n = 64;
+  const Graph g = GridGraph(8, 8);
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.3);
+  DenseMatrix e(n, 2);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.1;
+  SbpState state = SbpState::FromGraph(g, hhat, e, {0});
+
+  // A short-cut edge in the far corner of the grid.
+  state.AddEdges({{54, 63, 1.0}});
+  std::vector<Edge> all = g.edges();
+  all.push_back({54, 63, 1.0});
+  ExpectMatchesRecompute(state, Graph(n, all), hhat, e, {0});
+  EXPECT_LT(state.last_update_recomputed_nodes(), n / 2);
+}
+
+}  // namespace
+}  // namespace linbp

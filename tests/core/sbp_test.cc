@@ -66,6 +66,27 @@ TEST(ModifiedAdjacencyTest, MatchesExample18) {
   EXPECT_EQ(a_star.At(4, 0), 0.0);
 }
 
+TEST(ModifiedAdjacencyTest, SymmetrizationRecoversAdjacencyOnPath) {
+  // On a path labeled at one end every edge crosses geodesic levels, so no
+  // edge is dropped and A* + A*^T reassembles the full adjacency matrix.
+  const Graph g = PathGraph(7);
+  const auto geodesic = GeodesicNumbers(g, {0});
+  const SparseMatrix a_star = ModifiedAdjacency(g, geodesic);
+  std::vector<Triplet> entries;
+  for (std::int64_t s = 0; s < a_star.rows(); ++s) {
+    for (std::int64_t e = a_star.row_ptr()[s]; e < a_star.row_ptr()[s + 1];
+         ++e) {
+      const std::int64_t t = a_star.col_idx()[e];
+      const double w = a_star.values()[e];
+      entries.push_back({s, t, w});
+      entries.push_back({t, s, w});
+    }
+  }
+  const SparseMatrix symmetrized =
+      SparseMatrix::FromTriplets(g.num_nodes(), g.num_nodes(), entries);
+  testing::ExpectSparseNear(symmetrized, g.adjacency(), 0.0);
+}
+
 TEST(ModifiedAdjacencyTest, ResultIsAcyclic) {
   // Lemma 17(1): A* has no directed cycles; every edge increases the
   // geodesic number by exactly 1.

@@ -1,0 +1,8 @@
+// Shared gtest entry point linked into every test binary.
+
+#include "gtest/gtest.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/graph/graph.h"
 #include "src/la/dense_matrix.h"
+#include "src/la/sparse_matrix.h"
 #include "src/util/random.h"
 
 namespace linbp {
@@ -24,6 +26,26 @@ inline void ExpectMatrixNear(const DenseMatrix& actual,
           << "at (" << r << ", " << c << ")\nactual:\n"
           << actual.ToString() << "\nexpected:\n"
           << expected.ToString();
+    }
+  }
+}
+
+/// EXPECTs two sparse matrices to agree within `tol`: same shape, and every
+/// entry of either pattern matches (entries stored on one side only must be
+/// within `tol` of zero). Densifying keeps the comparison independent of
+/// the CSR pattern, which differs across construction orders.
+inline void ExpectSparseNear(const SparseMatrix& actual,
+                             const SparseMatrix& expected, double tol) {
+  ASSERT_EQ(actual.rows(), expected.rows());
+  ASSERT_EQ(actual.cols(), expected.cols());
+  const DenseMatrix a = actual.ToDense();
+  const DenseMatrix e = expected.ToDense();
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a.At(r, c), e.At(r, c), tol)
+          << "at (" << r << ", " << c << "); actual nnz "
+          << actual.NumNonZeros() << ", expected nnz "
+          << expected.NumNonZeros();
     }
   }
 }
@@ -88,6 +110,29 @@ inline DenseMatrix RandomResidualCoupling(std::int64_t k, double scale,
     }
   }
   return out;
+}
+
+/// Samples `count` distinct unit-weight edges absent from `existing`
+/// (in either orientation) between distinct nodes in [0, n). O(count *
+/// |existing|) per draw; fine for the small graphs the tests use.
+inline std::vector<Edge> RandomFreshEdges(std::vector<Edge> existing,
+                                          std::int64_t n, Rng& rng,
+                                          std::int64_t count) {
+  std::vector<Edge> fresh;
+  auto present = [&](std::int64_t u, std::int64_t v) {
+    for (const Edge& e : existing) {
+      if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) return true;
+    }
+    return false;
+  };
+  while (static_cast<std::int64_t>(fresh.size()) < count) {
+    const std::int64_t u = rng.NextInt(0, n - 1);
+    const std::int64_t v = rng.NextInt(0, n - 1);
+    if (u == v || present(u, v)) continue;
+    existing.push_back({u, v, 1.0});
+    fresh.push_back({u, v, 1.0});
+  }
+  return fresh;
 }
 
 }  // namespace testing
