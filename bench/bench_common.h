@@ -11,6 +11,7 @@
 #include <functional>
 #include <string>
 
+#include "src/exec/exec_context.h"
 #include "src/graph/beliefs.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
@@ -77,6 +78,18 @@ class Args {
   int argc_;
   char** argv_;
 };
+
+/// Execution context for a driver from its "--threads=N" flag: N >= 1
+/// means exactly N lanes, 0 means all hardware threads, and an absent flag
+/// defers to LINBP_THREADS (serial when unset). Drivers sweep thread
+/// counts by re-running with different flags; solver results are
+/// identical at every width.
+inline exec::ExecContext ExecFromArgs(const Args& args) {
+  const std::int64_t threads = args.Int("threads", -1);
+  return threads >= 0
+             ? exec::ExecContext::WithThreads(static_cast<int>(threads))
+             : exec::ExecContext::Default();
+}
 
 /// "4 sec" / "12.3 ms" style duration rendering.
 inline std::string FormatSeconds(double seconds) {

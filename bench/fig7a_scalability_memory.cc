@@ -18,11 +18,13 @@ int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   const int max_graph = static_cast<int>(args.Int("max-graph", 6));
   const int iterations = static_cast<int>(args.Int("iterations", 5));
+  const exec::ExecContext ctx = bench::ExecFromArgs(args);
   const CouplingMatrix coupling = KroneckerExperimentCoupling();
   const double eps = 0.0005;  // inside the convergence region of Fig. 7f
 
-  std::printf("== Fig. 7a: in-memory scalability, %d iterations ==\n\n",
-              iterations);
+  std::printf("== Fig. 7a: in-memory scalability, %d iterations, "
+              "%d thread(s) ==\n\n",
+              iterations, ctx.threads());
   TablePrinter table({"#", "edges", "BP", "LinBP", "BP/LinBP",
                       "BP e/s", "LinBP e/s"});
   for (int index = 1; index <= max_graph; ++index) {
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
     LinBpOptions lin_options;
     lin_options.max_iterations = iterations;
     lin_options.tolerance = 0.0;
+    lin_options.exec = ctx;
     const double lin_seconds = bench::TimeSeconds(
         [&] { RunLinBp(graph, hhat, seeded.residuals, lin_options); });
 

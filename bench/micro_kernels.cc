@@ -1,15 +1,23 @@
 // Experiment E15: google-benchmark micro-benchmarks of the hot kernels
 // behind every experiment — the SpMM at the heart of the LinBP update, one
 // full LinBP sweep, one BP message sweep, a complete SBP pass, geodesic
-// BFS, and the power-iteration step of the convergence criteria.
+// BFS, and the power-iteration step of the convergence criteria — plus
+// thread-count sweeps of the parallel SpMM/SpMV kernels (src/exec/). The
+// threaded sweeps feed BENCH_spmm.json, the perf-trajectory baseline:
+//   ./bench_micro_kernels --benchmark_filter='Threads'
+//       --benchmark_format=json > BENCH_spmm.json
 
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
 
 #include "src/core/bp.h"
 #include "src/core/convergence.h"
 #include "src/core/coupling.h"
 #include "src/core/linbp.h"
 #include "src/core/sbp.h"
+#include "src/exec/exec_context.h"
 #include "src/graph/beliefs.h"
 #include "src/graph/generators.h"
 #include "src/la/kron_ops.h"
@@ -28,6 +36,18 @@ const Graph& GraphForPower(int power) {
   return it->second;
 }
 
+// One shared pool per width so repeated benchmark runs reuse threads.
+const exec::ExecContext& ContextForThreads(int threads) {
+  static std::map<int, exec::ExecContext>* cache =
+      new std::map<int, exec::ExecContext>();
+  auto it = cache->find(threads);
+  if (it == cache->end()) {
+    it = cache->emplace(threads, exec::ExecContext::WithThreads(threads))
+             .first;
+  }
+  return it->second;
+}
+
 void BM_SparseDenseMultiply(benchmark::State& state) {
   const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
   const SeededBeliefs seeded =
@@ -40,6 +60,57 @@ void BM_SparseDenseMultiply(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
 }
 BENCHMARK(BM_SparseDenseMultiply)->Arg(5)->Arg(7)->Arg(9);
+
+// Threaded SpMM sweep: args are (Kronecker power, thread count). The
+// speedup over the serial kernel at matching power is the ROADMAP hot-path
+// acceptance metric; the result is bit-identical at every width.
+void BM_SpMMThreads(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const exec::ExecContext& ctx =
+      ContextForThreads(static_cast<int>(state.range(1)));
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(graph.num_nodes(), 3,
+                       graph.num_nodes() / 20 + 1, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph.adjacency().MultiplyDense(seeded.residuals, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+}
+BENCHMARK(BM_SpMMThreads)
+    ->ArgsProduct({{5, 7, 9}, {1, 2, 4, 8}})
+    ->ArgNames({"power", "threads"});
+
+// Threaded SpMV sweep (y = A x).
+void BM_SpMVThreads(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const exec::ExecContext& ctx =
+      ContextForThreads(static_cast<int>(state.range(1)));
+  std::vector<double> x(graph.num_nodes(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.adjacency().MultiplyVector(x, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+}
+BENCHMARK(BM_SpMVThreads)
+    ->ArgsProduct({{5, 7, 9}, {1, 2, 4, 8}})
+    ->ArgNames({"power", "threads"});
+
+// Threaded transpose SpMV sweep (y = A^T x, per-block accumulators).
+void BM_TransposeSpMVThreads(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const exec::ExecContext& ctx =
+      ContextForThreads(static_cast<int>(state.range(1)));
+  std::vector<double> x(graph.num_nodes(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph.adjacency().TransposeMultiplyVector(x, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+}
+BENCHMARK(BM_TransposeSpMVThreads)
+    ->ArgsProduct({{5, 7, 9}, {1, 2, 4, 8}})
+    ->ArgNames({"power", "threads"});
 
 void BM_LinBpSweep(benchmark::State& state) {
   const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));

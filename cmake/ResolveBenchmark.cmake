@@ -1,0 +1,49 @@
+# Resolves a google-benchmark dependency without assuming network access
+# (mirrors the ResolveGTest.cmake offline-first pattern).
+#
+# Order of preference:
+#   1. An installed package (Debian libbenchmark-dev ships a config file,
+#      picked up by find_package in CONFIG mode).
+#   2. A vendored source tree (LINBP_VENDORED_BENCHMARK), built as a
+#      subproject.
+#   3. FetchContent from GitHub (online builds only; disable with
+#      -DLINBP_FETCH_BENCHMARK=OFF for guaranteed-offline configures).
+#
+# Afterwards the canonical benchmark::benchmark target exists — or, when
+# every source failed, it does not and callers skip their targets.
+
+if(TARGET benchmark::benchmark)
+  return()
+endif()
+
+find_package(benchmark QUIET)
+if(benchmark_FOUND AND TARGET benchmark::benchmark)
+  message(STATUS "LinBP: using system google-benchmark")
+  return()
+endif()
+
+set(LINBP_VENDORED_BENCHMARK "/usr/src/benchmark" CACHE PATH
+  "Path to a google-benchmark source tree used when no installed package is found")
+if(EXISTS "${LINBP_VENDORED_BENCHMARK}/CMakeLists.txt")
+  message(STATUS "LinBP: building vendored google-benchmark from ${LINBP_VENDORED_BENCHMARK}")
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  add_subdirectory("${LINBP_VENDORED_BENCHMARK}" "${CMAKE_BINARY_DIR}/_benchmark" EXCLUDE_FROM_ALL)
+  return()
+endif()
+
+option(LINBP_FETCH_BENCHMARK
+  "Allow fetching google-benchmark from the network as a last resort" ON)
+if(LINBP_FETCH_BENCHMARK)
+  message(STATUS "LinBP: fetching google-benchmark with FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(googlebenchmark
+    URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.zip)
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googlebenchmark)
+else()
+  message(STATUS "LinBP: google-benchmark unavailable and fetching disabled")
+endif()

@@ -12,34 +12,41 @@ namespace {
 // y = c1 * A x - c2 * D x, the FaBP propagation operator.
 class FabpOperator final : public LinearOperator {
  public:
-  FabpOperator(const Graph* graph, double c1, double c2)
-      : graph_(graph), c1_(c1), c2_(c2) {}
+  FabpOperator(const Graph* graph, double c1, double c2,
+               const exec::ExecContext* ctx)
+      : graph_(graph), c1_(c1), c2_(c2), ctx_(ctx) {}
   std::int64_t dim() const override { return graph_->num_nodes(); }
   void Apply(const std::vector<double>& x,
              std::vector<double>* y) const override {
-    *y = graph_->adjacency().MultiplyVector(x);
+    *y = graph_->adjacency().MultiplyVector(x, *ctx_);
     const std::vector<double>& degrees = graph_->weighted_degrees();
-    for (std::int64_t s = 0; s < dim(); ++s) {
-      (*y)[s] = c1_ * (*y)[s] - c2_ * degrees[s] * x[s];
-    }
+    double* out = y->data();
+    ctx_->ParallelFor(0, dim(), exec::kDefaultMinWorkPerChunk,
+                      [&](std::int64_t begin, std::int64_t end) {
+                        for (std::int64_t s = begin; s < end; ++s) {
+                          out[s] = c1_ * out[s] - c2_ * degrees[s] * x[s];
+                        }
+                      });
   }
 
  private:
   const Graph* graph_;
   double c1_;
   double c2_;
+  const exec::ExecContext* ctx_;  // not owned
 };
 
 }  // namespace
 
 FabpResult RunFabp(const Graph& graph, double h,
                    const std::vector<double>& explicit_residuals,
-                   int max_iterations, double tolerance) {
+                   int max_iterations, double tolerance,
+                   const exec::ExecContext& exec) {
   LINBP_CHECK(static_cast<std::int64_t>(explicit_residuals.size()) ==
               graph.num_nodes());
   LINBP_CHECK_MSG(std::abs(h) < 0.5, "|h| must be < 1/2");
   const double denom = 1.0 - 4.0 * h * h;
-  const FabpOperator op(&graph, 2.0 * h / denom, 4.0 * h * h / denom);
+  const FabpOperator op(&graph, 2.0 * h / denom, 4.0 * h * h / denom, &exec);
   const JacobiResult jacobi =
       JacobiSolve(op, explicit_residuals, max_iterations, tolerance);
   FabpResult result;

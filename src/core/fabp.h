@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "src/exec/exec_context.h"
 #include "src/graph/graph.h"
 
 namespace linbp {
@@ -28,9 +29,13 @@ struct FabpResult {
 /// Solves the binary linearized system by Jacobi iteration. `h` is the
 /// scalar coupling residual (homophily h > 0, heterophily h < 0, |h| < 1/2)
 /// and `explicit_residuals` the per-node scalar priors (0 if unlabeled).
+/// The per-sweep SpMV and scaling run on `exec` (bit-identical across
+/// thread counts: per-row ownership throughout).
 FabpResult RunFabp(const Graph& graph, double h,
                    const std::vector<double>& explicit_residuals,
-                   int max_iterations = 1000, double tolerance = 1e-13);
+                   int max_iterations = 1000, double tolerance = 1e-13,
+                   const exec::ExecContext& exec =
+                       exec::ExecContext::Default());
 
 }  // namespace linbp
 

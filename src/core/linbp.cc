@@ -1,5 +1,6 @@
 #include "src/core/linbp.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/la/dense_linalg.h"
@@ -15,6 +16,43 @@ DenseMatrix ExactModulation(const DenseMatrix& hhat) {
   const auto inverse = Inverse(lhs);
   LINBP_CHECK_MSG(inverse.has_value(), "I - Hhat^2 is singular");
   return inverse->Multiply(hhat);
+}
+
+LinBpSweepStats ApplyLinBpSweep(const exec::ExecContext& ctx,
+                                const DenseMatrix& explicit_residuals,
+                                const DenseMatrix& propagated,
+                                DenseMatrix* beliefs) {
+  const std::int64_t n = beliefs->rows();
+  const std::int64_t k = beliefs->cols();
+  LINBP_CHECK(explicit_residuals.rows() == n && explicit_residuals.cols() == k);
+  LINBP_CHECK(propagated.rows() == n && propagated.cols() == k);
+  const std::int64_t chunks = std::min<std::int64_t>(
+      std::max<std::int64_t>(n, 1),
+      ctx.NumChunks(n * k, exec::kDefaultMinWorkPerChunk));
+  std::vector<double> chunk_delta(chunks, 0.0);
+  std::vector<double> chunk_magnitude(chunks, 0.0);
+  ctx.RunChunks(n, chunks, [&](std::int64_t chunk, std::int64_t row_begin,
+                               std::int64_t row_end) {
+    double local_delta = 0.0;
+    double local_magnitude = 0.0;
+    for (std::int64_t s = row_begin; s < row_end; ++s) {
+      for (std::int64_t c = 0; c < k; ++c) {
+        const double value = explicit_residuals.At(s, c) + propagated.At(s, c);
+        local_delta =
+            std::max(local_delta, std::abs(value - beliefs->At(s, c)));
+        local_magnitude = std::max(local_magnitude, std::abs(value));
+        beliefs->At(s, c) = value;
+      }
+    }
+    chunk_delta[chunk] = local_delta;
+    chunk_magnitude[chunk] = local_magnitude;
+  });
+  LinBpSweepStats stats;
+  for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+    stats.delta = std::max(stats.delta, chunk_delta[chunk]);
+    stats.magnitude = std::max(stats.magnitude, chunk_magnitude[chunk]);
+  }
+  return stats;
 }
 
 LinBpResult RunLinBp(const Graph& graph, const DenseMatrix& hhat,
@@ -39,27 +77,21 @@ LinBpResult RunLinBp(const Graph& graph, const DenseMatrix& hhat,
   LinBpResult result;
   result.beliefs = explicit_residuals;
   const std::vector<double>& degrees = graph.weighted_degrees();
+  const exec::ExecContext& ctx = options.exec;
   for (int it = 1; it <= options.max_iterations; ++it) {
-    DenseMatrix next = LinBpPropagate(graph.adjacency(), degrees, modulation,
-                                      echo_modulation, result.beliefs,
-                                      with_echo);
-    double delta = 0.0;
-    double magnitude = 0.0;
-    for (std::int64_t s = 0; s < n; ++s) {
-      for (std::int64_t c = 0; c < k; ++c) {
-        const double value = explicit_residuals.At(s, c) + next.At(s, c);
-        delta = std::max(delta, std::abs(value - result.beliefs.At(s, c)));
-        magnitude = std::max(magnitude, std::abs(value));
-        result.beliefs.At(s, c) = value;
-      }
-    }
+    const DenseMatrix next = LinBpPropagate(graph.adjacency(), degrees,
+                                            modulation, echo_modulation,
+                                            result.beliefs, with_echo, ctx);
+    const LinBpSweepStats stats =
+        ApplyLinBpSweep(ctx, explicit_residuals, next, &result.beliefs);
     result.iterations = it;
-    result.last_delta = delta;
-    if (!std::isfinite(delta) || magnitude > options.divergence_threshold) {
+    result.last_delta = stats.delta;
+    if (!std::isfinite(stats.delta) ||
+        stats.magnitude > options.divergence_threshold) {
       result.diverged = true;
       break;
     }
-    if (delta <= options.tolerance) {
+    if (stats.delta <= options.tolerance) {
       result.converged = true;
       break;
     }

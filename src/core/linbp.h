@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "src/exec/exec_context.h"
 #include "src/graph/graph.h"
 #include "src/la/dense_matrix.h"
 
@@ -35,6 +36,10 @@ struct LinBpOptions {
   double tolerance = 1e-12;
   /// Treat belief magnitudes larger than this as divergence.
   double divergence_threshold = 1e12;
+  /// Where the per-sweep SpMM and belief updates run. Defaults to the
+  /// process-wide context (LINBP_THREADS); results are bit-identical
+  /// across thread counts.
+  exec::ExecContext exec = exec::ExecContext::Default();
 };
 
 /// Result of a LinBP run. Beliefs are residuals (rows sum to ~0).
@@ -56,6 +61,22 @@ LinBpResult RunLinBp(const Graph& graph, const DenseMatrix& hhat,
 /// The Hhat* = (I_k - Hhat^2)^-1 * Hhat modulation matrix of Lemma 6.
 /// Requires I - Hhat^2 to be invertible (true for all entries << 1/k).
 DenseMatrix ExactModulation(const DenseMatrix& hhat);
+
+/// Convergence statistics of one belief sweep.
+struct LinBpSweepStats {
+  double delta = 0.0;      // max abs belief change
+  double magnitude = 0.0;  // max abs belief
+};
+
+/// Applies one Jacobi sweep in place: beliefs <- explicit_residuals +
+/// propagated, tracking the sweep statistics. Chunked over `ctx`; rows
+/// are chunk-owned and max-reductions are exact, so the update is
+/// bit-identical across thread counts. Shared by RunLinBp and the
+/// warm-started LinBpState.
+LinBpSweepStats ApplyLinBpSweep(const exec::ExecContext& ctx,
+                                const DenseMatrix& explicit_residuals,
+                                const DenseMatrix& propagated,
+                                DenseMatrix* beliefs);
 
 }  // namespace linbp
 

@@ -1,5 +1,6 @@
 #include "src/core/linbp_incremental.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/la/kron_ops.h"
@@ -23,30 +24,21 @@ LinBpState::LinBpState(Graph graph, DenseMatrix hhat,
 }
 
 int LinBpState::Solve() {
-  const std::int64_t n = graph_.num_nodes();
-  const std::int64_t k = hhat_.rows();
   const DenseMatrix hhat2 = hhat_.Multiply(hhat_);
   const bool with_echo = options_.variant == LinBpVariant::kLinBp;
+  const exec::ExecContext& ctx = options_.exec;
   converged_ = false;
   for (int it = 1; it <= options_.max_iterations; ++it) {
     const DenseMatrix propagated =
         LinBpPropagate(graph_.adjacency(), graph_.weighted_degrees(), hhat_,
-                       hhat2, beliefs_, with_echo);
-    double delta = 0.0;
-    double magnitude = 0.0;
-    for (std::int64_t s = 0; s < n; ++s) {
-      for (std::int64_t c = 0; c < k; ++c) {
-        const double value =
-            explicit_residuals_.At(s, c) + propagated.At(s, c);
-        delta = std::max(delta, std::abs(value - beliefs_.At(s, c)));
-        magnitude = std::max(magnitude, std::abs(value));
-        beliefs_.At(s, c) = value;
-      }
-    }
-    if (!std::isfinite(delta) || magnitude > options_.divergence_threshold) {
+                       hhat2, beliefs_, with_echo, ctx);
+    const LinBpSweepStats stats =
+        ApplyLinBpSweep(ctx, explicit_residuals_, propagated, &beliefs_);
+    if (!std::isfinite(stats.delta) ||
+        stats.magnitude > options_.divergence_threshold) {
       return it;  // diverged; converged_ stays false
     }
-    if (delta <= options_.tolerance) {
+    if (stats.delta <= options_.tolerance) {
       converged_ = true;
       return it;
     }

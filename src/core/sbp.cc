@@ -55,7 +55,8 @@ SparseMatrix ModifiedAdjacency(const Graph& graph,
 
 SbpResult RunSbp(const Graph& graph, const DenseMatrix& hhat,
                  const DenseMatrix& explicit_residuals,
-                 const std::vector<std::int64_t>& explicit_nodes) {
+                 const std::vector<std::int64_t>& explicit_nodes,
+                 const exec::ExecContext& exec) {
   const std::int64_t n = graph.num_nodes();
   const std::int64_t k = hhat.rows();
   LINBP_CHECK(hhat.cols() == k && k >= 2);
@@ -84,29 +85,37 @@ SbpResult RunSbp(const Graph& graph, const DenseMatrix& hhat,
   const auto& row_ptr = graph.adjacency().row_ptr();
   const auto& col_idx = graph.adjacency().col_idx();
   const auto& values = graph.adjacency().values();
-  std::vector<double> aggregated(k);
   for (std::int64_t level = 1; level <= max_geodesic; ++level) {
-    for (const std::int64_t t : levels[level]) {
-      // Sum the weighted beliefs of parents (geodesic level - 1) ...
-      std::fill(aggregated.begin(), aggregated.end(), 0.0);
-      for (std::int64_t e = row_ptr[t]; e < row_ptr[t + 1]; ++e) {
-        const std::int64_t s = col_idx[e];
-        if (result.geodesic[s] != level - 1) continue;
-        const double w = values[e];
-        for (std::int64_t c = 0; c < k; ++c) {
-          aggregated[c] += w * result.beliefs.At(s, c);
-        }
-      }
-      // ... then modulate once through Hhat (b_t = Hhat^T * sum, i.e. the
-      // row-vector product sum^T * Hhat as in B <- A B Hhat).
-      for (std::int64_t c = 0; c < k; ++c) {
-        double value = 0.0;
-        for (std::int64_t j = 0; j < k; ++j) {
-          value += aggregated[j] * hhat.At(j, c);
-        }
-        result.beliefs.At(t, c) = value;
-      }
-    }
+    // Every node of this level reads only level - 1 beliefs and writes its
+    // own row, so the level is embarrassingly parallel.
+    const std::vector<std::int64_t>& frontier = levels[level];
+    exec.ParallelFor(
+        0, static_cast<std::int64_t>(frontier.size()), /*min_grain=*/64,
+        [&](std::int64_t begin, std::int64_t end) {
+          std::vector<double> aggregated(k);
+          for (std::int64_t i = begin; i < end; ++i) {
+            const std::int64_t t = frontier[i];
+            // Sum the weighted beliefs of parents (geodesic level - 1) ...
+            std::fill(aggregated.begin(), aggregated.end(), 0.0);
+            for (std::int64_t e = row_ptr[t]; e < row_ptr[t + 1]; ++e) {
+              const std::int64_t s = col_idx[e];
+              if (result.geodesic[s] != level - 1) continue;
+              const double w = values[e];
+              for (std::int64_t c = 0; c < k; ++c) {
+                aggregated[c] += w * result.beliefs.At(s, c);
+              }
+            }
+            // ... then modulate once through Hhat (b_t = Hhat^T * sum, i.e.
+            // the row-vector product sum^T * Hhat as in B <- A B Hhat).
+            for (std::int64_t c = 0; c < k; ++c) {
+              double value = 0.0;
+              for (std::int64_t j = 0; j < k; ++j) {
+                value += aggregated[j] * hhat.At(j, c);
+              }
+              result.beliefs.At(t, c) = value;
+            }
+          }
+        });
   }
   return result;
 }

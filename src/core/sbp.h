@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/exec/exec_context.h"
 #include "src/graph/graph.h"
 #include "src/la/dense_matrix.h"
 
@@ -44,9 +45,14 @@ struct SbpResult {
 /// Runs SBP: propagates explicit residual beliefs level by level along the
 /// geodesic DAG. `explicit_nodes` lists the labeled nodes (their rows in
 /// `explicit_residuals` are the prior beliefs; other rows are ignored).
+/// Nodes within one geodesic level only read the previous level, so each
+/// level fans out on `exec`; per-node ownership keeps results bit-identical
+/// across thread counts.
 SbpResult RunSbp(const Graph& graph, const DenseMatrix& hhat,
                  const DenseMatrix& explicit_residuals,
-                 const std::vector<std::int64_t>& explicit_nodes);
+                 const std::vector<std::int64_t>& explicit_nodes,
+                 const exec::ExecContext& exec =
+                     exec::ExecContext::Default());
 
 }  // namespace linbp
 

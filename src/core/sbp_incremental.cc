@@ -8,19 +8,22 @@
 
 namespace linbp {
 
-SbpState::SbpState(std::int64_t num_nodes, DenseMatrix hhat)
+SbpState::SbpState(std::int64_t num_nodes, DenseMatrix hhat,
+                   exec::ExecContext exec)
     : adjacency_(num_nodes),
       hhat_(std::move(hhat)),
       beliefs_(num_nodes, hhat_.rows()),
       geodesic_(num_nodes, kUnreachable),
-      is_explicit_(num_nodes, false) {
+      is_explicit_(num_nodes, false),
+      exec_(std::move(exec)) {
   LINBP_CHECK(hhat_.rows() == hhat_.cols() && hhat_.rows() >= 2);
 }
 
 SbpState SbpState::FromGraph(const Graph& graph, DenseMatrix hhat,
                              const DenseMatrix& explicit_residuals,
-                             const std::vector<std::int64_t>& explicit_nodes) {
-  SbpState state(graph.num_nodes(), std::move(hhat));
+                             const std::vector<std::int64_t>& explicit_nodes,
+                             exec::ExecContext exec) {
+  SbpState state(graph.num_nodes(), std::move(hhat), std::move(exec));
   for (const Edge& e : graph.edges()) {
     state.adjacency_[e.u].push_back({e.v, e.weight});
     state.adjacency_[e.v].push_back({e.u, e.weight});
@@ -53,12 +56,14 @@ void SbpState::RecomputeBeliefs(std::int64_t t) {
     }
     beliefs_.At(t, c) = value;
   }
-  ++last_update_recomputed_nodes_;
 }
 
 void SbpState::PropagateDirty(std::vector<std::int64_t> dirty) {
   // Bucket by geodesic level; process ascending so parents are final when a
-  // child is recomputed. Cascades only ever target level g + 1.
+  // child is recomputed. Cascades only ever target level g + 1, so once a
+  // level starts its bucket is complete: the recompute phase can fan out
+  // (each node reads level g - 1 and writes its own belief row), and only
+  // the child-enqueue scan stays serial.
   std::vector<std::vector<std::int64_t>> buckets;
   std::vector<bool> marked(num_nodes(), false);
   auto enqueue = [&](std::int64_t node) {
@@ -71,10 +76,19 @@ void SbpState::PropagateDirty(std::vector<std::int64_t> dirty) {
   };
   for (const std::int64_t node : dirty) enqueue(node);
   for (std::size_t level = 1; level < buckets.size(); ++level) {
-    // buckets may grow while iterating; index-based loops throughout.
+    // buckets may grow (at higher levels) while iterating; index-based
+    // access throughout instead of holding references.
+    exec_.ParallelFor(
+        0, static_cast<std::int64_t>(buckets[level].size()), /*min_grain=*/64,
+        [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            RecomputeBeliefs(buckets[level][i]);
+          }
+        });
+    last_update_recomputed_nodes_ +=
+        static_cast<std::int64_t>(buckets[level].size());
     for (std::size_t i = 0; i < buckets[level].size(); ++i) {
       const std::int64_t t = buckets[level][i];
-      RecomputeBeliefs(t);
       for (const Neighbor& nb : adjacency_[t]) {
         if (geodesic_[nb.node] == geodesic_[t] + 1) enqueue(nb.node);
       }

@@ -28,13 +28,18 @@ namespace linbp {
 class SbpState {
  public:
   /// Empty state over `num_nodes` isolated nodes with coupling `hhat`.
-  SbpState(std::int64_t num_nodes, DenseMatrix hhat);
+  /// Belief recomputation of large dirty levels fans out on `exec`
+  /// (per-node ownership: results are bit-identical across thread counts).
+  SbpState(std::int64_t num_nodes, DenseMatrix hhat,
+           exec::ExecContext exec = exec::ExecContext::Default());
 
   /// Bootstraps from a full graph and initial explicit beliefs
   /// (Algorithm 2: the initial from-scratch assignment).
   static SbpState FromGraph(const Graph& graph, DenseMatrix hhat,
                             const DenseMatrix& explicit_residuals,
-                            const std::vector<std::int64_t>& explicit_nodes);
+                            const std::vector<std::int64_t>& explicit_nodes,
+                            exec::ExecContext exec =
+                                exec::ExecContext::Default());
 
   /// Algorithm 3: adds (or overwrites) explicit beliefs for `nodes`; row i
   /// of `residuals` is the belief of nodes[i]. Updates all affected nodes.
@@ -86,6 +91,7 @@ class SbpState {
   std::vector<std::int64_t> explicit_nodes_;
   std::vector<bool> is_explicit_;
   std::int64_t last_update_recomputed_nodes_ = 0;
+  exec::ExecContext exec_;
 };
 
 }  // namespace linbp

@@ -1,0 +1,94 @@
+#include "src/exec/exec_context.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "src/util/check.h"
+
+namespace linbp {
+namespace exec {
+
+int ParseThreadsSpec(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return 1;
+  char* end = nullptr;
+  const long long value = std::strtoll(spec, &end, 10);
+  if (end == spec || *end != '\0') return 1;
+  if (value == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (value < 1) return 1;
+  return value > kMaxThreads ? kMaxThreads : static_cast<int>(value);
+}
+
+ExecContext ExecContext::WithThreads(int threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  threads = std::min(threads, kMaxThreads);
+  ExecContext ctx;
+  if (threads > 1) ctx.pool_ = std::make_shared<ThreadPool>(threads);
+  return ctx;
+}
+
+const ExecContext& ExecContext::Default() {
+  static const ExecContext* context = new ExecContext(
+      ExecContext::WithThreads(ParseThreadsSpec(std::getenv("LINBP_THREADS"))));
+  return *context;
+}
+
+std::int64_t ExecContext::NumChunks(std::int64_t n,
+                                    std::int64_t min_grain) const {
+  if (n <= 0) return 1;
+  const std::int64_t by_grain = n / std::max<std::int64_t>(1, min_grain);
+  return std::clamp<std::int64_t>(by_grain, 1,
+                                  static_cast<std::int64_t>(threads()));
+}
+
+void ExecContext::RunChunks(
+    std::int64_t n, std::int64_t num_chunks,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& body)
+    const {
+  if (n <= 0) return;
+  LINBP_CHECK(num_chunks >= 1);
+  num_chunks = std::min(num_chunks, n);
+  // Deterministic static chunking: chunk c covers [c*n/num_chunks,
+  // (c+1)*n/num_chunks), which tiles [0, n) with sizes differing by <= 1.
+  auto run_chunk = [&](std::int64_t c) {
+    const std::int64_t begin = c * n / num_chunks;
+    const std::int64_t end = (c + 1) * n / num_chunks;
+    body(c, begin, end);
+  };
+  if (pool_ == nullptr || num_chunks <= 1) {
+    for (std::int64_t c = 0; c < num_chunks; ++c) run_chunk(c);
+    return;
+  }
+  pool_->ParallelRun(num_chunks, run_chunk);
+}
+
+void ExecContext::ParallelFor(
+    std::int64_t begin, std::int64_t end, std::int64_t min_grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) const {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  RunChunks(n, NumChunks(n, min_grain),
+            [&](std::int64_t /*chunk*/, std::int64_t lo, std::int64_t hi) {
+              body(begin + lo, begin + hi);
+            });
+}
+
+void ExecContext::RunBlocks(
+    std::int64_t num_blocks,
+    const std::function<void(std::int64_t)>& body) const {
+  if (num_blocks <= 0) return;
+  if (pool_ == nullptr || num_blocks == 1) {
+    for (std::int64_t b = 0; b < num_blocks; ++b) body(b);
+    return;
+  }
+  pool_->ParallelRun(num_blocks, body);
+}
+
+}  // namespace exec
+}  // namespace linbp

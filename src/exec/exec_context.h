@@ -1,0 +1,98 @@
+// Execution context: where (and how wide) parallel kernels run.
+//
+// An ExecContext is a small copyable handle on a ThreadPool (or nothing,
+// for serial execution). Kernels take one and split their row space into
+// deterministic static chunks: the chunking depends only on the context's
+// thread count and the problem shape, never on runtime timing, so a given
+// (matrix, context) pair always produces the same answer. Per-row-owned
+// kernels (SpMV, SpMM) are additionally bit-identical to the serial code
+// for every thread count.
+//
+// The process-wide Default() context reads the LINBP_THREADS environment
+// variable once: unset or 1 means serial, 0 means all hardware threads,
+// N > 1 means an N-thread pool.
+
+#ifndef LINBP_EXEC_EXEC_CONTEXT_H_
+#define LINBP_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/exec/thread_pool.h"
+
+namespace linbp {
+namespace exec {
+
+/// Default minimum work units (FLOP-ish) a chunk must amortize before a
+/// kernel fans out; below it the serial path is cheaper than the dispatch.
+inline constexpr std::int64_t kDefaultMinWorkPerChunk = 1024;
+
+/// Sanity bound on requested thread counts (every spec is clamped to
+/// [1, kMaxThreads]); far above useful oversubscription, far below
+/// anything that could exhaust process thread limits.
+inline constexpr int kMaxThreads = 8192;
+
+/// Parses a LINBP_THREADS-style spec: nullptr/empty/non-numeric -> 1
+/// (serial), 0 -> hardware concurrency, otherwise the value clamped
+/// to [1, kMaxThreads].
+int ParseThreadsSpec(const char* spec);
+
+/// Copyable handle selecting serial or pooled parallel execution.
+class ExecContext {
+ public:
+  /// Serial context (no pool).
+  ExecContext() = default;
+
+  /// Serial context, spelled explicitly.
+  static ExecContext Serial() { return ExecContext(); }
+
+  /// Context with `threads` concurrent lanes; 0 means hardware
+  /// concurrency, <= 1 means serial. Creating a context with threads > 1
+  /// spawns the pool immediately; copies share it.
+  static ExecContext WithThreads(int threads);
+
+  /// Process-wide context configured from the LINBP_THREADS environment
+  /// variable (read once at first use).
+  static const ExecContext& Default();
+
+  /// Number of concurrent lanes (1 for serial contexts).
+  int threads() const { return pool_ ? pool_->num_threads() : 1; }
+
+  bool IsSerial() const { return threads() <= 1; }
+
+  /// Number of chunks [0, n) splits into given `min_grain` items per
+  /// chunk: min(threads, n / max(1, min_grain)), at least 1. Exposed so
+  /// callers can pre-size per-chunk reduction buffers.
+  std::int64_t NumChunks(std::int64_t n, std::int64_t min_grain) const;
+
+  /// Runs body(chunk, begin, end) for `num_chunks` equal contiguous
+  /// chunks of [0, n). Serial (in chunk order) when the context is serial
+  /// or num_chunks <= 1; otherwise on the pool. Exceptions from `body`
+  /// propagate to the caller.
+  void RunChunks(std::int64_t n, std::int64_t num_chunks,
+                 const std::function<void(std::int64_t, std::int64_t,
+                                          std::int64_t)>& body) const;
+
+  /// Convenience: chunked parallel loop over [begin, end) with at least
+  /// `min_grain` items per chunk; body receives sub-ranges that exactly
+  /// tile the input range.
+  void ParallelFor(std::int64_t begin, std::int64_t end,
+                   std::int64_t min_grain,
+                   const std::function<void(std::int64_t, std::int64_t)>&
+                       body) const;
+
+  /// Runs body(block) for blocks [0, num_blocks), one task per block
+  /// (for pre-computed partitions such as RowPartition). Serial when the
+  /// context is serial or num_blocks <= 1.
+  void RunBlocks(std::int64_t num_blocks,
+                 const std::function<void(std::int64_t)>& body) const;
+
+ private:
+  std::shared_ptr<ThreadPool> pool_;  // null = serial
+};
+
+}  // namespace exec
+}  // namespace linbp
+
+#endif  // LINBP_EXEC_EXEC_CONTEXT_H_

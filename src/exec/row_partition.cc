@@ -1,0 +1,52 @@
+#include "src/exec/row_partition.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace linbp {
+namespace exec {
+
+RowPartition RowPartition::Uniform(std::int64_t num_rows,
+                                   std::int64_t max_blocks) {
+  LINBP_CHECK(num_rows >= 0 && max_blocks >= 1);
+  const std::int64_t blocks = std::max<std::int64_t>(
+      1, std::min(max_blocks, num_rows));
+  std::vector<std::int64_t> bounds(blocks + 1);
+  for (std::int64_t b = 0; b <= blocks; ++b) {
+    bounds[b] = b * num_rows / blocks;
+  }
+  return RowPartition(std::move(bounds));
+}
+
+RowPartition RowPartition::NnzBalanced(
+    const std::vector<std::int64_t>& row_ptr, std::int64_t max_blocks) {
+  LINBP_CHECK(!row_ptr.empty() && max_blocks >= 1);
+  const std::int64_t num_rows = static_cast<std::int64_t>(row_ptr.size()) - 1;
+  const std::int64_t total = row_ptr[num_rows];
+  if (total == 0) return Uniform(num_rows, max_blocks);
+  const std::int64_t blocks = std::max<std::int64_t>(
+      1, std::min(max_blocks, num_rows));
+
+  // Cut block b at the first row whose cumulative nnz reaches the ideal
+  // prefix (b+1) * total / blocks, always advancing at least one row so no
+  // block is empty.
+  std::vector<std::int64_t> bounds;
+  bounds.reserve(blocks + 1);
+  bounds.push_back(0);
+  std::int64_t row = 0;
+  for (std::int64_t b = 0; b < blocks && row < num_rows; ++b) {
+    const std::int64_t target = (b + 1) * total / blocks;
+    std::int64_t cut = row + 1;
+    // Rows left must stay >= blocks remaining after this one.
+    const std::int64_t max_cut = num_rows - (blocks - 1 - b);
+    while (cut < max_cut && row_ptr[cut] < target) ++cut;
+    bounds.push_back(cut);
+    row = cut;
+  }
+  bounds.back() = num_rows;
+  return RowPartition(std::move(bounds));
+}
+
+}  // namespace exec
+}  // namespace linbp

@@ -1,0 +1,130 @@
+#include "src/exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace linbp {
+namespace exec {
+namespace {
+
+// True while the current thread is executing tasks of some batch; nested
+// ParallelRun calls fall back to serial execution instead of deadlocking
+// on run_mutex_ / the claim counter.
+thread_local bool t_inside_batch = false;
+
+void RunSerial(std::int64_t num_tasks,
+               const std::function<void(std::int64_t)>& task) {
+  for (std::int64_t i = 0; i < num_tasks; ++i) task(i);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  try {
+    for (int t = 0; t < num_threads_ - 1; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  } catch (...) {
+    // Thread creation failed (resource limits): shut down the workers
+    // that did start, then surface the error as a catchable exception
+    // instead of std::terminate from joinable-thread destructors.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::DrainBatch(Batch* batch) {
+  t_inside_batch = true;
+  for (;;) {
+    const std::int64_t i = batch->next.fetch_add(1);
+    if (i >= batch->num_tasks) break;
+    if (!batch->cancelled.load()) {
+      try {
+        (*batch->task)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(batch->error_mutex);
+          if (!batch->error) batch->error = std::current_exception();
+        }
+        batch->cancelled.store(true);
+      }
+    }
+    batch->completed.fetch_add(1);
+  }
+  t_inside_batch = false;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (batch_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = batch_;
+      ++active_workers_;
+    }
+    DrainBatch(batch);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelRun(std::int64_t num_tasks,
+                             const std::function<void(std::int64_t)>& task) {
+  if (num_tasks <= 0) return;
+  if (num_threads_ <= 1 || num_tasks == 1 || t_inside_batch) {
+    RunSerial(num_tasks, task);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  Batch batch;
+  batch.task = &task;
+  batch.num_tasks = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  DrainBatch(&batch);
+
+  // Wait until every index was drained AND every worker left DrainBatch;
+  // the latter keeps the stack-allocated batch alive for stragglers that
+  // claimed an out-of-range index.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return batch.completed.load() == batch.num_tasks && active_workers_ == 0;
+    });
+    batch_ = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace exec
+}  // namespace linbp

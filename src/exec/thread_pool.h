@@ -1,0 +1,82 @@
+// Fixed-size thread pool with a blocking fork-join primitive.
+//
+// The pool is deliberately simple (no work stealing, no futures): every
+// kernel in this library decomposes into a statically known number of
+// independent index tasks, so a single shared claim counter plus a
+// completion latch is both robust and fast enough. One batch runs at a
+// time; concurrent ParallelRun callers serialize on an internal mutex.
+
+#ifndef LINBP_EXEC_THREAD_POOL_H_
+#define LINBP_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace linbp {
+namespace exec {
+
+/// A pool of `num_threads - 1` worker threads; the caller of ParallelRun
+/// participates as the remaining thread, so `num_threads` tasks make
+/// progress concurrently.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers. `num_threads` is clamped to >= 1
+  /// (a 1-thread pool has no workers and runs everything inline).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Must not be called while a ParallelRun is active.
+  ~ThreadPool();
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs task(0), ..., task(num_tasks - 1) across the pool and blocks
+  /// until all of them finished. Tasks are claimed dynamically from a
+  /// shared counter, so any task may run on any thread (including the
+  /// caller). The first exception thrown by a task is rethrown here after
+  /// every remaining task was drained (tasks claimed after the exception
+  /// are skipped). Calls from inside a running task execute serially on
+  /// the calling thread instead of deadlocking.
+  void ParallelRun(std::int64_t num_tasks,
+                   const std::function<void(std::int64_t)>& task);
+
+ private:
+  // One fork-join batch; lives on the ParallelRun caller's stack.
+  struct Batch {
+    const std::function<void(std::int64_t)>* task = nullptr;
+    std::int64_t num_tasks = 0;
+    std::atomic<std::int64_t> next{0};       // next index to claim
+    std::atomic<std::int64_t> completed{0};  // indices drained (run or skipped)
+    std::atomic<bool> cancelled{false};      // set after the first exception
+    std::exception_ptr error;                // guarded by error_mutex
+    std::mutex error_mutex;
+  };
+
+  void WorkerLoop();
+  // Claims and runs indices from `batch` until none remain.
+  static void DrainBatch(Batch* batch);
+
+  int num_threads_ = 1;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait here for a new batch
+  std::condition_variable done_cv_;  // the caller waits here for completion
+  Batch* batch_ = nullptr;           // guarded by mutex_
+  std::uint64_t generation_ = 0;     // guarded by mutex_; bumped per batch
+  int active_workers_ = 0;           // guarded by mutex_
+  bool shutdown_ = false;            // guarded by mutex_
+  std::mutex run_mutex_;             // serializes ParallelRun callers
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace exec
+}  // namespace linbp
+
+#endif  // LINBP_EXEC_THREAD_POOL_H_

@@ -1,5 +1,7 @@
 #include "src/la/kron_ops.h"
 
+#include <algorithm>
+
 #include "src/util/check.h"
 
 namespace linbp {
@@ -16,34 +18,40 @@ void DenseOperator::Apply(const std::vector<double>& x,
 DenseMatrix LinBpPropagate(const SparseMatrix& adjacency,
                            const std::vector<double>& degrees,
                            const DenseMatrix& hhat, const DenseMatrix& hhat2,
-                           const DenseMatrix& beliefs, bool with_echo) {
+                           const DenseMatrix& beliefs, bool with_echo,
+                           const exec::ExecContext& ctx) {
   const std::int64_t n = adjacency.rows();
   const std::int64_t k = hhat.rows();
   LINBP_CHECK(adjacency.cols() == n);
   LINBP_CHECK(beliefs.rows() == n && beliefs.cols() == k);
   // A * B, then (A*B) * Hhat.
-  DenseMatrix propagated = adjacency.MultiplyDense(beliefs).Multiply(hhat);
+  DenseMatrix propagated =
+      adjacency.MultiplyDense(beliefs, ctx).Multiply(hhat);
   if (!with_echo) return propagated;
   LINBP_CHECK(static_cast<std::int64_t>(degrees.size()) == n);
   // Echo cancellation: subtract D * B * Hhat^2 row by row (D is diagonal).
   const DenseMatrix echo = beliefs.Multiply(hhat2);
-  for (std::int64_t s = 0; s < n; ++s) {
-    const double d = degrees[s];
-    for (std::int64_t c = 0; c < k; ++c) {
-      propagated.At(s, c) -= d * echo.At(s, c);
-    }
-  }
+  ctx.ParallelFor(0, n, exec::kDefaultMinWorkPerChunk / std::max<std::int64_t>(1, k),
+                  [&](std::int64_t row_begin, std::int64_t row_end) {
+                    for (std::int64_t s = row_begin; s < row_end; ++s) {
+                      const double d = degrees[s];
+                      for (std::int64_t c = 0; c < k; ++c) {
+                        propagated.At(s, c) -= d * echo.At(s, c);
+                      }
+                    }
+                  });
   return propagated;
 }
 
 LinBpOperator::LinBpOperator(const SparseMatrix* adjacency,
                              std::vector<double> degrees, DenseMatrix hhat,
-                             bool with_echo)
+                             bool with_echo, exec::ExecContext ctx)
     : adjacency_(adjacency),
       degrees_(std::move(degrees)),
       hhat_(std::move(hhat)),
       hhat2_(hhat_.Multiply(hhat_)),
-      with_echo_(with_echo) {
+      with_echo_(with_echo),
+      ctx_(std::move(ctx)) {
   LINBP_CHECK(adjacency_ != nullptr);
   LINBP_CHECK(adjacency_->rows() == adjacency_->cols());
   LINBP_CHECK(hhat_.rows() == hhat_.cols());
@@ -60,8 +68,8 @@ void LinBpOperator::Apply(const std::vector<double>& x,
   const std::int64_t n = adjacency_->rows();
   const std::int64_t k = hhat_.rows();
   const DenseMatrix b = UnvectorizeBeliefs(x, n, k);
-  const DenseMatrix out =
-      LinBpPropagate(*adjacency_, degrees_, hhat_, hhat2_, b, with_echo_);
+  const DenseMatrix out = LinBpPropagate(*adjacency_, degrees_, hhat_, hhat2_,
+                                         b, with_echo_, ctx_);
   *y = VectorizeBeliefs(out);
 }
 

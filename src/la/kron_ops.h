@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/exec/exec_context.h"
 #include "src/la/dense_matrix.h"
 #include "src/la/sparse_matrix.h"
 
@@ -47,11 +48,22 @@ class DenseOperator final : public LinearOperator {
 ///   returns A*B*Hhat        - D*B*Hhat2   if `with_echo`
 ///   returns A*B*Hhat                      otherwise,
 /// where D = diag(degrees). `hhat2` must be Hhat^2 (precomputed by callers
-/// so repeated steps do not recompute it).
+/// so repeated steps do not recompute it). The SpMM and the echo update
+/// run on `ctx`; both are per-row-owned, so the result is bit-identical
+/// across thread counts.
 DenseMatrix LinBpPropagate(const SparseMatrix& adjacency,
                            const std::vector<double>& degrees,
                            const DenseMatrix& hhat, const DenseMatrix& hhat2,
-                           const DenseMatrix& beliefs, bool with_echo);
+                           const DenseMatrix& beliefs, bool with_echo,
+                           const exec::ExecContext& ctx);
+inline DenseMatrix LinBpPropagate(const SparseMatrix& adjacency,
+                                  const std::vector<double>& degrees,
+                                  const DenseMatrix& hhat,
+                                  const DenseMatrix& hhat2,
+                                  const DenseMatrix& beliefs, bool with_echo) {
+  return LinBpPropagate(adjacency, degrees, hhat, hhat2, beliefs, with_echo,
+                        exec::ExecContext::Default());
+}
 
 /// The implicit operator vec(B) -> vec(A*B*Hhat [- D*B*Hhat^2]).
 /// Vectorization is column-major (class-major), matching the paper's vec().
@@ -60,9 +72,10 @@ class LinBpOperator final : public LinearOperator {
   /// `adjacency` must be square (n x n); `degrees` are the weighted degrees
   /// d_s = sum of squared edge weights; `hhat` is the k x k residual
   /// coupling matrix. With `with_echo` false the echo-cancellation term is
-  /// dropped (LinBP*).
+  /// dropped (LinBP*). Apply() runs its SpMM on `ctx`.
   LinBpOperator(const SparseMatrix* adjacency, std::vector<double> degrees,
-                DenseMatrix hhat, bool with_echo);
+                DenseMatrix hhat, bool with_echo,
+                exec::ExecContext ctx = exec::ExecContext::Default());
 
   std::int64_t dim() const override;
   void Apply(const std::vector<double>& x,
@@ -77,6 +90,7 @@ class LinBpOperator final : public LinearOperator {
   DenseMatrix hhat_;
   DenseMatrix hhat2_;
   bool with_echo_;
+  exec::ExecContext ctx_;
 };
 
 /// Converts between the column-major vec() layout of length n*k and the

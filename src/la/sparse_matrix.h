@@ -4,6 +4,15 @@
 // paper; every algorithm reduces to products of A with skinny dense n x k
 // matrices (SpMM) or vectors (SpMV). The CSR layout here is immutable once
 // built, which keeps the hot kernels simple and cache-friendly.
+//
+// The three product kernels accept an exec::ExecContext and run on its
+// thread pool over nnz-balanced row blocks (exec::RowPartition). SpMV and
+// SpMM assign whole output rows to exactly one block, so their parallel
+// results are bit-identical to the serial kernel for every thread count.
+// TransposeMultiplyVector scatters into shared output columns and instead
+// reduces per-block partial vectors in block order: deterministic for a
+// fixed context, equal to serial only up to floating-point rounding. The
+// context-free overloads use exec::ExecContext::Default() (LINBP_THREADS).
 
 #ifndef LINBP_LA_SPARSE_MATRIX_H_
 #define LINBP_LA_SPARSE_MATRIX_H_
@@ -11,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/exec/exec_context.h"
 #include "src/la/dense_matrix.h"
 
 namespace linbp {
@@ -47,16 +57,35 @@ class SparseMatrix {
   const std::vector<std::int32_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
 
-  /// y = A * x.
-  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+  /// y = A * x. Zero-weight stored entries are skipped. Bit-identical
+  /// across thread counts (per-row ownership).
+  std::vector<double> MultiplyVector(const std::vector<double>& x,
+                                     const exec::ExecContext& ctx) const;
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const {
+    return MultiplyVector(x, exec::ExecContext::Default());
+  }
 
-  /// y = A^T * x (without materializing the transpose).
+  /// y = A^T * x (without materializing the transpose). Parallel runs
+  /// reduce per-block partial vectors in block order: deterministic for a
+  /// fixed context, equal to the serial result up to rounding.
   std::vector<double> TransposeMultiplyVector(
-      const std::vector<double>& x) const;
+      const std::vector<double>& x, const exec::ExecContext& ctx) const;
+  std::vector<double> TransposeMultiplyVector(
+      const std::vector<double>& x) const {
+    return TransposeMultiplyVector(x, exec::ExecContext::Default());
+  }
 
   /// C = A * B for a dense row-major B with a small number of columns.
   /// This is the LinBP hot kernel (B is the n x k belief matrix).
-  DenseMatrix MultiplyDense(const DenseMatrix& b) const;
+  /// Bit-identical across thread counts (per-row ownership). Unlike the
+  /// SpMV kernels, stored zero entries are NOT skipped here: the per-entry
+  /// branch is not amortized by k in the hottest loop, and belief
+  /// operands are always finite.
+  DenseMatrix MultiplyDense(const DenseMatrix& b,
+                            const exec::ExecContext& ctx) const;
+  DenseMatrix MultiplyDense(const DenseMatrix& b) const {
+    return MultiplyDense(b, exec::ExecContext::Default());
+  }
 
   /// Returns the explicit transpose (CSR of A^T).
   SparseMatrix Transpose() const;

@@ -1,0 +1,178 @@
+// Equivalence of the parallel CSR kernels with the serial reference.
+//
+// SpMM and SpMV assign whole output rows to one block, so a parallel run
+// must be BIT-IDENTICAL to the serial kernel for every thread count (the
+// static partition changes which thread computes a row, never the
+// floating-point evaluation order inside it). TransposeMultiplyVector
+// reduces per-block partials instead and is checked to tight tolerance
+// plus run-to-run determinism. The solver-level checks extend the
+// guarantee to RunLinBp / RunSbp outputs.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/linbp.h"
+#include "src/core/sbp.h"
+#include "src/exec/exec_context.h"
+#include "src/graph/beliefs.h"
+#include "src/graph/generators.h"
+#include "src/la/sparse_matrix.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using exec::ExecContext;
+
+const int kThreadCounts[] = {1, 2, 4, 8};
+
+// Kronecker powers 5 and 7 (n = 243 / 2187, nnz = 1024 / 16384): power 5
+// exercises the small-input serial fallback, power 7 the parallel blocks.
+const int kPowers[] = {5, 7};
+
+void ExpectBitEqual(const std::vector<double>& actual,
+                    const std::vector<double>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "at index " << i;
+  }
+}
+
+TEST(KernelEquivalenceTest, SpMMIsBitExactAcrossThreadCounts) {
+  for (const int power : kPowers) {
+    const Graph graph = KroneckerPowerGraph(power);
+    const DenseMatrix b = testing::RandomMatrix(graph.num_nodes(), 3,
+                                                /*scale=*/1.0, /*seed=*/7);
+    const DenseMatrix serial =
+        graph.adjacency().MultiplyDense(b, ExecContext::Serial());
+    for (const int threads : kThreadCounts) {
+      const DenseMatrix parallel =
+          graph.adjacency().MultiplyDense(b, ExecContext::WithThreads(threads));
+      SCOPED_TRACE(::testing::Message()
+                   << "power " << power << ", threads " << threads);
+      ExpectBitEqual(parallel.data(), serial.data());
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, SpMMIsBitExactForWideDenseOperands) {
+  // k = 19 spans two cache tiles plus a remainder column tile.
+  const Graph graph = KroneckerPowerGraph(5);
+  const DenseMatrix b = testing::RandomMatrix(graph.num_nodes(), 19,
+                                              /*scale=*/1.0, /*seed=*/11);
+  const DenseMatrix serial =
+      graph.adjacency().MultiplyDense(b, ExecContext::Serial());
+  ExpectBitEqual(
+      graph.adjacency().MultiplyDense(b, ExecContext::WithThreads(8)).data(),
+      serial.data());
+  // The tiled kernel also matches the dense reference numerically.
+  testing::ExpectMatrixNear(serial, graph.adjacency().ToDense().Multiply(b),
+                            1e-12);
+}
+
+TEST(KernelEquivalenceTest, SpMVIsBitExactAcrossThreadCounts) {
+  for (const int power : kPowers) {
+    const Graph graph = KroneckerPowerGraph(power);
+    std::vector<double> x(graph.num_nodes());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = 0.25 * static_cast<double>(i % 17) - 1.0;
+    }
+    const std::vector<double> serial =
+        graph.adjacency().MultiplyVector(x, ExecContext::Serial());
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << "power " << power << ", threads " << threads);
+      ExpectBitEqual(
+          graph.adjacency().MultiplyVector(x, ExecContext::WithThreads(threads)),
+          serial);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, SpMVSkipsStoredZeroWeights) {
+  // Stored zeros must not contribute — even against non-finite vector
+  // entries, which 0 * inf would turn into NaN.
+  const SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 0, 0.0}, {0, 1, 2.0}, {1, 2, 0.0}});
+  const std::vector<double> x = {
+      std::numeric_limits<double>::infinity(), 3.0,
+      std::numeric_limits<double>::quiet_NaN()};
+  const std::vector<double> y = m.MultiplyVector(x, ExecContext::Serial());
+  EXPECT_EQ(y[0], 6.0);
+  EXPECT_EQ(y[1], 0.0);
+  const std::vector<double> xt = {
+      std::numeric_limits<double>::infinity(), 0.0};
+  const std::vector<double> yt =
+      m.TransposeMultiplyVector(xt, ExecContext::Serial());
+  EXPECT_EQ(yt[0], 0.0);
+  EXPECT_EQ(yt[1], std::numeric_limits<double>::infinity());
+  EXPECT_EQ(yt[2], 0.0);
+}
+
+TEST(KernelEquivalenceTest, TransposeSpMVMatchesSerialAndIsDeterministic) {
+  for (const int power : kPowers) {
+    const Graph graph = KroneckerPowerGraph(power);
+    std::vector<double> x(graph.num_nodes());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = 0.5 * static_cast<double>(i % 13) - 2.0;
+    }
+    const std::vector<double> serial =
+        graph.adjacency().TransposeMultiplyVector(x, ExecContext::Serial());
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << "power " << power << ", threads " << threads);
+      const ExecContext ctx = ExecContext::WithThreads(threads);
+      const std::vector<double> first =
+          graph.adjacency().TransposeMultiplyVector(x, ctx);
+      // Block-ordered reduction: equal to serial up to rounding ...
+      testing::ExpectVectorNear(first, serial, 1e-12);
+      // ... and exactly reproducible for a fixed context.
+      ExpectBitEqual(graph.adjacency().TransposeMultiplyVector(x, ctx),
+                     first);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, RunLinBpIsBitExactAcrossThreadCounts) {
+  const Graph graph = KroneckerPowerGraph(5);
+  const DenseMatrix hhat =
+      testing::RandomResidualCoupling(3, /*scale=*/0.002, /*seed=*/3);
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(graph.num_nodes(), 3, graph.num_nodes() / 20 + 1, 21);
+  LinBpOptions options;
+  options.exec = ExecContext::Serial();
+  const LinBpResult serial = RunLinBp(graph, hhat, seeded.residuals, options);
+  ASSERT_TRUE(serial.converged);
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads " << threads);
+    options.exec = ExecContext::WithThreads(threads);
+    const LinBpResult parallel =
+        RunLinBp(graph, hhat, seeded.residuals, options);
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+    EXPECT_EQ(parallel.last_delta, serial.last_delta);
+    ExpectBitEqual(parallel.beliefs.data(), serial.beliefs.data());
+  }
+}
+
+TEST(KernelEquivalenceTest, RunSbpIsBitExactAcrossThreadCounts) {
+  const Graph graph = KroneckerPowerGraph(7);
+  const DenseMatrix hhat =
+      testing::RandomResidualCoupling(3, /*scale=*/0.01, /*seed=*/5);
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(graph.num_nodes(), 3, graph.num_nodes() / 50 + 1, 22);
+  const SbpResult serial = RunSbp(graph, hhat, seeded.residuals,
+                                  seeded.explicit_nodes, ExecContext::Serial());
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads " << threads);
+    const SbpResult parallel =
+        RunSbp(graph, hhat, seeded.residuals, seeded.explicit_nodes,
+               ExecContext::WithThreads(threads));
+    EXPECT_EQ(parallel.geodesic, serial.geodesic);
+    ExpectBitEqual(parallel.beliefs.data(), serial.beliefs.data());
+  }
+}
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,107 @@
+#include "src/exec/row_partition.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace linbp {
+namespace exec {
+namespace {
+
+// Asserts the partition tiles [0, num_rows) with monotone bounds.
+void ExpectTiles(const RowPartition& p, std::int64_t num_rows) {
+  ASSERT_GE(p.num_blocks(), 1);
+  EXPECT_EQ(p.begin(0), 0);
+  EXPECT_EQ(p.end(p.num_blocks() - 1), num_rows);
+  for (std::int64_t b = 0; b < p.num_blocks(); ++b) {
+    EXPECT_LE(p.begin(b), p.end(b)) << "block " << b;
+    if (b > 0) {
+      EXPECT_EQ(p.begin(b), p.end(b - 1)) << "block " << b;
+    }
+  }
+}
+
+// CSR row_ptr from per-row nnz counts.
+std::vector<std::int64_t> RowPtr(const std::vector<std::int64_t>& nnz) {
+  std::vector<std::int64_t> row_ptr(nnz.size() + 1, 0);
+  for (std::size_t r = 0; r < nnz.size(); ++r) {
+    row_ptr[r + 1] = row_ptr[r] + nnz[r];
+  }
+  return row_ptr;
+}
+
+TEST(RowPartitionTest, UniformTilesTheRowRange) {
+  const RowPartition p = RowPartition::Uniform(10, 3);
+  EXPECT_EQ(p.num_blocks(), 3);
+  ExpectTiles(p, 10);
+}
+
+TEST(RowPartitionTest, UniformClampsBlocksToRows) {
+  const RowPartition p = RowPartition::Uniform(2, 8);
+  EXPECT_EQ(p.num_blocks(), 2);
+  ExpectTiles(p, 2);
+}
+
+TEST(RowPartitionTest, UniformHandlesZeroRows) {
+  const RowPartition p = RowPartition::Uniform(0, 4);
+  EXPECT_EQ(p.num_blocks(), 1);
+  EXPECT_EQ(p.begin(0), 0);
+  EXPECT_EQ(p.end(0), 0);
+}
+
+TEST(RowPartitionTest, NnzBalancedTilesAndHasNoEmptyBlocks) {
+  const RowPartition p =
+      RowPartition::NnzBalanced(RowPtr({5, 1, 1, 1, 1, 1, 1, 1, 5, 5}), 4);
+  ExpectTiles(p, 10);
+  EXPECT_LE(p.num_blocks(), 4);
+  for (std::int64_t b = 0; b < p.num_blocks(); ++b) {
+    EXPECT_GT(p.end(b) - p.begin(b), 0) << "block " << b;
+  }
+}
+
+TEST(RowPartitionTest, NnzBalancedBalancesSkewedRows) {
+  // One heavy row at the front: a uniform split would put all the work in
+  // block 0; the nnz-balanced split isolates the heavy row.
+  std::vector<std::int64_t> nnz(100, 1);
+  nnz[0] = 1000;
+  const auto row_ptr = RowPtr(nnz);
+  const RowPartition p = RowPartition::NnzBalanced(row_ptr, 4);
+  ExpectTiles(p, 100);
+  // Block 0 must not extend past the heavy row plus a few light rows: its
+  // nnz is within 2x of the ideal 1100 / 4 = 275... except the heavy row
+  // alone exceeds it, so block 0 is exactly that indivisible row region.
+  EXPECT_LE(p.end(0), 2);
+  // The light tail is spread over the remaining blocks.
+  EXPECT_GE(p.num_blocks(), 2);
+}
+
+TEST(RowPartitionTest, NnzBalancedHandlesEmptyMatrix) {
+  const RowPartition p = RowPartition::NnzBalanced(RowPtr({0, 0, 0, 0}), 3);
+  ExpectTiles(p, 4);
+}
+
+TEST(RowPartitionTest, NnzBalancedSingleBlock) {
+  const RowPartition p = RowPartition::NnzBalanced(RowPtr({2, 3, 4}), 1);
+  EXPECT_EQ(p.num_blocks(), 1);
+  ExpectTiles(p, 3);
+}
+
+TEST(RowPartitionTest, NnzBalancedMoreBlocksThanRows) {
+  const RowPartition p = RowPartition::NnzBalanced(RowPtr({7, 7}), 16);
+  EXPECT_LE(p.num_blocks(), 2);
+  ExpectTiles(p, 2);
+}
+
+TEST(RowPartitionTest, NnzBalancedEqualRowsSplitEvenly) {
+  const RowPartition p =
+      RowPartition::NnzBalanced(RowPtr(std::vector<std::int64_t>(64, 4)), 4);
+  ASSERT_EQ(p.num_blocks(), 4);
+  for (std::int64_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(p.end(b) - p.begin(b), 16) << "block " << b;
+  }
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace linbp

@@ -1,0 +1,180 @@
+#include "src/exec/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/exec/exec_context.h"
+
+namespace linbp {
+namespace exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr std::int64_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.ParallelRun(kTasks, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (std::int64_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndNegativeRangesRunNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelRun(0, [&](std::int64_t) { calls.fetch_add(1); });
+  pool.ParallelRun(-5, [&](std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<std::int64_t> order;
+  pool.ParallelRun(5, [&](std::int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(
+      pool.ParallelRun(100,
+                       [&](std::int64_t i) {
+                         calls.fetch_add(1);
+                         if (i == 37) throw std::runtime_error("task 37");
+                       }),
+      std::runtime_error);
+  // Every index was drained (run or skipped after cancellation).
+  EXPECT_LE(calls.load(), 100);
+  // The pool stays usable after an exception.
+  std::atomic<int> after{0};
+  pool.ParallelRun(10, [&](std::int64_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPoolTest, OversubscriptionCompletes) {
+  // Far more threads than cores and more tasks than threads: everything
+  // still runs exactly once.
+  ThreadPool pool(16);
+  constexpr std::int64_t kTasks = 5000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.ParallelRun(kTasks, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  std::int64_t total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, kTasks);
+}
+
+TEST(ThreadPoolTest, NestedParallelRunFallsBackToSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_calls{0};
+  pool.ParallelRun(4, [&](std::int64_t) {
+    pool.ParallelRun(8, [&](std::int64_t) { inner_calls.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_calls.load(), 32);
+}
+
+TEST(ThreadPoolTest, BackToBackBatchesReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.ParallelRun(64, [&](std::int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST(ExecContextTest, SerialHasOneThread) {
+  EXPECT_EQ(ExecContext().threads(), 1);
+  EXPECT_EQ(ExecContext::Serial().threads(), 1);
+  EXPECT_TRUE(ExecContext::Serial().IsSerial());
+}
+
+TEST(ExecContextTest, WithThreadsClampsAndResolvesHardware) {
+  EXPECT_EQ(ExecContext::WithThreads(-1).threads(), 1);
+  EXPECT_EQ(ExecContext::WithThreads(1).threads(), 1);
+  EXPECT_EQ(ExecContext::WithThreads(4).threads(), 4);
+  EXPECT_GE(ExecContext::WithThreads(0).threads(), 1);  // hardware width
+}
+
+TEST(ExecContextTest, ParseThreadsSpec) {
+  EXPECT_EQ(ParseThreadsSpec(nullptr), 1);
+  EXPECT_EQ(ParseThreadsSpec(""), 1);
+  EXPECT_EQ(ParseThreadsSpec("3"), 3);
+  EXPECT_EQ(ParseThreadsSpec("-2"), 1);
+  EXPECT_EQ(ParseThreadsSpec("abc"), 1);
+  EXPECT_EQ(ParseThreadsSpec("4x"), 1);
+  EXPECT_GE(ParseThreadsSpec("0"), 1);  // hardware width
+  // Absurd values clamp instead of wrapping through int.
+  EXPECT_EQ(ParseThreadsSpec("5000000000"), kMaxThreads);
+  EXPECT_EQ(ParseThreadsSpec("4294967297"), kMaxThreads);
+}
+
+TEST(ExecContextTest, ParallelForTilesTheRangeExactly) {
+  const ExecContext ctx = ExecContext::WithThreads(4);
+  std::vector<std::atomic<int>> hits(10000);
+  ctx.ParallelFor(100, 10000, /*min_grain=*/128,
+                  [&](std::int64_t begin, std::int64_t end) {
+                    for (std::int64_t i = begin; i < end; ++i) {
+                      hits[i].fetch_add(1);
+                    }
+                  });
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    EXPECT_EQ(hits[i].load(), i >= 100 ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ExecContextTest, ParallelForEmptyRangeRunsNothing) {
+  const ExecContext ctx = ExecContext::WithThreads(4);
+  int calls = 0;
+  ctx.ParallelFor(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  ctx.ParallelFor(7, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ExecContextTest, SmallRangesStaySerialUnderTheGrain) {
+  const ExecContext ctx = ExecContext::WithThreads(8);
+  // 100 items with a 64-item grain: at most one chunk -> exactly one call.
+  int calls = 0;
+  ctx.ParallelFor(0, 100, /*min_grain=*/64,
+                  [&](std::int64_t begin, std::int64_t end) {
+                    ++calls;
+                    EXPECT_EQ(begin, 0);
+                    EXPECT_EQ(end, 100);
+                  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ExecContextTest, NumChunksHonorsGrainAndWidth) {
+  const ExecContext ctx = ExecContext::WithThreads(4);
+  EXPECT_EQ(ctx.NumChunks(0, 100), 1);
+  EXPECT_EQ(ctx.NumChunks(99, 100), 1);
+  EXPECT_EQ(ctx.NumChunks(200, 100), 2);
+  EXPECT_EQ(ctx.NumChunks(100000, 100), 4);  // capped at threads()
+  EXPECT_EQ(ExecContext::Serial().NumChunks(100000, 100), 1);
+}
+
+TEST(ExecContextTest, RunChunksPropagatesExceptions) {
+  const ExecContext ctx = ExecContext::WithThreads(4);
+  EXPECT_THROW(ctx.RunChunks(4096, 4,
+                             [&](std::int64_t chunk, std::int64_t,
+                                 std::int64_t) {
+                               if (chunk == 2) {
+                                 throw std::runtime_error("chunk 2");
+                               }
+                             }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace linbp

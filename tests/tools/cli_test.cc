@@ -65,6 +65,43 @@ TEST(ParseOptionsTest, ParsesEverything) {
   EXPECT_TRUE(options->report);
 }
 
+TEST(ParseOptionsTest, ParsesThreads) {
+  std::string error;
+  const auto options = ParseOptions(
+      {"--graph=g", "--beliefs=b", "--threads=2"}, &error);
+  ASSERT_TRUE(options.has_value()) << error;
+  EXPECT_EQ(options->threads, 2);
+  // Absent flag defers to the environment default.
+  const auto defaulted = ParseOptions({"--graph=g", "--beliefs=b"}, &error);
+  ASSERT_TRUE(defaulted.has_value()) << error;
+  EXPECT_EQ(defaulted->threads, -1);
+  for (const char* bad :
+       {"--threads=-1", "--threads=abc", "--threads=4x", "--threads="}) {
+    EXPECT_FALSE(ParseOptions({"--graph=g", "--beliefs=b", bad}, &error)
+                     .has_value())
+        << bad;
+    EXPECT_NE(error.find("--threads"), std::string::npos) << bad;
+  }
+}
+
+TEST(RunPipelineTest, ThreadedRunMatchesSerial) {
+  const Fixture fixture;
+  std::string serial_output;
+  std::string threaded_output;
+  std::string error;
+  for (const std::string method : {"linbp", "sbp"}) {
+    Options options;
+    options.graph_path = fixture.graph_path;
+    options.beliefs_path = fixture.beliefs_path;
+    options.method = method;
+    options.threads = 1;
+    ASSERT_EQ(RunPipeline(options, &serial_output, &error), 0) << error;
+    options.threads = 4;
+    ASSERT_EQ(RunPipeline(options, &threaded_output, &error), 0) << error;
+    EXPECT_EQ(threaded_output, serial_output) << method;
+  }
+}
+
 TEST(RunPipelineTest, LabelsAPathWithEveryMethod) {
   const Fixture fixture;
   for (const std::string method : {"bp", "linbp", "linbp*", "sbp"}) {

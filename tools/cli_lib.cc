@@ -1,7 +1,9 @@
 #include "tools/cli_lib.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -11,6 +13,7 @@
 #include "src/core/labeling.h"
 #include "src/core/linbp.h"
 #include "src/core/sbp.h"
+#include "src/exec/exec_context.h"
 #include "src/graph/beliefs.h"
 #include "src/graph/io.h"
 #include "src/la/matrix_io.h"
@@ -44,9 +47,10 @@ std::string Usage() {
   return
       "linbp_cli --graph=EDGES --beliefs=BELIEFS [--coupling=PRESET|FILE]\n"
       "          [--method=bp|linbp|linbp*|sbp] [--eps=auto|VALUE] [--k=K]\n"
-      "          [--output=FILE] [--report]\n"
+      "          [--output=FILE] [--report] [--threads=N]\n"
       "  EDGES:   'u v [w]' per line;  BELIEFS: 'v c b' per line\n"
-      "  presets: homophily2 heterophily2 auction dblp4\n";
+      "  presets: homophily2 heterophily2 auction dblp4\n"
+      "  threads: 0 = all hardware threads; default: LINBP_THREADS or 1\n";
 }
 
 std::optional<Options> ParseOptions(const std::vector<std::string>& args,
@@ -71,6 +75,18 @@ std::optional<Options> ParseOptions(const std::vector<std::string>& args,
       options.k = std::atoll(v->c_str());
     } else if (auto v = value_of("--output=")) {
       options.output_path = *v;
+    } else if (auto v = value_of("--threads=")) {
+      // Strict parse (unlike ParseThreadsSpec, a bad flag is an error,
+      // not a silent serial fallback).
+      char* end = nullptr;
+      const long long threads =
+          v->empty() ? -1 : std::strtoll(v->c_str(), &end, 10);
+      if (v->empty() || *end != '\0' || threads < 0) {
+        *error = "--threads must be a number >= 0";
+        return std::nullopt;
+      }
+      options.threads = static_cast<int>(
+          std::min<long long>(threads, exec::kMaxThreads));
     } else if (arg == "--report") {
       options.report = true;
     } else {
@@ -137,6 +153,13 @@ int RunPipeline(const Options& options, std::string* output,
                  report.exact_epsilon_linbp_star, eps);
   }
 
+  // Execution context: --threads wins; otherwise LINBP_THREADS (serial
+  // when unset). Every method produces the same labels at any width.
+  const exec::ExecContext ctx = options.threads >= 0
+                                    ? exec::ExecContext::WithThreads(
+                                          options.threads)
+                                    : exec::ExecContext::Default();
+
   // Run the chosen method.
   DenseMatrix result_beliefs(graph->num_nodes(), k);
   if (options.method == "bp") {
@@ -154,7 +177,7 @@ int RunPipeline(const Options& options, std::string* output,
     result_beliefs = ProbabilityToResidual(result.beliefs);
   } else if (options.method == "sbp") {
     result_beliefs = RunSbp(*graph, coupling->residual(), beliefs->residuals,
-                            beliefs->explicit_nodes)
+                            beliefs->explicit_nodes, ctx)
                          .beliefs;
   } else {
     LinBpOptions lin_options;
@@ -162,6 +185,7 @@ int RunPipeline(const Options& options, std::string* output,
                               ? LinBpVariant::kLinBpStar
                               : LinBpVariant::kLinBp;
     lin_options.max_iterations = 1000;
+    lin_options.exec = ctx;
     const LinBpResult result = RunLinBp(*graph, coupling->ScaledResidual(eps),
                                         beliefs->residuals, lin_options);
     if (result.diverged) {

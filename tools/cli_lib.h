@@ -33,6 +33,10 @@ struct Options {
   std::string output_path;
   /// Print the convergence report before running.
   bool report = false;
+  /// Worker threads for the solver kernels: -1 defers to the LINBP_THREADS
+  /// environment variable (default serial), 0 means all hardware threads,
+  /// N >= 1 means exactly N. Results are identical for every setting.
+  int threads = -1;
 };
 
 /// Parses argv; returns nullopt and fills *error on unknown flags or
