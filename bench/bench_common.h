@@ -65,6 +65,28 @@ class Args {
     return fallback;
   }
 
+  /// Floating-point flag "--name=V" with a default.
+  double Double(const char* name, double fallback) const {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::atof(argv_[i] + prefix.size());
+      }
+    }
+    return fallback;
+  }
+
+  /// String flag "--name=V" with a default.
+  std::string Str(const char* name, const std::string& fallback) const {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        return std::string(argv_[i] + prefix.size());
+      }
+    }
+    return fallback;
+  }
+
   /// Presence flag "--name".
   bool Has(const char* name) const {
     const std::string flag = std::string("--") + name;

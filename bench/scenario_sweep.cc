@@ -1,0 +1,272 @@
+// Scenario sweep: run any registered dataset scenario end-to-end.
+//
+// For each spec the driver materializes the scenario, runs LinBP (eps_H =
+// half the exact Lemma 8 threshold) and SBP, and reports wall-clock times
+// plus F1 against the planted ground truth (or, for truthless scenarios
+// like the paper's Kronecker family, LinBP-vs-SBP agreement).
+//
+// Modes:
+//   --scenario=SPEC   sweep a single spec instead of the default suite
+//   --check           assert the default suite's F1 scores stay within
+//                     tolerance of recorded golden values (regression
+//                     guardrail, registered as a CTest test)
+//   --io-bench        compare text edge-list parsing vs binary snapshot
+//                     loading on one scenario and print a JSON record
+//                     (the source of BENCH_dataset.json)
+//   --threads=N       kernel thread count (0 = all hardware threads)
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/convergence.h"
+#include "src/core/labeling.h"
+#include "src/core/linbp.h"
+#include "src/core/sbp.h"
+#include "src/dataset/registry.h"
+#include "src/dataset/snapshot.h"
+#include "src/graph/io.h"
+#include "src/util/table_printer.h"
+
+namespace {
+
+using namespace linbp;
+
+// The default sweep covers every built-in workload at bench-friendly
+// sizes; --check asserts on exactly this suite.
+const std::vector<std::string>& DefaultSuite() {
+  static const std::vector<std::string> suite = {
+      "sbm:n=4000,k=4,deg=8,mode=homophily,seed=3",
+      // k = 2 keeps heterophily informative: with more classes a
+      // cross-class edge only says "one of the k-1 others".
+      "sbm:n=4000,k=2,deg=8,mode=heterophily,seed=3",
+      "rmat:scale=12,ef=8,k=3,seed=3",
+      "fraud:users=1200,products=600,seed=3",
+      "dblp:papers=800,authors=900,terms=400,seed=3",
+      "kronecker:g=3,seed=3",
+  };
+  return suite;
+}
+
+struct SweepResult {
+  std::string spec;
+  double build_seconds = 0.0;
+  double linbp_seconds = 0.0;
+  double sbp_seconds = 0.0;
+  int linbp_iterations = 0;
+  // F1 vs ground truth (or -1 when the scenario has none).
+  double linbp_f1 = -1.0;
+  double sbp_f1 = -1.0;
+  // F1 agreement between the two methods over all nodes.
+  double agreement_f1 = 0.0;
+  std::int64_t nodes = 0;
+  std::int64_t edges = 0;
+};
+
+TopBeliefAssignment GroundTruthAssignment(
+    const dataset::Scenario& scenario, std::vector<std::int64_t>* known) {
+  TopBeliefAssignment truth;
+  truth.classes.resize(scenario.graph.num_nodes());
+  for (std::int64_t v = 0; v < scenario.graph.num_nodes(); ++v) {
+    if (scenario.ground_truth[v] >= 0) {
+      truth.classes[v].push_back(scenario.ground_truth[v]);
+      known->push_back(v);
+    }
+  }
+  return truth;
+}
+
+bool RunOne(const std::string& spec, const exec::ExecContext& ctx,
+            SweepResult* result) {
+  result->spec = spec;
+  std::string error;
+  dataset::Scenario scenario;
+  result->build_seconds = bench::TimeSeconds([&] {
+    auto built = dataset::MakeScenario(spec, &error, ctx);
+    if (built.has_value()) scenario = std::move(*built);
+  });
+  if (scenario.k == 0) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
+  }
+  result->nodes = scenario.graph.num_nodes();
+  result->edges = scenario.graph.num_undirected_edges();
+
+  const CouplingMatrix coupling = scenario.Coupling();
+  const double threshold =
+      ExactEpsilonThreshold(scenario.graph, coupling, LinBpVariant::kLinBp);
+  const double eps = std::isfinite(threshold) ? 0.5 * threshold : 1.0;
+
+  LinBpResult linbp;
+  LinBpOptions options;
+  options.max_iterations = 1000;
+  options.exec = ctx;
+  result->linbp_seconds = bench::TimeSeconds([&] {
+    linbp = RunLinBp(scenario.graph, coupling.ScaledResidual(eps),
+                     scenario.explicit_residuals, options);
+  });
+  result->linbp_iterations = linbp.iterations;
+  if (linbp.diverged) {
+    std::fprintf(stderr, "error: LinBP diverged on %s\n", spec.c_str());
+    return false;
+  }
+
+  SbpResult sbp;
+  result->sbp_seconds = bench::TimeSeconds([&] {
+    sbp = RunSbp(scenario.graph, coupling.residual(),
+                 scenario.explicit_residuals, scenario.explicit_nodes, ctx);
+  });
+
+  const TopBeliefAssignment linbp_top = TopBeliefs(linbp.beliefs);
+  const TopBeliefAssignment sbp_top = TopBeliefs(sbp.beliefs);
+  result->agreement_f1 = CompareAssignments(linbp_top, sbp_top).f1;
+  if (scenario.HasGroundTruth()) {
+    std::vector<std::int64_t> known;
+    const TopBeliefAssignment truth = GroundTruthAssignment(scenario, &known);
+    result->linbp_f1 = CompareAssignments(truth, linbp_top, known).f1;
+    result->sbp_f1 = CompareAssignments(truth, sbp_top, known).f1;
+  }
+  return true;
+}
+
+int RunSweep(const std::vector<std::string>& specs,
+             const exec::ExecContext& ctx) {
+  TablePrinter table({"scenario", "n", "e", "build", "LinBP", "iters",
+                      "SBP", "F1 LinBP", "F1 SBP", "agree"});
+  for (const std::string& spec : specs) {
+    SweepResult r;
+    if (!RunOne(spec, ctx, &r)) return 1;
+    auto f1 = [](double value) {
+      return value < 0.0 ? std::string("-") : TablePrinter::Num(value, 4);
+    };
+    table.AddRow({r.spec, TablePrinter::Int(r.nodes),
+                  TablePrinter::Int(r.edges),
+                  bench::FormatSeconds(r.build_seconds),
+                  bench::FormatSeconds(r.linbp_seconds),
+                  TablePrinter::Int(r.linbp_iterations),
+                  bench::FormatSeconds(r.sbp_seconds), f1(r.linbp_f1),
+                  f1(r.sbp_f1), TablePrinter::Num(r.agreement_f1, 4)});
+  }
+  table.Print();
+  return 0;
+}
+
+// Golden F1 values for the default suite, recorded from a serial run of
+// this driver (deterministic: every scenario is seeded and the kernels
+// are bit-identical across thread counts). The tolerance absorbs
+// cross-compiler rounding that could flip near-tie labels.
+struct Golden {
+  double linbp_f1;
+  double sbp_f1;
+};
+constexpr double kF1Tolerance = 0.02;
+
+int RunCheck(const exec::ExecContext& ctx) {
+  const std::vector<Golden> goldens = {
+      {0.9047, 0.8449},  // sbm homophily
+      {0.9719, 0.9527},  // sbm heterophily (k = 2)
+      {0.8387, 0.8213},  // rmat
+      {0.9478, 0.9420},  // fraud
+      {0.7306, 0.7227},  // dblp
+      {-1.0, -1.0},      // kronecker (no ground truth; agreement only)
+  };
+  const std::vector<std::string>& suite = DefaultSuite();
+  int failures = 0;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    SweepResult r;
+    if (!RunOne(suite[i], ctx, &r)) return 1;
+    auto check = [&](const char* what, double got, double want) {
+      if (want < 0.0) return;  // no golden for truthless scenarios
+      const bool ok = std::abs(got - want) <= kF1Tolerance;
+      std::printf("%-6s %-50s got %.4f want %.4f +/- %.2f  %s\n", what,
+                  r.spec.c_str(), got, want, kF1Tolerance,
+                  ok ? "OK" : "FAIL");
+      if (!ok) ++failures;
+    };
+    check("linbp", r.linbp_f1, goldens[i].linbp_f1);
+    check("sbp", r.sbp_f1, goldens[i].sbp_f1);
+  }
+  if (failures > 0) {
+    std::printf("%d golden check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("all golden checks passed\n");
+  return 0;
+}
+
+int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
+               int reps) {
+  std::string error;
+  auto scenario = dataset::MakeScenario(spec, &error, ctx);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string edges_path = "/tmp/linbp_iobench_edges.txt";
+  const std::string beliefs_path = "/tmp/linbp_iobench_beliefs.txt";
+  const std::string snapshot_path = "/tmp/linbp_iobench.lbps";
+  if (!WriteEdgeList(scenario->graph, edges_path) ||
+      !WriteBeliefs(scenario->explicit_residuals, scenario->explicit_nodes,
+                    beliefs_path) ||
+      !dataset::SaveSnapshot(*scenario, snapshot_path, &error)) {
+    std::fprintf(stderr, "error: cannot write bench inputs (%s)\n",
+                 error.c_str());
+    return 1;
+  }
+
+  double text_seconds = 1e100;
+  double snap_seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    text_seconds = std::min(text_seconds, bench::TimeSeconds([&] {
+      auto graph = ReadEdgeList(edges_path, &error);
+      if (!graph.has_value()) std::abort();
+      auto beliefs = ReadBeliefs(beliefs_path, graph->num_nodes(),
+                                 scenario->k, &error);
+      if (!beliefs.has_value()) std::abort();
+    }));
+    snap_seconds = std::min(snap_seconds, bench::TimeSeconds([&] {
+      auto loaded = dataset::LoadSnapshot(snapshot_path, &error, ctx);
+      if (!loaded.has_value()) std::abort();
+    }));
+  }
+  std::printf(
+      "{\n"
+      "  \"bench\": \"dataset_snapshot_load\",\n"
+      "  \"scenario\": \"%s\",\n"
+      "  \"nodes\": %lld,\n"
+      "  \"undirected_edges\": %lld,\n"
+      "  \"threads\": %d,\n"
+      "  \"reps\": %d,\n"
+      "  \"text_parse_seconds\": %.6f,\n"
+      "  \"snapshot_load_seconds\": %.6f,\n"
+      "  \"speedup\": %.2f\n"
+      "}\n",
+      spec.c_str(), static_cast<long long>(scenario->graph.num_nodes()),
+      static_cast<long long>(scenario->graph.num_undirected_edges()),
+      ctx.threads(), reps, text_seconds, snap_seconds,
+      text_seconds / snap_seconds);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const exec::ExecContext ctx = bench::ExecFromArgs(args);
+  if (args.Has("check")) return RunCheck(ctx);
+  if (args.Has("io-bench")) {
+    return RunIoBench(args.Str("scenario", "sbm:n=200000,k=4,deg=10,seed=5"),
+                      ctx, static_cast<int>(args.Int("reps", 3)));
+  }
+  const std::string spec = args.Str("scenario", "");
+  std::printf("== scenario sweep (LinBP vs SBP) ==\n\n");
+  const int code = spec.empty() ? RunSweep(DefaultSuite(), ctx)
+                                : RunSweep({spec}, ctx);
+  if (code == 0) {
+    std::printf("\n(F1 columns compare against planted ground truth; "
+                "'agree' is LinBP-vs-SBP label agreement)\n");
+  }
+  return code;
+}

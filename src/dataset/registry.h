@@ -1,0 +1,73 @@
+// The scenario registry: string specs -> runnable Scenario instances.
+//
+// Every workload registers a named factory; MakeScenario parses a spec
+// like "sbm:n=100000,k=4,mode=heterophily", looks up the factory, hands it
+// the parsed parameters, and rejects unknown scenario names, unknown
+// parameter keys, and malformed values with descriptive errors. Built-in
+// scenarios (registered on first use):
+//
+//   sbm        multi-class stochastic block model, homophily or
+//              heterophily coupling regimes
+//   rmat       power-law R-MAT graph with BFS-Voronoi planted labels
+//   fraud      bipartite reviewer/product network with the Fig. 1c
+//              auction roles (honest / shill / fraudster)
+//   dblp       the synthetic DBLP heterogeneous citation network
+//   kronecker  the paper's Fig. 6a Kronecker family with Sect. 7 seeding
+//              (no ground truth; quality is method-vs-method agreement)
+//   file       edge list + beliefs (+ optional labels) from text files
+//   snap       a binary snapshot produced by src/dataset/snapshot.h
+//
+// New workloads (and, later, sharded/out-of-core datasets) drop in behind
+// RegisterScenario without touching the CLI or bench drivers.
+
+#ifndef LINBP_DATASET_REGISTRY_H_
+#define LINBP_DATASET_REGISTRY_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dataset/scenario.h"
+#include "src/exec/exec_context.h"
+
+namespace linbp {
+namespace dataset {
+
+/// Builds a Scenario from parsed parameters; returns nullopt and fills
+/// *error on invalid parameter combinations or I/O failures. Factories
+/// must consume every parameter they accept via the ScenarioParams
+/// getters (unconsumed keys are reported as unknown), validate their
+/// values with error returns (a bad CLI spec must not CHECK-abort), and
+/// run any parallelizable construction work on `ctx`.
+using ScenarioFactory = std::function<std::optional<Scenario>(
+    ScenarioParams& params, const exec::ExecContext& ctx,
+    std::string* error)>;
+
+/// Registry metadata for one scenario, shown by `--scenario list` style
+/// listings.
+struct ScenarioInfo {
+  std::string name;
+  std::string description;
+  /// Comma-separated "key=default" summary of the accepted parameters.
+  std::string params_help;
+};
+
+/// Registers (or replaces) a named scenario factory.
+void RegisterScenario(const ScenarioInfo& info, ScenarioFactory factory);
+
+/// All registered scenarios, sorted by name (built-ins included).
+std::vector<ScenarioInfo> ListScenarios();
+
+/// Parses `spec` and runs the matching factory on `ctx` (snapshot loads
+/// parallelize deserialization there). On success the returned scenario
+/// has `name` and `spec` filled in.
+std::optional<Scenario> MakeScenario(const std::string& spec,
+                                     std::string* error,
+                                     const exec::ExecContext& ctx =
+                                         exec::ExecContext::Default());
+
+}  // namespace dataset
+}  // namespace linbp
+
+#endif  // LINBP_DATASET_REGISTRY_H_

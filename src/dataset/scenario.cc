@@ -1,0 +1,173 @@
+#include "src/dataset/scenario.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/graph/beliefs.h"
+#include "src/la/matrix_io.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace linbp {
+namespace dataset {
+
+CouplingMatrix Scenario::Coupling() const {
+  return CouplingMatrix::FromResidual(coupling_residual);
+}
+
+std::int64_t Scenario::NumGroundTruthNodes() const {
+  std::int64_t count = 0;
+  for (const int c : ground_truth) {
+    if (c >= 0) ++count;
+  }
+  return count;
+}
+
+std::optional<ScenarioParams> ScenarioParams::Parse(const std::string& text,
+                                                    std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  ScenarioParams params;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *error = "malformed parameter '" + item + "' (expected key=value)";
+      return std::nullopt;
+    }
+    const std::string key = item.substr(0, eq);
+    if (!params.values_.emplace(key, item.substr(eq + 1)).second) {
+      *error = "duplicate parameter '" + key + "'";
+      return std::nullopt;
+    }
+  }
+  return params;
+}
+
+std::int64_t ScenarioParams::Int(const std::string& key,
+                                 std::int64_t fallback) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || *end != '\0' || !std::isfinite(value) ||
+      value != std::floor(value)) {
+    if (value_error_.empty()) {
+      value_error_ = "parameter '" + key + "' expects an integer, got '" +
+                     it->second + "'";
+    }
+    return fallback;
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+double ScenarioParams::Double(const std::string& key, double fallback) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || *end != '\0' || !std::isfinite(value)) {
+    if (value_error_.empty()) {
+      value_error_ = "parameter '" + key + "' expects a number, got '" +
+                     it->second + "'";
+    }
+    return fallback;
+  }
+  return value;
+}
+
+std::string ScenarioParams::Str(const std::string& key,
+                                const std::string& fallback) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second;
+}
+
+std::vector<std::string> ScenarioParams::UnconsumedKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : values_) {
+    if (consumed_.find(key) == consumed_.end()) keys.push_back(key);
+  }
+  return keys;
+}
+
+std::optional<ParsedSpec> ParseScenarioSpec(const std::string& spec,
+                                            std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  const std::size_t colon = spec.find(':');
+  ParsedSpec parsed;
+  parsed.name = colon == std::string::npos ? spec : spec.substr(0, colon);
+  if (parsed.name.empty()) {
+    *error = "scenario spec has an empty name: '" + spec + "'";
+    return std::nullopt;
+  }
+  const std::string tail =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  auto params = ScenarioParams::Parse(tail, error);
+  if (!params.has_value()) return std::nullopt;
+  parsed.params = std::move(*params);
+  return parsed;
+}
+
+std::optional<CouplingMatrix> ResolveCouplingSpec(const std::string& spec,
+                                                  std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  if (spec == "homophily2") return HomophilyCoupling2();
+  if (spec == "heterophily2") return HeterophilyCoupling2();
+  if (spec == "auction") return AuctionCoupling();
+  if (spec == "dblp4") return DblpCoupling();
+  if (spec == "kronecker3") return KroneckerExperimentCoupling();
+  const auto matrix = ReadDenseMatrix(spec, error);
+  if (!matrix.has_value()) return std::nullopt;
+  // Accept either a residual (rows sum to 0) or a stochastic matrix.
+  double row_sum = 0.0;
+  for (std::int64_t c = 0; c < matrix->cols(); ++c) {
+    row_sum += matrix->At(0, c);
+  }
+  if (std::abs(row_sum) < 1e-6) {
+    return CouplingMatrix::FromResidual(*matrix, 1e-6);
+  }
+  return CouplingMatrix::FromStochastic(*matrix, 1e-6);
+}
+
+void RevealGroundTruth(double labeled_fraction, double strength,
+                       std::uint64_t seed, Scenario* scenario) {
+  LINBP_CHECK(scenario != nullptr);
+  LINBP_CHECK(scenario->HasGroundTruth());
+  const std::int64_t n = scenario->graph.num_nodes();
+  const std::int64_t k = scenario->k;
+  LINBP_CHECK(static_cast<std::int64_t>(scenario->ground_truth.size()) == n);
+  scenario->explicit_residuals = DenseMatrix(n, k);
+  scenario->explicit_nodes.clear();
+  Rng rng(seed);
+  std::int64_t first_known = -1;
+  for (std::int64_t v = 0; v < n; ++v) {
+    const int cls = scenario->ground_truth[v];
+    if (cls < 0) continue;
+    if (first_known < 0) first_known = v;
+    if (!rng.NextBernoulli(labeled_fraction)) continue;
+    const std::vector<double> row = ExplicitResidualForClass(k, cls, strength);
+    for (std::int64_t c = 0; c < k; ++c) {
+      scenario->explicit_residuals.At(v, c) = row[c];
+    }
+    scenario->explicit_nodes.push_back(v);
+  }
+  if (scenario->explicit_nodes.empty() && first_known >= 0) {
+    const int cls = scenario->ground_truth[first_known];
+    const std::vector<double> row = ExplicitResidualForClass(k, cls, strength);
+    for (std::int64_t c = 0; c < k; ++c) {
+      scenario->explicit_residuals.At(first_known, c) = row[c];
+    }
+    scenario->explicit_nodes.push_back(first_known);
+  }
+}
+
+}  // namespace dataset
+}  // namespace linbp

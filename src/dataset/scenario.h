@@ -1,0 +1,118 @@
+// Scenarios: self-contained label-propagation problem instances.
+//
+// A Scenario bundles everything one end-to-end LinBP/SBP run needs — the
+// graph, the explicit (seeded) residual beliefs, the unscaled residual
+// coupling matrix, and optional ground-truth labels — plus the metadata
+// that produced it. Scenarios are built from compact text specs like
+//
+//   "sbm:n=100000,k=4,deg=8,mode=heterophily"
+//
+// via the registry in src/dataset/registry.h, and persist to the binary
+// snapshot format in src/dataset/snapshot.h.
+
+#ifndef LINBP_DATASET_SCENARIO_H_
+#define LINBP_DATASET_SCENARIO_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/coupling.h"
+#include "src/graph/graph.h"
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+namespace dataset {
+
+/// One runnable problem instance. Beliefs and the coupling matrix are
+/// residuals (centered), the representation LinBP and SBP consume.
+struct Scenario {
+  /// Registry key of the workload that produced this instance.
+  std::string name;
+  /// The full spec string ("name:key=value,..."), kept for provenance.
+  std::string spec;
+
+  Graph graph;
+  /// Number of classes k.
+  std::int64_t k = 0;
+  /// Unscaled k x k residual coupling Hhat_o (rows/columns sum to 0).
+  DenseMatrix coupling_residual;
+  /// n x k explicit residual beliefs; zero rows for unlabeled nodes.
+  DenseMatrix explicit_residuals;
+  /// Sorted node ids with at least one nonzero explicit belief.
+  std::vector<std::int64_t> explicit_nodes;
+  /// Ground-truth class per node (-1 unknown); empty if the workload has
+  /// no planted truth (e.g. the paper's Kronecker experiment).
+  std::vector<int> ground_truth;
+
+  /// The validated coupling matrix (rebuilt from coupling_residual).
+  CouplingMatrix Coupling() const;
+
+  bool HasGroundTruth() const { return !ground_truth.empty(); }
+
+  /// Number of nodes with a known ground-truth class.
+  std::int64_t NumGroundTruthNodes() const;
+};
+
+/// Key=value parameters of a scenario spec. Getters record which keys were
+/// consumed so the registry can reject typos ("unknown parameter"), and
+/// record malformed values as errors instead of silently falling back.
+class ScenarioParams {
+ public:
+  /// Parses the "key=value,key=value" tail of a spec (empty is fine).
+  /// Rejects missing '=', empty keys, and duplicate keys.
+  static std::optional<ScenarioParams> Parse(const std::string& text,
+                                             std::string* error);
+
+  /// Integer parameter with a default. Accepts "1e6"-style values only if
+  /// integral after conversion.
+  std::int64_t Int(const std::string& key, std::int64_t fallback);
+
+  /// Floating-point parameter with a default.
+  double Double(const std::string& key, double fallback);
+
+  /// String parameter with a default.
+  std::string Str(const std::string& key, const std::string& fallback);
+
+  /// First malformed-value message, empty if none so far.
+  const std::string& value_error() const { return value_error_; }
+
+  /// Keys present in the spec that no getter has consumed.
+  std::vector<std::string> UnconsumedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::string value_error_;
+};
+
+/// Splits a spec "name" or "name:params" into the scenario name and its
+/// parameter tail. Returns nullopt (and fills *error) on an empty name or
+/// malformed parameters.
+struct ParsedSpec {
+  std::string name;
+  ScenarioParams params;
+};
+std::optional<ParsedSpec> ParseScenarioSpec(const std::string& spec,
+                                            std::string* error);
+
+/// Resolves a coupling spec shared by the CLI and the file-backed
+/// scenario: a preset name (homophily2 | heterophily2 | auction | dblp4 |
+/// kronecker3) or a path to a dense matrix file holding either a
+/// stochastic or a residual coupling matrix.
+std::optional<CouplingMatrix> ResolveCouplingSpec(const std::string& spec,
+                                                  std::string* error);
+
+/// Seeds explicit beliefs from ground truth: every node with a known class
+/// is revealed independently with probability `labeled_fraction`
+/// (deterministic under `seed`), receiving ExplicitResidualForClass(k,
+/// class, strength). At least one node is always revealed.
+void RevealGroundTruth(double labeled_fraction, double strength,
+                       std::uint64_t seed, Scenario* scenario);
+
+}  // namespace dataset
+}  // namespace linbp
+
+#endif  // LINBP_DATASET_SCENARIO_H_

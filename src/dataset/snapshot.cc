@@ -1,0 +1,438 @@
+#include "src/dataset/snapshot.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace linbp {
+namespace dataset {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'I', 'N', 'B', 'P', 'S', 'N', 'P'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::uint32_t kEndianTagSwapped = 0x04030201u;
+constexpr std::uint32_t kFlagGroundTruth = 1u;
+constexpr std::size_t kHeaderBytes = 64;
+// Far above any real class count; bounds k before allocating k*k doubles.
+constexpr std::int64_t kMaxClasses = 1024;
+
+std::uint64_t Fnv1a(const char* data, std::size_t size) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+template <typename T>
+void AppendPod(const T* data, std::size_t count, std::vector<char>* out) {
+  const std::size_t bytes = count * sizeof(T);
+  const std::size_t offset = out->size();
+  out->resize(offset + bytes);
+  if (bytes > 0) std::memcpy(out->data() + offset, data, bytes);
+}
+
+void AppendString(const std::string& s, std::vector<char>* out) {
+  const std::uint32_t length = static_cast<std::uint32_t>(s.size());
+  AppendPod(&length, 1, out);
+  AppendPod(s.data(), s.size(), out);
+}
+
+/// Bounds-checked sequential reader over the payload bytes.
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : data_(data), remaining_(size) {}
+
+  template <typename T>
+  bool Read(T* out, std::size_t count) {
+    // Division, not multiplication: a crafted header count must not wrap
+    // the byte total around size_t and slip past the bound.
+    if (count > remaining_ / sizeof(T)) return false;
+    const std::size_t bytes = count * sizeof(T);
+    if (bytes > 0) std::memcpy(out, data_, bytes);
+    data_ += bytes;
+    remaining_ -= bytes;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadVector(std::vector<T>* out, std::size_t count) {
+    if (count > remaining_ / sizeof(T)) return false;
+    out->resize(count);
+    return Read(out->data(), count);
+  }
+
+  bool ReadString(std::string* out) {
+    std::uint32_t length = 0;
+    if (!Read(&length, 1)) return false;
+    if (length > remaining_) return false;
+    out->assign(data_, length);
+    data_ += length;
+    remaining_ -= length;
+    return true;
+  }
+
+  std::size_t remaining() const { return remaining_; }
+
+ private:
+  const char* data_;
+  std::size_t remaining_;
+};
+
+struct Header {
+  std::uint32_t version = 0;
+  std::int64_t num_nodes = 0;
+  std::int64_t k = 0;
+  std::int64_t nnz = 0;
+  std::int64_t num_explicit = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t checksum = 0;
+};
+
+void WriteHeader(const Header& h, char* out) {
+  std::memcpy(out, kMagic, 8);
+  std::memcpy(out + 8, &h.version, 4);
+  std::memcpy(out + 12, &kEndianTag, 4);
+  std::memcpy(out + 16, &h.num_nodes, 8);
+  std::memcpy(out + 24, &h.k, 8);
+  std::memcpy(out + 32, &h.nnz, 8);
+  std::memcpy(out + 40, &h.num_explicit, 8);
+  std::memcpy(out + 48, &h.flags, 4);
+  const std::uint32_t reserved = 0;
+  std::memcpy(out + 52, &reserved, 4);
+  std::memcpy(out + 56, &h.checksum, 8);
+}
+
+bool ParseHeader(const std::string& path, const char* data, std::size_t size,
+                 Header* h, std::string* error) {
+  if (size < kHeaderBytes) {
+    *error = path + ": truncated snapshot (shorter than the header)";
+    return false;
+  }
+  if (std::memcmp(data, kMagic, 8) != 0) {
+    *error = path + ": not a LinBP snapshot (bad magic)";
+    return false;
+  }
+  std::uint32_t endian = 0;
+  std::memcpy(&endian, data + 12, 4);
+  if (endian == kEndianTagSwapped) {
+    *error = path + ": big-endian snapshot is not supported";
+    return false;
+  }
+  if (endian != kEndianTag) {
+    *error = path + ": corrupted header (bad endian tag)";
+    return false;
+  }
+  std::memcpy(&h->version, data + 8, 4);
+  if (h->version != kSnapshotVersion) {
+    *error = path + ": unsupported snapshot version " +
+             std::to_string(h->version) + " (expected " +
+             std::to_string(kSnapshotVersion) + ")";
+    return false;
+  }
+  std::memcpy(&h->num_nodes, data + 16, 8);
+  std::memcpy(&h->k, data + 24, 8);
+  std::memcpy(&h->nnz, data + 32, 8);
+  std::memcpy(&h->num_explicit, data + 40, 8);
+  std::memcpy(&h->flags, data + 48, 4);
+  std::memcpy(&h->checksum, data + 56, 8);
+  if (h->num_nodes < 0 ||
+      h->num_nodes > std::numeric_limits<std::int32_t>::max() || h->k < 1 ||
+      h->k > kMaxClasses || h->nnz < 0 || h->num_explicit < 0 ||
+      h->num_explicit > h->num_nodes) {
+    *error = path + ": corrupted header (counts out of range)";
+    return false;
+  }
+  if ((h->flags & ~kFlagGroundTruth) != 0) {
+    *error = path + ": corrupted header (unknown flags)";
+    return false;
+  }
+  return true;
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<char>* out,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    *error = path + ": cannot open";
+    return false;
+  }
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  out->resize(static_cast<std::size_t>(size));
+  if (size > 0 && !in.read(out->data(), size)) {
+    *error = path + ": read failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveSnapshot(const Scenario& scenario, const std::string& path,
+                  std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  LINBP_CHECK(scenario.k >= 1 && scenario.k <= kMaxClasses);
+  LINBP_CHECK(scenario.coupling_residual.rows() == scenario.k &&
+              scenario.coupling_residual.cols() == scenario.k);
+  const Graph& graph = scenario.graph;
+  const SparseMatrix& adjacency = graph.adjacency();
+  LINBP_CHECK(scenario.explicit_residuals.rows() == graph.num_nodes() &&
+              scenario.explicit_residuals.cols() == scenario.k);
+  LINBP_CHECK(!scenario.HasGroundTruth() ||
+              static_cast<std::int64_t>(scenario.ground_truth.size()) ==
+                  graph.num_nodes());
+
+  std::vector<char> payload;
+  AppendString(scenario.name, &payload);
+  AppendString(scenario.spec, &payload);
+  AppendPod(scenario.coupling_residual.data().data(),
+            static_cast<std::size_t>(scenario.k * scenario.k), &payload);
+  AppendPod(adjacency.row_ptr().data(), adjacency.row_ptr().size(), &payload);
+  AppendPod(adjacency.col_idx().data(), adjacency.col_idx().size(), &payload);
+  AppendPod(adjacency.values().data(), adjacency.values().size(), &payload);
+  AppendPod(scenario.explicit_nodes.data(), scenario.explicit_nodes.size(),
+            &payload);
+  // Only the labeled rows of the (mostly zero) belief matrix are stored.
+  std::vector<double> rows;
+  rows.reserve(scenario.explicit_nodes.size() *
+               static_cast<std::size_t>(scenario.k));
+  for (const std::int64_t v : scenario.explicit_nodes) {
+    LINBP_CHECK(v >= 0 && v < graph.num_nodes());
+    for (std::int64_t c = 0; c < scenario.k; ++c) {
+      rows.push_back(scenario.explicit_residuals.At(v, c));
+    }
+  }
+  AppendPod(rows.data(), rows.size(), &payload);
+  if (scenario.HasGroundTruth()) {
+    AppendPod(scenario.ground_truth.data(), scenario.ground_truth.size(),
+              &payload);
+  }
+
+  Header header;
+  header.version = kSnapshotVersion;
+  header.num_nodes = graph.num_nodes();
+  header.k = scenario.k;
+  header.nnz = adjacency.NumNonZeros();
+  header.num_explicit =
+      static_cast<std::int64_t>(scenario.explicit_nodes.size());
+  header.flags = scenario.HasGroundTruth() ? kFlagGroundTruth : 0;
+  header.checksum = Fnv1a(payload.data(), payload.size());
+  char header_bytes[kHeaderBytes];
+  WriteHeader(header, header_bytes);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    *error = path + ": cannot write";
+    return false;
+  }
+  out.write(header_bytes, kHeaderBytes);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) {
+    *error = path + ": write failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<Scenario> LoadSnapshot(const std::string& path,
+                                     std::string* error,
+                                     const exec::ExecContext& ctx) {
+  LINBP_CHECK(error != nullptr);
+  std::vector<char> bytes;
+  if (!ReadFileBytes(path, &bytes, error)) return std::nullopt;
+  Header header;
+  if (!ParseHeader(path, bytes.data(), bytes.size(), &header, error)) {
+    return std::nullopt;
+  }
+  const char* payload = bytes.data() + kHeaderBytes;
+  const std::size_t payload_size = bytes.size() - kHeaderBytes;
+  if (Fnv1a(payload, payload_size) != header.checksum) {
+    *error = path + ": checksum mismatch (corrupted snapshot)";
+    return std::nullopt;
+  }
+
+  const std::int64_t n = header.num_nodes;
+  const std::int64_t k = header.k;
+  Scenario scenario;
+  scenario.k = k;
+  Cursor cursor(payload, payload_size);
+  std::vector<std::int64_t> row_ptr;
+  std::vector<std::int32_t> col_idx;
+  std::vector<double> values;
+  std::vector<double> coupling(static_cast<std::size_t>(k * k));
+  std::vector<double> explicit_rows;
+  std::vector<std::int32_t> ground_truth;
+  const bool sections_ok =
+      cursor.ReadString(&scenario.name) && cursor.ReadString(&scenario.spec) &&
+      cursor.Read(coupling.data(), coupling.size()) &&
+      cursor.ReadVector(&row_ptr, static_cast<std::size_t>(n + 1)) &&
+      cursor.ReadVector(&col_idx, static_cast<std::size_t>(header.nnz)) &&
+      cursor.ReadVector(&values, static_cast<std::size_t>(header.nnz)) &&
+      cursor.ReadVector(&scenario.explicit_nodes,
+                        static_cast<std::size_t>(header.num_explicit)) &&
+      cursor.ReadVector(&explicit_rows,
+                        static_cast<std::size_t>(header.num_explicit * k)) &&
+      ((header.flags & kFlagGroundTruth) == 0 ||
+       cursor.ReadVector(&ground_truth, static_cast<std::size_t>(n)));
+  if (!sections_ok) {
+    *error = path + ": truncated snapshot payload";
+    return std::nullopt;
+  }
+  if (cursor.remaining() != 0) {
+    *error = path + ": trailing bytes after the payload";
+    return std::nullopt;
+  }
+
+  // Structural validation with error returns (the checksum only proves the
+  // bytes match what was written, not that a writer was well behaved).
+  // Monotonicity of the WHOLE row_ptr array must hold before any entry
+  // loop below runs — together with back() == nnz it bounds every
+  // [row_ptr[r], row_ptr[r+1]) range, including the mirror lookups into
+  // other rows.
+  std::atomic<bool> valid(true);
+  if (row_ptr.front() != 0 || row_ptr.back() != header.nnz) {
+    valid.store(false);
+  } else {
+    ctx.ParallelFor(0, n, /*min_grain=*/8192,
+                    [&](std::int64_t row_begin, std::int64_t row_end) {
+                      for (std::int64_t r = row_begin; r < row_end; ++r) {
+                        if (row_ptr[r] > row_ptr[r + 1]) {
+                          valid.store(false, std::memory_order_relaxed);
+                          return;
+                        }
+                      }
+                    });
+  }
+  if (!valid.load()) {
+    *error = path + ": invalid CSR row pointers";
+    return std::nullopt;
+  }
+  // Per-row entry sweep: CSR ordering, range, symmetry, finite weights.
+  ctx.ParallelFor(0, n, /*min_grain=*/2048, [&](std::int64_t row_begin,
+                                                std::int64_t row_end) {
+    bool ok = true;
+    for (std::int64_t r = row_begin; r < row_end && ok; ++r) {
+      for (std::int64_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+        const std::int64_t c = col_idx[e];
+        if (c < 0 || c >= n || c == r || !std::isfinite(values[e]) ||
+            (e > row_ptr[r] && col_idx[e - 1] >= c)) {
+          ok = false;
+          break;
+        }
+        // Mirror entry (c, r) must exist with an identical value.
+        const auto begin = col_idx.begin() + row_ptr[c];
+        const auto end = col_idx.begin() + row_ptr[c + 1];
+        const auto it =
+            std::lower_bound(begin, end, static_cast<std::int32_t>(r));
+        if (it == end || *it != r ||
+            values[it - col_idx.begin()] != values[e]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) valid.store(false, std::memory_order_relaxed);
+  });
+  if (!valid.load()) {
+    *error = path + ": invalid adjacency payload (CSR structure, symmetry, "
+                    "or non-finite weights)";
+    return std::nullopt;
+  }
+
+  scenario.coupling_residual = DenseMatrix(k, k);
+  std::copy(coupling.begin(), coupling.end(),
+            scenario.coupling_residual.mutable_data().begin());
+  for (std::int64_t i = 0; i < k; ++i) {
+    double row_sum = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const double value = scenario.coupling_residual.At(i, j);
+      if (!std::isfinite(value) ||
+          value != scenario.coupling_residual.At(j, i)) {
+        *error = path + ": invalid coupling residual";
+        return std::nullopt;
+      }
+      row_sum += value;
+    }
+    if (std::abs(row_sum) > 1e-9) {
+      *error = path + ": invalid coupling residual";
+      return std::nullopt;
+    }
+  }
+
+  scenario.explicit_residuals = DenseMatrix(n, k);
+  for (std::size_t i = 0; i < scenario.explicit_nodes.size(); ++i) {
+    const std::int64_t v = scenario.explicit_nodes[i];
+    if (v < 0 || v >= n ||
+        (i > 0 && scenario.explicit_nodes[i - 1] >= v)) {
+      *error = path + ": invalid explicit node list";
+      return std::nullopt;
+    }
+    for (std::int64_t c = 0; c < k; ++c) {
+      const double b = explicit_rows[i * k + c];
+      if (!std::isfinite(b)) {
+        *error = path + ": non-finite explicit belief";
+        return std::nullopt;
+      }
+      scenario.explicit_residuals.At(v, c) = b;
+    }
+  }
+
+  if ((header.flags & kFlagGroundTruth) != 0) {
+    scenario.ground_truth.resize(n);
+    for (std::int64_t v = 0; v < n; ++v) {
+      const std::int32_t cls = ground_truth[v];
+      if (cls < -1 || cls >= k) {
+        *error = path + ": ground-truth class out of range";
+        return std::nullopt;
+      }
+      scenario.ground_truth[v] = cls;
+    }
+  }
+
+  // The payload passed full validation above, so the trusted adopt paths
+  // apply — re-running the CHECKed sweeps would just double the cost of
+  // the format's reason to exist. Edge-list and degree reconstruction
+  // still fan out on ctx.
+  scenario.graph = Graph::FromValidatedAdjacency(
+      SparseMatrix::FromValidatedCsr(n, n, std::move(row_ptr),
+                                     std::move(col_idx), std::move(values)),
+      ctx);
+  return scenario;
+}
+
+std::optional<SnapshotInfo> ReadSnapshotInfo(const std::string& path,
+                                             std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  std::vector<char> bytes;
+  if (!ReadFileBytes(path, &bytes, error)) return std::nullopt;
+  Header header;
+  if (!ParseHeader(path, bytes.data(), bytes.size(), &header, error)) {
+    return std::nullopt;
+  }
+  SnapshotInfo info;
+  info.version = header.version;
+  info.num_nodes = header.num_nodes;
+  info.k = header.k;
+  info.nnz = header.nnz;
+  info.num_explicit = header.num_explicit;
+  info.has_ground_truth = (header.flags & kFlagGroundTruth) != 0;
+  info.file_bytes = static_cast<std::int64_t>(bytes.size());
+  Cursor cursor(bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
+  if (!cursor.ReadString(&info.name) || !cursor.ReadString(&info.spec)) {
+    *error = path + ": truncated snapshot payload";
+    return std::nullopt;
+  }
+  return info;
+}
+
+}  // namespace dataset
+}  // namespace linbp

@@ -1,0 +1,225 @@
+#include "src/dataset/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace linbp {
+namespace dataset {
+namespace {
+
+// Key for de-duplicating undirected edges (node ids fit in 32 bits; the
+// generators cap n well below 2^31 because CSR columns are int32).
+std::uint64_t EdgeKey(std::int64_t u, std::int64_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+LabeledGraph SbmGraph(std::int64_t n, std::int64_t k, double avg_degree,
+                      double intra_fraction, std::uint64_t seed) {
+  LINBP_CHECK(k >= 2 && n >= 2 * k);
+  LINBP_CHECK(avg_degree > 0.0);
+  LINBP_CHECK(intra_fraction >= 0.0 && intra_fraction <= 1.0);
+  Rng rng(seed);
+  // Node v belongs to class v % k, so class c has floor(n/k) members plus
+  // one when c < n % k; member m of class c is node c + m * k.
+  std::vector<std::int64_t> class_size(k);
+  for (std::int64_t c = 0; c < k; ++c) {
+    class_size[c] = n / k + (c < n % k ? 1 : 0);
+  }
+  auto member = [&](std::int64_t c, std::int64_t m) { return c + m * k; };
+
+  const std::int64_t target =
+      std::max<std::int64_t>(1, std::llround(0.5 * avg_degree *
+                                             static_cast<double>(n)));
+  std::unordered_set<std::uint64_t> used;
+  std::vector<Edge> edges;
+  edges.reserve(target);
+  // Rejection sampling with an attempt cap so dense parameterizations
+  // terminate (the cap is never hit at the sparse densities we generate).
+  std::int64_t attempts = 40 * target + 1000;
+  while (static_cast<std::int64_t>(edges.size()) < target && attempts-- > 0) {
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    if (rng.NextBernoulli(intra_fraction)) {
+      const std::int64_t c =
+          static_cast<std::int64_t>(rng.NextBounded(static_cast<std::uint64_t>(k)));
+      if (class_size[c] < 2) continue;
+      const std::int64_t m1 = static_cast<std::int64_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(class_size[c])));
+      std::int64_t m2 = m1;
+      while (m2 == m1) {
+        m2 = static_cast<std::int64_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(class_size[c])));
+      }
+      u = member(c, m1);
+      v = member(c, m2);
+    } else {
+      const std::int64_t c1 =
+          static_cast<std::int64_t>(rng.NextBounded(static_cast<std::uint64_t>(k)));
+      std::int64_t c2 = c1;
+      while (c2 == c1) {
+        c2 = static_cast<std::int64_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(k)));
+      }
+      u = member(c1, static_cast<std::int64_t>(rng.NextBounded(
+                         static_cast<std::uint64_t>(class_size[c1]))));
+      v = member(c2, static_cast<std::int64_t>(rng.NextBounded(
+                         static_cast<std::uint64_t>(class_size[c2]))));
+    }
+    if (!used.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back({u, v, 1.0});
+  }
+
+  LabeledGraph out;
+  out.graph = Graph(n, edges);
+  out.labels.resize(n);
+  for (std::int64_t v = 0; v < n; ++v) {
+    out.labels[v] = static_cast<int>(v % k);
+  }
+  return out;
+}
+
+LabeledGraph RmatGraph(int scale, double edge_factor, std::int64_t k,
+                       double a, double b, double c, std::uint64_t seed) {
+  LINBP_CHECK(scale >= 1 && scale <= 30);
+  LINBP_CHECK(edge_factor > 0.0);
+  LINBP_CHECK(k >= 1);
+  LINBP_CHECK(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0);
+  const std::int64_t n = std::int64_t{1} << scale;
+  const std::int64_t target = std::max<std::int64_t>(
+      1, std::llround(edge_factor * static_cast<double>(n)));
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> used;
+  std::vector<Edge> edges;
+  edges.reserve(target);
+  std::int64_t attempts = 40 * target + 1000;
+  while (static_cast<std::int64_t>(edges.size()) < target && attempts-- > 0) {
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      // Quadrants (u_bit, v_bit): a -> (0,0), b -> (0,1), c -> (1,0),
+      // d = 1 - a - b - c -> (1,1).
+      const int u_bit = r >= a + b ? 1 : 0;
+      const int v_bit = (r >= a && r < a + b) || r >= a + b + c ? 1 : 0;
+      u = (u << 1) | u_bit;
+      v = (v << 1) | v_bit;
+    }
+    if (u == v) continue;
+    if (!used.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back({u, v, 1.0});
+  }
+
+  LabeledGraph out;
+  out.graph = Graph(n, edges);
+  out.labels.assign(n, -1);
+
+  // Plant labels as BFS Voronoi cells: center i seeds class i % k, every
+  // reachable node takes the class of its nearest center (FIFO BFS breaks
+  // distance ties deterministically).
+  std::vector<std::int64_t> centers;
+  std::int64_t center_attempts = 100 * k + 100;
+  while (static_cast<std::int64_t>(centers.size()) < k &&
+         center_attempts-- > 0) {
+    const std::int64_t v = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    if (out.graph.Degree(v) == 0) continue;
+    if (std::find(centers.begin(), centers.end(), v) != centers.end()) {
+      continue;
+    }
+    centers.push_back(v);
+  }
+  const auto& row_ptr = out.graph.adjacency().row_ptr();
+  const auto& col_idx = out.graph.adjacency().col_idx();
+  std::deque<std::int64_t> queue;
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    out.labels[centers[i]] = static_cast<int>(i % k);
+    queue.push_back(centers[i]);
+  }
+  while (!queue.empty()) {
+    const std::int64_t v = queue.front();
+    queue.pop_front();
+    for (std::int64_t e = row_ptr[v]; e < row_ptr[v + 1]; ++e) {
+      const std::int64_t t = col_idx[e];
+      if (out.labels[t] >= 0) continue;
+      out.labels[t] = out.labels[v];
+      queue.push_back(t);
+    }
+  }
+  return out;
+}
+
+LabeledGraph FraudBipartiteGraph(std::int64_t num_users,
+                                 std::int64_t num_products,
+                                 double fraud_fraction, double shill_fraction,
+                                 double reviews_per_user, double camouflage,
+                                 std::uint64_t seed) {
+  LINBP_CHECK(num_users >= 2 && num_products >= 2);
+  LINBP_CHECK(fraud_fraction > 0.0 && fraud_fraction < 1.0);
+  LINBP_CHECK(shill_fraction > 0.0 && shill_fraction < 1.0);
+  LINBP_CHECK(reviews_per_user > 0.0);
+  LINBP_CHECK(camouflage >= 0.0 && camouflage <= 1.0);
+  const std::int64_t fraudsters = std::max<std::int64_t>(
+      1, std::llround(fraud_fraction * static_cast<double>(num_users)));
+  const std::int64_t honest = num_users - fraudsters;
+  const std::int64_t shill = std::max<std::int64_t>(
+      1, std::llround(shill_fraction * static_cast<double>(num_products)));
+  const std::int64_t legit = num_products - shill;
+  LINBP_CHECK(honest >= 1 && legit >= 1);
+  const std::int64_t n = num_users + num_products;
+  const std::int64_t legit_base = num_users;
+  const std::int64_t shill_base = num_users + legit;
+
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> used;
+  std::vector<Edge> edges;
+  for (std::int64_t u = 0; u < num_users; ++u) {
+    const bool is_fraudster = u >= honest;
+    // reviews_per_user is an expectation; the fractional part becomes one
+    // extra Bernoulli review.
+    std::int64_t reviews =
+        static_cast<std::int64_t>(std::floor(reviews_per_user));
+    if (rng.NextBernoulli(reviews_per_user - std::floor(reviews_per_user))) {
+      ++reviews;
+    }
+    for (std::int64_t i = 0; i < reviews; ++i) {
+      // A handful of retries per review keeps the expected degree close
+      // to the target; a duplicate after that is simply skipped.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const bool off_profile = rng.NextBernoulli(camouflage);
+        const bool pick_shill = is_fraudster ? !off_profile : off_profile;
+        const std::int64_t p =
+            pick_shill
+                ? shill_base + static_cast<std::int64_t>(rng.NextBounded(
+                                   static_cast<std::uint64_t>(shill)))
+                : legit_base + static_cast<std::int64_t>(rng.NextBounded(
+                                   static_cast<std::uint64_t>(legit)));
+        if (!used.insert(EdgeKey(u, p)).second) continue;
+        edges.push_back({u, p, 1.0});
+        break;
+      }
+    }
+  }
+
+  LabeledGraph out;
+  out.graph = Graph(n, edges);
+  out.labels.assign(n, 0);
+  for (std::int64_t u = honest; u < num_users; ++u) out.labels[u] = 2;
+  for (std::int64_t p = shill_base; p < n; ++p) out.labels[p] = 1;
+  return out;
+}
+
+DenseMatrix UniformHeterophilyResidual(std::int64_t k, double strength) {
+  return UniformHomophilyCoupling(k, strength).residual().Scale(-1.0);
+}
+
+}  // namespace dataset
+}  // namespace linbp

@@ -1,0 +1,72 @@
+// Workload generators behind the built-in scenarios.
+//
+// Each generator plants a ground truth the coupling matrix can recover:
+//   * SBM: a k-class planted partition whose in/out class edge mix matches
+//     a uniform homophily or heterophily coupling;
+//   * R-MAT: the power-law recursive-matrix graph of [Chakrabarti et al.,
+//     SDM'04] with labels planted as BFS Voronoi cells around k random
+//     centers (graph-correlated communities under homophily);
+//   * bipartite fraud: reviewers x products with honest/shill/fraudster
+//     roles wired like the Fig. 1c auction example — fraudsters review
+//     shill products (the heterophilous A-F block), honest users review
+//     legitimate products.
+// The raw generators are exposed for tests; the registry factories in
+// registry.cc parameterize them from scenario specs.
+
+#ifndef LINBP_DATASET_WORKLOADS_H_
+#define LINBP_DATASET_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dataset/scenario.h"
+#include "src/graph/graph.h"
+
+namespace linbp {
+namespace dataset {
+
+/// A graph plus per-node planted classes (-1 unknown).
+struct LabeledGraph {
+  Graph graph;
+  std::vector<int> labels;
+};
+
+/// Planted-partition stochastic block model: n nodes in k round-robin
+/// classes (node v's class is v % k) and ~n * avg_degree / 2 distinct
+/// edges. Each edge is intra-class with probability `intra_fraction`
+/// (uniform random class, two distinct members), otherwise inter-class
+/// (two distinct uniform classes). Homophily regimes use intra_fraction
+/// near 1, heterophily regimes near 0. Deterministic under `seed`.
+LabeledGraph SbmGraph(std::int64_t n, std::int64_t k, double avg_degree,
+                      double intra_fraction, std::uint64_t seed);
+
+/// R-MAT graph on 2^scale nodes with ~edge_factor * 2^scale distinct
+/// undirected edges, recursive quadrant probabilities (a, b, c,
+/// 1 - a - b - c). Labels are BFS Voronoi cells around `k` random
+/// degree >= 1 centers; nodes unreachable from every center (including
+/// isolated ones) stay -1. Deterministic under `seed`.
+LabeledGraph RmatGraph(int scale, double edge_factor, std::int64_t k,
+                       double a, double b, double c, std::uint64_t seed);
+
+/// Bipartite review graph for the 3-class auction coupling
+/// (honest = 0, accomplice/shill = 1, fraudster = 2). Nodes are laid out
+/// as [honest users | fraudster users | legit products | shill products];
+/// users review ~reviews_per_user products each. Honest users pick a
+/// shill product with probability `camouflage`, fraudsters pick a legit
+/// product with probability `camouflage`. Legit products carry class 0
+/// (they interact like honest nodes), shill products class 1.
+LabeledGraph FraudBipartiteGraph(std::int64_t num_users,
+                                 std::int64_t num_products,
+                                 double fraud_fraction, double shill_fraction,
+                                 double reviews_per_user, double camouflage,
+                                 std::uint64_t seed);
+
+/// Uniform k-class heterophily residual: the negated uniform homophily
+/// residual (diagonal -(k-1)*s, off-diagonal +s) — every class prefers
+/// every other class equally.
+DenseMatrix UniformHeterophilyResidual(std::int64_t k, double strength);
+
+}  // namespace dataset
+}  // namespace linbp
+
+#endif  // LINBP_DATASET_WORKLOADS_H_

@@ -33,6 +33,79 @@ Graph::Graph(std::int64_t num_nodes, const std::vector<Edge>& edges)
   weighted_degrees_ = adjacency_.SquaredRowSums();
 }
 
+Graph Graph::FromAdjacency(SparseMatrix adjacency,
+                           const exec::ExecContext& ctx) {
+  return FromAdjacencyImpl(std::move(adjacency), ctx, /*validate=*/true);
+}
+
+Graph Graph::FromValidatedAdjacency(SparseMatrix adjacency,
+                                    const exec::ExecContext& ctx) {
+  return FromAdjacencyImpl(std::move(adjacency), ctx, /*validate=*/false);
+}
+
+// One parallel sweep optionally validates (no self-loops, symmetric
+// pattern and values via a mirror binary search per entry), computes the
+// weighted degrees, and counts each row's upper-triangle entries for the
+// edge-list reconstruction below. Rows are chunk-owned, so the writes
+// race with nothing.
+Graph Graph::FromAdjacencyImpl(SparseMatrix adjacency,
+                               const exec::ExecContext& ctx, bool validate) {
+  LINBP_CHECK_MSG(adjacency.rows() == adjacency.cols(),
+                  "adjacency matrix must be square");
+  const std::int64_t n = adjacency.rows();
+  const auto& row_ptr = adjacency.row_ptr();
+  const auto& col_idx = adjacency.col_idx();
+  const auto& values = adjacency.values();
+
+  Graph graph;
+  graph.weighted_degrees_.assign(n, 0.0);
+  std::vector<std::int64_t> upper_count(n, 0);
+  ctx.ParallelFor(0, n, /*min_grain=*/512, [&](std::int64_t row_begin,
+                                               std::int64_t row_end) {
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      double degree = 0.0;
+      std::int64_t upper = 0;
+      for (std::int64_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+        const std::int64_t c = col_idx[e];
+        if (validate) {
+          LINBP_CHECK_MSG(c != r, "self-loops are not supported");
+          const auto begin = col_idx.begin() + row_ptr[c];
+          const auto end = col_idx.begin() + row_ptr[c + 1];
+          const auto it =
+              std::lower_bound(begin, end, static_cast<std::int32_t>(r));
+          LINBP_CHECK_MSG(it != end && *it == r &&
+                              values[it - col_idx.begin()] == values[e],
+                          "adjacency matrix is not symmetric");
+        }
+        degree += values[e] * values[e];
+        if (c > r) ++upper;
+      }
+      graph.weighted_degrees_[r] = degree;
+      upper_count[r] = upper;
+    }
+  });
+
+  // Exclusive prefix over the per-row counts, then a parallel fill: every
+  // undirected edge appears exactly once as its upper-triangle entry.
+  std::vector<std::int64_t> edge_offset(n + 1, 0);
+  for (std::int64_t r = 0; r < n; ++r) {
+    edge_offset[r + 1] = edge_offset[r] + upper_count[r];
+  }
+  graph.edges_.resize(edge_offset[n]);
+  ctx.ParallelFor(0, n, /*min_grain=*/512, [&](std::int64_t row_begin,
+                                               std::int64_t row_end) {
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      std::int64_t pos = edge_offset[r];
+      for (std::int64_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+        const std::int64_t c = col_idx[e];
+        if (c > r) graph.edges_[pos++] = Edge{r, c, values[e]};
+      }
+    }
+  });
+  graph.adjacency_ = std::move(adjacency);
+  return graph;
+}
+
 std::int64_t Graph::Degree(std::int64_t node) const {
   LINBP_CHECK(node >= 0 && node < num_nodes());
   return adjacency_.row_ptr()[node + 1] - adjacency_.row_ptr()[node];

@@ -33,6 +33,26 @@ class Graph {
   /// duplicate edges are rejected (the paper's graphs have neither).
   Graph(std::int64_t num_nodes, const std::vector<Edge>& edges);
 
+  /// Adopts an already-symmetric CSR adjacency matrix (the snapshot
+  /// deserialization path: the matrix comes from SparseMatrix::FromCsr, so
+  /// the edge list and weighted degrees are *derived* instead of re-built
+  /// from triplets). Aborts if the matrix is not square, has diagonal
+  /// entries, or is not symmetric in pattern and values. The symmetry
+  /// sweep, edge-list reconstruction, and degree computation fan out on
+  /// `ctx`; the derived edge list is sorted by (u, v), which is also the
+  /// order the original constructor produces for sorted input.
+  static Graph FromAdjacency(SparseMatrix adjacency,
+                             const exec::ExecContext& ctx =
+                                 exec::ExecContext::Default());
+
+  /// FromAdjacency without the symmetry/self-loop sweep, for callers that
+  /// have ALREADY verified both (the snapshot loader's error-returning
+  /// validation pass) — the derived edge list and degrees are computed
+  /// either way. Adopting an unverified matrix is undefined behavior.
+  static Graph FromValidatedAdjacency(SparseMatrix adjacency,
+                                      const exec::ExecContext& ctx =
+                                          exec::ExecContext::Default());
+
   std::int64_t num_nodes() const { return adjacency_.rows(); }
 
   /// Number of stored adjacency entries (2x the undirected edge count, the
@@ -60,6 +80,9 @@ class Graph {
   const std::vector<Edge>& edges() const { return edges_; }
 
  private:
+  static Graph FromAdjacencyImpl(SparseMatrix adjacency,
+                                 const exec::ExecContext& ctx, bool validate);
+
   SparseMatrix adjacency_;
   std::vector<double> weighted_degrees_;
   std::vector<Edge> edges_;

@@ -1,7 +1,9 @@
 #include "src/graph/io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
@@ -24,6 +26,15 @@ std::string ParseError(const std::string& path, int line_number,
   std::ostringstream out;
   out << path << ":" << line_number << ": " << message;
   return out.str();
+}
+
+// Strict double parse: the whole token must convert. Unlike operator>>,
+// this accepts "nan"/"inf" spellings, which the callers then reject with
+// a specific non-finite error instead of silently skipping the token.
+bool ParseDoubleToken(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return !token.empty() && *end == '\0';
 }
 
 }  // namespace
@@ -51,6 +62,10 @@ std::optional<Graph> ReadEdgeList(const std::string& path,
   }
   std::vector<Edge> edges;
   std::int64_t max_node = -1;
+  // Duplicates are detected here, with the offending line number, so
+  // malformed files fail with a parse error instead of a CHECK abort
+  // inside Graph.
+  std::unordered_set<std::uint64_t> seen;
   std::string line;
   int line_number = 0;
   while (std::getline(in, line)) {
@@ -62,7 +77,21 @@ std::optional<Graph> ReadEdgeList(const std::string& path,
       *error = ParseError(path, line_number, "expected 'u v [w]'");
       return std::nullopt;
     }
-    if (!(fields >> e.weight)) e.weight = 1.0;
+    std::string weight_token;
+    if (fields >> weight_token) {
+      if (!ParseDoubleToken(weight_token, &e.weight)) {
+        *error = ParseError(path, line_number,
+                            "malformed weight '" + weight_token + "'");
+        return std::nullopt;
+      }
+      std::string extra;
+      if (fields >> extra) {
+        *error = ParseError(path, line_number, "trailing content");
+        return std::nullopt;
+      }
+    } else {
+      e.weight = 1.0;
+    }
     if (e.u < 0 || e.v < 0) {
       *error = ParseError(path, line_number, "negative node id");
       return std::nullopt;
@@ -71,23 +100,23 @@ std::optional<Graph> ReadEdgeList(const std::string& path,
       *error = ParseError(path, line_number, "self-loop");
       return std::nullopt;
     }
-    max_node = std::max({max_node, e.u, e.v});
-    edges.push_back(e);
-  }
-  const std::int64_t num_nodes = std::max(max_node + 1, num_nodes_hint);
-  // Detect duplicates here so malformed files fail with a file-level error
-  // instead of a CHECK abort inside Graph.
-  std::unordered_set<std::uint64_t> seen;
-  for (const Edge& e : edges) {
+    if (!std::isfinite(e.weight)) {
+      *error = ParseError(path, line_number, "non-finite edge weight");
+      return std::nullopt;
+    }
     const std::uint64_t key =
         (static_cast<std::uint64_t>(std::min(e.u, e.v)) << 32) |
         static_cast<std::uint64_t>(std::max(e.u, e.v));
     if (!seen.insert(key).second) {
-      *error = path + ": duplicate edge " + std::to_string(e.u) + "-" +
-               std::to_string(e.v);
+      *error = ParseError(path, line_number,
+                          "duplicate edge " + std::to_string(e.u) + "-" +
+                              std::to_string(e.v));
       return std::nullopt;
     }
+    max_node = std::max({max_node, e.u, e.v});
+    edges.push_back(e);
   }
+  const std::int64_t num_nodes = std::max(max_node + 1, num_nodes_hint);
   return Graph(num_nodes, edges);
 }
 
@@ -127,13 +156,19 @@ std::optional<SeededBeliefs> ReadBeliefs(const std::string& path,
     std::istringstream fields(line);
     std::int64_t v = 0;
     std::int64_t c = 0;
+    std::string belief_token;
     double b = 0.0;
-    if (!(fields >> v >> c >> b)) {
+    if (!(fields >> v >> c >> belief_token) ||
+        !ParseDoubleToken(belief_token, &b)) {
       *error = ParseError(path, line_number, "expected 'v c b'");
       return std::nullopt;
     }
     if (v < 0 || v >= num_nodes || c < 0 || c >= k) {
       *error = ParseError(path, line_number, "node or class out of range");
+      return std::nullopt;
+    }
+    if (!std::isfinite(b)) {
+      *error = ParseError(path, line_number, "non-finite belief");
       return std::nullopt;
     }
     out.residuals.At(v, c) += b;
@@ -142,6 +177,48 @@ std::optional<SeededBeliefs> ReadBeliefs(const std::string& path,
   out.explicit_nodes.assign(nodes.begin(), nodes.end());
   std::sort(out.explicit_nodes.begin(), out.explicit_nodes.end());
   return out;
+}
+
+bool WriteLabels(const std::vector<int>& labels, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# ground-truth labels: v c\n";
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] >= 0) out << v << ' ' << labels[v] << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<int>> ReadLabels(const std::string& path,
+                                           std::int64_t num_nodes,
+                                           std::int64_t k,
+                                           std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  std::ifstream in(path);
+  if (!in) {
+    *error = path + ": cannot open";
+    return std::nullopt;
+  }
+  std::vector<int> labels(num_nodes, -1);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream fields(line);
+    std::int64_t v = 0;
+    std::int64_t c = 0;
+    if (!(fields >> v >> c)) {
+      *error = ParseError(path, line_number, "expected 'v c'");
+      return std::nullopt;
+    }
+    if (v < 0 || v >= num_nodes || c < 0 || c >= k) {
+      *error = ParseError(path, line_number, "node or class out of range");
+      return std::nullopt;
+    }
+    labels[v] = static_cast<int>(c);
+  }
+  return labels;
 }
 
 }  // namespace linbp

@@ -1,10 +1,15 @@
-// Plain-text persistence for graphs and belief matrices.
+// Plain-text persistence for graphs, belief matrices, and label lists.
 //
 // Formats match the relational schemas of Sect. 5.3 so data can round-trip
 // between files, the matrix implementations, and the relational engine:
 //   edge list:   one "u v [w]" line per undirected edge (w defaults to 1),
 //                '#' starts a comment line;
-//   belief list: one "v c b" line per nonzero residual entry.
+//   belief list: one "v c b" line per nonzero residual entry;
+//   label list:  one "v c" line per node with a known class.
+//
+// All readers validate their input (negative node ids, out-of-range
+// classes, non-finite weights/beliefs, duplicate edges) and report
+// "path:line: message" parse errors instead of aborting.
 
 #ifndef LINBP_GRAPH_IO_H_
 #define LINBP_GRAPH_IO_H_
@@ -37,6 +42,15 @@ bool WriteBeliefs(const DenseMatrix& residuals,
 std::optional<SeededBeliefs> ReadBeliefs(const std::string& path,
                                          std::int64_t num_nodes,
                                          std::int64_t k, std::string* error);
+
+/// Writes "v c" lines for every node whose label is >= 0.
+bool WriteLabels(const std::vector<int>& labels, const std::string& path);
+
+/// Reads a label list into a per-node class vector (-1 for nodes without a
+/// line). Classes must be in [0, k); node ids in [0, num_nodes).
+std::optional<std::vector<int>> ReadLabels(const std::string& path,
+                                           std::int64_t num_nodes,
+                                           std::int64_t k, std::string* error);
 
 }  // namespace linbp
 

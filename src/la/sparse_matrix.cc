@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/exec/row_partition.h"
 #include "src/util/check.h"
@@ -74,6 +75,45 @@ SparseMatrix SparseMatrix::FromTriplets(std::int64_t rows, std::int64_t cols,
   return m;
 }
 
+SparseMatrix SparseMatrix::FromCsr(std::int64_t rows, std::int64_t cols,
+                                   std::vector<std::int64_t> row_ptr,
+                                   std::vector<std::int32_t> col_idx,
+                                   std::vector<double> values,
+                                   const exec::ExecContext& ctx) {
+  LINBP_CHECK(static_cast<std::int64_t>(row_ptr.size()) == rows + 1);
+  LINBP_CHECK(col_idx.size() == values.size());
+  LINBP_CHECK(row_ptr.front() == 0);
+  LINBP_CHECK(row_ptr.back() == static_cast<std::int64_t>(col_idx.size()));
+  ctx.ParallelFor(0, rows, /*min_grain=*/4096,
+                  [&](std::int64_t row_begin, std::int64_t row_end) {
+                    for (std::int64_t r = row_begin; r < row_end; ++r) {
+                      LINBP_CHECK(row_ptr[r] <= row_ptr[r + 1]);
+                      for (std::int64_t e = row_ptr[r]; e < row_ptr[r + 1];
+                           ++e) {
+                        LINBP_CHECK(col_idx[e] >= 0 && col_idx[e] < cols);
+                        LINBP_CHECK_MSG(e == row_ptr[r] ||
+                                            col_idx[e - 1] < col_idx[e],
+                                        "CSR columns must be strictly "
+                                        "increasing within a row");
+                      }
+                    }
+                  });
+  return FromValidatedCsr(rows, cols, std::move(row_ptr),
+                          std::move(col_idx), std::move(values));
+}
+
+SparseMatrix SparseMatrix::FromValidatedCsr(
+    std::int64_t rows, std::int64_t cols, std::vector<std::int64_t> row_ptr,
+    std::vector<std::int32_t> col_idx, std::vector<double> values) {
+  SparseMatrix m(rows, cols);
+  LINBP_CHECK(static_cast<std::int64_t>(row_ptr.size()) == rows + 1);
+  LINBP_CHECK(col_idx.size() == values.size());
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
 std::vector<double> SparseMatrix::MultiplyVector(
     const std::vector<double>& x, const exec::ExecContext& ctx) const {
   LINBP_CHECK(static_cast<std::int64_t>(x.size()) == cols_);
@@ -142,22 +182,30 @@ DenseMatrix SparseMatrix::MultiplyDense(const DenseMatrix& b,
   // Cache-blocked inner loop: the k dimension is tiled so each tile's
   // accumulators stay in registers while the row's entries stream by. For
   // a fixed output element the entry order is unchanged, so the result is
-  // bit-identical to the untiled scalar kernel.
+  // bit-identical to the untiled scalar kernel. The operand pointers are
+  // restrict-qualified so the compiler can vectorize the per-entry tile
+  // update without aliasing reloads: gcc 12.2 -O3 -fopt-info-vec reports
+  // "loop vectorized using 16 byte vectors" for the acc += w * b_row[c]
+  // loop below (verified 2026-07; rerun with
+  //   g++ -std=c++17 -O3 -fopt-info-vec -c src/la/sparse_matrix.cc -I.
+  // when touching this kernel).
   constexpr std::int64_t kColTile = 8;
+  const double* __restrict__ values = values_.data();
+  const std::int32_t* __restrict__ cols = col_idx_.data();
   ForEachRowBlock(
       ctx, row_ptr_, /*work_per_entry=*/k,
       [&](std::int64_t row_begin, std::int64_t row_end) {
         for (std::int64_t r = row_begin; r < row_end; ++r) {
-          double* out_row = out_data + r * k;
+          double* __restrict__ out_row = out_data + r * k;
           const std::int64_t e_begin = row_ptr_[r];
           const std::int64_t e_end = row_ptr_[r + 1];
           for (std::int64_t c0 = 0; c0 < k; c0 += kColTile) {
             const std::int64_t tile = std::min(kColTile, k - c0);
             double acc[kColTile] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
             for (std::int64_t e = e_begin; e < e_end; ++e) {
-              const double w = values_[e];
-              const double* b_row =
-                  b_data + static_cast<std::int64_t>(col_idx_[e]) * k + c0;
+              const double w = values[e];
+              const double* __restrict__ b_row =
+                  b_data + static_cast<std::int64_t>(cols[e]) * k + c0;
               for (std::int64_t c = 0; c < tile; ++c) acc[c] += w * b_row[c];
             }
             for (std::int64_t c = 0; c < tile; ++c) out_row[c0 + c] = acc[c];

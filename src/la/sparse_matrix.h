@@ -44,6 +44,31 @@ class SparseMatrix {
   static SparseMatrix FromTriplets(std::int64_t rows, std::int64_t cols,
                                    std::vector<Triplet> triplets);
 
+  /// Adopts already-built CSR arrays without re-sorting (the fast path for
+  /// binary snapshot deserialization). The invariants FromTriplets
+  /// establishes are checked, not recomputed: row_ptr must be a monotone
+  /// array of size rows + 1 ending at col_idx.size(), and every row's
+  /// column indices must be strictly increasing and in [0, cols). The
+  /// per-row validation sweep fans out on `ctx`. Aborts on violation;
+  /// callers deserializing untrusted bytes must validate first (see
+  /// src/dataset/snapshot.cc).
+  static SparseMatrix FromCsr(std::int64_t rows, std::int64_t cols,
+                              std::vector<std::int64_t> row_ptr,
+                              std::vector<std::int32_t> col_idx,
+                              std::vector<double> values,
+                              const exec::ExecContext& ctx =
+                                  exec::ExecContext::Default());
+
+  /// Adopts CSR arrays whose invariants the caller has ALREADY verified
+  /// (the snapshot loader runs its own error-returning sweep first, so
+  /// re-validating here would double the deserialization cost). Only the
+  /// array shapes are CHECKed; adopting unverified arrays is undefined
+  /// behavior in the kernels.
+  static SparseMatrix FromValidatedCsr(std::int64_t rows, std::int64_t cols,
+                                       std::vector<std::int64_t> row_ptr,
+                                       std::vector<std::int32_t> col_idx,
+                                       std::vector<double> values);
+
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
 

@@ -1,0 +1,335 @@
+#include "src/dataset/scenario.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/dataset/registry.h"
+#include "src/dataset/workloads.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace dataset {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+// ---- Spec parsing -------------------------------------------------------
+
+TEST(ScenarioSpecTest, ParsesNameAndParams) {
+  std::string error;
+  auto parsed = ParseScenarioSpec("sbm:n=100,k=4,mode=heterophily", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name, "sbm");
+  EXPECT_EQ(parsed->params.Int("n", 0), 100);
+  EXPECT_EQ(parsed->params.Int("k", 0), 4);
+  EXPECT_EQ(parsed->params.Str("mode", ""), "heterophily");
+  EXPECT_TRUE(parsed->params.UnconsumedKeys().empty());
+}
+
+TEST(ScenarioSpecTest, BareNameHasNoParams) {
+  std::string error;
+  auto parsed = ParseScenarioSpec("dblp", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name, "dblp");
+  EXPECT_EQ(parsed->params.Int("whatever", 7), 7);
+}
+
+TEST(ScenarioSpecTest, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(ParseScenarioSpec("", &error).has_value());
+  EXPECT_FALSE(ParseScenarioSpec(":n=3", &error).has_value());
+  EXPECT_FALSE(ParseScenarioSpec("sbm:n", &error).has_value());
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+  EXPECT_FALSE(ParseScenarioSpec("sbm:=3", &error).has_value());
+  EXPECT_FALSE(ParseScenarioSpec("sbm:n=1,n=2", &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, TracksUnconsumedKeysAndValueErrors) {
+  std::string error;
+  auto parsed = ParseScenarioSpec("x:a=1,b=2", &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->params.Int("a", 0), 1);
+  const std::vector<std::string> unconsumed =
+      parsed->params.UnconsumedKeys();
+  ASSERT_EQ(unconsumed.size(), 1u);
+  EXPECT_EQ(unconsumed[0], "b");
+
+  auto bad = ParseScenarioSpec("x:n=abc", &error);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->params.Int("n", 5), 5);
+  EXPECT_NE(bad->params.value_error().find("expects an integer"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpecTest, IntRejectsFractions) {
+  std::string error;
+  auto parsed = ParseScenarioSpec("x:n=1.5", &error);
+  ASSERT_TRUE(parsed.has_value());
+  parsed->params.Int("n", 0);
+  EXPECT_FALSE(parsed->params.value_error().empty());
+}
+
+// ---- Registry -----------------------------------------------------------
+
+TEST(RegistryTest, ListsAtLeastTheBuiltins) {
+  std::set<std::string> names;
+  for (const ScenarioInfo& info : ListScenarios()) names.insert(info.name);
+  for (const char* expected : {"sbm", "rmat", "fraud", "dblp", "kronecker",
+                               "file", "snap"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+  EXPECT_GE(names.size(), 6u);
+}
+
+TEST(RegistryTest, RejectsUnknownScenarioAndParameters) {
+  std::string error;
+  EXPECT_FALSE(MakeScenario("warp-drive", &error).has_value());
+  EXPECT_NE(error.find("unknown scenario"), std::string::npos);
+  EXPECT_NE(error.find("sbm"), std::string::npos);  // lists known names
+
+  EXPECT_FALSE(MakeScenario("sbm:n=100,pine=3", &error).has_value());
+  EXPECT_NE(error.find("unknown parameter 'pine'"), std::string::npos);
+
+  EXPECT_FALSE(MakeScenario("sbm:n=abc", &error).has_value());
+  EXPECT_NE(error.find("expects an integer"), std::string::npos);
+}
+
+// A malformed spec value must come back as an error, never reach a
+// generator's LINBP_CHECK and abort the process.
+TEST(RegistryTest, OutOfRangeParameterValuesErrorInsteadOfAborting) {
+  for (const char* spec :
+       {"sbm:deg=0", "sbm:deg=-3", "sbm:labeled=2", "sbm:belief=0",
+        "sbm:strength=0", "sbm:n=999999999999", "rmat:ef=0",
+        "rmat:labeled=-0.1", "fraud:reviews=0", "fraud:camouflage=2",
+        "kronecker:labeled=2", "kronecker:extra-digits=99",
+        "dblp:labeled=0.9"}) {
+    std::string error;
+    EXPECT_FALSE(MakeScenario(spec, &error).has_value()) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+TEST(RegistryTest, CustomScenarioRegistersAndRuns) {
+  RegisterScenario(
+      {"tiny-path", "a 3-node path for tests", "strength=0.2"},
+      [](ScenarioParams& params, const exec::ExecContext&,
+         std::string*) -> std::optional<Scenario> {
+        const double strength = params.Double("strength", 0.2);
+        Scenario scenario;
+        scenario.graph = Graph(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+        scenario.k = 2;
+        scenario.coupling_residual =
+            UniformHomophilyCoupling(2, strength).residual();
+        scenario.ground_truth = {0, 0, 1};
+        RevealGroundTruth(1.0, 0.5, 1, &scenario);
+        return scenario;
+      });
+  std::string error;
+  auto scenario = MakeScenario("tiny-path:strength=0.1", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->name, "tiny-path");
+  EXPECT_EQ(scenario->spec, "tiny-path:strength=0.1");
+  EXPECT_EQ(scenario->graph.num_nodes(), 3);
+  EXPECT_EQ(scenario->explicit_nodes.size(), 3u);
+}
+
+// ---- Workload invariants ------------------------------------------------
+
+// Every built-in synthetic scenario must materialize consistently: shapes
+// line up, explicit nodes are sorted with nonzero belief rows, ground
+// truth (when present) covers the graph, and the coupling validates.
+TEST(BuiltinScenarioTest, AllMaterializeConsistently) {
+  const std::vector<std::string> specs = {
+      "sbm:n=200,k=4,deg=6,seed=2",
+      "sbm:n=200,k=2,deg=6,mode=heterophily,seed=2",
+      "rmat:scale=8,ef=4,k=3,seed=2",
+      "fraud:users=120,products=60,seed=2",
+      "dblp:papers=150,authors=160,conferences=6,terms=80,seed=2",
+      "kronecker:g=1,seed=2",
+  };
+  for (const std::string& spec : specs) {
+    std::string error;
+    auto scenario = MakeScenario(spec, &error);
+    ASSERT_TRUE(scenario.has_value()) << spec << ": " << error;
+    const std::int64_t n = scenario->graph.num_nodes();
+    EXPECT_GT(n, 0) << spec;
+    EXPECT_GT(scenario->graph.num_undirected_edges(), 0) << spec;
+    EXPECT_GE(scenario->k, 2) << spec;
+    EXPECT_EQ(scenario->explicit_residuals.rows(), n) << spec;
+    EXPECT_EQ(scenario->explicit_residuals.cols(), scenario->k) << spec;
+    ASSERT_FALSE(scenario->explicit_nodes.empty()) << spec;
+    EXPECT_TRUE(std::is_sorted(scenario->explicit_nodes.begin(),
+                               scenario->explicit_nodes.end()))
+        << spec;
+    for (const std::int64_t v : scenario->explicit_nodes) {
+      ASSERT_GE(v, 0) << spec;
+      ASSERT_LT(v, n) << spec;
+      double magnitude = 0.0;
+      double row_sum = 0.0;
+      for (std::int64_t c = 0; c < scenario->k; ++c) {
+        magnitude += std::abs(scenario->explicit_residuals.At(v, c));
+        row_sum += scenario->explicit_residuals.At(v, c);
+      }
+      EXPECT_GT(magnitude, 0.0) << spec << " node " << v;
+      EXPECT_NEAR(row_sum, 0.0, 1e-12) << spec << " node " << v;
+    }
+    if (scenario->HasGroundTruth()) {
+      ASSERT_EQ(static_cast<std::int64_t>(scenario->ground_truth.size()), n)
+          << spec;
+      for (const int cls : scenario->ground_truth) {
+        EXPECT_GE(cls, -1) << spec;
+        EXPECT_LT(cls, scenario->k) << spec;
+      }
+      EXPECT_GT(scenario->NumGroundTruthNodes(), 0) << spec;
+    }
+    // Coupling() aborts on an invalid residual; reaching here proves it.
+    EXPECT_EQ(scenario->Coupling().k(), scenario->k) << spec;
+  }
+}
+
+TEST(SbmWorkloadTest, HomophilyEdgesStayInClass) {
+  const LabeledGraph lg = SbmGraph(300, 3, 6.0, 1.0, /*seed=*/5);
+  EXPECT_EQ(lg.graph.num_nodes(), 300);
+  for (const Edge& e : lg.graph.edges()) {
+    EXPECT_EQ(lg.labels[e.u], lg.labels[e.v]);
+  }
+}
+
+TEST(SbmWorkloadTest, HeterophilyEdgesCrossClasses) {
+  const LabeledGraph lg = SbmGraph(300, 3, 6.0, 0.0, /*seed=*/5);
+  for (const Edge& e : lg.graph.edges()) {
+    EXPECT_NE(lg.labels[e.u], lg.labels[e.v]);
+  }
+}
+
+TEST(SbmWorkloadTest, CouplingSignTracksMode) {
+  std::string error;
+  auto homophily = MakeScenario("sbm:n=100,k=4,seed=1", &error);
+  auto heterophily =
+      MakeScenario("sbm:n=100,k=4,mode=heterophily,seed=1", &error);
+  ASSERT_TRUE(homophily.has_value() && heterophily.has_value()) << error;
+  EXPECT_GT(homophily->coupling_residual.At(0, 0), 0.0);
+  EXPECT_LT(heterophily->coupling_residual.At(0, 0), 0.0);
+  // The heterophily residual is the negated homophily residual.
+  testing::ExpectMatrixNear(
+      heterophily->coupling_residual,
+      homophily->coupling_residual.Scale(-1.0), 1e-15);
+}
+
+TEST(RmatWorkloadTest, PlantsVoronoiLabels) {
+  const LabeledGraph lg =
+      RmatGraph(/*scale=*/9, /*edge_factor=*/6.0, /*k=*/3, 0.57, 0.19, 0.19,
+                /*seed=*/4);
+  EXPECT_EQ(lg.graph.num_nodes(), 512);
+  EXPECT_GT(lg.graph.num_undirected_edges(), 512);
+  std::set<int> classes;
+  std::int64_t labeled = 0;
+  for (std::int64_t v = 0; v < lg.graph.num_nodes(); ++v) {
+    if (lg.labels[v] >= 0) {
+      ++labeled;
+      classes.insert(lg.labels[v]);
+      EXPECT_GT(lg.graph.Degree(v), 0) << v;  // isolated nodes stay -1
+    }
+  }
+  EXPECT_GT(labeled, lg.graph.num_nodes() / 4);
+  EXPECT_GE(classes.size(), 2u);
+}
+
+TEST(RmatWorkloadTest, DegreesAreSkewed) {
+  const LabeledGraph lg =
+      RmatGraph(/*scale=*/10, /*edge_factor=*/8.0, /*k=*/3, 0.57, 0.19,
+                0.19, /*seed=*/4);
+  std::int64_t max_degree = 0;
+  for (std::int64_t v = 0; v < lg.graph.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, lg.graph.Degree(v));
+  }
+  // A power-law hub dwarfs the average degree (2 * ef = 16).
+  EXPECT_GT(max_degree, 64);
+}
+
+TEST(FraudWorkloadTest, IsBipartiteWithAuctionRoles) {
+  const std::int64_t users = 150;
+  const std::int64_t products = 80;
+  const LabeledGraph lg = FraudBipartiteGraph(users, products, 0.2, 0.15,
+                                              4.0, 0.1, /*seed=*/9);
+  EXPECT_EQ(lg.graph.num_nodes(), users + products);
+  // Bipartite: every edge connects a user to a product.
+  for (const Edge& e : lg.graph.edges()) {
+    const bool u_is_user = e.u < users;
+    const bool v_is_user = e.v < users;
+    EXPECT_NE(u_is_user, v_is_user);
+  }
+  // All three roles are present, and only products carry the shill role.
+  std::set<int> user_roles;
+  std::set<int> product_roles;
+  for (std::int64_t v = 0; v < lg.graph.num_nodes(); ++v) {
+    (v < users ? user_roles : product_roles).insert(lg.labels[v]);
+  }
+  EXPECT_EQ(user_roles, (std::set<int>{0, 2}));
+  EXPECT_EQ(product_roles, (std::set<int>{0, 1}));
+}
+
+TEST(FileScenarioTest, LoadsGraphBeliefsAndLabels) {
+  const std::string graph_path = TempPath("file_scenario.edges");
+  const std::string beliefs_path = TempPath("file_scenario.beliefs");
+  const std::string labels_path = TempPath("file_scenario.labels");
+  WriteFile(graph_path, "0 1\n1 2\n2 3\n");
+  WriteFile(beliefs_path, "0 0 0.1\n0 1 -0.1\n3 1 0.1\n3 0 -0.1\n");
+  WriteFile(labels_path, "0 0\n1 0\n2 1\n3 1\n");
+  std::string error;
+  auto scenario = MakeScenario("file:graph=" + graph_path +
+                                   ",beliefs=" + beliefs_path +
+                                   ",labels=" + labels_path,
+                               &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->graph.num_nodes(), 4);
+  EXPECT_EQ(scenario->k, 2);
+  EXPECT_EQ(scenario->explicit_nodes,
+            (std::vector<std::int64_t>{0, 3}));
+  ASSERT_TRUE(scenario->HasGroundTruth());
+  EXPECT_EQ(scenario->ground_truth, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(FileScenarioTest, RequiresPathsAndPropagatesParseErrors) {
+  std::string error;
+  EXPECT_FALSE(MakeScenario("file", &error).has_value());
+  EXPECT_NE(error.find("requires graph="), std::string::npos);
+
+  const std::string bad_graph = TempPath("file_scenario_bad.edges");
+  WriteFile(bad_graph, "0 x\n");
+  EXPECT_FALSE(MakeScenario("file:graph=" + bad_graph + ",beliefs=whatever",
+                            &error)
+                   .has_value());
+  EXPECT_NE(error.find(":1:"), std::string::npos) << error;
+}
+
+TEST(ResolveCouplingSpecTest, KnowsAllPresets) {
+  std::string error;
+  for (const auto& [name, k] :
+       std::vector<std::pair<std::string, std::int64_t>>{
+           {"homophily2", 2},
+           {"heterophily2", 2},
+           {"auction", 3},
+           {"dblp4", 4},
+           {"kronecker3", 3}}) {
+    const auto coupling = ResolveCouplingSpec(name, &error);
+    ASSERT_TRUE(coupling.has_value()) << name << ": " << error;
+    EXPECT_EQ(coupling->k(), k) << name;
+  }
+  EXPECT_FALSE(ResolveCouplingSpec(TempPath("no_such_matrix"), &error)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace dataset
+}  // namespace linbp

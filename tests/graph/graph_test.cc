@@ -1,5 +1,7 @@
 #include "src/graph/graph.h"
 
+#include <algorithm>
+
 #include "gtest/gtest.h"
 #include "src/graph/generators.h"
 #include "tests/testing/test_util.h"
@@ -97,6 +99,60 @@ TEST_P(ReverseEdgeIndexRandomTest, MirrorsEveryEntry) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReverseEdgeIndexRandomTest,
                          ::testing::Range(0, 8));
+
+TEST(GraphFromAdjacencyTest, ReconstructsEdgesAndDegrees) {
+  const Graph original = RandomWeightedConnectedGraph(60, 80, 0.5, 2.0,
+                                                      /*seed=*/21);
+  const Graph rebuilt = Graph::FromAdjacency(original.adjacency());
+  EXPECT_EQ(rebuilt.num_nodes(), original.num_nodes());
+  EXPECT_EQ(rebuilt.num_undirected_edges(), original.num_undirected_edges());
+  EXPECT_EQ(rebuilt.adjacency().row_ptr(), original.adjacency().row_ptr());
+  EXPECT_EQ(rebuilt.adjacency().col_idx(), original.adjacency().col_idx());
+  EXPECT_EQ(rebuilt.adjacency().values(), original.adjacency().values());
+  EXPECT_EQ(rebuilt.weighted_degrees(), original.weighted_degrees());
+  // The derived edge list is sorted by (u, v) with u < v and carries the
+  // original weights.
+  std::vector<Edge> expected = original.edges();
+  std::sort(expected.begin(), expected.end(), [](const Edge& a,
+                                                 const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  ASSERT_EQ(rebuilt.edges().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(rebuilt.edges()[i].u, expected[i].u);
+    EXPECT_EQ(rebuilt.edges()[i].v, expected[i].v);
+    EXPECT_EQ(rebuilt.edges()[i].weight, expected[i].weight);
+  }
+}
+
+TEST(GraphFromAdjacencyTest, ParallelReconstructionIsIdentical) {
+  const Graph original = RandomWeightedConnectedGraph(80, 200, 0.5, 2.0,
+                                                      /*seed=*/22);
+  const Graph serial = Graph::FromAdjacency(original.adjacency(),
+                                            exec::ExecContext::Serial());
+  const Graph threaded = Graph::FromAdjacency(
+      original.adjacency(), exec::ExecContext::WithThreads(4));
+  EXPECT_EQ(serial.weighted_degrees(), threaded.weighted_degrees());
+  ASSERT_EQ(serial.edges().size(), threaded.edges().size());
+  for (std::size_t i = 0; i < serial.edges().size(); ++i) {
+    EXPECT_EQ(serial.edges()[i].u, threaded.edges()[i].u);
+    EXPECT_EQ(serial.edges()[i].v, threaded.edges()[i].v);
+    EXPECT_EQ(serial.edges()[i].weight, threaded.edges()[i].weight);
+  }
+}
+
+TEST(GraphFromAdjacencyDeathTest, RejectsAsymmetryAndSelfLoops) {
+  // Asymmetric values.
+  EXPECT_DEATH(Graph::FromAdjacency(SparseMatrix::FromTriplets(
+                   2, 2, {{0, 1, 1.0}, {1, 0, 2.0}})),
+               "not symmetric");
+  // Diagonal entry.
+  EXPECT_DEATH(Graph::FromAdjacency(SparseMatrix::FromTriplets(
+                   2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}})),
+               "self-loops");
+  // Non-square.
+  EXPECT_DEATH(Graph::FromAdjacency(SparseMatrix(2, 3)), "square");
+}
 
 }  // namespace
 }  // namespace linbp

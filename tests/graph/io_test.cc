@@ -91,6 +91,34 @@ TEST(EdgeListIoTest, ReportsSelfLoopAndDuplicate) {
   EXPECT_NE(error.find("duplicate"), std::string::npos);
 }
 
+TEST(EdgeListIoTest, ReportsNegativeNodeIdWithLineNumber) {
+  const std::string path = TempPath("negative.edges");
+  WriteFile(path, "0 1\n-2 3\n");
+  std::string error;
+  EXPECT_FALSE(ReadEdgeList(path, &error).has_value());
+  EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+  EXPECT_NE(error.find("negative node id"), std::string::npos) << error;
+}
+
+TEST(EdgeListIoTest, ReportsNonFiniteWeightWithLineNumber) {
+  for (const char* bad : {"0 1 nan\n", "0 1 inf\n", "0 1 -inf\n"}) {
+    const std::string path = TempPath("nonfinite.edges");
+    WriteFile(path, bad);
+    std::string error;
+    EXPECT_FALSE(ReadEdgeList(path, &error).has_value()) << bad;
+    EXPECT_NE(error.find(":1:"), std::string::npos) << error;
+    EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  }
+}
+
+TEST(EdgeListIoTest, DuplicateErrorCarriesLineNumber) {
+  const std::string path = TempPath("dupline.edges");
+  WriteFile(path, "0 1\n1 2\n1 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadEdgeList(path, &error).has_value());
+  EXPECT_NE(error.find(":3:"), std::string::npos) << error;
+}
+
 TEST(BeliefIoTest, RoundTrip) {
   const SeededBeliefs original = SeedPaperBeliefs(30, 3, 6, /*seed=*/9);
   const std::string path = TempPath("beliefs.txt");
@@ -109,6 +137,34 @@ TEST(BeliefIoTest, RangeChecked) {
   std::string error;
   EXPECT_FALSE(ReadBeliefs(path, 5, 3, &error).has_value());
   EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(BeliefIoTest, ReportsNonFiniteBeliefWithLineNumber) {
+  const std::string path = TempPath("beliefs_nonfinite.txt");
+  WriteFile(path, "0 0 0.1\n1 1 nan\n");
+  std::string error;
+  EXPECT_FALSE(ReadBeliefs(path, 5, 3, &error).has_value());
+  EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+}
+
+TEST(LabelIoTest, RoundTrip) {
+  const std::vector<int> labels = {0, -1, 2, 1, -1};
+  const std::string path = TempPath("labels.txt");
+  ASSERT_TRUE(WriteLabels(labels, path));
+  std::string error;
+  const auto loaded = ReadLabels(path, 5, 3, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, labels);
+}
+
+TEST(LabelIoTest, RangeChecked) {
+  const std::string path = TempPath("labels_bad.txt");
+  WriteFile(path, "0 0\n1 7\n");
+  std::string error;
+  EXPECT_FALSE(ReadLabels(path, 5, 3, &error).has_value());
+  EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
 }
 
 TEST(BeliefIoTest, FullPrecisionRoundTrip) {

@@ -138,5 +138,42 @@ TEST_P(SparseRandomTest, AtMatchesDense) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SparseRandomTest, ::testing::Range(0, 8));
 
+TEST(SparseMatrixFromCsrTest, AdoptsArraysExactly) {
+  const SparseMatrix original = RandomSparse(40, 30, 120, /*seed=*/11);
+  const SparseMatrix adopted = SparseMatrix::FromCsr(
+      40, 30, original.row_ptr(), original.col_idx(), original.values());
+  EXPECT_EQ(adopted.row_ptr(), original.row_ptr());
+  EXPECT_EQ(adopted.col_idx(), original.col_idx());
+  EXPECT_EQ(adopted.values(), original.values());
+}
+
+TEST(SparseMatrixFromCsrTest, ParallelValidationMatchesSerial) {
+  const SparseMatrix original = RandomSparse(200, 200, 4000, /*seed=*/12);
+  const SparseMatrix adopted = SparseMatrix::FromCsr(
+      200, 200, original.row_ptr(), original.col_idx(), original.values(),
+      exec::ExecContext::WithThreads(4));
+  EXPECT_EQ(adopted.col_idx(), original.col_idx());
+  EXPECT_EQ(adopted.values(), original.values());
+}
+
+TEST(SparseMatrixFromCsrDeathTest, RejectsBrokenInvariants) {
+  const SparseMatrix m = RandomSparse(10, 10, 30, /*seed=*/13);
+  // row_ptr of the wrong length.
+  EXPECT_DEATH(SparseMatrix::FromCsr(9, 10, m.row_ptr(), m.col_idx(),
+                                     m.values()),
+               "row_ptr");
+  // Unsorted columns within a row.
+  std::vector<std::int64_t> row_ptr = {0, 2};
+  std::vector<std::int32_t> col_idx = {3, 1};
+  std::vector<double> values = {1.0, 2.0};
+  EXPECT_DEATH(
+      SparseMatrix::FromCsr(1, 10, row_ptr, col_idx, values),
+      "strictly");
+  // Column index out of range.
+  col_idx = {1, 30};
+  EXPECT_DEATH(SparseMatrix::FromCsr(1, 10, row_ptr, col_idx, values),
+               "col_idx");
+}
+
 }  // namespace
 }  // namespace linbp

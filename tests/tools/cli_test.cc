@@ -1,5 +1,6 @@
 #include "tools/cli_lib.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -199,6 +200,125 @@ TEST(RunPipelineTest, KMismatchRejected) {
   std::string error;
   EXPECT_EQ(RunPipeline(options, &output, &error), 1);
   EXPECT_NE(error.find("disagrees"), std::string::npos);
+}
+
+TEST(ParseOptionsTest, ScenarioAndFilesAreMutuallyExclusive) {
+  std::string error;
+  const auto options = ParseOptions({"--scenario=sbm:n=100"}, &error);
+  ASSERT_TRUE(options.has_value()) << error;
+  EXPECT_EQ(options->scenario, "sbm:n=100");
+  EXPECT_FALSE(
+      ParseOptions({"--scenario=sbm", "--graph=g", "--beliefs=b"}, &error)
+          .has_value());
+  EXPECT_NE(error.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(RunPipelineTest, ScenarioSpecRunsEndToEnd) {
+  Options options;
+  options.scenario = "sbm:n=200,k=3,deg=6,seed=2";
+  for (const std::string method : {"linbp", "sbp"}) {
+    options.method = method;
+    std::string output;
+    std::string error;
+    ASSERT_EQ(RunPipeline(options, &output, &error), 0)
+        << method << ": " << error;
+    // One "v class..." line per node.
+    EXPECT_EQ(std::count(output.begin(), output.end(), '\n'), 200) << method;
+  }
+}
+
+TEST(RunPipelineTest, ScenarioErrorsPropagate) {
+  Options options;
+  options.scenario = "warp-drive";
+  std::string output;
+  std::string error;
+  EXPECT_EQ(RunPipeline(options, &output, &error), 1);
+  EXPECT_NE(error.find("unknown scenario"), std::string::npos);
+}
+
+TEST(RunPipelineTest, ScenarioCouplingOverrideMustMatchK) {
+  Options options;
+  options.scenario = "sbm:n=100,k=3,seed=2";
+  options.coupling = "homophily2";  // k = 2 vs the scenario's 3
+  std::string output;
+  std::string error;
+  EXPECT_EQ(RunPipeline(options, &output, &error), 1);
+  EXPECT_NE(error.find("disagrees"), std::string::npos);
+}
+
+TEST(RunMainTest, ListShowsScenarios) {
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunMain({"list"}, &output, &error), 0) << error;
+  for (const char* name : {"sbm", "rmat", "fraud", "dblp", "kronecker",
+                           "file", "snap"}) {
+    EXPECT_NE(output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(RunMainTest, ConvertInfoAndSnapRoundTrip) {
+  const std::string snapshot = TempPath("cli_convert.lbps");
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunMain({"convert", "--scenario=fraud:users=60,products=30",
+                     "--out=" + snapshot},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_NE(output.find("fraud"), std::string::npos);
+
+  ASSERT_EQ(RunMain({"info", "--snapshot=" + snapshot}, &output, &error), 0)
+      << error;
+  EXPECT_NE(output.find("version:       1"), std::string::npos) << output;
+  EXPECT_NE(output.find("ground truth:  yes"), std::string::npos) << output;
+
+  ASSERT_EQ(RunMain({"--scenario=snap:path=" + snapshot, "--method=sbp"},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_EQ(std::count(output.begin(), output.end(), '\n'), 90);
+}
+
+TEST(RunMainTest, ConvertExportsTextFiles) {
+  const std::string graph_path = TempPath("cli_export.edges");
+  const std::string beliefs_path = TempPath("cli_export.beliefs");
+  const std::string labels_path = TempPath("cli_export.labels");
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunMain({"convert", "--scenario=sbm:n=100,k=2,seed=4",
+                     "--out-graph=" + graph_path,
+                     "--out-beliefs=" + beliefs_path,
+                     "--out-labels=" + labels_path},
+                    &output, &error),
+            0)
+      << error;
+  // The exported text files form a runnable file: scenario.
+  ASSERT_EQ(RunMain({"--scenario=file:graph=" + graph_path + ",beliefs=" +
+                         beliefs_path + ",labels=" + labels_path,
+                     "--method=sbp"},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_EQ(std::count(output.begin(), output.end(), '\n'), 100);
+}
+
+TEST(RunMainTest, SubcommandErrors) {
+  std::string output;
+  std::string error;
+  EXPECT_EQ(RunMain({"convert", "--scenario=sbm"}, &output, &error), 1);
+  EXPECT_NE(error.find("pick at least one"), std::string::npos);
+  EXPECT_EQ(RunMain({"convert", "--out=x"}, &output, &error), 1);
+  EXPECT_NE(error.find("--scenario is required"), std::string::npos);
+  EXPECT_EQ(RunMain({"info"}, &output, &error), 1);
+  EXPECT_NE(error.find("--snapshot is required"), std::string::npos);
+  EXPECT_EQ(RunMain({"info", "--bogus=1"}, &output, &error), 1);
+  EXPECT_EQ(RunMain({"list", "extra"}, &output, &error), 1);
+  // Exporting labels from a truthless scenario fails cleanly.
+  EXPECT_EQ(RunMain({"convert", "--scenario=kronecker:g=1",
+                     "--out-labels=" + TempPath("cli_no_truth.labels")},
+                    &output, &error),
+            1);
+  EXPECT_NE(error.find("no ground truth"), std::string::npos);
 }
 
 TEST(RunPipelineTest, HeterophilyFlipsTheMiddle) {

@@ -13,6 +13,9 @@
 #include "src/core/labeling.h"
 #include "src/core/linbp.h"
 #include "src/core/sbp.h"
+#include "src/dataset/registry.h"
+#include "src/dataset/scenario.h"
+#include "src/dataset/snapshot.h"
 #include "src/exec/exec_context.h"
 #include "src/graph/beliefs.h"
 #include "src/graph/io.h"
@@ -22,34 +25,199 @@ namespace linbp {
 namespace cli {
 namespace {
 
-std::optional<CouplingMatrix> ResolveCoupling(const std::string& spec,
+// Parses one "--name=value" argument; returns the value when `arg` starts
+// with "--name=".
+std::optional<std::string> FlagValue(const std::string& arg,
+                                     const std::string& prefix) {
+  if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  return std::nullopt;
+}
+
+// Strict "--threads=N" parse shared by the pipeline and convert (unlike
+// ParseThreadsSpec, a bad flag is an error, not a silent serial fallback).
+bool ParseThreadsFlag(const std::string& value, int* threads,
+                      std::string* error) {
+  char* end = nullptr;
+  const long long parsed =
+      value.empty() ? -1 : std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || parsed < 0) {
+    *error = "--threads must be a number >= 0";
+    return false;
+  }
+  *threads = static_cast<int>(std::min<long long>(parsed, exec::kMaxThreads));
+  return true;
+}
+
+exec::ExecContext ContextFor(int threads) {
+  return threads >= 0 ? exec::ExecContext::WithThreads(threads)
+                      : exec::ExecContext::Default();
+}
+
+// Materializes the pipeline's problem instance from either a scenario
+// spec or the edge-list/belief files. Scenario construction (snapshot
+// deserialization in particular) parallelizes on `ctx`.
+std::optional<dataset::Scenario> BuildProblem(const Options& options,
+                                              const exec::ExecContext& ctx,
                                               std::string* error) {
-  if (spec == "homophily2") return HomophilyCoupling2();
-  if (spec == "heterophily2") return HeterophilyCoupling2();
-  if (spec == "auction") return AuctionCoupling();
-  if (spec == "dblp4") return DblpCoupling();
-  const auto matrix = ReadDenseMatrix(spec, error);
-  if (!matrix.has_value()) return std::nullopt;
-  // Accept either a residual (rows sum to 0) or a stochastic matrix.
-  double row_sum = 0.0;
-  for (std::int64_t c = 0; c < matrix->cols(); ++c) {
-    row_sum += matrix->At(0, c);
+  if (!options.scenario.empty()) {
+    auto scenario = dataset::MakeScenario(options.scenario, error, ctx);
+    if (!scenario.has_value()) return std::nullopt;
+    if (!options.coupling.empty()) {
+      const auto coupling =
+          dataset::ResolveCouplingSpec(options.coupling, error);
+      if (!coupling.has_value()) return std::nullopt;
+      if (coupling->k() != scenario->k) {
+        *error = "--coupling disagrees with the scenario's class count";
+        return std::nullopt;
+      }
+      scenario->coupling_residual = coupling->residual();
+    }
+    return scenario;
   }
-  if (std::abs(row_sum) < 1e-6) {
-    return CouplingMatrix::FromResidual(*matrix, 1e-6);
+
+  const std::string coupling_spec =
+      options.coupling.empty() ? "homophily2" : options.coupling;
+  const auto coupling = dataset::ResolveCouplingSpec(coupling_spec, error);
+  if (!coupling.has_value()) return std::nullopt;
+  auto graph = ReadEdgeList(options.graph_path, error);
+  if (!graph.has_value()) return std::nullopt;
+  auto beliefs =
+      ReadBeliefs(options.beliefs_path, graph->num_nodes(), coupling->k(),
+                  error);
+  if (!beliefs.has_value()) return std::nullopt;
+  dataset::Scenario scenario;
+  scenario.name = "file";
+  scenario.k = coupling->k();
+  scenario.coupling_residual = coupling->residual();
+  scenario.explicit_residuals = std::move(beliefs->residuals);
+  scenario.explicit_nodes = std::move(beliefs->explicit_nodes);
+  scenario.graph = std::move(*graph);
+  return scenario;
+}
+
+std::optional<ConvertOptions> ParseConvertOptions(
+    const std::vector<std::string>& args, std::string* error) {
+  ConvertOptions options;
+  for (const std::string& arg : args) {
+    if (auto v = FlagValue(arg, "--scenario=")) {
+      options.scenario = *v;
+    } else if (auto v = FlagValue(arg, "--out=")) {
+      options.snapshot_path = *v;
+    } else if (auto v = FlagValue(arg, "--out-graph=")) {
+      options.graph_path = *v;
+    } else if (auto v = FlagValue(arg, "--out-beliefs=")) {
+      options.beliefs_path = *v;
+    } else if (auto v = FlagValue(arg, "--out-labels=")) {
+      options.labels_path = *v;
+    } else if (auto v = FlagValue(arg, "--threads=")) {
+      if (!ParseThreadsFlag(*v, &options.threads, error)) return std::nullopt;
+    } else {
+      *error = "unknown argument: " + arg;
+      return std::nullopt;
+    }
   }
-  return CouplingMatrix::FromStochastic(*matrix, 1e-6);
+  if (options.scenario.empty()) {
+    *error = "convert: --scenario is required";
+    return std::nullopt;
+  }
+  if (options.snapshot_path.empty() && options.graph_path.empty() &&
+      options.beliefs_path.empty() && options.labels_path.empty()) {
+    *error = "convert: pick at least one of --out, --out-graph, "
+             "--out-beliefs, --out-labels";
+    return std::nullopt;
+  }
+  return options;
+}
+
+int RunConvert(const ConvertOptions& options, std::string* output,
+               std::string* error) {
+  auto scenario = dataset::MakeScenario(options.scenario, error,
+                                        ContextFor(options.threads));
+  if (!scenario.has_value()) return 1;
+  if (!options.snapshot_path.empty()) {
+    if (!dataset::SaveSnapshot(*scenario, options.snapshot_path, error)) {
+      return 1;
+    }
+  }
+  if (!options.graph_path.empty() &&
+      !WriteEdgeList(scenario->graph, options.graph_path)) {
+    *error = options.graph_path + ": cannot write";
+    return 1;
+  }
+  if (!options.beliefs_path.empty() &&
+      !WriteBeliefs(scenario->explicit_residuals, scenario->explicit_nodes,
+                    options.beliefs_path)) {
+    *error = options.beliefs_path + ": cannot write";
+    return 1;
+  }
+  if (!options.labels_path.empty()) {
+    if (!scenario->HasGroundTruth()) {
+      *error = "convert: scenario '" + scenario->name +
+               "' has no ground truth to export";
+      return 1;
+    }
+    if (!WriteLabels(scenario->ground_truth, options.labels_path)) {
+      *error = options.labels_path + ": cannot write";
+      return 1;
+    }
+  }
+  std::ostringstream lines;
+  lines << scenario->name << ": " << scenario->graph.num_nodes()
+        << " nodes, " << scenario->graph.num_undirected_edges()
+        << " edges, k=" << scenario->k << ", "
+        << scenario->explicit_nodes.size() << " explicit\n";
+  *output = lines.str();
+  return 0;
+}
+
+int RunInfo(const InfoOptions& options, std::string* output,
+            std::string* error) {
+  const auto info = dataset::ReadSnapshotInfo(options.snapshot_path, error);
+  if (!info.has_value()) return 1;
+  std::ostringstream lines;
+  lines << "snapshot:      " << options.snapshot_path << "\n"
+        << "version:       " << info->version << "\n"
+        << "nodes:         " << info->num_nodes << "\n"
+        << "classes k:     " << info->k << "\n"
+        << "stored entries " << info->nnz << " (" << info->nnz / 2
+        << " undirected edges)\n"
+        << "explicit:      " << info->num_explicit << "\n"
+        << "ground truth:  " << (info->has_ground_truth ? "yes" : "no")
+        << "\n"
+        << "scenario:      " << info->name << "\n"
+        << "spec:          " << info->spec << "\n"
+        << "file bytes:    " << info->file_bytes << "\n";
+  *output = lines.str();
+  return 0;
+}
+
+int RunList(std::string* output) {
+  std::ostringstream lines;
+  lines << "registered scenarios (--scenario=name:key=value,...):\n";
+  for (const dataset::ScenarioInfo& info : dataset::ListScenarios()) {
+    lines << "  " << info.name << "  " << info.description << "\n"
+          << "      params: " << info.params_help << "\n";
+  }
+  *output = lines.str();
+  return 0;
 }
 
 }  // namespace
 
 std::string Usage() {
   return
-      "linbp_cli --graph=EDGES --beliefs=BELIEFS [--coupling=PRESET|FILE]\n"
-      "          [--method=bp|linbp|linbp*|sbp] [--eps=auto|VALUE] [--k=K]\n"
-      "          [--output=FILE] [--report] [--threads=N]\n"
+      "linbp_cli --graph=EDGES --beliefs=BELIEFS | --scenario=SPEC\n"
+      "          [--coupling=PRESET|FILE] [--method=bp|linbp|linbp*|sbp]\n"
+      "          [--eps=auto|VALUE] [--k=K] [--output=FILE] [--report]\n"
+      "          [--threads=N]\n"
+      "linbp_cli list\n"
+      "linbp_cli convert --scenario=SPEC [--out=SNAPSHOT]\n"
+      "          [--out-graph=FILE] [--out-beliefs=FILE] [--out-labels=FILE]\n"
+      "linbp_cli info --snapshot=FILE\n"
       "  EDGES:   'u v [w]' per line;  BELIEFS: 'v c b' per line\n"
-      "  presets: homophily2 heterophily2 auction dblp4\n"
+      "  SPEC:    e.g. sbm:n=10000,k=4,mode=heterophily | snap:path=g.lbps\n"
+      "           (see `linbp_cli list`)\n"
+      "  presets: homophily2 heterophily2 auction dblp4 kronecker3\n"
       "  threads: 0 = all hardware threads; default: LINBP_THREADS or 1\n";
 }
 
@@ -57,36 +225,24 @@ std::optional<Options> ParseOptions(const std::vector<std::string>& args,
                                     std::string* error) {
   Options options;
   for (const std::string& arg : args) {
-    auto value_of = [&](const std::string& prefix) -> std::optional<std::string> {
-      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
-      return std::nullopt;
-    };
-    if (auto v = value_of("--graph=")) {
+    if (auto v = FlagValue(arg, "--scenario=")) {
+      options.scenario = *v;
+    } else if (auto v = FlagValue(arg, "--graph=")) {
       options.graph_path = *v;
-    } else if (auto v = value_of("--beliefs=")) {
+    } else if (auto v = FlagValue(arg, "--beliefs=")) {
       options.beliefs_path = *v;
-    } else if (auto v = value_of("--coupling=")) {
+    } else if (auto v = FlagValue(arg, "--coupling=")) {
       options.coupling = *v;
-    } else if (auto v = value_of("--method=")) {
+    } else if (auto v = FlagValue(arg, "--method=")) {
       options.method = *v;
-    } else if (auto v = value_of("--eps=")) {
+    } else if (auto v = FlagValue(arg, "--eps=")) {
       options.eps = *v;
-    } else if (auto v = value_of("--k=")) {
+    } else if (auto v = FlagValue(arg, "--k=")) {
       options.k = std::atoll(v->c_str());
-    } else if (auto v = value_of("--output=")) {
+    } else if (auto v = FlagValue(arg, "--output=")) {
       options.output_path = *v;
-    } else if (auto v = value_of("--threads=")) {
-      // Strict parse (unlike ParseThreadsSpec, a bad flag is an error,
-      // not a silent serial fallback).
-      char* end = nullptr;
-      const long long threads =
-          v->empty() ? -1 : std::strtoll(v->c_str(), &end, 10);
-      if (v->empty() || *end != '\0' || threads < 0) {
-        *error = "--threads must be a number >= 0";
-        return std::nullopt;
-      }
-      options.threads = static_cast<int>(
-          std::min<long long>(threads, exec::kMaxThreads));
+    } else if (auto v = FlagValue(arg, "--threads=")) {
+      if (!ParseThreadsFlag(*v, &options.threads, error)) return std::nullopt;
     } else if (arg == "--report") {
       options.report = true;
     } else {
@@ -94,8 +250,15 @@ std::optional<Options> ParseOptions(const std::vector<std::string>& args,
       return std::nullopt;
     }
   }
-  if (options.graph_path.empty() || options.beliefs_path.empty()) {
-    *error = "--graph and --beliefs are required";
+  const bool has_files =
+      !options.graph_path.empty() || !options.beliefs_path.empty();
+  if (!options.scenario.empty() && has_files) {
+    *error = "--scenario and --graph/--beliefs are mutually exclusive";
+    return std::nullopt;
+  }
+  if (options.scenario.empty() &&
+      (options.graph_path.empty() || options.beliefs_path.empty())) {
+    *error = "either --scenario or both --graph and --beliefs are required";
     return std::nullopt;
   }
   if (options.method != "bp" && options.method != "linbp" &&
@@ -108,30 +271,31 @@ std::optional<Options> ParseOptions(const std::vector<std::string>& args,
 
 int RunPipeline(const Options& options, std::string* output,
                 std::string* error) {
-  const auto graph = ReadEdgeList(options.graph_path, error);
-  if (!graph.has_value()) return 1;
+  // Execution context: --threads wins; otherwise LINBP_THREADS (serial
+  // when unset). Built before the problem so snapshot loads use it too;
+  // every method produces the same labels at any width.
+  const exec::ExecContext ctx = ContextFor(options.threads);
 
-  const auto coupling = ResolveCoupling(options.coupling, error);
-  if (!coupling.has_value()) return 1;
-  const std::int64_t k = options.k > 0 ? options.k : coupling->k();
-  if (k != coupling->k()) {
+  const auto scenario = BuildProblem(options, ctx, error);
+  if (!scenario.has_value()) return 1;
+
+  const CouplingMatrix coupling = scenario->Coupling();
+  const std::int64_t k = options.k > 0 ? options.k : scenario->k;
+  if (k != scenario->k) {
     *error = "--k disagrees with the coupling matrix size";
     return 1;
   }
-
-  const auto beliefs =
-      ReadBeliefs(options.beliefs_path, graph->num_nodes(), k, error);
-  if (!beliefs.has_value()) return 1;
-  if (beliefs->explicit_nodes.empty()) {
-    *error = options.beliefs_path + ": no explicit beliefs";
+  if (scenario->explicit_nodes.empty()) {
+    *error = "no explicit beliefs";
     return 1;
   }
+  const Graph& graph = scenario->graph;
 
   // eps_H: explicit value, or half the exact LinBP threshold.
   double eps = 0.0;
   if (options.eps == "auto") {
     const double threshold = ExactEpsilonThreshold(
-        *graph, *coupling,
+        graph, coupling,
         options.method == "linbp*" ? LinBpVariant::kLinBpStar
                                    : LinBpVariant::kLinBp);
     eps = std::isfinite(threshold) ? 0.5 * threshold : 1.0;
@@ -144,7 +308,7 @@ int RunPipeline(const Options& options, std::string* output,
   }
 
   if (options.report) {
-    const ConvergenceReport report = AnalyzeConvergence(*graph, *coupling);
+    const ConvergenceReport report = AnalyzeConvergence(graph, coupling);
     std::fprintf(stderr,
                  "rho(A)=%.6g rho(Hhat_o)=%.6g exact eps: LinBP %.6g, "
                  "LinBP* %.6g; using eps=%.6g\n",
@@ -153,31 +317,25 @@ int RunPipeline(const Options& options, std::string* output,
                  report.exact_epsilon_linbp_star, eps);
   }
 
-  // Execution context: --threads wins; otherwise LINBP_THREADS (serial
-  // when unset). Every method produces the same labels at any width.
-  const exec::ExecContext ctx = options.threads >= 0
-                                    ? exec::ExecContext::WithThreads(
-                                          options.threads)
-                                    : exec::ExecContext::Default();
-
   // Run the chosen method.
-  DenseMatrix result_beliefs(graph->num_nodes(), k);
+  DenseMatrix result_beliefs(graph.num_nodes(), k);
   if (options.method == "bp") {
-    if (eps >= coupling->MaxStochasticScale()) {
+    if (eps >= coupling.MaxStochasticScale()) {
       *error = "eps too large for a stochastic coupling matrix";
       return 1;
     }
     const BpResult result =
-        RunBp(*graph, coupling->ScaledStochastic(eps),
-              ResidualToProbability(beliefs->residuals));
+        RunBp(graph, coupling.ScaledStochastic(eps),
+              ResidualToProbability(scenario->explicit_residuals));
     if (result.diverged) {
       *error = "BP diverged";
       return 2;
     }
     result_beliefs = ProbabilityToResidual(result.beliefs);
   } else if (options.method == "sbp") {
-    result_beliefs = RunSbp(*graph, coupling->residual(), beliefs->residuals,
-                            beliefs->explicit_nodes, ctx)
+    result_beliefs = RunSbp(graph, coupling.residual(),
+                            scenario->explicit_residuals,
+                            scenario->explicit_nodes, ctx)
                          .beliefs;
   } else {
     LinBpOptions lin_options;
@@ -186,8 +344,9 @@ int RunPipeline(const Options& options, std::string* output,
                               : LinBpVariant::kLinBp;
     lin_options.max_iterations = 1000;
     lin_options.exec = ctx;
-    const LinBpResult result = RunLinBp(*graph, coupling->ScaledResidual(eps),
-                                        beliefs->residuals, lin_options);
+    const LinBpResult result = RunLinBp(graph, coupling.ScaledResidual(eps),
+                                        scenario->explicit_residuals,
+                                        lin_options);
     if (result.diverged) {
       *error = "LinBP diverged; lower --eps (see --report)";
       return 2;
@@ -195,10 +354,27 @@ int RunPipeline(const Options& options, std::string* output,
     result_beliefs = result.beliefs;
   }
 
-  // Emit "v class [class...]" lines (multiple classes on ties).
   const TopBeliefAssignment top = TopBeliefs(result_beliefs);
+
+  // With ground truth available, --report also prints quality metrics.
+  if (options.report && scenario->HasGroundTruth()) {
+    TopBeliefAssignment truth;
+    truth.classes.resize(graph.num_nodes());
+    std::vector<std::int64_t> known;
+    for (std::int64_t v = 0; v < graph.num_nodes(); ++v) {
+      if (scenario->ground_truth[v] >= 0) {
+        truth.classes[v].push_back(scenario->ground_truth[v]);
+        known.push_back(v);
+      }
+    }
+    const QualityMetrics quality = CompareAssignments(truth, top, known);
+    std::fprintf(stderr, "ground truth: %lld nodes, F1 %.4f\n",
+                 static_cast<long long>(known.size()), quality.f1);
+  }
+
+  // Emit "v class [class...]" lines (multiple classes on ties).
   std::ostringstream lines;
-  for (std::int64_t v = 0; v < graph->num_nodes(); ++v) {
+  for (std::int64_t v = 0; v < graph.num_nodes(); ++v) {
     lines << v;
     for (const int cls : top.classes[v]) lines << ' ' << cls;
     lines << '\n';
@@ -213,6 +389,57 @@ int RunPipeline(const Options& options, std::string* output,
     out << *output;
   }
   return 0;
+}
+
+int RunMain(const std::vector<std::string>& args, std::string* output,
+            std::string* error, bool* usage_error) {
+  bool parse_failed = false;
+  if (usage_error == nullptr) usage_error = &parse_failed;
+  *usage_error = false;
+  if (!args.empty() && args[0] == "list") {
+    if (args.size() > 1) {
+      *error = "list takes no arguments";
+      *usage_error = true;
+      return 1;
+    }
+    return RunList(output);
+  }
+  if (!args.empty() && args[0] == "convert") {
+    const auto options = ParseConvertOptions(
+        std::vector<std::string>(args.begin() + 1, args.end()), error);
+    if (!options.has_value()) {
+      *usage_error = true;
+      return 1;
+    }
+    return RunConvert(*options, output, error);
+  }
+  if (!args.empty() && args[0] == "info") {
+    InfoOptions options;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (auto v = FlagValue(args[i], "--snapshot=")) {
+        options.snapshot_path = *v;
+      } else {
+        *error = "unknown argument: " + args[i];
+        *usage_error = true;
+        return 1;
+      }
+    }
+    if (options.snapshot_path.empty()) {
+      *error = "info: --snapshot is required";
+      *usage_error = true;
+      return 1;
+    }
+    return RunInfo(options, output, error);
+  }
+  const auto options = ParseOptions(args, error);
+  if (!options.has_value()) {
+    *usage_error = true;
+    return 1;
+  }
+  const int code = RunPipeline(*options, output, error);
+  // The label lines went to the output file; don't echo them to stdout.
+  if (code == 0 && !options->output_path.empty()) output->clear();
+  return code;
 }
 
 }  // namespace cli

@@ -1,10 +1,15 @@
 // Library behind the `linbp_cli` command-line tool.
 //
-// The pipeline reads an edge list and a belief list, picks a coupling
-// matrix (preset name or residual matrix file), chooses a convergence-safe
-// eps_H when asked to, runs one of {bp, linbp, linbp*, sbp}, and writes the
-// top-belief labels. Kept separate from main() so every step is unit
-// testable.
+// The tool has one main pipeline plus three subcommands:
+//   linbp_cli [flags]            read a problem (edge-list files or a
+//                                --scenario spec), pick a coupling and a
+//                                convergence-safe eps_H, run one of
+//                                {bp, linbp, linbp*, sbp}, write labels;
+//   linbp_cli list               list the registered scenarios;
+//   linbp_cli convert [flags]    materialize a scenario and write it as a
+//                                binary snapshot and/or text files;
+//   linbp_cli info [flags]       print a snapshot's header.
+// Kept separate from main() so every step is unit testable.
 
 #ifndef LINBP_TOOLS_CLI_LIB_H_
 #define LINBP_TOOLS_CLI_LIB_H_
@@ -16,13 +21,17 @@
 namespace linbp {
 namespace cli {
 
-/// Parsed command-line options.
+/// Parsed main-pipeline options.
 struct Options {
+  /// Scenario spec ("sbm:n=10000,k=4", "snap:path=g.lbps", ...). Mutually
+  /// exclusive with graph_path/beliefs_path.
+  std::string scenario;
   std::string graph_path;
   std::string beliefs_path;
-  /// Preset name (homophily2 | heterophily2 | auction | dblp4) or a path to
-  /// a residual coupling matrix file.
-  std::string coupling = "homophily2";
+  /// Preset name (homophily2 | heterophily2 | auction | dblp4 |
+  /// kronecker3) or a path to a coupling matrix file. Empty picks the
+  /// scenario's own coupling (scenario mode) or homophily2 (file mode).
+  std::string coupling;
   /// Method: bp | linbp | linbp* | sbp.
   std::string method = "linbp";
   /// "auto" picks half the Lemma 8 threshold; otherwise a double.
@@ -31,7 +40,8 @@ struct Options {
   std::int64_t k = 0;
   /// Output file for "v class" lines; empty writes to stdout.
   std::string output_path;
-  /// Print the convergence report before running.
+  /// Print the convergence report (and, when ground truth is available,
+  /// quality metrics) before exiting.
   bool report = false;
   /// Worker threads for the solver kernels: -1 defers to the LINBP_THREADS
   /// environment variable (default serial), 0 means all hardware threads,
@@ -39,18 +49,45 @@ struct Options {
   int threads = -1;
 };
 
-/// Parses argv; returns nullopt and fills *error on unknown flags or
-/// missing required arguments.
+/// Parsed `convert` options.
+struct ConvertOptions {
+  /// Scenario spec to materialize (required).
+  std::string scenario;
+  /// Snapshot output path (optional).
+  std::string snapshot_path;
+  /// Text export paths (each optional).
+  std::string graph_path;
+  std::string beliefs_path;
+  std::string labels_path;
+  int threads = -1;
+};
+
+/// Parsed `info` options.
+struct InfoOptions {
+  std::string snapshot_path;
+};
+
+/// Parses main-pipeline argv; returns nullopt and fills *error on unknown
+/// flags or missing required arguments.
 std::optional<Options> ParseOptions(const std::vector<std::string>& args,
                                     std::string* error);
 
-/// One-line usage summary.
+/// Usage summary covering the pipeline and the subcommands.
 std::string Usage();
 
-/// Runs the pipeline; returns the process exit code and fills *output with
-/// the produced label lines (also written to options.output_path if set).
+/// Runs the main pipeline; returns the process exit code and fills
+/// *output with the produced label lines (also written to
+/// options.output_path if set).
 int RunPipeline(const Options& options, std::string* output,
                 std::string* error);
+
+/// Top-level dispatcher: handles "list", "convert", "info", and the main
+/// pipeline. Fills *output with whatever should go to stdout. When
+/// `usage_error` is non-null it is set to true iff the failure was an
+/// argument-parsing problem (the caller then shows Usage(); runtime
+/// failures like divergence keep their message front and center).
+int RunMain(const std::vector<std::string>& args, std::string* output,
+            std::string* error, bool* usage_error = nullptr);
 
 }  // namespace cli
 }  // namespace linbp

@@ -8,21 +8,19 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  std::string error;
-  const auto options = linbp::cli::ParseOptions(args, &error);
-  if (!options.has_value()) {
-    std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
-                 linbp::cli::Usage().c_str());
-    return 1;
-  }
   std::string output;
-  const int code = linbp::cli::RunPipeline(*options, &output, &error);
+  std::string error;
+  bool usage_error = false;
+  const int code = linbp::cli::RunMain(args, &output, &error, &usage_error);
   if (code != 0) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
+    if (usage_error) {
+      std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                   linbp::cli::Usage().c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+    }
     return code;
   }
-  if (options->output_path.empty()) {
-    std::fputs(output.c_str(), stdout);
-  }
+  std::fputs(output.c_str(), stdout);
   return 0;
 }
