@@ -4,7 +4,16 @@
 // them through Algorithm 4 or rebuilds the state from scratch. Edge updates
 // pay for wave propagation, so the incremental advantage fades much faster
 // than for belief updates (the paper's crossover: ~3% new edges).
+//
+// --check: golden-value guardrail (the fig10b_golden_check CTest test).
+// The figure's claim only stands if Delta-SBP computes the SAME beliefs
+// as the recompute it is raced against, so the check streams a held-out
+// edge fraction through Algorithm 4 and asserts the final belief table
+// matches the from-scratch state bit-for-bit within 1e-9 — on a smaller
+// graph than the timing run, so it is cheap enough for every CI pass.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -19,7 +28,9 @@
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
-  const int graph_index = static_cast<int>(args.Int("graph", 4));
+  const bool check = args.Has("check");
+  const int graph_index =
+      static_cast<int>(args.Int("graph", check ? 2 : 4));
   const Graph graph = bench::PaperGraph(graph_index);
   const std::int64_t n = graph.num_nodes();
   const CouplingMatrix coupling = KroneckerExperimentCoupling();
@@ -38,6 +49,55 @@ int main(int argc, char** argv) {
     }
   }
   const auto total = static_cast<std::int64_t>(all_edges.size());
+
+  if (check) {
+    int failures = 0;
+    for (const int percent : {2, 5}) {
+      const std::int64_t num_new = total * percent / 100;
+      const std::int64_t num_old = total - num_new;
+      const Graph start(n, std::vector<Edge>(all_edges.begin(),
+                                             all_edges.begin() + num_old));
+      SbpSql incremental(MakeAdjacencyTable(start), e, h);
+      Table an({"s", "t", "w"},
+               {ColumnType::kInt, ColumnType::kInt, ColumnType::kDouble});
+      for (std::int64_t i = num_old; i < total; ++i) {
+        an.AppendRow({Value::Int(all_edges[i].u),
+                      Value::Int(all_edges[i].v),
+                      Value::Double(all_edges[i].weight)});
+      }
+      incremental.AddEdges(an);
+      const SbpSql scratch(MakeAdjacencyTable(graph), e, h);
+      const DenseMatrix delta_beliefs =
+          BeliefsFromTable(incremental.beliefs(), n, 3);
+      const DenseMatrix scratch_beliefs =
+          BeliefsFromTable(scratch.beliefs(), n, 3);
+      double max_diff = 0.0;
+      for (std::int64_t v = 0; v < n; ++v) {
+        for (std::int64_t c = 0; c < 3; ++c) {
+          max_diff = std::max(max_diff,
+                              std::abs(delta_beliefs.At(v, c) -
+                                       scratch_beliefs.At(v, c)));
+        }
+      }
+      const bool ok = max_diff <= 1e-9 &&
+                      incremental.beliefs().num_rows() ==
+                          scratch.beliefs().num_rows() &&
+                      incremental.beliefs().num_rows() > 0;
+      std::printf("graph #%d, %d%% new edges (%lld): dSBP vs scratch "
+                  "max |diff| %.3g (want <= 1e-9), %lld belief rows  %s\n",
+                  graph_index, percent, static_cast<long long>(num_new),
+                  max_diff,
+                  static_cast<long long>(incremental.beliefs().num_rows()),
+                  ok ? "OK" : "FAIL");
+      if (!ok) ++failures;
+    }
+    if (failures > 0) {
+      std::printf("%d golden check(s) FAILED\n", failures);
+      return 1;
+    }
+    std::printf("all golden checks passed\n");
+    return 0;
+  }
 
   std::printf("== Fig. 10b: dSBP(edges) vs SBP recompute, graph #%d "
               "(%lld undirected edges) ==\n\n",

@@ -4,6 +4,12 @@
 // convergence thresholds. As eps_H -> 0 every method approaches the SBP
 // limit [-0.069, 1.258, -1.189]; each stops converging at its predicted
 // threshold (rho lines in the figure).
+//
+// --check: golden-value guardrail (registered as the fig4_golden_check
+// CTest test). Asserts the spectral radii, the exact and sufficient
+// convergence thresholds, and the SBP limit of v4 against the values the
+// paper reports (Example 20 / Fig. 4), which this driver reproduced at
+// the time the goldens were recorded.
 
 #include <cmath>
 #include <cstdio>
@@ -19,8 +25,9 @@
 #include "src/graph/beliefs.h"
 #include "src/util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace linbp;
+  const bench::Args args(argc, argv);
 
   const Graph graph = TorusExampleGraph();
   const CouplingMatrix coupling = AuctionCoupling();
@@ -28,6 +35,48 @@ int main() {
   const double seeds[3][3] = {{2, -1, -1}, {-1, 2, -1}, {-1, -1, 2}};
   for (int v = 0; v < 3; ++v) {
     for (int c = 0; c < 3; ++c) explicit_beliefs.At(v, c) = seeds[v][c];
+  }
+
+  if (args.Has("check")) {
+    const ConvergenceReport report = AnalyzeConvergence(graph, coupling);
+    const SbpResult sbp =
+        RunSbp(graph, coupling.residual(), explicit_beliefs, {0, 1, 2});
+    const std::vector<double> sbp_std =
+        Standardize(BeliefRow(sbp.beliefs, 3));
+    // Recorded from this driver; agrees with the paper's Example 20 /
+    // Fig. 4 to its printed precision. The tolerance absorbs
+    // cross-platform eigensolver and libm rounding only.
+    struct Golden {
+      const char* what;
+      double got;
+      double want;
+      double tolerance;
+    };
+    const Golden goldens[] = {
+        {"rho(A)", report.adjacency_spectral_radius, 2.4142, 1e-3},
+        {"rho(Hhat_o)", report.coupling_spectral_radius, 0.6292, 1e-3},
+        {"exact eps LinBP", report.exact_epsilon_linbp, 0.4877, 1e-3},
+        {"exact eps LinBP*", report.exact_epsilon_linbp_star, 0.6584, 1e-3},
+        {"norm bound LinBP", report.sufficient_epsilon_linbp, 0.3597, 1e-3},
+        {"norm bound LinBP*", report.sufficient_epsilon_linbp_star, 0.4545,
+         1e-3},
+        {"SBP limit c1", sbp_std[0], -0.069, 2e-3},
+        {"SBP limit c2", sbp_std[1], 1.258, 2e-3},
+        {"SBP limit c3", sbp_std[2], -1.189, 2e-3},
+    };
+    int failures = 0;
+    for (const Golden& g : goldens) {
+      const bool ok = std::abs(g.got - g.want) <= g.tolerance;
+      std::printf("%-18s got %9.4f want %9.4f +/- %.0e  %s\n", g.what,
+                  g.got, g.want, g.tolerance, ok ? "OK" : "FAIL");
+      if (!ok) ++failures;
+    }
+    if (failures > 0) {
+      std::printf("%d golden check(s) FAILED\n", failures);
+      return 1;
+    }
+    std::printf("all golden checks passed\n");
+    return 0;
   }
 
   std::printf("== Fig. 4 / Example 20: standardized beliefs of v4 ==\n\n");

@@ -9,12 +9,19 @@
 //   --scenario=SPEC   sweep a single spec instead of the default suite
 //   --check           assert the default suite's F1 scores stay within
 //                     tolerance of recorded golden values (regression
-//                     guardrail, registered as a CTest test)
+//                     guardrail, registered as a CTest test). With
+//                     --scenario plus --golden=IDX, checks that single
+//                     spec against suite entry IDX's goldens instead —
+//                     the CI shard round-trip loads a sharded manifest
+//                     of a suite scenario and asserts identical quality.
 //   --io-bench        compare text edge-list parsing vs binary snapshot
-//                     loading on one scenario and print a JSON record
-//                     (the source of BENCH_dataset.json)
+//                     loading vs parallel sharded-snapshot loading on
+//                     one scenario and print a JSON record (the source
+//                     of BENCH_dataset.json); --shards=N bounds the
+//                     shard count (default: max(2, threads))
 //   --threads=N       kernel thread count (0 = all hardware threads)
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -26,6 +33,7 @@
 #include "src/core/linbp.h"
 #include "src/core/sbp.h"
 #include "src/dataset/registry.h"
+#include "src/dataset/shard.h"
 #include "src/dataset/snapshot.h"
 #include "src/graph/io.h"
 #include "src/util/table_printer.h"
@@ -163,7 +171,12 @@ struct Golden {
 };
 constexpr double kF1Tolerance = 0.02;
 
-int RunCheck(const exec::ExecContext& ctx) {
+// `spec_override` + `golden_index` check one spec against a suite
+// entry's goldens (e.g. a sharded snapshot of that suite scenario, which
+// must reproduce its quality exactly); empty override checks the whole
+// default suite.
+int RunCheck(const exec::ExecContext& ctx, const std::string& spec_override,
+             std::int64_t golden_index) {
   const std::vector<Golden> goldens = {
       {0.9047, 0.8449},  // sbm homophily
       {0.9719, 0.9527},  // sbm heterophily (k = 2)
@@ -172,7 +185,20 @@ int RunCheck(const exec::ExecContext& ctx) {
       {0.7306, 0.7227},  // dblp
       {-1.0, -1.0},      // kronecker (no ground truth; agreement only)
   };
-  const std::vector<std::string>& suite = DefaultSuite();
+  std::vector<std::string> suite = DefaultSuite();
+  std::vector<std::size_t> indices(suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) indices[i] = i;
+  if (!spec_override.empty()) {
+    if (golden_index < 0 ||
+        golden_index >= static_cast<std::int64_t>(goldens.size())) {
+      std::fprintf(stderr,
+                   "error: --golden must name a suite index in [0, %zu)\n",
+                   goldens.size());
+      return 1;
+    }
+    suite = {spec_override};
+    indices = {static_cast<std::size_t>(golden_index)};
+  }
   int failures = 0;
   for (std::size_t i = 0; i < suite.size(); ++i) {
     SweepResult r;
@@ -185,8 +211,8 @@ int RunCheck(const exec::ExecContext& ctx) {
                   ok ? "OK" : "FAIL");
       if (!ok) ++failures;
     };
-    check("linbp", r.linbp_f1, goldens[i].linbp_f1);
-    check("sbp", r.sbp_f1, goldens[i].sbp_f1);
+    check("linbp", r.linbp_f1, goldens[indices[i]].linbp_f1);
+    check("sbp", r.sbp_f1, goldens[indices[i]].sbp_f1);
   }
   if (failures > 0) {
     std::printf("%d golden check(s) FAILED\n", failures);
@@ -197,7 +223,7 @@ int RunCheck(const exec::ExecContext& ctx) {
 }
 
 int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
-               int reps) {
+               int reps, std::int64_t shards) {
   std::string error;
   auto scenario = dataset::MakeScenario(spec, &error, ctx);
   if (!scenario.has_value()) {
@@ -207,10 +233,15 @@ int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
   const std::string edges_path = "/tmp/linbp_iobench_edges.txt";
   const std::string beliefs_path = "/tmp/linbp_iobench_beliefs.txt";
   const std::string snapshot_path = "/tmp/linbp_iobench.lbps";
+  const std::string shards_dir = "/tmp/linbp_iobench_shards";
+  if (shards <= 0) shards = std::max(2, ctx.threads());
+  const auto sharded =
+      dataset::ShardSnapshot(*scenario, shards, shards_dir, &error);
   if (!WriteEdgeList(scenario->graph, edges_path) ||
       !WriteBeliefs(scenario->explicit_residuals, scenario->explicit_nodes,
                     beliefs_path) ||
-      !dataset::SaveSnapshot(*scenario, snapshot_path, &error)) {
+      !dataset::SaveSnapshot(*scenario, snapshot_path, &error) ||
+      !sharded.has_value()) {
     std::fprintf(stderr, "error: cannot write bench inputs (%s)\n",
                  error.c_str());
     return 1;
@@ -218,6 +249,7 @@ int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
 
   double text_seconds = 1e100;
   double snap_seconds = 1e100;
+  double shard_seconds = 1e100;
   for (int rep = 0; rep < reps; ++rep) {
     text_seconds = std::min(text_seconds, bench::TimeSeconds([&] {
       auto graph = ReadEdgeList(edges_path, &error);
@@ -228,6 +260,11 @@ int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
     }));
     snap_seconds = std::min(snap_seconds, bench::TimeSeconds([&] {
       auto loaded = dataset::LoadSnapshot(snapshot_path, &error, ctx);
+      if (!loaded.has_value()) std::abort();
+    }));
+    shard_seconds = std::min(shard_seconds, bench::TimeSeconds([&] {
+      auto loaded =
+          dataset::LoadShardedSnapshot(sharded->manifest_path, &error, ctx);
       if (!loaded.has_value()) std::abort();
     }));
   }
@@ -241,12 +278,17 @@ int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
       "  \"reps\": %d,\n"
       "  \"text_parse_seconds\": %.6f,\n"
       "  \"snapshot_load_seconds\": %.6f,\n"
-      "  \"speedup\": %.2f\n"
+      "  \"speedup\": %.2f,\n"
+      "  \"num_shards\": %lld,\n"
+      "  \"sharded_load_seconds\": %.6f,\n"
+      "  \"sharded_vs_monolithic\": %.2f\n"
       "}\n",
       spec.c_str(), static_cast<long long>(scenario->graph.num_nodes()),
       static_cast<long long>(scenario->graph.num_undirected_edges()),
       ctx.threads(), reps, text_seconds, snap_seconds,
-      text_seconds / snap_seconds);
+      text_seconds / snap_seconds,
+      static_cast<long long>(sharded->num_shards), shard_seconds,
+      snap_seconds / shard_seconds);
   return 0;
 }
 
@@ -255,10 +297,13 @@ int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   const exec::ExecContext ctx = bench::ExecFromArgs(args);
-  if (args.Has("check")) return RunCheck(ctx);
+  if (args.Has("check")) {
+    return RunCheck(ctx, args.Str("scenario", ""), args.Int("golden", -1));
+  }
   if (args.Has("io-bench")) {
     return RunIoBench(args.Str("scenario", "sbm:n=200000,k=4,deg=10,seed=5"),
-                      ctx, static_cast<int>(args.Int("reps", 3)));
+                      ctx, static_cast<int>(args.Int("reps", 3)),
+                      args.Int("shards", 0));
   }
   const std::string spec = args.Str("scenario", "");
   std::printf("== scenario sweep (LinBP vs SBP) ==\n\n");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/la/kron_ops.h"
 #include "src/util/check.h"
@@ -60,7 +61,17 @@ int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
   return Solve();
 }
 
-int LinBpState::AddEdges(const std::vector<Edge>& edges) {
+int LinBpState::AddEdges(const std::vector<Edge>& edges,
+                         std::string* error) {
+  // Validate the whole batch up front with error returns — the Graph
+  // constructor CHECK-aborts on these, which is the wrong failure mode
+  // for edges arriving from user input or an update stream. The state is
+  // only touched once every edge has passed.
+  const std::string problem = ValidateNewEdgeBatch(graph_, edges);
+  if (!problem.empty()) {
+    if (error != nullptr) *error = problem;
+    return -1;
+  }
   std::vector<Edge> combined = graph_.edges();
   combined.insert(combined.end(), edges.begin(), edges.end());
   graph_ = Graph(graph_.num_nodes(), combined);

@@ -13,6 +13,7 @@
 #define LINBP_CORE_LINBP_INCREMENTAL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/linbp.h"
@@ -35,8 +36,11 @@ class LinBpState {
 
   /// Adds undirected edges and re-solves warm-started. Returns the sweeps
   /// used. (The graph is rebuilt; the belief warm start is what saves the
-  /// iterations.)
-  int AddEdges(const std::vector<Edge>& edges);
+  /// iterations.) An invalid batch — an out-of-range endpoint, self-loop,
+  /// non-finite weight, duplicate within the batch, or an edge already in
+  /// the graph — returns -1 with *error filled (when non-null) and leaves
+  /// the state untouched; it never aborts.
+  int AddEdges(const std::vector<Edge>& edges, std::string* error = nullptr);
 
   /// Current solution (residual beliefs).
   const DenseMatrix& beliefs() const { return beliefs_; }

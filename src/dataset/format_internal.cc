@@ -1,0 +1,270 @@
+#include "src/dataset/format_internal.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace linbp {
+namespace dataset {
+namespace internal {
+
+std::uint64_t Fnv1a(const char* data, std::size_t size) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void AppendString(const std::string& s, std::vector<char>* out) {
+  const std::uint32_t length = static_cast<std::uint32_t>(s.size());
+  AppendPod(&length, 1, out);
+  AppendPod(s.data(), s.size(), out);
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<char>* out,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    *error = path + ": cannot open";
+    return false;
+  }
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  out->resize(static_cast<std::size_t>(size));
+  if (size > 0 && !in.read(out->data(), size)) {
+    *error = path + ": read failed";
+    return false;
+  }
+  return true;
+}
+
+bool WriteFileDurably(const std::string& path, const char* header,
+                      std::size_t header_bytes,
+                      const std::vector<char>& payload, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    *error = path + ": cannot write";
+    return false;
+  }
+  out.write(header, static_cast<std::streamsize>(header_bytes));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  // ofstream buffers: a disk-full failure may only surface when the
+  // buffer drains, so flush and re-check before declaring success.
+  out.flush();
+  if (!out) {
+    *error = path + ": write failed";
+    return false;
+  }
+  out.close();
+  if (out.fail()) {
+    *error = path + ": close failed";
+    return false;
+  }
+  return true;
+}
+
+bool CheckMagicVersionEndian(const std::string& path, const char* data,
+                             std::size_t size, const char* magic,
+                             std::uint32_t expected_version, const char* what,
+                             std::string* error) {
+  if (size < kHeaderBytes) {
+    *error = path + ": truncated " + what + " (shorter than the header)";
+    return false;
+  }
+  if (std::memcmp(data, magic, 8) != 0) {
+    *error = path + ": not a LinBP " + what + " (bad magic)";
+    return false;
+  }
+  std::uint32_t endian = 0;
+  std::memcpy(&endian, data + 12, 4);
+  if (endian == kEndianTagSwapped) {
+    *error = path + ": big-endian " + what + " is not supported";
+    return false;
+  }
+  if (endian != kEndianTag) {
+    *error = path + ": corrupted header (bad endian tag)";
+    return false;
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, data + 8, 4);
+  if (version != expected_version) {
+    *error = path + ": unsupported " + what + " version " +
+             std::to_string(version) + " (expected " +
+             std::to_string(expected_version) + ")";
+    return false;
+  }
+  return true;
+}
+
+bool CheckHeaderCounts(const std::string& path, std::int64_t num_nodes,
+                       std::int64_t k, std::int64_t nnz,
+                       std::int64_t num_explicit, std::uint32_t flags,
+                       const char* what, std::string* error) {
+  if (num_nodes < 0 ||
+      num_nodes > std::numeric_limits<std::int32_t>::max() || k < 1 ||
+      k > kMaxClasses || nnz < 0 || num_explicit < 0 ||
+      num_explicit > num_nodes) {
+    *error = path + ": corrupted " + what + " (counts out of range)";
+    return false;
+  }
+  if ((flags & ~kFlagGroundTruth) != 0) {
+    *error = path + ": corrupted " + what + " (unknown flags)";
+    return false;
+  }
+  return true;
+}
+
+std::optional<Scenario> ValidateAndAssembleScenario(
+    const std::string& path, ScenarioParts parts,
+    const exec::ExecContext& ctx, std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  const std::int64_t n = parts.num_nodes;
+  const std::int64_t k = parts.k;
+  const std::int64_t nnz = static_cast<std::int64_t>(parts.col_idx.size());
+  LINBP_CHECK(n >= 0 && k >= 1 && k <= kMaxClasses);
+  LINBP_CHECK(static_cast<std::int64_t>(parts.row_ptr.size()) == n + 1);
+  LINBP_CHECK(parts.values.size() == parts.col_idx.size());
+  LINBP_CHECK(parts.coupling.size() == static_cast<std::size_t>(k * k));
+  LINBP_CHECK(parts.explicit_rows.size() ==
+              parts.explicit_nodes.size() * static_cast<std::size_t>(k));
+  LINBP_CHECK(!parts.has_ground_truth ||
+              static_cast<std::int64_t>(parts.ground_truth.size()) == n);
+
+  const std::vector<std::int64_t>& row_ptr = parts.row_ptr;
+  const std::vector<std::int32_t>& col_idx = parts.col_idx;
+  const std::vector<double>& values = parts.values;
+
+  // Monotonicity of the WHOLE row_ptr array must hold before any entry
+  // loop below runs — together with back() == nnz it bounds every
+  // [row_ptr[r], row_ptr[r+1]) range, including the mirror lookups into
+  // other rows.
+  std::atomic<bool> valid(true);
+  if (row_ptr.front() != 0 || row_ptr.back() != nnz) {
+    valid.store(false);
+  } else {
+    ctx.ParallelFor(0, n, /*min_grain=*/8192,
+                    [&](std::int64_t row_begin, std::int64_t row_end) {
+                      for (std::int64_t r = row_begin; r < row_end; ++r) {
+                        if (row_ptr[r] > row_ptr[r + 1]) {
+                          valid.store(false, std::memory_order_relaxed);
+                          return;
+                        }
+                      }
+                    });
+  }
+  if (!valid.load()) {
+    *error = path + ": invalid CSR row pointers";
+    return std::nullopt;
+  }
+  // Per-row entry sweep: CSR ordering, range, symmetry, finite weights.
+  // Symmetry is checked globally — a mirror entry may live in a different
+  // shard's row slice, so this sweep is also the cross-shard consistency
+  // check of the sharded format.
+  ctx.ParallelFor(0, n, /*min_grain=*/2048, [&](std::int64_t row_begin,
+                                                std::int64_t row_end) {
+    bool ok = true;
+    for (std::int64_t r = row_begin; r < row_end && ok; ++r) {
+      for (std::int64_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+        const std::int64_t c = col_idx[e];
+        if (c < 0 || c >= n || c == r || !std::isfinite(values[e]) ||
+            (e > row_ptr[r] && col_idx[e - 1] >= c)) {
+          ok = false;
+          break;
+        }
+        // Mirror entry (c, r) must exist with an identical value.
+        const auto begin = col_idx.begin() + row_ptr[c];
+        const auto end = col_idx.begin() + row_ptr[c + 1];
+        const auto it =
+            std::lower_bound(begin, end, static_cast<std::int32_t>(r));
+        if (it == end || *it != r ||
+            values[it - col_idx.begin()] != values[e]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) valid.store(false, std::memory_order_relaxed);
+  });
+  if (!valid.load()) {
+    *error = path + ": invalid adjacency payload (CSR structure, symmetry, "
+                    "or non-finite weights)";
+    return std::nullopt;
+  }
+
+  Scenario scenario;
+  scenario.name = std::move(parts.name);
+  scenario.spec = std::move(parts.spec);
+  scenario.k = k;
+  scenario.coupling_residual = DenseMatrix(k, k);
+  std::copy(parts.coupling.begin(), parts.coupling.end(),
+            scenario.coupling_residual.mutable_data().begin());
+  for (std::int64_t i = 0; i < k; ++i) {
+    double row_sum = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const double value = scenario.coupling_residual.At(i, j);
+      if (!std::isfinite(value) ||
+          value != scenario.coupling_residual.At(j, i)) {
+        *error = path + ": invalid coupling residual";
+        return std::nullopt;
+      }
+      row_sum += value;
+    }
+    if (std::abs(row_sum) > 1e-9) {
+      *error = path + ": invalid coupling residual";
+      return std::nullopt;
+    }
+  }
+
+  scenario.explicit_nodes = std::move(parts.explicit_nodes);
+  scenario.explicit_residuals = DenseMatrix(n, k);
+  for (std::size_t i = 0; i < scenario.explicit_nodes.size(); ++i) {
+    const std::int64_t v = scenario.explicit_nodes[i];
+    if (v < 0 || v >= n ||
+        (i > 0 && scenario.explicit_nodes[i - 1] >= v)) {
+      *error = path + ": invalid explicit node list";
+      return std::nullopt;
+    }
+    for (std::int64_t c = 0; c < k; ++c) {
+      const double b = parts.explicit_rows[i * k + c];
+      if (!std::isfinite(b)) {
+        *error = path + ": non-finite explicit belief";
+        return std::nullopt;
+      }
+      scenario.explicit_residuals.At(v, c) = b;
+    }
+  }
+
+  if (parts.has_ground_truth) {
+    scenario.ground_truth.resize(n);
+    for (std::int64_t v = 0; v < n; ++v) {
+      const std::int32_t cls = parts.ground_truth[v];
+      if (cls < -1 || cls >= k) {
+        *error = path + ": ground-truth class out of range";
+        return std::nullopt;
+      }
+      scenario.ground_truth[v] = cls;
+    }
+  }
+
+  // The payload passed full validation above, so the trusted adopt paths
+  // apply — re-running the CHECKed sweeps would just double the cost of
+  // the format's reason to exist. Edge-list and degree reconstruction
+  // still fan out on ctx.
+  scenario.graph = Graph::FromValidatedAdjacency(
+      SparseMatrix::FromValidatedCsr(n, n, std::move(parts.row_ptr),
+                                     std::move(parts.col_idx),
+                                     std::move(parts.values)),
+      ctx);
+  return scenario;
+}
+
+}  // namespace internal
+}  // namespace dataset
+}  // namespace linbp

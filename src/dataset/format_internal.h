@@ -1,0 +1,158 @@
+// Shared internals of the binary dataset formats (dataset-private).
+//
+// The monolithic snapshot (src/dataset/snapshot.h) and the sharded
+// snapshot (src/dataset/shard.h) serialize the same Scenario sections
+// with the same conventions — little-endian PODs, length-prefixed
+// strings, FNV-1a payload checksums, and error-returning validation of
+// every structural invariant before the trusted CSR adopt paths run.
+// This header keeps those pieces in one place so the two formats cannot
+// drift apart. It is an implementation detail of src/dataset: nothing
+// outside the library links against it.
+
+#ifndef LINBP_DATASET_FORMAT_INTERNAL_H_
+#define LINBP_DATASET_FORMAT_INTERNAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dataset/scenario.h"
+#include "src/exec/exec_context.h"
+
+namespace linbp {
+namespace dataset {
+namespace internal {
+
+/// Shared header constants: every dataset file starts with an 8-byte
+/// magic, a u32 version, and the u32 endian tag at offset 12.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+inline constexpr std::uint32_t kEndianTagSwapped = 0x04030201u;
+inline constexpr std::uint32_t kFlagGroundTruth = 1u;
+inline constexpr std::size_t kHeaderBytes = 64;
+// Far above any real class count; bounds k before allocating k*k doubles.
+inline constexpr std::int64_t kMaxClasses = 1024;
+
+/// FNV-1a over a byte range (the payload checksum of every format).
+std::uint64_t Fnv1a(const char* data, std::size_t size);
+
+/// Appends `count` PODs to a payload buffer.
+template <typename T>
+void AppendPod(const T* data, std::size_t count, std::vector<char>* out) {
+  const std::size_t bytes = count * sizeof(T);
+  const std::size_t offset = out->size();
+  out->resize(offset + bytes);
+  if (bytes > 0) std::memcpy(out->data() + offset, data, bytes);
+}
+
+/// Appends a u32-length-prefixed string.
+void AppendString(const std::string& s, std::vector<char>* out);
+
+/// Bounds-checked sequential reader over payload bytes.
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : data_(data), remaining_(size) {}
+
+  template <typename T>
+  bool Read(T* out, std::size_t count) {
+    // Division, not multiplication: a crafted header count must not wrap
+    // the byte total around size_t and slip past the bound.
+    if (count > remaining_ / sizeof(T)) return false;
+    const std::size_t bytes = count * sizeof(T);
+    if (bytes > 0) std::memcpy(out, data_, bytes);
+    data_ += bytes;
+    remaining_ -= bytes;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadVector(std::vector<T>* out, std::size_t count) {
+    if (count > remaining_ / sizeof(T)) return false;
+    out->resize(count);
+    return Read(out->data(), count);
+  }
+
+  bool ReadString(std::string* out) {
+    std::uint32_t length = 0;
+    if (!Read(&length, 1)) return false;
+    if (length > remaining_) return false;
+    out->assign(data_, length);
+    data_ += length;
+    remaining_ -= length;
+    return true;
+  }
+
+  std::size_t remaining() const { return remaining_; }
+
+ private:
+  const char* data_;
+  std::size_t remaining_;
+};
+
+/// Reads a whole file into memory. Returns false and fills *error on
+/// open or read failure.
+bool ReadFileBytes(const std::string& path, std::vector<char>* out,
+                   std::string* error);
+
+/// Writes header + payload, then flushes and closes with the stream
+/// state checked at every step: a buffered failure (disk full, quota)
+/// often surfaces only at flush/close, and reporting success on a
+/// truncated file would defeat the checksum the reader trusts.
+bool WriteFileDurably(const std::string& path, const char* header,
+                      std::size_t header_bytes,
+                      const std::vector<char>& payload, std::string* error);
+
+/// Validates the shared magic/version/endianness prefix of a header.
+/// `magic` must point at 8 bytes; `what` names the format in errors
+/// ("snapshot", "shard manifest", ...).
+bool CheckMagicVersionEndian(const std::string& path, const char* data,
+                             std::size_t size, const char* magic,
+                             std::uint32_t expected_version, const char* what,
+                             std::string* error);
+
+/// Validates the count fields every dataset header carries: num_nodes in
+/// [0, int32 max], k in [1, kMaxClasses], nnz >= 0, num_explicit in
+/// [0, num_nodes], and no flag bits beyond kFlagGroundTruth. `what`
+/// names the header in errors ("header", "manifest header").
+bool CheckHeaderCounts(const std::string& path, std::int64_t num_nodes,
+                       std::int64_t k, std::int64_t nnz,
+                       std::int64_t num_explicit, std::uint32_t flags,
+                       const char* what, std::string* error);
+
+/// The deserialized sections of one Scenario, before validation. The
+/// monolithic loader fills this from a single payload; the sharded
+/// loader assembles it from per-shard slices.
+struct ScenarioParts {
+  std::string name;
+  std::string spec;
+  std::int64_t num_nodes = 0;
+  std::int64_t k = 0;
+  bool has_ground_truth = false;
+  std::vector<double> coupling;            // k*k, row-major
+  std::vector<std::int64_t> row_ptr;       // num_nodes + 1
+  std::vector<std::int32_t> col_idx;
+  std::vector<double> values;
+  std::vector<std::int64_t> explicit_nodes;
+  std::vector<double> explicit_rows;       // explicit_nodes.size() * k
+  std::vector<std::int32_t> ground_truth;  // num_nodes iff has_ground_truth
+};
+
+/// Validates every structural invariant with error returns (the checksum
+/// only proves the bytes match what was written, not that a writer was
+/// well behaved): CSR row-pointer monotonicity, per-row column ordering
+/// and range, no self-loops, finite symmetric weights (the CSR sweeps
+/// fan out on `ctx`), a finite zero-row-sum symmetric coupling residual,
+/// a sorted in-range explicit node list with finite rows, and in-range
+/// ground-truth classes. On success assembles the Scenario through the
+/// trusted FromValidatedCsr / FromValidatedAdjacency adopt paths, so
+/// validation runs exactly once. `path` prefixes every error message.
+std::optional<Scenario> ValidateAndAssembleScenario(
+    const std::string& path, ScenarioParts parts,
+    const exec::ExecContext& ctx, std::string* error);
+
+}  // namespace internal
+}  // namespace dataset
+}  // namespace linbp
+
+#endif  // LINBP_DATASET_FORMAT_INTERNAL_H_

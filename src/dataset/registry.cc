@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "src/dataset/shard.h"
 #include "src/dataset/snapshot.h"
 #include "src/dataset/workloads.h"
 #include "src/graph/beliefs.h"
@@ -343,6 +344,11 @@ std::optional<Scenario> MakeSnap(ScenarioParams& params,
     *error = "snap: requires path=FILE";
     return std::nullopt;
   }
+  // Monolithic snapshots and shard manifests share the spec: the file's
+  // magic decides which loader runs (sharded loads fan out over ctx).
+  if (LooksLikeShardManifest(path)) {
+    return LoadShardedSnapshot(path, error, ctx);
+  }
   return LoadSnapshot(path, error, ctx);
 }
 
@@ -379,7 +385,9 @@ void EnsureBuiltinsLocked() {
   add("file", "edge list + beliefs (+ optional labels) from text files",
       "graph=PATH,beliefs=PATH,labels=,coupling=homophily2,k=0,hint=0",
       MakeFile);
-  add("snap", "binary graph snapshot (see src/dataset/snapshot.h)",
+  add("snap",
+      "binary graph snapshot or shard manifest (src/dataset/snapshot.h, "
+      "shard.h)",
       "path=FILE", MakeSnap);
 }
 

@@ -15,10 +15,12 @@
 //   kronecker  the paper's Fig. 6a Kronecker family with Sect. 7 seeding
 //              (no ground truth; quality is method-vs-method agreement)
 //   file       edge list + beliefs (+ optional labels) from text files
-//   snap       a binary snapshot produced by src/dataset/snapshot.h
+//   snap       a binary snapshot (src/dataset/snapshot.h) or a sharded
+//              snapshot manifest (src/dataset/shard.h) — the file's
+//              magic picks the loader
 //
-// New workloads (and, later, sharded/out-of-core datasets) drop in behind
-// RegisterScenario without touching the CLI or bench drivers.
+// New workloads drop in behind RegisterScenario without touching the CLI
+// or bench drivers.
 
 #ifndef LINBP_DATASET_REGISTRY_H_
 #define LINBP_DATASET_REGISTRY_H_

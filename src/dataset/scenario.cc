@@ -1,5 +1,6 @@
 #include "src/dataset/scenario.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 
@@ -53,15 +54,33 @@ std::int64_t ScenarioParams::Int(const std::string& key,
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   consumed_[key] = true;
-  char* end = nullptr;
-  const double value = std::strtod(it->second.c_str(), &end);
-  if (it->second.empty() || *end != '\0' || !std::isfinite(value) ||
-      value != std::floor(value)) {
+  const auto record_error = [&](const char* what) {
     if (value_error_.empty()) {
-      value_error_ = "parameter '" + key + "' expects an integer, got '" +
+      value_error_ = "parameter '" + key + "' " + what + ", got '" +
                      it->second + "'";
     }
     return fallback;
+  };
+  // Plain decimal integers parse exactly via strtoll — a double round
+  // trip would silently round magnitudes above 2^53 and casting values
+  // >= 2^63 back to int64 is undefined behavior.
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (!it->second.empty() && *end == '\0') {
+    if (errno == ERANGE) return record_error("is out of int64 range");
+    return static_cast<std::int64_t>(parsed);
+  }
+  // Scientific-notation values ("1e6") go through strtod, which is only
+  // exact below 2^53; larger magnitudes must be spelled out in full.
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || *end != '\0' || !std::isfinite(value) ||
+      value != std::floor(value)) {
+    return record_error("expects an integer");
+  }
+  if (std::abs(value) >= 9007199254740992.0 /* 2^53 */) {
+    return record_error("is out of exact floating-point integer range "
+                        "(write the digits in full)");
   }
   return static_cast<std::int64_t>(value);
 }

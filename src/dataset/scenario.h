@@ -66,8 +66,11 @@ class ScenarioParams {
   static std::optional<ScenarioParams> Parse(const std::string& text,
                                              std::string* error);
 
-  /// Integer parameter with a default. Accepts "1e6"-style values only if
-  /// integral after conversion.
+  /// Integer parameter with a default. Plain decimal values parse
+  /// exactly over the full int64 range; "1e6"-style values are accepted
+  /// only if integral after conversion and below 2^53 (where doubles are
+  /// still exact). Out-of-range values are recorded on the value_error()
+  /// path, never silently rounded.
   std::int64_t Int(const std::string& key, std::int64_t fallback);
 
   /// Floating-point parameter with a default.

@@ -1,0 +1,599 @@
+#include "src/dataset/shard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "src/dataset/format_internal.h"
+#include "src/exec/row_partition.h"
+#include "src/util/check.h"
+
+namespace linbp {
+namespace dataset {
+namespace {
+
+using internal::AppendPod;
+using internal::AppendString;
+using internal::Cursor;
+using internal::Fnv1a;
+using internal::kFlagGroundTruth;
+using internal::kHeaderBytes;
+using internal::kMaxClasses;
+
+constexpr char kManifestMagic[8] = {'L', 'I', 'N', 'B', 'P', 'S', 'H', 'M'};
+constexpr char kShardMagic[8] = {'L', 'I', 'N', 'B', 'P', 'S', 'H', 'D'};
+
+struct ManifestEntry {
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;
+  std::int64_t nnz = 0;
+  std::int64_t num_explicit = 0;
+  std::uint64_t checksum = 0;
+  std::string file;
+};
+
+struct Manifest {
+  std::int64_t num_nodes = 0;
+  std::int64_t k = 0;
+  std::int64_t nnz = 0;
+  std::int64_t num_explicit = 0;
+  bool has_ground_truth = false;
+  std::string name;
+  std::string spec;
+  std::vector<double> coupling;  // k*k
+  std::vector<ManifestEntry> entries;
+  std::int64_t file_bytes = 0;
+};
+
+// Joins a shard file name with the directory its manifest lives in.
+std::string SiblingPath(const std::string& manifest_path,
+                        const std::string& file) {
+  const std::filesystem::path parent =
+      std::filesystem::path(manifest_path).parent_path();
+  return (parent / file).string();
+}
+
+// Parses and fully validates a manifest: header ranges, payload
+// checksum, and a shard table whose row ranges exactly tile
+// [0, num_nodes) with per-shard counts summing to the global ones.
+bool ParseManifest(const std::string& path, const std::vector<char>& bytes,
+                   Manifest* m, std::string* error) {
+  if (!internal::CheckMagicVersionEndian(path, bytes.data(), bytes.size(),
+                                         kManifestMagic, kShardFormatVersion,
+                                         "shard manifest", error)) {
+    return false;
+  }
+  const char* data = bytes.data();
+  std::uint32_t flags = 0;
+  std::uint32_t num_shards = 0;
+  std::uint64_t checksum = 0;
+  std::memcpy(&m->num_nodes, data + 16, 8);
+  std::memcpy(&m->k, data + 24, 8);
+  std::memcpy(&m->nnz, data + 32, 8);
+  std::memcpy(&m->num_explicit, data + 40, 8);
+  std::memcpy(&flags, data + 48, 4);
+  std::memcpy(&num_shards, data + 52, 4);
+  std::memcpy(&checksum, data + 56, 8);
+  if (!internal::CheckHeaderCounts(path, m->num_nodes, m->k, m->nnz,
+                                   m->num_explicit, flags,
+                                   "manifest header", error)) {
+    return false;
+  }
+  m->has_ground_truth = (flags & kFlagGroundTruth) != 0;
+  if (num_shards < 1 ||
+      static_cast<std::int64_t>(num_shards) > kMaxShards ||
+      static_cast<std::int64_t>(num_shards) > m->num_nodes) {
+    *error = path + ": corrupted manifest header (shard count out of range)";
+    return false;
+  }
+  const char* payload = data + kHeaderBytes;
+  const std::size_t payload_size = bytes.size() - kHeaderBytes;
+  if (Fnv1a(payload, payload_size) != checksum) {
+    *error = path + ": checksum mismatch (corrupted manifest)";
+    return false;
+  }
+
+  Cursor cursor(payload, payload_size);
+  m->coupling.resize(static_cast<std::size_t>(m->k * m->k));
+  if (!cursor.ReadString(&m->name) || !cursor.ReadString(&m->spec) ||
+      !cursor.Read(m->coupling.data(), m->coupling.size())) {
+    *error = path + ": truncated manifest payload";
+    return false;
+  }
+  m->entries.resize(num_shards);
+  std::int64_t nnz_sum = 0;
+  std::int64_t explicit_sum = 0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    ManifestEntry& entry = m->entries[s];
+    if (!cursor.Read(&entry.row_begin, 1) || !cursor.Read(&entry.row_end, 1) ||
+        !cursor.Read(&entry.nnz, 1) || !cursor.Read(&entry.num_explicit, 1) ||
+        !cursor.Read(&entry.checksum, 1) || !cursor.ReadString(&entry.file)) {
+      *error = path + ": truncated manifest payload";
+      return false;
+    }
+    // The shard table must tile [0, num_nodes) exactly: shard 0 starts at
+    // row 0, every shard is non-empty and abuts its predecessor (no gap,
+    // no overlap), and the last one ends at num_nodes (checked below).
+    const std::int64_t expected_begin =
+        s == 0 ? 0 : m->entries[s - 1].row_end;
+    if (entry.row_begin != expected_begin) {
+      *error = path + ": shard " + std::to_string(s) +
+               " row range does not abut its predecessor (gap or overlap)";
+      return false;
+    }
+    if (entry.row_end <= entry.row_begin ||
+        entry.row_end > m->num_nodes) {
+      *error = path + ": shard " + std::to_string(s) +
+               " row range is empty or out of bounds";
+      return false;
+    }
+    // The 2^48 cap keeps every byte-size computation below comfortably
+    // inside int64 (a real shard this large would be ~3 petabytes).
+    if (entry.nnz < 0 || entry.nnz > (std::int64_t{1} << 48) ||
+        entry.num_explicit < 0 ||
+        entry.num_explicit > entry.row_end - entry.row_begin) {
+      *error = path + ": shard " + std::to_string(s) +
+               " counts out of range";
+      return false;
+    }
+    if (entry.file.empty()) {
+      *error = path + ": shard " + std::to_string(s) + " has no file name";
+      return false;
+    }
+    // Incremental bound before accumulating: per-entry values are only
+    // capped at 2^48, so a crafted 2^20-entry table could wrap a naive
+    // int64 sum. Both sides here are non-negative and bounded by the
+    // manifest totals, so the comparison itself cannot overflow.
+    if (entry.nnz > m->nnz - nnz_sum ||
+        entry.num_explicit > m->num_explicit - explicit_sum) {
+      *error = path + ": shard counts exceed the manifest totals";
+      return false;
+    }
+    nnz_sum += entry.nnz;
+    explicit_sum += entry.num_explicit;
+  }
+  if (cursor.remaining() != 0) {
+    *error = path + ": trailing bytes after the manifest payload";
+    return false;
+  }
+  if (m->entries.back().row_end != m->num_nodes) {
+    *error = path + ": shard row ranges do not cover every row";
+    return false;
+  }
+  if (nnz_sum != m->nnz) {
+    *error = path + ": shard nnz counts do not sum to the manifest total";
+    return false;
+  }
+  if (explicit_sum != m->num_explicit) {
+    *error = path +
+             ": shard explicit counts do not sum to the manifest total";
+    return false;
+  }
+  m->file_bytes = static_cast<std::int64_t>(bytes.size());
+  return true;
+}
+
+struct ShardHeader {
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;
+  std::int64_t nnz = 0;
+  std::int64_t num_explicit = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t shard_index = 0;
+  std::uint64_t checksum = 0;
+};
+
+// Exact payload byte count of one shard file — the single source of
+// truth shared by the writer's buffer reserve and the loader's
+// preflight, which bounds the global allocations by actual on-disk
+// bytes. A format change that grows the payload must land here, or the
+// preflight would either reject valid files or (worse) reopen the
+// hostile-manifest allocation hole it exists to close. Cannot overflow:
+// rows <= 2^31, nnz <= 2^48 (manifest cap), k <= kMaxClasses.
+std::int64_t ShardPayloadBytes(std::int64_t rows, std::int64_t nnz,
+                               std::int64_t num_explicit, std::int64_t k,
+                               bool has_ground_truth) {
+  return (rows + 1) * 8 +            // local row_ptr
+         nnz * (4 + 8) +             // col_idx + values
+         num_explicit * 8 * (1 + k)  // explicit ids + residual rows
+         + (has_ground_truth ? rows * 4 : 0);
+}
+
+void WriteShardHeader(const ShardHeader& h, char* out) {
+  std::memcpy(out, kShardMagic, 8);
+  std::memcpy(out + 8, &kShardFormatVersion, 4);
+  std::memcpy(out + 12, &internal::kEndianTag, 4);
+  std::memcpy(out + 16, &h.row_begin, 8);
+  std::memcpy(out + 24, &h.row_end, 8);
+  std::memcpy(out + 32, &h.nnz, 8);
+  std::memcpy(out + 40, &h.num_explicit, 8);
+  std::memcpy(out + 48, &h.flags, 4);
+  std::memcpy(out + 52, &h.shard_index, 4);
+  std::memcpy(out + 56, &h.checksum, 8);
+}
+
+// Reads, checks, and copies ONE shard file into its slices of the
+// global arrays. `nnz_offset` / `explicit_offset` locate the shard's
+// slice; the row_ptr entries it owns are [row_begin, row_end) (the
+// terminating global entry row_ptr[n] is set once by the caller, so no
+// two shards ever write the same element).
+bool LoadOneShard(const std::string& manifest_path, const Manifest& manifest,
+                  std::int64_t shard, std::int64_t nnz_offset,
+                  std::int64_t explicit_offset,
+                  internal::ScenarioParts* parts, std::string* error) {
+  const ManifestEntry& entry = manifest.entries[shard];
+  const std::string path = SiblingPath(manifest_path, entry.file);
+  std::vector<char> bytes;
+  if (!internal::ReadFileBytes(path, &bytes, error)) return false;
+  if (!internal::CheckMagicVersionEndian(path, bytes.data(), bytes.size(),
+                                         kShardMagic, kShardFormatVersion,
+                                         "snapshot shard", error)) {
+    return false;
+  }
+  ShardHeader h;
+  std::memcpy(&h.row_begin, bytes.data() + 16, 8);
+  std::memcpy(&h.row_end, bytes.data() + 24, 8);
+  std::memcpy(&h.nnz, bytes.data() + 32, 8);
+  std::memcpy(&h.num_explicit, bytes.data() + 40, 8);
+  std::memcpy(&h.flags, bytes.data() + 48, 4);
+  std::memcpy(&h.shard_index, bytes.data() + 52, 4);
+  std::memcpy(&h.checksum, bytes.data() + 56, 8);
+  const std::uint32_t expected_flags =
+      manifest.has_ground_truth ? kFlagGroundTruth : 0;
+  if (h.row_begin != entry.row_begin || h.row_end != entry.row_end ||
+      h.nnz != entry.nnz || h.num_explicit != entry.num_explicit ||
+      h.flags != expected_flags ||
+      h.shard_index != static_cast<std::uint32_t>(shard)) {
+    *error = path + ": shard header disagrees with its manifest entry";
+    return false;
+  }
+  const char* payload = bytes.data() + kHeaderBytes;
+  const std::size_t payload_size = bytes.size() - kHeaderBytes;
+  if (h.checksum != entry.checksum ||
+      Fnv1a(payload, payload_size) != h.checksum) {
+    *error = path + ": checksum mismatch (corrupted shard)";
+    return false;
+  }
+
+  const std::int64_t rows = h.row_end - h.row_begin;
+  const std::int64_t k = manifest.k;
+  Cursor cursor(payload, payload_size);
+  std::vector<std::int64_t> local_row_ptr;
+  if (!cursor.ReadVector(&local_row_ptr,
+                         static_cast<std::size_t>(rows + 1))) {
+    *error = path + ": truncated shard payload";
+    return false;
+  }
+  if (local_row_ptr.front() != 0 || local_row_ptr.back() != h.nnz) {
+    *error = path + ": invalid shard row pointers";
+    return false;
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (local_row_ptr[r] > local_row_ptr[r + 1]) {
+      *error = path + ": invalid shard row pointers";
+      return false;
+    }
+    parts->row_ptr[h.row_begin + r] = nnz_offset + local_row_ptr[r];
+  }
+  const bool arrays_ok =
+      cursor.Read(parts->col_idx.data() + nnz_offset,
+                  static_cast<std::size_t>(h.nnz)) &&
+      cursor.Read(parts->values.data() + nnz_offset,
+                  static_cast<std::size_t>(h.nnz)) &&
+      cursor.Read(parts->explicit_nodes.data() + explicit_offset,
+                  static_cast<std::size_t>(h.num_explicit)) &&
+      cursor.Read(parts->explicit_rows.data() + explicit_offset * k,
+                  static_cast<std::size_t>(h.num_explicit * k)) &&
+      (!manifest.has_ground_truth ||
+       cursor.Read(parts->ground_truth.data() + h.row_begin,
+                   static_cast<std::size_t>(rows)));
+  if (!arrays_ok) {
+    *error = path + ": truncated shard payload";
+    return false;
+  }
+  if (cursor.remaining() != 0) {
+    *error = path + ": trailing bytes after the shard payload";
+    return false;
+  }
+  // Each explicit node must belong to this shard's row block — the
+  // global list is the concatenation of the per-shard slices, so this
+  // is what keeps it sorted and correctly attributed.
+  for (std::int64_t i = 0; i < h.num_explicit; ++i) {
+    const std::int64_t v = parts->explicit_nodes[explicit_offset + i];
+    if (v < h.row_begin || v >= h.row_end) {
+      *error = path + ": explicit node outside the shard's row range";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ShardManifestFileName() { return "manifest.lbpm"; }
+
+std::string ShardFileName(std::int64_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%06lld.lbpsd",
+                static_cast<long long>(shard));
+  return buf;
+}
+
+std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
+                                              std::int64_t max_shards,
+                                              const std::string& dir,
+                                              std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  LINBP_CHECK(scenario.k >= 1 && scenario.k <= kMaxClasses);
+  LINBP_CHECK(scenario.coupling_residual.rows() == scenario.k &&
+              scenario.coupling_residual.cols() == scenario.k);
+  const Graph& graph = scenario.graph;
+  const SparseMatrix& adjacency = graph.adjacency();
+  LINBP_CHECK(scenario.explicit_residuals.rows() == graph.num_nodes() &&
+              scenario.explicit_residuals.cols() == scenario.k);
+  LINBP_CHECK(!scenario.HasGroundTruth() ||
+              static_cast<std::int64_t>(scenario.ground_truth.size()) ==
+                  graph.num_nodes());
+  if (max_shards < 1 || max_shards > kMaxShards) {
+    *error = dir + ": shard count must be in [1, " +
+             std::to_string(kMaxShards) + "]";
+    return std::nullopt;
+  }
+  const std::int64_t n = graph.num_nodes();
+  if (n == 0) {
+    *error = dir + ": cannot shard an empty scenario";
+    return std::nullopt;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    *error = dir + ": cannot create directory (" + ec.message() + ")";
+    return std::nullopt;
+  }
+
+  const exec::RowPartition partition =
+      exec::RowPartition::NnzBalanced(adjacency.row_ptr(), max_shards);
+  const std::int64_t num_shards = partition.num_blocks();
+  const std::uint32_t flags =
+      scenario.HasGroundTruth() ? kFlagGroundTruth : 0;
+  const auto& row_ptr = adjacency.row_ptr();
+  const auto& col_idx = adjacency.col_idx();
+  const auto& values = adjacency.values();
+  const auto& explicit_nodes = scenario.explicit_nodes;
+
+  std::vector<ManifestEntry> entries(num_shards);
+  for (std::int64_t s = 0; s < num_shards; ++s) {
+    const std::int64_t row_begin = partition.begin(s);
+    const std::int64_t row_end = partition.end(s);
+    const std::int64_t rows = row_end - row_begin;
+    const std::int64_t nnz_begin = row_ptr[row_begin];
+    const std::int64_t nnz = row_ptr[row_end] - nnz_begin;
+    // The explicit list is sorted, so this shard's slice is a range.
+    const auto explicit_begin = std::lower_bound(
+        explicit_nodes.begin(), explicit_nodes.end(), row_begin);
+    const auto explicit_end = std::lower_bound(
+        explicit_begin, explicit_nodes.end(), row_end);
+    const std::int64_t num_explicit = explicit_end - explicit_begin;
+
+    std::vector<char> payload;
+    payload.reserve(static_cast<std::size_t>(ShardPayloadBytes(
+        rows, nnz, num_explicit, scenario.k, flags != 0)));
+    std::vector<std::int64_t> local_row_ptr(rows + 1);
+    for (std::int64_t r = 0; r <= rows; ++r) {
+      local_row_ptr[r] = row_ptr[row_begin + r] - nnz_begin;
+    }
+    AppendPod(local_row_ptr.data(), local_row_ptr.size(), &payload);
+    AppendPod(col_idx.data() + nnz_begin, static_cast<std::size_t>(nnz),
+              &payload);
+    AppendPod(values.data() + nnz_begin, static_cast<std::size_t>(nnz),
+              &payload);
+    AppendPod(explicit_nodes.data() + (explicit_begin -
+                                       explicit_nodes.begin()),
+              static_cast<std::size_t>(num_explicit), &payload);
+    std::vector<double> rows_buf;
+    rows_buf.reserve(static_cast<std::size_t>(num_explicit * scenario.k));
+    for (auto it = explicit_begin; it != explicit_end; ++it) {
+      LINBP_CHECK(*it >= 0 && *it < n);
+      for (std::int64_t c = 0; c < scenario.k; ++c) {
+        rows_buf.push_back(scenario.explicit_residuals.At(*it, c));
+      }
+    }
+    AppendPod(rows_buf.data(), rows_buf.size(), &payload);
+    if (flags != 0) {
+      AppendPod(scenario.ground_truth.data() + row_begin,
+                static_cast<std::size_t>(rows), &payload);
+    }
+
+    ShardHeader header;
+    header.row_begin = row_begin;
+    header.row_end = row_end;
+    header.nnz = nnz;
+    header.num_explicit = num_explicit;
+    header.flags = flags;
+    header.shard_index = static_cast<std::uint32_t>(s);
+    header.checksum = Fnv1a(payload.data(), payload.size());
+    char header_bytes[kHeaderBytes];
+    WriteShardHeader(header, header_bytes);
+    const std::string file = ShardFileName(s);
+    if (!internal::WriteFileDurably((std::filesystem::path(dir) / file)
+                                        .string(),
+                                    header_bytes, kHeaderBytes, payload,
+                                    error)) {
+      return std::nullopt;
+    }
+    entries[s] = ManifestEntry{row_begin, row_end, nnz, num_explicit,
+                               header.checksum, file};
+  }
+
+  // Manifest last: a crashed writer leaves shard files but no loadable
+  // manifest, so partial output can never be mistaken for a snapshot.
+  std::vector<char> payload;
+  AppendString(scenario.name, &payload);
+  AppendString(scenario.spec, &payload);
+  AppendPod(scenario.coupling_residual.data().data(),
+            static_cast<std::size_t>(scenario.k * scenario.k), &payload);
+  for (const ManifestEntry& entry : entries) {
+    AppendPod(&entry.row_begin, 1, &payload);
+    AppendPod(&entry.row_end, 1, &payload);
+    AppendPod(&entry.nnz, 1, &payload);
+    AppendPod(&entry.num_explicit, 1, &payload);
+    AppendPod(&entry.checksum, 1, &payload);
+    AppendString(entry.file, &payload);
+  }
+  char header_bytes[kHeaderBytes];
+  std::memcpy(header_bytes, kManifestMagic, 8);
+  std::memcpy(header_bytes + 8, &kShardFormatVersion, 4);
+  std::memcpy(header_bytes + 12, &internal::kEndianTag, 4);
+  const std::int64_t nnz_total = adjacency.NumNonZeros();
+  const std::int64_t num_explicit_total =
+      static_cast<std::int64_t>(explicit_nodes.size());
+  std::memcpy(header_bytes + 16, &n, 8);
+  std::memcpy(header_bytes + 24, &scenario.k, 8);
+  std::memcpy(header_bytes + 32, &nnz_total, 8);
+  std::memcpy(header_bytes + 40, &num_explicit_total, 8);
+  std::memcpy(header_bytes + 48, &flags, 4);
+  const std::uint32_t shard_count = static_cast<std::uint32_t>(num_shards);
+  std::memcpy(header_bytes + 52, &shard_count, 4);
+  const std::uint64_t checksum = Fnv1a(payload.data(), payload.size());
+  std::memcpy(header_bytes + 56, &checksum, 8);
+
+  ShardWriteResult result;
+  result.manifest_path =
+      (std::filesystem::path(dir) / ShardManifestFileName()).string();
+  result.num_shards = num_shards;
+  if (!internal::WriteFileDurably(result.manifest_path, header_bytes,
+                                  kHeaderBytes, payload, error)) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+std::optional<Scenario> LoadShardedSnapshot(const std::string& manifest_path,
+                                            std::string* error,
+                                            const exec::ExecContext& ctx) {
+  LINBP_CHECK(error != nullptr);
+  std::vector<char> bytes;
+  if (!internal::ReadFileBytes(manifest_path, &bytes, error)) {
+    return std::nullopt;
+  }
+  Manifest manifest;
+  if (!ParseManifest(manifest_path, bytes, &manifest, error)) {
+    return std::nullopt;
+  }
+  bytes.clear();
+  bytes.shrink_to_fit();
+
+  const std::int64_t num_shards =
+      static_cast<std::int64_t>(manifest.entries.size());
+  // Preflight: every shard file must be large enough for the counts its
+  // manifest entry declares. This bounds the global allocations below by
+  // actual on-disk bytes, so a checksum-consistent but hostile manifest
+  // cannot drive the loader into a multi-terabyte resize (the same
+  // guarantee the monolithic loader gets from its bounds-checked Cursor).
+  for (std::int64_t s = 0; s < num_shards; ++s) {
+    const ManifestEntry& entry = manifest.entries[s];
+    const std::string shard_path = SiblingPath(manifest_path, entry.file);
+    std::error_code ec;
+    const std::uintmax_t file_size =
+        std::filesystem::file_size(shard_path, ec);
+    if (ec) {
+      *error = shard_path + ": cannot open";
+      return std::nullopt;
+    }
+    const std::int64_t needed =
+        static_cast<std::int64_t>(internal::kHeaderBytes) +
+        ShardPayloadBytes(entry.row_end - entry.row_begin, entry.nnz,
+                          entry.num_explicit, manifest.k,
+                          manifest.has_ground_truth);
+    if (file_size < static_cast<std::uintmax_t>(needed)) {
+      *error = shard_path + ": truncated shard payload";
+      return std::nullopt;
+    }
+  }
+  // Per-shard slice offsets (exclusive prefix sums over the manifest).
+  std::vector<std::int64_t> nnz_offset(num_shards + 1, 0);
+  std::vector<std::int64_t> explicit_offset(num_shards + 1, 0);
+  for (std::int64_t s = 0; s < num_shards; ++s) {
+    nnz_offset[s + 1] = nnz_offset[s] + manifest.entries[s].nnz;
+    explicit_offset[s + 1] =
+        explicit_offset[s] + manifest.entries[s].num_explicit;
+  }
+
+  internal::ScenarioParts parts;
+  parts.name = manifest.name;
+  parts.spec = manifest.spec;
+  parts.num_nodes = manifest.num_nodes;
+  parts.k = manifest.k;
+  parts.has_ground_truth = manifest.has_ground_truth;
+  parts.coupling = std::move(manifest.coupling);
+  parts.row_ptr.resize(manifest.num_nodes + 1);
+  parts.col_idx.resize(manifest.nnz);
+  parts.values.resize(manifest.nnz);
+  parts.explicit_nodes.resize(manifest.num_explicit);
+  parts.explicit_rows.resize(manifest.num_explicit * manifest.k);
+  if (manifest.has_ground_truth) {
+    parts.ground_truth.resize(manifest.num_nodes);
+  }
+  parts.row_ptr[manifest.num_nodes] = manifest.nnz;
+
+  // One task per shard: each reads its file and writes disjoint slices
+  // of the global arrays, so the fan-out is race-free by construction.
+  std::vector<std::string> shard_errors(num_shards);
+  ctx.RunBlocks(num_shards, [&](std::int64_t s) {
+    LoadOneShard(manifest_path, manifest, s, nnz_offset[s],
+                 explicit_offset[s], &parts, &shard_errors[s]);
+  });
+  for (std::int64_t s = 0; s < num_shards; ++s) {
+    if (!shard_errors[s].empty()) {
+      *error = shard_errors[s];
+      return std::nullopt;
+    }
+  }
+
+  // Global validation (structure, cross-shard symmetry, coupling,
+  // beliefs, truth) runs once, in parallel, then the trusted adopt
+  // paths take over — the same code path the monolithic loader uses, so
+  // a sharded load is bit-identical to the monolithic one.
+  return internal::ValidateAndAssembleScenario(manifest_path,
+                                               std::move(parts), ctx, error);
+}
+
+std::optional<ShardManifestInfo> ReadShardManifestInfo(
+    const std::string& path, std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  std::vector<char> bytes;
+  if (!internal::ReadFileBytes(path, &bytes, error)) return std::nullopt;
+  Manifest manifest;
+  if (!ParseManifest(path, bytes, &manifest, error)) return std::nullopt;
+  ShardManifestInfo info;
+  info.version = kShardFormatVersion;
+  info.num_nodes = manifest.num_nodes;
+  info.k = manifest.k;
+  info.nnz = manifest.nnz;
+  info.num_explicit = manifest.num_explicit;
+  info.has_ground_truth = manifest.has_ground_truth;
+  info.file_bytes = manifest.file_bytes;
+  info.name = manifest.name;
+  info.spec = manifest.spec;
+  info.shards.reserve(manifest.entries.size());
+  for (const ManifestEntry& entry : manifest.entries) {
+    info.shards.push_back(ShardRangeInfo{entry.row_begin, entry.row_end,
+                                         entry.nnz, entry.num_explicit,
+                                         entry.file});
+  }
+  return info;
+}
+
+bool LooksLikeShardManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  if (!in.read(magic, 8)) return false;
+  return std::memcmp(magic, kManifestMagic, 8) == 0;
+}
+
+}  // namespace dataset
+}  // namespace linbp

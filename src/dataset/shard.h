@@ -1,0 +1,167 @@
+// Sharded snapshots: one Scenario split into per-row-block shard files
+// plus a checksummed manifest.
+//
+// The paper's scalability experiments (Sect. 7) run LinBP/SBP on graphs
+// with hundreds of millions of edges — larger than one comfortably
+// resident CSR. The linearized fixed-point iteration decomposes cleanly
+// over contiguous row blocks, so the shard key is the same nnz-balanced
+// exec::RowPartition the parallel kernels already split on: one shard =
+// one row block, holding that block's slice of every Scenario section.
+// Shards load in parallel on an ExecContext (one task per shard), which
+// also makes the sharded format the seam for future out-of-core or
+// distributed execution.
+//
+// On-disk layout. ShardSnapshot writes into a directory:
+//
+//   <dir>/manifest.lbpm        the manifest (written last, so a crashed
+//                              writer never leaves a loadable manifest
+//                              pointing at missing shards)
+//   <dir>/shard-000000.lbpsd   shard 0 (rows [0, r1))
+//   <dir>/shard-000001.lbpsd   shard 1 (rows [r1, r2))
+//   ...
+//
+// Manifest file (little-endian, 64-byte header like snapshot.h):
+//
+//   offset  size  field
+//   0       8     magic "LINBPSHM"
+//   8       4     u32 version (currently 1)
+//   12      4     u32 endian tag 0x01020304
+//   16      8     i64 num_nodes
+//   24      8     i64 k (classes)
+//   32      8     i64 nnz (global stored adjacency entries)
+//   40      8     i64 num_explicit (global)
+//   48      4     u32 flags (bit 0: ground truth present)
+//   52      4     u32 num_shards
+//   56      8     u64 FNV-1a checksum of the manifest payload
+//   64      ...   payload:
+//                   u32 name length, name bytes
+//                   u32 spec length, spec bytes
+//                   f64[k*k] coupling residual (row-major)
+//                   num_shards x shard entry:
+//                     i64 row_begin, i64 row_end
+//                     i64 nnz, i64 num_explicit
+//                     u64 FNV-1a checksum of the shard's payload
+//                     u32 file-name length, file-name bytes (relative
+//                         to the manifest's directory)
+//
+// Shard file (64-byte header):
+//
+//   0       8     magic "LINBPSHD"
+//   8       4     u32 version
+//   12      4     u32 endian tag
+//   16      8     i64 row_begin
+//   24      8     i64 row_end
+//   32      8     i64 nnz (this shard's stored entries)
+//   40      8     i64 num_explicit (this shard's explicit nodes)
+//   48      4     u32 flags (bit 0: ground-truth slice present)
+//   52      4     u32 shard index
+//   56      8     u64 FNV-1a checksum of the shard payload
+//   64      ...   payload:
+//                   i64[rows + 1]       local row_ptr (rebased to 0)
+//                   i32[nnz]            col_idx (GLOBAL column ids)
+//                   f64[nnz]            values
+//                   i64[num_explicit]   explicit node ids (global, sorted,
+//                                       inside [row_begin, row_end))
+//                   f64[num_explicit*k] explicit residual rows
+//                   i32[rows]           ground truth slice (iff flag)
+//
+// LoadShardedSnapshot rejects every mismatch with a descriptive error,
+// never a crash: bad magic/version/endianness, checksum failures at the
+// manifest or shard level, shard headers disagreeing with their manifest
+// entry, row-range gaps or overlaps, count mismatches, truncation,
+// trailing bytes, missing shard files, and — via the shared global
+// validation sweep — cross-shard asymmetry of the assembled adjacency.
+// A successful load is bit-identical to loading the monolithic snapshot
+// of the same scenario.
+
+#ifndef LINBP_DATASET_SHARD_H_
+#define LINBP_DATASET_SHARD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dataset/scenario.h"
+#include "src/exec/exec_context.h"
+
+namespace linbp {
+namespace dataset {
+
+/// Current sharded-snapshot format version (manifest and shard files).
+inline constexpr std::uint32_t kShardFormatVersion = 1;
+
+/// Sanity bound on the shard count a manifest may declare.
+inline constexpr std::int64_t kMaxShards = 1 << 20;
+
+/// File names ShardSnapshot produces inside its directory.
+std::string ShardManifestFileName();
+std::string ShardFileName(std::int64_t shard);
+
+/// Where ShardSnapshot wrote, for callers that report or chain on it.
+struct ShardWriteResult {
+  std::string manifest_path;
+  std::int64_t num_shards = 0;
+};
+
+/// Splits `scenario` into at most `max_shards` nnz-balanced row blocks
+/// (exec::RowPartition::NnzBalanced over the CSR row pointers; fewer
+/// shards when rows run out) and writes one shard file per block plus
+/// the manifest into `dir` (created if missing). Every file is flushed
+/// and close-checked before success is reported; the manifest is written
+/// last. Returns nullopt and fills *error on I/O failure or an
+/// unshardable scenario (no nodes, max_shards out of [1, kMaxShards]).
+std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
+                                              std::int64_t max_shards,
+                                              const std::string& dir,
+                                              std::string* error);
+
+/// Loads a sharded snapshot back into a Scenario. Shard files are read
+/// and deserialized in parallel on `ctx` (one task per shard, directly
+/// into the assembled global arrays), then the shared structural
+/// validation sweep runs once before the trusted
+/// SparseMatrix::FromValidatedCsr / Graph::FromValidatedAdjacency adopt
+/// paths — no serial re-validation pass. Returns nullopt and fills
+/// *error on any corruption or manifest/shard mismatch.
+std::optional<Scenario> LoadShardedSnapshot(const std::string& manifest_path,
+                                            std::string* error,
+                                            const exec::ExecContext& ctx =
+                                                exec::ExecContext::Default());
+
+/// One manifest shard entry, as reported by ReadShardManifestInfo.
+struct ShardRangeInfo {
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;
+  std::int64_t nnz = 0;
+  std::int64_t num_explicit = 0;
+  std::string file;
+};
+
+/// Manifest fields, without reading any shard file.
+struct ShardManifestInfo {
+  std::uint32_t version = 0;
+  std::int64_t num_nodes = 0;
+  std::int64_t k = 0;
+  std::int64_t nnz = 0;
+  std::int64_t num_explicit = 0;
+  bool has_ground_truth = false;
+  std::int64_t file_bytes = 0;
+  std::string name;
+  std::string spec;
+  std::vector<ShardRangeInfo> shards;
+};
+
+/// Reads and fully validates the manifest (header, checksum, shard
+/// table consistency); does not open the shard files.
+std::optional<ShardManifestInfo> ReadShardManifestInfo(
+    const std::string& path, std::string* error);
+
+/// True when `path` exists and starts with the shard-manifest magic —
+/// the dispatch test that lets the `snap:` scenario and `linbp_cli info`
+/// accept monolithic snapshots and shard manifests interchangeably.
+bool LooksLikeShardManifest(const std::string& path);
+
+}  // namespace dataset
+}  // namespace linbp
+
+#endif  // LINBP_DATASET_SHARD_H_

@@ -1,91 +1,25 @@
 #include "src/dataset/snapshot.h"
 
-#include <algorithm>
-#include <atomic>
-#include <cmath>
 #include <cstring>
-#include <fstream>
-#include <limits>
 #include <utility>
 #include <vector>
 
+#include "src/dataset/format_internal.h"
 #include "src/util/check.h"
 
 namespace linbp {
 namespace dataset {
 namespace {
 
+using internal::AppendPod;
+using internal::AppendString;
+using internal::Cursor;
+using internal::Fnv1a;
+using internal::kFlagGroundTruth;
+using internal::kHeaderBytes;
+using internal::kMaxClasses;
+
 constexpr char kMagic[8] = {'L', 'I', 'N', 'B', 'P', 'S', 'N', 'P'};
-constexpr std::uint32_t kEndianTag = 0x01020304u;
-constexpr std::uint32_t kEndianTagSwapped = 0x04030201u;
-constexpr std::uint32_t kFlagGroundTruth = 1u;
-constexpr std::size_t kHeaderBytes = 64;
-// Far above any real class count; bounds k before allocating k*k doubles.
-constexpr std::int64_t kMaxClasses = 1024;
-
-std::uint64_t Fnv1a(const char* data, std::size_t size) {
-  std::uint64_t hash = 14695981039346656037ull;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= static_cast<unsigned char>(data[i]);
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
-template <typename T>
-void AppendPod(const T* data, std::size_t count, std::vector<char>* out) {
-  const std::size_t bytes = count * sizeof(T);
-  const std::size_t offset = out->size();
-  out->resize(offset + bytes);
-  if (bytes > 0) std::memcpy(out->data() + offset, data, bytes);
-}
-
-void AppendString(const std::string& s, std::vector<char>* out) {
-  const std::uint32_t length = static_cast<std::uint32_t>(s.size());
-  AppendPod(&length, 1, out);
-  AppendPod(s.data(), s.size(), out);
-}
-
-/// Bounds-checked sequential reader over the payload bytes.
-class Cursor {
- public:
-  Cursor(const char* data, std::size_t size) : data_(data), remaining_(size) {}
-
-  template <typename T>
-  bool Read(T* out, std::size_t count) {
-    // Division, not multiplication: a crafted header count must not wrap
-    // the byte total around size_t and slip past the bound.
-    if (count > remaining_ / sizeof(T)) return false;
-    const std::size_t bytes = count * sizeof(T);
-    if (bytes > 0) std::memcpy(out, data_, bytes);
-    data_ += bytes;
-    remaining_ -= bytes;
-    return true;
-  }
-
-  template <typename T>
-  bool ReadVector(std::vector<T>* out, std::size_t count) {
-    if (count > remaining_ / sizeof(T)) return false;
-    out->resize(count);
-    return Read(out->data(), count);
-  }
-
-  bool ReadString(std::string* out) {
-    std::uint32_t length = 0;
-    if (!Read(&length, 1)) return false;
-    if (length > remaining_) return false;
-    out->assign(data_, length);
-    data_ += length;
-    remaining_ -= length;
-    return true;
-  }
-
-  std::size_t remaining() const { return remaining_; }
-
- private:
-  const char* data_;
-  std::size_t remaining_;
-};
 
 struct Header {
   std::uint32_t version = 0;
@@ -100,7 +34,7 @@ struct Header {
 void WriteHeader(const Header& h, char* out) {
   std::memcpy(out, kMagic, 8);
   std::memcpy(out + 8, &h.version, 4);
-  std::memcpy(out + 12, &kEndianTag, 4);
+  std::memcpy(out + 12, &internal::kEndianTag, 4);
   std::memcpy(out + 16, &h.num_nodes, 8);
   std::memcpy(out + 24, &h.k, 8);
   std::memcpy(out + 32, &h.nnz, 8);
@@ -113,66 +47,21 @@ void WriteHeader(const Header& h, char* out) {
 
 bool ParseHeader(const std::string& path, const char* data, std::size_t size,
                  Header* h, std::string* error) {
-  if (size < kHeaderBytes) {
-    *error = path + ": truncated snapshot (shorter than the header)";
-    return false;
-  }
-  if (std::memcmp(data, kMagic, 8) != 0) {
-    *error = path + ": not a LinBP snapshot (bad magic)";
-    return false;
-  }
-  std::uint32_t endian = 0;
-  std::memcpy(&endian, data + 12, 4);
-  if (endian == kEndianTagSwapped) {
-    *error = path + ": big-endian snapshot is not supported";
-    return false;
-  }
-  if (endian != kEndianTag) {
-    *error = path + ": corrupted header (bad endian tag)";
+  if (!internal::CheckMagicVersionEndian(path, data, size, kMagic,
+                                         kSnapshotVersion, "snapshot",
+                                         error)) {
     return false;
   }
   std::memcpy(&h->version, data + 8, 4);
-  if (h->version != kSnapshotVersion) {
-    *error = path + ": unsupported snapshot version " +
-             std::to_string(h->version) + " (expected " +
-             std::to_string(kSnapshotVersion) + ")";
-    return false;
-  }
   std::memcpy(&h->num_nodes, data + 16, 8);
   std::memcpy(&h->k, data + 24, 8);
   std::memcpy(&h->nnz, data + 32, 8);
   std::memcpy(&h->num_explicit, data + 40, 8);
   std::memcpy(&h->flags, data + 48, 4);
   std::memcpy(&h->checksum, data + 56, 8);
-  if (h->num_nodes < 0 ||
-      h->num_nodes > std::numeric_limits<std::int32_t>::max() || h->k < 1 ||
-      h->k > kMaxClasses || h->nnz < 0 || h->num_explicit < 0 ||
-      h->num_explicit > h->num_nodes) {
-    *error = path + ": corrupted header (counts out of range)";
-    return false;
-  }
-  if ((h->flags & ~kFlagGroundTruth) != 0) {
-    *error = path + ": corrupted header (unknown flags)";
-    return false;
-  }
-  return true;
-}
-
-bool ReadFileBytes(const std::string& path, std::vector<char>* out,
-                   std::string* error) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    *error = path + ": cannot open";
-    return false;
-  }
-  const std::streamoff size = in.tellg();
-  in.seekg(0);
-  out->resize(static_cast<std::size_t>(size));
-  if (size > 0 && !in.read(out->data(), size)) {
-    *error = path + ": read failed";
-    return false;
-  }
-  return true;
+  return internal::CheckHeaderCounts(path, h->num_nodes, h->k, h->nnz,
+                                     h->num_explicit, h->flags, "header",
+                                     error);
 }
 
 }  // namespace
@@ -228,19 +117,8 @@ bool SaveSnapshot(const Scenario& scenario, const std::string& path,
   header.checksum = Fnv1a(payload.data(), payload.size());
   char header_bytes[kHeaderBytes];
   WriteHeader(header, header_bytes);
-
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    *error = path + ": cannot write";
-    return false;
-  }
-  out.write(header_bytes, kHeaderBytes);
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  if (!out) {
-    *error = path + ": write failed";
-    return false;
-  }
-  return true;
+  return internal::WriteFileDurably(path, header_bytes, kHeaderBytes, payload,
+                                    error);
 }
 
 std::optional<Scenario> LoadSnapshot(const std::string& path,
@@ -248,7 +126,7 @@ std::optional<Scenario> LoadSnapshot(const std::string& path,
                                      const exec::ExecContext& ctx) {
   LINBP_CHECK(error != nullptr);
   std::vector<char> bytes;
-  if (!ReadFileBytes(path, &bytes, error)) return std::nullopt;
+  if (!internal::ReadFileBytes(path, &bytes, error)) return std::nullopt;
   Header header;
   if (!ParseHeader(path, bytes.data(), bytes.size(), &header, error)) {
     return std::nullopt;
@@ -262,27 +140,25 @@ std::optional<Scenario> LoadSnapshot(const std::string& path,
 
   const std::int64_t n = header.num_nodes;
   const std::int64_t k = header.k;
-  Scenario scenario;
-  scenario.k = k;
+  internal::ScenarioParts parts;
+  parts.num_nodes = n;
+  parts.k = k;
+  parts.has_ground_truth = (header.flags & kFlagGroundTruth) != 0;
+  parts.coupling.resize(static_cast<std::size_t>(k * k));
   Cursor cursor(payload, payload_size);
-  std::vector<std::int64_t> row_ptr;
-  std::vector<std::int32_t> col_idx;
-  std::vector<double> values;
-  std::vector<double> coupling(static_cast<std::size_t>(k * k));
-  std::vector<double> explicit_rows;
-  std::vector<std::int32_t> ground_truth;
   const bool sections_ok =
-      cursor.ReadString(&scenario.name) && cursor.ReadString(&scenario.spec) &&
-      cursor.Read(coupling.data(), coupling.size()) &&
-      cursor.ReadVector(&row_ptr, static_cast<std::size_t>(n + 1)) &&
-      cursor.ReadVector(&col_idx, static_cast<std::size_t>(header.nnz)) &&
-      cursor.ReadVector(&values, static_cast<std::size_t>(header.nnz)) &&
-      cursor.ReadVector(&scenario.explicit_nodes,
+      cursor.ReadString(&parts.name) && cursor.ReadString(&parts.spec) &&
+      cursor.Read(parts.coupling.data(), parts.coupling.size()) &&
+      cursor.ReadVector(&parts.row_ptr, static_cast<std::size_t>(n + 1)) &&
+      cursor.ReadVector(&parts.col_idx,
+                        static_cast<std::size_t>(header.nnz)) &&
+      cursor.ReadVector(&parts.values, static_cast<std::size_t>(header.nnz)) &&
+      cursor.ReadVector(&parts.explicit_nodes,
                         static_cast<std::size_t>(header.num_explicit)) &&
-      cursor.ReadVector(&explicit_rows,
+      cursor.ReadVector(&parts.explicit_rows,
                         static_cast<std::size_t>(header.num_explicit * k)) &&
-      ((header.flags & kFlagGroundTruth) == 0 ||
-       cursor.ReadVector(&ground_truth, static_cast<std::size_t>(n)));
+      (!parts.has_ground_truth ||
+       cursor.ReadVector(&parts.ground_truth, static_cast<std::size_t>(n)));
   if (!sections_ok) {
     *error = path + ": truncated snapshot payload";
     return std::nullopt;
@@ -291,129 +167,15 @@ std::optional<Scenario> LoadSnapshot(const std::string& path,
     *error = path + ": trailing bytes after the payload";
     return std::nullopt;
   }
-
-  // Structural validation with error returns (the checksum only proves the
-  // bytes match what was written, not that a writer was well behaved).
-  // Monotonicity of the WHOLE row_ptr array must hold before any entry
-  // loop below runs — together with back() == nnz it bounds every
-  // [row_ptr[r], row_ptr[r+1]) range, including the mirror lookups into
-  // other rows.
-  std::atomic<bool> valid(true);
-  if (row_ptr.front() != 0 || row_ptr.back() != header.nnz) {
-    valid.store(false);
-  } else {
-    ctx.ParallelFor(0, n, /*min_grain=*/8192,
-                    [&](std::int64_t row_begin, std::int64_t row_end) {
-                      for (std::int64_t r = row_begin; r < row_end; ++r) {
-                        if (row_ptr[r] > row_ptr[r + 1]) {
-                          valid.store(false, std::memory_order_relaxed);
-                          return;
-                        }
-                      }
-                    });
-  }
-  if (!valid.load()) {
-    *error = path + ": invalid CSR row pointers";
-    return std::nullopt;
-  }
-  // Per-row entry sweep: CSR ordering, range, symmetry, finite weights.
-  ctx.ParallelFor(0, n, /*min_grain=*/2048, [&](std::int64_t row_begin,
-                                                std::int64_t row_end) {
-    bool ok = true;
-    for (std::int64_t r = row_begin; r < row_end && ok; ++r) {
-      for (std::int64_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
-        const std::int64_t c = col_idx[e];
-        if (c < 0 || c >= n || c == r || !std::isfinite(values[e]) ||
-            (e > row_ptr[r] && col_idx[e - 1] >= c)) {
-          ok = false;
-          break;
-        }
-        // Mirror entry (c, r) must exist with an identical value.
-        const auto begin = col_idx.begin() + row_ptr[c];
-        const auto end = col_idx.begin() + row_ptr[c + 1];
-        const auto it =
-            std::lower_bound(begin, end, static_cast<std::int32_t>(r));
-        if (it == end || *it != r ||
-            values[it - col_idx.begin()] != values[e]) {
-          ok = false;
-          break;
-        }
-      }
-    }
-    if (!ok) valid.store(false, std::memory_order_relaxed);
-  });
-  if (!valid.load()) {
-    *error = path + ": invalid adjacency payload (CSR structure, symmetry, "
-                    "or non-finite weights)";
-    return std::nullopt;
-  }
-
-  scenario.coupling_residual = DenseMatrix(k, k);
-  std::copy(coupling.begin(), coupling.end(),
-            scenario.coupling_residual.mutable_data().begin());
-  for (std::int64_t i = 0; i < k; ++i) {
-    double row_sum = 0.0;
-    for (std::int64_t j = 0; j < k; ++j) {
-      const double value = scenario.coupling_residual.At(i, j);
-      if (!std::isfinite(value) ||
-          value != scenario.coupling_residual.At(j, i)) {
-        *error = path + ": invalid coupling residual";
-        return std::nullopt;
-      }
-      row_sum += value;
-    }
-    if (std::abs(row_sum) > 1e-9) {
-      *error = path + ": invalid coupling residual";
-      return std::nullopt;
-    }
-  }
-
-  scenario.explicit_residuals = DenseMatrix(n, k);
-  for (std::size_t i = 0; i < scenario.explicit_nodes.size(); ++i) {
-    const std::int64_t v = scenario.explicit_nodes[i];
-    if (v < 0 || v >= n ||
-        (i > 0 && scenario.explicit_nodes[i - 1] >= v)) {
-      *error = path + ": invalid explicit node list";
-      return std::nullopt;
-    }
-    for (std::int64_t c = 0; c < k; ++c) {
-      const double b = explicit_rows[i * k + c];
-      if (!std::isfinite(b)) {
-        *error = path + ": non-finite explicit belief";
-        return std::nullopt;
-      }
-      scenario.explicit_residuals.At(v, c) = b;
-    }
-  }
-
-  if ((header.flags & kFlagGroundTruth) != 0) {
-    scenario.ground_truth.resize(n);
-    for (std::int64_t v = 0; v < n; ++v) {
-      const std::int32_t cls = ground_truth[v];
-      if (cls < -1 || cls >= k) {
-        *error = path + ": ground-truth class out of range";
-        return std::nullopt;
-      }
-      scenario.ground_truth[v] = cls;
-    }
-  }
-
-  // The payload passed full validation above, so the trusted adopt paths
-  // apply — re-running the CHECKed sweeps would just double the cost of
-  // the format's reason to exist. Edge-list and degree reconstruction
-  // still fan out on ctx.
-  scenario.graph = Graph::FromValidatedAdjacency(
-      SparseMatrix::FromValidatedCsr(n, n, std::move(row_ptr),
-                                     std::move(col_idx), std::move(values)),
-      ctx);
-  return scenario;
+  return internal::ValidateAndAssembleScenario(path, std::move(parts), ctx,
+                                               error);
 }
 
 std::optional<SnapshotInfo> ReadSnapshotInfo(const std::string& path,
                                              std::string* error) {
   LINBP_CHECK(error != nullptr);
   std::vector<char> bytes;
-  if (!ReadFileBytes(path, &bytes, error)) return std::nullopt;
+  if (!internal::ReadFileBytes(path, &bytes, error)) return std::nullopt;
   Header header;
   if (!ParseHeader(path, bytes.data(), bytes.size(), &header, error)) {
     return std::nullopt;

@@ -31,9 +31,11 @@
 //
 // Load rejects wrong magic/version/endianness, truncated or oversized
 // files, checksum mismatches, and structurally invalid CSR payloads with
-// descriptive errors — it never aborts on bad bytes. A future sharded /
-// out-of-core backend splits the CSR sections by exec::RowPartition row
-// blocks; the header is deliberately sized so a shard index can follow it.
+// descriptive errors — it never aborts on bad bytes. For graphs larger
+// than one comfortably resident file, src/dataset/shard.h splits the same
+// sections by exec::RowPartition row blocks into per-shard files behind a
+// checksummed manifest; both formats share their serialization and
+// validation internals (src/dataset/format_internal.h).
 
 #ifndef LINBP_DATASET_SNAPSHOT_H_
 #define LINBP_DATASET_SNAPSHOT_H_

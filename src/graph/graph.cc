@@ -1,6 +1,8 @@
 #include "src/graph/graph.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <utility>
 
 #include "src/util/check.h"
@@ -109,6 +111,45 @@ Graph Graph::FromAdjacencyImpl(SparseMatrix adjacency,
 std::int64_t Graph::Degree(std::int64_t node) const {
   LINBP_CHECK(node >= 0 && node < num_nodes());
   return adjacency_.row_ptr()[node + 1] - adjacency_.row_ptr()[node];
+}
+
+std::string ValidateNewEdgeBatch(const Graph& graph,
+                                 const std::vector<Edge>& edges) {
+  const std::int64_t n = graph.num_nodes();
+  const auto& row_ptr = graph.adjacency().row_ptr();
+  const auto& col_idx = graph.adjacency().col_idx();
+  std::vector<std::pair<std::int64_t, std::int64_t>> keys;
+  keys.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n) {
+      return "edge (" + std::to_string(e.u) + ", " + std::to_string(e.v) +
+             ") has an endpoint outside [0, " + std::to_string(n) + ")";
+    }
+    if (e.u == e.v) {
+      return "self-loop on node " + std::to_string(e.u) +
+             " is not supported";
+    }
+    if (!std::isfinite(e.weight)) {
+      return "edge (" + std::to_string(e.u) + ", " + std::to_string(e.v) +
+             ") has a non-finite weight";
+    }
+    const std::int64_t u = std::min(e.u, e.v);
+    const std::int64_t v = std::max(e.u, e.v);
+    const auto begin = col_idx.begin() + row_ptr[u];
+    const auto end = col_idx.begin() + row_ptr[u + 1];
+    if (std::binary_search(begin, end, static_cast<std::int32_t>(v))) {
+      return "edge (" + std::to_string(u) + ", " + std::to_string(v) +
+             ") already exists in the graph";
+    }
+    keys.emplace_back(u, v);
+  }
+  std::sort(keys.begin(), keys.end());
+  const auto dup = std::adjacent_find(keys.begin(), keys.end());
+  if (dup != keys.end()) {
+    return "duplicate edge (" + std::to_string(dup->first) + ", " +
+           std::to_string(dup->second) + ") in the batch";
+  }
+  return std::string();
 }
 
 std::vector<std::int64_t> ReverseEdgeIndex(const SparseMatrix& adjacency) {

@@ -9,6 +9,7 @@
 #define LINBP_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/la/sparse_matrix.h"
@@ -92,6 +93,17 @@ class Graph {
 /// e = (s -> t) the index of its mirror entry (t -> s). Message-passing BP
 /// and the directed edge matrix of Appendix G both need this mapping.
 std::vector<std::int64_t> ReverseEdgeIndex(const SparseMatrix& adjacency);
+
+/// Validates a batch of edges to be ADDED to `graph`: endpoints in
+/// range, no self-loops, finite weights, no duplicate undirected pair
+/// within the batch, and no edge already stored in the adjacency (the
+/// stored pattern decides — a zero weight is still a stored entry).
+/// Returns an empty string for a valid batch, else a description of the
+/// first problem. This is the error-returning complement of the
+/// CHECK-aborting Graph constructor, for the incremental solvers' edge
+/// streams arriving from user input.
+std::string ValidateNewEdgeBatch(const Graph& graph,
+                                 const std::vector<Edge>& edges);
 
 }  // namespace linbp
 

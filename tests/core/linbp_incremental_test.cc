@@ -1,5 +1,9 @@
 #include "src/core/linbp_incremental.h"
 
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "src/core/coupling.h"
 #include "src/graph/beliefs.h"
@@ -94,6 +98,52 @@ TEST(LinBpStateTest, EdgeUpdateMatchesColdSolve) {
   std::vector<Edge> edges = g.edges();
   edges.push_back({u, v, 1.0});
   const LinBpResult reference = RunLinBp(Graph(25, edges), hhat,
+                                         seeded.residuals, TightOptions());
+  ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-10);
+}
+
+TEST(LinBpStateTest, AddEdgesRejectsInvalidBatchesWithoutAborting) {
+  const Graph g = PathGraph(4);  // edges 0-1, 1-2, 2-3
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.05);
+  const SeededBeliefs seeded = SeedPaperBeliefs(4, 3, 2, /*seed=*/3);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+  ASSERT_TRUE(state.converged());
+  const DenseMatrix before = state.beliefs();
+
+  // Every invalid batch reports an error and leaves the state untouched
+  // (beliefs AND graph) — the PR 3 "errors, never crashes" convention.
+  struct Case {
+    std::vector<Edge> batch;
+    const char* expect;
+  };
+  const std::vector<Case> cases = {
+      {{{0, 1, 1.0}}, "already exists"},
+      {{{0, 2, 1.0}, {2, 0, 1.0}}, "duplicate edge"},
+      {{{0, 4, 1.0}}, "outside"},
+      {{{-1, 2, 1.0}}, "outside"},
+      {{{2, 2, 1.0}}, "self-loop"},
+      {{{0, 2, std::nan("")}}, "non-finite"},
+      // A valid edge does not rescue a batch with an invalid one.
+      {{{0, 2, 1.0}, {1, 3, 1.0}, {1, 3, 2.0}}, "duplicate edge"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    EXPECT_EQ(state.AddEdges(c.batch, &error), -1);
+    EXPECT_NE(error.find(c.expect), std::string::npos) << error;
+    EXPECT_EQ(state.graph().num_undirected_edges(),
+              g.num_undirected_edges());
+    ExpectMatrixNear(state.beliefs(), before, 0.0);
+  }
+  // The null-error overload still refuses without crashing.
+  EXPECT_EQ(state.AddEdges({{0, 1, 1.0}}), -1);
+
+  // After all the rejections, a valid batch still applies cleanly.
+  std::string error;
+  EXPECT_GT(state.AddEdges({{0, 2, 1.0}}, &error), 0) << error;
+  ASSERT_TRUE(state.converged());
+  std::vector<Edge> edges = g.edges();
+  edges.push_back({0, 2, 1.0});
+  const LinBpResult reference = RunLinBp(Graph(4, edges), hhat,
                                          seeded.residuals, TightOptions());
   ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-10);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <set>
 
 #include "gtest/gtest.h"
@@ -77,6 +78,48 @@ TEST(ScenarioSpecTest, IntRejectsFractions) {
   ASSERT_TRUE(parsed.has_value());
   parsed->params.Int("n", 0);
   EXPECT_FALSE(parsed->params.value_error().empty());
+}
+
+TEST(ScenarioSpecTest, IntParsesLargeValuesExactly) {
+  // Above 2^53 a double round trip would silently round: 2^53 + 1 used
+  // to come back as 2^53. The strtoll path is exact over all of int64.
+  std::string error;
+  auto parsed = ParseScenarioSpec(
+      "x:a=9007199254740993,b=9223372036854775807,c=-9223372036854775808",
+      &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->params.Int("a", 0), 9007199254740993LL);
+  EXPECT_EQ(parsed->params.Int("b", 0),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parsed->params.Int("c", 0),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(parsed->params.value_error().empty())
+      << parsed->params.value_error();
+}
+
+TEST(ScenarioSpecTest, IntRejectsOutOfRangeInsteadOfCastingUndefined) {
+  // 2^63 overflows int64: the old strtod path invoked UB casting it
+  // back. It must land on the value_error path instead.
+  std::string error;
+  auto parsed = ParseScenarioSpec("x:n=9223372036854775808", &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->params.Int("n", 7), 7);
+  EXPECT_NE(parsed->params.value_error().find("out of int64 range"),
+            std::string::npos)
+      << parsed->params.value_error();
+}
+
+TEST(ScenarioSpecTest, IntScientificNotationIsExactOrRejected) {
+  std::string error;
+  auto parsed = ParseScenarioSpec("x:ok=1e6,big=1e20", &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->params.Int("ok", 0), 1000000);
+  EXPECT_TRUE(parsed->params.value_error().empty());
+  // 1e20 is an integer but beyond both int64 and the exact double range;
+  // the old code cast it to int64 (undefined behavior).
+  EXPECT_EQ(parsed->params.Int("big", 3), 3);
+  EXPECT_NE(parsed->params.value_error().find("out of"), std::string::npos)
+      << parsed->params.value_error();
 }
 
 // ---- Registry -----------------------------------------------------------

@@ -14,23 +14,11 @@ namespace linbp {
 namespace dataset {
 namespace {
 
+using linbp::testing::ReadBytes;
+using linbp::testing::WriteBytes;
+
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
-}
-
-std::vector<char> ReadBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  EXPECT_TRUE(static_cast<bool>(in)) << path;
-  const std::streamoff size = in.tellg();
-  in.seekg(0);
-  std::vector<char> bytes(static_cast<std::size_t>(size));
-  in.read(bytes.data(), size);
-  return bytes;
-}
-
-void WriteBytes(const std::string& path, const std::vector<char>& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
 Scenario TestScenario() {
@@ -121,6 +109,26 @@ TEST(SnapshotTest, InfoReadsHeaderWithoutDeserializing) {
   EXPECT_TRUE(info->has_ground_truth);
   EXPECT_EQ(info->name, "fraud");
   EXPECT_EQ(info->spec, "fraud:users=80,products=40,seed=13");
+}
+
+TEST(SnapshotTest, SaveReportsBufferedWriteFailures) {
+  // /dev/full accepts the open but fails every flush with ENOSPC — the
+  // disk-full scenario. A writer that skips the flush/close check would
+  // report success for a file that was never durably written.
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  const Scenario scenario = TestScenario();
+  std::string error;
+  EXPECT_FALSE(SaveSnapshot(scenario, "/dev/full", &error));
+  EXPECT_NE(error.find("failed"), std::string::npos) << error;
+}
+
+TEST(SnapshotTest, SaveReportsUnwritablePaths) {
+  const Scenario scenario = TestScenario();
+  std::string error;
+  EXPECT_FALSE(SaveSnapshot(scenario, ::testing::TempDir(), &error));
+  EXPECT_NE(error.find("cannot write"), std::string::npos) << error;
 }
 
 TEST(SnapshotTest, RejectsMissingAndTruncatedFiles) {

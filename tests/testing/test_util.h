@@ -4,6 +4,8 @@
 #define LINBP_TESTS_TESTING_TEST_UTIL_H_
 
 #include <cstdint>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -57,6 +59,24 @@ inline void ExpectVectorNear(const std::vector<double>& actual,
   for (std::size_t i = 0; i < actual.size(); ++i) {
     EXPECT_NEAR(actual[i], expected[i], tol) << "at index " << i;
   }
+}
+
+/// Reads a whole file as raw bytes (EXPECT-fails on a missing file).
+inline std::vector<char> ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  std::vector<char> bytes(static_cast<std::size_t>(size));
+  in.read(bytes.data(), size);
+  return bytes;
+}
+
+/// Overwrites a file with raw bytes (the corruption-test primitive).
+inline void WriteBytes(const std::string& path,
+                       const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
 /// Random dense matrix with entries uniform in [-scale, scale].

@@ -302,6 +302,64 @@ TEST(RunMainTest, ConvertExportsTextFiles) {
   EXPECT_EQ(std::count(output.begin(), output.end(), '\n'), 100);
 }
 
+TEST(RunMainTest, ShardSubcommandRoundTripsThroughSnap) {
+  const std::string dir = TempPath("cli_shards");
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunMain({"shard", "--scenario=fraud:users=60,products=30",
+                     "--out-dir=" + dir, "--shards=3", "--threads=2"},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_NE(output.find("3 shard(s)"), std::string::npos) << output;
+  EXPECT_NE(output.find("manifest"), std::string::npos) << output;
+
+  // `info` detects the manifest magic and prints the shard table.
+  const std::string manifest = dir + "/manifest.lbpm";
+  ASSERT_EQ(RunMain({"info", "--snapshot=" + manifest}, &output, &error), 0)
+      << error;
+  EXPECT_NE(output.find("sharded snapshot"), std::string::npos) << output;
+  EXPECT_NE(output.find("shards:        3"), std::string::npos) << output;
+  EXPECT_NE(output.find("shard 2: rows ["), std::string::npos) << output;
+
+  // The manifest is a runnable snap: scenario producing the same labels
+  // as the monolithic snapshot of the same spec.
+  std::string sharded_labels;
+  ASSERT_EQ(RunMain({"--scenario=snap:path=" + manifest, "--method=sbp"},
+                    &sharded_labels, &error),
+            0)
+      << error;
+  const std::string snapshot = TempPath("cli_shard_mono.lbps");
+  ASSERT_EQ(RunMain({"convert", "--scenario=fraud:users=60,products=30",
+                     "--out=" + snapshot},
+                    &output, &error),
+            0)
+      << error;
+  std::string mono_labels;
+  ASSERT_EQ(RunMain({"--scenario=snap:path=" + snapshot, "--method=sbp"},
+                    &mono_labels, &error),
+            0)
+      << error;
+  EXPECT_EQ(sharded_labels, mono_labels);
+}
+
+TEST(RunMainTest, ConvertWritesShardedOutput) {
+  const std::string dir = TempPath("cli_convert_shards");
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunMain({"convert", "--scenario=sbm:n=100,k=2,seed=4",
+                     "--out-shards=" + dir, "--shards=2"},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_NE(output.find("2 shards"), std::string::npos) << output;
+  ASSERT_EQ(RunMain({"info", "--snapshot=" + dir + "/manifest.lbpm"},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_NE(output.find("nodes:         100"), std::string::npos) << output;
+}
+
 TEST(RunMainTest, SubcommandErrors) {
   std::string output;
   std::string error;
@@ -313,6 +371,13 @@ TEST(RunMainTest, SubcommandErrors) {
   EXPECT_NE(error.find("--snapshot is required"), std::string::npos);
   EXPECT_EQ(RunMain({"info", "--bogus=1"}, &output, &error), 1);
   EXPECT_EQ(RunMain({"list", "extra"}, &output, &error), 1);
+  EXPECT_EQ(RunMain({"shard", "--scenario=sbm"}, &output, &error), 1);
+  EXPECT_NE(error.find("--out-dir"), std::string::npos);
+  EXPECT_EQ(RunMain({"shard", "--scenario=sbm", "--out-dir=/tmp/x",
+                     "--shards=0"},
+                    &output, &error),
+            1);
+  EXPECT_NE(error.find("--shards"), std::string::npos);
   // Exporting labels from a truthless scenario fails cleanly.
   EXPECT_EQ(RunMain({"convert", "--scenario=kronecker:g=1",
                      "--out-labels=" + TempPath("cli_no_truth.labels")},

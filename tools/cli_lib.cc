@@ -15,6 +15,7 @@
 #include "src/core/sbp.h"
 #include "src/dataset/registry.h"
 #include "src/dataset/scenario.h"
+#include "src/dataset/shard.h"
 #include "src/dataset/snapshot.h"
 #include "src/exec/exec_context.h"
 #include "src/graph/beliefs.h"
@@ -95,6 +96,22 @@ std::optional<dataset::Scenario> BuildProblem(const Options& options,
   return scenario;
 }
 
+// Strict "--shards=N" parse shared by convert and shard.
+bool ParseShardsFlag(const std::string& value, std::int64_t* shards,
+                     std::string* error) {
+  char* end = nullptr;
+  const long long parsed =
+      value.empty() ? 0 : std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || parsed < 1 ||
+      parsed > dataset::kMaxShards) {
+    *error = "--shards must be a number in [1, " +
+             std::to_string(dataset::kMaxShards) + "]";
+    return false;
+  }
+  *shards = parsed;
+  return true;
+}
+
 std::optional<ConvertOptions> ParseConvertOptions(
     const std::vector<std::string>& args, std::string* error) {
   ConvertOptions options;
@@ -103,6 +120,10 @@ std::optional<ConvertOptions> ParseConvertOptions(
       options.scenario = *v;
     } else if (auto v = FlagValue(arg, "--out=")) {
       options.snapshot_path = *v;
+    } else if (auto v = FlagValue(arg, "--out-shards=")) {
+      options.shards_dir = *v;
+    } else if (auto v = FlagValue(arg, "--shards=")) {
+      if (!ParseShardsFlag(*v, &options.shards, error)) return std::nullopt;
     } else if (auto v = FlagValue(arg, "--out-graph=")) {
       options.graph_path = *v;
     } else if (auto v = FlagValue(arg, "--out-beliefs=")) {
@@ -120,10 +141,11 @@ std::optional<ConvertOptions> ParseConvertOptions(
     *error = "convert: --scenario is required";
     return std::nullopt;
   }
-  if (options.snapshot_path.empty() && options.graph_path.empty() &&
-      options.beliefs_path.empty() && options.labels_path.empty()) {
-    *error = "convert: pick at least one of --out, --out-graph, "
-             "--out-beliefs, --out-labels";
+  if (options.snapshot_path.empty() && options.shards_dir.empty() &&
+      options.graph_path.empty() && options.beliefs_path.empty() &&
+      options.labels_path.empty()) {
+    *error = "convert: pick at least one of --out, --out-shards, "
+             "--out-graph, --out-beliefs, --out-labels";
     return std::nullopt;
   }
   return options;
@@ -138,6 +160,13 @@ int RunConvert(const ConvertOptions& options, std::string* output,
     if (!dataset::SaveSnapshot(*scenario, options.snapshot_path, error)) {
       return 1;
     }
+  }
+  std::int64_t shards_written = 0;
+  if (!options.shards_dir.empty()) {
+    const auto sharded = dataset::ShardSnapshot(*scenario, options.shards,
+                                                options.shards_dir, error);
+    if (!sharded.has_value()) return 1;
+    shards_written = sharded->num_shards;
   }
   if (!options.graph_path.empty() &&
       !WriteEdgeList(scenario->graph, options.graph_path)) {
@@ -165,13 +194,89 @@ int RunConvert(const ConvertOptions& options, std::string* output,
   lines << scenario->name << ": " << scenario->graph.num_nodes()
         << " nodes, " << scenario->graph.num_undirected_edges()
         << " edges, k=" << scenario->k << ", "
-        << scenario->explicit_nodes.size() << " explicit\n";
+        << scenario->explicit_nodes.size() << " explicit";
+  if (shards_written > 0) lines << ", " << shards_written << " shards";
+  lines << "\n";
+  *output = lines.str();
+  return 0;
+}
+
+std::optional<ShardOptions> ParseShardOptions(
+    const std::vector<std::string>& args, std::string* error) {
+  ShardOptions options;
+  for (const std::string& arg : args) {
+    if (auto v = FlagValue(arg, "--scenario=")) {
+      options.scenario = *v;
+    } else if (auto v = FlagValue(arg, "--out-dir=")) {
+      options.out_dir = *v;
+    } else if (auto v = FlagValue(arg, "--shards=")) {
+      if (!ParseShardsFlag(*v, &options.shards, error)) return std::nullopt;
+    } else if (auto v = FlagValue(arg, "--threads=")) {
+      if (!ParseThreadsFlag(*v, &options.threads, error)) return std::nullopt;
+    } else {
+      *error = "unknown argument: " + arg;
+      return std::nullopt;
+    }
+  }
+  if (options.scenario.empty() || options.out_dir.empty()) {
+    *error = "shard: --scenario and --out-dir are required";
+    return std::nullopt;
+  }
+  return options;
+}
+
+int RunShard(const ShardOptions& options, std::string* output,
+             std::string* error) {
+  auto scenario = dataset::MakeScenario(options.scenario, error,
+                                        ContextFor(options.threads));
+  if (!scenario.has_value()) return 1;
+  const auto result =
+      dataset::ShardSnapshot(*scenario, options.shards, options.out_dir,
+                             error);
+  if (!result.has_value()) return 1;
+  std::ostringstream lines;
+  lines << scenario->name << ": " << scenario->graph.num_nodes()
+        << " nodes, " << scenario->graph.num_undirected_edges()
+        << " edges -> " << result->num_shards << " shard(s), manifest "
+        << result->manifest_path << "\n";
+  *output = lines.str();
+  return 0;
+}
+
+int RunShardManifestInfo(const InfoOptions& options, std::string* output,
+                         std::string* error) {
+  const auto info =
+      dataset::ReadShardManifestInfo(options.snapshot_path, error);
+  if (!info.has_value()) return 1;
+  std::ostringstream lines;
+  lines << "sharded snapshot: " << options.snapshot_path << "\n"
+        << "version:       " << info->version << "\n"
+        << "nodes:         " << info->num_nodes << "\n"
+        << "classes k:     " << info->k << "\n"
+        << "stored entries " << info->nnz << " (" << info->nnz / 2
+        << " undirected edges)\n"
+        << "explicit:      " << info->num_explicit << "\n"
+        << "ground truth:  " << (info->has_ground_truth ? "yes" : "no")
+        << "\n"
+        << "scenario:      " << info->name << "\n"
+        << "spec:          " << info->spec << "\n"
+        << "manifest bytes " << info->file_bytes << "\n"
+        << "shards:        " << info->shards.size() << "\n";
+  for (std::size_t s = 0; s < info->shards.size(); ++s) {
+    const dataset::ShardRangeInfo& shard = info->shards[s];
+    lines << "  shard " << s << ": rows [" << shard.row_begin << ", "
+          << shard.row_end << "), " << shard.nnz << " entries, "
+          << shard.num_explicit << " explicit, " << shard.file << "\n";
+  }
   *output = lines.str();
   return 0;
 }
 
 int RunInfo(const InfoOptions& options, std::string* output,
             std::string* error) {
+  if (dataset::LooksLikeShardManifest(options.snapshot_path)) {
+    return RunShardManifestInfo(options, output, error);
+  }
   const auto info = dataset::ReadSnapshotInfo(options.snapshot_path, error);
   if (!info.has_value()) return 1;
   std::ostringstream lines;
@@ -212,12 +317,16 @@ std::string Usage() {
       "          [--threads=N]\n"
       "linbp_cli list\n"
       "linbp_cli convert --scenario=SPEC [--out=SNAPSHOT]\n"
-      "          [--out-graph=FILE] [--out-beliefs=FILE] [--out-labels=FILE]\n"
-      "linbp_cli info --snapshot=FILE\n"
+      "          [--out-shards=DIR [--shards=N]] [--out-graph=FILE]\n"
+      "          [--out-beliefs=FILE] [--out-labels=FILE]\n"
+      "linbp_cli shard --scenario=SPEC --out-dir=DIR [--shards=N]\n"
+      "linbp_cli info --snapshot=FILE|MANIFEST\n"
       "  EDGES:   'u v [w]' per line;  BELIEFS: 'v c b' per line\n"
       "  SPEC:    e.g. sbm:n=10000,k=4,mode=heterophily | snap:path=g.lbps\n"
-      "           (see `linbp_cli list`)\n"
+      "           (snap: also accepts a shard manifest; see "
+      "`linbp_cli list`)\n"
       "  presets: homophily2 heterophily2 auction dblp4 kronecker3\n"
+      "  shards:  nnz-balanced row blocks (exec::RowPartition); default 4\n"
       "  threads: 0 = all hardware threads; default: LINBP_THREADS or 1\n";
 }
 
@@ -412,6 +521,15 @@ int RunMain(const std::vector<std::string>& args, std::string* output,
       return 1;
     }
     return RunConvert(*options, output, error);
+  }
+  if (!args.empty() && args[0] == "shard") {
+    const auto options = ParseShardOptions(
+        std::vector<std::string>(args.begin() + 1, args.end()), error);
+    if (!options.has_value()) {
+      *usage_error = true;
+      return 1;
+    }
+    return RunShard(*options, output, error);
   }
   if (!args.empty() && args[0] == "info") {
     InfoOptions options;

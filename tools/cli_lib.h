@@ -1,14 +1,19 @@
 // Library behind the `linbp_cli` command-line tool.
 //
-// The tool has one main pipeline plus three subcommands:
+// The tool has one main pipeline plus four subcommands:
 //   linbp_cli [flags]            read a problem (edge-list files or a
 //                                --scenario spec), pick a coupling and a
 //                                convergence-safe eps_H, run one of
 //                                {bp, linbp, linbp*, sbp}, write labels;
 //   linbp_cli list               list the registered scenarios;
 //   linbp_cli convert [flags]    materialize a scenario and write it as a
-//                                binary snapshot and/or text files;
-//   linbp_cli info [flags]       print a snapshot's header.
+//                                binary snapshot, a sharded snapshot,
+//                                and/or text files;
+//   linbp_cli shard [flags]      materialize a scenario and write it as a
+//                                sharded snapshot (manifest + per-row-
+//                                block shard files);
+//   linbp_cli info [flags]       print a snapshot's or shard manifest's
+//                                header.
 // Kept separate from main() so every step is unit testable.
 
 #ifndef LINBP_TOOLS_CLI_LIB_H_
@@ -55,6 +60,10 @@ struct ConvertOptions {
   std::string scenario;
   /// Snapshot output path (optional).
   std::string snapshot_path;
+  /// Sharded snapshot output directory (optional); `shards` bounds the
+  /// nnz-balanced row-block count used when it is set.
+  std::string shards_dir;
+  std::int64_t shards = 4;
   /// Text export paths (each optional).
   std::string graph_path;
   std::string beliefs_path;
@@ -62,7 +71,20 @@ struct ConvertOptions {
   int threads = -1;
 };
 
-/// Parsed `info` options.
+/// Parsed `shard` options.
+struct ShardOptions {
+  /// Scenario spec to materialize (required).
+  std::string scenario;
+  /// Output directory for the manifest + shard files (required).
+  std::string out_dir;
+  /// Maximum shard count (nnz-balanced row blocks; fewer when rows run
+  /// out).
+  std::int64_t shards = 4;
+  int threads = -1;
+};
+
+/// Parsed `info` options (`snapshot_path` may name a monolithic snapshot
+/// or a shard manifest; the file's magic decides).
 struct InfoOptions {
   std::string snapshot_path;
 };
