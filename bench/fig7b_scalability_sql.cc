@@ -4,6 +4,11 @@
 // batch of new explicit beliefs for 1 permille of the nodes on top of the
 // initial 5% (the paper's update protocol).
 
+// --check (a CTest regression guard): the figure's speedup claim only
+// means anything if Delta-SBP computes the same beliefs as a from-scratch
+// SBP — asserts that parity at 1e-9 on graph #1 with the paper's update
+// protocol (batch of new beliefs on top of an initial seed set).
+
 #include <cstdio>
 #include <vector>
 
@@ -15,9 +20,47 @@
 #include "src/relational/sbp_sql.h"
 #include "src/util/table_printer.h"
 
+namespace {
+
+int RunCheck() {
+  using namespace linbp;
+  const Graph graph = bench::PaperGraph(1);
+  const std::int64_t n = graph.num_nodes();
+  const CouplingMatrix coupling = KroneckerExperimentCoupling();
+  const Table a = MakeAdjacencyTable(graph);
+  const Table h = MakeCouplingTable(coupling.residual());
+  // One seeded pool split into an initial set and a later batch, so the
+  // incremental and the scratch run end with identical explicit beliefs.
+  const std::int64_t total = bench::FivePercent(n) + bench::OnePermille(n);
+  const SeededBeliefs all = SeedPaperBeliefs(n, 3, total, 2001);
+  const std::int64_t num_old = bench::FivePercent(n);
+  const std::vector<std::int64_t> old_nodes(
+      all.explicit_nodes.begin(), all.explicit_nodes.begin() + num_old);
+  const std::vector<std::int64_t> new_nodes(
+      all.explicit_nodes.begin() + num_old, all.explicit_nodes.end());
+
+  SbpSql incremental(a, MakeBeliefTable(all.residuals, old_nodes), h);
+  incremental.AddExplicitBeliefs(MakeBeliefTable(all.residuals, new_nodes));
+  const SbpSql scratch(
+      a, MakeBeliefTable(all.residuals, all.explicit_nodes), h);
+
+  const DenseMatrix delta =
+      BeliefsFromTable(incremental.beliefs(), n, 3);
+  const DenseMatrix full = BeliefsFromTable(scratch.beliefs(), n, 3);
+  const double diff = delta.MaxAbsDiff(full);
+  const bool ok = diff <= 1e-9;
+  std::printf("fig7b dSBP vs scratch SBP on graph #1: max abs diff %.3e "
+              "(want <= 1e-9)  %s\n",
+              diff, ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  if (args.Has("check")) return RunCheck();
   const int max_graph = static_cast<int>(args.Int("max-graph", 5));
   const int iterations = static_cast<int>(args.Int("iterations", 5));
   const CouplingMatrix coupling = KroneckerExperimentCoupling();

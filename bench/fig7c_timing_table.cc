@@ -2,6 +2,11 @@
 // graphs — BP and LinBP in memory, LinBP / SBP / Delta-SBP on the
 // relational engine, plus the paper's ratio columns.
 
+// --check (a CTest regression guard): the table compares the SAME
+// computation across engines, so the in-memory LinBP and the relational
+// RunLinBpSql must agree — asserts belief parity at 1e-9 after the
+// 5-iteration protocol on graph #1.
+
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -13,9 +18,41 @@
 #include "src/relational/sbp_sql.h"
 #include "src/util/table_printer.h"
 
+namespace {
+
+int RunCheck() {
+  using namespace linbp;
+  const Graph graph = bench::PaperGraph(1);
+  const std::int64_t n = graph.num_nodes();
+  const CouplingMatrix coupling = KroneckerExperimentCoupling();
+  const SeededBeliefs seeded = bench::PaperSeeds(graph, 3001);
+  const double eps = 0.0005;
+  const int iterations = 5;
+
+  LinBpOptions options;
+  options.max_iterations = iterations;
+  options.tolerance = 0.0;
+  const LinBpResult memory = RunLinBp(graph, coupling.ScaledResidual(eps),
+                                      seeded.residuals, options);
+  const Table b = RunLinBpSql(
+      MakeAdjacencyTable(graph),
+      MakeBeliefTable(seeded.residuals, seeded.explicit_nodes),
+      MakeCouplingTable(coupling.ScaledResidual(eps)), iterations);
+  const double diff =
+      memory.beliefs.MaxAbsDiff(BeliefsFromTable(b, n, 3));
+  const bool ok = diff <= 1e-9;
+  std::printf("fig7c LinBP memory vs SQL engine on graph #1: max abs diff "
+              "%.3e (want <= 1e-9)  %s\n",
+              diff, ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  if (args.Has("check")) return RunCheck();
   const int min_graph = static_cast<int>(args.Int("min-graph", 2));
   const int max_graph = static_cast<int>(args.Int("max-graph", 5));
   const int iterations = 5;

@@ -5,6 +5,13 @@
 // The vertical reference lines of the figures are the Lemma 9 (sufficient)
 // and Lemma 8 (exact) thresholds, printed below.
 
+// --check (a CTest regression guard): asserts the figures' quality
+// claims at one eps inside the guaranteed-convergence region on
+// graph #2 — LinBP must match BP's labels essentially exactly
+// (recall = precision = 1 up to tolerance), and SBP~LinBP recall /
+// precision must stay at their recorded goldens.
+
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -18,9 +25,68 @@
 #include "src/graph/beliefs.h"
 #include "src/util/table_printer.h"
 
+namespace {
+
+int RunCheck() {
+  using namespace linbp;
+  const Graph graph = bench::PaperGraph(2);
+  const CouplingMatrix coupling = KroneckerExperimentCoupling();
+  const SeededBeliefs seeded = bench::PaperSeeds(graph, 6002);
+  const double eps = 1e-5;  // well inside the Lemma 9 region for graph #2
+  int failures = 0;
+
+  const SbpResult sbp = RunSbp(graph, coupling.residual(), seeded.residuals,
+                               seeded.explicit_nodes);
+  std::vector<std::int64_t> scored;
+  for (std::int64_t v = 0; v < graph.num_nodes(); ++v) {
+    if (sbp.geodesic[v] != kUnreachable) scored.push_back(v);
+  }
+
+  LinBpOptions options;
+  options.max_iterations = 500;
+  options.tolerance = 1e-16;
+  const LinBpResult lin = RunLinBp(graph, coupling.ScaledResidual(eps),
+                                   seeded.residuals, options);
+  BpOptions bp_options;
+  bp_options.max_iterations = 500;
+  bp_options.tolerance = 1e-13;
+  const BpResult bp = RunBp(graph, coupling.ScaledStochastic(eps),
+                            ResidualToProbability(seeded.residuals),
+                            bp_options);
+  if (!lin.converged || !bp.converged) {
+    std::printf("fig7fg check FAILED: LinBP converged=%d BP converged=%d\n",
+                lin.converged, bp.converged);
+    return 1;
+  }
+  const TopBeliefAssignment lin_top = TopBeliefs(lin.beliefs);
+
+  auto check = [&failures](const char* what, double got, double want,
+                           double tolerance) {
+    const bool ok = std::abs(got - want) <= tolerance;
+    std::printf("fig7fg %-22s got %.4f want %.4f +/- %.3f  %s\n", what, got,
+                want, tolerance, ok ? "OK" : "FAIL");
+    if (!ok) ++failures;
+  };
+  // Fig. 7f claim: inside the guaranteed region LinBP reproduces BP.
+  const QualityMetrics vs_bp = CompareAssignments(
+      TopBeliefs(ProbabilityToResidual(bp.beliefs)), lin_top, scored);
+  check("LinBP~BP recall", vs_bp.recall, 1.0, 0.001);
+  check("LinBP~BP precision", vs_bp.precision, 1.0, 0.001);
+  // Fig. 7g: SBP w.r.t. LinBP (goldens from a serial run; SBP's exact
+  // ties drag precision below recall).
+  const QualityMetrics vs_sbp =
+      CompareAssignments(lin_top, TopBeliefs(sbp.beliefs), scored);
+  check("SBP~LinBP recall", vs_sbp.recall, 1.0, 0.02);
+  check("SBP~LinBP precision", vs_sbp.precision, 0.9979, 0.02);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  if (args.Has("check")) return RunCheck();
   const int graph_index = static_cast<int>(args.Int("graph", 4));
   const int extra_digits = static_cast<int>(args.Int("extra-digits", 0));
   const Graph graph = bench::PaperGraph(graph_index);

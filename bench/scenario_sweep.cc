@@ -19,6 +19,11 @@
 //                     one scenario and print a JSON record (the source
 //                     of BENCH_dataset.json); --shards=N bounds the
 //                     shard count (default: max(2, threads))
+//   --stream          shard one scenario, run LinBP in memory and
+//                     out-of-core (ShardStreamBackend), assert the
+//                     beliefs are bit-identical, and print a JSON record
+//                     with wall-clock and peak-RSS columns (also lands
+//                     in BENCH_dataset.json)
 //   --threads=N       kernel thread count (0 = all hardware threads)
 
 #include <algorithm>
@@ -35,7 +40,9 @@
 #include "src/dataset/registry.h"
 #include "src/dataset/shard.h"
 #include "src/dataset/snapshot.h"
+#include "src/engine/shard_stream_backend.h"
 #include "src/graph/io.h"
+#include "src/util/mem_info.h"
 #include "src/util/table_printer.h"
 
 namespace {
@@ -281,14 +288,115 @@ int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
       "  \"speedup\": %.2f,\n"
       "  \"num_shards\": %lld,\n"
       "  \"sharded_load_seconds\": %.6f,\n"
-      "  \"sharded_vs_monolithic\": %.2f\n"
+      "  \"sharded_vs_monolithic\": %.2f,\n"
+      "  \"peak_rss_bytes\": %lld\n"
       "}\n",
       spec.c_str(), static_cast<long long>(scenario->graph.num_nodes()),
       static_cast<long long>(scenario->graph.num_undirected_edges()),
       ctx.threads(), reps, text_seconds, snap_seconds,
       text_seconds / snap_seconds,
       static_cast<long long>(sharded->num_shards), shard_seconds,
-      snap_seconds / shard_seconds);
+      snap_seconds / shard_seconds,
+      static_cast<long long>(util::PeakRssBytes()));
+  return 0;
+}
+
+// --stream: the out-of-core proof bench. Runs the same LinBP solve twice
+// — resident CSR vs streamed shards — asserts bit-identity, and reports
+// wall-clock + peak-RSS + peak streamed-CSR residency. The in-memory
+// solve runs FIRST so its peak RSS (full CSR + solver state) is what the
+// process-wide VmHWM records; the streamed residency column is the
+// reader's exact byte counter, immune to that ordering.
+int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
+                   std::int64_t shards, int iterations) {
+  std::string error;
+  auto scenario = dataset::MakeScenario(spec, &error, ctx);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string shards_dir = "/tmp/linbp_streambench_shards";
+  if (shards <= 0) shards = std::max<std::int64_t>(4, ctx.threads());
+  const auto sharded =
+      dataset::ShardSnapshot(*scenario, shards, shards_dir, &error);
+  if (!sharded.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  const CouplingMatrix coupling = scenario->Coupling();
+  const double threshold =
+      ExactEpsilonThreshold(scenario->graph, coupling, LinBpVariant::kLinBp);
+  const double eps = std::isfinite(threshold) ? 0.5 * threshold : 1.0;
+  LinBpOptions options;
+  options.max_iterations = iterations;
+  options.tolerance = 0.0;  // fixed-sweep timing protocol
+  options.exec = ctx;
+
+  LinBpResult in_memory;
+  const double memory_seconds = bench::TimeSeconds([&] {
+    in_memory = RunLinBp(scenario->graph, coupling.ScaledResidual(eps),
+                         scenario->explicit_residuals, options);
+  });
+
+  std::optional<linbp::engine::ShardStreamBackend> backend;
+  const double open_seconds = bench::TimeSeconds([&] {
+    backend = linbp::engine::ShardStreamBackend::Open(sharded->manifest_path,
+                                                      &error, ctx);
+  });
+  if (!backend.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  LinBpResult streamed;
+  const double stream_seconds = bench::TimeSeconds([&] {
+    streamed = RunLinBp(*backend, coupling.ScaledResidual(eps),
+                        backend->explicit_residuals(), options);
+  });
+  if (streamed.failed) {
+    std::fprintf(stderr, "error: %s\n", streamed.error.c_str());
+    return 1;
+  }
+  const double max_abs_diff =
+      streamed.beliefs.MaxAbsDiff(in_memory.beliefs);
+  if (max_abs_diff != 0.0) {
+    std::fprintf(stderr,
+                 "error: streamed beliefs differ from in-memory "
+                 "(max abs diff %.3e)\n",
+                 max_abs_diff);
+    return 1;
+  }
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"stream_solve\",\n"
+      "  \"scenario\": \"%s\",\n"
+      "  \"nodes\": %lld,\n"
+      "  \"undirected_edges\": %lld,\n"
+      "  \"threads\": %d,\n"
+      "  \"iterations\": %d,\n"
+      "  \"num_shards\": %lld,\n"
+      "  \"inmemory_solve_seconds\": %.6f,\n"
+      "  \"stream_open_seconds\": %.6f,\n"
+      "  \"stream_solve_seconds\": %.6f,\n"
+      "  \"stream_vs_inmemory\": %.2f,\n"
+      "  \"beliefs_bit_identical\": true,\n"
+      "  \"full_csr_bytes\": %lld,\n"
+      "  \"max_block_csr_bytes\": %lld,\n"
+      "  \"peak_stream_resident_csr_bytes\": %lld,\n"
+      "  \"peak_rss_bytes\": %lld\n"
+      "}\n",
+      spec.c_str(), static_cast<long long>(scenario->graph.num_nodes()),
+      static_cast<long long>(scenario->graph.num_undirected_edges()),
+      ctx.threads(), iterations,
+      static_cast<long long>(sharded->num_shards), memory_seconds,
+      open_seconds, stream_seconds, stream_seconds / memory_seconds,
+      static_cast<long long>(
+          (scenario->graph.num_nodes() + 1) * 8 +
+          scenario->graph.num_directed_edges() * 12),
+      static_cast<long long>(backend->reader().max_block_csr_bytes()),
+      static_cast<long long>(backend->reader().peak_resident_csr_bytes()),
+      static_cast<long long>(util::PeakRssBytes()));
   return 0;
 }
 
@@ -304,6 +412,12 @@ int main(int argc, char** argv) {
     return RunIoBench(args.Str("scenario", "sbm:n=200000,k=4,deg=10,seed=5"),
                       ctx, static_cast<int>(args.Int("reps", 3)),
                       args.Int("shards", 0));
+  }
+  if (args.Has("stream")) {
+    return RunStreamBench(
+        args.Str("scenario", "sbm:n=200000,k=4,deg=10,seed=5"), ctx,
+        args.Int("shards", 0),
+        static_cast<int>(args.Int("iterations", 10)));
   }
   const std::string spec = args.Str("scenario", "");
   std::printf("== scenario sweep (LinBP vs SBP) ==\n\n");

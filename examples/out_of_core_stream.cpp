@@ -1,0 +1,82 @@
+// Out-of-core LinBP: shard a scenario to disk, then solve it by
+// streaming the shards instead of materializing the CSR.
+//
+//   ./example_out_of_core_stream [spec [shards]]
+//
+// The streamed solve goes through engine::ShardStreamBackend: every
+// propagation sweep walks the manifest's row blocks with double-buffered
+// prefetch, holding at most two blocks' CSR bytes in memory, and the
+// resulting beliefs are bit-identical to the in-memory run.
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/convergence.h"
+#include "src/core/linbp.h"
+#include "src/dataset/registry.h"
+#include "src/dataset/shard.h"
+#include "src/engine/shard_stream_backend.h"
+#include "src/util/mem_info.h"
+
+int main(int argc, char** argv) {
+  using namespace linbp;
+  const std::string spec =
+      argc > 1 ? argv[1] : "sbm:n=50000,k=4,deg=10,seed=7";
+  const std::int64_t shards = argc > 2 ? std::atoll(argv[2]) : 8;
+  const std::string dir = "/tmp/linbp_example_stream";
+
+  std::string error;
+  auto scenario = dataset::MakeScenario(spec, &error);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto sharded = dataset::ShardSnapshot(*scenario, shards, dir, &error);
+  if (!sharded.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("sharded %s into %lld row blocks under %s\n", spec.c_str(),
+              static_cast<long long>(sharded->num_shards), dir.c_str());
+
+  auto backend =
+      engine::ShardStreamBackend::Open(sharded->manifest_path, &error);
+  if (!backend.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  const CouplingMatrix coupling = scenario->Coupling();
+  const double eps =
+      0.5 * ExactEpsilonThreshold(*backend, coupling, LinBpVariant::kLinBp);
+  LinBpOptions options;
+  options.max_iterations = 100;
+
+  // In-memory reference on the materialized graph...
+  const LinBpResult reference =
+      RunLinBp(scenario->graph, coupling.ScaledResidual(eps),
+               scenario->explicit_residuals, options);
+  // ...and the same solve streamed from disk.
+  const LinBpResult streamed =
+      RunLinBp(*backend, coupling.ScaledResidual(eps),
+               backend->explicit_residuals(), options);
+  if (streamed.failed) {
+    std::fprintf(stderr, "stream failed: %s\n", streamed.error.c_str());
+    return 1;
+  }
+
+  const auto& reader = backend->reader();
+  std::printf(
+      "streamed LinBP: %d sweeps, max |streamed - in-memory| = %.1e\n"
+      "full CSR %lld bytes; peak streamed CSR residency %lld bytes "
+      "(<= 2 blocks of %lld)\n"
+      "process peak RSS %lld bytes\n",
+      streamed.iterations,
+      streamed.beliefs.MaxAbsDiff(reference.beliefs),
+      static_cast<long long>((backend->num_nodes() + 1) * 8 +
+                             backend->num_stored_entries() * 12),
+      static_cast<long long>(reader.peak_resident_csr_bytes()),
+      static_cast<long long>(reader.max_block_csr_bytes()),
+      static_cast<long long>(util::PeakRssBytes()));
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/engine/backend_ops.h"
+#include "src/engine/in_memory_backend.h"
 #include "src/la/dense_linalg.h"
 #include "src/la/kron_ops.h"
 #include "src/la/norms.h"
@@ -12,20 +14,6 @@
 
 namespace linbp {
 namespace {
-
-// Adjacency matrix as a LinearOperator for power iteration.
-class AdjacencyOperator final : public LinearOperator {
- public:
-  explicit AdjacencyOperator(const SparseMatrix* a) : a_(a) {}
-  std::int64_t dim() const override { return a_->rows(); }
-  void Apply(const std::vector<double>& x,
-             std::vector<double>* y) const override {
-    *y = a_->MultiplyVector(x);
-  }
-
- private:
-  const SparseMatrix* a_;
-};
 
 // Norms of the diagonal degree matrix: induced-1 and induced-inf are the
 // max degree; Frobenius is sqrt(sum d_s^2).
@@ -41,46 +29,80 @@ double MinNormOfDegrees(const std::vector<double>& degrees) {
 
 }  // namespace
 
+double AdjacencySpectralRadius(const engine::PropagationBackend& backend,
+                               int max_iterations, double tolerance,
+                               const exec::ExecContext& ctx) {
+  const engine::BackendAdjacencyOperator op(&backend, ctx);
+  return PowerIteration(op, max_iterations, tolerance).spectral_radius;
+}
+
 double AdjacencySpectralRadius(const Graph& graph, int max_iterations,
                                double tolerance) {
-  const AdjacencyOperator op(&graph.adjacency());
-  return PowerIteration(op, max_iterations, tolerance).spectral_radius;
+  const engine::InMemoryBackend backend(&graph);
+  return AdjacencySpectralRadius(backend, max_iterations, tolerance);
 }
 
 double CouplingSpectralRadius(const DenseMatrix& hhat) {
   return SymmetricSpectralRadius(hhat);
 }
 
+double LinBpOperatorSpectralRadius(const engine::PropagationBackend& backend,
+                                   const DenseMatrix& hhat,
+                                   LinBpVariant variant, int max_iterations,
+                                   double tolerance,
+                                   const exec::ExecContext& ctx) {
+  LINBP_CHECK_MSG(variant != LinBpVariant::kLinBpExact,
+                  "spectral criteria are defined for kLinBp / kLinBpStar");
+  const engine::BackendLinBpOperator op(&backend, hhat,
+                                        variant == LinBpVariant::kLinBp,
+                                        ctx);
+  return PowerIteration(op, max_iterations, tolerance).spectral_radius;
+}
+
 double LinBpOperatorSpectralRadius(const Graph& graph, const DenseMatrix& hhat,
                                    LinBpVariant variant, int max_iterations,
                                    double tolerance) {
-  LINBP_CHECK_MSG(variant != LinBpVariant::kLinBpExact,
-                  "spectral criteria are defined for kLinBp / kLinBpStar");
-  const LinBpOperator op(&graph.adjacency(), graph.weighted_degrees(), hhat,
-                         variant == LinBpVariant::kLinBp);
-  return PowerIteration(op, max_iterations, tolerance).spectral_radius;
+  const engine::InMemoryBackend backend(&graph);
+  return LinBpOperatorSpectralRadius(backend, hhat, variant, max_iterations,
+                                     tolerance);
+}
+
+bool LinBpConverges(const engine::PropagationBackend& backend,
+                    const DenseMatrix& hhat, LinBpVariant variant) {
+  return LinBpOperatorSpectralRadius(backend, hhat, variant) < 1.0;
 }
 
 bool LinBpConverges(const Graph& graph, const DenseMatrix& hhat,
                     LinBpVariant variant) {
-  return LinBpOperatorSpectralRadius(graph, hhat, variant) < 1.0;
+  const engine::InMemoryBackend backend(&graph);
+  return LinBpConverges(backend, hhat, variant);
 }
 
-double ExactEpsilonThreshold(const Graph& graph, const CouplingMatrix& coupling,
-                             LinBpVariant variant, double tolerance) {
+double ExactEpsilonThreshold(const engine::PropagationBackend& backend,
+                             const CouplingMatrix& coupling,
+                             LinBpVariant variant, double tolerance,
+                             const exec::ExecContext& ctx) {
   const double rho_h = CouplingSpectralRadius(coupling.residual());
   LINBP_CHECK_MSG(rho_h > 0.0, "zero coupling residual");
+  constexpr int kRhoIterations = 500;
+  constexpr double kRhoTolerance = 1e-11;
   if (variant == LinBpVariant::kLinBpStar) {
     // Lemma 8: rho(eps * Hhat_o (x) A) = eps * rho(Hhat_o) * rho(A) = 1.
-    return 1.0 / (rho_h * AdjacencySpectralRadius(graph));
+    return 1.0 / (rho_h * AdjacencySpectralRadius(backend, kRhoIterations,
+                                                  kRhoTolerance, ctx));
   }
   // Bisection on eps -> rho(M(eps)); rho is increasing in eps over the
   // bracketed range.
   auto rho_at = [&](double eps) {
-    return LinBpOperatorSpectralRadius(
-        graph, coupling.ScaledResidual(eps), variant);
+    return LinBpOperatorSpectralRadius(backend, coupling.ScaledResidual(eps),
+                                       variant, kRhoIterations,
+                                       kRhoTolerance, ctx);
   };
-  double hi = 1.0 / (rho_h * std::max(AdjacencySpectralRadius(graph), 1e-12));
+  double hi =
+      1.0 / (rho_h * std::max(AdjacencySpectralRadius(
+                                  backend, kRhoIterations, kRhoTolerance,
+                                  ctx),
+                              1e-12));
   // Expand until divergence; degenerate graphs (no edges) never diverge.
   int expansions = 0;
   while (rho_at(hi) < 1.0) {
@@ -102,6 +124,12 @@ double ExactEpsilonThreshold(const Graph& graph, const CouplingMatrix& coupling,
     }
   }
   return 0.5 * (lo + hi);
+}
+
+double ExactEpsilonThreshold(const Graph& graph, const CouplingMatrix& coupling,
+                             LinBpVariant variant, double tolerance) {
+  const engine::InMemoryBackend backend(&graph);
+  return ExactEpsilonThreshold(backend, coupling, variant, tolerance);
 }
 
 double SufficientEpsilonBound(const Graph& graph,

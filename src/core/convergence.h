@@ -17,12 +17,22 @@
 
 #include "src/core/coupling.h"
 #include "src/core/linbp.h"
+#include "src/engine/propagation_backend.h"
 #include "src/graph/graph.h"
 
 namespace linbp {
 
-/// rho(A) of the graph's weighted adjacency matrix (power iteration;
-/// exact for symmetric A up to the iteration tolerance).
+/// rho(A) of the adjacency matrix behind any propagation backend (power
+/// iteration; exact for symmetric A up to the iteration tolerance).
+/// `ctx` drives the backend products — the result is bit-identical at
+/// every width, but a streamed backend only overlaps prefetch with
+/// compute on a parallel context. Streamed backends may throw
+/// engine::StreamError mid-iteration.
+double AdjacencySpectralRadius(const engine::PropagationBackend& backend,
+                               int max_iterations = 500,
+                               double tolerance = 1e-11,
+                               const exec::ExecContext& ctx =
+                                   exec::ExecContext::Default());
 double AdjacencySpectralRadius(const Graph& graph, int max_iterations = 500,
                                double tolerance = 1e-11);
 
@@ -31,18 +41,34 @@ double CouplingSpectralRadius(const DenseMatrix& hhat);
 
 /// rho of the LinBP propagation operator M for the given scaled residual:
 /// M = Hhat (x) A - Hhat^2 (x) D  (kLinBp) or Hhat (x) A  (kLinBpStar).
+/// Streamed backends may throw engine::StreamError mid-iteration.
+double LinBpOperatorSpectralRadius(const engine::PropagationBackend& backend,
+                                   const DenseMatrix& hhat,
+                                   LinBpVariant variant,
+                                   int max_iterations = 500,
+                                   double tolerance = 1e-11,
+                                   const exec::ExecContext& ctx =
+                                       exec::ExecContext::Default());
 double LinBpOperatorSpectralRadius(const Graph& graph, const DenseMatrix& hhat,
                                    LinBpVariant variant,
                                    int max_iterations = 500,
                                    double tolerance = 1e-11);
 
 /// Lemma 8: exact convergence test for the scaled residual `hhat`.
+bool LinBpConverges(const engine::PropagationBackend& backend,
+                    const DenseMatrix& hhat, LinBpVariant variant);
 bool LinBpConverges(const Graph& graph, const DenseMatrix& hhat,
                     LinBpVariant variant);
 
 /// Largest eps_H such that LinBP with Hhat = eps * Hhat_o converges
 /// (Lemma 8 solved for eps by bisection on rho(M(eps)) = 1).
 /// For kLinBpStar this equals 1 / (rho(Hhat_o) * rho(A)) in closed form.
+/// Streamed backends may throw engine::StreamError mid-iteration.
+double ExactEpsilonThreshold(const engine::PropagationBackend& backend,
+                             const CouplingMatrix& coupling,
+                             LinBpVariant variant, double tolerance = 1e-6,
+                             const exec::ExecContext& ctx =
+                                 exec::ExecContext::Default());
 double ExactEpsilonThreshold(const Graph& graph, const CouplingMatrix& coupling,
                              LinBpVariant variant, double tolerance = 1e-6);
 

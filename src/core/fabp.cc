@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/engine/in_memory_backend.h"
 #include "src/la/kron_ops.h"
 #include "src/la/solvers.h"
 #include "src/util/check.h"
@@ -9,17 +10,22 @@
 namespace linbp {
 namespace {
 
-// y = c1 * A x - c2 * D x, the FaBP propagation operator.
+// y = c1 * A x - c2 * D x, the FaBP propagation operator over any
+// backend. Throws engine::StreamError on a backend failure (JacobiSolve
+// has no error channel); RunFabp converts it back into an error return.
 class FabpOperator final : public LinearOperator {
  public:
-  FabpOperator(const Graph* graph, double c1, double c2,
-               const exec::ExecContext* ctx)
-      : graph_(graph), c1_(c1), c2_(c2), ctx_(ctx) {}
-  std::int64_t dim() const override { return graph_->num_nodes(); }
+  FabpOperator(const engine::PropagationBackend* backend, double c1,
+               double c2, const exec::ExecContext* ctx)
+      : backend_(backend), c1_(c1), c2_(c2), ctx_(ctx) {}
+  std::int64_t dim() const override { return backend_->num_nodes(); }
   void Apply(const std::vector<double>& x,
              std::vector<double>* y) const override {
-    *y = graph_->adjacency().MultiplyVector(x, *ctx_);
-    const std::vector<double>& degrees = graph_->weighted_degrees();
+    std::string error;
+    if (!backend_->MultiplyVector(x, *ctx_, y, &error)) {
+      throw engine::StreamError(error);
+    }
+    const std::vector<double>& degrees = backend_->weighted_degrees();
     double* out = y->data();
     ctx_->ParallelFor(0, dim(), exec::kDefaultMinWorkPerChunk,
                       [&](std::int64_t begin, std::int64_t end) {
@@ -30,7 +36,7 @@ class FabpOperator final : public LinearOperator {
   }
 
  private:
-  const Graph* graph_;
+  const engine::PropagationBackend* backend_;  // not owned
   double c1_;
   double c2_;
   const exec::ExecContext* ctx_;  // not owned
@@ -38,22 +44,37 @@ class FabpOperator final : public LinearOperator {
 
 }  // namespace
 
-FabpResult RunFabp(const Graph& graph, double h,
+FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
                    const std::vector<double>& explicit_residuals,
                    int max_iterations, double tolerance,
                    const exec::ExecContext& exec) {
   LINBP_CHECK(static_cast<std::int64_t>(explicit_residuals.size()) ==
-              graph.num_nodes());
+              backend.num_nodes());
   LINBP_CHECK_MSG(std::abs(h) < 0.5, "|h| must be < 1/2");
   const double denom = 1.0 - 4.0 * h * h;
-  const FabpOperator op(&graph, 2.0 * h / denom, 4.0 * h * h / denom, &exec);
-  const JacobiResult jacobi =
-      JacobiSolve(op, explicit_residuals, max_iterations, tolerance);
+  const FabpOperator op(&backend, 2.0 * h / denom, 4.0 * h * h / denom,
+                        &exec);
   FabpResult result;
-  result.beliefs = jacobi.solution;
-  result.iterations = jacobi.iterations;
-  result.converged = jacobi.converged;
+  try {
+    const JacobiResult jacobi =
+        JacobiSolve(op, explicit_residuals, max_iterations, tolerance);
+    result.beliefs = jacobi.solution;
+    result.iterations = jacobi.iterations;
+    result.converged = jacobi.converged;
+  } catch (const engine::StreamError& stream_error) {
+    result.failed = true;
+    result.error = stream_error.what();
+  }
   return result;
+}
+
+FabpResult RunFabp(const Graph& graph, double h,
+                   const std::vector<double>& explicit_residuals,
+                   int max_iterations, double tolerance,
+                   const exec::ExecContext& exec) {
+  const engine::InMemoryBackend backend(&graph);
+  return RunFabp(backend, h, explicit_residuals, max_iterations, tolerance,
+                 exec);
 }
 
 }  // namespace linbp

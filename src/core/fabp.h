@@ -11,8 +11,10 @@
 #ifndef LINBP_CORE_FABP_H_
 #define LINBP_CORE_FABP_H_
 
+#include <string>
 #include <vector>
 
+#include "src/engine/propagation_backend.h"
 #include "src/exec/exec_context.h"
 #include "src/graph/graph.h"
 
@@ -24,13 +26,25 @@ struct FabpResult {
   std::vector<double> beliefs;
   int iterations = 0;
   bool converged = false;
+  /// A streamed backend failed mid-solve; `error` describes the failure
+  /// and `beliefs` is empty. Always false for in-memory backends.
+  bool failed = false;
+  std::string error;
 };
 
-/// Solves the binary linearized system by Jacobi iteration. `h` is the
-/// scalar coupling residual (homophily h > 0, heterophily h < 0, |h| < 1/2)
-/// and `explicit_residuals` the per-node scalar priors (0 if unlabeled).
-/// The per-sweep SpMV and scaling run on `exec` (bit-identical across
-/// thread counts: per-row ownership throughout).
+/// Solves the binary linearized system by Jacobi iteration over any
+/// propagation backend. `h` is the scalar coupling residual (homophily
+/// h > 0, heterophily h < 0, |h| < 1/2) and `explicit_residuals` the
+/// per-node scalar priors (0 if unlabeled). The per-sweep SpMV and
+/// scaling run on `exec` (bit-identical across backends and thread
+/// counts: per-row ownership throughout).
+FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
+                   const std::vector<double>& explicit_residuals,
+                   int max_iterations = 1000, double tolerance = 1e-13,
+                   const exec::ExecContext& exec =
+                       exec::ExecContext::Default());
+
+/// RunFabp on a resident graph (wraps engine::InMemoryBackend).
 FabpResult RunFabp(const Graph& graph, double h,
                    const std::vector<double>& explicit_residuals,
                    int max_iterations = 1000, double tolerance = 1e-13,

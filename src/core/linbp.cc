@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/engine/backend_ops.h"
+#include "src/engine/in_memory_backend.h"
 #include "src/la/dense_linalg.h"
 #include "src/la/kron_ops.h"
 #include "src/util/check.h"
@@ -55,10 +57,11 @@ LinBpSweepStats ApplyLinBpSweep(const exec::ExecContext& ctx,
   return stats;
 }
 
-LinBpResult RunLinBp(const Graph& graph, const DenseMatrix& hhat,
+LinBpResult RunLinBp(const engine::PropagationBackend& backend,
+                     const DenseMatrix& hhat,
                      const DenseMatrix& explicit_residuals,
                      const LinBpOptions& options) {
-  const std::int64_t n = graph.num_nodes();
+  const std::int64_t n = backend.num_nodes();
   const std::int64_t k = hhat.rows();
   LINBP_CHECK(hhat.cols() == k && k >= 2);
   LINBP_CHECK(explicit_residuals.rows() == n &&
@@ -76,12 +79,17 @@ LinBpResult RunLinBp(const Graph& graph, const DenseMatrix& hhat,
 
   LinBpResult result;
   result.beliefs = explicit_residuals;
-  const std::vector<double>& degrees = graph.weighted_degrees();
   const exec::ExecContext& ctx = options.exec;
   for (int it = 1; it <= options.max_iterations; ++it) {
-    const DenseMatrix next = LinBpPropagate(graph.adjacency(), degrees,
-                                            modulation, echo_modulation,
-                                            result.beliefs, with_echo, ctx);
+    DenseMatrix next;
+    if (!engine::BackendLinBpPropagate(backend, modulation, echo_modulation,
+                                       result.beliefs, with_echo, ctx, &next,
+                                       &result.error)) {
+      // The failing sweep was never applied: beliefs still hold sweep
+      // it - 1, so callers can report the error with their state intact.
+      result.failed = true;
+      break;
+    }
     const LinBpSweepStats stats =
         ApplyLinBpSweep(ctx, explicit_residuals, next, &result.beliefs);
     result.iterations = it;
@@ -97,6 +105,13 @@ LinBpResult RunLinBp(const Graph& graph, const DenseMatrix& hhat,
     }
   }
   return result;
+}
+
+LinBpResult RunLinBp(const Graph& graph, const DenseMatrix& hhat,
+                     const DenseMatrix& explicit_residuals,
+                     const LinBpOptions& options) {
+  const engine::InMemoryBackend backend(&graph);
+  return RunLinBp(backend, hhat, explicit_residuals, options);
 }
 
 }  // namespace linbp

@@ -12,7 +12,9 @@
 #define LINBP_CORE_LINBP_H_
 
 #include <cstdint>
+#include <string>
 
+#include "src/engine/propagation_backend.h"
 #include "src/exec/exec_context.h"
 #include "src/graph/graph.h"
 #include "src/la/dense_matrix.h"
@@ -48,12 +50,26 @@ struct LinBpResult {
   int iterations = 0;
   bool converged = false;
   bool diverged = false;
+  /// A streamed backend failed mid-run (I/O error, shard checksum
+  /// mismatch). `beliefs` then holds the last fully completed sweep —
+  /// the failing sweep is never partially applied — and `error`
+  /// describes the failure. Always false for in-memory backends.
+  bool failed = false;
+  std::string error;
   double last_delta = 0.0;
 };
 
-/// Runs LinBP on `graph` with scaled residual coupling `hhat` (k x k) and
-/// explicit residual beliefs `explicit_residuals` (n x k; zero rows for
-/// unlabeled nodes). Edge weights are honored per Sect. 5.2.
+/// Runs LinBP over any propagation backend with scaled residual coupling
+/// `hhat` (k x k) and explicit residual beliefs `explicit_residuals`
+/// (n x k; zero rows for unlabeled nodes). Edge weights are honored per
+/// Sect. 5.2. Beliefs are bit-identical across backends and thread
+/// counts (see src/engine/propagation_backend.h).
+LinBpResult RunLinBp(const engine::PropagationBackend& backend,
+                     const DenseMatrix& hhat,
+                     const DenseMatrix& explicit_residuals,
+                     const LinBpOptions& options = {});
+
+/// RunLinBp on a resident graph (wraps engine::InMemoryBackend).
 LinBpResult RunLinBp(const Graph& graph, const DenseMatrix& hhat,
                      const DenseMatrix& explicit_residuals,
                      const LinBpOptions& options = {});

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
+#include "src/engine/backend_ops.h"
+#include "src/engine/in_memory_backend.h"
 #include "src/la/kron_ops.h"
 #include "src/util/check.h"
 
@@ -11,17 +14,41 @@ namespace linbp {
 
 LinBpState::LinBpState(Graph graph, DenseMatrix hhat,
                        DenseMatrix explicit_residuals, LinBpOptions options)
-    : graph_(std::move(graph)),
+    : graph_(std::make_shared<Graph>(std::move(graph))),
+      backend_(std::make_shared<engine::InMemoryBackend>(graph_.get())),
       hhat_(std::move(hhat)),
       explicit_residuals_(std::move(explicit_residuals)),
       options_(options),
       beliefs_(explicit_residuals_) {
   LINBP_CHECK(hhat_.rows() == hhat_.cols());
-  LINBP_CHECK(explicit_residuals_.rows() == graph_.num_nodes());
+  LINBP_CHECK(explicit_residuals_.rows() == graph_->num_nodes());
   LINBP_CHECK(explicit_residuals_.cols() == hhat_.rows());
   LINBP_CHECK_MSG(options_.variant != LinBpVariant::kLinBpExact,
                   "warm-started updates support kLinBp / kLinBpStar");
   cold_start_iterations_ = Solve();
+}
+
+LinBpState::LinBpState(
+    std::shared_ptr<const engine::PropagationBackend> backend,
+    DenseMatrix hhat, DenseMatrix explicit_residuals, LinBpOptions options)
+    : backend_(std::move(backend)),
+      hhat_(std::move(hhat)),
+      explicit_residuals_(std::move(explicit_residuals)),
+      options_(options),
+      beliefs_(explicit_residuals_) {
+  LINBP_CHECK(backend_ != nullptr);
+  LINBP_CHECK(hhat_.rows() == hhat_.cols());
+  LINBP_CHECK(explicit_residuals_.rows() == backend_->num_nodes());
+  LINBP_CHECK(explicit_residuals_.cols() == hhat_.rows());
+  LINBP_CHECK_MSG(options_.variant != LinBpVariant::kLinBpExact,
+                  "warm-started updates support kLinBp / kLinBpStar");
+  cold_start_iterations_ = Solve();
+}
+
+const Graph& LinBpState::graph() const {
+  LINBP_CHECK_MSG(graph_ != nullptr,
+                  "state was constructed from a backend without a graph");
+  return *graph_;
 }
 
 int LinBpState::Solve() {
@@ -29,10 +56,14 @@ int LinBpState::Solve() {
   const bool with_echo = options_.variant == LinBpVariant::kLinBp;
   const exec::ExecContext& ctx = options_.exec;
   converged_ = false;
+  last_error_.clear();
   for (int it = 1; it <= options_.max_iterations; ++it) {
-    const DenseMatrix propagated =
-        LinBpPropagate(graph_.adjacency(), graph_.weighted_degrees(), hhat_,
-                       hhat2, beliefs_, with_echo, ctx);
+    DenseMatrix propagated;
+    if (!engine::BackendLinBpPropagate(*backend_, hhat_, hhat2, beliefs_,
+                                       with_echo, ctx, &propagated,
+                                       &last_error_)) {
+      return -1;  // beliefs_ still hold sweep it - 1
+    }
     const LinBpSweepStats stats =
         ApplyLinBpSweep(ctx, explicit_residuals_, propagated, &beliefs_);
     if (!std::isfinite(stats.delta) ||
@@ -51,31 +82,65 @@ int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
                                       const DenseMatrix& residuals) {
   LINBP_CHECK(static_cast<std::int64_t>(nodes.size()) == residuals.rows());
   LINBP_CHECK(residuals.cols() == hhat_.rows());
+  const std::int64_t n = backend_->num_nodes();
+  for (const std::int64_t node : nodes) {
+    LINBP_CHECK(node >= 0 && node < n);
+  }
+  // Snapshot for rollback: a streamed backend can fail several sweeps in
+  // (shard corruption appearing mid-stream), and a half-advanced warm
+  // start would poison every later update. Updates are all-or-nothing.
+  const DenseMatrix saved_beliefs = beliefs_;
+  DenseMatrix saved_rows(static_cast<std::int64_t>(nodes.size()),
+                         hhat_.rows());
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    LINBP_CHECK(nodes[i] >= 0 && nodes[i] < graph_.num_nodes());
     for (std::int64_t c = 0; c < hhat_.rows(); ++c) {
+      saved_rows.At(static_cast<std::int64_t>(i), c) =
+          explicit_residuals_.At(nodes[i], c);
       explicit_residuals_.At(nodes[i], c) =
           residuals.At(static_cast<std::int64_t>(i), c);
     }
   }
-  return Solve();
+  const int sweeps = Solve();
+  if (sweeps < 0) {
+    // Reverse order: with a duplicate node in the batch, the first
+    // slot saved the true original and a later slot saved an already-
+    // overwritten row — undoing back to front lands on the original.
+    for (std::size_t i = nodes.size(); i-- > 0;) {
+      for (std::int64_t c = 0; c < hhat_.rows(); ++c) {
+        explicit_residuals_.At(nodes[i], c) =
+            saved_rows.At(static_cast<std::int64_t>(i), c);
+      }
+    }
+    beliefs_ = saved_beliefs;
+  }
+  return sweeps;
 }
 
 int LinBpState::AddEdges(const std::vector<Edge>& edges,
                          std::string* error) {
+  if (graph_ == nullptr) {
+    if (error != nullptr) {
+      *error = "backend does not own a mutable graph (streamed states "
+               "cannot add edges)";
+    }
+    return -1;
+  }
   // Validate the whole batch up front with error returns — the Graph
   // constructor CHECK-aborts on these, which is the wrong failure mode
   // for edges arriving from user input or an update stream. The state is
   // only touched once every edge has passed.
-  const std::string problem = ValidateNewEdgeBatch(graph_, edges);
+  const std::string problem = ValidateNewEdgeBatch(*graph_, edges);
   if (!problem.empty()) {
     if (error != nullptr) *error = problem;
     return -1;
   }
-  std::vector<Edge> combined = graph_.edges();
+  std::vector<Edge> combined = graph_->edges();
   combined.insert(combined.end(), edges.begin(), edges.end());
-  graph_ = Graph(graph_.num_nodes(), combined);
-  return Solve();
+  // Assign in place: the InMemoryBackend holds a pointer to *graph_.
+  *graph_ = Graph(graph_->num_nodes(), combined);
+  const int sweeps = Solve();
+  if (sweeps < 0 && error != nullptr) *error = last_error_;
+  return sweeps;
 }
 
 }  // namespace linbp

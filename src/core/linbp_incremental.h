@@ -8,15 +8,23 @@
 // inputs, a localized change converges in a handful of sweeps instead of a
 // full cold start (measured in bench/ablation_incremental_linbp.cc and
 // property-tested against cold solves).
+//
+// The state solves through a PropagationBackend (src/engine), so warm
+// restarts also run out-of-core over a ShardStreamBackend. A streamed
+// backend that fails mid-solve (shard corruption appearing between
+// sweeps) rolls the state back to the last good solution: updates are
+// all-or-nothing.
 
 #ifndef LINBP_CORE_LINBP_INCREMENTAL_H_
 #define LINBP_CORE_LINBP_INCREMENTAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/linbp.h"
+#include "src/engine/propagation_backend.h"
 #include "src/graph/graph.h"
 #include "src/la/dense_matrix.h"
 
@@ -25,42 +33,81 @@ namespace linbp {
 /// Mutable LinBP computation state supporting warm-started updates.
 class LinBpState {
  public:
-  /// Solves the initial system (cold start).
+  /// Solves the initial system (cold start) on an owned in-memory graph.
   LinBpState(Graph graph, DenseMatrix hhat, DenseMatrix explicit_residuals,
              LinBpOptions options = {});
 
+  /// Solves the initial system over an arbitrary backend (e.g. an
+  /// engine::ShardStreamBackend for out-of-core warm restarts). A cold
+  /// solve that fails (streamed corruption) leaves beliefs() at the last
+  /// completed sweep with converged() false and last_error() set.
+  /// AddEdges is unsupported on this path (no owned graph).
+  LinBpState(std::shared_ptr<const engine::PropagationBackend> backend,
+             DenseMatrix hhat, DenseMatrix explicit_residuals,
+             LinBpOptions options = {});
+
   /// Overwrites the explicit beliefs of `nodes` (row i of `residuals` is
-  /// nodes[i]) and re-solves warm-started. Returns the sweeps used.
+  /// nodes[i]) and re-solves warm-started. Returns the sweeps used, or -1
+  /// when a streamed backend failed mid-solve — the state (beliefs AND
+  /// explicit residuals) is then rolled back, with the failure in
+  /// last_error().
   int UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
                             const DenseMatrix& residuals);
+
+  /// Movable but not copyable: the graph lives behind a shared pointer
+  /// (so the backend's reference survives moves), and a copy would
+  /// alias it — AddEdges on the copy would mutate the original's graph
+  /// under its cached solution.
+  LinBpState(LinBpState&&) = default;
+  LinBpState& operator=(LinBpState&&) = default;
+  LinBpState(const LinBpState&) = delete;
+  LinBpState& operator=(const LinBpState&) = delete;
 
   /// Adds undirected edges and re-solves warm-started. Returns the sweeps
   /// used. (The graph is rebuilt; the belief warm start is what saves the
   /// iterations.) An invalid batch — an out-of-range endpoint, self-loop,
   /// non-finite weight, duplicate within the batch, or an edge already in
   /// the graph — returns -1 with *error filled (when non-null) and leaves
-  /// the state untouched; it never aborts.
+  /// the state untouched; it never aborts. Also returns -1 on a state
+  /// without an owned graph (streamed backends cannot add edges) and on a
+  /// mid-solve stream failure (state rolled back).
   int AddEdges(const std::vector<Edge>& edges, std::string* error = nullptr);
 
   /// Current solution (residual beliefs).
   const DenseMatrix& beliefs() const { return beliefs_; }
 
-  const Graph& graph() const { return graph_; }
+  /// The owned graph. Only valid for states constructed from a Graph.
+  const Graph& graph() const;
+
+  /// True when the state owns a mutable in-memory graph (AddEdges works).
+  bool has_graph() const { return graph_ != nullptr; }
+
+  const engine::PropagationBackend& backend() const { return *backend_; }
   bool converged() const { return converged_; }
+
+  /// Failure message of the last solve (empty on success).
+  const std::string& last_error() const { return last_error_; }
 
   /// Sweeps used by the initial cold solve, for comparison.
   int cold_start_iterations() const { return cold_start_iterations_; }
 
  private:
   // Runs the update equation from the current beliefs_ until convergence.
+  // Returns the sweeps used, or -1 on a backend failure (beliefs_ then
+  // hold the last completed sweep; last_error_ describes the failure).
   int Solve();
 
-  Graph graph_;
+  // Owned graph for the in-memory construction path (null for
+  // backend-constructed states). Held behind a stable pointer so the
+  // backend's reference survives moves of the state.
+  std::shared_ptr<Graph> graph_;
+  std::shared_ptr<const engine::PropagationBackend> backend_;
   DenseMatrix hhat_;
   DenseMatrix explicit_residuals_;
   LinBpOptions options_;
   DenseMatrix beliefs_;
   bool converged_ = false;
+  std::string last_error_;
   int cold_start_iterations_ = 0;
 };
 

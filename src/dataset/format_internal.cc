@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <utility>
 
+#include "src/dataset/shard.h"  // kMaxShards: one cap for writer + readers
 #include "src/util/check.h"
 
 namespace linbp {
@@ -103,6 +105,28 @@ bool CheckMagicVersionEndian(const std::string& path, const char* data,
   return true;
 }
 
+bool CheckCouplingResidual(const std::string& path,
+                           const std::vector<double>& coupling,
+                           std::int64_t k, std::string* error) {
+  LINBP_CHECK(static_cast<std::int64_t>(coupling.size()) == k * k);
+  for (std::int64_t i = 0; i < k; ++i) {
+    double row_sum = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const double value = coupling[i * k + j];
+      if (!std::isfinite(value) || value != coupling[j * k + i]) {
+        *error = path + ": invalid coupling residual";
+        return false;
+      }
+      row_sum += value;
+    }
+    if (std::abs(row_sum) > 1e-9) {
+      *error = path + ": invalid coupling residual";
+      return false;
+    }
+  }
+  return true;
+}
+
 bool CheckHeaderCounts(const std::string& path, std::int64_t num_nodes,
                        std::int64_t k, std::int64_t nnz,
                        std::int64_t num_explicit, std::uint32_t flags,
@@ -116,6 +140,178 @@ bool CheckHeaderCounts(const std::string& path, std::int64_t num_nodes,
   }
   if ((flags & ~kFlagGroundTruth) != 0) {
     *error = path + ": corrupted " + what + " (unknown flags)";
+    return false;
+  }
+  return true;
+}
+
+std::string ShardSiblingPath(const std::string& manifest_path,
+                             const std::string& file) {
+  const std::filesystem::path parent =
+      std::filesystem::path(manifest_path).parent_path();
+  return (parent / file).string();
+}
+
+std::int64_t ShardPayloadBytes(std::int64_t rows, std::int64_t nnz,
+                               std::int64_t num_explicit, std::int64_t k,
+                               bool has_ground_truth) {
+  return (rows + 1) * 8 +            // local row_ptr
+         nnz * (4 + 8) +             // col_idx + values
+         num_explicit * 8 * (1 + k)  // explicit ids + residual rows
+         + (has_ground_truth ? rows * 4 : 0);
+}
+
+bool ParseShardManifest(const std::string& path,
+                        const std::vector<char>& bytes,
+                        std::uint32_t expected_version, ShardManifest* m,
+                        std::string* error) {
+  if (!CheckMagicVersionEndian(path, bytes.data(), bytes.size(),
+                               kShardManifestMagic, expected_version,
+                               "shard manifest", error)) {
+    return false;
+  }
+  const char* data = bytes.data();
+  std::uint32_t flags = 0;
+  std::uint32_t num_shards = 0;
+  std::uint64_t checksum = 0;
+  std::memcpy(&m->num_nodes, data + 16, 8);
+  std::memcpy(&m->k, data + 24, 8);
+  std::memcpy(&m->nnz, data + 32, 8);
+  std::memcpy(&m->num_explicit, data + 40, 8);
+  std::memcpy(&flags, data + 48, 4);
+  std::memcpy(&num_shards, data + 52, 4);
+  std::memcpy(&checksum, data + 56, 8);
+  if (!CheckHeaderCounts(path, m->num_nodes, m->k, m->nnz, m->num_explicit,
+                         flags, "manifest header", error)) {
+    return false;
+  }
+  m->has_ground_truth = (flags & kFlagGroundTruth) != 0;
+  if (num_shards < 1 ||
+      static_cast<std::int64_t>(num_shards) > kMaxShards ||
+      static_cast<std::int64_t>(num_shards) > m->num_nodes) {
+    *error = path + ": corrupted manifest header (shard count out of range)";
+    return false;
+  }
+  const char* payload = data + kHeaderBytes;
+  const std::size_t payload_size = bytes.size() - kHeaderBytes;
+  if (Fnv1a(payload, payload_size) != checksum) {
+    *error = path + ": checksum mismatch (corrupted manifest)";
+    return false;
+  }
+
+  Cursor cursor(payload, payload_size);
+  m->coupling.resize(static_cast<std::size_t>(m->k * m->k));
+  if (!cursor.ReadString(&m->name) || !cursor.ReadString(&m->spec) ||
+      !cursor.Read(m->coupling.data(), m->coupling.size())) {
+    *error = path + ": truncated manifest payload";
+    return false;
+  }
+  m->entries.resize(num_shards);
+  std::int64_t nnz_sum = 0;
+  std::int64_t explicit_sum = 0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    ShardManifestEntry& entry = m->entries[s];
+    if (!cursor.Read(&entry.row_begin, 1) || !cursor.Read(&entry.row_end, 1) ||
+        !cursor.Read(&entry.nnz, 1) || !cursor.Read(&entry.num_explicit, 1) ||
+        !cursor.Read(&entry.checksum, 1) || !cursor.ReadString(&entry.file)) {
+      *error = path + ": truncated manifest payload";
+      return false;
+    }
+    // The shard table must tile [0, num_nodes) exactly: shard 0 starts at
+    // row 0, every shard is non-empty and abuts its predecessor (no gap,
+    // no overlap), and the last one ends at num_nodes (checked below).
+    const std::int64_t expected_begin =
+        s == 0 ? 0 : m->entries[s - 1].row_end;
+    if (entry.row_begin != expected_begin) {
+      *error = path + ": shard " + std::to_string(s) +
+               " row range does not abut its predecessor (gap or overlap)";
+      return false;
+    }
+    if (entry.row_end <= entry.row_begin ||
+        entry.row_end > m->num_nodes) {
+      *error = path + ": shard " + std::to_string(s) +
+               " row range is empty or out of bounds";
+      return false;
+    }
+    // The 2^48 cap keeps every byte-size computation below comfortably
+    // inside int64 (a real shard this large would be ~3 petabytes).
+    if (entry.nnz < 0 || entry.nnz > (std::int64_t{1} << 48) ||
+        entry.num_explicit < 0 ||
+        entry.num_explicit > entry.row_end - entry.row_begin) {
+      *error = path + ": shard " + std::to_string(s) +
+               " counts out of range";
+      return false;
+    }
+    if (entry.file.empty()) {
+      *error = path + ": shard " + std::to_string(s) + " has no file name";
+      return false;
+    }
+    // Incremental bound before accumulating: per-entry values are only
+    // capped at 2^48, so a crafted 2^20-entry table could wrap a naive
+    // int64 sum. Both sides here are non-negative and bounded by the
+    // manifest totals, so the comparison itself cannot overflow.
+    if (entry.nnz > m->nnz - nnz_sum ||
+        entry.num_explicit > m->num_explicit - explicit_sum) {
+      *error = path + ": shard counts exceed the manifest totals";
+      return false;
+    }
+    nnz_sum += entry.nnz;
+    explicit_sum += entry.num_explicit;
+  }
+  if (cursor.remaining() != 0) {
+    *error = path + ": trailing bytes after the manifest payload";
+    return false;
+  }
+  if (m->entries.back().row_end != m->num_nodes) {
+    *error = path + ": shard row ranges do not cover every row";
+    return false;
+  }
+  if (nnz_sum != m->nnz) {
+    *error = path + ": shard nnz counts do not sum to the manifest total";
+    return false;
+  }
+  if (explicit_sum != m->num_explicit) {
+    *error = path +
+             ": shard explicit counts do not sum to the manifest total";
+    return false;
+  }
+  m->file_bytes = static_cast<std::int64_t>(bytes.size());
+  return true;
+}
+
+bool CheckShardAgainstManifest(const std::string& path,
+                               const std::vector<char>& bytes,
+                               const ShardManifest& manifest,
+                               std::int64_t shard,
+                               std::uint32_t expected_version,
+                               ShardFileHeader* h, std::string* error) {
+  const ShardManifestEntry& entry = manifest.entries[shard];
+  if (!CheckMagicVersionEndian(path, bytes.data(), bytes.size(),
+                               kShardFileMagic, expected_version,
+                               "snapshot shard", error)) {
+    return false;
+  }
+  std::memcpy(&h->row_begin, bytes.data() + 16, 8);
+  std::memcpy(&h->row_end, bytes.data() + 24, 8);
+  std::memcpy(&h->nnz, bytes.data() + 32, 8);
+  std::memcpy(&h->num_explicit, bytes.data() + 40, 8);
+  std::memcpy(&h->flags, bytes.data() + 48, 4);
+  std::memcpy(&h->shard_index, bytes.data() + 52, 4);
+  std::memcpy(&h->checksum, bytes.data() + 56, 8);
+  const std::uint32_t expected_flags =
+      manifest.has_ground_truth ? kFlagGroundTruth : 0;
+  if (h->row_begin != entry.row_begin || h->row_end != entry.row_end ||
+      h->nnz != entry.nnz || h->num_explicit != entry.num_explicit ||
+      h->flags != expected_flags ||
+      h->shard_index != static_cast<std::uint32_t>(shard)) {
+    *error = path + ": shard header disagrees with its manifest entry";
+    return false;
+  }
+  const char* payload = bytes.data() + kHeaderBytes;
+  const std::size_t payload_size = bytes.size() - kHeaderBytes;
+  if (h->checksum != entry.checksum ||
+      Fnv1a(payload, payload_size) != h->checksum) {
+    *error = path + ": checksum mismatch (corrupted shard)";
     return false;
   }
   return true;
@@ -198,6 +394,9 @@ std::optional<Scenario> ValidateAndAssembleScenario(
     return std::nullopt;
   }
 
+  if (!CheckCouplingResidual(path, parts.coupling, k, error)) {
+    return std::nullopt;
+  }
   Scenario scenario;
   scenario.name = std::move(parts.name);
   scenario.spec = std::move(parts.spec);
@@ -205,22 +404,6 @@ std::optional<Scenario> ValidateAndAssembleScenario(
   scenario.coupling_residual = DenseMatrix(k, k);
   std::copy(parts.coupling.begin(), parts.coupling.end(),
             scenario.coupling_residual.mutable_data().begin());
-  for (std::int64_t i = 0; i < k; ++i) {
-    double row_sum = 0.0;
-    for (std::int64_t j = 0; j < k; ++j) {
-      const double value = scenario.coupling_residual.At(i, j);
-      if (!std::isfinite(value) ||
-          value != scenario.coupling_residual.At(j, i)) {
-        *error = path + ": invalid coupling residual";
-        return std::nullopt;
-      }
-      row_sum += value;
-    }
-    if (std::abs(row_sum) > 1e-9) {
-      *error = path + ": invalid coupling residual";
-      return std::nullopt;
-    }
-  }
 
   scenario.explicit_nodes = std::move(parts.explicit_nodes);
   scenario.explicit_residuals = DenseMatrix(n, k);

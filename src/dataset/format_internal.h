@@ -111,6 +111,15 @@ bool CheckMagicVersionEndian(const std::string& path, const char* data,
                              std::uint32_t expected_version, const char* what,
                              std::string* error);
 
+/// Validates a k*k row-major coupling residual: finite entries,
+/// symmetry, |row sum| <= 1e-9. One gate shared by the bulk loader
+/// (ValidateAndAssembleScenario) and the streaming reader
+/// (ShardStreamReader::Open), so the two paths cannot drift on what
+/// counts as a valid manifest. `path` prefixes the error.
+bool CheckCouplingResidual(const std::string& path,
+                           const std::vector<double>& coupling,
+                           std::int64_t k, std::string* error);
+
 /// Validates the count fields every dataset header carries: num_nodes in
 /// [0, int32 max], k in [1, kMaxClasses], nnz >= 0, num_explicit in
 /// [0, num_nodes], and no flag bits beyond kFlagGroundTruth. `what`
@@ -137,6 +146,88 @@ struct ScenarioParts {
   std::vector<double> explicit_rows;       // explicit_nodes.size() * k
   std::vector<std::int32_t> ground_truth;  // num_nodes iff has_ground_truth
 };
+
+// ---------------------------------------------------------------------
+// Shard-format internals, shared by the bulk loader (shard.cc) and the
+// out-of-core streaming reader (shard_stream.cc). The on-disk layout is
+// documented in src/dataset/shard.h.
+
+/// Magics of the shard manifest and shard files.
+inline constexpr char kShardManifestMagic[8] = {'L', 'I', 'N', 'B',
+                                                'P', 'S', 'H', 'M'};
+inline constexpr char kShardFileMagic[8] = {'L', 'I', 'N', 'B',
+                                            'P', 'S', 'H', 'D'};
+
+/// One parsed manifest shard entry.
+struct ShardManifestEntry {
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;
+  std::int64_t nnz = 0;
+  std::int64_t num_explicit = 0;
+  std::uint64_t checksum = 0;
+  std::string file;
+};
+
+/// A parsed + validated shard manifest.
+struct ShardManifest {
+  std::int64_t num_nodes = 0;
+  std::int64_t k = 0;
+  std::int64_t nnz = 0;
+  std::int64_t num_explicit = 0;
+  bool has_ground_truth = false;
+  std::string name;
+  std::string spec;
+  std::vector<double> coupling;  // k*k
+  std::vector<ShardManifestEntry> entries;
+  std::int64_t file_bytes = 0;
+};
+
+/// Parses and fully validates a manifest: header ranges, payload
+/// checksum, and a shard table whose row ranges exactly tile
+/// [0, num_nodes) with per-shard counts summing to the global ones.
+bool ParseShardManifest(const std::string& path,
+                        const std::vector<char>& bytes,
+                        std::uint32_t expected_version, ShardManifest* m,
+                        std::string* error);
+
+/// Joins a shard file name with the directory its manifest lives in.
+std::string ShardSiblingPath(const std::string& manifest_path,
+                             const std::string& file);
+
+/// Exact payload byte count of one shard file — the single source of
+/// truth shared by the writer's buffer reserve, the bulk loader's
+/// preflight (which bounds the global allocations by actual on-disk
+/// bytes), and the manifest-info payload total. A format change that
+/// grows the payload must land here, or the preflight would either
+/// reject valid files or (worse) reopen the hostile-manifest allocation
+/// hole it exists to close. Cannot overflow: rows <= 2^31, nnz <= 2^48
+/// (manifest cap), k <= kMaxClasses.
+std::int64_t ShardPayloadBytes(std::int64_t rows, std::int64_t nnz,
+                               std::int64_t num_explicit, std::int64_t k,
+                               bool has_ground_truth);
+
+/// Parsed header of one shard file.
+struct ShardFileHeader {
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;
+  std::int64_t nnz = 0;
+  std::int64_t num_explicit = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t shard_index = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Validates one shard file's bytes against its manifest entry: magic /
+/// version / endianness, a header agreeing with the manifest (row range,
+/// counts, flags, index), and the payload checksum matching both the
+/// header and the manifest. Fills *h on success. The payload itself
+/// (bytes after the 64-byte header) is NOT deserialized here.
+bool CheckShardAgainstManifest(const std::string& path,
+                               const std::vector<char>& bytes,
+                               const ShardManifest& manifest,
+                               std::int64_t shard,
+                               std::uint32_t expected_version,
+                               ShardFileHeader* h, std::string* error);
 
 /// Validates every structural invariant with error returns (the checksum
 /// only proves the bytes match what was written, not that a writer was

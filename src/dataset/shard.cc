@@ -18,193 +18,23 @@ namespace {
 
 using internal::AppendPod;
 using internal::AppendString;
+using internal::CheckShardAgainstManifest;
 using internal::Cursor;
 using internal::Fnv1a;
 using internal::kFlagGroundTruth;
 using internal::kHeaderBytes;
 using internal::kMaxClasses;
+using internal::kShardFileMagic;
+using internal::kShardManifestMagic;
+using internal::ParseShardManifest;
+using internal::ShardFileHeader;
+using internal::ShardManifest;
+using internal::ShardManifestEntry;
+using internal::ShardPayloadBytes;
+using internal::ShardSiblingPath;
 
-constexpr char kManifestMagic[8] = {'L', 'I', 'N', 'B', 'P', 'S', 'H', 'M'};
-constexpr char kShardMagic[8] = {'L', 'I', 'N', 'B', 'P', 'S', 'H', 'D'};
-
-struct ManifestEntry {
-  std::int64_t row_begin = 0;
-  std::int64_t row_end = 0;
-  std::int64_t nnz = 0;
-  std::int64_t num_explicit = 0;
-  std::uint64_t checksum = 0;
-  std::string file;
-};
-
-struct Manifest {
-  std::int64_t num_nodes = 0;
-  std::int64_t k = 0;
-  std::int64_t nnz = 0;
-  std::int64_t num_explicit = 0;
-  bool has_ground_truth = false;
-  std::string name;
-  std::string spec;
-  std::vector<double> coupling;  // k*k
-  std::vector<ManifestEntry> entries;
-  std::int64_t file_bytes = 0;
-};
-
-// Joins a shard file name with the directory its manifest lives in.
-std::string SiblingPath(const std::string& manifest_path,
-                        const std::string& file) {
-  const std::filesystem::path parent =
-      std::filesystem::path(manifest_path).parent_path();
-  return (parent / file).string();
-}
-
-// Parses and fully validates a manifest: header ranges, payload
-// checksum, and a shard table whose row ranges exactly tile
-// [0, num_nodes) with per-shard counts summing to the global ones.
-bool ParseManifest(const std::string& path, const std::vector<char>& bytes,
-                   Manifest* m, std::string* error) {
-  if (!internal::CheckMagicVersionEndian(path, bytes.data(), bytes.size(),
-                                         kManifestMagic, kShardFormatVersion,
-                                         "shard manifest", error)) {
-    return false;
-  }
-  const char* data = bytes.data();
-  std::uint32_t flags = 0;
-  std::uint32_t num_shards = 0;
-  std::uint64_t checksum = 0;
-  std::memcpy(&m->num_nodes, data + 16, 8);
-  std::memcpy(&m->k, data + 24, 8);
-  std::memcpy(&m->nnz, data + 32, 8);
-  std::memcpy(&m->num_explicit, data + 40, 8);
-  std::memcpy(&flags, data + 48, 4);
-  std::memcpy(&num_shards, data + 52, 4);
-  std::memcpy(&checksum, data + 56, 8);
-  if (!internal::CheckHeaderCounts(path, m->num_nodes, m->k, m->nnz,
-                                   m->num_explicit, flags,
-                                   "manifest header", error)) {
-    return false;
-  }
-  m->has_ground_truth = (flags & kFlagGroundTruth) != 0;
-  if (num_shards < 1 ||
-      static_cast<std::int64_t>(num_shards) > kMaxShards ||
-      static_cast<std::int64_t>(num_shards) > m->num_nodes) {
-    *error = path + ": corrupted manifest header (shard count out of range)";
-    return false;
-  }
-  const char* payload = data + kHeaderBytes;
-  const std::size_t payload_size = bytes.size() - kHeaderBytes;
-  if (Fnv1a(payload, payload_size) != checksum) {
-    *error = path + ": checksum mismatch (corrupted manifest)";
-    return false;
-  }
-
-  Cursor cursor(payload, payload_size);
-  m->coupling.resize(static_cast<std::size_t>(m->k * m->k));
-  if (!cursor.ReadString(&m->name) || !cursor.ReadString(&m->spec) ||
-      !cursor.Read(m->coupling.data(), m->coupling.size())) {
-    *error = path + ": truncated manifest payload";
-    return false;
-  }
-  m->entries.resize(num_shards);
-  std::int64_t nnz_sum = 0;
-  std::int64_t explicit_sum = 0;
-  for (std::uint32_t s = 0; s < num_shards; ++s) {
-    ManifestEntry& entry = m->entries[s];
-    if (!cursor.Read(&entry.row_begin, 1) || !cursor.Read(&entry.row_end, 1) ||
-        !cursor.Read(&entry.nnz, 1) || !cursor.Read(&entry.num_explicit, 1) ||
-        !cursor.Read(&entry.checksum, 1) || !cursor.ReadString(&entry.file)) {
-      *error = path + ": truncated manifest payload";
-      return false;
-    }
-    // The shard table must tile [0, num_nodes) exactly: shard 0 starts at
-    // row 0, every shard is non-empty and abuts its predecessor (no gap,
-    // no overlap), and the last one ends at num_nodes (checked below).
-    const std::int64_t expected_begin =
-        s == 0 ? 0 : m->entries[s - 1].row_end;
-    if (entry.row_begin != expected_begin) {
-      *error = path + ": shard " + std::to_string(s) +
-               " row range does not abut its predecessor (gap or overlap)";
-      return false;
-    }
-    if (entry.row_end <= entry.row_begin ||
-        entry.row_end > m->num_nodes) {
-      *error = path + ": shard " + std::to_string(s) +
-               " row range is empty or out of bounds";
-      return false;
-    }
-    // The 2^48 cap keeps every byte-size computation below comfortably
-    // inside int64 (a real shard this large would be ~3 petabytes).
-    if (entry.nnz < 0 || entry.nnz > (std::int64_t{1} << 48) ||
-        entry.num_explicit < 0 ||
-        entry.num_explicit > entry.row_end - entry.row_begin) {
-      *error = path + ": shard " + std::to_string(s) +
-               " counts out of range";
-      return false;
-    }
-    if (entry.file.empty()) {
-      *error = path + ": shard " + std::to_string(s) + " has no file name";
-      return false;
-    }
-    // Incremental bound before accumulating: per-entry values are only
-    // capped at 2^48, so a crafted 2^20-entry table could wrap a naive
-    // int64 sum. Both sides here are non-negative and bounded by the
-    // manifest totals, so the comparison itself cannot overflow.
-    if (entry.nnz > m->nnz - nnz_sum ||
-        entry.num_explicit > m->num_explicit - explicit_sum) {
-      *error = path + ": shard counts exceed the manifest totals";
-      return false;
-    }
-    nnz_sum += entry.nnz;
-    explicit_sum += entry.num_explicit;
-  }
-  if (cursor.remaining() != 0) {
-    *error = path + ": trailing bytes after the manifest payload";
-    return false;
-  }
-  if (m->entries.back().row_end != m->num_nodes) {
-    *error = path + ": shard row ranges do not cover every row";
-    return false;
-  }
-  if (nnz_sum != m->nnz) {
-    *error = path + ": shard nnz counts do not sum to the manifest total";
-    return false;
-  }
-  if (explicit_sum != m->num_explicit) {
-    *error = path +
-             ": shard explicit counts do not sum to the manifest total";
-    return false;
-  }
-  m->file_bytes = static_cast<std::int64_t>(bytes.size());
-  return true;
-}
-
-struct ShardHeader {
-  std::int64_t row_begin = 0;
-  std::int64_t row_end = 0;
-  std::int64_t nnz = 0;
-  std::int64_t num_explicit = 0;
-  std::uint32_t flags = 0;
-  std::uint32_t shard_index = 0;
-  std::uint64_t checksum = 0;
-};
-
-// Exact payload byte count of one shard file — the single source of
-// truth shared by the writer's buffer reserve and the loader's
-// preflight, which bounds the global allocations by actual on-disk
-// bytes. A format change that grows the payload must land here, or the
-// preflight would either reject valid files or (worse) reopen the
-// hostile-manifest allocation hole it exists to close. Cannot overflow:
-// rows <= 2^31, nnz <= 2^48 (manifest cap), k <= kMaxClasses.
-std::int64_t ShardPayloadBytes(std::int64_t rows, std::int64_t nnz,
-                               std::int64_t num_explicit, std::int64_t k,
-                               bool has_ground_truth) {
-  return (rows + 1) * 8 +            // local row_ptr
-         nnz * (4 + 8) +             // col_idx + values
-         num_explicit * 8 * (1 + k)  // explicit ids + residual rows
-         + (has_ground_truth ? rows * 4 : 0);
-}
-
-void WriteShardHeader(const ShardHeader& h, char* out) {
-  std::memcpy(out, kShardMagic, 8);
+void WriteShardHeader(const ShardFileHeader& h, char* out) {
+  std::memcpy(out, kShardFileMagic, 8);
   std::memcpy(out + 8, &kShardFormatVersion, 4);
   std::memcpy(out + 12, &internal::kEndianTag, 4);
   std::memcpy(out + 16, &h.row_begin, 8);
@@ -221,47 +51,23 @@ void WriteShardHeader(const ShardHeader& h, char* out) {
 // slice; the row_ptr entries it owns are [row_begin, row_end) (the
 // terminating global entry row_ptr[n] is set once by the caller, so no
 // two shards ever write the same element).
-bool LoadOneShard(const std::string& manifest_path, const Manifest& manifest,
-                  std::int64_t shard, std::int64_t nnz_offset,
-                  std::int64_t explicit_offset,
+bool LoadOneShard(const std::string& manifest_path,
+                  const ShardManifest& manifest, std::int64_t shard,
+                  std::int64_t nnz_offset, std::int64_t explicit_offset,
                   internal::ScenarioParts* parts, std::string* error) {
-  const ManifestEntry& entry = manifest.entries[shard];
-  const std::string path = SiblingPath(manifest_path, entry.file);
+  const ShardManifestEntry& entry = manifest.entries[shard];
+  const std::string path = ShardSiblingPath(manifest_path, entry.file);
   std::vector<char> bytes;
   if (!internal::ReadFileBytes(path, &bytes, error)) return false;
-  if (!internal::CheckMagicVersionEndian(path, bytes.data(), bytes.size(),
-                                         kShardMagic, kShardFormatVersion,
-                                         "snapshot shard", error)) {
-    return false;
-  }
-  ShardHeader h;
-  std::memcpy(&h.row_begin, bytes.data() + 16, 8);
-  std::memcpy(&h.row_end, bytes.data() + 24, 8);
-  std::memcpy(&h.nnz, bytes.data() + 32, 8);
-  std::memcpy(&h.num_explicit, bytes.data() + 40, 8);
-  std::memcpy(&h.flags, bytes.data() + 48, 4);
-  std::memcpy(&h.shard_index, bytes.data() + 52, 4);
-  std::memcpy(&h.checksum, bytes.data() + 56, 8);
-  const std::uint32_t expected_flags =
-      manifest.has_ground_truth ? kFlagGroundTruth : 0;
-  if (h.row_begin != entry.row_begin || h.row_end != entry.row_end ||
-      h.nnz != entry.nnz || h.num_explicit != entry.num_explicit ||
-      h.flags != expected_flags ||
-      h.shard_index != static_cast<std::uint32_t>(shard)) {
-    *error = path + ": shard header disagrees with its manifest entry";
-    return false;
-  }
-  const char* payload = bytes.data() + kHeaderBytes;
-  const std::size_t payload_size = bytes.size() - kHeaderBytes;
-  if (h.checksum != entry.checksum ||
-      Fnv1a(payload, payload_size) != h.checksum) {
-    *error = path + ": checksum mismatch (corrupted shard)";
+  ShardFileHeader h;
+  if (!CheckShardAgainstManifest(path, bytes, manifest, shard,
+                                 kShardFormatVersion, &h, error)) {
     return false;
   }
 
   const std::int64_t rows = h.row_end - h.row_begin;
   const std::int64_t k = manifest.k;
-  Cursor cursor(payload, payload_size);
+  Cursor cursor(bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
   std::vector<std::int64_t> local_row_ptr;
   if (!cursor.ReadVector(&local_row_ptr,
                          static_cast<std::size_t>(rows + 1))) {
@@ -365,7 +171,7 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
   const auto& values = adjacency.values();
   const auto& explicit_nodes = scenario.explicit_nodes;
 
-  std::vector<ManifestEntry> entries(num_shards);
+  std::vector<ShardManifestEntry> entries(num_shards);
   for (std::int64_t s = 0; s < num_shards; ++s) {
     const std::int64_t row_begin = partition.begin(s);
     const std::int64_t row_end = partition.end(s);
@@ -408,7 +214,7 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
                 static_cast<std::size_t>(rows), &payload);
     }
 
-    ShardHeader header;
+    ShardFileHeader header;
     header.row_begin = row_begin;
     header.row_end = row_end;
     header.nnz = nnz;
@@ -425,8 +231,8 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
                                     error)) {
       return std::nullopt;
     }
-    entries[s] = ManifestEntry{row_begin, row_end, nnz, num_explicit,
-                               header.checksum, file};
+    entries[s] = ShardManifestEntry{row_begin, row_end, nnz, num_explicit,
+                                    header.checksum, file};
   }
 
   // Manifest last: a crashed writer leaves shard files but no loadable
@@ -436,7 +242,7 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
   AppendString(scenario.spec, &payload);
   AppendPod(scenario.coupling_residual.data().data(),
             static_cast<std::size_t>(scenario.k * scenario.k), &payload);
-  for (const ManifestEntry& entry : entries) {
+  for (const ShardManifestEntry& entry : entries) {
     AppendPod(&entry.row_begin, 1, &payload);
     AppendPod(&entry.row_end, 1, &payload);
     AppendPod(&entry.nnz, 1, &payload);
@@ -445,7 +251,7 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
     AppendString(entry.file, &payload);
   }
   char header_bytes[kHeaderBytes];
-  std::memcpy(header_bytes, kManifestMagic, 8);
+  std::memcpy(header_bytes, kShardManifestMagic, 8);
   std::memcpy(header_bytes + 8, &kShardFormatVersion, 4);
   std::memcpy(header_bytes + 12, &internal::kEndianTag, 4);
   const std::int64_t nnz_total = adjacency.NumNonZeros();
@@ -480,8 +286,9 @@ std::optional<Scenario> LoadShardedSnapshot(const std::string& manifest_path,
   if (!internal::ReadFileBytes(manifest_path, &bytes, error)) {
     return std::nullopt;
   }
-  Manifest manifest;
-  if (!ParseManifest(manifest_path, bytes, &manifest, error)) {
+  ShardManifest manifest;
+  if (!ParseShardManifest(manifest_path, bytes, kShardFormatVersion,
+                          &manifest, error)) {
     return std::nullopt;
   }
   bytes.clear();
@@ -495,8 +302,9 @@ std::optional<Scenario> LoadShardedSnapshot(const std::string& manifest_path,
   // cannot drive the loader into a multi-terabyte resize (the same
   // guarantee the monolithic loader gets from its bounds-checked Cursor).
   for (std::int64_t s = 0; s < num_shards; ++s) {
-    const ManifestEntry& entry = manifest.entries[s];
-    const std::string shard_path = SiblingPath(manifest_path, entry.file);
+    const ShardManifestEntry& entry = manifest.entries[s];
+    const std::string shard_path =
+        ShardSiblingPath(manifest_path, entry.file);
     std::error_code ec;
     const std::uintmax_t file_size =
         std::filesystem::file_size(shard_path, ec);
@@ -567,8 +375,11 @@ std::optional<ShardManifestInfo> ReadShardManifestInfo(
   LINBP_CHECK(error != nullptr);
   std::vector<char> bytes;
   if (!internal::ReadFileBytes(path, &bytes, error)) return std::nullopt;
-  Manifest manifest;
-  if (!ParseManifest(path, bytes, &manifest, error)) return std::nullopt;
+  ShardManifest manifest;
+  if (!ParseShardManifest(path, bytes, kShardFormatVersion, &manifest,
+                          error)) {
+    return std::nullopt;
+  }
   ShardManifestInfo info;
   info.version = kShardFormatVersion;
   info.num_nodes = manifest.num_nodes;
@@ -580,10 +391,17 @@ std::optional<ShardManifestInfo> ReadShardManifestInfo(
   info.name = manifest.name;
   info.spec = manifest.spec;
   info.shards.reserve(manifest.entries.size());
-  for (const ManifestEntry& entry : manifest.entries) {
+  for (const ShardManifestEntry& entry : manifest.entries) {
+    // Declared payload sizes, not on-disk file sizes: the info call
+    // stays manifest-only (no shard I/O), and the declared bytes are
+    // what a full load would have to hold resident.
+    const std::int64_t payload_bytes = ShardPayloadBytes(
+        entry.row_end - entry.row_begin, entry.nnz, entry.num_explicit,
+        manifest.k, manifest.has_ground_truth);
+    info.total_shard_payload_bytes += payload_bytes;
     info.shards.push_back(ShardRangeInfo{entry.row_begin, entry.row_end,
                                          entry.nnz, entry.num_explicit,
-                                         entry.file});
+                                         payload_bytes, entry.file});
   }
   return info;
 }
@@ -592,7 +410,7 @@ bool LooksLikeShardManifest(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   char magic[8] = {};
   if (!in.read(magic, 8)) return false;
-  return std::memcmp(magic, kManifestMagic, 8) == 0;
+  return std::memcmp(magic, kShardManifestMagic, 8) == 0;
 }
 
 }  // namespace dataset

@@ -134,6 +134,9 @@ struct ShardRangeInfo {
   std::int64_t row_end = 0;
   std::int64_t nnz = 0;
   std::int64_t num_explicit = 0;
+  /// Declared payload bytes of this shard's file (header excluded),
+  /// computed from the manifest counts without opening the file.
+  std::int64_t payload_bytes = 0;
   std::string file;
 };
 
@@ -145,7 +148,13 @@ struct ShardManifestInfo {
   std::int64_t nnz = 0;
   std::int64_t num_explicit = 0;
   bool has_ground_truth = false;
+  /// Size of the manifest file itself.
   std::int64_t file_bytes = 0;
+  /// Sum of every shard's declared payload bytes — what a full
+  /// LoadShardedSnapshot must hold resident at once, so callers (e.g.
+  /// `linbp_cli info`) can warn when a graph exceeds available RAM and
+  /// should stream instead.
+  std::int64_t total_shard_payload_bytes = 0;
   std::string name;
   std::string spec;
   std::vector<ShardRangeInfo> shards;

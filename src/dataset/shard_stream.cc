@@ -1,0 +1,237 @@
+#include "src/dataset/shard_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/dataset/format_internal.h"
+#include "src/dataset/shard.h"
+#include "src/util/check.h"
+
+namespace linbp {
+namespace dataset {
+
+void ShardStreamBlock::ReleaseAccounting() {
+  if (accounting_ != nullptr && counted_bytes_ > 0) {
+    accounting_->Release(counted_bytes_);
+  }
+  accounting_ = nullptr;
+  counted_bytes_ = 0;
+}
+
+ShardStreamBlock::~ShardStreamBlock() { ReleaseAccounting(); }
+
+ShardStreamBlock::ShardStreamBlock(ShardStreamBlock&& other) noexcept
+    : shard(other.shard),
+      row_begin(other.row_begin),
+      row_end(other.row_end),
+      row_ptr(std::move(other.row_ptr)),
+      col_idx(std::move(other.col_idx)),
+      values(std::move(other.values)),
+      explicit_nodes(std::move(other.explicit_nodes)),
+      explicit_rows(std::move(other.explicit_rows)),
+      ground_truth(std::move(other.ground_truth)),
+      accounting_(std::move(other.accounting_)),
+      counted_bytes_(other.counted_bytes_) {
+  other.accounting_ = nullptr;
+  other.counted_bytes_ = 0;
+}
+
+ShardStreamBlock& ShardStreamBlock::operator=(
+    ShardStreamBlock&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseAccounting();
+  shard = other.shard;
+  row_begin = other.row_begin;
+  row_end = other.row_end;
+  row_ptr = std::move(other.row_ptr);
+  col_idx = std::move(other.col_idx);
+  values = std::move(other.values);
+  explicit_nodes = std::move(other.explicit_nodes);
+  explicit_rows = std::move(other.explicit_rows);
+  ground_truth = std::move(other.ground_truth);
+  accounting_ = std::move(other.accounting_);
+  counted_bytes_ = other.counted_bytes_;
+  other.accounting_ = nullptr;
+  other.counted_bytes_ = 0;
+  return *this;
+}
+
+ShardStreamReader::ShardStreamReader()
+    : accounting_(std::make_shared<internal::ShardByteAccounting>()) {}
+
+std::optional<ShardStreamReader> ShardStreamReader::Open(
+    const std::string& manifest_path, std::string* error) {
+  LINBP_CHECK(error != nullptr);
+  std::vector<char> bytes;
+  if (!internal::ReadFileBytes(manifest_path, &bytes, error)) {
+    return std::nullopt;
+  }
+  auto manifest = std::make_shared<internal::ShardManifest>();
+  if (!internal::ParseShardManifest(manifest_path, bytes,
+                                    kShardFormatVersion, manifest.get(),
+                                    error)) {
+    return std::nullopt;
+  }
+  // Same coupling gate the bulk loader applies, so a manifest the
+  // streaming path accepts is exactly one LoadShardedSnapshot accepts.
+  if (!internal::CheckCouplingResidual(manifest_path, manifest->coupling,
+                                       manifest->k, error)) {
+    return std::nullopt;
+  }
+  ShardStreamReader reader;
+  reader.manifest_path_ = manifest_path;
+  reader.manifest_ = std::move(manifest);
+  return reader;
+}
+
+std::int64_t ShardStreamReader::num_shards() const {
+  return static_cast<std::int64_t>(manifest_->entries.size());
+}
+std::int64_t ShardStreamReader::num_nodes() const {
+  return manifest_->num_nodes;
+}
+std::int64_t ShardStreamReader::k() const { return manifest_->k; }
+std::int64_t ShardStreamReader::nnz() const { return manifest_->nnz; }
+std::int64_t ShardStreamReader::num_explicit() const {
+  return manifest_->num_explicit;
+}
+bool ShardStreamReader::has_ground_truth() const {
+  return manifest_->has_ground_truth;
+}
+const std::string& ShardStreamReader::name() const {
+  return manifest_->name;
+}
+const std::string& ShardStreamReader::spec() const {
+  return manifest_->spec;
+}
+const std::vector<double>& ShardStreamReader::coupling() const {
+  return manifest_->coupling;
+}
+
+std::int64_t ShardStreamReader::row_begin(std::int64_t shard) const {
+  return manifest_->entries[shard].row_begin;
+}
+std::int64_t ShardStreamReader::row_end(std::int64_t shard) const {
+  return manifest_->entries[shard].row_end;
+}
+
+std::int64_t ShardStreamReader::block_csr_bytes(std::int64_t shard) const {
+  const internal::ShardManifestEntry& entry = manifest_->entries[shard];
+  const std::int64_t rows = entry.row_end - entry.row_begin;
+  return (rows + 1) * 8 + entry.nnz * (4 + 8);
+}
+
+std::int64_t ShardStreamReader::max_block_csr_bytes() const {
+  std::int64_t max_bytes = 0;
+  for (std::int64_t s = 0; s < num_shards(); ++s) {
+    max_bytes = std::max(max_bytes, block_csr_bytes(s));
+  }
+  return max_bytes;
+}
+
+std::int64_t ShardStreamReader::resident_csr_bytes() const {
+  return accounting_->resident.load(std::memory_order_relaxed);
+}
+std::int64_t ShardStreamReader::peak_resident_csr_bytes() const {
+  return accounting_->peak.load(std::memory_order_relaxed);
+}
+
+bool ShardStreamReader::ReadBlock(std::int64_t shard,
+                                  ShardStreamBlock* block,
+                                  std::string* error) const {
+  LINBP_CHECK(block != nullptr && error != nullptr);
+  LINBP_CHECK(shard >= 0 && shard < num_shards());
+  *block = ShardStreamBlock();
+  const internal::ShardManifest& manifest = *manifest_;
+  const internal::ShardManifestEntry& entry = manifest.entries[shard];
+  const std::string path =
+      internal::ShardSiblingPath(manifest_path_, entry.file);
+  std::vector<char> bytes;
+  if (!internal::ReadFileBytes(path, &bytes, error)) return false;
+  internal::ShardFileHeader h;
+  if (!internal::CheckShardAgainstManifest(path, bytes, manifest, shard,
+                                           kShardFormatVersion, &h, error)) {
+    return false;
+  }
+
+  const std::int64_t rows = h.row_end - h.row_begin;
+  const std::int64_t k = manifest.k;
+  internal::Cursor cursor(bytes.data() + internal::kHeaderBytes,
+                          bytes.size() - internal::kHeaderBytes);
+  const bool sections_ok =
+      cursor.ReadVector(&block->row_ptr,
+                        static_cast<std::size_t>(rows + 1)) &&
+      cursor.ReadVector(&block->col_idx, static_cast<std::size_t>(h.nnz)) &&
+      cursor.ReadVector(&block->values, static_cast<std::size_t>(h.nnz)) &&
+      cursor.ReadVector(&block->explicit_nodes,
+                        static_cast<std::size_t>(h.num_explicit)) &&
+      cursor.ReadVector(&block->explicit_rows,
+                        static_cast<std::size_t>(h.num_explicit * k)) &&
+      (!manifest.has_ground_truth ||
+       cursor.ReadVector(&block->ground_truth,
+                         static_cast<std::size_t>(rows)));
+  if (!sections_ok || cursor.remaining() != 0) {
+    *error = path + (sections_ok ? ": trailing bytes after the shard payload"
+                                 : ": truncated shard payload");
+    *block = ShardStreamBlock();
+    return false;
+  }
+  block->shard = shard;
+  block->row_begin = h.row_begin;
+  block->row_end = h.row_end;
+  // The block's CSR memory is live from here on: count it before the
+  // structural sweep so the residency instrumentation never under-reports.
+  block->accounting_ = accounting_;
+  block->counted_bytes_ = block_csr_bytes(shard);
+  accounting_->Add(block->counted_bytes_);
+
+  // Structural validation — everything the SpMM/SpMV kernels rely on
+  // (the checksum above only proves the bytes match what was written).
+  auto fail = [&](const std::string& what) {
+    *error = path + ": " + what;
+    *block = ShardStreamBlock();
+    return false;
+  };
+  if (block->row_ptr.front() != 0 || block->row_ptr.back() != h.nnz) {
+    return fail("invalid shard row pointers");
+  }
+  const std::int64_t n = manifest.num_nodes;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (block->row_ptr[r] > block->row_ptr[r + 1]) {
+      return fail("invalid shard row pointers");
+    }
+    for (std::int64_t e = block->row_ptr[r]; e < block->row_ptr[r + 1];
+         ++e) {
+      const std::int64_t c = block->col_idx[e];
+      if (c < 0 || c >= n || c == h.row_begin + r ||
+          !std::isfinite(block->values[e]) ||
+          (e > block->row_ptr[r] && block->col_idx[e - 1] >= c)) {
+        return fail(
+            "invalid shard payload (CSR structure, self-loop, or "
+            "non-finite weights)");
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < h.num_explicit; ++i) {
+    const std::int64_t v = block->explicit_nodes[i];
+    if (v < h.row_begin || v >= h.row_end ||
+        (i > 0 && block->explicit_nodes[i - 1] >= v)) {
+      return fail("invalid explicit node list");
+    }
+    for (std::int64_t c = 0; c < k; ++c) {
+      if (!std::isfinite(block->explicit_rows[i * k + c])) {
+        return fail("non-finite explicit belief");
+      }
+    }
+  }
+  for (const std::int32_t cls : block->ground_truth) {
+    if (cls < -1 || cls >= k) {
+      return fail("ground-truth class out of range");
+    }
+  }
+  return true;
+}
+
+}  // namespace dataset
+}  // namespace linbp

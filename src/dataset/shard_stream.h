@@ -1,0 +1,155 @@
+// Streaming access to sharded snapshots, one row block at a time.
+//
+// LoadShardedSnapshot (src/dataset/shard.h) materializes the whole CSR;
+// this reader is the out-of-core alternative: Open() parses and fully
+// validates only the manifest, and each ReadBlock(s) call reads,
+// checksum-verifies, and deserializes exactly ONE shard's row block into
+// a self-contained ShardStreamBlock. Blocks release their memory on
+// destruction, so a caller that walks the shards with a bounded window
+// (e.g. the double-buffered pipeline in src/exec/pipeline.h) keeps the
+// peak resident CSR at O(window * max shard) instead of O(nnz).
+//
+// Every ReadBlock re-validates its shard from the bytes on disk — the
+// header against the manifest entry, the FNV-1a payload checksum, local
+// row-pointer structure, column-id bounds and ordering, finite weights,
+// and the explicit-node slice — so corruption that appears mid-stream
+// (between sweeps of an iterative solve) surfaces as an error return on
+// the sweep that hits it, never as a crash or a silent wrong product.
+// What the streaming path does NOT check is cross-shard symmetry of the
+// assembled matrix (that requires the mirror entry's shard); symmetric-
+// by-construction holds for every manifest ShardSnapshot writes.
+//
+// Byte accounting: the reader counts the CSR bytes (row_ptr + col_idx +
+// values) of every live block, with a high-water mark, so tests and
+// benchmarks can assert the streaming guarantee ("no more than two
+// blocks resident") directly instead of trusting the pipeline shape.
+
+#ifndef LINBP_DATASET_SHARD_STREAM_H_
+#define LINBP_DATASET_SHARD_STREAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace linbp {
+namespace dataset {
+
+namespace internal {
+struct ShardManifest;
+
+/// Shared live/peak CSR byte counters (atomic: blocks are created and
+/// destroyed from prefetch threads while others are consumed).
+struct ShardByteAccounting {
+  std::atomic<std::int64_t> resident{0};
+  std::atomic<std::int64_t> peak{0};
+
+  void Add(std::int64_t bytes) {
+    const std::int64_t now =
+        resident.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::int64_t seen = peak.load(std::memory_order_relaxed);
+    while (seen < now &&
+           !peak.compare_exchange_weak(seen, now,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  void Release(std::int64_t bytes) {
+    resident.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+};
+}  // namespace internal
+
+/// One deserialized shard row block. Movable, not copyable; its CSR
+/// bytes count against the owning reader's residency until destruction.
+class ShardStreamBlock {
+ public:
+  ShardStreamBlock() = default;
+  ~ShardStreamBlock();
+  ShardStreamBlock(ShardStreamBlock&& other) noexcept;
+  ShardStreamBlock& operator=(ShardStreamBlock&& other) noexcept;
+  ShardStreamBlock(const ShardStreamBlock&) = delete;
+  ShardStreamBlock& operator=(const ShardStreamBlock&) = delete;
+
+  std::int64_t shard = 0;
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;
+  std::vector<std::int64_t> row_ptr;  // local (rebased to 0), rows + 1
+  std::vector<std::int32_t> col_idx;  // GLOBAL column ids
+  std::vector<double> values;
+  std::vector<std::int64_t> explicit_nodes;  // global ids, sorted
+  std::vector<double> explicit_rows;         // explicit_nodes.size() * k
+  std::vector<std::int32_t> ground_truth;    // rows, iff manifest flag
+
+  std::int64_t num_rows() const { return row_end - row_begin; }
+  std::int64_t nnz() const {
+    return static_cast<std::int64_t>(values.size());
+  }
+
+ private:
+  friend class ShardStreamReader;
+  void ReleaseAccounting();
+
+  std::shared_ptr<internal::ShardByteAccounting> accounting_;
+  std::int64_t counted_bytes_ = 0;
+};
+
+/// Validated handle on a shard manifest with per-block streaming reads.
+/// ReadBlock is const and thread-safe (the accounting is atomic), so a
+/// prefetch thread may read block s + 1 while block s is consumed.
+class ShardStreamReader {
+ public:
+  ShardStreamReader(ShardStreamReader&&) = default;
+  ShardStreamReader& operator=(ShardStreamReader&&) = default;
+
+  /// Parses and fully validates the manifest (header, checksum, shard
+  /// table); opens no shard file. Returns nullopt and fills *error on
+  /// any corruption.
+  static std::optional<ShardStreamReader> Open(
+      const std::string& manifest_path, std::string* error);
+
+  std::int64_t num_shards() const;
+  std::int64_t num_nodes() const;
+  std::int64_t k() const;
+  std::int64_t nnz() const;
+  std::int64_t num_explicit() const;
+  bool has_ground_truth() const;
+  const std::string& name() const;
+  const std::string& spec() const;
+  /// The k*k residual coupling matrix from the manifest (row-major).
+  const std::vector<double>& coupling() const;
+
+  std::int64_t row_begin(std::int64_t shard) const;
+  std::int64_t row_end(std::int64_t shard) const;
+
+  /// CSR bytes (row_ptr + col_idx + values) of shard `s`, from the
+  /// manifest counts.
+  std::int64_t block_csr_bytes(std::int64_t shard) const;
+  /// Max over shards of block_csr_bytes — the streaming unit size.
+  std::int64_t max_block_csr_bytes() const;
+
+  /// Reads and fully validates shard `shard` into *block. Returns false
+  /// and fills *error on I/O failure or any corruption; *block is left
+  /// empty then.
+  bool ReadBlock(std::int64_t shard, ShardStreamBlock* block,
+                 std::string* error) const;
+
+  /// CSR bytes of currently live blocks / their lifetime high-water
+  /// mark. Blocks keep their count alive past the reader (shared
+  /// ownership), so these are exact even with prefetch in flight.
+  std::int64_t resident_csr_bytes() const;
+  std::int64_t peak_resident_csr_bytes() const;
+
+ private:
+  ShardStreamReader();
+
+  std::string manifest_path_;
+  std::shared_ptr<internal::ShardManifest> manifest_;
+  std::shared_ptr<internal::ShardByteAccounting> accounting_;
+};
+
+}  // namespace dataset
+}  // namespace linbp
+
+#endif  // LINBP_DATASET_SHARD_STREAM_H_

@@ -1,0 +1,77 @@
+#include "src/engine/backend_ops.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace linbp {
+namespace engine {
+
+bool BackendLinBpPropagate(const PropagationBackend& backend,
+                           const DenseMatrix& hhat, const DenseMatrix& hhat2,
+                           const DenseMatrix& beliefs, bool with_echo,
+                           const exec::ExecContext& ctx, DenseMatrix* out,
+                           std::string* error) {
+  const std::int64_t n = backend.num_nodes();
+  LINBP_CHECK(beliefs.rows() == n && beliefs.cols() == hhat.rows());
+  // A * B, then (A*B) * Hhat — the same operation order as
+  // LinBpPropagate, so results are bit-identical for equal products.
+  DenseMatrix ab;
+  if (!backend.MultiplyDense(beliefs, ctx, &ab, error)) return false;
+  *out = ab.Multiply(hhat);
+  if (!with_echo) return true;
+  SubtractDegreeScaledEcho(backend.weighted_degrees(),
+                           beliefs.Multiply(hhat2), ctx, out);
+  return true;
+}
+
+BackendAdjacencyOperator::BackendAdjacencyOperator(
+    const PropagationBackend* backend, exec::ExecContext ctx)
+    : backend_(backend), ctx_(std::move(ctx)) {
+  LINBP_CHECK(backend_ != nullptr);
+}
+
+std::int64_t BackendAdjacencyOperator::dim() const {
+  return backend_->num_nodes();
+}
+
+void BackendAdjacencyOperator::Apply(const std::vector<double>& x,
+                                     std::vector<double>* y) const {
+  std::string error;
+  if (!backend_->MultiplyVector(x, ctx_, y, &error)) {
+    throw StreamError(error);
+  }
+}
+
+BackendLinBpOperator::BackendLinBpOperator(const PropagationBackend* backend,
+                                           DenseMatrix hhat, bool with_echo,
+                                           exec::ExecContext ctx)
+    : backend_(backend),
+      hhat_(std::move(hhat)),
+      hhat2_(hhat_.Multiply(hhat_)),
+      with_echo_(with_echo),
+      ctx_(std::move(ctx)) {
+  LINBP_CHECK(backend_ != nullptr);
+  LINBP_CHECK(hhat_.rows() == hhat_.cols());
+}
+
+std::int64_t BackendLinBpOperator::dim() const {
+  return backend_->num_nodes() * hhat_.rows();
+}
+
+void BackendLinBpOperator::Apply(const std::vector<double>& x,
+                                 std::vector<double>* y) const {
+  const std::int64_t n = backend_->num_nodes();
+  const std::int64_t k = hhat_.rows();
+  const DenseMatrix b = UnvectorizeBeliefs(x, n, k);
+  DenseMatrix out;
+  std::string error;
+  if (!BackendLinBpPropagate(*backend_, hhat_, hhat2_, b, with_echo_, ctx_,
+                             &out, &error)) {
+    throw StreamError(error);
+  }
+  *y = VectorizeBeliefs(out);
+}
+
+}  // namespace engine
+}  // namespace linbp

@@ -1,0 +1,78 @@
+// Backend-generalized propagation operators.
+//
+// These mirror src/la/kron_ops.h with the SparseMatrix replaced by a
+// PropagationBackend: BackendLinBpPropagate is one LinBP step
+// A*B*Hhat [- D*B*Hhat^2], and the LinearOperator adapters let the
+// iterative solvers in src/la (power iteration, Jacobi) run on any
+// backend. The dense Hhat algebra and the echo update are shared with
+// kron_ops, so for an InMemoryBackend every operator here is bit-for-bit
+// its kron_ops counterpart.
+
+#ifndef LINBP_ENGINE_BACKEND_OPS_H_
+#define LINBP_ENGINE_BACKEND_OPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/engine/propagation_backend.h"
+#include "src/exec/exec_context.h"
+#include "src/la/dense_matrix.h"
+#include "src/la/kron_ops.h"
+
+namespace linbp {
+namespace engine {
+
+/// One LinBP propagation step over `backend`:
+///   *out = A*B*Hhat - D*B*Hhat2   if `with_echo`
+///   *out = A*B*Hhat               otherwise,
+/// where D = diag(weighted degrees) and `hhat2` must be Hhat^2. Returns
+/// false and fills *error on a stream failure (*out unspecified).
+bool BackendLinBpPropagate(const PropagationBackend& backend,
+                           const DenseMatrix& hhat, const DenseMatrix& hhat2,
+                           const DenseMatrix& beliefs, bool with_echo,
+                           const exec::ExecContext& ctx, DenseMatrix* out,
+                           std::string* error);
+
+/// The adjacency matrix of a backend as a LinearOperator (for power
+/// iteration). Apply() throws StreamError on a backend failure.
+class BackendAdjacencyOperator final : public LinearOperator {
+ public:
+  BackendAdjacencyOperator(const PropagationBackend* backend,
+                           exec::ExecContext ctx = exec::ExecContext::Default());
+  std::int64_t dim() const override;
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override;
+
+ private:
+  const PropagationBackend* backend_;  // not owned
+  exec::ExecContext ctx_;
+};
+
+/// The implicit LinBP operator vec(B) -> vec(A*B*Hhat [- D*B*Hhat^2])
+/// over a backend — LinBpOperator generalized past the resident CSR.
+/// Apply() throws StreamError on a backend failure.
+class BackendLinBpOperator final : public LinearOperator {
+ public:
+  BackendLinBpOperator(const PropagationBackend* backend, DenseMatrix hhat,
+                       bool with_echo,
+                       exec::ExecContext ctx = exec::ExecContext::Default());
+  std::int64_t dim() const override;
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override;
+
+  const DenseMatrix& hhat() const { return hhat_; }
+  const DenseMatrix& hhat2() const { return hhat2_; }
+
+ private:
+  const PropagationBackend* backend_;  // not owned
+  DenseMatrix hhat_;
+  DenseMatrix hhat2_;
+  bool with_echo_;
+  exec::ExecContext ctx_;
+};
+
+}  // namespace engine
+}  // namespace linbp
+
+#endif  // LINBP_ENGINE_BACKEND_OPS_H_

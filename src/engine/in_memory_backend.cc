@@ -1,0 +1,41 @@
+#include "src/engine/in_memory_backend.h"
+
+#include "src/util/check.h"
+
+namespace linbp {
+namespace engine {
+
+InMemoryBackend::InMemoryBackend(const Graph* graph) : graph_(graph) {
+  LINBP_CHECK(graph_ != nullptr);
+}
+
+std::int64_t InMemoryBackend::num_nodes() const { return graph_->num_nodes(); }
+
+std::int64_t InMemoryBackend::num_stored_entries() const {
+  return graph_->num_directed_edges();
+}
+
+const std::vector<double>& InMemoryBackend::weighted_degrees() const {
+  return graph_->weighted_degrees();
+}
+
+bool InMemoryBackend::MultiplyDense(const DenseMatrix& b,
+                                    const exec::ExecContext& ctx,
+                                    DenseMatrix* out,
+                                    std::string* error) const {
+  (void)error;
+  *out = graph_->adjacency().MultiplyDense(b, ctx);
+  return true;
+}
+
+bool InMemoryBackend::MultiplyVector(const std::vector<double>& x,
+                                     const exec::ExecContext& ctx,
+                                     std::vector<double>* y,
+                                     std::string* error) const {
+  (void)error;
+  *y = graph_->adjacency().MultiplyVector(x, ctx);
+  return true;
+}
+
+}  // namespace engine
+}  // namespace linbp

@@ -1,0 +1,83 @@
+// Propagation backends: where the adjacency matrix lives during a solve.
+//
+// Every LinBP-family algorithm reduces to products of the (fixed,
+// symmetric) adjacency matrix A with skinny dense matrices or vectors,
+// plus the diagonal degree echo term. The solvers in src/core therefore
+// do not need a materialized Graph — only something that can compute
+// A * B and A * x and hand out the weighted degrees. PropagationBackend
+// is that seam: InMemoryBackend wraps the resident CSR kernels
+// bit-for-bit, and ShardStreamBackend (src/engine/shard_stream_backend.h)
+// computes the same products by streaming the row blocks of a sharded
+// snapshot, never holding more than two blocks' CSR in memory.
+//
+// Contract: for the same on-disk/in-memory matrix, every backend must
+// produce BIT-IDENTICAL products at every thread count. Both backends
+// share the row-range kernels in src/la/sparse_matrix.h (SpmmRows /
+// SpmvRows), whose per-row results do not depend on how rows are grouped
+// into blocks, so this holds by construction.
+//
+// Failure model: in-memory products cannot fail; streamed products can
+// (I/O errors, checksum mismatches on a shard read mid-sweep). The
+// product methods return false and fill *error instead of aborting, so a
+// corrupted shard surfaces as a recoverable error with the caller's
+// state intact.
+
+#ifndef LINBP_ENGINE_PROPAGATION_BACKEND_H_
+#define LINBP_ENGINE_PROPAGATION_BACKEND_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/exec/exec_context.h"
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+namespace engine {
+
+/// Abstract provider of the products one LinBP/FaBP propagation step
+/// needs over the n x n symmetric adjacency matrix A.
+class PropagationBackend {
+ public:
+  virtual ~PropagationBackend() = default;
+
+  /// Number of nodes n (A is n x n).
+  virtual std::int64_t num_nodes() const = 0;
+
+  /// Number of stored adjacency entries (2x the undirected edge count).
+  virtual std::int64_t num_stored_entries() const = 0;
+
+  /// Weighted degrees d_s = sum of squared incident edge weights
+  /// (Sect. 5.2), the diagonal of the echo term.
+  virtual const std::vector<double>& weighted_degrees() const = 0;
+
+  /// *out = A * b (SpMM; b is n x k). Resizes *out. Returns false and
+  /// fills *error on a stream failure; *out is unspecified then.
+  virtual bool MultiplyDense(const DenseMatrix& b,
+                             const exec::ExecContext& ctx, DenseMatrix* out,
+                             std::string* error) const = 0;
+
+  /// *y = A * x (SpMV). Resizes *y. Same failure contract as
+  /// MultiplyDense.
+  virtual bool MultiplyVector(const std::vector<double>& x,
+                              const exec::ExecContext& ctx,
+                              std::vector<double>* y,
+                              std::string* error) const = 0;
+};
+
+/// Thrown by the LinearOperator adapters in src/engine/backend_ops.h when
+/// a backend product fails inside an iterative solver that has no error
+/// channel of its own (power iteration, Jacobi). Callers that drive those
+/// solvers over a streamed backend catch this and convert it back into an
+/// error return.
+class StreamError : public std::runtime_error {
+ public:
+  explicit StreamError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+}  // namespace engine
+}  // namespace linbp
+
+#endif  // LINBP_ENGINE_PROPAGATION_BACKEND_H_

@@ -1,0 +1,175 @@
+#include "src/engine/shard_stream_backend.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/exec/pipeline.h"
+#include "src/exec/row_partition.h"
+#include "src/la/sparse_matrix.h"
+#include "src/util/check.h"
+
+namespace linbp {
+namespace engine {
+
+bool ShardStreamBackend::StreamBlocks(
+    const exec::ExecContext& ctx,
+    const std::function<void(const dataset::ShardStreamBlock&)>& apply,
+    std::string* error) const {
+  const dataset::ShardStreamReader& reader = *reader_;
+  // Prefetch overlap needs a second runnable lane; with a serial context
+  // the read happens inline (results are identical either way).
+  const bool overlap = ctx.threads() > 1;
+  return exec::RunDoubleBuffered<dataset::ShardStreamBlock>(
+      reader.num_shards(), overlap,
+      [&reader](std::int64_t s, dataset::ShardStreamBlock* block,
+                std::string* err) { return reader.ReadBlock(s, block, err); },
+      [&apply](std::int64_t, dataset::ShardStreamBlock* block,
+               std::string*) {
+        apply(*block);
+        return true;
+      },
+      error);
+}
+
+std::optional<ShardStreamBackend> ShardStreamBackend::Open(
+    const std::string& manifest_path, std::string* error,
+    const exec::ExecContext& ctx) {
+  LINBP_CHECK(error != nullptr);
+  auto reader = dataset::ShardStreamReader::Open(manifest_path, error);
+  if (!reader.has_value()) return std::nullopt;
+
+  ShardStreamBackend backend;
+  backend.reader_ = std::make_shared<const dataset::ShardStreamReader>(
+      std::move(*reader));
+  const std::int64_t n = backend.reader_->num_nodes();
+  const std::int64_t k = backend.reader_->k();
+
+  // The reader's Open already ran the shared coupling gate
+  // (internal::CheckCouplingResidual), so this is a plain copy.
+  backend.coupling_residual_ = DenseMatrix(k, k);
+  std::copy(backend.reader_->coupling().begin(),
+            backend.reader_->coupling().end(),
+            backend.coupling_residual_.mutable_data().begin());
+
+  // One streamed pass derives every O(n)-sized solver input. Blocks
+  // arrive in shard order, so the explicit list stays sorted.
+  backend.weighted_degrees_.assign(n, 0.0);
+  backend.explicit_residuals_ = DenseMatrix(n, k);
+  backend.explicit_nodes_.reserve(backend.reader_->num_explicit());
+  if (backend.reader_->has_ground_truth()) {
+    backend.ground_truth_.assign(n, -1);
+  }
+  const bool streamed = backend.StreamBlocks(
+      ctx,
+      [&](const dataset::ShardStreamBlock& block) {
+        // Same per-row summation order as SquaredRowSums, so the echo
+        // term matches the in-memory degrees bit-for-bit.
+        for (std::int64_t r = 0; r < block.num_rows(); ++r) {
+          double degree = 0.0;
+          for (std::int64_t e = block.row_ptr[r]; e < block.row_ptr[r + 1];
+               ++e) {
+            degree += block.values[e] * block.values[e];
+          }
+          backend.weighted_degrees_[block.row_begin + r] = degree;
+        }
+        for (std::size_t i = 0; i < block.explicit_nodes.size(); ++i) {
+          const std::int64_t v = block.explicit_nodes[i];
+          backend.explicit_nodes_.push_back(v);
+          for (std::int64_t c = 0; c < k; ++c) {
+            backend.explicit_residuals_.At(v, c) =
+                block.explicit_rows[i * k + c];
+          }
+        }
+        for (std::size_t r = 0; r < block.ground_truth.size(); ++r) {
+          backend.ground_truth_[block.row_begin + r] =
+              block.ground_truth[r];
+        }
+      },
+      error);
+  if (!streamed) return std::nullopt;
+  return backend;
+}
+
+std::int64_t ShardStreamBackend::num_nodes() const {
+  return reader_->num_nodes();
+}
+
+std::int64_t ShardStreamBackend::num_stored_entries() const {
+  return reader_->nnz();
+}
+
+const std::vector<double>& ShardStreamBackend::weighted_degrees() const {
+  return weighted_degrees_;
+}
+
+bool ShardStreamBackend::MultiplyDense(const DenseMatrix& b,
+                                       const exec::ExecContext& ctx,
+                                       DenseMatrix* out,
+                                       std::string* error) const {
+  const std::int64_t n = num_nodes();
+  const std::int64_t k = b.cols();
+  LINBP_CHECK(b.rows() == n);
+  *out = DenseMatrix(n, k);
+  const double* b_data = b.data().data();
+  double* out_data = out->mutable_data().data();
+  return StreamBlocks(
+      ctx,
+      [&](const dataset::ShardStreamBlock& block) {
+        // The block owns output rows [row_begin, row_end) exclusively;
+        // within the block the ExecContext fans out over nnz-balanced
+        // local row ranges. SpmmRows is per-row-owned, so the result is
+        // bit-identical to the monolithic kernel at every width.
+        double* block_out = out_data + block.row_begin * k;
+        const std::int64_t chunks =
+            ctx.NumChunks(block.nnz() * k, exec::kDefaultMinWorkPerChunk);
+        if (chunks <= 1) {
+          SpmmRows(block.row_ptr.data(), block.col_idx.data(),
+                   block.values.data(), 0, block.num_rows(), b_data, k,
+                   block_out);
+          return;
+        }
+        const exec::RowPartition partition =
+            exec::RowPartition::NnzBalanced(block.row_ptr, chunks);
+        ctx.RunBlocks(partition.num_blocks(), [&](std::int64_t p) {
+          SpmmRows(block.row_ptr.data(), block.col_idx.data(),
+                   block.values.data(), partition.begin(p),
+                   partition.end(p), b_data, k, block_out);
+        });
+      },
+      error);
+}
+
+bool ShardStreamBackend::MultiplyVector(const std::vector<double>& x,
+                                        const exec::ExecContext& ctx,
+                                        std::vector<double>* y,
+                                        std::string* error) const {
+  const std::int64_t n = num_nodes();
+  LINBP_CHECK(static_cast<std::int64_t>(x.size()) == n);
+  y->assign(n, 0.0);
+  const double* x_data = x.data();
+  double* y_data = y->data();
+  return StreamBlocks(
+      ctx,
+      [&](const dataset::ShardStreamBlock& block) {
+        double* block_out = y_data + block.row_begin;
+        const std::int64_t chunks =
+            ctx.NumChunks(block.nnz(), exec::kDefaultMinWorkPerChunk);
+        if (chunks <= 1) {
+          SpmvRows(block.row_ptr.data(), block.col_idx.data(),
+                   block.values.data(), 0, block.num_rows(), x_data,
+                   block_out);
+          return;
+        }
+        const exec::RowPartition partition =
+            exec::RowPartition::NnzBalanced(block.row_ptr, chunks);
+        ctx.RunBlocks(partition.num_blocks(), [&](std::int64_t p) {
+          SpmvRows(block.row_ptr.data(), block.col_idx.data(),
+                   block.values.data(), partition.begin(p),
+                   partition.end(p), x_data, block_out);
+        });
+      },
+      error);
+}
+
+}  // namespace engine
+}  // namespace linbp

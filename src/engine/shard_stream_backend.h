@@ -1,0 +1,110 @@
+// The out-of-core propagation backend: LinBP/FaBP sweeps over a sharded
+// snapshot without ever materializing the full CSR.
+//
+// Each product (A*B or A*x) walks the manifest's row blocks through the
+// double-buffered pipeline of src/exec/pipeline.h: while block s is
+// applied — deserialized shard CSR against the full belief matrix, into
+// the block's disjoint output rows, parallelized over the ExecContext
+// within the block — block s+1 is read and checksum-verified on a
+// prefetch thread, so I/O overlaps compute and at most TWO blocks' CSR
+// bytes are resident at any instant (asserted by the reader's byte
+// accounting). The row-range kernels are the same SpmmRows / SpmvRows
+// the in-memory SparseMatrix kernels run, and per-row results do not
+// depend on the block split, so streamed products — and therefore
+// streamed LinBP/FaBP beliefs — are bit-identical to the in-memory run
+// at every thread count.
+//
+// Open() makes one streaming pass over all shards to derive the
+// O(n)-sized solver inputs (weighted degrees, explicit residual rows,
+// ground truth); those are the same asymptotic size as the belief matrix
+// every solver holds anyway. Only the O(nnz) CSR stays on disk.
+//
+// A shard that fails its checksum mid-product (e.g. corruption appearing
+// between sweeps) makes the product return false with a descriptive
+// error; the caller's solver state is left intact and the reader's
+// residency drops back to zero.
+
+#ifndef LINBP_ENGINE_SHARD_STREAM_BACKEND_H_
+#define LINBP_ENGINE_SHARD_STREAM_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dataset/shard_stream.h"
+#include "src/engine/propagation_backend.h"
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+namespace engine {
+
+/// Streams a sharded snapshot's row blocks for every product.
+class ShardStreamBackend final : public PropagationBackend {
+ public:
+  /// Opens `manifest_path`, validates the manifest, and runs the single
+  /// derivation pass (streamed, double-buffered on `ctx`). Returns
+  /// nullopt and fills *error on any corruption or I/O failure.
+  static std::optional<ShardStreamBackend> Open(
+      const std::string& manifest_path, std::string* error,
+      const exec::ExecContext& ctx = exec::ExecContext::Default());
+
+  // PropagationBackend:
+  std::int64_t num_nodes() const override;
+  std::int64_t num_stored_entries() const override;
+  const std::vector<double>& weighted_degrees() const override;
+  bool MultiplyDense(const DenseMatrix& b, const exec::ExecContext& ctx,
+                     DenseMatrix* out, std::string* error) const override;
+  bool MultiplyVector(const std::vector<double>& x,
+                      const exec::ExecContext& ctx, std::vector<double>* y,
+                      std::string* error) const override;
+
+  // Scenario-level inputs a solver pipeline needs, derived at Open()
+  // without adopting a global CSR:
+  std::int64_t k() const { return reader_->k(); }
+  const std::string& name() const { return reader_->name(); }
+  const std::string& spec() const { return reader_->spec(); }
+  /// Unscaled k x k residual coupling from the manifest.
+  const DenseMatrix& coupling_residual() const { return coupling_residual_; }
+  /// n x k explicit residual beliefs (zero rows for unlabeled nodes).
+  const DenseMatrix& explicit_residuals() const {
+    return explicit_residuals_;
+  }
+  /// Sorted node ids with explicit beliefs.
+  const std::vector<std::int64_t>& explicit_nodes() const {
+    return explicit_nodes_;
+  }
+  /// Ground-truth class per node (-1 unknown); empty when absent.
+  const std::vector<int>& ground_truth() const { return ground_truth_; }
+  bool HasGroundTruth() const { return !ground_truth_.empty(); }
+
+  /// The underlying reader (residency instrumentation, shard geometry).
+  const dataset::ShardStreamReader& reader() const { return *reader_; }
+
+ private:
+  ShardStreamBackend() = default;
+
+  // Streams every block once through the pipeline and hands it to
+  // `apply` (called in shard order on the caller thread). Shared by the
+  // products and the Open() derivation pass.
+  bool StreamBlocks(
+      const exec::ExecContext& ctx,
+      const std::function<void(const dataset::ShardStreamBlock&)>& apply,
+      std::string* error) const;
+
+  // shared_ptr keeps the backend movable/copyable while blocks hold the
+  // accounting alive; the reader itself is immutable after Open.
+  std::shared_ptr<const dataset::ShardStreamReader> reader_;
+  std::vector<double> weighted_degrees_;
+  DenseMatrix coupling_residual_;
+  DenseMatrix explicit_residuals_;
+  std::vector<std::int64_t> explicit_nodes_;
+  std::vector<int> ground_truth_;
+};
+
+}  // namespace engine
+}  // namespace linbp
+
+#endif  // LINBP_ENGINE_SHARD_STREAM_BACKEND_H_

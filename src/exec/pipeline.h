@@ -1,0 +1,89 @@
+// Double-buffered producer/consumer pipelining.
+//
+// Out-of-core kernels alternate between I/O (read + deserialize the next
+// row block) and compute (apply the current block). Running them strictly
+// in sequence leaves the CPU idle during every read; running all blocks
+// concurrently defeats the point of streaming (every block resident at
+// once). RunDoubleBuffered is the narrow middle: at most TWO items are
+// ever alive — the one being consumed and the one being produced — and
+// with `overlap` set the production of item i+1 runs on a dedicated
+// thread while item i is consumed, so I/O and compute overlap without
+// touching the fork-join ThreadPool (whose batches serialize, and whose
+// workers the consumer is free to use for its own parallelism).
+//
+// Item lifecycle per slot: the slot is reset to a default-constructed
+// Item BEFORE the next production starts, so a caller counting live
+// resources in Item's constructor/destructor observes at most two items
+// at any instant.
+
+#ifndef LINBP_EXEC_PIPELINE_H_
+#define LINBP_EXEC_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace linbp {
+namespace exec {
+
+/// Runs produce(0), then for each i: consume(i) while produce(i + 1) runs
+/// (on a separate thread iff `overlap`; inline otherwise). Production and
+/// consumption of DIFFERENT items must be safe to run concurrently when
+/// `overlap` is set. Either callback returning false stops the pipeline;
+/// the first failure's message is left in *error (callbacks write their
+/// message into the passed string). Exceptions from consume propagate
+/// after the in-flight producer thread is joined. Returns true when every
+/// item was produced and consumed.
+template <typename Item>
+bool RunDoubleBuffered(
+    std::int64_t num_items, bool overlap,
+    const std::function<bool(std::int64_t, Item*, std::string*)>& produce,
+    const std::function<bool(std::int64_t, Item*, std::string*)>& consume,
+    std::string* error) {
+  if (num_items <= 0) return true;
+  Item slots[2];
+  if (!produce(0, &slots[0], error)) return false;
+  for (std::int64_t i = 0; i < num_items; ++i) {
+    Item& current = slots[i % 2];
+    Item& next = slots[(i + 1) % 2];
+    bool next_ok = true;
+    std::string next_error;
+    std::thread prefetch;
+    if (i + 1 < num_items) {
+      // Release whatever the slot held (item i - 1, already consumed)
+      // before the new item comes alive: peak liveness stays at two.
+      next = Item();
+      if (overlap) {
+        prefetch = std::thread(
+            [&, i] { next_ok = produce(i + 1, &next, &next_error); });
+      } else {
+        next_ok = produce(i + 1, &next, &next_error);
+      }
+    }
+    bool consumed = false;
+    std::string consume_error;
+    try {
+      consumed = consume(i, &current, &consume_error);
+    } catch (...) {
+      if (prefetch.joinable()) prefetch.join();
+      throw;
+    }
+    current = Item();  // done with item i; drop it before waiting on I/O
+    if (prefetch.joinable()) prefetch.join();
+    if (!consumed) {
+      *error = consume_error;
+      return false;
+    }
+    if (!next_ok) {
+      *error = next_error;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace exec
+}  // namespace linbp
+
+#endif  // LINBP_EXEC_PIPELINE_H_

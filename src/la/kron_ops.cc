@@ -30,17 +30,28 @@ DenseMatrix LinBpPropagate(const SparseMatrix& adjacency,
   if (!with_echo) return propagated;
   LINBP_CHECK(static_cast<std::int64_t>(degrees.size()) == n);
   // Echo cancellation: subtract D * B * Hhat^2 row by row (D is diagonal).
-  const DenseMatrix echo = beliefs.Multiply(hhat2);
-  ctx.ParallelFor(0, n, exec::kDefaultMinWorkPerChunk / std::max<std::int64_t>(1, k),
+  SubtractDegreeScaledEcho(degrees, beliefs.Multiply(hhat2), ctx, &propagated);
+  return propagated;
+}
+
+void SubtractDegreeScaledEcho(const std::vector<double>& degrees,
+                              const DenseMatrix& echo,
+                              const exec::ExecContext& ctx,
+                              DenseMatrix* propagated) {
+  const std::int64_t n = propagated->rows();
+  const std::int64_t k = propagated->cols();
+  LINBP_CHECK(echo.rows() == n && echo.cols() == k);
+  LINBP_CHECK(static_cast<std::int64_t>(degrees.size()) == n);
+  ctx.ParallelFor(0, n,
+                  exec::kDefaultMinWorkPerChunk / std::max<std::int64_t>(1, k),
                   [&](std::int64_t row_begin, std::int64_t row_end) {
                     for (std::int64_t s = row_begin; s < row_end; ++s) {
                       const double d = degrees[s];
                       for (std::int64_t c = 0; c < k; ++c) {
-                        propagated.At(s, c) -= d * echo.At(s, c);
+                        propagated->At(s, c) -= d * echo.At(s, c);
                       }
                     }
                   });
-  return propagated;
 }
 
 LinBpOperator::LinBpOperator(const SparseMatrix* adjacency,

@@ -65,6 +65,15 @@ inline DenseMatrix LinBpPropagate(const SparseMatrix& adjacency,
                         exec::ExecContext::Default());
 }
 
+/// The echo-cancellation update shared by LinBpPropagate and the
+/// backend-generalized propagation in src/engine: subtracts
+/// degrees[s] * echo(s, c) from propagated(s, c) in place, chunked over
+/// `ctx` with per-row ownership (bit-identical across thread counts).
+void SubtractDegreeScaledEcho(const std::vector<double>& degrees,
+                              const DenseMatrix& echo,
+                              const exec::ExecContext& ctx,
+                              DenseMatrix* propagated);
+
 /// The implicit operator vec(B) -> vec(A*B*Hhat [- D*B*Hhat^2]).
 /// Vectorization is column-major (class-major), matching the paper's vec().
 class LinBpOperator final : public LinearOperator {

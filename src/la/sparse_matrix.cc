@@ -39,6 +39,55 @@ void ForEachRowBlock(const exec::ExecContext& ctx,
 
 }  // namespace
 
+void SpmmRows(const std::int64_t* row_ptr, const std::int32_t* col_idx,
+              const double* values, std::int64_t row_begin,
+              std::int64_t row_end, const double* b, std::int64_t k,
+              double* out) {
+  // Cache-blocked inner loop: the k dimension is tiled so each tile's
+  // accumulators stay in registers while the row's entries stream by. For
+  // a fixed output element the entry order is unchanged, so the result is
+  // bit-identical to the untiled scalar kernel. The operand pointers are
+  // restrict-qualified so the compiler can vectorize the per-entry tile
+  // update without aliasing reloads: gcc 12.2 -O3 -fopt-info-vec reports
+  // "loop vectorized using 16 byte vectors" for the acc += w * b_row[c]
+  // loop below (verified 2026-07; rerun with
+  //   g++ -std=c++17 -O3 -fopt-info-vec -c src/la/sparse_matrix.cc -I.
+  // when touching this kernel).
+  constexpr std::int64_t kColTile = 8;
+  const double* __restrict__ vals = values;
+  const std::int32_t* __restrict__ cols = col_idx;
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    double* __restrict__ out_row = out + r * k;
+    const std::int64_t e_begin = row_ptr[r];
+    const std::int64_t e_end = row_ptr[r + 1];
+    for (std::int64_t c0 = 0; c0 < k; c0 += kColTile) {
+      const std::int64_t tile = std::min(kColTile, k - c0);
+      double acc[kColTile] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+      for (std::int64_t e = e_begin; e < e_end; ++e) {
+        const double w = vals[e];
+        const double* __restrict__ b_row =
+            b + static_cast<std::int64_t>(cols[e]) * k + c0;
+        for (std::int64_t c = 0; c < tile; ++c) acc[c] += w * b_row[c];
+      }
+      for (std::int64_t c = 0; c < tile; ++c) out_row[c0 + c] = acc[c];
+    }
+  }
+}
+
+void SpmvRows(const std::int64_t* row_ptr, const std::int32_t* col_idx,
+              const double* values, std::int64_t row_begin,
+              std::int64_t row_end, const double* x, double* y) {
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    double acc = 0.0;
+    for (std::int64_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const double w = values[e];
+      if (w == 0.0) continue;
+      acc += w * x[col_idx[e]];
+    }
+    y[r] = acc;
+  }
+}
+
 SparseMatrix::SparseMatrix(std::int64_t rows, std::int64_t cols)
     : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
   LINBP_CHECK(rows >= 0 && cols >= 0);
@@ -120,16 +169,8 @@ std::vector<double> SparseMatrix::MultiplyVector(
   std::vector<double> y(rows_, 0.0);
   ForEachRowBlock(ctx, row_ptr_, /*work_per_entry=*/1,
                   [&](std::int64_t row_begin, std::int64_t row_end) {
-                    for (std::int64_t r = row_begin; r < row_end; ++r) {
-                      double acc = 0.0;
-                      for (std::int64_t e = row_ptr_[r]; e < row_ptr_[r + 1];
-                           ++e) {
-                        const double w = values_[e];
-                        if (w == 0.0) continue;
-                        acc += w * x[col_idx_[e]];
-                      }
-                      y[r] = acc;
-                    }
+                    SpmvRows(row_ptr_.data(), col_idx_.data(), values_.data(),
+                             row_begin, row_end, x.data(), y.data());
                   });
   return y;
 }
@@ -179,39 +220,14 @@ DenseMatrix SparseMatrix::MultiplyDense(const DenseMatrix& b,
   DenseMatrix out(rows_, k);
   const double* b_data = b.data().data();
   double* out_data = out.mutable_data().data();
-  // Cache-blocked inner loop: the k dimension is tiled so each tile's
-  // accumulators stay in registers while the row's entries stream by. For
-  // a fixed output element the entry order is unchanged, so the result is
-  // bit-identical to the untiled scalar kernel. The operand pointers are
-  // restrict-qualified so the compiler can vectorize the per-entry tile
-  // update without aliasing reloads: gcc 12.2 -O3 -fopt-info-vec reports
-  // "loop vectorized using 16 byte vectors" for the acc += w * b_row[c]
-  // loop below (verified 2026-07; rerun with
-  //   g++ -std=c++17 -O3 -fopt-info-vec -c src/la/sparse_matrix.cc -I.
-  // when touching this kernel).
-  constexpr std::int64_t kColTile = 8;
-  const double* __restrict__ values = values_.data();
-  const std::int32_t* __restrict__ cols = col_idx_.data();
-  ForEachRowBlock(
-      ctx, row_ptr_, /*work_per_entry=*/k,
-      [&](std::int64_t row_begin, std::int64_t row_end) {
-        for (std::int64_t r = row_begin; r < row_end; ++r) {
-          double* __restrict__ out_row = out_data + r * k;
-          const std::int64_t e_begin = row_ptr_[r];
-          const std::int64_t e_end = row_ptr_[r + 1];
-          for (std::int64_t c0 = 0; c0 < k; c0 += kColTile) {
-            const std::int64_t tile = std::min(kColTile, k - c0);
-            double acc[kColTile] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
-            for (std::int64_t e = e_begin; e < e_end; ++e) {
-              const double w = values[e];
-              const double* __restrict__ b_row =
-                  b_data + static_cast<std::int64_t>(cols[e]) * k + c0;
-              for (std::int64_t c = 0; c < tile; ++c) acc[c] += w * b_row[c];
-            }
-            for (std::int64_t c = 0; c < tile; ++c) out_row[c0 + c] = acc[c];
-          }
-        }
-      });
+  // The k-tiled kernel itself lives in SpmmRows (shared with the
+  // out-of-core block-apply path); this wrapper only supplies the
+  // nnz-balanced parallel row blocking.
+  ForEachRowBlock(ctx, row_ptr_, /*work_per_entry=*/k,
+                  [&](std::int64_t row_begin, std::int64_t row_end) {
+                    SpmmRows(row_ptr_.data(), col_idx_.data(), values_.data(),
+                             row_begin, row_end, b_data, k, out_data);
+                  });
   return out;
 }
 

@@ -32,6 +32,30 @@ struct Triplet {
   double value = 0.0;
 };
 
+/// Block-apply SpMM entry point: the serial row-range kernel behind
+/// SparseMatrix::MultiplyDense, exposed so out-of-core backends can apply
+/// one row block of a CSR matrix without materializing the whole matrix.
+/// Computes, for every r in [row_begin, row_end),
+///   out[r*k + c] = sum over e in [row_ptr[r], row_ptr[r+1]) of
+///                  values[e] * b[col_idx[e]*k + c],
+/// with the same k-tiled accumulation order as MultiplyDense, so applying
+/// a matrix block by block is bit-identical to the monolithic product.
+/// `row_ptr` is indexed by the same row numbering as `out` (callers
+/// applying a rebased shard block pass its local row_ptr and an `out`
+/// pointer pre-offset to the block's first output row).
+void SpmmRows(const std::int64_t* row_ptr, const std::int32_t* col_idx,
+              const double* values, std::int64_t row_begin,
+              std::int64_t row_end, const double* b, std::int64_t k,
+              double* out);
+
+/// Block-apply SpMV entry point: the serial row-range kernel behind
+/// SparseMatrix::MultiplyVector (stored zero entries skipped). Writes
+/// y[r] for r in [row_begin, row_end) under the same conventions as
+/// SpmmRows.
+void SpmvRows(const std::int64_t* row_ptr, const std::int32_t* col_idx,
+              const double* values, std::int64_t row_begin,
+              std::int64_t row_end, const double* x, double* y);
+
 /// Immutable CSR sparse matrix of doubles.
 class SparseMatrix {
  public:

@@ -1,0 +1,47 @@
+#include "src/util/mem_info.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace linbp {
+namespace util {
+namespace {
+
+// Scans a /proc status-style file for "<field>:  <value> kB" and returns
+// the value in bytes; 0 when the file or field is missing or malformed.
+std::int64_t ReadProcKbField(const char* path, const std::string& field) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(field, 0) != 0 || line.size() <= field.size() ||
+        line[field.size()] != ':') {
+      continue;
+    }
+    std::istringstream rest(line.substr(field.size() + 1));
+    std::int64_t kb = 0;
+    std::string unit;
+    if (!(rest >> kb >> unit) || kb < 0 || unit != "kB") return 0;
+    return kb * 1024;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::int64_t PeakRssBytes() {
+  return ReadProcKbField("/proc/self/status", "VmHWM");
+}
+
+std::int64_t CurrentRssBytes() {
+  return ReadProcKbField("/proc/self/status", "VmRSS");
+}
+
+std::int64_t AvailableMemoryBytes() {
+  return ReadProcKbField("/proc/meminfo", "MemAvailable");
+}
+
+}  // namespace util
+}  // namespace linbp

@@ -1,0 +1,28 @@
+// Process and system memory probes, for the out-of-core benches and the
+// `linbp_cli info` RAM warning. Linux-only data sources with graceful
+// fallbacks: callers must treat 0 as "unknown", never as "no memory".
+
+#ifndef LINBP_UTIL_MEM_INFO_H_
+#define LINBP_UTIL_MEM_INFO_H_
+
+#include <cstdint>
+
+namespace linbp {
+namespace util {
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 when the probe is unavailable (non-Linux
+/// or unreadable procfs).
+std::int64_t PeakRssBytes();
+
+/// Current resident set size in bytes (VmRSS). 0 when unavailable.
+std::int64_t CurrentRssBytes();
+
+/// Memory available to this process without swapping, in bytes
+/// (MemAvailable from /proc/meminfo). 0 when unavailable.
+std::int64_t AvailableMemoryBytes();
+
+}  // namespace util
+}  // namespace linbp
+
+#endif  // LINBP_UTIL_MEM_INFO_H_

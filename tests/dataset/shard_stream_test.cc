@@ -1,0 +1,218 @@
+// ShardStreamReader: per-block reads match the bulk loader, every
+// corruption is an error return, and the residency byte accounting is
+// exact.
+
+#include "src/dataset/shard_stream.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/dataset/registry.h"
+#include "src/dataset/shard.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace dataset {
+namespace {
+
+using linbp::testing::ReadBytes;
+using linbp::testing::WriteBytes;
+
+constexpr char kSpec[] = "sbm:n=600,k=3,deg=6,seed=11";
+constexpr std::int64_t kShards = 4;
+
+Scenario TestScenario() {
+  std::string error;
+  auto scenario = MakeScenario(kSpec, &error);
+  EXPECT_TRUE(scenario.has_value()) << error;
+  return std::move(*scenario);
+}
+
+std::string ShardScenario(const Scenario& scenario,
+                          const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::string error;
+  const auto result = ShardSnapshot(scenario, kShards, dir, &error);
+  EXPECT_TRUE(result.has_value()) << error;
+  return result.has_value() ? result->manifest_path : "";
+}
+
+ShardStreamReader OpenReader(const std::string& manifest) {
+  std::string error;
+  auto reader = ShardStreamReader::Open(manifest, &error);
+  EXPECT_TRUE(reader.has_value()) << error;
+  return std::move(*reader);
+}
+
+TEST(ShardStreamReaderTest, BlocksReassembleTheScenario) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "reader_blocks");
+  const ShardStreamReader reader = OpenReader(manifest);
+  ASSERT_EQ(reader.num_shards(), kShards);
+  EXPECT_EQ(reader.num_nodes(), scenario.graph.num_nodes());
+  EXPECT_EQ(reader.nnz(), scenario.graph.num_directed_edges());
+  EXPECT_EQ(reader.name(), scenario.name);
+  EXPECT_EQ(reader.spec(), scenario.spec);
+
+  const auto& row_ptr = scenario.graph.adjacency().row_ptr();
+  const auto& col_idx = scenario.graph.adjacency().col_idx();
+  const auto& values = scenario.graph.adjacency().values();
+  std::int64_t covered_rows = 0;
+  std::int64_t covered_nnz = 0;
+  for (std::int64_t s = 0; s < reader.num_shards(); ++s) {
+    ShardStreamBlock block;
+    std::string error;
+    ASSERT_TRUE(reader.ReadBlock(s, &block, &error)) << error;
+    EXPECT_EQ(block.shard, s);
+    EXPECT_EQ(block.row_begin, reader.row_begin(s));
+    EXPECT_EQ(block.row_end, reader.row_end(s));
+    covered_rows += block.num_rows();
+    covered_nnz += block.nnz();
+    // Every entry matches the monolithic CSR's slice.
+    const std::int64_t nnz_begin = row_ptr[block.row_begin];
+    for (std::int64_t r = 0; r < block.num_rows(); ++r) {
+      EXPECT_EQ(block.row_ptr[r], row_ptr[block.row_begin + r] - nnz_begin);
+    }
+    for (std::int64_t e = 0; e < block.nnz(); ++e) {
+      EXPECT_EQ(block.col_idx[e], col_idx[nnz_begin + e]);
+      EXPECT_EQ(block.values[e], values[nnz_begin + e]);
+    }
+    for (std::size_t i = 0; i < block.explicit_nodes.size(); ++i) {
+      const std::int64_t v = block.explicit_nodes[i];
+      for (std::int64_t c = 0; c < reader.k(); ++c) {
+        EXPECT_EQ(block.explicit_rows[i * reader.k() + c],
+                  scenario.explicit_residuals.At(v, c));
+      }
+    }
+  }
+  EXPECT_EQ(covered_rows, scenario.graph.num_nodes());
+  EXPECT_EQ(covered_nnz, scenario.graph.num_directed_edges());
+}
+
+TEST(ShardStreamReaderTest, ResidencyAccountingIsExact) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "reader_bytes");
+  const ShardStreamReader reader = OpenReader(manifest);
+  EXPECT_EQ(reader.resident_csr_bytes(), 0);
+  EXPECT_EQ(reader.peak_resident_csr_bytes(), 0);
+
+  std::string error;
+  {
+    ShardStreamBlock a;
+    ASSERT_TRUE(reader.ReadBlock(0, &a, &error)) << error;
+    EXPECT_EQ(reader.resident_csr_bytes(), reader.block_csr_bytes(0));
+    {
+      ShardStreamBlock b;
+      ASSERT_TRUE(reader.ReadBlock(1, &b, &error)) << error;
+      EXPECT_EQ(reader.resident_csr_bytes(),
+                reader.block_csr_bytes(0) + reader.block_csr_bytes(1));
+      // Move transfers, not duplicates, the accounting.
+      ShardStreamBlock moved = std::move(b);
+      EXPECT_EQ(reader.resident_csr_bytes(),
+                reader.block_csr_bytes(0) + reader.block_csr_bytes(1));
+    }
+    EXPECT_EQ(reader.resident_csr_bytes(), reader.block_csr_bytes(0));
+  }
+  EXPECT_EQ(reader.resident_csr_bytes(), 0);
+  EXPECT_EQ(reader.peak_resident_csr_bytes(),
+            reader.block_csr_bytes(0) + reader.block_csr_bytes(1));
+  EXPECT_LE(reader.block_csr_bytes(0), reader.max_block_csr_bytes());
+}
+
+TEST(ShardStreamReaderTest, RejectsEveryCorruption) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "reader_corrupt");
+  const std::string shard1 =
+      std::filesystem::path(manifest).parent_path() / ShardFileName(1);
+  const std::vector<char> pristine = ReadBytes(shard1);
+
+  const ShardStreamReader reader = OpenReader(manifest);
+  ShardStreamBlock block;
+  std::string error;
+
+  // Payload bit flip -> checksum mismatch.
+  std::vector<char> bytes = pristine;
+  bytes[64 + 33] ^= 0x04;
+  WriteBytes(shard1, bytes);
+  EXPECT_FALSE(reader.ReadBlock(1, &block, &error));
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+  EXPECT_EQ(reader.resident_csr_bytes(), 0);
+
+  // Header row range disagreeing with the manifest.
+  bytes = pristine;
+  bytes[16] ^= 0x01;
+  WriteBytes(shard1, bytes);
+  EXPECT_FALSE(reader.ReadBlock(1, &block, &error));
+  EXPECT_NE(error.find("disagrees with its manifest entry"),
+            std::string::npos)
+      << error;
+
+  // Truncation below the declared payload.
+  bytes = pristine;
+  bytes.resize(bytes.size() - 16);
+  WriteBytes(shard1, bytes);
+  EXPECT_FALSE(reader.ReadBlock(1, &block, &error));
+
+  // Wrong magic.
+  bytes = pristine;
+  bytes[0] = 'X';
+  WriteBytes(shard1, bytes);
+  EXPECT_FALSE(reader.ReadBlock(1, &block, &error));
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+
+  // Missing file.
+  std::filesystem::remove(shard1);
+  EXPECT_FALSE(reader.ReadBlock(1, &block, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+
+  // Restored bytes read cleanly again (the reader holds no stale state).
+  WriteBytes(shard1, pristine);
+  EXPECT_TRUE(reader.ReadBlock(1, &block, &error)) << error;
+  EXPECT_EQ(reader.resident_csr_bytes(), reader.block_csr_bytes(1));
+}
+
+TEST(ShardStreamReaderTest, OpenValidatesTheManifest) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "reader_manifest");
+  std::string error;
+  EXPECT_FALSE(
+      ShardStreamReader::Open("/nonexistent/manifest.lbpm", &error)
+          .has_value());
+
+  std::vector<char> bytes = ReadBytes(manifest);
+  bytes[70] ^= 0x10;
+  WriteBytes(manifest, bytes);
+  EXPECT_FALSE(ShardStreamReader::Open(manifest, &error).has_value());
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+TEST(ShardManifestInfoTest, ReportsTotalShardPayloadBytes) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "reader_info");
+  std::string error;
+  const auto info = ReadShardManifestInfo(manifest, &error);
+  ASSERT_TRUE(info.has_value()) << error;
+  ASSERT_EQ(static_cast<std::int64_t>(info->shards.size()), kShards);
+  // The declared payload bytes equal the on-disk file sizes minus the
+  // 64-byte headers — the writer emits exactly the declared sections.
+  std::int64_t total = 0;
+  const std::filesystem::path dir =
+      std::filesystem::path(manifest).parent_path();
+  for (const ShardRangeInfo& shard : info->shards) {
+    EXPECT_GT(shard.payload_bytes, 0);
+    EXPECT_EQ(static_cast<std::uintmax_t>(shard.payload_bytes + 64),
+              std::filesystem::file_size(dir / shard.file));
+    total += shard.payload_bytes;
+  }
+  EXPECT_EQ(info->total_shard_payload_bytes, total);
+  EXPECT_GT(info->total_shard_payload_bytes, info->file_bytes);
+}
+
+}  // namespace
+}  // namespace dataset
+}  // namespace linbp

@@ -1,0 +1,226 @@
+// InMemoryBackend and the backend-generalized operators must be
+// bit-for-bit the direct Graph/SparseMatrix code paths.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/convergence.h"
+#include "src/core/coupling.h"
+#include "src/core/fabp.h"
+#include "src/core/linbp.h"
+#include "src/core/linbp_incremental.h"
+#include "src/engine/backend_ops.h"
+#include "src/engine/in_memory_backend.h"
+#include "src/graph/generators.h"
+#include "src/la/kron_ops.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+Graph TestGraph() { return KroneckerPowerGraph(2); }
+
+DenseMatrix TestBeliefs(const Graph& graph, std::int64_t k,
+                        std::uint64_t seed) {
+  return testing::RandomMatrix(graph.num_nodes(), k, 0.1, seed);
+}
+
+TEST(InMemoryBackendTest, ProductsMatchSparseKernels) {
+  const Graph graph = TestGraph();
+  const engine::InMemoryBackend backend(&graph);
+  EXPECT_EQ(backend.num_nodes(), graph.num_nodes());
+  EXPECT_EQ(backend.num_stored_entries(), graph.num_directed_edges());
+  EXPECT_EQ(backend.weighted_degrees(), graph.weighted_degrees());
+
+  const DenseMatrix b = TestBeliefs(graph, 3, 11);
+  DenseMatrix out;
+  std::string error;
+  ASSERT_TRUE(backend.MultiplyDense(b, exec::ExecContext::Serial(), &out,
+                                    &error));
+  const DenseMatrix expected = graph.adjacency().MultiplyDense(b);
+  EXPECT_EQ(out.MaxAbsDiff(expected), 0.0);
+
+  std::vector<double> x(graph.num_nodes());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.01 * i - 0.3;
+  std::vector<double> y;
+  ASSERT_TRUE(backend.MultiplyVector(x, exec::ExecContext::Serial(), &y,
+                                     &error));
+  EXPECT_EQ(y, graph.adjacency().MultiplyVector(x));
+}
+
+TEST(BackendOpsTest, PropagateMatchesLinBpPropagate) {
+  const Graph graph = TestGraph();
+  const engine::InMemoryBackend backend(&graph);
+  const DenseMatrix hhat = testing::RandomResidualCoupling(3, 0.05, 7);
+  const DenseMatrix hhat2 = hhat.Multiply(hhat);
+  const DenseMatrix b = TestBeliefs(graph, 3, 23);
+  for (const bool with_echo : {true, false}) {
+    const DenseMatrix expected =
+        LinBpPropagate(graph.adjacency(), graph.weighted_degrees(), hhat,
+                       hhat2, b, with_echo);
+    DenseMatrix out;
+    std::string error;
+    ASSERT_TRUE(engine::BackendLinBpPropagate(
+        backend, hhat, hhat2, b, with_echo, exec::ExecContext::Default(),
+        &out, &error));
+    EXPECT_EQ(out.MaxAbsDiff(expected), 0.0) << "with_echo=" << with_echo;
+  }
+}
+
+TEST(BackendOpsTest, OperatorsMatchKronOps) {
+  const Graph graph = TestGraph();
+  const engine::InMemoryBackend backend(&graph);
+  const DenseMatrix hhat = testing::RandomResidualCoupling(3, 0.05, 9);
+
+  const LinBpOperator direct(&graph.adjacency(), graph.weighted_degrees(),
+                             hhat, /*with_echo=*/true);
+  const engine::BackendLinBpOperator generalized(&backend, hhat,
+                                                 /*with_echo=*/true);
+  ASSERT_EQ(direct.dim(), generalized.dim());
+  std::vector<double> x(direct.dim());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.02 * i - 0.5;
+  std::vector<double> y_direct;
+  std::vector<double> y_generalized;
+  direct.Apply(x, &y_direct);
+  generalized.Apply(x, &y_generalized);
+  EXPECT_EQ(y_direct, y_generalized);
+
+  const engine::BackendAdjacencyOperator adjacency_op(&backend);
+  std::vector<double> ax(graph.num_nodes(), 0.25);
+  std::vector<double> y_adj;
+  adjacency_op.Apply(ax, &y_adj);
+  EXPECT_EQ(y_adj, graph.adjacency().MultiplyVector(ax));
+}
+
+TEST(BackendSolversTest, GraphOverloadsDelegateBitForBit) {
+  const Graph graph = TestGraph();
+  const engine::InMemoryBackend backend(&graph);
+  const CouplingMatrix coupling = KroneckerExperimentCoupling();
+  const DenseMatrix hhat = coupling.ScaledResidual(0.001);
+  const DenseMatrix residuals = TestBeliefs(graph, 3, 31);
+
+  const LinBpResult via_graph = RunLinBp(graph, hhat, residuals);
+  const LinBpResult via_backend = RunLinBp(backend, hhat, residuals);
+  EXPECT_FALSE(via_backend.failed);
+  EXPECT_EQ(via_graph.iterations, via_backend.iterations);
+  EXPECT_EQ(via_graph.beliefs.MaxAbsDiff(via_backend.beliefs), 0.0);
+
+  std::vector<double> scalar(graph.num_nodes(), 0.0);
+  scalar[0] = 0.4;
+  scalar[3] = -0.2;
+  const FabpResult fabp_graph = RunFabp(graph, 0.05, scalar);
+  const FabpResult fabp_backend = RunFabp(backend, 0.05, scalar);
+  EXPECT_FALSE(fabp_backend.failed);
+  EXPECT_EQ(fabp_graph.beliefs, fabp_backend.beliefs);
+
+  EXPECT_EQ(AdjacencySpectralRadius(graph),
+            AdjacencySpectralRadius(backend));
+  EXPECT_EQ(
+      LinBpOperatorSpectralRadius(graph, hhat, LinBpVariant::kLinBp),
+      LinBpOperatorSpectralRadius(backend, hhat, LinBpVariant::kLinBp));
+  EXPECT_EQ(ExactEpsilonThreshold(graph, coupling, LinBpVariant::kLinBpStar),
+            ExactEpsilonThreshold(backend, coupling,
+                                  LinBpVariant::kLinBpStar));
+}
+
+TEST(LinBpStateBackendTest, BackendConstructionMatchesGraphConstruction) {
+  const Graph graph = TestGraph();
+  const DenseMatrix hhat =
+      KroneckerExperimentCoupling().ScaledResidual(0.001);
+  const DenseMatrix residuals = TestBeliefs(graph, 3, 41);
+
+  LinBpState from_graph(graph, hhat, residuals);
+  // Backend over a graph copy that outlives the state (test scope).
+  const auto owned = std::make_shared<Graph>(graph);
+  LinBpState from_backend(
+      std::make_shared<engine::InMemoryBackend>(owned.get()), hhat,
+      residuals);
+  EXPECT_EQ(from_graph.cold_start_iterations(),
+            from_backend.cold_start_iterations());
+  EXPECT_EQ(from_graph.beliefs().MaxAbsDiff(from_backend.beliefs()), 0.0);
+  EXPECT_TRUE(from_graph.has_graph());
+  EXPECT_FALSE(from_backend.has_graph());
+
+  // Edge updates need an owned graph.
+  std::string error;
+  EXPECT_EQ(from_backend.AddEdges({Edge{0, 2, 1.0}}, &error), -1);
+  EXPECT_NE(error.find("mutable graph"), std::string::npos) << error;
+
+  // Belief updates work on both and stay in lockstep.
+  const DenseMatrix update = testing::RandomMatrix(2, 3, 0.2, 43);
+  const std::vector<std::int64_t> nodes = {1, 4};
+  EXPECT_EQ(from_graph.UpdateExplicitBeliefs(nodes, update),
+            from_backend.UpdateExplicitBeliefs(nodes, update));
+  EXPECT_EQ(from_graph.beliefs().MaxAbsDiff(from_backend.beliefs()), 0.0);
+}
+
+// Wraps InMemoryBackend but fails the Nth product on demand — the
+// in-memory stand-in for a shard checksum failure mid-solve.
+class FlakyBackend final : public engine::PropagationBackend {
+ public:
+  explicit FlakyBackend(const Graph* graph) : inner_(graph) {}
+  void FailNextProduct() { armed_ = true; }
+
+  std::int64_t num_nodes() const override { return inner_.num_nodes(); }
+  std::int64_t num_stored_entries() const override {
+    return inner_.num_stored_entries();
+  }
+  const std::vector<double>& weighted_degrees() const override {
+    return inner_.weighted_degrees();
+  }
+  bool MultiplyDense(const DenseMatrix& b, const exec::ExecContext& ctx,
+                     DenseMatrix* out, std::string* error) const override {
+    if (armed_) {
+      armed_ = false;
+      *error = "injected stream failure";
+      return false;
+    }
+    return inner_.MultiplyDense(b, ctx, out, error);
+  }
+  bool MultiplyVector(const std::vector<double>& x,
+                      const exec::ExecContext& ctx, std::vector<double>* y,
+                      std::string* error) const override {
+    return inner_.MultiplyVector(x, ctx, y, error);
+  }
+
+ private:
+  engine::InMemoryBackend inner_;
+  mutable bool armed_ = false;
+};
+
+// A failed update must be all-or-nothing even when the batch names the
+// same node twice (the rollback must restore the ORIGINAL row, not the
+// batch's first write).
+TEST(LinBpStateBackendTest, FailedDuplicateNodeUpdateRollsBackExactly) {
+  const Graph graph = TestGraph();
+  const DenseMatrix hhat =
+      KroneckerExperimentCoupling().ScaledResidual(0.001);
+  const DenseMatrix residuals = TestBeliefs(graph, 3, 51);
+
+  const auto owned = std::make_shared<Graph>(graph);
+  auto flaky = std::make_shared<FlakyBackend>(owned.get());
+  LinBpState tested(flaky, hhat, residuals);
+  LinBpState control(graph, hhat, residuals);
+  ASSERT_EQ(tested.beliefs().MaxAbsDiff(control.beliefs()), 0.0);
+
+  // Duplicate node 2 in the failing batch.
+  flaky->FailNextProduct();
+  const DenseMatrix duplicate_rows = testing::RandomMatrix(2, 3, 0.3, 53);
+  EXPECT_EQ(tested.UpdateExplicitBeliefs({2, 2}, duplicate_rows), -1);
+  EXPECT_NE(tested.last_error().find("injected stream failure"),
+            std::string::npos);
+  EXPECT_EQ(tested.beliefs().MaxAbsDiff(control.beliefs()), 0.0);
+
+  // If the rollback left the batch's first write behind, this later
+  // update would solve against a corrupted prior and diverge from the
+  // control state that never saw the failure.
+  const DenseMatrix update = testing::RandomMatrix(1, 3, 0.2, 55);
+  EXPECT_EQ(tested.UpdateExplicitBeliefs({5}, update),
+            control.UpdateExplicitBeliefs({5}, update));
+  EXPECT_EQ(tested.beliefs().MaxAbsDiff(control.beliefs()), 0.0);
+}
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,260 @@
+// The out-of-core acceptance suite: streamed LinBP over a multi-shard
+// scenario must be bit-identical to the in-memory run at every thread
+// count, with no more than two shard blocks' CSR bytes resident at once,
+// and corruption appearing mid-stream must surface as an error return
+// with the solver state intact.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/convergence.h"
+#include "src/core/coupling.h"
+#include "src/core/fabp.h"
+#include "src/core/linbp.h"
+#include "src/core/linbp_incremental.h"
+#include "src/dataset/registry.h"
+#include "src/dataset/shard.h"
+#include "src/engine/shard_stream_backend.h"
+#include "tests/testing/test_util.h"
+
+namespace linbp {
+namespace {
+
+using linbp::testing::ReadBytes;
+using linbp::testing::WriteBytes;
+
+constexpr char kSpec[] = "sbm:n=1200,k=4,deg=8,mode=homophily,seed=3";
+constexpr std::int64_t kShards = 5;
+
+dataset::Scenario TestScenario() {
+  std::string error;
+  auto scenario = dataset::MakeScenario(kSpec, &error);
+  EXPECT_TRUE(scenario.has_value()) << error;
+  return std::move(*scenario);
+}
+
+// Shards the test scenario into a fresh temp dir; returns the manifest.
+std::string ShardScenario(const dataset::Scenario& scenario,
+                          const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::string error;
+  const auto result = dataset::ShardSnapshot(scenario, kShards, dir, &error);
+  EXPECT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->num_shards, kShards);
+  return result.has_value() ? result->manifest_path : "";
+}
+
+engine::ShardStreamBackend OpenBackend(const std::string& manifest,
+                                       const exec::ExecContext& ctx =
+                                           exec::ExecContext::Serial()) {
+  std::string error;
+  auto backend = engine::ShardStreamBackend::Open(manifest, &error, ctx);
+  EXPECT_TRUE(backend.has_value()) << error;
+  return std::move(*backend);
+}
+
+TEST(ShardStreamBackendTest, OpenDerivesScenarioInputs) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "stream_open");
+  const engine::ShardStreamBackend backend = OpenBackend(manifest);
+
+  EXPECT_EQ(backend.num_nodes(), scenario.graph.num_nodes());
+  EXPECT_EQ(backend.num_stored_entries(),
+            scenario.graph.num_directed_edges());
+  EXPECT_EQ(backend.k(), scenario.k);
+  EXPECT_EQ(backend.name(), scenario.name);
+  EXPECT_EQ(backend.weighted_degrees(), scenario.graph.weighted_degrees());
+  EXPECT_EQ(backend.explicit_nodes(), scenario.explicit_nodes);
+  EXPECT_EQ(
+      backend.explicit_residuals().MaxAbsDiff(scenario.explicit_residuals),
+      0.0);
+  EXPECT_EQ(backend.coupling_residual().MaxAbsDiff(
+                scenario.coupling_residual),
+            0.0);
+  ASSERT_TRUE(backend.HasGroundTruth());
+  EXPECT_EQ(backend.ground_truth(), scenario.ground_truth);
+}
+
+TEST(ShardStreamBackendTest, ProductsMatchInMemoryBitForBit) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "stream_products");
+  for (const int threads : {1, 4}) {
+    const exec::ExecContext ctx = exec::ExecContext::WithThreads(threads);
+    const engine::ShardStreamBackend backend = OpenBackend(manifest, ctx);
+    const DenseMatrix b =
+        testing::RandomMatrix(scenario.graph.num_nodes(), scenario.k, 0.3,
+                              77);
+    DenseMatrix ab;
+    std::string error;
+    ASSERT_TRUE(backend.MultiplyDense(b, ctx, &ab, &error)) << error;
+    EXPECT_EQ(ab.MaxAbsDiff(scenario.graph.adjacency().MultiplyDense(b)),
+              0.0)
+        << "threads=" << threads;
+
+    std::vector<double> x(scenario.graph.num_nodes());
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.001 * i - 0.7;
+    std::vector<double> ax;
+    ASSERT_TRUE(backend.MultiplyVector(x, ctx, &ax, &error)) << error;
+    EXPECT_EQ(ax, scenario.graph.adjacency().MultiplyVector(x))
+        << "threads=" << threads;
+  }
+}
+
+// The headline acceptance criterion: RunLinBp over a >= 4-shard scenario
+// is bit-identical to the in-memory run under LINBP_THREADS=1 and 4,
+// while the reader's byte counter proves at most 2 blocks' CSR stayed
+// resident.
+TEST(ShardStreamBackendTest, StreamedLinBpBitIdenticalAndResidencyBounded) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "stream_linbp");
+  const CouplingMatrix coupling = scenario.Coupling();
+  const double eps =
+      0.5 * ExactEpsilonThreshold(scenario.graph, coupling,
+                                  LinBpVariant::kLinBp);
+  const DenseMatrix hhat = coupling.ScaledResidual(eps);
+
+  LinBpOptions reference_options;
+  const LinBpResult reference =
+      RunLinBp(scenario.graph, hhat, scenario.explicit_residuals,
+               reference_options);
+  ASSERT_TRUE(reference.converged);
+  ASSERT_GE(reference.iterations, 3);
+
+  for (const int threads : {1, 4}) {
+    const exec::ExecContext ctx = exec::ExecContext::WithThreads(threads);
+    const engine::ShardStreamBackend backend = OpenBackend(manifest, ctx);
+    LinBpOptions options;
+    options.exec = ctx;
+    const LinBpResult streamed =
+        RunLinBp(backend, hhat, backend.explicit_residuals(), options);
+    ASSERT_FALSE(streamed.failed) << streamed.error;
+    EXPECT_TRUE(streamed.converged);
+    EXPECT_EQ(streamed.iterations, reference.iterations)
+        << "threads=" << threads;
+    EXPECT_EQ(streamed.beliefs.MaxAbsDiff(reference.beliefs), 0.0)
+        << "threads=" << threads;
+
+    // Peak residency: never more than two blocks' CSR bytes at once,
+    // and everything released when the solve is done.
+    const dataset::ShardStreamReader& reader = backend.reader();
+    EXPECT_GT(reader.peak_resident_csr_bytes(), 0);
+    EXPECT_LE(reader.peak_resident_csr_bytes(),
+              2 * reader.max_block_csr_bytes())
+        << "threads=" << threads;
+    EXPECT_EQ(reader.resident_csr_bytes(), 0) << "threads=" << threads;
+  }
+}
+
+TEST(ShardStreamBackendTest, StreamedFabpMatchesInMemory) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "stream_fabp");
+  const engine::ShardStreamBackend backend = OpenBackend(manifest);
+  std::vector<double> priors(scenario.graph.num_nodes(), 0.0);
+  for (const std::int64_t v : scenario.explicit_nodes) {
+    priors[v] = scenario.explicit_residuals.At(v, 0);
+  }
+  const FabpResult in_memory = RunFabp(scenario.graph, 0.02, priors);
+  const FabpResult streamed = RunFabp(backend, 0.02, priors);
+  ASSERT_FALSE(streamed.failed) << streamed.error;
+  EXPECT_EQ(in_memory.iterations, streamed.iterations);
+  EXPECT_EQ(in_memory.beliefs, streamed.beliefs);
+}
+
+TEST(ShardStreamBackendTest, SpectralRadiusMatchesInMemory) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "stream_rho");
+  const engine::ShardStreamBackend backend = OpenBackend(manifest);
+  EXPECT_EQ(AdjacencySpectralRadius(scenario.graph),
+            AdjacencySpectralRadius(backend));
+  // kLinBpStar: the closed form needs one streamed power iteration; the
+  // kLinBp bisection would stream hundreds (too slow under TSan) while
+  // exercising the exact same backend code path.
+  const CouplingMatrix coupling = scenario.Coupling();
+  EXPECT_EQ(ExactEpsilonThreshold(scenario.graph, coupling,
+                                  LinBpVariant::kLinBpStar),
+            ExactEpsilonThreshold(backend, coupling,
+                                  LinBpVariant::kLinBpStar));
+}
+
+// Corruption appearing between sweeps: the state solved two sweeps cold;
+// the re-solve's first propagation — the third sweep the backend ever
+// streams — hits the bad checksum. The update must fail with the state
+// rolled back, and succeed again once the bytes are restored.
+TEST(ShardStreamBackendTest, ChecksumCorruptionMidStreamKeepsStateIntact) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "stream_corrupt");
+  const std::string shard2 =
+      std::filesystem::path(manifest).parent_path() /
+      dataset::ShardFileName(2);
+  const CouplingMatrix coupling = scenario.Coupling();
+  const double eps =
+      0.5 * ExactEpsilonThreshold(scenario.graph, coupling,
+                                  LinBpVariant::kLinBp);
+
+  auto backend = std::make_shared<engine::ShardStreamBackend>(
+      OpenBackend(manifest));
+  LinBpOptions options;
+  options.max_iterations = 2;  // cold start = sweeps 1 and 2
+  LinBpState state(backend, coupling.ScaledResidual(eps),
+                   backend->explicit_residuals(), options);
+  EXPECT_EQ(state.cold_start_iterations(), 2);
+  const DenseMatrix before = state.beliefs();
+
+  // Flip one payload byte of shard 2 — every later read fails its
+  // checksum.
+  const std::vector<char> pristine = ReadBytes(shard2);
+  std::vector<char> corrupted = pristine;
+  corrupted[64 + 100] ^= 0x20;
+  WriteBytes(shard2, corrupted);
+
+  const std::vector<std::int64_t> nodes = {1, 2};
+  const DenseMatrix update = testing::RandomMatrix(2, scenario.k, 0.2, 99);
+  EXPECT_EQ(state.UpdateExplicitBeliefs(nodes, update), -1);
+  EXPECT_NE(state.last_error().find("checksum mismatch"), std::string::npos)
+      << state.last_error();
+  // State intact: beliefs untouched, no leaked blocks.
+  EXPECT_EQ(state.beliefs().MaxAbsDiff(before), 0.0);
+  EXPECT_EQ(backend->reader().resident_csr_bytes(), 0);
+
+  // RunLinBp on the corrupted manifest fails before applying any sweep.
+  const LinBpResult failed =
+      RunLinBp(*backend, coupling.ScaledResidual(eps),
+               backend->explicit_residuals(), LinBpOptions{});
+  EXPECT_TRUE(failed.failed);
+  EXPECT_NE(failed.error.find("checksum mismatch"), std::string::npos);
+  EXPECT_EQ(failed.beliefs.MaxAbsDiff(backend->explicit_residuals()), 0.0);
+
+  // Restoring the bytes restores service on the SAME backend handle.
+  WriteBytes(shard2, pristine);
+  EXPECT_GT(state.UpdateExplicitBeliefs(nodes, update), 0);
+  EXPECT_TRUE(state.last_error().empty());
+  EXPECT_EQ(backend->reader().resident_csr_bytes(), 0);
+}
+
+TEST(ShardStreamBackendTest, OpenRejectsCorruptManifestAndShards) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "stream_bad_open");
+  std::string error;
+  EXPECT_FALSE(engine::ShardStreamBackend::Open("/nonexistent/manifest",
+                                                &error)
+                   .has_value());
+
+  // Corrupt a shard: Open's derivation pass must reject it.
+  const std::string shard0 =
+      std::filesystem::path(manifest).parent_path() /
+      dataset::ShardFileName(0);
+  std::vector<char> bytes = ReadBytes(shard0);
+  bytes[64 + 8] ^= 0x01;
+  WriteBytes(shard0, bytes);
+  EXPECT_FALSE(
+      engine::ShardStreamBackend::Open(manifest, &error).has_value());
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace linbp

@@ -1,0 +1,171 @@
+// RunDoubleBuffered: ordering, error propagation, and the at-most-two
+// live items guarantee in both serial and overlapped mode.
+
+#include "src/exec/pipeline.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace linbp {
+namespace exec {
+namespace {
+
+// Counts live instances so tests can assert the two-slot window.
+struct CountedItem {
+  CountedItem() = default;
+  explicit CountedItem(std::int64_t v) : value(v), live(&LiveCounter()) {
+    Bump(1);
+  }
+  ~CountedItem() { Bump(-1); }
+  CountedItem(CountedItem&& other) noexcept
+      : value(other.value), live(other.live) {
+    other.live = nullptr;
+  }
+  CountedItem& operator=(CountedItem&& other) noexcept {
+    Bump(-1);
+    value = other.value;
+    live = other.live;
+    other.live = nullptr;
+    return *this;
+  }
+
+  static std::atomic<int>& LiveCounter() {
+    static std::atomic<int> counter{0};
+    return counter;
+  }
+  static std::atomic<int>& PeakCounter() {
+    static std::atomic<int> counter{0};
+    return counter;
+  }
+
+  void Bump(int delta) {
+    if (live == nullptr) return;
+    const int now = live->fetch_add(delta) + delta;
+    int seen = PeakCounter().load();
+    while (seen < now && !PeakCounter().compare_exchange_weak(seen, now)) {
+    }
+  }
+
+  std::int64_t value = -1;
+  std::atomic<int>* live = nullptr;
+};
+
+TEST(PipelineTest, ConsumesEveryItemInOrder) {
+  for (const bool overlap : {false, true}) {
+    std::vector<std::int64_t> consumed;
+    std::string error;
+    const bool ok = RunDoubleBuffered<std::int64_t>(
+        5, overlap,
+        [](std::int64_t i, std::int64_t* item, std::string*) {
+          *item = i * 10;
+          return true;
+        },
+        [&consumed](std::int64_t i, std::int64_t* item, std::string*) {
+          EXPECT_EQ(*item, i * 10);
+          consumed.push_back(*item);
+          return true;
+        },
+        &error);
+    EXPECT_TRUE(ok) << error;
+    EXPECT_EQ(consumed,
+              (std::vector<std::int64_t>{0, 10, 20, 30, 40}));
+  }
+}
+
+TEST(PipelineTest, AtMostTwoItemsLive) {
+  for (const bool overlap : {false, true}) {
+    CountedItem::LiveCounter().store(0);
+    CountedItem::PeakCounter().store(0);
+    std::string error;
+    const bool ok = RunDoubleBuffered<CountedItem>(
+        8, overlap,
+        [](std::int64_t i, CountedItem* item, std::string*) {
+          *item = CountedItem(i);
+          return true;
+        },
+        [](std::int64_t i, CountedItem* item, std::string*) {
+          EXPECT_EQ(item->value, i);
+          return true;
+        },
+        &error);
+    EXPECT_TRUE(ok) << error;
+    EXPECT_EQ(CountedItem::LiveCounter().load(), 0)
+        << "overlap=" << overlap;
+    EXPECT_LE(CountedItem::PeakCounter().load(), 2)
+        << "overlap=" << overlap;
+    EXPECT_GE(CountedItem::PeakCounter().load(), 1);
+  }
+}
+
+TEST(PipelineTest, ProduceFailureStopsWithError) {
+  for (const bool overlap : {false, true}) {
+    std::vector<std::int64_t> consumed;
+    std::string error;
+    const bool ok = RunDoubleBuffered<std::int64_t>(
+        5, overlap,
+        [](std::int64_t i, std::int64_t* item, std::string* err) {
+          if (i == 2) {
+            *err = "item 2 unreadable";
+            return false;
+          }
+          *item = i;
+          return true;
+        },
+        [&consumed](std::int64_t, std::int64_t* item, std::string*) {
+          consumed.push_back(*item);
+          return true;
+        },
+        &error);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(error, "item 2 unreadable");
+    // Items before the failure were consumed; nothing after it.
+    EXPECT_EQ(consumed, (std::vector<std::int64_t>{0, 1}));
+  }
+}
+
+TEST(PipelineTest, ConsumeFailureStopsWithError) {
+  std::string error;
+  const bool ok = RunDoubleBuffered<std::int64_t>(
+      4, /*overlap=*/true,
+      [](std::int64_t i, std::int64_t* item, std::string*) {
+        *item = i;
+        return true;
+      },
+      [](std::int64_t i, std::int64_t*, std::string* err) {
+        if (i == 1) {
+          *err = "consumer rejected item 1";
+          return false;
+        }
+        return true;
+      },
+      &error);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(error, "consumer rejected item 1");
+}
+
+TEST(PipelineTest, EmptyAndSingleItem) {
+  std::string error;
+  int consumed = 0;
+  EXPECT_TRUE(RunDoubleBuffered<int>(
+      0, true, [](std::int64_t, int*, std::string*) { return true; },
+      [](std::int64_t, int*, std::string*) { return true; }, &error));
+  EXPECT_TRUE(RunDoubleBuffered<int>(
+      1, true,
+      [](std::int64_t, int* item, std::string*) {
+        *item = 7;
+        return true;
+      },
+      [&consumed](std::int64_t, int* item, std::string*) {
+        consumed = *item;
+        return true;
+      },
+      &error));
+  EXPECT_EQ(consumed, 7);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace linbp

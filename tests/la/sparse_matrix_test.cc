@@ -156,6 +156,54 @@ TEST(SparseMatrixFromCsrTest, ParallelValidationMatchesSerial) {
   EXPECT_EQ(adopted.values(), original.values());
 }
 
+// The block-apply entry points (the out-of-core kernels) must reproduce
+// the member kernels exactly when applied one row block at a time with
+// rebased local row pointers.
+TEST(BlockApplyKernelsTest, SpmmRowsMatchesMultiplyDenseBlockwise) {
+  const SparseMatrix m = RandomSparse(120, 120, 1500, /*seed=*/21);
+  const DenseMatrix b = linbp::testing::RandomMatrix(120, 5, 1.0, 22);
+  const DenseMatrix expected = m.MultiplyDense(b);
+
+  DenseMatrix out(120, 5);
+  const std::vector<std::int64_t> cuts = {0, 13, 40, 41, 90, 120};
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const std::int64_t row_begin = cuts[i];
+    const std::int64_t row_end = cuts[i + 1];
+    const std::int64_t rows = row_end - row_begin;
+    const std::int64_t nnz_begin = m.row_ptr()[row_begin];
+    // Rebased local CSR slice, exactly what a shard block holds.
+    std::vector<std::int64_t> local_row_ptr(rows + 1);
+    for (std::int64_t r = 0; r <= rows; ++r) {
+      local_row_ptr[r] = m.row_ptr()[row_begin + r] - nnz_begin;
+    }
+    SpmmRows(local_row_ptr.data(), m.col_idx().data() + nnz_begin,
+             m.values().data() + nnz_begin, 0, rows, b.data().data(), 5,
+             out.mutable_data().data() + row_begin * 5);
+  }
+  EXPECT_EQ(out.MaxAbsDiff(expected), 0.0);
+}
+
+TEST(BlockApplyKernelsTest, SpmvRowsMatchesMultiplyVectorBlockwise) {
+  const SparseMatrix m = RandomSparse(90, 90, 900, /*seed=*/23);
+  std::vector<double> x(90);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.05 * i - 2.0;
+  const std::vector<double> expected = m.MultiplyVector(x);
+
+  std::vector<double> y(90, 0.0);
+  for (const std::int64_t row_begin : {0, 30, 60}) {
+    const std::int64_t rows = 30;
+    const std::int64_t nnz_begin = m.row_ptr()[row_begin];
+    std::vector<std::int64_t> local_row_ptr(rows + 1);
+    for (std::int64_t r = 0; r <= rows; ++r) {
+      local_row_ptr[r] = m.row_ptr()[row_begin + r] - nnz_begin;
+    }
+    SpmvRows(local_row_ptr.data(), m.col_idx().data() + nnz_begin,
+             m.values().data() + nnz_begin, 0, rows, x.data(),
+             y.data() + row_begin);
+  }
+  EXPECT_EQ(y, expected);
+}
+
 TEST(SparseMatrixFromCsrDeathTest, RejectsBrokenInvariants) {
   const SparseMatrix m = RandomSparse(10, 10, 30, /*seed=*/13);
   // row_ptr of the wrong length.

@@ -360,6 +360,89 @@ TEST(RunMainTest, ConvertWritesShardedOutput) {
   EXPECT_NE(output.find("nodes:         100"), std::string::npos) << output;
 }
 
+TEST(RunMainTest, StreamSolveMatchesInMemory) {
+  const std::string dir = TempPath("cli_stream_shards");
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunMain({"shard",
+                     "--scenario=sbm:n=500,k=4,deg=8,seed=9",
+                     "--out-dir=" + dir, "--shards=4"},
+                    &output, &error),
+            0)
+      << error;
+  const std::string manifest = dir + "/manifest.lbpm";
+
+  // The streamed labels must equal the in-memory labels byte for byte,
+  // for both LinBP variants and across thread counts.
+  for (const std::string method : {"linbp", "linbp*"}) {
+    std::string in_memory;
+    ASSERT_EQ(RunMain({"--scenario=snap:path=" + manifest,
+                       "--method=" + method},
+                      &in_memory, &error),
+              0)
+        << error;
+    for (const std::string threads : {"1", "4"}) {
+      std::string streamed;
+      ASSERT_EQ(RunMain({"--stream", "--scenario=snap:path=" + manifest,
+                         "--method=" + method, "--threads=" + threads},
+                        &streamed, &error),
+                0)
+          << error;
+      EXPECT_EQ(streamed, in_memory)
+          << "method=" << method << " threads=" << threads;
+    }
+  }
+}
+
+TEST(RunMainTest, StreamRejectsBadInputs) {
+  std::string output;
+  std::string error;
+  // --stream needs a scenario spec...
+  EXPECT_EQ(RunMain({"--stream", "--graph=g", "--beliefs=b"}, &output,
+                    &error),
+            1);
+  EXPECT_NE(error.find("--stream requires"), std::string::npos) << error;
+  // ...a streaming-capable method...
+  EXPECT_EQ(RunMain({"--stream", "--scenario=snap:path=x",
+                     "--method=sbp"},
+                    &output, &error),
+            1);
+  EXPECT_NE(error.find("--stream supports"), std::string::npos) << error;
+  // ...and an actual shard manifest, not a monolithic snapshot.
+  const std::string snapshot = TempPath("cli_stream_mono.lbps");
+  ASSERT_EQ(RunMain({"convert", "--scenario=sbm:n=60,k=2,seed=4",
+                     "--out=" + snapshot},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_EQ(RunMain({"--stream", "--scenario=snap:path=" + snapshot},
+                    &output, &error),
+            1);
+  EXPECT_NE(error.find("not a shard manifest"), std::string::npos) << error;
+  // Non-snap scenarios cannot stream.
+  EXPECT_EQ(RunMain({"--stream", "--scenario=sbm:n=60,k=2"}, &output,
+                    &error),
+            1);
+  EXPECT_NE(error.find("snap:path="), std::string::npos) << error;
+}
+
+TEST(RunMainTest, InfoReportsShardPayloadBytes) {
+  const std::string dir = TempPath("cli_payload_shards");
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunMain({"shard", "--scenario=sbm:n=200,k=2,seed=5",
+                     "--out-dir=" + dir, "--shards=2"},
+                    &output, &error),
+            0)
+      << error;
+  ASSERT_EQ(RunMain({"info", "--snapshot=" + dir + "/manifest.lbpm"},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_NE(output.find("payload bytes"), std::string::npos) << output;
+  EXPECT_NE(output.find("(all shards)"), std::string::npos) << output;
+}
+
 TEST(RunMainTest, SubcommandErrors) {
   std::string output;
   std::string error;

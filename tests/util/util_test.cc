@@ -1,8 +1,10 @@
 #include <cmath>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "gtest/gtest.h"
+#include "src/util/mem_info.h"
 #include "src/util/random.h"
 #include "src/util/table_printer.h"
 #include "src/util/timer.h"
@@ -138,6 +140,24 @@ TEST(TablePrinterTest, IntGroupsThousands) {
 TEST(TablePrinterDeathTest, RowArityChecked) {
   TablePrinter table({"a", "b"});
   EXPECT_DEATH(table.AddRow({"only one"}), "");
+}
+
+TEST(MemInfoTest, ProbesAreNonNegative) {
+  // The probes must never go negative (0 means "unknown"). No
+  // peak-vs-current cross-check: the two procfs reads are not atomic,
+  // so RSS can legitimately grow past a just-read high-water mark.
+  EXPECT_GE(util::PeakRssBytes(), 0);
+  EXPECT_GE(util::CurrentRssBytes(), 0);
+  EXPECT_GE(util::AvailableMemoryBytes(), 0);
+}
+
+TEST(MemInfoTest, PeakTracksAllocation) {
+  const std::int64_t before = util::PeakRssBytes();
+  if (before == 0) GTEST_SKIP() << "procfs unavailable";
+  // Touch 64 MiB so the high-water mark must move well past any noise.
+  std::vector<char> ballast(64 << 20);
+  for (std::size_t i = 0; i < ballast.size(); i += 4096) ballast[i] = 1;
+  EXPECT_GE(util::PeakRssBytes(), before + (32 << 20));
 }
 
 }  // namespace

@@ -17,10 +17,12 @@
 #include "src/dataset/scenario.h"
 #include "src/dataset/shard.h"
 #include "src/dataset/snapshot.h"
+#include "src/engine/shard_stream_backend.h"
 #include "src/exec/exec_context.h"
 #include "src/graph/beliefs.h"
 #include "src/graph/io.h"
 #include "src/la/matrix_io.h"
+#include "src/util/mem_info.h"
 
 namespace linbp {
 namespace cli {
@@ -261,12 +263,25 @@ int RunShardManifestInfo(const InfoOptions& options, std::string* output,
         << "scenario:      " << info->name << "\n"
         << "spec:          " << info->spec << "\n"
         << "manifest bytes " << info->file_bytes << "\n"
+        << "payload bytes  " << info->total_shard_payload_bytes
+        << " (all shards)\n"
         << "shards:        " << info->shards.size() << "\n";
   for (std::size_t s = 0; s < info->shards.size(); ++s) {
     const dataset::ShardRangeInfo& shard = info->shards[s];
     lines << "  shard " << s << ": rows [" << shard.row_begin << ", "
           << shard.row_end << "), " << shard.nnz << " entries, "
-          << shard.num_explicit << " explicit, " << shard.file << "\n";
+          << shard.num_explicit << " explicit, " << shard.payload_bytes
+          << " bytes, " << shard.file << "\n";
+  }
+  // A full (non-streamed) load must hold every shard's payload resident
+  // at once; warn when that exceeds what the machine can offer so the
+  // user reaches for --stream before the OOM killer does.
+  const std::int64_t available = util::AvailableMemoryBytes();
+  if (available > 0 && info->total_shard_payload_bytes > available) {
+    lines << "warning: total shard payload (" << info->total_shard_payload_bytes
+          << " bytes) exceeds available RAM (" << available
+          << " bytes); solve with --stream on this manifest instead of "
+             "loading it whole\n";
   }
   *output = lines.str();
   return 0;
@@ -314,7 +329,7 @@ std::string Usage() {
       "linbp_cli --graph=EDGES --beliefs=BELIEFS | --scenario=SPEC\n"
       "          [--coupling=PRESET|FILE] [--method=bp|linbp|linbp*|sbp]\n"
       "          [--eps=auto|VALUE] [--k=K] [--output=FILE] [--report]\n"
-      "          [--threads=N]\n"
+      "          [--threads=N] [--stream]\n"
       "linbp_cli list\n"
       "linbp_cli convert --scenario=SPEC [--out=SNAPSHOT]\n"
       "          [--out-shards=DIR [--shards=N]] [--out-graph=FILE]\n"
@@ -327,7 +342,10 @@ std::string Usage() {
       "`linbp_cli list`)\n"
       "  presets: homophily2 heterophily2 auction dblp4 kronecker3\n"
       "  shards:  nnz-balanced row blocks (exec::RowPartition); default 4\n"
-      "  threads: 0 = all hardware threads; default: LINBP_THREADS or 1\n";
+      "  threads: 0 = all hardware threads; default: LINBP_THREADS or 1\n"
+      "  stream:  out-of-core solve over a snap:path=MANIFEST spec; the\n"
+      "           shards stream with prefetch (peak CSR = 2 blocks) and\n"
+      "           labels match the in-memory run bit for bit\n";
 }
 
 std::optional<Options> ParseOptions(const std::vector<std::string>& args,
@@ -354,6 +372,8 @@ std::optional<Options> ParseOptions(const std::vector<std::string>& args,
       if (!ParseThreadsFlag(*v, &options.threads, error)) return std::nullopt;
     } else if (arg == "--report") {
       options.report = true;
+    } else if (arg == "--stream") {
+      options.stream = true;
     } else {
       *error = "unknown argument: " + arg;
       return std::nullopt;
@@ -375,11 +395,182 @@ std::optional<Options> ParseOptions(const std::vector<std::string>& args,
     *error = "unknown method: " + options.method;
     return std::nullopt;
   }
+  if (options.stream) {
+    if (options.scenario.empty()) {
+      *error = "--stream requires a --scenario=snap:path=MANIFEST spec";
+      return std::nullopt;
+    }
+    if (options.method != "linbp" && options.method != "linbp*") {
+      *error = "--stream supports --method=linbp or linbp* (BP and SBP "
+               "need the materialized graph)";
+      return std::nullopt;
+    }
+  }
   return options;
 }
 
+namespace {
+
+// Emits the "v class [class...]" label lines and honors --output.
+int EmitLabelLines(const TopBeliefAssignment& top, std::int64_t num_nodes,
+                   const Options& options, std::string* output,
+                   std::string* error) {
+  std::ostringstream lines;
+  for (std::int64_t v = 0; v < num_nodes; ++v) {
+    lines << v;
+    for (const int cls : top.classes[v]) lines << ' ' << cls;
+    lines << '\n';
+  }
+  *output = lines.str();
+  if (!options.output_path.empty()) {
+    std::ofstream out(options.output_path);
+    if (!out) {
+      *error = options.output_path + ": cannot write";
+      return 1;
+    }
+    out << *output;
+  }
+  return 0;
+}
+
+// F1 against a ground-truth vector (-1 = unknown), printed to stderr.
+void ReportGroundTruthQuality(const std::vector<int>& ground_truth,
+                              const TopBeliefAssignment& top) {
+  TopBeliefAssignment truth;
+  truth.classes.resize(ground_truth.size());
+  std::vector<std::int64_t> known;
+  for (std::size_t v = 0; v < ground_truth.size(); ++v) {
+    if (ground_truth[v] >= 0) {
+      truth.classes[v].push_back(ground_truth[v]);
+      known.push_back(static_cast<std::int64_t>(v));
+    }
+  }
+  const QualityMetrics quality = CompareAssignments(truth, top, known);
+  std::fprintf(stderr, "ground truth: %lld nodes, F1 %.4f\n",
+               static_cast<long long>(known.size()), quality.f1);
+}
+
+// The --stream pipeline: open the manifest as a ShardStreamBackend and
+// run LinBP / LinBP* out-of-core. Every product streams the shards with
+// double-buffered prefetch; beliefs (hence labels) are bit-identical to
+// the in-memory run on the same manifest.
+int RunStreamPipeline(const Options& options, std::string* output,
+                      std::string* error) {
+  const exec::ExecContext ctx = ContextFor(options.threads);
+  const auto parsed = dataset::ParseScenarioSpec(options.scenario, error);
+  if (!parsed.has_value()) return 1;
+  dataset::ScenarioParams params = parsed->params;
+  const std::string manifest_path = params.Str("path", "");
+  if (parsed->name != "snap" || manifest_path.empty()) {
+    *error = "--stream requires a snap:path=MANIFEST scenario spec";
+    return 1;
+  }
+  // Mirror the registry's typo rejection: the non-stream snap: path
+  // errors on unknown keys, so the streamed one must too.
+  const std::vector<std::string> unconsumed = params.UnconsumedKeys();
+  if (!unconsumed.empty()) {
+    *error = "snap: unknown parameter '" + unconsumed.front() + "'";
+    return 1;
+  }
+  if (!dataset::LooksLikeShardManifest(manifest_path)) {
+    *error = manifest_path +
+             ": not a shard manifest (--stream needs `linbp_cli shard` "
+             "output; monolithic snapshots load in memory)";
+    return 1;
+  }
+  auto backend = engine::ShardStreamBackend::Open(manifest_path, error, ctx);
+  if (!backend.has_value()) return 1;
+  if (backend->explicit_nodes().empty()) {
+    *error = "no explicit beliefs";
+    return 1;
+  }
+  CouplingMatrix coupling =
+      CouplingMatrix::FromResidual(backend->coupling_residual());
+  if (!options.coupling.empty()) {
+    const auto override_coupling =
+        dataset::ResolveCouplingSpec(options.coupling, error);
+    if (!override_coupling.has_value()) return 1;
+    if (override_coupling->k() != backend->k()) {
+      *error = "--coupling disagrees with the scenario's class count";
+      return 1;
+    }
+    coupling = *override_coupling;
+  }
+  if (options.k > 0 && options.k != backend->k()) {
+    *error = "--k disagrees with the coupling matrix size";
+    return 1;
+  }
+
+  const LinBpVariant variant = options.method == "linbp*"
+                                   ? LinBpVariant::kLinBpStar
+                                   : LinBpVariant::kLinBp;
+  double eps = 0.0;
+  try {
+    if (options.eps == "auto") {
+      // The exact Lemma 8 threshold streams the shards once per power-
+      // iteration step — for kLinBp that bisection means many full
+      // passes over the on-disk graph BEFORE the solve. It is the same
+      // computation the in-memory pipeline runs (so labels stay
+      // byte-identical), but on a dataset that truly dwarfs RAM an
+      // explicit --eps skips this cost entirely; say so up front.
+      if (variant == LinBpVariant::kLinBp) {
+        std::fprintf(stderr,
+                     "note: --eps=auto bisects the exact convergence "
+                     "threshold, streaming all shards once per power-"
+                     "iteration step; pass --eps=VALUE to skip this on "
+                     "large graphs\n");
+      }
+      const double threshold = ExactEpsilonThreshold(
+          *backend, coupling, variant, /*tolerance=*/1e-6, ctx);
+      eps = std::isfinite(threshold) ? 0.5 * threshold : 1.0;
+    } else {
+      eps = std::atof(options.eps.c_str());
+      if (!(eps > 0.0)) {
+        *error = "--eps must be positive or 'auto'";
+        return 1;
+      }
+    }
+  } catch (const engine::StreamError& stream_error) {
+    *error = stream_error.what();
+    return 1;
+  }
+  if (options.report) {
+    std::fprintf(stderr,
+                 "streaming %lld shard(s), max block %lld bytes; "
+                 "using eps=%.6g\n",
+                 static_cast<long long>(backend->reader().num_shards()),
+                 static_cast<long long>(
+                     backend->reader().max_block_csr_bytes()),
+                 eps);
+  }
+
+  LinBpOptions lin_options;
+  lin_options.variant = variant;
+  lin_options.max_iterations = 1000;
+  lin_options.exec = ctx;
+  const LinBpResult result =
+      RunLinBp(*backend, coupling.ScaledResidual(eps),
+               backend->explicit_residuals(), lin_options);
+  if (result.failed) {
+    *error = result.error;
+    return 1;
+  }
+  if (result.diverged) {
+    *error = "LinBP diverged; lower --eps (see --report)";
+    return 2;
+  }
+  const TopBeliefAssignment top = TopBeliefs(result.beliefs);
+  if (options.report && backend->HasGroundTruth()) {
+    ReportGroundTruthQuality(backend->ground_truth(), top);
+  }
+  return EmitLabelLines(top, backend->num_nodes(), options, output, error);
+}
+
+}  // namespace
+
 int RunPipeline(const Options& options, std::string* output,
                 std::string* error) {
+  if (options.stream) return RunStreamPipeline(options, output, error);
   // Execution context: --threads wins; otherwise LINBP_THREADS (serial
   // when unset). Built before the problem so snapshot loads use it too;
   // every method produces the same labels at any width.
@@ -467,37 +658,10 @@ int RunPipeline(const Options& options, std::string* output,
 
   // With ground truth available, --report also prints quality metrics.
   if (options.report && scenario->HasGroundTruth()) {
-    TopBeliefAssignment truth;
-    truth.classes.resize(graph.num_nodes());
-    std::vector<std::int64_t> known;
-    for (std::int64_t v = 0; v < graph.num_nodes(); ++v) {
-      if (scenario->ground_truth[v] >= 0) {
-        truth.classes[v].push_back(scenario->ground_truth[v]);
-        known.push_back(v);
-      }
-    }
-    const QualityMetrics quality = CompareAssignments(truth, top, known);
-    std::fprintf(stderr, "ground truth: %lld nodes, F1 %.4f\n",
-                 static_cast<long long>(known.size()), quality.f1);
+    ReportGroundTruthQuality(scenario->ground_truth, top);
   }
 
-  // Emit "v class [class...]" lines (multiple classes on ties).
-  std::ostringstream lines;
-  for (std::int64_t v = 0; v < graph.num_nodes(); ++v) {
-    lines << v;
-    for (const int cls : top.classes[v]) lines << ' ' << cls;
-    lines << '\n';
-  }
-  *output = lines.str();
-  if (!options.output_path.empty()) {
-    std::ofstream out(options.output_path);
-    if (!out) {
-      *error = options.output_path + ": cannot write";
-      return 1;
-    }
-    out << *output;
-  }
-  return 0;
+  return EmitLabelLines(top, graph.num_nodes(), options, output, error);
 }
 
 int RunMain(const std::vector<std::string>& args, std::string* output,

@@ -52,6 +52,11 @@ struct Options {
   /// environment variable (default serial), 0 means all hardware threads,
   /// N >= 1 means exactly N. Results are identical for every setting.
   int threads = -1;
+  /// Out-of-core mode: solve by streaming the shard manifest named by a
+  /// "snap:path=MANIFEST" scenario spec instead of materializing the
+  /// graph (methods linbp / linbp* only). Labels are bit-identical to
+  /// the in-memory run.
+  bool stream = false;
 };
 
 /// Parsed `convert` options.
