@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -45,6 +46,27 @@ LinBpState::LinBpState(
   cold_start_iterations_ = Solve();
 }
 
+LinBpState::LinBpState(
+    std::shared_ptr<Graph> graph,
+    std::shared_ptr<const engine::PropagationBackend> backend,
+    DenseMatrix hhat, DenseMatrix explicit_residuals, LinBpOptions options)
+    : graph_(std::move(graph)),
+      backend_(std::move(backend)),
+      hhat_(std::move(hhat)),
+      explicit_residuals_(std::move(explicit_residuals)),
+      options_(options),
+      beliefs_(explicit_residuals_) {
+  LINBP_CHECK(graph_ != nullptr);
+  LINBP_CHECK(backend_ != nullptr);
+  LINBP_CHECK(backend_->num_nodes() == graph_->num_nodes());
+  LINBP_CHECK(hhat_.rows() == hhat_.cols());
+  LINBP_CHECK(explicit_residuals_.rows() == graph_->num_nodes());
+  LINBP_CHECK(explicit_residuals_.cols() == hhat_.rows());
+  LINBP_CHECK_MSG(options_.variant != LinBpVariant::kLinBpExact,
+                  "warm-started updates support kLinBp / kLinBpStar");
+  cold_start_iterations_ = Solve();
+}
+
 const Graph& LinBpState::graph() const {
   LINBP_CHECK_MSG(graph_ != nullptr,
                   "state was constructed from a backend without a graph");
@@ -79,12 +101,45 @@ int LinBpState::Solve() {
 }
 
 int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
-                                      const DenseMatrix& residuals) {
-  LINBP_CHECK(static_cast<std::int64_t>(nodes.size()) == residuals.rows());
-  LINBP_CHECK(residuals.cols() == hhat_.rows());
+                                      const DenseMatrix& residuals,
+                                      std::string* error) {
+  // Validate up front with error returns, not CHECKs: node ids and
+  // residual rows arrive straight off an update stream, and a hostile
+  // line must never abort the server or touch the state.
+  if (static_cast<std::int64_t>(nodes.size()) != residuals.rows()) {
+    if (error != nullptr) {
+      *error = "belief update names " + std::to_string(nodes.size()) +
+               " nodes but carries " + std::to_string(residuals.rows()) +
+               " residual rows";
+    }
+    return -1;
+  }
+  if (residuals.cols() != hhat_.rows()) {
+    if (error != nullptr) {
+      *error = "belief update has " + std::to_string(residuals.cols()) +
+               " classes but the coupling has " +
+               std::to_string(hhat_.rows());
+    }
+    return -1;
+  }
   const std::int64_t n = backend_->num_nodes();
-  for (const std::int64_t node : nodes) {
-    LINBP_CHECK(node >= 0 && node < n);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] < 0 || nodes[i] >= n) {
+      if (error != nullptr) {
+        *error = "belief update names node " + std::to_string(nodes[i]) +
+                 " outside [0, " + std::to_string(n) + ")";
+      }
+      return -1;
+    }
+    for (std::int64_t c = 0; c < residuals.cols(); ++c) {
+      if (!std::isfinite(residuals.At(static_cast<std::int64_t>(i), c))) {
+        if (error != nullptr) {
+          *error = "belief update for node " + std::to_string(nodes[i]) +
+                   " has a non-finite residual";
+        }
+        return -1;
+      }
+    }
   }
   // Snapshot for rollback: a streamed backend can fail several sweeps in
   // (shard corruption appearing mid-stream), and a half-advanced warm
@@ -112,19 +167,42 @@ int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
       }
     }
     beliefs_ = saved_beliefs;
+    if (error != nullptr) *error = last_error_;
+  }
+  return sweeps;
+}
+
+bool LinBpState::RequireMutableGraph(std::string* error) const {
+  if (graph_ != nullptr) return true;
+  if (error != nullptr) {
+    *error = "backend does not own a mutable graph (streamed states "
+             "cannot mutate edges)";
+  }
+  return false;
+}
+
+int LinBpState::RebuildGraphAndResolve(std::vector<Edge> new_edges,
+                                       std::string* error) {
+  // Snapshot for rollback: a streamed backend can fail several sweeps
+  // in, and the contract is all-or-nothing — on failure the caller must
+  // see the old graph AND the old beliefs, not the new graph with a
+  // half-advanced warm start.
+  Graph saved_graph = *graph_;
+  const DenseMatrix saved_beliefs = beliefs_;
+  // Assign in place: the backend holds a pointer to *graph_.
+  *graph_ = Graph(graph_->num_nodes(), new_edges);
+  const int sweeps = Solve();
+  if (sweeps < 0) {
+    *graph_ = std::move(saved_graph);
+    beliefs_ = saved_beliefs;
+    if (error != nullptr) *error = last_error_;
   }
   return sweeps;
 }
 
 int LinBpState::AddEdges(const std::vector<Edge>& edges,
                          std::string* error) {
-  if (graph_ == nullptr) {
-    if (error != nullptr) {
-      *error = "backend does not own a mutable graph (streamed states "
-               "cannot add edges)";
-    }
-    return -1;
-  }
+  if (!RequireMutableGraph(error)) return -1;
   // Validate the whole batch up front with error returns — the Graph
   // constructor CHECK-aborts on these, which is the wrong failure mode
   // for edges arriving from user input or an update stream. The state is
@@ -136,11 +214,61 @@ int LinBpState::AddEdges(const std::vector<Edge>& edges,
   }
   std::vector<Edge> combined = graph_->edges();
   combined.insert(combined.end(), edges.begin(), edges.end());
-  // Assign in place: the InMemoryBackend holds a pointer to *graph_.
-  *graph_ = Graph(graph_->num_nodes(), combined);
-  const int sweeps = Solve();
-  if (sweeps < 0 && error != nullptr) *error = last_error_;
-  return sweeps;
+  return RebuildGraphAndResolve(std::move(combined), error);
+}
+
+int LinBpState::RemoveEdges(const std::vector<Edge>& edges,
+                            std::string* error) {
+  if (!RequireMutableGraph(error)) return -1;
+  const std::string problem = ValidateEdgeRemovalBatch(*graph_, edges);
+  if (!problem.empty()) {
+    if (error != nullptr) *error = problem;
+    return -1;
+  }
+  std::vector<std::pair<std::int64_t, std::int64_t>> doomed;
+  doomed.reserve(edges.size());
+  for (const Edge& e : edges) {
+    doomed.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  }
+  std::sort(doomed.begin(), doomed.end());
+  std::vector<Edge> kept;
+  kept.reserve(graph_->edges().size() - edges.size());
+  for (const Edge& e : graph_->edges()) {
+    if (!std::binary_search(doomed.begin(), doomed.end(),
+                            std::make_pair(e.u, e.v))) {
+      kept.push_back(e);
+    }
+  }
+  return RebuildGraphAndResolve(std::move(kept), error);
+}
+
+int LinBpState::UpdateEdgeWeights(const std::vector<Edge>& edges,
+                                  std::string* error) {
+  if (!RequireMutableGraph(error)) return -1;
+  const std::string problem = ValidateEdgeReweightBatch(*graph_, edges);
+  if (!problem.empty()) {
+    if (error != nullptr) *error = problem;
+    return -1;
+  }
+  std::vector<std::pair<std::pair<std::int64_t, std::int64_t>, double>>
+      reweights;
+  reweights.reserve(edges.size());
+  for (const Edge& e : edges) {
+    reweights.push_back(
+        {{std::min(e.u, e.v), std::max(e.u, e.v)}, e.weight});
+  }
+  std::sort(reweights.begin(), reweights.end());
+  std::vector<Edge> rebuilt = graph_->edges();
+  for (Edge& e : rebuilt) {
+    const auto it = std::lower_bound(
+        reweights.begin(), reweights.end(),
+        std::make_pair(std::make_pair(e.u, e.v),
+                       -std::numeric_limits<double>::infinity()));
+    if (it != reweights.end() && it->first == std::make_pair(e.u, e.v)) {
+      e.weight = it->second;
+    }
+  }
+  return RebuildGraphAndResolve(std::move(rebuilt), error);
 }
 
 }  // namespace linbp

@@ -41,18 +41,32 @@ class LinBpState {
   /// engine::ShardStreamBackend for out-of-core warm restarts). A cold
   /// solve that fails (streamed corruption) leaves beliefs() at the last
   /// completed sweep with converged() false and last_error() set.
-  /// AddEdges is unsupported on this path (no owned graph).
+  /// Edge mutations are unsupported on this path (no owned graph).
   LinBpState(std::shared_ptr<const engine::PropagationBackend> backend,
              DenseMatrix hhat, DenseMatrix explicit_residuals,
              LinBpOptions options = {});
 
+  /// Solves the initial system on a shared graph viewed through an
+  /// externally built backend (tests inject failure-capable backends
+  /// here). The backend must read `graph`'s adjacency: edge mutations
+  /// rebuild *graph in place and assume the backend sees the rebuild.
+  LinBpState(std::shared_ptr<Graph> graph,
+             std::shared_ptr<const engine::PropagationBackend> backend,
+             DenseMatrix hhat, DenseMatrix explicit_residuals,
+             LinBpOptions options = {});
+
   /// Overwrites the explicit beliefs of `nodes` (row i of `residuals` is
-  /// nodes[i]) and re-solves warm-started. Returns the sweeps used, or -1
-  /// when a streamed backend failed mid-solve — the state (beliefs AND
-  /// explicit residuals) is then rolled back, with the failure in
-  /// last_error().
+  /// nodes[i]) and re-solves warm-started. Returns the sweeps used. An
+  /// invalid batch — an out-of-range node id, a residual row count that
+  /// does not match `nodes`, a class count that does not match the
+  /// coupling, or a non-finite residual — returns -1 with *error filled
+  /// (when non-null) and leaves the state untouched; it never aborts.
+  /// Also returns -1 when a streamed backend failed mid-solve — the
+  /// state (beliefs AND explicit residuals) is then rolled back, with
+  /// the failure in last_error().
   int UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
-                            const DenseMatrix& residuals);
+                            const DenseMatrix& residuals,
+                            std::string* error = nullptr);
 
   /// Movable but not copyable: the graph lives behind a shared pointer
   /// (so the backend's reference survives moves), and a copy would
@@ -69,9 +83,26 @@ class LinBpState {
   /// non-finite weight, duplicate within the batch, or an edge already in
   /// the graph — returns -1 with *error filled (when non-null) and leaves
   /// the state untouched; it never aborts. Also returns -1 on a state
-  /// without an owned graph (streamed backends cannot add edges) and on a
-  /// mid-solve stream failure (state rolled back).
+  /// without an owned graph (streamed backends cannot mutate edges) and
+  /// on a mid-solve stream failure (graph AND beliefs rolled back).
   int AddEdges(const std::vector<Edge>& edges, std::string* error = nullptr);
+
+  /// Removes undirected edges (weights ignored — an edge is named by its
+  /// endpoints) and re-solves warm-started. Same all-or-nothing contract
+  /// as AddEdges: the batch is validated up front (endpoints in range,
+  /// every edge currently present, no duplicate pair in the batch), an
+  /// invalid batch returns -1 + *error with the state untouched, and a
+  /// mid-solve backend failure rolls graph and beliefs back.
+  int RemoveEdges(const std::vector<Edge>& edges,
+                  std::string* error = nullptr);
+
+  /// Overwrites the weights of existing undirected edges and re-solves
+  /// warm-started. Same all-or-nothing contract as AddEdges: validated up
+  /// front (endpoints in range, every edge currently present, finite new
+  /// weights, no duplicate pair in the batch), -1 + *error on an invalid
+  /// batch with the state untouched, rollback on a mid-solve failure.
+  int UpdateEdgeWeights(const std::vector<Edge>& edges,
+                        std::string* error = nullptr);
 
   /// Current solution (residual beliefs).
   const DenseMatrix& beliefs() const { return beliefs_; }
@@ -96,6 +127,16 @@ class LinBpState {
   // Returns the sweeps used, or -1 on a backend failure (beliefs_ then
   // hold the last completed sweep; last_error_ describes the failure).
   int Solve();
+
+  // Shared tail of the edge mutations: rebuilds *graph_ in place from
+  // `new_edges`, re-solves warm-started, and on a backend failure rolls
+  // graph and beliefs back to the pre-call state. Assumes the batch has
+  // already been validated.
+  int RebuildGraphAndResolve(std::vector<Edge> new_edges, std::string* error);
+
+  // Common guard for the edge mutations: fills *error and returns false
+  // when the state has no owned graph (backend-only construction).
+  bool RequireMutableGraph(std::string* error) const;
 
   // Owned graph for the in-memory construction path (null for
   // backend-constructed states). Held behind a stable pointer so the

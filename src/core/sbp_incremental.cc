@@ -1,8 +1,11 @@
 #include "src/core/sbp_incremental.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "src/util/check.h"
 
@@ -36,8 +39,58 @@ SbpState SbpState::FromGraph(const Graph& graph, DenseMatrix hhat,
           explicit_residuals.At(explicit_nodes[i], c);
     }
   }
-  state.AddExplicitBeliefs(explicit_nodes, rows);
+  std::string problem;
+  LINBP_CHECK_MSG(state.AddExplicitBeliefs(explicit_nodes, rows, &problem) >=
+                      0,
+                  "FromGraph bootstrap rejected its explicit beliefs");
   return state;
+}
+
+std::string SbpState::ValidateEdgeBatch(const std::vector<Edge>& edges,
+                                        bool require_present,
+                                        bool check_weights) const {
+  const std::int64_t n = num_nodes();
+  std::vector<std::pair<std::int64_t, std::int64_t>> keys;
+  keys.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n) {
+      return "edge (" + std::to_string(e.u) + ", " + std::to_string(e.v) +
+             ") has an endpoint outside [0, " + std::to_string(n) + ")";
+    }
+    if (e.u == e.v) {
+      return "self-loop on node " + std::to_string(e.u) +
+             " is not supported";
+    }
+    if (check_weights && !std::isfinite(e.weight)) {
+      return "edge (" + std::to_string(e.u) + ", " + std::to_string(e.v) +
+             ") has a non-finite weight";
+    }
+    const std::int64_t u = std::min(e.u, e.v);
+    const std::int64_t v = std::max(e.u, e.v);
+    bool present = false;
+    for (const Neighbor& nb : adjacency_[u]) {
+      if (nb.node == v) {
+        present = true;
+        break;
+      }
+    }
+    if (present && !require_present) {
+      return "edge (" + std::to_string(u) + ", " + std::to_string(v) +
+             ") already exists in the graph";
+    }
+    if (!present && require_present) {
+      return "edge (" + std::to_string(u) + ", " + std::to_string(v) +
+             ") does not exist in the graph";
+    }
+    keys.emplace_back(u, v);
+  }
+  std::sort(keys.begin(), keys.end());
+  const auto dup = std::adjacent_find(keys.begin(), keys.end());
+  if (dup != keys.end()) {
+    return "duplicate edge (" + std::to_string(dup->first) + ", " +
+           std::to_string(dup->second) + ") in the batch";
+  }
+  return std::string();
 }
 
 void SbpState::RecomputeBeliefs(std::int64_t t) {
@@ -96,10 +149,45 @@ void SbpState::PropagateDirty(std::vector<std::int64_t> dirty) {
   }
 }
 
-void SbpState::AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
-                                  const DenseMatrix& residuals) {
-  LINBP_CHECK(static_cast<std::int64_t>(nodes.size()) == residuals.rows());
-  LINBP_CHECK(residuals.cols() == k());
+int SbpState::AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
+                                 const DenseMatrix& residuals,
+                                 std::string* error) {
+  // Validate up front with error returns: node ids and residuals arrive
+  // straight off an update stream, and a hostile line must never abort
+  // the server or touch the state.
+  if (static_cast<std::int64_t>(nodes.size()) != residuals.rows()) {
+    if (error != nullptr) {
+      *error = "belief update names " + std::to_string(nodes.size()) +
+               " nodes but carries " + std::to_string(residuals.rows()) +
+               " residual rows";
+    }
+    return -1;
+  }
+  if (residuals.cols() != k()) {
+    if (error != nullptr) {
+      *error = "belief update has " + std::to_string(residuals.cols()) +
+               " classes but the coupling has " + std::to_string(k());
+    }
+    return -1;
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] < 0 || nodes[i] >= num_nodes()) {
+      if (error != nullptr) {
+        *error = "belief update names node " + std::to_string(nodes[i]) +
+                 " outside [0, " + std::to_string(num_nodes()) + ")";
+      }
+      return -1;
+    }
+    for (std::int64_t c = 0; c < k(); ++c) {
+      if (!std::isfinite(residuals.At(static_cast<std::int64_t>(i), c))) {
+        if (error != nullptr) {
+          *error = "belief update for node " + std::to_string(nodes[i]) +
+                   " has a non-finite residual";
+        }
+        return -1;
+      }
+    }
+  }
   last_update_recomputed_nodes_ = 0;
 
   // Phase 1: install the new explicit beliefs and geodesic number 0.
@@ -107,7 +195,6 @@ void SbpState::AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
   std::deque<std::int64_t> relax_queue;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const std::int64_t v = nodes[i];
-    LINBP_CHECK(v >= 0 && v < num_nodes());
     if (!is_explicit_[v]) {
       is_explicit_[v] = true;
       explicit_nodes_.push_back(v);
@@ -154,19 +241,21 @@ void SbpState::AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
     }
   }
   PropagateDirty(std::move(dirty));
+  return static_cast<int>(last_update_recomputed_nodes_);
 }
 
-void SbpState::AddEdges(const std::vector<Edge>& edges) {
+int SbpState::AddEdges(const std::vector<Edge>& edges, std::string* error) {
+  const std::string problem =
+      ValidateEdgeBatch(edges, /*require_present=*/false,
+                        /*check_weights=*/true);
+  if (!problem.empty()) {
+    if (error != nullptr) *error = problem;
+    return -1;
+  }
   last_update_recomputed_nodes_ = 0;
 
   // Phase 1: extend the adjacency lists.
   for (const Edge& e : edges) {
-    LINBP_CHECK(e.u >= 0 && e.u < num_nodes() && e.v >= 0 &&
-                e.v < num_nodes());
-    LINBP_CHECK_MSG(e.u != e.v, "self-loops are not supported");
-    for (const Neighbor& nb : adjacency_[e.u]) {
-      LINBP_CHECK_MSG(nb.node != e.v, "duplicate edge");
-    }
     adjacency_[e.u].push_back({e.v, e.weight});
     adjacency_[e.v].push_back({e.u, e.weight});
   }
@@ -216,6 +305,135 @@ void SbpState::AddEdges(const std::vector<Edge>& edges) {
     }
   }
   PropagateDirty(std::move(dirty));
+  return static_cast<int>(last_update_recomputed_nodes_);
+}
+
+int SbpState::RemoveEdges(const std::vector<Edge>& edges,
+                          std::string* error) {
+  const std::string problem =
+      ValidateEdgeBatch(edges, /*require_present=*/true,
+                        /*check_weights=*/false);
+  if (!problem.empty()) {
+    if (error != nullptr) *error = problem;
+    return -1;
+  }
+  last_update_recomputed_nodes_ = 0;
+
+  // Phase 1: drop the edges from both adjacency lists.
+  for (const Edge& e : edges) {
+    auto drop = [this](std::int64_t from, std::int64_t to) {
+      auto& list = adjacency_[from];
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i].node == to) {
+          list[i] = list.back();
+          list.pop_back();
+          return;
+        }
+      }
+    };
+    drop(e.u, e.v);
+    drop(e.v, e.u);
+  }
+
+  // Phase 2: geodesic numbers can only grow under deletions, and a
+  // decremental relaxation would have to discover *which* nodes lost
+  // their last shortest path — a full multi-source BFS from the explicit
+  // nodes is simpler and always right. Deletions are expected to be rare
+  // relative to queries; the belief recomputation below stays localized.
+  std::vector<std::int64_t> old_geodesic = geodesic_;
+  std::fill(geodesic_.begin(), geodesic_.end(), kUnreachable);
+  std::deque<std::int64_t> bfs;
+  for (const std::int64_t v : explicit_nodes_) {
+    geodesic_[v] = 0;
+    bfs.push_back(v);
+  }
+  while (!bfs.empty()) {
+    const std::int64_t u = bfs.front();
+    bfs.pop_front();
+    for (const Neighbor& nb : adjacency_[u]) {
+      if (geodesic_[nb.node] == kUnreachable) {
+        geodesic_[nb.node] = geodesic_[u] + 1;
+        bfs.push_back(nb.node);
+      }
+    }
+  }
+
+  // Phase 3: seed the dirty set. A node whose geodesic changed must be
+  // recomputed at its new level (or zeroed if now unreachable, the
+  // from-scratch convention for unlabeled components); its former
+  // children lost a parent and its current children gained one. A
+  // removed level-crossing edge dirties the child endpoint even when no
+  // geodesic moved (it lost that parent's contribution).
+  std::vector<std::int64_t> dirty;
+  for (std::int64_t v = 0; v < num_nodes(); ++v) {
+    if (geodesic_[v] == old_geodesic[v]) continue;
+    if (geodesic_[v] == kUnreachable) {
+      for (std::int64_t c = 0; c < k(); ++c) beliefs_.At(v, c) = 0.0;
+      ++last_update_recomputed_nodes_;
+    } else {
+      dirty.push_back(v);
+    }
+    for (const Neighbor& nb : adjacency_[v]) {
+      if ((old_geodesic[v] != kUnreachable &&
+           old_geodesic[nb.node] == old_geodesic[v] + 1) ||
+          (geodesic_[v] != kUnreachable &&
+           geodesic_[nb.node] == geodesic_[v] + 1)) {
+        dirty.push_back(nb.node);
+      }
+    }
+  }
+  for (const Edge& e : edges) {
+    if (old_geodesic[e.u] != kUnreachable &&
+        old_geodesic[e.v] == old_geodesic[e.u] + 1) {
+      dirty.push_back(e.v);
+    }
+    if (old_geodesic[e.v] != kUnreachable &&
+        old_geodesic[e.u] == old_geodesic[e.v] + 1) {
+      dirty.push_back(e.u);
+    }
+  }
+  PropagateDirty(std::move(dirty));
+  return static_cast<int>(last_update_recomputed_nodes_);
+}
+
+int SbpState::UpdateEdgeWeights(const std::vector<Edge>& edges,
+                                std::string* error) {
+  const std::string problem =
+      ValidateEdgeBatch(edges, /*require_present=*/true,
+                        /*check_weights=*/true);
+  if (!problem.empty()) {
+    if (error != nullptr) *error = problem;
+    return -1;
+  }
+  last_update_recomputed_nodes_ = 0;
+
+  // Weights do not move geodesic numbers (SBP shortest paths count
+  // hops), so only beliefs flowing across a reweighted level-crossing
+  // edge change: dirty the child endpoint and let the cascade handle
+  // its descendants.
+  std::vector<std::int64_t> dirty;
+  for (const Edge& e : edges) {
+    auto reweight = [this](std::int64_t from, std::int64_t to, double w) {
+      for (Neighbor& nb : adjacency_[from]) {
+        if (nb.node == to) {
+          nb.weight = w;
+          return;
+        }
+      }
+    };
+    reweight(e.u, e.v, e.weight);
+    reweight(e.v, e.u, e.weight);
+    if (geodesic_[e.u] != kUnreachable &&
+        geodesic_[e.v] == geodesic_[e.u] + 1) {
+      dirty.push_back(e.v);
+    }
+    if (geodesic_[e.v] != kUnreachable &&
+        geodesic_[e.u] == geodesic_[e.v] + 1) {
+      dirty.push_back(e.u);
+    }
+  }
+  PropagateDirty(std::move(dirty));
+  return static_cast<int>(last_update_recomputed_nodes_);
 }
 
 }  // namespace linbp

@@ -1,21 +1,30 @@
 // Incremental maintenance of SBP results (Sect. 6.3 and Appendix C).
 //
 // SbpState keeps the dynamic graph, geodesic numbers, and beliefs, and
-// supports the two batch updates of the paper:
+// supports the batch updates of the paper plus their decremental duals:
 //   * AddExplicitBeliefs — Algorithm 3 (new labeled nodes),
-//   * AddEdges           — Algorithm 4 (new edges).
-// Both touch only the affected region of the graph. AddEdges implements
+//   * AddEdges           — Algorithm 4 (new edges),
+//   * RemoveEdges        — edge deletions (geodesics recomputed, newly
+//                          unreachable nodes zeroed),
+//   * UpdateEdgeWeights  — weight changes (geodesics unchanged).
+// All touch only the affected region of the graph. The updates implement
 // the corrected level-ordered worklist described in DESIGN.md: the paper's
 // literal Datalog can re-target nodes with equal geodesic numbers; we
-// instead (1) relax geodesic numbers incrementally, (2) seed the dirty set
-// from geodesic changes plus new equal-level-crossing edges, and
-// (3) recompute beliefs level by level. Results are always identical to a
-// from-scratch SBP run (property-tested).
+// instead (1) maintain geodesic numbers, (2) seed the dirty set from
+// geodesic changes plus level-crossing edges that appeared, vanished, or
+// changed weight, and (3) recompute beliefs level by level. Results are
+// always identical to a from-scratch SBP run (property-tested).
+//
+// Every update validates its whole batch up front and returns -1 with an
+// error description on bad input (out-of-range node, missing/duplicate
+// edge, non-finite value), leaving the state untouched — states fed from
+// an update stream survive hostile input without aborting.
 
 #ifndef LINBP_CORE_SBP_INCREMENTAL_H_
 #define LINBP_CORE_SBP_INCREMENTAL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/sbp.h"
@@ -42,13 +51,41 @@ class SbpState {
                                 exec::ExecContext::Default());
 
   /// Algorithm 3: adds (or overwrites) explicit beliefs for `nodes`; row i
-  /// of `residuals` is the belief of nodes[i]. Updates all affected nodes.
-  void AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
-                          const DenseMatrix& residuals);
+  /// of `residuals` is the belief of nodes[i]. Updates all affected nodes
+  /// and returns the number recomputed. An invalid batch — an
+  /// out-of-range node id, a row/class count mismatch, or a non-finite
+  /// residual — returns -1 with *error filled (when non-null) and leaves
+  /// the state untouched; it never aborts.
+  int AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
+                         const DenseMatrix& residuals,
+                         std::string* error = nullptr);
 
-  /// Algorithm 4: adds undirected edges and updates all affected nodes.
-  /// Edges must not duplicate existing ones.
-  void AddEdges(const std::vector<Edge>& edges);
+  /// Algorithm 4: adds undirected edges and updates all affected nodes;
+  /// returns the number recomputed. An invalid batch — an out-of-range
+  /// endpoint, self-loop, non-finite weight, duplicate within the batch,
+  /// or an edge already present — returns -1 with *error filled (when
+  /// non-null) and leaves the state untouched; it never aborts.
+  int AddEdges(const std::vector<Edge>& edges, std::string* error = nullptr);
+
+  /// Removes undirected edges (weights ignored — an edge is named by its
+  /// endpoints) and updates all affected nodes; returns the number
+  /// recomputed. Geodesic numbers are recomputed and nodes that become
+  /// unreachable from every explicit node have their beliefs zeroed, the
+  /// from-scratch convention. An invalid batch — an out-of-range
+  /// endpoint, a missing edge, or a duplicate pair within the batch —
+  /// returns -1 with *error filled (when non-null) and leaves the state
+  /// untouched.
+  int RemoveEdges(const std::vector<Edge>& edges,
+                  std::string* error = nullptr);
+
+  /// Overwrites the weights of existing undirected edges and updates all
+  /// affected nodes; returns the number recomputed. Geodesic numbers are
+  /// unchanged (SBP shortest paths are hop counts). An invalid batch —
+  /// an out-of-range endpoint, a missing edge, a non-finite weight, or a
+  /// duplicate pair within the batch — returns -1 with *error filled
+  /// (when non-null) and leaves the state untouched.
+  int UpdateEdgeWeights(const std::vector<Edge>& edges,
+                        std::string* error = nullptr);
 
   /// Current residual beliefs (n x k).
   const DenseMatrix& beliefs() const { return beliefs_; }
@@ -76,6 +113,16 @@ class SbpState {
     std::int64_t node;
     double weight;
   };
+
+  // Validates an edge batch against the adjacency lists: endpoints in
+  // range, no self-loops, no duplicate undirected pair in the batch;
+  // `require_present` demands the edge exists (removal/reweight) while
+  // its negation demands it does not (addition); `check_weights` demands
+  // finite weights. Returns empty for a valid batch, else the first
+  // problem.
+  std::string ValidateEdgeBatch(const std::vector<Edge>& edges,
+                                bool require_present,
+                                bool check_weights) const;
 
   // Recomputes beliefs of `t` from its current parents (geodesic g-1).
   void RecomputeBeliefs(std::int64_t t);

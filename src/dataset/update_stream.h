@@ -1,0 +1,133 @@
+// Line-oriented update streams: the serialized form of live graph churn.
+//
+// A stream is a text file of one update per line (comments and blank
+// lines ignored):
+//
+//   a u v w                  add undirected edge (u, v) with weight w
+//   d u v                    delete undirected edge (u, v)
+//   w u v w                  overwrite the weight of edge (u, v) with w
+//   b node k r_1 ... r_k     overwrite node's explicit residual beliefs
+//
+// The parser is strict in the io.cc tradition: every token must convert
+// completely, non-finite values are rejected with a specific message, and
+// a malformed line is an error return — never an abort and never a
+// partially applied update. Replay (ApplyUpdateOp) drives the warm
+// incremental states in src/core; GenerateUpdateTrace manufactures valid
+// mixed traces from a scenario for benchmarks and CI.
+
+#ifndef LINBP_DATASET_UPDATE_STREAM_H_
+#define LINBP_DATASET_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/linbp_incremental.h"
+#include "src/core/sbp_incremental.h"
+#include "src/dataset/scenario.h"
+#include "src/graph/graph.h"
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+namespace dataset {
+
+/// The four update kinds of the stream grammar.
+enum class UpdateKind { kAddEdge, kDeleteEdge, kReweightEdge, kBeliefUpdate };
+
+/// One parsed update.
+struct UpdateOp {
+  UpdateKind kind = UpdateKind::kAddEdge;
+  /// Edge endpoints; `u` doubles as the node id of a belief update.
+  std::int64_t u = 0;
+  std::int64_t v = 0;
+  /// New weight for kAddEdge / kReweightEdge.
+  double weight = 1.0;
+  /// k residual beliefs for kBeliefUpdate.
+  std::vector<double> residuals;
+};
+
+/// Parses one stream line into *op. `expected_k` is the class count a
+/// belief update must carry; pass 0 to accept any k. Returns false and
+/// fills *error (without touching *op's validity guarantees) on a
+/// malformed line: unknown command, wrong field count, a token that is
+/// not entirely a number, a non-finite weight or residual, or a belief
+/// class count that disagrees with `expected_k`. Comments ('#') and
+/// blank lines are NOT accepted here — callers filter them, keeping one
+/// line == one update.
+bool ParseUpdateLine(const std::string& line, std::int64_t expected_k,
+                     UpdateOp* op, std::string* error);
+
+/// True for lines the stream reader skips (blank or starting with '#').
+bool IsUpdateStreamComment(const std::string& line);
+
+/// Reads a whole update-stream file. Errors are "path:line: message".
+std::optional<std::vector<UpdateOp>> ReadUpdateStream(
+    const std::string& path, std::int64_t expected_k, std::string* error);
+
+/// Formats one update as its stream line (no trailing newline). Weights
+/// and residuals round-trip exactly (printed at max precision).
+std::string FormatUpdateOp(const UpdateOp& op);
+
+/// Writes a stream file (one line per op, with a leading comment).
+bool WriteUpdateStream(const std::vector<UpdateOp>& ops,
+                       const std::string& path);
+
+/// Applies one update to a warm LinBP state: returns the solver sweeps
+/// used (>= 0), or -1 with *error filled on an invalid update — the
+/// state is then untouched (or rolled back, for mid-solve backend
+/// failures).
+int ApplyUpdateOp(const UpdateOp& op, LinBpState* state, std::string* error);
+
+/// Applies one update to a warm SBP state: returns the number of nodes
+/// recomputed (>= 0), or -1 with *error filled on an invalid update with
+/// the state untouched.
+int ApplyUpdateOp(const UpdateOp& op, SbpState* state, std::string* error);
+
+/// Applies a whole stream to a plain problem description (edge list +
+/// explicit residual matrix), the cold-solve side of replay parity.
+/// Returns false and fills *error on the first invalid op, leaving
+/// *edges / *residuals in the partially updated state (cold-solve
+/// callers treat any failure as fatal).
+bool ApplyUpdateOpsToProblem(const std::vector<UpdateOp>& ops,
+                             std::int64_t num_nodes,
+                             std::vector<Edge>* edges,
+                             DenseMatrix* residuals, std::string* error);
+
+/// Knobs for GenerateUpdateTrace. Fractions are of `num_ops` and the
+/// remainder (1 - add - remove - reweight) becomes belief updates.
+struct UpdateTraceOptions {
+  std::int64_t num_ops = 64;
+  double add_fraction = 0.35;
+  double remove_fraction = 0.2;
+  double reweight_fraction = 0.25;
+  /// Reweights draw new weights uniformly from this range.
+  double min_weight = 0.5;
+  double max_weight = 1.5;
+  std::uint64_t seed = 1;
+};
+
+/// A generated trace: the graph to warm-start from (the scenario's graph
+/// minus the held-out edges that the trace re-adds) plus the interleaved
+/// update sequence. Every op is valid at its position in the replay, and
+/// belief updates only touch nodes that are already explicit (with
+/// centered, nonzero rows), so the explicit-node set is constant across
+/// the trace — the invariant the SBP cold-parity check relies on.
+struct UpdateTrace {
+  std::vector<Edge> start_edges;
+  std::vector<UpdateOp> ops;
+};
+
+/// Manufactures a mixed add/delete/reweight/belief trace from a
+/// scenario. Add ops re-insert held-out scenario edges; delete and
+/// reweight ops pick uniformly among edges present at that point; belief
+/// ops perturb a random explicit node with a fresh centered residual
+/// row. Kinds whose pool is empty (no explicit nodes, graph about to
+/// run out of edges) fall back to reweights, then adds.
+UpdateTrace GenerateUpdateTrace(const Scenario& scenario,
+                                const UpdateTraceOptions& options);
+
+}  // namespace dataset
+}  // namespace linbp
+
+#endif  // LINBP_DATASET_UPDATE_STREAM_H_

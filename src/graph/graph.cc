@@ -152,6 +152,62 @@ std::string ValidateNewEdgeBatch(const Graph& graph,
   return std::string();
 }
 
+namespace {
+
+// Shared core of the removal/reweight validators: both name edges that
+// must already be stored, differ only in whether the weight matters.
+std::string ValidateExistingEdgeBatch(const Graph& graph,
+                                      const std::vector<Edge>& edges,
+                                      bool check_weights) {
+  const std::int64_t n = graph.num_nodes();
+  const auto& row_ptr = graph.adjacency().row_ptr();
+  const auto& col_idx = graph.adjacency().col_idx();
+  std::vector<std::pair<std::int64_t, std::int64_t>> keys;
+  keys.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n) {
+      return "edge (" + std::to_string(e.u) + ", " + std::to_string(e.v) +
+             ") has an endpoint outside [0, " + std::to_string(n) + ")";
+    }
+    if (e.u == e.v) {
+      return "self-loop on node " + std::to_string(e.u) +
+             " is not supported";
+    }
+    if (check_weights && !std::isfinite(e.weight)) {
+      return "edge (" + std::to_string(e.u) + ", " + std::to_string(e.v) +
+             ") has a non-finite weight";
+    }
+    const std::int64_t u = std::min(e.u, e.v);
+    const std::int64_t v = std::max(e.u, e.v);
+    const auto begin = col_idx.begin() + row_ptr[u];
+    const auto end = col_idx.begin() + row_ptr[u + 1];
+    if (!std::binary_search(begin, end, static_cast<std::int32_t>(v))) {
+      return "edge (" + std::to_string(u) + ", " + std::to_string(v) +
+             ") does not exist in the graph";
+    }
+    keys.emplace_back(u, v);
+  }
+  std::sort(keys.begin(), keys.end());
+  const auto dup = std::adjacent_find(keys.begin(), keys.end());
+  if (dup != keys.end()) {
+    return "duplicate edge (" + std::to_string(dup->first) + ", " +
+           std::to_string(dup->second) + ") in the batch";
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string ValidateEdgeRemovalBatch(const Graph& graph,
+                                     const std::vector<Edge>& edges) {
+  return ValidateExistingEdgeBatch(graph, edges, /*check_weights=*/false);
+}
+
+std::string ValidateEdgeReweightBatch(const Graph& graph,
+                                      const std::vector<Edge>& edges) {
+  return ValidateExistingEdgeBatch(graph, edges, /*check_weights=*/true);
+}
+
 std::vector<std::int64_t> ReverseEdgeIndex(const SparseMatrix& adjacency) {
   LINBP_CHECK(adjacency.rows() == adjacency.cols());
   const auto& row_ptr = adjacency.row_ptr();

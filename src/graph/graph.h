@@ -105,6 +105,21 @@ std::vector<std::int64_t> ReverseEdgeIndex(const SparseMatrix& adjacency);
 std::string ValidateNewEdgeBatch(const Graph& graph,
                                  const std::vector<Edge>& edges);
 
+/// Validates a batch of edges to be REMOVED from `graph`: endpoints in
+/// range, every named undirected edge currently stored in the adjacency,
+/// and no duplicate pair within the batch. Weights are ignored — removal
+/// names an edge, it does not assert its weight. Returns an empty string
+/// for a valid batch, else a description of the first problem.
+std::string ValidateEdgeRemovalBatch(const Graph& graph,
+                                     const std::vector<Edge>& edges);
+
+/// Validates a batch of edge REWEIGHTS on `graph`: endpoints in range,
+/// every named undirected edge currently stored, finite new weights, and
+/// no duplicate pair within the batch. Returns an empty string for a
+/// valid batch, else a description of the first problem.
+std::string ValidateEdgeReweightBatch(const Graph& graph,
+                                      const std::vector<Edge>& edges);
+
 }  // namespace linbp
 
 #endif  // LINBP_GRAPH_GRAPH_H_

@@ -1,6 +1,7 @@
 #include "src/core/linbp_incremental.h"
 
 #include <cmath>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -146,6 +147,137 @@ TEST(LinBpStateTest, AddEdgesRejectsInvalidBatchesWithoutAborting) {
   const LinBpResult reference = RunLinBp(Graph(4, edges), hhat,
                                          seeded.residuals, TightOptions());
   ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-10);
+}
+
+TEST(LinBpStateTest, RemoveEdgesMatchesColdSolve) {
+  const Graph g = RandomConnectedGraph(25, 20, /*seed=*/11);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.04);
+  const SeededBeliefs seeded = SeedPaperBeliefs(25, 3, 5, /*seed=*/12);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+
+  // Drop two edges in one batch (endpoint order flipped on the second:
+  // removal is by undirected pair, not by stored orientation).
+  std::vector<Edge> edges = g.edges();
+  const Edge first = edges[0];
+  const Edge second = edges[edges.size() / 2];
+  EXPECT_GT(state.RemoveEdges({{first.u, first.v, 1.0},
+                               {second.v, second.u, 1.0}}),
+            0);
+  ASSERT_TRUE(state.converged());
+  EXPECT_EQ(state.graph().num_undirected_edges(),
+            g.num_undirected_edges() - 2);
+
+  edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(edges.size() / 2));
+  edges.erase(edges.begin());
+  const LinBpResult reference = RunLinBp(Graph(25, edges), hhat,
+                                         seeded.residuals, TightOptions());
+  ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-10);
+}
+
+TEST(LinBpStateTest, UpdateEdgeWeightsMatchesColdSolve) {
+  const Graph g = RandomConnectedGraph(25, 20, /*seed=*/13);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.04);
+  const SeededBeliefs seeded = SeedPaperBeliefs(25, 3, 5, /*seed=*/14);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+
+  std::vector<Edge> edges = g.edges();
+  const std::size_t a = 0;
+  const std::size_t b = edges.size() / 2;
+  EXPECT_GT(state.UpdateEdgeWeights({{edges[a].u, edges[a].v, 2.0},
+                                     {edges[b].v, edges[b].u, 0.25}}),
+            0);
+  ASSERT_TRUE(state.converged());
+  // Reweighting never changes the edge count.
+  EXPECT_EQ(state.graph().num_undirected_edges(), g.num_undirected_edges());
+
+  edges[a].weight = 2.0;
+  edges[b].weight = 0.25;
+  const LinBpResult reference = RunLinBp(Graph(25, edges), hhat,
+                                         seeded.residuals, TightOptions());
+  ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-10);
+}
+
+TEST(LinBpStateTest, RemoveAndReweightRejectInvalidBatchesWithoutAborting) {
+  const Graph g = PathGraph(4);  // edges 0-1, 1-2, 2-3
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.05);
+  const SeededBeliefs seeded = SeedPaperBeliefs(4, 3, 2, /*seed=*/5);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+  ASSERT_TRUE(state.converged());
+  const DenseMatrix before = state.beliefs();
+
+  struct Case {
+    std::vector<Edge> batch;
+    const char* expect;
+  };
+  // Shared failure modes: absent edge, out-of-range endpoint, self-loop,
+  // duplicate pair in the batch (orientation-insensitive), and a valid
+  // edge failing to rescue an invalid batch.
+  const std::vector<Case> shared_cases = {
+      {{{0, 2, 1.0}}, "does not exist"},
+      {{{0, 4, 1.0}}, "outside"},
+      {{{-1, 2, 1.0}}, "outside"},
+      {{{2, 2, 1.0}}, "self-loop"},
+      {{{0, 1, 1.0}, {1, 0, 2.0}}, "duplicate edge"},
+      {{{0, 1, 1.0}, {1, 3, 1.0}}, "does not exist"},
+  };
+  for (const Case& c : shared_cases) {
+    std::string error;
+    EXPECT_EQ(state.RemoveEdges(c.batch, &error), -1);
+    EXPECT_NE(error.find(c.expect), std::string::npos) << error;
+    error.clear();
+    EXPECT_EQ(state.UpdateEdgeWeights(c.batch, &error), -1);
+    EXPECT_NE(error.find(c.expect), std::string::npos) << error;
+    EXPECT_EQ(state.graph().num_undirected_edges(),
+              g.num_undirected_edges());
+    ExpectMatrixNear(state.beliefs(), before, 0.0);
+  }
+  // Reweighting validates the new weight; removal ignores it (an edge is
+  // named by its endpoints).
+  std::string error;
+  EXPECT_EQ(state.UpdateEdgeWeights({{0, 1, std::nan("")}}, &error), -1);
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  ExpectMatrixNear(state.beliefs(), before, 0.0);
+  EXPECT_GT(state.RemoveEdges({{0, 1, std::nan("")}}, &error), 0) << error;
+  EXPECT_EQ(state.graph().num_undirected_edges(),
+            g.num_undirected_edges() - 1);
+}
+
+TEST(LinBpStateTest, UpdateExplicitBeliefsRejectsInvalidBatches) {
+  const Graph g = PathGraph(4);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.05);
+  const SeededBeliefs seeded = SeedPaperBeliefs(4, 3, 2, /*seed=*/7);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+  ASSERT_TRUE(state.converged());
+  const DenseMatrix before = state.beliefs();
+
+  DenseMatrix row(1, 3);
+  row.At(0, 0) = 0.05;
+  row.At(0, 1) = -0.05;
+  struct Case {
+    std::vector<std::int64_t> nodes;
+    DenseMatrix residuals;
+    const char* expect;
+  };
+  DenseMatrix bad_row = row;
+  bad_row.At(0, 2) = std::nan("");
+  const std::vector<Case> cases = {
+      {{4}, row, "outside"},
+      {{-1}, row, "outside"},
+      {{0, 1}, row, "rows"},          // 2 nodes, 1 residual row
+      {{0}, DenseMatrix(1, 2), "coupling has 3"},
+      {{0}, bad_row, "non-finite"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    EXPECT_EQ(state.UpdateExplicitBeliefs(c.nodes, c.residuals, &error), -1);
+    EXPECT_NE(error.find(c.expect), std::string::npos) << error;
+    ExpectMatrixNear(state.beliefs(), before, 0.0);
+  }
+  // The null-error overload refuses without crashing, then a valid
+  // update still applies.
+  EXPECT_EQ(state.UpdateExplicitBeliefs({4}, row), -1);
+  EXPECT_GT(state.UpdateExplicitBeliefs({0}, row), 0);
+  ASSERT_TRUE(state.converged());
 }
 
 TEST(LinBpStateTest, StarVariantSupported) {

@@ -1,6 +1,9 @@
 #include "src/core/sbp_incremental.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
 
 #include "gtest/gtest.h"
 #include "src/core/coupling.h"
@@ -131,11 +134,106 @@ TEST(SbpStateTest, AppendixCPathologicalChain) {
   EXPECT_EQ(state.geodesic()[4], 2);
 }
 
-TEST(SbpStateDeathTest, RejectsDuplicateEdge) {
+TEST(SbpStateTest, RemoveEdgeDisconnectsComponent) {
+  // Cutting the bridge 1-2 strands {2, 3, 4}: their geodesics revert to
+  // unreachable and their belief rows zero out, exactly like a
+  // from-scratch solve on the cut graph.
+  const Graph g(5, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}});
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.4);
+  DenseMatrix e(5, 2);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.1;
+  SbpState state = SbpState::FromGraph(g, hhat, e, {0});
+  EXPECT_EQ(state.geodesic()[4], 4);
+
+  EXPECT_GE(state.RemoveEdges({{1, 2, 1.0}}), 0);
+  const Graph cut(5, {{0, 1, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}});
+  ExpectStateMatchesFromScratch(state, cut, hhat, e, {0});
+  EXPECT_EQ(state.geodesic()[2], kUnreachable);
+  EXPECT_EQ(state.beliefs().At(4, 0), 0.0);
+
+  // Restoring the bridge (endpoints flipped) resurrects the far side.
+  EXPECT_GE(state.AddEdges({{2, 1, 1.0}}), 0);
+  const Graph restored(
+      5, {{0, 1, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}, {2, 1, 1.0}});
+  ExpectStateMatchesFromScratch(state, restored, hhat, e, {0});
+  EXPECT_EQ(state.geodesic()[4], 4);
+}
+
+TEST(SbpStateTest, ReweightEdgeMatchesFromScratch) {
+  const Graph g = PathGraph(5);
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.4);
+  DenseMatrix e(5, 2);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.1;
+  SbpState state = SbpState::FromGraph(g, hhat, e, {0});
+
+  // Reweighting keeps geodesics (hop counts) but rescales the cascade.
+  const std::vector<std::int64_t> before = state.geodesic();
+  EXPECT_GE(state.UpdateEdgeWeights({{1, 2, 0.5}, {4, 3, 2.0}}), 0);
+  EXPECT_EQ(state.geodesic(), before);
+  const Graph reweighted(
+      5, {{0, 1, 1.0}, {1, 2, 0.5}, {2, 3, 1.0}, {3, 4, 2.0}});
+  ExpectStateMatchesFromScratch(state, reweighted, hhat, e, {0});
+}
+
+TEST(SbpStateTest, MutationsRejectInvalidBatchesWithoutAborting) {
+  const Graph g = PathGraph(4);  // edges 0-1, 1-2, 2-3
+  const DenseMatrix hhat = HomophilyCoupling2().ScaledResidual(0.3);
+  DenseMatrix e(4, 2);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.1;
+  SbpState state = SbpState::FromGraph(g, hhat, e, {0});
+  const std::vector<std::int64_t> geodesic_before = state.geodesic();
+  const DenseMatrix beliefs_before = state.beliefs();
+
+  struct Case {
+    std::vector<Edge> batch;
+    const char* expect;
+  };
+  const std::vector<Case> cases = {
+      {{{0, 2, 1.0}}, "does not exist"},
+      {{{0, 4, 1.0}}, "outside"},
+      {{{-1, 2, 1.0}}, "outside"},
+      {{{2, 2, 1.0}}, "self-loop"},
+      {{{0, 1, 1.0}, {1, 0, 2.0}}, "duplicate edge"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    EXPECT_EQ(state.RemoveEdges(c.batch, &error), -1);
+    EXPECT_NE(error.find(c.expect), std::string::npos) << error;
+    error.clear();
+    EXPECT_EQ(state.UpdateEdgeWeights(c.batch, &error), -1);
+    EXPECT_NE(error.find(c.expect), std::string::npos) << error;
+    EXPECT_EQ(state.geodesic(), geodesic_before);
+    ExpectMatrixNear(state.beliefs(), beliefs_before, 0.0);
+  }
+  // Reweighting validates the new weight; removal names edges by their
+  // endpoints and ignores it.
+  std::string error;
+  EXPECT_EQ(state.UpdateEdgeWeights({{0, 1, std::nan("")}}, &error), -1);
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  EXPECT_GE(state.RemoveEdges({{0, 1, std::nan("")}}, &error), 0) << error;
+
+  // Hostile belief batches error out the same way.
+  DenseMatrix row(1, 2);
+  row.At(0, 0) = 0.05;
+  row.At(0, 1) = -0.05;
+  error.clear();
+  EXPECT_EQ(state.AddExplicitBeliefs({7}, row, &error), -1);
+  EXPECT_NE(error.find("outside"), std::string::npos) << error;
+  error.clear();
+  EXPECT_EQ(state.AddExplicitBeliefs({1}, DenseMatrix(1, 3), &error), -1);
+  EXPECT_NE(error.find("coupling has 2"), std::string::npos) << error;
+}
+
+TEST(SbpStateTest, RejectsDuplicateEdgeWithoutAborting) {
   const Graph g = PathGraph(3);
   SbpState state = SbpState::FromGraph(
       g, HomophilyCoupling2().ScaledResidual(0.3), DenseMatrix(3, 2), {});
-  EXPECT_DEATH(state.AddEdges({{0, 1, 1.0}}), "duplicate");
+  std::string error;
+  EXPECT_EQ(state.AddEdges({{0, 1, 1.0}}, &error), -1);
+  EXPECT_NE(error.find("already exists"), std::string::npos) << error;
 }
 
 // Randomized equivalence: a sequence of incremental updates always matches
@@ -260,6 +358,72 @@ TEST_P(SbpIncrementalRandomTest, WeightedEdgeBatchesMatchFromScratch) {
   all_edges.insert(all_edges.end(), batch.begin(), batch.end());
   ExpectStateMatchesFromScratch(state, Graph(n, all_edges), hhat,
                                 seeded.residuals, seeded.explicit_nodes);
+}
+
+TEST_P(SbpIncrementalRandomTest, RemovalBatchesMatchFromScratch) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 6151 + 3);
+  const std::int64_t n = 35;
+  // Sparse start so removals disconnect nodes often (the hard case:
+  // geodesics reverting to unreachable and rows zeroing).
+  const Graph start = ErdosRenyiGraph(n, 40, seed + 5);
+  const DenseMatrix hhat = testing::RandomResidualCoupling(3, 0.25, seed + 6);
+  const SeededBeliefs seeded = SeedPaperBeliefs(n, 3, 4, seed + 7);
+  SbpState state = SbpState::FromGraph(start, hhat, seeded.residuals,
+                                       seeded.explicit_nodes);
+  std::vector<Edge> all_edges = start.edges();
+
+  for (int round = 0; round < 4 && !all_edges.empty(); ++round) {
+    // Remove a random batch of distinct existing edges.
+    const std::int64_t want = std::min<std::int64_t>(
+        1 + rng.NextInt(0, 3), static_cast<std::int64_t>(all_edges.size()));
+    std::vector<Edge> batch;
+    for (std::int64_t i = 0; i < want; ++i) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.NextInt(0, static_cast<std::int64_t>(all_edges.size()) - 1));
+      batch.push_back(all_edges[pick]);
+      all_edges[pick] = all_edges.back();
+      all_edges.pop_back();
+    }
+    std::string error;
+    ASSERT_GE(state.RemoveEdges(batch, &error), 0) << error;
+    const Graph updated(n, all_edges);
+    ExpectStateMatchesFromScratch(state, updated, hhat, seeded.residuals,
+                                  seeded.explicit_nodes);
+  }
+}
+
+TEST_P(SbpIncrementalRandomTest, ReweightBatchesMatchFromScratch) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 389 + 29);
+  const std::int64_t n = 25;
+  const Graph start = RandomWeightedConnectedGraph(n, 10, 0.5, 2.0, seed);
+  const DenseMatrix hhat = testing::RandomResidualCoupling(2, 0.2, seed + 1);
+  const SeededBeliefs seeded = SeedPaperBeliefs(n, 2, 3, seed + 2);
+  SbpState state = SbpState::FromGraph(start, hhat, seeded.residuals,
+                                       seeded.explicit_nodes);
+  std::vector<Edge> all_edges = start.edges();
+
+  for (int round = 0; round < 3; ++round) {
+    // Reweight a batch of distinct existing edges.
+    std::vector<Edge> batch;
+    std::vector<std::size_t> picked;
+    while (batch.size() < 3) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.NextInt(0, static_cast<std::int64_t>(all_edges.size()) - 1));
+      if (std::find(picked.begin(), picked.end(), pick) != picked.end()) {
+        continue;
+      }
+      picked.push_back(pick);
+      const double weight = 0.25 + 1.5 * rng.NextDouble();
+      all_edges[pick].weight = weight;
+      batch.push_back({all_edges[pick].u, all_edges[pick].v, weight});
+    }
+    std::string error;
+    ASSERT_GE(state.UpdateEdgeWeights(batch, &error), 0) << error;
+    ExpectStateMatchesFromScratch(state, Graph(n, all_edges), hhat,
+                                  seeded.residuals, seeded.explicit_nodes);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SbpIncrementalRandomTest,

@@ -1,0 +1,141 @@
+// Replay parity: applying an interleaved add/delete/reweight/belief
+// trace against a WARM incremental state must land on the same beliefs
+// as a from-scratch solve of the final problem, for LinBP and SBP, at
+// every thread count. This is the end-to-end guarantee behind
+// `linbp_cli serve`: a long-lived server that has consumed a stream is
+// indistinguishable (to 1e-9) from one freshly booted on the final graph.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/convergence.h"
+#include "src/core/coupling.h"
+#include "src/core/linbp.h"
+#include "src/core/linbp_incremental.h"
+#include "src/core/sbp.h"
+#include "src/core/sbp_incremental.h"
+#include "src/dataset/registry.h"
+#include "src/dataset/update_stream.h"
+#include "src/exec/exec_context.h"
+#include "src/graph/graph.h"
+#include "src/la/dense_matrix.h"
+
+namespace linbp {
+namespace dataset {
+namespace {
+
+struct ParityCase {
+  const char* spec;
+  std::uint64_t seed;
+  int threads;  // 0 = ExecContext::Default() (honors LINBP_THREADS)
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ParityCase>& info) {
+  std::string name = info.param.spec;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_t" + std::to_string(info.param.threads);
+}
+
+class ReplayParityTest : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(ReplayParityTest, WarmReplayMatchesColdSolve) {
+  const ParityCase& param = GetParam();
+  const exec::ExecContext ctx =
+      param.threads == 0 ? exec::ExecContext::Default()
+                         : exec::ExecContext::WithThreads(param.threads);
+
+  std::string error;
+  const auto scenario = MakeScenario(param.spec, &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+
+  UpdateTraceOptions trace_options;
+  trace_options.num_ops = 48;
+  trace_options.seed = param.seed;
+  const UpdateTrace trace = GenerateUpdateTrace(*scenario, trace_options);
+  const std::int64_t n = scenario->graph.num_nodes();
+  const Graph start(n, trace.start_edges);
+
+  // The cold side: the final problem after every update.
+  std::vector<Edge> final_edges = trace.start_edges;
+  DenseMatrix final_residuals = scenario->explicit_residuals;
+  ASSERT_TRUE(ApplyUpdateOpsToProblem(trace.ops, n, &final_edges,
+                                      &final_residuals, &error))
+      << error;
+  const Graph final_graph(n, final_edges);
+
+  // One eps convergent on BOTH endpoint graphs, so the warm replay and
+  // the cold solve share a well-posed fixed point.
+  const CouplingMatrix coupling = scenario->Coupling();
+  const double eps =
+      0.5 * std::min(ExactEpsilonThreshold(start, coupling,
+                                           LinBpVariant::kLinBp),
+                     ExactEpsilonThreshold(final_graph, coupling,
+                                           LinBpVariant::kLinBp));
+  ASSERT_GT(eps, 0.0);
+  const DenseMatrix hhat = coupling.ScaledResidual(eps);
+
+  LinBpOptions options;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-13;
+  options.exec = ctx;
+
+  // LinBP: warm replay op by op.
+  LinBpState warm(start, hhat, scenario->explicit_residuals, options);
+  ASSERT_TRUE(warm.converged());
+  for (const UpdateOp& op : trace.ops) {
+    ASSERT_GE(ApplyUpdateOp(op, &warm, &error), 0)
+        << FormatUpdateOp(op) << ": " << error;
+    ASSERT_TRUE(warm.converged()) << FormatUpdateOp(op);
+  }
+  const LinBpState cold(final_graph, hhat, final_residuals, options);
+  ASSERT_TRUE(cold.converged());
+  EXPECT_LE(warm.beliefs().MaxAbsDiff(cold.beliefs()), 1e-9);
+
+  // SBP: same trace against the single-pass state.
+  SbpState sbp = SbpState::FromGraph(start, coupling.residual(),
+                                     scenario->explicit_residuals,
+                                     scenario->explicit_nodes, ctx);
+  for (const UpdateOp& op : trace.ops) {
+    ASSERT_GE(ApplyUpdateOp(op, &sbp, &error), 0)
+        << FormatUpdateOp(op) << ": " << error;
+  }
+  std::vector<std::int64_t> final_explicit;
+  for (std::int64_t v = 0; v < final_residuals.rows(); ++v) {
+    for (std::int64_t c = 0; c < final_residuals.cols(); ++c) {
+      if (final_residuals.At(v, c) != 0.0) {
+        final_explicit.push_back(v);
+        break;
+      }
+    }
+  }
+  const SbpResult sbp_cold = RunSbp(final_graph, coupling.residual(),
+                                    final_residuals, final_explicit, ctx);
+  EXPECT_EQ(sbp.geodesic(), sbp_cold.geodesic);
+  EXPECT_LE(sbp.beliefs().MaxAbsDiff(sbp_cold.beliefs), 1e-9);
+}
+
+// Serial and 4-thread contexts explicitly (bit-identical kernels make
+// the 1e-9 bound thread-count independent), plus Default() so a CI pass
+// with LINBP_THREADS set exercises whatever it asks for.
+INSTANTIATE_TEST_SUITE_P(
+    Traces, ReplayParityTest,
+    ::testing::Values(
+        ParityCase{"sbm:n=300,k=3,deg=6,mode=homophily,seed=5", 21, 1},
+        ParityCase{"sbm:n=300,k=3,deg=6,mode=homophily,seed=5", 21, 4},
+        ParityCase{"sbm:n=250,k=2,deg=7,mode=heterophily,seed=6", 22, 4},
+        ParityCase{"rmat:scale=8,ef=5,k=3,seed=7", 23, 1},
+        ParityCase{"rmat:scale=8,ef=5,k=3,seed=7", 23, 4},
+        ParityCase{"fraud:users=150,products=80,seed=8", 24, 0},
+        ParityCase{"dblp:papers=120,authors=130,terms=60,seed=9", 25, 0},
+        ParityCase{"kronecker:g=2,seed=10", 26, 4}),
+    CaseName);
+
+}  // namespace
+}  // namespace dataset
+}  // namespace linbp

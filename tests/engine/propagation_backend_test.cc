@@ -222,5 +222,73 @@ TEST(LinBpStateBackendTest, FailedDuplicateNodeUpdateRollsBackExactly) {
   EXPECT_EQ(tested.beliefs().MaxAbsDiff(control.beliefs()), 0.0);
 }
 
+// Every edge mutation must roll back BOTH the rebuilt graph and the
+// beliefs when the warm re-solve fails mid-stream; afterwards the state
+// must behave exactly like one that never saw the failure.
+TEST(LinBpStateBackendTest, FailedEdgeMutationsRollBackGraphAndBeliefs) {
+  const Graph graph = TestGraph();
+  const DenseMatrix hhat =
+      KroneckerExperimentCoupling().ScaledResidual(0.001);
+  const DenseMatrix residuals = TestBeliefs(graph, 3, 61);
+
+  const auto owned = std::make_shared<Graph>(graph);
+  auto flaky = std::make_shared<FlakyBackend>(owned.get());
+  LinBpState tested(owned, flaky, hhat, residuals);
+  LinBpState control(graph, hhat, residuals);
+  ASSERT_EQ(tested.beliefs().MaxAbsDiff(control.beliefs()), 0.0);
+
+  const Edge existing = graph.edges().front();
+  const std::vector<Edge> added = {{0, graph.num_nodes() - 1, 0.8}};
+  const std::vector<Edge> removed = {{existing.u, existing.v, 1.0}};
+  const std::vector<Edge> reweighted = {{existing.u, existing.v, 2.5}};
+
+  struct Case {
+    const char* name;
+    int (LinBpState::*mutate)(const std::vector<Edge>&, std::string*);
+    const std::vector<Edge>* batch;
+  };
+  const Case cases[] = {
+      {"AddEdges", &LinBpState::AddEdges, &added},
+      {"RemoveEdges", &LinBpState::RemoveEdges, &removed},
+      {"UpdateEdgeWeights", &LinBpState::UpdateEdgeWeights, &reweighted},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    flaky->FailNextProduct();
+    std::string error;
+    EXPECT_EQ((tested.*c.mutate)(*c.batch, &error), -1);
+    EXPECT_NE(error.find("injected stream failure"), std::string::npos)
+        << error;
+    EXPECT_EQ(tested.graph().num_undirected_edges(),
+              control.graph().num_undirected_edges());
+    EXPECT_EQ(tested.beliefs().MaxAbsDiff(control.beliefs()), 0.0);
+  }
+
+  // A rollback that restored the beliefs but left the rebuilt graph (or
+  // vice versa) would desync these replays from the control state. Each
+  // batch is valid at its position: add the new edge, reweight it, then
+  // remove the original edge.
+  const std::vector<Edge> added_reweighted = {
+      {0, graph.num_nodes() - 1, 2.5}};
+  const Case replay[] = {
+      {"AddEdges", &LinBpState::AddEdges, &added},
+      {"UpdateEdgeWeights", &LinBpState::UpdateEdgeWeights,
+       &added_reweighted},
+      {"RemoveEdges", &LinBpState::RemoveEdges, &removed},
+  };
+  for (const Case& c : replay) {
+    SCOPED_TRACE(c.name);
+    std::string tested_error;
+    std::string control_error;
+    const int tested_sweeps = (tested.*c.mutate)(*c.batch, &tested_error);
+    EXPECT_GE(tested_sweeps, 0) << tested_error;
+    EXPECT_EQ(tested_sweeps, (control.*c.mutate)(*c.batch, &control_error))
+        << tested_error << " vs " << control_error;
+    EXPECT_EQ(tested.graph().num_undirected_edges(),
+              control.graph().num_undirected_edges());
+    EXPECT_EQ(tested.beliefs().MaxAbsDiff(control.beliefs()), 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace linbp

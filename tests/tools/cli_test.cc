@@ -487,6 +487,141 @@ TEST(RunPipelineTest, HeterophilyFlipsTheMiddle) {
   EXPECT_EQ(rows[1], "1 1");
 }
 
+TEST(RunServeTest, AnswersQueriesAndAppliesUpdates) {
+  ServeOptions options;
+  options.scenario = "sbm:n=60,k=3,deg=5,seed=4";
+  std::istringstream in(
+      "stats\n"
+      "# a comment between commands\n"
+      "q 0 5\n"
+      "a 0 59 1.0\n"
+      "d 0 59\n"
+      "labels\n"
+      "quit\n");
+  std::ostringstream out;
+  std::string error;
+  ASSERT_EQ(RunServe(options, in, out, &error), 0) << error;
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  // stats + 2 query labels + 2 update acks + 60 labels.
+  ASSERT_EQ(rows.size(), 65u) << out.str();
+  EXPECT_NE(rows[0].find("nodes=60"), std::string::npos) << rows[0];
+  EXPECT_NE(rows[0].find("converged=1"), std::string::npos) << rows[0];
+  EXPECT_EQ(rows[1].rfind("0 ", 0), 0u) << rows[1];
+  EXPECT_EQ(rows[2].rfind("5 ", 0), 0u) << rows[2];
+  EXPECT_EQ(rows[3].rfind("ok sweeps=", 0), 0u) << rows[3];
+  EXPECT_EQ(rows[4].rfind("ok sweeps=", 0), 0u) << rows[4];
+  // Adding then deleting edge (0, 59) restores the initial labels.
+  EXPECT_EQ(rows[5], rows[1]);
+}
+
+TEST(RunServeTest, HostileLinesGetErrorRepliesAndTouchNothing) {
+  ServeOptions options;
+  options.scenario = "sbm:n=40,k=2,deg=4,seed=6";
+  // Every line between the two stats probes is invalid in its own way:
+  // grammar, range, semantics, numerics, and unknown commands.
+  const std::vector<std::string> hostile = {
+      "a 0 0 1.0",            // self-loop
+      "a 0 99 1.0",           // endpoint out of range
+      "a 0 1 nan",            // non-finite weight
+      "a 0 1",                // missing field
+      "d 7 8",                // edge that does not exist
+      "w 7 8 2.0",            // reweight of a missing edge
+      "b 0 3 0.1 0.0 -0.1",   // wrong class count (k=2)
+      "b 99 2 0.1 -0.1",      // node out of range
+      "b 0 2 0.1 oops",       // malformed residual
+      "q 99",                 // query out of range
+      "q zero",               // malformed query id
+      "labels now",           // labels takes no arguments
+      "frobnicate 1 2",       // unknown command
+  };
+  std::string script = "stats\n";
+  for (const std::string& line : hostile) script += line + "\n";
+  script += "stats\nquit\n";
+  std::istringstream in(script);
+  std::ostringstream out;
+  std::string error;
+  ASSERT_EQ(RunServe(options, in, out, &error), 0) << error;
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), hostile.size() + 2) << out.str();
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_EQ(rows[i + 1].rfind("error: ", 0), 0u)
+        << "'" << hostile[i] << "' got: " << rows[i + 1];
+  }
+  // The state never moved: the stats lines bracket the abuse unchanged.
+  EXPECT_EQ(rows.front(), rows.back());
+}
+
+TEST(RunServeTest, DivergentEpsFailsSetupCleanly) {
+  ServeOptions options;
+  options.scenario = "sbm:n=30,k=2,deg=4,seed=8";
+  options.eps = "25.0";
+  std::istringstream in("stats\n");
+  std::ostringstream out;
+  std::string error;
+  EXPECT_EQ(RunServe(options, in, out, &error), 1);
+  EXPECT_NE(error.find("did not converge"), std::string::npos) << error;
+}
+
+// The in-process version of the CI round-trip: trace a scenario, feed
+// the stream through serve warm, and demand byte-identical labels to a
+// cold pipeline run on the final snapshot at the same eps.
+TEST(RunServeTest, TraceThenServeMatchesColdSolve) {
+  const std::string dir = TempPath("cli_trace_roundtrip");
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunMain({"trace", "--scenario=sbm:n=80,k=3,deg=5,seed=12",
+                     "--ops=30", "--seed=3", "--out-dir=" + dir},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_NE(output.find("30 ops"), std::string::npos) << output;
+
+  std::ifstream eps_in(dir + "/eps.txt");
+  std::string eps;
+  ASSERT_TRUE(std::getline(eps_in, eps));
+
+  std::ifstream updates(dir + "/updates.txt");
+  std::stringstream script;
+  script << updates.rdbuf();
+  script << "labels\n";
+
+  ServeOptions serve;
+  serve.scenario = "snap:path=" + dir + "/start.lbps";
+  serve.eps = eps;
+  std::ostringstream served;
+  ASSERT_EQ(RunServe(serve, script, served, &error), 0) << error;
+
+  // Split the serve output into update acks and label lines.
+  std::istringstream lines(served.str());
+  std::string line;
+  std::string warm_labels;
+  int acks = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("ok sweeps=", 0) == 0) {
+      ++acks;
+    } else {
+      ASSERT_NE(line.rfind("error: ", 0), 0u) << line;
+      warm_labels += line + "\n";
+    }
+  }
+  EXPECT_EQ(acks, 30);
+
+  Options cold;
+  cold.scenario = "snap:path=" + dir + "/final.lbps";
+  cold.eps = eps;
+  std::string cold_labels;
+  ASSERT_EQ(RunPipeline(cold, &cold_labels, &error), 0) << error;
+  EXPECT_EQ(warm_labels, cold_labels);
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace linbp

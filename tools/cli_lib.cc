@@ -1,22 +1,28 @@
 #include "tools/cli_lib.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
+#include <utility>
 
 #include "src/core/bp.h"
 #include "src/core/convergence.h"
 #include "src/core/coupling.h"
 #include "src/core/labeling.h"
 #include "src/core/linbp.h"
+#include "src/core/linbp_incremental.h"
 #include "src/core/sbp.h"
 #include "src/dataset/registry.h"
 #include "src/dataset/scenario.h"
 #include "src/dataset/shard.h"
 #include "src/dataset/snapshot.h"
+#include "src/dataset/update_stream.h"
 #include "src/engine/shard_stream_backend.h"
 #include "src/exec/exec_context.h"
 #include "src/graph/beliefs.h"
@@ -311,6 +317,128 @@ int RunInfo(const InfoOptions& options, std::string* output,
   return 0;
 }
 
+// Shared eps_H selection: an explicit positive value, or half the exact
+// Lemma 8 threshold of `graph` for the chosen variant.
+bool ResolveEps(const std::string& spec, const Graph& graph,
+                const CouplingMatrix& coupling, LinBpVariant variant,
+                double* eps, std::string* error) {
+  if (spec == "auto") {
+    const double threshold = ExactEpsilonThreshold(graph, coupling, variant);
+    *eps = std::isfinite(threshold) ? 0.5 * threshold : 1.0;
+    return true;
+  }
+  *eps = std::atof(spec.c_str());
+  if (!(*eps > 0.0)) {
+    *error = "--eps must be positive or 'auto'";
+    return false;
+  }
+  return true;
+}
+
+// Strict node-id parse for the serve REPL's `q` lines.
+bool ParseNodeIdToken(const std::string& token, std::int64_t* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (*end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<std::int64_t>(value);
+  return true;
+}
+
+// One "v class [class...]" line per queried node, from the rows of
+// `beliefs` named by `nodes` (the full-graph `labels` command passes
+// every node).
+void EmitTopBeliefLines(const DenseMatrix& beliefs,
+                        const std::vector<std::int64_t>& nodes,
+                        std::ostream& out) {
+  DenseMatrix rows(static_cast<std::int64_t>(nodes.size()), beliefs.cols());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::int64_t c = 0; c < beliefs.cols(); ++c) {
+      rows.At(static_cast<std::int64_t>(i), c) = beliefs.At(nodes[i], c);
+    }
+  }
+  const TopBeliefAssignment top = TopBeliefs(rows);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out << nodes[i];
+    for (const int cls : top.classes[i]) out << ' ' << cls;
+    out << '\n';
+  }
+}
+
+std::optional<ServeOptions> ParseServeOptions(
+    const std::vector<std::string>& args, std::string* error) {
+  ServeOptions options;
+  for (const std::string& arg : args) {
+    if (auto v = FlagValue(arg, "--scenario=")) {
+      options.scenario = *v;
+    } else if (auto v = FlagValue(arg, "--coupling=")) {
+      options.coupling = *v;
+    } else if (auto v = FlagValue(arg, "--method=")) {
+      options.method = *v;
+    } else if (auto v = FlagValue(arg, "--eps=")) {
+      options.eps = *v;
+    } else if (auto v = FlagValue(arg, "--threads=")) {
+      if (!ParseThreadsFlag(*v, &options.threads, error)) return std::nullopt;
+    } else {
+      *error = "unknown argument: " + arg;
+      return std::nullopt;
+    }
+  }
+  if (options.scenario.empty()) {
+    *error = "serve: --scenario is required";
+    return std::nullopt;
+  }
+  if (options.method != "linbp" && options.method != "linbp*") {
+    *error = "serve supports --method=linbp or linbp* (the warm state is "
+             "linearized)";
+    return std::nullopt;
+  }
+  return options;
+}
+
+std::optional<TraceOptions> ParseTraceOptions(
+    const std::vector<std::string>& args, std::string* error) {
+  TraceOptions options;
+  for (const std::string& arg : args) {
+    if (auto v = FlagValue(arg, "--scenario=")) {
+      options.scenario = *v;
+    } else if (auto v = FlagValue(arg, "--out-dir=")) {
+      options.out_dir = *v;
+    } else if (auto v = FlagValue(arg, "--ops=")) {
+      std::int64_t parsed = 0;
+      if (!ParseNodeIdToken(*v, &parsed) || parsed < 1) {
+        *error = "--ops must be a number >= 1";
+        return std::nullopt;
+      }
+      options.ops = parsed;
+    } else if (auto v = FlagValue(arg, "--seed=")) {
+      std::int64_t parsed = 0;
+      if (!ParseNodeIdToken(*v, &parsed) || parsed < 0) {
+        *error = "--seed must be a number >= 0";
+        return std::nullopt;
+      }
+      options.seed = static_cast<std::uint64_t>(parsed);
+    } else if (auto v = FlagValue(arg, "--method=")) {
+      options.method = *v;
+    } else if (auto v = FlagValue(arg, "--threads=")) {
+      if (!ParseThreadsFlag(*v, &options.threads, error)) return std::nullopt;
+    } else {
+      *error = "unknown argument: " + arg;
+      return std::nullopt;
+    }
+  }
+  if (options.scenario.empty() || options.out_dir.empty()) {
+    *error = "trace: --scenario and --out-dir are required";
+    return std::nullopt;
+  }
+  if (options.method != "linbp" && options.method != "linbp*") {
+    *error = "trace supports --method=linbp or linbp*";
+    return std::nullopt;
+  }
+  return options;
+}
+
 int RunList(std::string* output) {
   std::ostringstream lines;
   lines << "registered scenarios (--scenario=name:key=value,...):\n";
@@ -336,6 +464,10 @@ std::string Usage() {
       "          [--out-beliefs=FILE] [--out-labels=FILE]\n"
       "linbp_cli shard --scenario=SPEC --out-dir=DIR [--shards=N]\n"
       "linbp_cli info --snapshot=FILE|MANIFEST\n"
+      "linbp_cli serve --scenario=SPEC [--coupling=PRESET|FILE]\n"
+      "          [--method=linbp|linbp*] [--eps=auto|VALUE] [--threads=N]\n"
+      "linbp_cli trace --scenario=SPEC --out-dir=DIR [--ops=N] [--seed=S]\n"
+      "          [--method=linbp|linbp*]\n"
       "  EDGES:   'u v [w]' per line;  BELIEFS: 'v c b' per line\n"
       "  SPEC:    e.g. sbm:n=10000,k=4,mode=heterophily | snap:path=g.lbps\n"
       "           (snap: also accepts a shard manifest; see "
@@ -345,7 +477,13 @@ std::string Usage() {
       "  threads: 0 = all hardware threads; default: LINBP_THREADS or 1\n"
       "  stream:  out-of-core solve over a snap:path=MANIFEST spec; the\n"
       "           shards stream with prefetch (peak CSR = 2 blocks) and\n"
-      "           labels match the in-memory run bit for bit\n";
+      "           labels match the in-memory run bit for bit\n"
+      "  serve:   REPL on stdin; per line: a u v w | d u v | w u v w |\n"
+      "           b node k r_1..r_k | q v [v...] | labels | stats | quit.\n"
+      "           Updates reply 'ok sweeps=N' or 'error: ...' (state\n"
+      "           untouched on error); queries reply label lines\n"
+      "  trace:   writes start.lbps, final.lbps, updates.txt, eps.txt for\n"
+      "           the serve round-trip (warm replay vs cold solve)\n";
 }
 
 std::optional<Options> ParseOptions(const std::vector<std::string>& args,
@@ -664,6 +802,199 @@ int RunPipeline(const Options& options, std::string* output,
   return EmitLabelLines(top, graph.num_nodes(), options, output, error);
 }
 
+int RunServe(const ServeOptions& options, std::istream& in,
+             std::ostream& out, std::string* error) {
+  const exec::ExecContext ctx = ContextFor(options.threads);
+  Options build;
+  build.scenario = options.scenario;
+  build.coupling = options.coupling;
+  auto scenario = BuildProblem(build, ctx, error);
+  if (!scenario.has_value()) return 1;
+  if (scenario->explicit_nodes.empty()) {
+    *error = "no explicit beliefs";
+    return 1;
+  }
+  const CouplingMatrix coupling = scenario->Coupling();
+  const LinBpVariant variant = options.method == "linbp*"
+                                   ? LinBpVariant::kLinBpStar
+                                   : LinBpVariant::kLinBp;
+  double eps = 0.0;
+  if (!ResolveEps(options.eps, scenario->graph, coupling, variant, &eps,
+                  error)) {
+    return 1;
+  }
+  LinBpOptions lin_options;
+  lin_options.variant = variant;
+  lin_options.max_iterations = 1000;
+  lin_options.exec = ctx;
+  const std::int64_t k = scenario->k;
+  const std::int64_t n = scenario->graph.num_nodes();
+  LinBpState state(std::move(scenario->graph), coupling.ScaledResidual(eps),
+                   std::move(scenario->explicit_residuals), lin_options);
+  if (!state.converged()) {
+    *error = state.last_error().empty()
+                 ? "initial solve did not converge; lower --eps"
+                 : state.last_error();
+    return 1;
+  }
+
+  // The REPL: one reply per line, errors never abort and never touch the
+  // state. Updates go through the same strict parser as stream files.
+  std::string line;
+  while (std::getline(in, line)) {
+    if (dataset::IsUpdateStreamComment(line)) continue;
+    std::istringstream fields(line);
+    std::string command;
+    fields >> command;
+    if (command == "quit") break;
+    if (command == "stats") {
+      out << "nodes=" << n << " edges=" << state.graph().num_undirected_edges()
+          << " k=" << k << " eps=" << eps
+          << " converged=" << (state.converged() ? 1 : 0)
+          << " cold_sweeps=" << state.cold_start_iterations() << '\n';
+      continue;
+    }
+    if (command == "labels") {
+      std::string extra;
+      if (fields >> extra) {
+        out << "error: labels takes no arguments\n";
+        continue;
+      }
+      std::vector<std::int64_t> all(static_cast<std::size_t>(n));
+      for (std::int64_t v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+      EmitTopBeliefLines(state.beliefs(), all, out);
+      continue;
+    }
+    if (command == "q") {
+      std::vector<std::int64_t> nodes;
+      std::string token;
+      bool ok = true;
+      while (fields >> token) {
+        std::int64_t node = 0;
+        if (!ParseNodeIdToken(token, &node)) {
+          out << "error: malformed node id '" << token << "'\n";
+          ok = false;
+          break;
+        }
+        if (node < 0 || node >= n) {
+          out << "error: node " << node << " outside [0, " << n << ")\n";
+          ok = false;
+          break;
+        }
+        nodes.push_back(node);
+      }
+      if (!ok) continue;
+      if (nodes.empty()) {
+        out << "error: q needs at least one node id\n";
+        continue;
+      }
+      EmitTopBeliefLines(state.beliefs(), nodes, out);
+      continue;
+    }
+    if (command == "a" || command == "d" || command == "w" ||
+        command == "b") {
+      dataset::UpdateOp op;
+      std::string problem;
+      if (!dataset::ParseUpdateLine(line, k, &op, &problem)) {
+        out << "error: " << problem << '\n';
+        continue;
+      }
+      const int sweeps = dataset::ApplyUpdateOp(op, &state, &problem);
+      if (sweeps < 0) {
+        out << "error: " << problem << '\n';
+      } else {
+        out << "ok sweeps=" << sweeps << '\n';
+      }
+      continue;
+    }
+    out << "error: unknown command '" << command
+        << "' (a d w b q labels stats quit)\n";
+  }
+  return 0;
+}
+
+int RunTrace(const TraceOptions& options, std::string* output,
+             std::string* error) {
+  const exec::ExecContext ctx = ContextFor(options.threads);
+  auto scenario = dataset::MakeScenario(options.scenario, error, ctx);
+  if (!scenario.has_value()) return 1;
+  if (scenario->explicit_nodes.empty()) {
+    *error = "trace: scenario has no explicit beliefs to serve";
+    return 1;
+  }
+  dataset::UpdateTraceOptions trace_options;
+  trace_options.num_ops = options.ops;
+  trace_options.seed = options.seed;
+  const dataset::UpdateTrace trace =
+      dataset::GenerateUpdateTrace(*scenario, trace_options);
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.out_dir, ec);
+  const std::filesystem::path dir(options.out_dir);
+
+  // Start side: the scenario minus the held-out edges the trace re-adds.
+  dataset::Scenario start = *scenario;
+  start.graph = Graph(scenario->graph.num_nodes(), trace.start_edges);
+  if (!dataset::SaveSnapshot(start, (dir / "start.lbps").string(), error)) {
+    return 1;
+  }
+
+  // Final side: every update applied to the plain problem description.
+  std::vector<Edge> final_edges = trace.start_edges;
+  DenseMatrix final_residuals = scenario->explicit_residuals;
+  if (!dataset::ApplyUpdateOpsToProblem(trace.ops,
+                                        scenario->graph.num_nodes(),
+                                        &final_edges, &final_residuals,
+                                        error)) {
+    return 1;
+  }
+  dataset::Scenario final_scenario = *scenario;
+  final_scenario.graph = Graph(scenario->graph.num_nodes(), final_edges);
+  final_scenario.explicit_residuals = std::move(final_residuals);
+  if (!dataset::SaveSnapshot(final_scenario, (dir / "final.lbps").string(),
+                             error)) {
+    return 1;
+  }
+
+  if (!dataset::WriteUpdateStream(trace.ops,
+                                  (dir / "updates.txt").string())) {
+    *error = (dir / "updates.txt").string() + ": cannot write";
+    return 1;
+  }
+
+  // One eps that keeps BOTH endpoints convergent: half the smaller exact
+  // threshold. A warm serve run over the stream and a cold solve of the
+  // final snapshot at this eps land on the same fixed point.
+  const CouplingMatrix coupling = scenario->Coupling();
+  const LinBpVariant variant = options.method == "linbp*"
+                                   ? LinBpVariant::kLinBpStar
+                                   : LinBpVariant::kLinBp;
+  const double threshold =
+      std::min(ExactEpsilonThreshold(start.graph, coupling, variant),
+               ExactEpsilonThreshold(final_scenario.graph, coupling,
+                                     variant));
+  const double eps = std::isfinite(threshold) ? 0.5 * threshold : 1.0;
+  {
+    std::ofstream eps_out(dir / "eps.txt");
+    if (!eps_out) {
+      *error = (dir / "eps.txt").string() + ": cannot write";
+      return 1;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g\n", eps);
+    eps_out << buffer;
+  }
+
+  std::ostringstream lines;
+  lines << scenario->name << ": " << trace.start_edges.size()
+        << " start edges, " << trace.ops.size() << " ops -> "
+        << final_edges.size() << " final edges, eps=" << eps << ", wrote "
+        << options.out_dir << "/{start.lbps, final.lbps, updates.txt, "
+        << "eps.txt}\n";
+  *output = lines.str();
+  return 0;
+}
+
 int RunMain(const std::vector<std::string>& args, std::string* output,
             std::string* error, bool* usage_error) {
   bool parse_failed = false;
@@ -694,6 +1025,28 @@ int RunMain(const std::vector<std::string>& args, std::string* output,
       return 1;
     }
     return RunShard(*options, output, error);
+  }
+  if (!args.empty() && args[0] == "serve") {
+    const auto options = ParseServeOptions(
+        std::vector<std::string>(args.begin() + 1, args.end()), error);
+    if (!options.has_value()) {
+      *usage_error = true;
+      return 1;
+    }
+    // Replies must appear as soon as they are produced (the REPL may sit
+    // on a pipe for hours), so serve streams to std::cout directly
+    // instead of accumulating into *output.
+    output->clear();
+    return RunServe(*options, std::cin, std::cout, error);
+  }
+  if (!args.empty() && args[0] == "trace") {
+    const auto options = ParseTraceOptions(
+        std::vector<std::string>(args.begin() + 1, args.end()), error);
+    if (!options.has_value()) {
+      *usage_error = true;
+      return 1;
+    }
+    return RunTrace(*options, output, error);
   }
   if (!args.empty() && args[0] == "info") {
     InfoOptions options;

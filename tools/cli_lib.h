@@ -13,12 +13,19 @@
 //                                sharded snapshot (manifest + per-row-
 //                                block shard files);
 //   linbp_cli info [flags]       print a snapshot's or shard manifest's
-//                                header.
+//                                header;
+//   linbp_cli serve [flags]      hold a warm LinBP state, answer top-k
+//                                label queries, and consume update-
+//                                stream lines from stdin;
+//   linbp_cli trace [flags]      generate a mixed update trace plus the
+//                                start/final snapshots that bracket it.
 // Kept separate from main() so every step is unit testable.
 
 #ifndef LINBP_TOOLS_CLI_LIB_H_
 #define LINBP_TOOLS_CLI_LIB_H_
 
+#include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -94,6 +101,36 @@ struct InfoOptions {
   std::string snapshot_path;
 };
 
+/// Parsed `serve` options: a long-running warm LinBpState answering
+/// label queries while consuming update-stream lines from stdin.
+struct ServeOptions {
+  /// Scenario spec naming the problem to serve (required).
+  std::string scenario;
+  /// Optional coupling override (preset name or matrix file).
+  std::string coupling;
+  /// linbp | linbp* (the warm state supports the linearized variants).
+  std::string method = "linbp";
+  /// "auto" picks half the Lemma 8 threshold of the STARTING graph;
+  /// pass an explicit value when the graph will grow much denser.
+  std::string eps = "auto";
+  int threads = -1;
+};
+
+/// Parsed `trace` options: generate a mixed update trace from a scenario
+/// and write the serve round-trip artifacts into a directory.
+struct TraceOptions {
+  /// Scenario spec to derive the trace from (required).
+  std::string scenario;
+  /// Output directory (required); receives start.lbps, final.lbps,
+  /// updates.txt, and eps.txt.
+  std::string out_dir;
+  std::int64_t ops = 64;
+  std::uint64_t seed = 1;
+  /// Variant whose convergence threshold eps.txt is computed for.
+  std::string method = "linbp";
+  int threads = -1;
+};
+
 /// Parses main-pipeline argv; returns nullopt and fills *error on unknown
 /// flags or missing required arguments.
 std::optional<Options> ParseOptions(const std::vector<std::string>& args,
@@ -107,6 +144,26 @@ std::string Usage();
 /// options.output_path if set).
 int RunPipeline(const Options& options, std::string* output,
                 std::string* error);
+
+/// Runs the serve REPL: solves the scenario cold, then answers one
+/// reply line per input line on `out` until EOF or `quit`:
+///   a/d/w/b <update-stream line>  ->  "ok sweeps=N" | "error: ..."
+///   q v [v...]                    ->  one "v class [class...]" per node
+///   labels                        ->  label lines for every node
+///   stats                         ->  one summary line
+/// Malformed or invalid lines get an "error: ..." reply and leave the
+/// state untouched; the loop never aborts on input. Returns nonzero only
+/// for setup failures (bad scenario, initial solve divergence).
+int RunServe(const ServeOptions& options, std::istream& in,
+             std::ostream& out, std::string* error);
+
+/// Generates a mixed update trace from the scenario and writes
+/// out_dir/{start.lbps, final.lbps, updates.txt, eps.txt}: the warm
+/// starting snapshot, the snapshot with every update applied, the
+/// stream between them, and an eps valid for BOTH graphs (half the
+/// smaller exact threshold) so warm and cold runs are comparable.
+int RunTrace(const TraceOptions& options, std::string* output,
+             std::string* error);
 
 /// Top-level dispatcher: handles "list", "convert", "info", and the main
 /// pipeline. Fills *output with whatever should go to stdout. When
