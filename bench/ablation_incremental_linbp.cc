@@ -21,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
   const int graph_index = static_cast<int>(args.Int("graph", 4));
   const Graph graph = bench::PaperGraph(graph_index);
   const std::int64_t n = graph.num_nodes();

@@ -40,6 +40,7 @@ double BoundWithNorm(const Graph& graph, const CouplingMatrix& coupling,
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
   const int max_graph = static_cast<int>(args.Int("max-graph", 3));
 
   std::printf("== Ablation: Lemma 9 norm choice (LinBP bound as %% of the "

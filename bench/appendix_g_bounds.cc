@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
   const int max_graph = static_cast<int>(args.Int("max-graph", 3));
 
   std::printf("== Appendix G: BP vs LinBP* convergence bounds ==\n\n");

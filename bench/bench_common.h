@@ -10,11 +10,15 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "src/exec/exec_context.h"
 #include "src/graph/beliefs.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/timer.h"
 
 namespace linbp {
@@ -112,6 +116,55 @@ inline exec::ExecContext ExecFromArgs(const Args& args) {
              ? exec::ExecContext::WithThreads(static_cast<int>(threads))
              : exec::ExecContext::Default();
 }
+
+/// Provenance block for BENCH_*.json records (no surrounding braces, so
+/// callers splice it next to their own fields): the machine's hardware
+/// thread count, the LINBP_THREADS environment override ("" when unset),
+/// and the build type. Recorded numbers are only comparable against
+/// numbers from the same host shape, and this makes that checkable.
+inline std::string HostJsonBlock() {
+  const char* env = std::getenv("LINBP_THREADS");
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"host\": {\"hardware_threads\": %u, "
+                "\"linbp_threads\": \"%s\", \"build\": \"%s\"}",
+                std::thread::hardware_concurrency(),
+                env != nullptr ? env : "",
+#ifdef NDEBUG
+                "Release"
+#else
+                "Debug"
+#endif
+  );
+  return buf;
+}
+
+/// Scoped --metrics-out=FILE support for a bench driver: installs a span
+/// tracer for the driver's lifetime and writes the combined metrics +
+/// trace report on destruction. A driver declares one at the top of
+/// main(); without the flag the guard is a no-op.
+class MetricsDumpGuard {
+ public:
+  explicit MetricsDumpGuard(const Args& args)
+      : path_(args.Str("metrics-out", "")) {
+    if (!path_.empty()) obs::SetActiveTracer(&tracer_);
+  }
+  ~MetricsDumpGuard() {
+    if (path_.empty()) return;
+    obs::SetActiveTracer(nullptr);
+    if (!obs::WriteMetricsReport(path_, obs::Registry::Global(),
+                                 &tracer_)) {
+      std::fprintf(stderr, "error: failed to write metrics report to %s\n",
+                   path_.c_str());
+    }
+  }
+  MetricsDumpGuard(const MetricsDumpGuard&) = delete;
+  MetricsDumpGuard& operator=(const MetricsDumpGuard&) = delete;
+
+ private:
+  std::string path_;
+  obs::Tracer tracer_;
+};
 
 /// "4 sec" / "12.3 ms" style duration rendering.
 inline std::string FormatSeconds(double seconds) {

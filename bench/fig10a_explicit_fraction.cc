@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
   const int graph_index = static_cast<int>(args.Int("graph", 4));
   const int iterations = static_cast<int>(args.Int("iterations", 5));
   const Graph graph = bench::PaperGraph(graph_index);

@@ -28,6 +28,7 @@
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
   const bool check = args.Has("check");
   const int graph_index =
       static_cast<int>(args.Int("graph", check ? 2 : 4));

@@ -22,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
 
   DblpConfig config;
   if (!args.Has("full")) {

@@ -28,6 +28,7 @@
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
 
   const Graph graph = TorusExampleGraph();
   const CouplingMatrix coupling = AuctionCoupling();

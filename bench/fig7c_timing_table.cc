@@ -52,6 +52,7 @@ int RunCheck() {
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
   if (args.Has("check")) return RunCheck();
   const int min_graph = static_cast<int>(args.Int("min-graph", 2));
   const int max_graph = static_cast<int>(args.Int("max-graph", 5));

@@ -103,6 +103,7 @@ int RunCheck() {
 int main(int argc, char** argv) {
   using namespace linbp;
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
   if (args.Has("check")) return RunCheck();
   const int graph_index = static_cast<int>(args.Int("graph", 6));
   const int iterations = static_cast<int>(args.Int("iterations", 5));

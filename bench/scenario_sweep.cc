@@ -289,7 +289,8 @@ int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
       "  \"num_shards\": %lld,\n"
       "  \"sharded_load_seconds\": %.6f,\n"
       "  \"sharded_vs_monolithic\": %.2f,\n"
-      "  \"peak_rss_bytes\": %lld\n"
+      "  \"peak_rss_bytes\": %lld,\n"
+      "  %s\n"
       "}\n",
       spec.c_str(), static_cast<long long>(scenario->graph.num_nodes()),
       static_cast<long long>(scenario->graph.num_undirected_edges()),
@@ -297,7 +298,8 @@ int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
       text_seconds / snap_seconds,
       static_cast<long long>(sharded->num_shards), shard_seconds,
       snap_seconds / shard_seconds,
-      static_cast<long long>(util::PeakRssBytes()));
+      static_cast<long long>(util::PeakRssBytes()),
+      bench::HostJsonBlock().c_str());
   return 0;
 }
 
@@ -384,7 +386,8 @@ int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
       "  \"full_csr_bytes\": %lld,\n"
       "  \"max_block_csr_bytes\": %lld,\n"
       "  \"peak_stream_resident_csr_bytes\": %lld,\n"
-      "  \"peak_rss_bytes\": %lld\n"
+      "  \"peak_rss_bytes\": %lld,\n"
+      "  %s\n"
       "}\n",
       spec.c_str(), static_cast<long long>(scenario->graph.num_nodes()),
       static_cast<long long>(scenario->graph.num_undirected_edges()),
@@ -396,7 +399,8 @@ int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
           scenario->graph.num_directed_edges() * 12),
       static_cast<long long>(backend->reader().max_block_csr_bytes()),
       static_cast<long long>(backend->reader().peak_resident_csr_bytes()),
-      static_cast<long long>(util::PeakRssBytes()));
+      static_cast<long long>(util::PeakRssBytes()),
+      bench::HostJsonBlock().c_str());
   return 0;
 }
 
@@ -404,6 +408,7 @@ int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
   const exec::ExecContext ctx = bench::ExecFromArgs(args);
   if (args.Has("check")) {
     return RunCheck(ctx, args.Str("scenario", ""), args.Int("golden", -1));

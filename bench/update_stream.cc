@@ -259,7 +259,8 @@ int RunBench(const exec::ExecContext& ctx, std::int64_t num_ops,
         "  \"mean_belief_seconds\": %.6g,\n"
         "  \"cold_solve_seconds\": %.6g,\n"
         "  \"cold_vs_warm_update\": %.2f,\n"
-        "  \"warm_vs_cold_max_abs_diff\": %.3g\n"
+        "  \"warm_vs_cold_max_abs_diff\": %.3g,\n"
+        "  %s\n"
         "}\n",
         problem.scenario.spec.c_str(),
         static_cast<long long>(problem.scenario.graph.num_nodes()),
@@ -276,7 +277,8 @@ int RunBench(const exec::ExecContext& ctx, std::int64_t num_ops,
         kind_count[1] > 0 ? kind_seconds[1] / kind_count[1] : 0.0,
         kind_count[2] > 0 ? kind_seconds[2] / kind_count[2] : 0.0,
         kind_count[3] > 0 ? kind_seconds[3] / kind_count[3] : 0.0,
-        cold_seconds, per_update_cold / mean_update, parity);
+        cold_seconds, per_update_cold / mean_update, parity,
+        bench::HostJsonBlock().c_str());
   }
   table.Print();
   std::printf("\n(per-update latency includes the warm re-solve; 'speedup' "
@@ -289,6 +291,7 @@ int RunBench(const exec::ExecContext& ctx, std::int64_t num_ops,
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  const bench::MetricsDumpGuard metrics_guard(args);
   const exec::ExecContext ctx = bench::ExecFromArgs(args);
   if (args.Has("check")) return RunCheck(ctx);
   return RunBench(ctx, args.Int("ops", 48), args.Int("seed", 11));

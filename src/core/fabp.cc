@@ -5,6 +5,7 @@
 #include "src/engine/in_memory_backend.h"
 #include "src/la/kron_ops.h"
 #include "src/la/solvers.h"
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 
 namespace linbp {
@@ -47,7 +48,8 @@ class FabpOperator final : public LinearOperator {
 FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
                    const std::vector<double>& explicit_residuals,
                    int max_iterations, double tolerance,
-                   const exec::ExecContext& exec) {
+                   const exec::ExecContext& exec,
+                   const SweepObserver& observer) {
   LINBP_CHECK(static_cast<std::int64_t>(explicit_residuals.size()) ==
               backend.num_nodes());
   LINBP_CHECK_MSG(std::abs(h) < 0.5, "|h| must be < 1/2");
@@ -55,9 +57,38 @@ FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
   const FabpOperator op(&backend, 2.0 * h / denom, 4.0 * h * h / denom,
                         &exec);
   FabpResult result;
+  // Bridge each Jacobi iteration into the shared sweep telemetry path
+  // (registry series fabp_*; magnitude is not tracked by JacobiSolve, so
+  // it reports as 0).
+  const std::int64_t rows = backend.num_nodes();
+  const std::int64_t nnz = backend.num_stored_entries();
+  const JacobiIterationObserver iteration_observer =
+      [&](int it, double delta, double seconds) {
+        LINBP_OBS_COUNTER_ADD("fabp_sweeps_total", 1);
+        LINBP_OBS_COUNTER_ADD("fabp_rows_processed_total", rows);
+        LINBP_OBS_COUNTER_ADD("fabp_nnz_processed_total", nnz);
+        LINBP_OBS_HISTOGRAM_OBSERVE("fabp_sweep_seconds", seconds);
+        if (observer) {
+          SweepTelemetry telemetry;
+          telemetry.sweep = it;
+          telemetry.delta = delta;
+          telemetry.seconds = seconds;
+          telemetry.rows = rows;
+          telemetry.nnz = nnz;
+          observer(telemetry);
+        }
+      };
   try {
-    const JacobiResult jacobi =
-        JacobiSolve(op, explicit_residuals, max_iterations, tolerance);
+    obs::ScopedSpan span("fabp_solve");
+    const JacobiResult jacobi = JacobiSolve(op, explicit_residuals,
+                                            max_iterations, tolerance,
+                                            iteration_observer);
+    if (span.active()) {
+      span.SetAttr("iterations", jacobi.iterations);
+      span.SetAttr("delta", jacobi.last_delta);
+      span.SetAttr("rows", rows);
+      span.SetAttr("nnz", nnz);
+    }
     result.beliefs = jacobi.solution;
     result.iterations = jacobi.iterations;
     result.converged = jacobi.converged;
@@ -71,10 +102,11 @@ FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
 FabpResult RunFabp(const Graph& graph, double h,
                    const std::vector<double>& explicit_residuals,
                    int max_iterations, double tolerance,
-                   const exec::ExecContext& exec) {
+                   const exec::ExecContext& exec,
+                   const SweepObserver& observer) {
   const engine::InMemoryBackend backend(&graph);
   return RunFabp(backend, h, explicit_residuals, max_iterations, tolerance,
-                 exec);
+                 exec, observer);
 }
 
 }  // namespace linbp

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/linbp.h"
 #include "src/engine/propagation_backend.h"
 #include "src/exec/exec_context.h"
 #include "src/graph/graph.h"
@@ -37,19 +38,23 @@ struct FabpResult {
 /// h > 0, heterophily h < 0, |h| < 1/2) and `explicit_residuals` the
 /// per-node scalar priors (0 if unlabeled). The per-sweep SpMV and
 /// scaling run on `exec` (bit-identical across backends and thread
-/// counts: per-row ownership throughout).
+/// counts: per-row ownership throughout). `observer` receives one
+/// SweepTelemetry per Jacobi iteration (a FaBP "sweep"); independent of
+/// it, iterations record into the global obs registry and active tracer.
 FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
                    const std::vector<double>& explicit_residuals,
                    int max_iterations = 1000, double tolerance = 1e-13,
                    const exec::ExecContext& exec =
-                       exec::ExecContext::Default());
+                       exec::ExecContext::Default(),
+                   const SweepObserver& observer = {});
 
 /// RunFabp on a resident graph (wraps engine::InMemoryBackend).
 FabpResult RunFabp(const Graph& graph, double h,
                    const std::vector<double>& explicit_residuals,
                    int max_iterations = 1000, double tolerance = 1e-13,
                    const exec::ExecContext& exec =
-                       exec::ExecContext::Default());
+                       exec::ExecContext::Default(),
+                   const SweepObserver& observer = {});
 
 }  // namespace linbp
 

@@ -7,7 +7,9 @@
 #include "src/engine/in_memory_backend.h"
 #include "src/la/dense_linalg.h"
 #include "src/la/kron_ops.h"
+#include "src/obs/obs.h"
 #include "src/util/check.h"
+#include "src/util/timer.h"
 
 namespace linbp {
 
@@ -19,6 +21,36 @@ DenseMatrix ExactModulation(const DenseMatrix& hhat) {
   LINBP_CHECK_MSG(inverse.has_value(), "I - Hhat^2 is singular");
   return inverse->Multiply(hhat);
 }
+
+namespace core_internal {
+
+void ReportSweep(int sweep, double delta, double magnitude, double seconds,
+                 std::int64_t rows, std::int64_t nnz,
+                 const SweepObserver& observer, obs::ScopedSpan* span) {
+  LINBP_OBS_COUNTER_ADD("linbp_sweeps_total", 1);
+  LINBP_OBS_COUNTER_ADD("linbp_rows_processed_total", rows);
+  LINBP_OBS_COUNTER_ADD("linbp_nnz_processed_total", nnz);
+  LINBP_OBS_HISTOGRAM_OBSERVE("linbp_sweep_seconds", seconds);
+  if (span != nullptr && span->active()) {
+    span->SetAttr("sweep", sweep);
+    span->SetAttr("delta", delta);
+    span->SetAttr("max_magnitude", magnitude);
+    span->SetAttr("rows", rows);
+    span->SetAttr("nnz", nnz);
+  }
+  if (observer) {
+    SweepTelemetry telemetry;
+    telemetry.sweep = sweep;
+    telemetry.delta = delta;
+    telemetry.max_magnitude = magnitude;
+    telemetry.seconds = seconds;
+    telemetry.rows = rows;
+    telemetry.nnz = nnz;
+    observer(telemetry);
+  }
+}
+
+}  // namespace core_internal
 
 LinBpSweepStats ApplyLinBpSweep(const exec::ExecContext& ctx,
                                 const DenseMatrix& explicit_residuals,
@@ -81,6 +113,8 @@ LinBpResult RunLinBp(const engine::PropagationBackend& backend,
   result.beliefs = explicit_residuals;
   const exec::ExecContext& ctx = options.exec;
   for (int it = 1; it <= options.max_iterations; ++it) {
+    obs::ScopedSpan span("linbp_sweep");
+    WallTimer sweep_timer;
     DenseMatrix next;
     if (!engine::BackendLinBpPropagate(backend, modulation, echo_modulation,
                                        result.beliefs, with_echo, ctx, &next,
@@ -94,6 +128,10 @@ LinBpResult RunLinBp(const engine::PropagationBackend& backend,
         ApplyLinBpSweep(ctx, explicit_residuals, next, &result.beliefs);
     result.iterations = it;
     result.last_delta = stats.delta;
+    core_internal::ReportSweep(it, stats.delta, stats.magnitude,
+                               sweep_timer.Seconds(), n,
+                               backend.num_stored_entries(),
+                               options.sweep_observer, &span);
     if (!std::isfinite(stats.delta) ||
         stats.magnitude > options.divergence_threshold) {
       result.diverged = true;

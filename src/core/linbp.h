@@ -12,6 +12,7 @@
 #define LINBP_CORE_LINBP_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "src/engine/propagation_backend.h"
@@ -21,12 +22,33 @@
 
 namespace linbp {
 
+namespace obs {
+class ScopedSpan;
+}  // namespace obs
+
 /// Which update equation to run.
 enum class LinBpVariant {
   kLinBp,       // Eq. 6, with echo cancellation
   kLinBpStar,   // Eq. 7, without echo cancellation
   kLinBpExact,  // Eq. 29, with the exact Hhat* modulation
 };
+
+/// Telemetry for one completed solver sweep, delivered to a
+/// SweepObserver. One "sweep" is one propagate + apply over all rows
+/// (LinBP), one Jacobi iteration (FaBP), or one geodesic level (SBP).
+struct SweepTelemetry {
+  int sweep = 0;                // 1-based within this (re-)solve
+  double delta = 0.0;           // max abs belief change of the sweep
+  double max_magnitude = 0.0;   // max abs belief after the sweep
+  double seconds = 0.0;         // wall time of propagate + apply
+  std::int64_t rows = 0;        // belief rows updated
+  std::int64_t nnz = 0;         // stored adjacency entries propagated
+};
+
+/// Per-sweep telemetry hook. Observers only *read* solver state —
+/// beliefs are bit-identical with or without one installed
+/// (test-enforced in tests/core/linbp_test.cc).
+using SweepObserver = std::function<void(const SweepTelemetry&)>;
 
 /// Options for RunLinBp.
 struct LinBpOptions {
@@ -42,6 +64,11 @@ struct LinBpOptions {
   /// process-wide context (LINBP_THREADS); results are bit-identical
   /// across thread counts.
   exec::ExecContext exec = exec::ExecContext::Default();
+  /// Called after every completed sweep (cold solves and LinBpState warm
+  /// re-solves alike). Null to disable. Independent of this hook, every
+  /// sweep also records into the global obs registry and the active
+  /// tracer.
+  SweepObserver sweep_observer;
 };
 
 /// Result of a LinBP run. Beliefs are residuals (rows sum to ~0).
@@ -93,6 +120,17 @@ LinBpSweepStats ApplyLinBpSweep(const exec::ExecContext& ctx,
                                 const DenseMatrix& explicit_residuals,
                                 const DenseMatrix& propagated,
                                 DenseMatrix* beliefs);
+
+namespace core_internal {
+/// Records one completed LinBP sweep into the global metrics registry
+/// (linbp_sweeps_total, linbp_sweep_seconds, linbp_rows_processed_total,
+/// linbp_nnz_processed_total), the enclosing trace span (may be null),
+/// and the observer (may be empty). Shared by RunLinBp and
+/// LinBpState::Solve so cold and warm sweeps report identically.
+void ReportSweep(int sweep, double delta, double magnitude, double seconds,
+                 std::int64_t rows, std::int64_t nnz,
+                 const SweepObserver& observer, obs::ScopedSpan* span);
+}  // namespace core_internal
 
 }  // namespace linbp
 

@@ -9,9 +9,20 @@
 #include "src/engine/backend_ops.h"
 #include "src/engine/in_memory_backend.h"
 #include "src/la/kron_ops.h"
+#include "src/obs/obs.h"
 #include "src/util/check.h"
+#include "src/util/timer.h"
 
 namespace linbp {
+
+namespace {
+
+// Every `return -1` on a validation path is a rejection; every undo of
+// state after a mid-solve backend failure is a rollback.
+void RecordRejection() { LINBP_OBS_COUNTER_ADD("linbp_state_rejections_total", 1); }
+void RecordRollback() { LINBP_OBS_COUNTER_ADD("linbp_state_rollbacks_total", 1); }
+
+}  // namespace
 
 LinBpState::LinBpState(Graph graph, DenseMatrix hhat,
                        DenseMatrix explicit_residuals, LinBpOptions options)
@@ -80,6 +91,8 @@ int LinBpState::Solve() {
   converged_ = false;
   last_error_.clear();
   for (int it = 1; it <= options_.max_iterations; ++it) {
+    obs::ScopedSpan span("linbp_sweep");
+    WallTimer sweep_timer;
     DenseMatrix propagated;
     if (!engine::BackendLinBpPropagate(*backend_, hhat_, hhat2, beliefs_,
                                        with_echo, ctx, &propagated,
@@ -88,6 +101,10 @@ int LinBpState::Solve() {
     }
     const LinBpSweepStats stats =
         ApplyLinBpSweep(ctx, explicit_residuals_, propagated, &beliefs_);
+    core_internal::ReportSweep(it, stats.delta, stats.magnitude,
+                               sweep_timer.Seconds(), backend_->num_nodes(),
+                               backend_->num_stored_entries(),
+                               options_.sweep_observer, &span);
     if (!std::isfinite(stats.delta) ||
         stats.magnitude > options_.divergence_threshold) {
       return it;  // diverged; converged_ stays false
@@ -112,6 +129,7 @@ int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
                " nodes but carries " + std::to_string(residuals.rows()) +
                " residual rows";
     }
+    RecordRejection();
     return -1;
   }
   if (residuals.cols() != hhat_.rows()) {
@@ -120,6 +138,7 @@ int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
                " classes but the coupling has " +
                std::to_string(hhat_.rows());
     }
+    RecordRejection();
     return -1;
   }
   const std::int64_t n = backend_->num_nodes();
@@ -129,6 +148,7 @@ int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
         *error = "belief update names node " + std::to_string(nodes[i]) +
                  " outside [0, " + std::to_string(n) + ")";
       }
+      RecordRejection();
       return -1;
     }
     for (std::int64_t c = 0; c < residuals.cols(); ++c) {
@@ -137,6 +157,7 @@ int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
           *error = "belief update for node " + std::to_string(nodes[i]) +
                    " has a non-finite residual";
         }
+        RecordRejection();
         return -1;
       }
     }
@@ -167,6 +188,7 @@ int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
       }
     }
     beliefs_ = saved_beliefs;
+    RecordRollback();
     if (error != nullptr) *error = last_error_;
   }
   return sweeps;
@@ -178,6 +200,7 @@ bool LinBpState::RequireMutableGraph(std::string* error) const {
     *error = "backend does not own a mutable graph (streamed states "
              "cannot mutate edges)";
   }
+  RecordRejection();
   return false;
 }
 
@@ -195,6 +218,7 @@ int LinBpState::RebuildGraphAndResolve(std::vector<Edge> new_edges,
   if (sweeps < 0) {
     *graph_ = std::move(saved_graph);
     beliefs_ = saved_beliefs;
+    RecordRollback();
     if (error != nullptr) *error = last_error_;
   }
   return sweeps;
@@ -210,6 +234,7 @@ int LinBpState::AddEdges(const std::vector<Edge>& edges,
   const std::string problem = ValidateNewEdgeBatch(*graph_, edges);
   if (!problem.empty()) {
     if (error != nullptr) *error = problem;
+    RecordRejection();
     return -1;
   }
   std::vector<Edge> combined = graph_->edges();
@@ -223,6 +248,7 @@ int LinBpState::RemoveEdges(const std::vector<Edge>& edges,
   const std::string problem = ValidateEdgeRemovalBatch(*graph_, edges);
   if (!problem.empty()) {
     if (error != nullptr) *error = problem;
+    RecordRejection();
     return -1;
   }
   std::vector<std::pair<std::int64_t, std::int64_t>> doomed;
@@ -248,6 +274,7 @@ int LinBpState::UpdateEdgeWeights(const std::vector<Edge>& edges,
   const std::string problem = ValidateEdgeReweightBatch(*graph_, edges);
   if (!problem.empty()) {
     if (error != nullptr) *error = problem;
+    RecordRejection();
     return -1;
   }
   std::vector<std::pair<std::pair<std::int64_t, std::int64_t>, double>>

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/obs/obs.h"
 #include "src/util/check.h"
+#include "src/util/timer.h"
 
 namespace linbp {
 
@@ -56,7 +58,8 @@ SparseMatrix ModifiedAdjacency(const Graph& graph,
 SbpResult RunSbp(const Graph& graph, const DenseMatrix& hhat,
                  const DenseMatrix& explicit_residuals,
                  const std::vector<std::int64_t>& explicit_nodes,
-                 const exec::ExecContext& exec) {
+                 const exec::ExecContext& exec,
+                 const SweepObserver& observer) {
   const std::int64_t n = graph.num_nodes();
   const std::int64_t k = hhat.rows();
   LINBP_CHECK(hhat.cols() == k && k >= 2);
@@ -89,6 +92,8 @@ SbpResult RunSbp(const Graph& graph, const DenseMatrix& hhat,
     // Every node of this level reads only level - 1 beliefs and writes its
     // own row, so the level is embarrassingly parallel.
     const std::vector<std::int64_t>& frontier = levels[level];
+    obs::ScopedSpan span("sbp_level");
+    WallTimer level_timer;
     exec.ParallelFor(
         0, static_cast<std::int64_t>(frontier.size()), /*min_grain=*/64,
         [&](std::int64_t begin, std::int64_t end) {
@@ -116,6 +121,30 @@ SbpResult RunSbp(const Graph& graph, const DenseMatrix& hhat,
             }
           }
         });
+    const double seconds = level_timer.Seconds();
+    const std::int64_t frontier_rows =
+        static_cast<std::int64_t>(frontier.size());
+    std::int64_t frontier_nnz = 0;
+    for (const std::int64_t t : frontier) {
+      frontier_nnz += row_ptr[t + 1] - row_ptr[t];
+    }
+    LINBP_OBS_COUNTER_ADD("sbp_levels_total", 1);
+    LINBP_OBS_COUNTER_ADD("sbp_nodes_processed_total", frontier_rows);
+    LINBP_OBS_COUNTER_ADD("sbp_nnz_processed_total", frontier_nnz);
+    LINBP_OBS_HISTOGRAM_OBSERVE("sbp_level_seconds", seconds);
+    if (span.active()) {
+      span.SetAttr("level", level);
+      span.SetAttr("rows", frontier_rows);
+      span.SetAttr("nnz", frontier_nnz);
+    }
+    if (observer) {
+      SweepTelemetry telemetry;
+      telemetry.sweep = static_cast<int>(level);
+      telemetry.seconds = seconds;
+      telemetry.rows = frontier_rows;
+      telemetry.nnz = frontier_nnz;
+      observer(telemetry);
+    }
   }
   return result;
 }

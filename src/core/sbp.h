@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/linbp.h"
 #include "src/exec/exec_context.h"
 #include "src/graph/graph.h"
 #include "src/la/dense_matrix.h"
@@ -47,12 +48,16 @@ struct SbpResult {
 /// `explicit_residuals` are the prior beliefs; other rows are ignored).
 /// Nodes within one geodesic level only read the previous level, so each
 /// level fans out on `exec`; per-node ownership keeps results bit-identical
-/// across thread counts.
+/// across thread counts. `observer` receives one SweepTelemetry per
+/// geodesic level (an SBP "sweep": rows = frontier size, nnz = incident
+/// entries scanned); independent of it, levels record into the global
+/// obs registry and active tracer.
 SbpResult RunSbp(const Graph& graph, const DenseMatrix& hhat,
                  const DenseMatrix& explicit_residuals,
                  const std::vector<std::int64_t>& explicit_nodes,
                  const exec::ExecContext& exec =
-                     exec::ExecContext::Default());
+                     exec::ExecContext::Default(),
+                 const SweepObserver& observer = {});
 
 }  // namespace linbp
 

@@ -7,9 +7,16 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 
 namespace linbp {
+
+namespace {
+// Validation rejections on the SbpState mutation paths (SBP warm updates
+// never roll back: dirty-region recompute only runs after validation).
+void RecordRejection() { LINBP_OBS_COUNTER_ADD("sbp_state_rejections_total", 1); }
+}  // namespace
 
 SbpState::SbpState(std::int64_t num_nodes, DenseMatrix hhat,
                    exec::ExecContext exec)
@@ -161,6 +168,7 @@ int SbpState::AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
                " nodes but carries " + std::to_string(residuals.rows()) +
                " residual rows";
     }
+    RecordRejection();
     return -1;
   }
   if (residuals.cols() != k()) {
@@ -168,6 +176,7 @@ int SbpState::AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
       *error = "belief update has " + std::to_string(residuals.cols()) +
                " classes but the coupling has " + std::to_string(k());
     }
+    RecordRejection();
     return -1;
   }
   for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -176,6 +185,7 @@ int SbpState::AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
         *error = "belief update names node " + std::to_string(nodes[i]) +
                  " outside [0, " + std::to_string(num_nodes()) + ")";
       }
+      RecordRejection();
       return -1;
     }
     for (std::int64_t c = 0; c < k(); ++c) {
@@ -184,6 +194,7 @@ int SbpState::AddExplicitBeliefs(const std::vector<std::int64_t>& nodes,
           *error = "belief update for node " + std::to_string(nodes[i]) +
                    " has a non-finite residual";
         }
+        RecordRejection();
         return -1;
       }
     }
@@ -250,6 +261,7 @@ int SbpState::AddEdges(const std::vector<Edge>& edges, std::string* error) {
                         /*check_weights=*/true);
   if (!problem.empty()) {
     if (error != nullptr) *error = problem;
+    RecordRejection();
     return -1;
   }
   last_update_recomputed_nodes_ = 0;
@@ -315,6 +327,7 @@ int SbpState::RemoveEdges(const std::vector<Edge>& edges,
                         /*check_weights=*/false);
   if (!problem.empty()) {
     if (error != nullptr) *error = problem;
+    RecordRejection();
     return -1;
   }
   last_update_recomputed_nodes_ = 0;
@@ -403,6 +416,7 @@ int SbpState::UpdateEdgeWeights(const std::vector<Edge>& edges,
                         /*check_weights=*/true);
   if (!problem.empty()) {
     if (error != nullptr) *error = problem;
+    RecordRejection();
     return -1;
   }
   last_update_recomputed_nodes_ = 0;

@@ -6,6 +6,7 @@
 
 #include "src/dataset/format_internal.h"
 #include "src/dataset/shard.h"
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 
 namespace linbp {
@@ -136,6 +137,18 @@ std::int64_t ShardStreamReader::resident_csr_bytes() const {
 std::int64_t ShardStreamReader::peak_resident_csr_bytes() const {
   return accounting_->peak.load(std::memory_order_relaxed);
 }
+std::int64_t ShardStreamReader::blocks_read_total() const {
+  return accounting_->blocks_read.load(std::memory_order_relaxed);
+}
+std::int64_t ShardStreamReader::file_bytes_read_total() const {
+  return accounting_->file_bytes_read.load(std::memory_order_relaxed);
+}
+std::int64_t ShardStreamReader::csr_bytes_read_total() const {
+  return accounting_->csr_bytes_read.load(std::memory_order_relaxed);
+}
+std::int64_t ShardStreamReader::checksum_retries_total() const {
+  return accounting_->checksum_retries.load(std::memory_order_relaxed);
+}
 
 bool ShardStreamReader::ReadBlock(std::int64_t shard,
                                   ShardStreamBlock* block,
@@ -152,7 +165,17 @@ bool ShardStreamReader::ReadBlock(std::int64_t shard,
   internal::ShardFileHeader h;
   if (!internal::CheckShardAgainstManifest(path, bytes, manifest, shard,
                                            kShardFormatVersion, &h, error)) {
-    return false;
+    // One re-read before giving up: a mismatch can be a transient
+    // partial read (e.g. a writer still flushing); persistent on-disk
+    // corruption fails identically on the second pass.
+    accounting_->checksum_retries.fetch_add(1, std::memory_order_relaxed);
+    LINBP_OBS_COUNTER_ADD("shard_stream_checksum_retries_total", 1);
+    if (!internal::ReadFileBytes(path, &bytes, error)) return false;
+    if (!internal::CheckShardAgainstManifest(path, bytes, manifest, shard,
+                                             kShardFormatVersion, &h,
+                                             error)) {
+      return false;
+    }
   }
 
   const std::int64_t rows = h.row_end - h.row_begin;
@@ -230,6 +253,18 @@ bool ShardStreamReader::ReadBlock(std::int64_t shard,
       return fail("ground-truth class out of range");
     }
   }
+  // Count the completed read (cumulative totals are success-only, so
+  // they sum consistently with the blocks actually handed out).
+  const std::int64_t file_bytes = static_cast<std::int64_t>(bytes.size());
+  accounting_->blocks_read.fetch_add(1, std::memory_order_relaxed);
+  accounting_->file_bytes_read.fetch_add(file_bytes,
+                                         std::memory_order_relaxed);
+  accounting_->csr_bytes_read.fetch_add(block->counted_bytes_,
+                                        std::memory_order_relaxed);
+  LINBP_OBS_COUNTER_ADD("shard_stream_blocks_read_total", 1);
+  LINBP_OBS_COUNTER_ADD("shard_stream_bytes_read_total", file_bytes);
+  LINBP_OBS_COUNTER_ADD("shard_stream_csr_bytes_total",
+                        block->counted_bytes_);
   return true;
 }
 

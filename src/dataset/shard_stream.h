@@ -41,10 +41,18 @@ namespace internal {
 struct ShardManifest;
 
 /// Shared live/peak CSR byte counters (atomic: blocks are created and
-/// destroyed from prefetch threads while others are consumed).
+/// destroyed from prefetch threads while others are consumed), plus
+/// cumulative stream-I/O totals over the reader's lifetime.
 struct ShardByteAccounting {
   std::atomic<std::int64_t> resident{0};
   std::atomic<std::int64_t> peak{0};
+  // Cumulative, successful ReadBlock calls only (so the CSR total is
+  // exactly the sum of block_csr_bytes over the blocks handed out, and
+  // matches the global shard_stream_* registry series one-for-one).
+  std::atomic<std::int64_t> blocks_read{0};
+  std::atomic<std::int64_t> file_bytes_read{0};
+  std::atomic<std::int64_t> csr_bytes_read{0};
+  std::atomic<std::int64_t> checksum_retries{0};
 
   void Add(std::int64_t bytes) {
     const std::int64_t now =
@@ -140,6 +148,19 @@ class ShardStreamReader {
   /// ownership), so these are exact even with prefetch in flight.
   std::int64_t resident_csr_bytes() const;
   std::int64_t peak_resident_csr_bytes() const;
+
+  /// Cumulative I/O totals over successful ReadBlock calls: blocks
+  /// handed out, shard-file bytes read for them, and their CSR bytes
+  /// (sum of block_csr_bytes). These equal the global registry's
+  /// shard_stream_{blocks_read,bytes_read,csr_bytes}_total deltas for
+  /// reads through this reader.
+  std::int64_t blocks_read_total() const;
+  std::int64_t file_bytes_read_total() const;
+  std::int64_t csr_bytes_read_total() const;
+  /// Times a shard failed manifest/checksum verification and the one
+  /// re-read attempt was taken (transient-read protection; a second
+  /// failure surfaces as the error).
+  std::int64_t checksum_retries_total() const;
 
  private:
   ShardStreamReader();

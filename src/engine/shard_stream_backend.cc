@@ -6,6 +6,7 @@
 #include "src/exec/pipeline.h"
 #include "src/exec/row_partition.h"
 #include "src/la/sparse_matrix.h"
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 
 namespace linbp {
@@ -19,6 +20,11 @@ bool ShardStreamBackend::StreamBlocks(
   // Prefetch overlap needs a second runnable lane; with a serial context
   // the read happens inline (results are identical either way).
   const bool overlap = ctx.threads() > 1;
+  obs::ScopedSpan span("shard_stream_pass");
+  if (span.active()) {
+    span.SetAttr("shards", reader.num_shards());
+    span.SetAttr("overlap", static_cast<std::int64_t>(overlap ? 1 : 0));
+  }
   return exec::RunDoubleBuffered<dataset::ShardStreamBlock>(
       reader.num_shards(), overlap,
       [&reader](std::int64_t s, dataset::ShardStreamBlock* block,

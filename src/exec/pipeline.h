@@ -24,6 +24,9 @@
 #include <string>
 #include <thread>
 
+#include "src/obs/obs.h"
+#include "src/util/timer.h"
+
 namespace linbp {
 namespace exec {
 
@@ -43,7 +46,18 @@ bool RunDoubleBuffered(
     std::string* error) {
   if (num_items <= 0) return true;
   Item slots[2];
-  if (!produce(0, &slots[0], error)) return false;
+  // Stall accounting: time the consumer spends blocked waiting for
+  // production — the initial produce(0), inline production when not
+  // overlapping, and the tail of a prefetch that outlived its overlapped
+  // compute. This is exactly the time a faster producer would win back.
+  {
+    obs::ScopedSpan span("pipeline_initial_produce");
+    WallTimer stall_timer;
+    const bool ok = produce(0, &slots[0], error);
+    LINBP_OBS_HISTOGRAM_OBSERVE("pipeline_prefetch_stall_seconds",
+                                stall_timer.Seconds());
+    if (!ok) return false;
+  }
   for (std::int64_t i = 0; i < num_items; ++i) {
     Item& current = slots[i % 2];
     Item& next = slots[(i + 1) % 2];
@@ -58,7 +72,10 @@ bool RunDoubleBuffered(
         prefetch = std::thread(
             [&, i] { next_ok = produce(i + 1, &next, &next_error); });
       } else {
+        WallTimer stall_timer;
         next_ok = produce(i + 1, &next, &next_error);
+        LINBP_OBS_HISTOGRAM_OBSERVE("pipeline_prefetch_stall_seconds",
+                                    stall_timer.Seconds());
       }
     }
     bool consumed = false;
@@ -70,7 +87,13 @@ bool RunDoubleBuffered(
       throw;
     }
     current = Item();  // done with item i; drop it before waiting on I/O
-    if (prefetch.joinable()) prefetch.join();
+    if (prefetch.joinable()) {
+      WallTimer stall_timer;
+      prefetch.join();
+      LINBP_OBS_HISTOGRAM_OBSERVE("pipeline_prefetch_stall_seconds",
+                                  stall_timer.Seconds());
+    }
+    LINBP_OBS_COUNTER_ADD("pipeline_items_total", 1);
     if (!consumed) {
       *error = consume_error;
       return false;

@@ -4,6 +4,7 @@
 
 #include "src/util/check.h"
 #include "src/util/random.h"
+#include "src/util/timer.h"
 
 namespace linbp {
 
@@ -47,12 +48,14 @@ PowerIterationResult PowerIteration(const LinearOperator& op,
 }
 
 JacobiResult JacobiSolve(const LinearOperator& op, const std::vector<double>& x,
-                         int max_iterations, double tolerance) {
+                         int max_iterations, double tolerance,
+                         const JacobiIterationObserver& observer) {
   LINBP_CHECK(static_cast<std::int64_t>(x.size()) == op.dim());
   JacobiResult result;
   result.solution.assign(x.size(), 0.0);
   std::vector<double> propagated;
   for (int it = 1; it <= max_iterations; ++it) {
+    WallTimer iteration_timer;
     op.Apply(result.solution, &propagated);
     double delta = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
@@ -62,6 +65,7 @@ JacobiResult JacobiSolve(const LinearOperator& op, const std::vector<double>& x,
     }
     result.iterations = it;
     result.last_delta = delta;
+    if (observer) observer(it, delta, iteration_timer.Seconds());
     if (delta <= tolerance) {
       result.converged = true;
       break;

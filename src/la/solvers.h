@@ -9,6 +9,7 @@
 #define LINBP_LA_SOLVERS_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/la/kron_ops.h"
@@ -38,11 +39,19 @@ struct JacobiResult {
   double last_delta = 0.0;  // max abs change in the final sweep
 };
 
+/// Per-iteration telemetry hook for JacobiSolve: (1-based iteration,
+/// max abs change, wall seconds of the iteration). Observers only read;
+/// the solution is identical with or without one installed. The la layer
+/// stays observability-free — callers (e.g. RunFabp) bridge this into
+/// their own metrics.
+using JacobiIterationObserver = std::function<void(int, double, double)>;
+
 /// Solves y = x + M y by fixed-point iteration from y = 0 (equivalently,
 /// y = (I - M)^-1 x when rho(M) < 1). Stops when the max abs change drops
 /// below `tolerance` or after `max_iterations` sweeps.
 JacobiResult JacobiSolve(const LinearOperator& op, const std::vector<double>& x,
-                         int max_iterations = 200, double tolerance = 1e-12);
+                         int max_iterations = 200, double tolerance = 1e-12,
+                         const JacobiIterationObserver& observer = {});
 
 }  // namespace linbp
 

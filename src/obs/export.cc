@@ -1,0 +1,46 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+
+#include "src/obs/obs.h"
+
+namespace linbp {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_quiet{false};
+}  // namespace
+
+void SetQuiet(bool quiet) {
+  g_quiet.store(quiet, std::memory_order_relaxed);
+}
+
+bool Quiet() { return g_quiet.load(std::memory_order_relaxed); }
+
+void Log(const std::string& message) {
+  if (Quiet()) return;
+  std::fprintf(stderr, "linbp: %s\n", message.c_str());
+}
+
+std::string MetricsReportJson(const Registry& registry,
+                              const Tracer* tracer) {
+  std::string out = "{\"metrics\":" + registry.Json() + ",\"trace\":";
+  out += tracer != nullptr ? tracer->Json() : std::string("null");
+  out += "}";
+  return out;
+}
+
+bool WriteMetricsReport(const std::string& path, const Registry& registry,
+                        const Tracer* tracer) {
+  const std::string report = MetricsReportJson(registry, tracer);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool wrote =
+      std::fwrite(report.data(), 1, report.size(), file) == report.size();
+  const bool flushed = std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  return wrote && flushed && closed;
+}
+
+}  // namespace obs
+}  // namespace linbp

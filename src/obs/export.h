@@ -1,0 +1,26 @@
+// Combined metrics + span-tree report, the payload behind every CLI and
+// bench driver's --metrics-out=FILE flag.
+
+#ifndef LINBP_OBS_EXPORT_H_
+#define LINBP_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace linbp {
+namespace obs {
+
+/// {"metrics": <Registry::Json()>, "trace": <Tracer::Json() or null>}
+std::string MetricsReportJson(const Registry& registry, const Tracer* tracer);
+
+/// Writes MetricsReportJson to `path` (flush- and close-checked).
+/// Returns false on any I/O failure.
+bool WriteMetricsReport(const std::string& path, const Registry& registry,
+                        const Tracer* tracer);
+
+}  // namespace obs
+}  // namespace linbp
+
+#endif  // LINBP_OBS_EXPORT_H_

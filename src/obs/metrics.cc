@@ -1,0 +1,391 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace linbp {
+namespace obs {
+
+int ThisThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const int slot = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<unsigned>(kMetricShards));
+  return slot;
+}
+
+namespace internal {
+const std::atomic<bool>* AlwaysEnabled() {
+  static const std::atomic<bool> on{true};
+  return &on;
+}
+}  // namespace internal
+
+std::int64_t Counter::Value() const {
+  std::int64_t total = 0;
+  for (const internal::CounterShard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::CounterShard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double previous = cumulative;
+    cumulative += static_cast<double>(counts[b]);
+    if (cumulative < target || counts[b] == 0) continue;
+    if (b >= bounds.size()) {
+      // Overflow bucket: no finite upper edge; clamp to the last bound.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lower = b == 0 ? 0.0 : bounds[b - 1];
+    const double fraction =
+        (target - previous) / static_cast<double>(counts[b]);
+    return lower + (bounds[b] - lower) * std::min(1.0, std::max(0.0, fraction));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  return {1e-6,  2.5e-6, 5e-6,  1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+          5e-4,  1e-3,   2.5e-3, 5e-3, 1e-2,  2.5e-2, 5e-2, 1e-1,
+          2.5e-1, 5e-1,  1.0,   2.5,  5.0,   10.0, 30.0, 60.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds,
+                     const std::atomic<bool>* enabled)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  LINBP_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket");
+  for (std::size_t b = 0; b < bounds_.size(); ++b) {
+    LINBP_CHECK_MSG(std::isfinite(bounds_[b]) && bounds_[b] > 0.0 &&
+                        (b == 0 || bounds_[b - 1] < bounds_[b]),
+                    "histogram bounds must be finite, positive, ascending");
+  }
+  const std::size_t buckets = bounds_.size() + 1;
+  for (Shard& shard : shards_) {
+    shard.counts.reset(new std::atomic<std::int64_t>[buckets]);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  // NaN would poison the sum silently; count it in the overflow bucket
+  // with a zero contribution so the event is at least visible.
+  const double contribution = std::isfinite(value) ? value : 0.0;
+  std::size_t bucket = bounds_.size();
+  if (std::isfinite(value)) {
+    bucket = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+  }
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + contribution,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < snapshot.counts.size(); ++b) {
+      snapshot.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (const std::int64_t c : snapshot.counts) snapshot.count += c;
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (std::size_t b = 0; b < bounds_.size() + 1; ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+namespace {
+
+std::string MetricKeyOf(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  key.push_back('\x1f');
+  for (const auto& [label, value] : labels) {
+    key += label;
+    key.push_back('\x1e');
+    key += value;
+    key.push_back('\x1e');
+  }
+  return key;
+}
+
+std::string RenderLabels(const Labels& labels,
+                         const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [label, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += label + "=\"" + value + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out.push_back(',');
+    out += extra;
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string FormatBound(double bound) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", bound);
+  return buffer;
+}
+
+std::string LabelsJson(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [label, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + JsonEscape(label) + "\":\"" + JsonEscape(value) + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+Registry::Entry& Registry::FindOrCreate(Kind kind, const std::string& name,
+                                        const Labels& labels,
+                                        std::vector<double> bounds) {
+  const std::string key = MetricKeyOf(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    entry.name = name;
+    entry.labels = labels;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter.reset(new Counter(&enabled_));
+        break;
+      case Kind::kGauge:
+        entry.gauge.reset(new Gauge(&enabled_));
+        break;
+      case Kind::kHistogram:
+        entry.histogram.reset(new Histogram(std::move(bounds), &enabled_));
+        break;
+    }
+    it = metrics_.emplace(key, std::move(entry)).first;
+  }
+  LINBP_CHECK_MSG(it->second.kind == kind,
+                  "metric re-registered with a different type");
+  return it->second;
+}
+
+Counter& Registry::GetCounter(const std::string& name, const Labels& labels) {
+  return *FindOrCreate(Kind::kCounter, name, labels, {}).counter;
+}
+
+Gauge& Registry::GetGauge(const std::string& name, const Labels& labels) {
+  return *FindOrCreate(Kind::kGauge, name, labels, {}).gauge;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  const Labels& labels,
+                                  std::vector<double> bounds) {
+  return *FindOrCreate(Kind::kHistogram, name, labels, std::move(bounds))
+              .histogram;
+}
+
+std::size_t Registry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+std::string Registry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::string last_name;
+  for (const auto& [key, entry] : metrics_) {
+    (void)key;
+    if (entry.name != last_name) {
+      out += "# TYPE " + entry.name + " ";
+      switch (entry.kind) {
+        case Kind::kCounter:
+          out += "counter\n";
+          break;
+        case Kind::kGauge:
+          out += "gauge\n";
+          break;
+        case Kind::kHistogram:
+          out += "histogram\n";
+          break;
+      }
+      last_name = entry.name;
+    }
+    const std::string labels = RenderLabels(entry.labels);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += entry.name + labels + " " +
+               std::to_string(entry.counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += entry.name + labels + " " +
+               std::to_string(entry.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snapshot = entry.histogram->Snapshot();
+        std::int64_t cumulative = 0;
+        for (std::size_t b = 0; b < snapshot.counts.size(); ++b) {
+          cumulative += snapshot.counts[b];
+          const std::string le =
+              b < snapshot.bounds.size()
+                  ? "le=\"" + FormatBound(snapshot.bounds[b]) + "\""
+                  : std::string("le=\"+Inf\"");
+          out += entry.name + "_bucket" + RenderLabels(entry.labels, le) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += entry.name + "_sum" + labels + " " +
+               FormatDouble(snapshot.sum) + "\n";
+        out += entry.name + "_count" + labels + " " +
+               std::to_string(snapshot.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::Json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string counters, gauges, histograms;
+  for (const auto& [key, entry] : metrics_) {
+    (void)key;
+    const std::string head = "{\"name\":\"" + JsonEscape(entry.name) +
+                             "\",\"labels\":" + LabelsJson(entry.labels);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters.push_back(',');
+        counters += head + ",\"value\":" +
+                    std::to_string(entry.counter->Value()) + "}";
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges.push_back(',');
+        gauges += head + ",\"value\":" +
+                  std::to_string(entry.gauge->Value()) + "}";
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snapshot = entry.histogram->Snapshot();
+        if (!histograms.empty()) histograms.push_back(',');
+        histograms += head + ",\"count\":" + std::to_string(snapshot.count) +
+                      ",\"sum\":" + FormatDouble(snapshot.sum) +
+                      ",\"p50\":" + FormatDouble(snapshot.Quantile(0.50)) +
+                      ",\"p95\":" + FormatDouble(snapshot.Quantile(0.95)) +
+                      ",\"p99\":" + FormatDouble(snapshot.Quantile(0.99)) +
+                      ",\"buckets\":[";
+        for (std::size_t b = 0; b < snapshot.counts.size(); ++b) {
+          if (b > 0) histograms.push_back(',');
+          const std::string le = b < snapshot.bounds.size()
+                                     ? FormatDouble(snapshot.bounds[b])
+                                     : std::string("\"+Inf\"");
+          histograms += "{\"le\":" + le + ",\"count\":" +
+                        std::to_string(snapshot.counts[b]) + "}";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":[" + counters + "],\"gauges\":[" + gauges +
+         "],\"histograms\":[" + histograms + "]}";
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : metrics_) {
+    (void)key;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace linbp

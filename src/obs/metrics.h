@@ -1,0 +1,228 @@
+// Thread-safe metrics: counters, gauges, and fixed-bucket histograms,
+// collected in a process-wide registry.
+//
+// Every write path is a relaxed atomic op on a per-thread shard (threads
+// hash onto kMetricShards cache-line-padded slots), so instrumentation is
+// cheap enough to leave on inside solver sweeps and the streaming
+// pipeline; reads merge the shards. Two off switches exist on top of
+// that:
+//   - runtime null-sink: Registry::SetEnabled(false) makes every Add /
+//     Observe through that registry return after one relaxed load;
+//   - compile-time: building with -DLINBP_OBS_DISABLED turns the
+//     LINBP_OBS_* macros (src/obs/obs.h) into `(void)0`, removing the
+//     instrumentation from the binary entirely (pinned by
+//     tests/obs/obs_disabled_test.cc).
+//
+// Metric objects are created once by the registry and NEVER destroyed or
+// moved while the process lives — call sites may cache `Counter&`
+// references in function-local statics. Registry::Reset() zeroes values
+// in place and keeps every reference valid (it exists for tests).
+//
+// Naming follows the Prometheus conventions the text exposition emits
+// (Registry::PrometheusText): counters end in `_total`, histograms of
+// durations end in `_seconds`, and label sets are part of the metric
+// identity ({kind="add"} and {kind="delete"} are distinct series).
+
+#ifndef LINBP_OBS_METRICS_H_
+#define LINBP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace linbp {
+namespace obs {
+
+/// Number of per-thread write shards per metric. Threads are assigned
+/// round-robin slots on first use; collisions just share an atomic.
+inline constexpr int kMetricShards = 16;
+
+/// Stable shard index of the calling thread in [0, kMetricShards).
+int ThisThreadShard();
+
+/// Label set attached to a metric ({{"kind", "add"}, ...}). Order is
+/// preserved in the exposition output.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace internal {
+/// Shared "always on" flag for metrics constructed outside a registry.
+const std::atomic<bool>* AlwaysEnabled();
+
+struct alignas(64) CounterShard {
+  std::atomic<std::int64_t> value{0};
+};
+}  // namespace internal
+
+/// Monotonically increasing 64-bit counter.
+class Counter {
+ public:
+  explicit Counter(const std::atomic<bool>* enabled =
+                       internal::AlwaysEnabled())
+      : enabled_(enabled) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::int64_t delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Merged value across shards.
+  std::int64_t Value() const;
+
+  /// Zeroes in place (concurrent writers keep a valid object).
+  void Reset();
+
+ private:
+  const std::atomic<bool>* enabled_;  // not owned
+  internal::CounterShard shards_[kMetricShards];
+};
+
+/// Last-write-wins 64-bit gauge.
+class Gauge {
+ public:
+  explicit Gauge(const std::atomic<bool>* enabled =
+                     internal::AlwaysEnabled())
+      : enabled_(enabled) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t value) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const std::atomic<bool>* enabled_;  // not owned
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Merged histogram state; quantiles interpolate within buckets.
+struct HistogramSnapshot {
+  std::vector<double> bounds;         // ascending upper bounds
+  std::vector<std::int64_t> counts;   // bounds.size() + 1 (+Inf overflow)
+  std::int64_t count = 0;
+  double sum = 0.0;
+
+  /// Linear-interpolated quantile estimate, q in [0, 1]. Returns 0 for an
+  /// empty histogram; values in the overflow bucket clamp to the largest
+  /// finite bound.
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket histogram (counts + sum), p50/p95/p99 via Snapshot().
+class Histogram {
+ public:
+  /// Bucket upper bounds must be finite, positive, and strictly
+  /// ascending; an implicit +Inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds = DefaultLatencyBounds(),
+                     const std::atomic<bool>* enabled =
+                         internal::AlwaysEnabled());
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  HistogramSnapshot Snapshot() const;
+  std::int64_t Count() const { return Snapshot().count; }
+
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Default duration buckets, in seconds: 1us .. 60s, roughly 1-2.5-5
+  /// per decade. Serving latencies, sweep latencies, and I/O stalls all
+  /// land well inside this range.
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::int64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  const std::atomic<bool>* enabled_;  // not owned
+  std::vector<double> bounds_;
+  Shard shards_[kMetricShards];
+};
+
+/// Name + labels -> metric map. Thread-safe; returned references stay
+/// valid for the registry's lifetime (call sites cache them in statics).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every LINBP_OBS_* macro records into.
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge& GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram& GetHistogram(
+      const std::string& name, const Labels& labels = {},
+      std::vector<double> bounds = Histogram::DefaultLatencyBounds());
+
+  /// Runtime null-sink switch: when disabled, every Add/Set/Observe on
+  /// metrics owned by this registry is a no-op (one relaxed load).
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Number of registered series.
+  std::size_t num_metrics() const;
+
+  /// Prometheus text exposition format (one # TYPE line per metric name,
+  /// histogram expanded into _bucket/_sum/_count series).
+  std::string PrometheusText() const;
+
+  /// The registry as a JSON object string:
+  ///   {"counters": [...], "gauges": [...], "histograms": [...]}
+  /// Histogram entries carry count/sum/p50/p95/p99 and the raw buckets.
+  std::string Json() const;
+
+  /// Zeroes every metric in place; references returned by Get* stay
+  /// valid. For tests.
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& FindOrCreate(Kind kind, const std::string& name,
+                      const Labels& labels, std::vector<double> bounds);
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{true};
+  // Key: name + '\x1f' + serialized labels; sorted so label variants of
+  // one name are adjacent in the exposition output.
+  std::map<std::string, Entry> metrics_;
+};
+
+/// Escapes a string for embedding in a JSON string literal (no quotes
+/// added). Shared by the metrics and span exporters.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace linbp
+
+#endif  // LINBP_OBS_METRICS_H_

@@ -1,0 +1,74 @@
+// Instrumentation entry points: the LINBP_OBS_* macros hot paths use to
+// record into the global registry, plus the quiet-gated diagnostic log
+// sink.
+//
+// Build with -DLINBP_OBS_DISABLED to compile every macro down to
+// `(void)0` — no registry lookups, no atomics, no series created
+// (tests/obs/obs_disabled_test.cc pins this). The class APIs in
+// metrics.h / trace.h are unaffected by the flag, so there is no ODR
+// hazard when translation units with and without the flag link against
+// the same linbp_obs library.
+//
+// The macros cache the metric reference in a function-local static, so
+// the registry mutex is taken once per call site, not per event.
+
+#ifndef LINBP_OBS_OBS_H_
+#define LINBP_OBS_OBS_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+#ifndef LINBP_OBS_DISABLED
+
+/// Adds `delta` to global counter `name` (a string literal).
+#define LINBP_OBS_COUNTER_ADD(name, delta)                                 \
+  do {                                                                     \
+    static ::linbp::obs::Counter& linbp_obs_counter_ =                     \
+        ::linbp::obs::Registry::Global().GetCounter(name);                 \
+    linbp_obs_counter_.Add(delta);                                         \
+  } while (false)
+
+/// Sets global gauge `name` (a string literal) to `value`.
+#define LINBP_OBS_GAUGE_SET(name, value)                                   \
+  do {                                                                     \
+    static ::linbp::obs::Gauge& linbp_obs_gauge_ =                         \
+        ::linbp::obs::Registry::Global().GetGauge(name);                   \
+    linbp_obs_gauge_.Set(value);                                           \
+  } while (false)
+
+/// Records `value` into global histogram `name` (a string literal) with
+/// the default latency buckets.
+#define LINBP_OBS_HISTOGRAM_OBSERVE(name, value)                           \
+  do {                                                                     \
+    static ::linbp::obs::Histogram& linbp_obs_histogram_ =                 \
+        ::linbp::obs::Registry::Global().GetHistogram(name);               \
+    linbp_obs_histogram_.Observe(value);                                   \
+  } while (false)
+
+#else  // LINBP_OBS_DISABLED
+
+#define LINBP_OBS_COUNTER_ADD(name, delta) ((void)0)
+#define LINBP_OBS_GAUGE_SET(name, value) ((void)0)
+#define LINBP_OBS_HISTOGRAM_OBSERVE(name, value) ((void)0)
+
+#endif  // LINBP_OBS_DISABLED
+
+namespace linbp {
+namespace obs {
+
+/// Quiet mode suppresses Log() output (set by the CLI `--quiet` flag).
+/// Golden-producing stdout is never routed through Log, so quiet mode
+/// only silences diagnostics.
+void SetQuiet(bool quiet);
+bool Quiet();
+
+/// Writes "linbp: <message>\n" to stderr unless quiet mode is on. All
+/// *new* diagnostic chatter goes through here so one flag silences it.
+void Log(const std::string& message);
+
+}  // namespace obs
+}  // namespace linbp
+
+#endif  // LINBP_OBS_OBS_H_

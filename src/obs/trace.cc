@@ -1,0 +1,153 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+#include "src/obs/metrics.h"
+#include "src/util/check.h"
+
+namespace linbp {
+namespace obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+int Tracer::BeginSpan(const std::string& name) {
+  const double start = Now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Span span;
+  span.name = name;
+  span.start_s = start;
+  std::vector<int>& stack = stacks_[std::this_thread::get_id()];
+  span.parent = stack.empty() ? -1 : stack.back();
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  stack.push_back(index);
+  return index;
+}
+
+void Tracer::EndSpan(
+    int index, std::vector<std::pair<std::string, std::string>> attrs) {
+  const double end = Now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  LINBP_CHECK(index >= 0 && index < static_cast<int>(spans_.size()));
+  std::vector<int>& stack = stacks_[std::this_thread::get_id()];
+  LINBP_CHECK_MSG(!stack.empty() && stack.back() == index,
+                  "spans must close innermost-first on their own thread");
+  stack.pop_back();
+  Span& span = spans_[index];
+  span.dur_s = end - span.start_s;
+  span.attrs = std::move(attrs);
+}
+
+std::size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+namespace {
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9f", seconds);
+  return buffer;
+}
+
+}  // namespace
+
+std::string Tracer::Json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // children[i] = indices of spans whose parent is i; roots under -1.
+  std::vector<std::vector<int>> children(spans_.size());
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const int parent = spans_[i].parent;
+    if (parent < 0) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      children[parent].push_back(static_cast<int>(i));
+    }
+  }
+  std::string out = "{\"spans\":[";
+  // Iterative pre-order render; frame = (span index, next child slot).
+  bool first_root = true;
+  for (const int root : roots) {
+    if (!first_root) out.push_back(',');
+    first_root = false;
+    std::vector<std::pair<int, std::size_t>> frames{{root, 0}};
+    while (!frames.empty()) {
+      auto& [index, next_child] = frames.back();
+      const Span& span = spans_[index];
+      if (next_child == 0) {
+        out += "{\"name\":\"" + JsonEscape(span.name) +
+               "\",\"start_s\":" + FormatSeconds(span.start_s) +
+               ",\"dur_s\":" + FormatSeconds(span.dur_s) + ",\"attrs\":{";
+        for (std::size_t a = 0; a < span.attrs.size(); ++a) {
+          if (a > 0) out.push_back(',');
+          out += "\"" + JsonEscape(span.attrs[a].first) +
+                 "\":" + span.attrs[a].second;
+        }
+        out += "},\"children\":[";
+      }
+      if (next_child < children[index].size()) {
+        if (next_child > 0) out.push_back(',');
+        const int child = children[index][next_child];
+        ++next_child;
+        frames.emplace_back(child, 0);
+      } else {
+        out += "]}";
+        frames.pop_back();
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+std::atomic<Tracer*> g_active_tracer{nullptr};
+}  // namespace
+
+Tracer* ActiveTracer() {
+  return g_active_tracer.load(std::memory_order_acquire);
+}
+
+void SetActiveTracer(Tracer* tracer) {
+  g_active_tracer.store(tracer, std::memory_order_release);
+}
+
+ScopedSpan::ScopedSpan(const char* name) : tracer_(ActiveTracer()) {
+  if (tracer_ != nullptr) index_ = tracer_->BeginSpan(name);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ != nullptr) tracer_->EndSpan(index_, std::move(attrs_));
+}
+
+void ScopedSpan::SetAttr(const std::string& key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  attrs_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void ScopedSpan::SetAttr(const std::string& key, const char* value) {
+  SetAttr(key, std::string(value));
+}
+
+void ScopedSpan::SetAttr(const std::string& key, double value) {
+  if (tracer_ == nullptr) return;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  attrs_.emplace_back(key, buffer);
+}
+
+void ScopedSpan::SetAttr(const std::string& key, std::int64_t value) {
+  if (tracer_ == nullptr) return;
+  attrs_.emplace_back(key, std::to_string(value));
+}
+
+}  // namespace obs
+}  // namespace linbp

@@ -1,0 +1,107 @@
+// Scoped trace spans: RAII timers that form a span tree per thread and
+// export as JSON (see README "Observability" for the schema).
+//
+// A Tracer owns the spans. One tracer at a time can be installed as the
+// process-wide active tracer (SetActiveTracer); ScopedSpan reads it on
+// construction and becomes a complete no-op when none is installed, so
+// instrumented code paths cost one relaxed atomic load when tracing is
+// off. Spans are low-frequency events (per solver sweep, per serve op,
+// per stream block batch) — the tracer just takes a mutex per begin/end.
+//
+// Parent/child nesting is tracked per thread: a span's parent is the
+// innermost span still open on the same thread. Spans started on pool
+// threads while no span is open on that thread become roots.
+
+#ifndef LINBP_OBS_TRACE_H_
+#define LINBP_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace linbp {
+namespace obs {
+
+/// Collects spans; thread-safe. Spans reference their parent by index,
+/// Json() renders the forest nested.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span on the calling thread; returns its index.
+  int BeginSpan(const std::string& name);
+
+  /// Closes span `index` (must be the innermost open span of the calling
+  /// thread) and attaches `attrs`. Attribute values must already be JSON
+  /// value literals (see ScopedSpan::SetAttr).
+  void EndSpan(int index,
+               std::vector<std::pair<std::string, std::string>> attrs);
+
+  std::size_t num_spans() const;
+
+  /// {"spans": [{"name":..., "start_s":..., "dur_s":..., "attrs":{...},
+  ///             "children":[...]} ...]}
+  /// start_s is seconds since the tracer was constructed. Spans still
+  /// open at export time appear with "dur_s": -1.
+  std::string Json() const;
+
+ private:
+  struct Span {
+    std::string name;
+    int parent = -1;
+    double start_s = 0.0;
+    double dur_s = -1.0;
+    std::vector<std::pair<std::string, std::string>> attrs;
+  };
+
+  double Now() const;
+
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::map<std::thread::id, std::vector<int>> stacks_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// The installed tracer, or nullptr. Installation is not synchronized
+/// with concurrent span creation — install before starting work.
+Tracer* ActiveTracer();
+void SetActiveTracer(Tracer* tracer);
+
+/// RAII span against the active tracer. No-op (one atomic load) when no
+/// tracer is installed.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Attach an attribute, exported into the span's "attrs" JSON object.
+  void SetAttr(const std::string& key, const std::string& value);
+  void SetAttr(const std::string& key, const char* value);
+  void SetAttr(const std::string& key, double value);
+  void SetAttr(const std::string& key, std::int64_t value);
+  void SetAttr(const std::string& key, int value) {
+    SetAttr(key, static_cast<std::int64_t>(value));
+  }
+
+ private:
+  Tracer* tracer_;
+  int index_ = -1;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+}  // namespace obs
+}  // namespace linbp
+
+#endif  // LINBP_OBS_TRACE_H_

@@ -7,13 +7,9 @@
 
 namespace linbp {
 namespace util {
-namespace {
 
-// Scans a /proc status-style file for "<field>:  <value> kB" and returns
-// the value in bytes; 0 when the file or field is missing or malformed.
-std::int64_t ReadProcKbField(const char* path, const std::string& field) {
-  std::ifstream in(path);
-  if (!in) return 0;
+namespace internal {
+std::int64_t ParseProcKbLines(std::istream& in, const std::string& field) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.rfind(field, 0) != 0 || line.size() <= field.size() ||
@@ -27,6 +23,17 @@ std::int64_t ReadProcKbField(const char* path, const std::string& field) {
     return kb * 1024;
   }
   return 0;
+}
+}  // namespace internal
+
+namespace {
+
+// 0 when the file or field is missing or malformed ("unknown", never
+// "no memory" — see the header contract).
+std::int64_t ReadProcKbField(const char* path, const std::string& field) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  return internal::ParseProcKbLines(in, field);
 }
 
 }  // namespace

@@ -6,9 +6,19 @@
 #define LINBP_UTIL_MEM_INFO_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 
 namespace linbp {
 namespace util {
+
+namespace internal {
+/// Scans status-style lines ("<field>:  <value> kB") for `field` and
+/// returns the value in bytes. Returns 0 — the "unknown" sentinel, NOT
+/// zero bytes — when the field is missing, malformed, negative, or in a
+/// unit other than kB. Exposed for tests pinning that contract.
+std::int64_t ParseProcKbLines(std::istream& in, const std::string& field);
+}  // namespace internal
 
 /// Peak resident set size of this process in bytes (VmHWM from
 /// /proc/self/status). Returns 0 when the probe is unavailable (non-Linux

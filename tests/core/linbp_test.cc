@@ -1,6 +1,7 @@
 #include "src/core/linbp.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "gtest/gtest.h"
 #include "src/core/bp.h"
@@ -9,6 +10,8 @@
 #include "src/core/labeling.h"
 #include "src/graph/beliefs.h"
 #include "src/graph/generators.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "tests/testing/test_util.h"
 
 namespace linbp {
@@ -144,6 +147,46 @@ TEST(LinBpTest, ExactVariantApproachesLinBpForSmallResiduals) {
   // Difference is O(hhat^3) relative to an O(hhat) signal.
   EXPECT_LT(plain.beliefs.MaxAbsDiff(exact.beliefs),
             1e-3 * plain.beliefs.MaxAbs());
+}
+
+TEST(LinBpTest, InstrumentationIsBitInvisible) {
+  const Graph g = RandomConnectedGraph(40, 30, /*seed=*/9);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.05);
+  const DenseMatrix e = SeedResiduals(40, 3, /*seed=*/10);
+
+  // Baseline: metrics null-sinked, no tracer, no observer.
+  obs::Registry::Global().SetEnabled(false);
+  const LinBpResult plain = RunLinBp(g, hhat, e);
+  obs::Registry::Global().SetEnabled(true);
+
+  // Fully instrumented: metrics on, span tracer installed, sweep
+  // observer attached.
+  obs::Tracer tracer;
+  obs::SetActiveTracer(&tracer);
+  LinBpOptions options;
+  int observed_sweeps = 0;
+  std::int64_t observed_rows = 0;
+  options.sweep_observer = [&](const SweepTelemetry& telemetry) {
+    ++observed_sweeps;
+    observed_rows = telemetry.rows;
+    EXPECT_GE(telemetry.seconds, 0.0);
+  };
+  const LinBpResult traced = RunLinBp(g, hhat, e, options);
+  obs::SetActiveTracer(nullptr);
+
+  ASSERT_TRUE(plain.converged && traced.converged);
+  EXPECT_EQ(traced.iterations, plain.iterations);
+  EXPECT_EQ(observed_sweeps, traced.iterations);
+  EXPECT_EQ(observed_rows, 40);
+  EXPECT_GE(tracer.num_spans(),
+            static_cast<std::size_t>(traced.iterations));
+  // Bit identity, not a tolerance: telemetry must never touch the math.
+  ASSERT_EQ(plain.beliefs.rows(), traced.beliefs.rows());
+  ASSERT_EQ(plain.beliefs.cols(), traced.beliefs.cols());
+  EXPECT_EQ(std::memcmp(plain.beliefs.data().data(),
+                        traced.beliefs.data().data(),
+                        plain.beliefs.data().size() * sizeof(double)),
+            0);
 }
 
 // The headline quality result (Sect. 7, Fig. 7f): LinBP's top-belief

@@ -19,6 +19,7 @@
 #include "src/dataset/registry.h"
 #include "src/dataset/shard.h"
 #include "src/engine/shard_stream_backend.h"
+#include "src/obs/metrics.h"
 #include "tests/testing/test_util.h"
 
 namespace linbp {
@@ -148,6 +149,55 @@ TEST(ShardStreamBackendTest, StreamedLinBpBitIdenticalAndResidencyBounded) {
         << "threads=" << threads;
     EXPECT_EQ(reader.resident_csr_bytes(), 0) << "threads=" << threads;
   }
+}
+
+TEST(ShardStreamBackendTest, ByteAccountingSumsConsistently) {
+  obs::Registry& registry = obs::Registry::Global();
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "stream_accounting");
+
+  const std::int64_t blocks_before =
+      registry.GetCounter("shard_stream_blocks_read_total").Value();
+  const std::int64_t bytes_before =
+      registry.GetCounter("shard_stream_bytes_read_total").Value();
+  const std::int64_t csr_before =
+      registry.GetCounter("shard_stream_csr_bytes_total").Value();
+
+  const engine::ShardStreamBackend backend = OpenBackend(manifest);
+  const dataset::ShardStreamReader& reader = backend.reader();
+
+  // Open() streams every shard exactly once to derive the solver inputs.
+  EXPECT_EQ(reader.blocks_read_total(), kShards);
+  std::int64_t expected_csr = 0;
+  for (std::int64_t s = 0; s < kShards; ++s) {
+    expected_csr += reader.block_csr_bytes(s);
+  }
+  EXPECT_EQ(reader.csr_bytes_read_total(), expected_csr);
+  EXPECT_GE(reader.file_bytes_read_total(), expected_csr);
+  EXPECT_EQ(reader.checksum_retries_total(), 0);
+
+  // One more full pass adds exactly one more round of every total.
+  std::vector<double> x(scenario.graph.num_nodes(), 1.0);
+  std::vector<double> y;
+  std::string error;
+  ASSERT_TRUE(
+      backend.MultiplyVector(x, exec::ExecContext::Serial(), &y, &error))
+      << error;
+  EXPECT_EQ(reader.blocks_read_total(), 2 * kShards);
+  EXPECT_EQ(reader.csr_bytes_read_total(), 2 * expected_csr);
+
+  // The global registry advanced by exactly the reader's own totals —
+  // the per-reader and process-wide views of the stream sum consistently.
+  EXPECT_EQ(
+      registry.GetCounter("shard_stream_blocks_read_total").Value() -
+          blocks_before,
+      reader.blocks_read_total());
+  EXPECT_EQ(registry.GetCounter("shard_stream_bytes_read_total").Value() -
+                bytes_before,
+            reader.file_bytes_read_total());
+  EXPECT_EQ(registry.GetCounter("shard_stream_csr_bytes_total").Value() -
+                csr_before,
+            reader.csr_bytes_read_total());
 }
 
 TEST(ShardStreamBackendTest, StreamedFabpMatchesInMemory) {

@@ -1,0 +1,202 @@
+// Registry/metric semantics: shard merging, quantile interpolation,
+// the runtime null-sink, exposition formats, and write-path concurrency
+// (the CI TSan job runs this binary).
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace linbp {
+namespace obs {
+namespace {
+
+TEST(CounterTest, MergesShardsAndResets) {
+  Counter counter;
+  counter.Add(5);
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 6);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  gauge.Set(7);
+  gauge.Set(-3);
+  EXPECT_EQ(gauge.Value(), -3);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(HistogramTest, BucketsCountSumAndQuantiles) {
+  Histogram hist({1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.5, 1.5, 3.0, 100.0}) hist.Observe(v);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.5 + 1.5 + 3.0 + 100.0);
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 finite buckets + overflow
+  EXPECT_EQ(snap.counts[0], 1);
+  EXPECT_EQ(snap.counts[1], 2);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_EQ(snap.counts[3], 1);
+  // Quantiles interpolate inside the bucket; the overflow bucket clamps
+  // to the largest finite bound instead of inventing a value.
+  EXPECT_GT(snap.Quantile(0.5), 1.0);
+  EXPECT_LE(snap.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, NanLandsInOverflowWithoutPoisoningSum) {
+  Histogram hist({1.0});
+  hist.Observe(0.5);
+  hist.Observe(std::numeric_limits<double>::quiet_NaN());
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 2);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5);
+}
+
+TEST(RegistryTest, ReturnsStableReferencesPerSeries) {
+  Registry registry;
+  Counter& a = registry.GetCounter("ops_total");
+  Counter& b = registry.GetCounter("ops_total");
+  EXPECT_EQ(&a, &b);
+  // Label sets are part of the identity.
+  Counter& add = registry.GetCounter("ops_total", {{"kind", "add"}});
+  EXPECT_NE(&a, &add);
+  EXPECT_EQ(registry.num_metrics(), 2u);
+  a.Add(3);
+  registry.Reset();
+  EXPECT_EQ(a.Value(), 0);  // reference survives Reset
+}
+
+TEST(RegistryTest, DisabledRegistryIsANullSink) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("c_total");
+  Histogram& hist = registry.GetHistogram("h_seconds");
+  registry.SetEnabled(false);
+  counter.Add(10);
+  hist.Observe(0.5);
+  EXPECT_EQ(counter.Value(), 0);
+  EXPECT_EQ(hist.Count(), 0);
+  registry.SetEnabled(true);
+  counter.Add(2);
+  EXPECT_EQ(counter.Value(), 2);
+}
+
+TEST(RegistryTest, ConcurrentWritersMergeExactly) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("hammer_total");
+  Histogram& hist = registry.GetHistogram("hammer_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &hist] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter.Add(1);
+        hist.Observe(1e-4);
+      }
+    });
+  }
+  // Concurrent reads must see consistent (if stale) merges.
+  (void)counter.Value();
+  (void)hist.Snapshot();
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kOpsPerThread);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kOpsPerThread);
+  EXPECT_NEAR(snap.sum, kThreads * kOpsPerThread * 1e-4, 1e-6);
+}
+
+TEST(RegistryTest, ConcurrentSeriesCreationIsSafe) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 50; ++i) {
+        registry.GetCounter("shared_total").Add(1);
+        registry.GetCounter("per_thread_total",
+                            {{"t", std::to_string(t)}}).Add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("shared_total").Value(), kThreads * 50);
+  EXPECT_EQ(registry.num_metrics(), 1u + kThreads);
+}
+
+TEST(RegistryTest, PrometheusTextExposition) {
+  Registry registry;
+  registry.GetCounter("ops_total", {{"kind", "add"}}).Add(2);
+  registry.GetCounter("ops_total", {{"kind", "delete"}}).Add(1);
+  registry.GetGauge("depth").Set(4);
+  registry.GetHistogram("lat_seconds", {}, {0.1, 1.0}).Observe(0.05);
+  const std::string text = registry.PrometheusText();
+
+  // One # TYPE line per metric name, even with label variants.
+  std::size_t type_lines = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ops_total", 0) == 0) ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("# TYPE ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("ops_total{kind=\"add\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("ops_total{kind=\"delete\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram"), std::string::npos);
+  // Cumulative buckets ending in +Inf, plus _sum and _count.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 1"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonCarriesQuantiles) {
+  Registry registry;
+  registry.GetCounter("c_total").Add(3);
+  Histogram& hist = registry.GetHistogram("h_seconds", {}, {1.0, 2.0});
+  hist.Observe(0.5);
+  hist.Observe(1.5);
+  const std::string json = registry.Json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ObsMacroTest, MacrosRecordIntoTheGlobalRegistry) {
+  Registry& global = Registry::Global();
+  global.Reset();
+  LINBP_OBS_COUNTER_ADD("macro_test_total", 2);
+  LINBP_OBS_COUNTER_ADD("macro_test_total", 3);
+  LINBP_OBS_GAUGE_SET("macro_test_gauge", 9);
+  LINBP_OBS_HISTOGRAM_OBSERVE("macro_test_seconds", 0.25);
+  EXPECT_EQ(global.GetCounter("macro_test_total").Value(), 5);
+  EXPECT_EQ(global.GetGauge("macro_test_gauge").Value(), 9);
+  EXPECT_EQ(global.GetHistogram("macro_test_seconds").Count(), 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace linbp

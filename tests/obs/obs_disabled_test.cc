@@ -1,0 +1,39 @@
+// Compiled with -DLINBP_OBS_DISABLED (see CMakeLists.txt): the
+// LINBP_OBS_* macros must expand to nothing — no series created, no
+// values recorded — proving the compile-time off switch really removes
+// the instrumentation rather than just muting it.
+
+#include "gtest/gtest.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+#ifndef LINBP_OBS_DISABLED
+#error "this test must be built with LINBP_OBS_DISABLED"
+#endif
+
+namespace linbp {
+namespace obs {
+namespace {
+
+TEST(ObsDisabledTest, MacrosCreateNoSeries) {
+  Registry& global = Registry::Global();
+  global.Reset();
+  const std::size_t before = global.num_metrics();
+  LINBP_OBS_COUNTER_ADD("disabled_total", 1);
+  LINBP_OBS_GAUGE_SET("disabled_gauge", 5);
+  LINBP_OBS_HISTOGRAM_OBSERVE("disabled_seconds", 0.1);
+  EXPECT_EQ(global.num_metrics(), before);
+}
+
+TEST(ObsDisabledTest, ClassApisStillWork) {
+  // The flag gates only the macros; the library types keep full
+  // behavior so one linbp_obs serves both build modes without ODR
+  // hazards.
+  Registry registry;
+  registry.GetCounter("direct_total").Add(2);
+  EXPECT_EQ(registry.GetCounter("direct_total").Value(), 2);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace linbp

@@ -1,0 +1,102 @@
+// Span-tree semantics: per-thread nesting, the no-tracer no-op path,
+// attribute export, and JSON structure.
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/trace.h"
+
+namespace linbp {
+namespace obs {
+namespace {
+
+// Keep the process-wide tracer slot clean around every test.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetActiveTracer(nullptr); }
+};
+
+TEST_F(TraceTest, ScopedSpanIsNoOpWithoutActiveTracer) {
+  ASSERT_EQ(ActiveTracer(), nullptr);
+  ScopedSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  span.SetAttr("ignored", 1);  // must not crash
+}
+
+TEST_F(TraceTest, NestingFollowsScopeOrder) {
+  Tracer tracer;
+  SetActiveTracer(&tracer);
+  {
+    ScopedSpan outer("outer");
+    EXPECT_TRUE(outer.active());
+    { ScopedSpan inner("inner"); }
+    { ScopedSpan sibling("sibling"); }
+  }
+  SetActiveTracer(nullptr);
+  EXPECT_EQ(tracer.num_spans(), 3u);
+  const std::string json = tracer.Json();
+  // inner and sibling render inside outer's children array.
+  const std::size_t outer_pos = json.find("\"outer\"");
+  const std::size_t inner_pos = json.find("\"inner\"");
+  const std::size_t sibling_pos = json.find("\"sibling\"");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(sibling_pos, std::string::npos);
+  EXPECT_LT(outer_pos, inner_pos);
+  EXPECT_LT(inner_pos, sibling_pos);
+  // Completed spans export a non-negative duration.
+  EXPECT_EQ(json.find("\"dur_s\":-1"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpansOnDifferentThreadsAreIndependentRoots) {
+  Tracer tracer;
+  SetActiveTracer(&tracer);
+  {
+    ScopedSpan main_span("main_root");
+    std::thread worker([] { ScopedSpan span("worker_root"); });
+    worker.join();
+  }
+  SetActiveTracer(nullptr);
+  EXPECT_EQ(tracer.num_spans(), 2u);
+  // Both spans are roots: neither name may appear inside the other's
+  // children (the JSON nests children inside the parent object).
+  const std::string json = tracer.Json();
+  const std::size_t main_pos = json.find("\"main_root\"");
+  const std::size_t worker_pos = json.find("\"worker_root\"");
+  ASSERT_NE(main_pos, std::string::npos);
+  ASSERT_NE(worker_pos, std::string::npos);
+  // The worker span must not be rendered within main_root's subtree:
+  // main_root has an empty children list.
+  EXPECT_NE(json.find("\"children\":[]"), std::string::npos);
+}
+
+TEST_F(TraceTest, AttributesExportAsJsonValues) {
+  Tracer tracer;
+  SetActiveTracer(&tracer);
+  {
+    ScopedSpan span("attrs");
+    span.SetAttr("sweep", 3);
+    span.SetAttr("delta", 0.5);
+    span.SetAttr("label", "a\"b");
+  }
+  SetActiveTracer(nullptr);
+  const std::string json = tracer.Json();
+  EXPECT_NE(json.find("\"sweep\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"delta\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"a\\\"b\""), std::string::npos);
+}
+
+TEST_F(TraceTest, OpenSpansExportWithSentinelDuration) {
+  Tracer tracer;
+  const int index = tracer.BeginSpan("open");
+  const std::string json = tracer.Json();
+  EXPECT_NE(json.find("\"dur_s\":-1"), std::string::npos);
+  tracer.EndSpan(index, {});
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace linbp

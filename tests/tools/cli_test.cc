@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
+#include <regex>
 #include <sstream>
 
 #include "gtest/gtest.h"
@@ -620,6 +622,180 @@ TEST(RunServeTest, TraceThenServeMatchesColdSolve) {
   std::string cold_labels;
   ASSERT_EQ(RunPipeline(cold, &cold_labels, &error), 0) << error;
   EXPECT_EQ(warm_labels, cold_labels);
+}
+
+TEST(LowRamWarningTest, UnknownAvailableNeverWarns) {
+  // 0 from util::AvailableMemoryBytes means "unknown", not "no memory":
+  // the warning must stay silent then, no matter how large the payload.
+  EXPECT_FALSE(LowRamWarning(std::int64_t{1} << 60, 0));
+  EXPECT_FALSE(LowRamWarning(0, 0));
+  EXPECT_TRUE(LowRamWarning(10, 5));
+  EXPECT_FALSE(LowRamWarning(5, 10));
+  EXPECT_FALSE(LowRamWarning(5, 5));
+}
+
+TEST(RunServeTest, StatsReportsLatencyTelemetry) {
+  ServeOptions options;
+  options.scenario = "sbm:n=40,k=2,deg=4,seed=6";
+  std::istringstream in(
+      "a 0 39 1.0\n"
+      "q 0\n"
+      "stats\n"
+      "quit\n");
+  std::ostringstream out;
+  std::string error;
+  ASSERT_EQ(RunServe(options, in, out, &error), 0) << error;
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), 3u) << out.str();
+  const std::string& stats = rows[2];
+  // One successful update and one successful query; stats stays ONE line
+  // and carries their counts plus latency percentiles.
+  EXPECT_NE(stats.find(" updates=1 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" queries=1 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("update_p50_ms="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("update_p95_ms="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("query_p50_ms="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("query_p95_ms="), std::string::npos) << stats;
+}
+
+// Structural check over a Prometheus text-exposition dump: every line is
+// a comment or a `name{labels} value` sample, every sample's base name
+// was announced by exactly one preceding # TYPE line, and histogram
+// samples only use the _bucket/_sum/_count suffixes.
+void ExpectValidPrometheusText(const std::string& text) {
+  const std::regex type_re(
+      "# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) (counter|gauge|histogram)");
+  const std::regex sample_re(
+      "([a-zA-Z_][a-zA-Z0-9_]*)"
+      "(\\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+      "(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\\})?"
+      " -?[0-9]+(\\.[0-9]+)?([eE][-+]?[0-9]+)?");
+  std::map<std::string, std::string> typed;  // name -> kind
+  std::istringstream lines(text);
+  std::string line;
+  std::smatch match;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      ASSERT_TRUE(std::regex_match(line, match, type_re)) << line;
+      EXPECT_EQ(typed.count(match[1]), 0u)
+          << "duplicate # TYPE for " << match[1];
+      typed[match[1]] = match[2];
+      continue;
+    }
+    ASSERT_TRUE(std::regex_match(line, match, sample_re)) << line;
+    ++samples;
+    std::string name = match[1];
+    if (typed.count(name) != 0) {
+      EXPECT_NE(typed[name], "histogram")
+          << "bare sample for histogram " << name << ": " << line;
+      continue;
+    }
+    // Histogram samples: strip the expansion suffix.
+    bool found = false;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string tail = suffix;
+      if (name.size() > tail.size() &&
+          name.compare(name.size() - tail.size(), tail.size(), tail) == 0) {
+        const std::string base = name.substr(0, name.size() - tail.size());
+        if (typed.count(base) != 0 && typed[base] == "histogram") {
+          found = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(found) << "sample without # TYPE: " << line;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+TEST(RunServeTest, MetricsCommandEmitsValidPrometheusText) {
+  ServeOptions options;
+  options.scenario = "sbm:n=40,k=2,deg=4,seed=6";
+  std::istringstream in(
+      "metrics now\n"
+      "a 0 39 1.0\n"
+      "q 0\n"
+      "metrics\n"
+      "quit\n");
+  std::ostringstream out;
+  std::string error;
+  ASSERT_EQ(RunServe(options, in, out, &error), 0) << error;
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_GE(rows.size(), 4u) << out.str();
+  EXPECT_EQ(rows[0], "error: metrics takes no arguments");
+  EXPECT_EQ(rows[1].rfind("ok sweeps=", 0), 0u) << rows[1];
+  // Everything after the query reply is the exposition dump.
+  std::string text;
+  for (std::size_t i = 3; i < rows.size(); ++i) text += rows[i] + "\n";
+  ExpectValidPrometheusText(text);
+  EXPECT_NE(text.find("serve_updates_total{kind=\"add\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE serve_update_seconds histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_queries_total"), std::string::npos) << text;
+  EXPECT_NE(text.find("linbp_sweeps_total"), std::string::npos) << text;
+}
+
+TEST(RunMainTest, MetricsOutWritesReportWithoutChangingLabels) {
+  const std::string dir = TempPath("cli_metrics_shards");
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunMain({"shard", "--scenario=sbm:n=300,k=3,deg=6,seed=5",
+                     "--out-dir=" + dir, "--shards=4"},
+                    &output, &error),
+            0)
+      << error;
+  const std::string manifest = dir + "/manifest.lbpm";
+
+  std::string plain;
+  ASSERT_EQ(RunMain({"--stream", "--scenario=snap:path=" + manifest},
+                    &plain, &error),
+            0)
+      << error;
+
+  const std::string report_path = TempPath("cli_metrics_report.json");
+  std::string instrumented;
+  ASSERT_EQ(RunMain({"--stream", "--scenario=snap:path=" + manifest,
+                     "--quiet", "--metrics-out=" + report_path},
+                    &instrumented, &error),
+            0)
+      << error;
+  // The flags are observability-only: label output stays byte-stable.
+  EXPECT_EQ(instrumented, plain);
+
+  std::ifstream report_in(report_path);
+  std::stringstream report;
+  report << report_in.rdbuf();
+  const std::string json = report.str();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  // Registry + span tree, with the streamed-solve series populated:
+  // per-sweep spans, prefetch-stall time, and stream byte counters.
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("linbp_sweep"), std::string::npos);
+  EXPECT_NE(json.find("linbp_sweep_seconds"), std::string::npos);
+  EXPECT_NE(json.find("pipeline_prefetch_stall_seconds"),
+            std::string::npos);
+  EXPECT_NE(json.find("shard_stream_bytes_read_total"), std::string::npos);
+  EXPECT_NE(json.find("shard_stream_csr_bytes_total"), std::string::npos);
+
+  // A bad path fails loudly, not silently.
+  EXPECT_EQ(RunMain({"--stream", "--scenario=snap:path=" + manifest,
+                     "--metrics-out=/nonexistent-dir/report.json"},
+                    &output, &error),
+            1);
+  EXPECT_NE(error.find("metrics report"), std::string::npos) << error;
 }
 
 }  // namespace

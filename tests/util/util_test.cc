@@ -1,5 +1,6 @@
 #include <cmath>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -149,6 +150,27 @@ TEST(MemInfoTest, ProbesAreNonNegative) {
   EXPECT_GE(util::PeakRssBytes(), 0);
   EXPECT_GE(util::CurrentRssBytes(), 0);
   EXPECT_GE(util::AvailableMemoryBytes(), 0);
+}
+
+TEST(MemInfoTest, ParserReturnsUnknownNotZeroBytes) {
+  // The 0 return is the "unknown" sentinel; every malformed shape must
+  // collapse to it rather than a fabricated small number.
+  const std::string field = "MemAvailable";
+  const auto parse = [&](const std::string& text) {
+    std::istringstream in(text);
+    return util::internal::ParseProcKbLines(in, field);
+  };
+  EXPECT_EQ(parse("MemAvailable:      2048 kB\n"), 2048 * 1024);
+  EXPECT_EQ(parse("MemTotal: 4096 kB\nMemAvailable: 1 kB\n"), 1024);
+  // Missing field, empty input, wrong unit, negative, and non-numeric
+  // values are all "unknown".
+  EXPECT_EQ(parse(""), 0);
+  EXPECT_EQ(parse("MemTotal: 4096 kB\n"), 0);
+  EXPECT_EQ(parse("MemAvailable: 2048 MB\n"), 0);
+  EXPECT_EQ(parse("MemAvailable: -5 kB\n"), 0);
+  EXPECT_EQ(parse("MemAvailable: lots kB\n"), 0);
+  // A prefix match is not the field ("MemAvailableExtra" != field).
+  EXPECT_EQ(parse("MemAvailableExtra: 7 kB\n"), 0);
 }
 
 TEST(MemInfoTest, PeakTracksAllocation) {

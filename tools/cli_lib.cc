@@ -28,10 +28,22 @@
 #include "src/graph/beliefs.h"
 #include "src/graph/io.h"
 #include "src/la/matrix_io.h"
+#include "src/obs/export.h"
+#include "src/obs/obs.h"
 #include "src/util/mem_info.h"
+#include "src/util/timer.h"
 
 namespace linbp {
 namespace cli {
+
+bool LowRamWarning(std::int64_t payload_bytes,
+                   std::int64_t available_bytes) {
+  // available_bytes == 0 is AvailableMemoryBytes's "unknown" fallback
+  // (no /proc/meminfo, unparsable field) — warning on it would flag
+  // every container whose memory we simply cannot see.
+  return available_bytes > 0 && payload_bytes > available_bytes;
+}
+
 namespace {
 
 // Parses one "--name=value" argument; returns the value when `arg` starts
@@ -283,7 +295,7 @@ int RunShardManifestInfo(const InfoOptions& options, std::string* output,
   // at once; warn when that exceeds what the machine can offer so the
   // user reaches for --stream before the OOM killer does.
   const std::int64_t available = util::AvailableMemoryBytes();
-  if (available > 0 && info->total_shard_payload_bytes > available) {
+  if (LowRamWarning(info->total_shard_payload_bytes, available)) {
     lines << "warning: total shard payload (" << info->total_shard_payload_bytes
           << " bytes) exceeds available RAM (" << available
           << " bytes); solve with --stream on this manifest instead of "
@@ -468,6 +480,9 @@ std::string Usage() {
       "          [--method=linbp|linbp*] [--eps=auto|VALUE] [--threads=N]\n"
       "linbp_cli trace --scenario=SPEC --out-dir=DIR [--ops=N] [--seed=S]\n"
       "          [--method=linbp|linbp*]\n"
+      "  global flags (any command): --metrics-out=FILE writes a JSON\n"
+      "           metrics + trace-span report on exit; --quiet silences\n"
+      "           diagnostic notes on stderr\n"
       "  EDGES:   'u v [w]' per line;  BELIEFS: 'v c b' per line\n"
       "  SPEC:    e.g. sbm:n=10000,k=4,mode=heterophily | snap:path=g.lbps\n"
       "           (snap: also accepts a shard manifest; see "
@@ -479,9 +494,11 @@ std::string Usage() {
       "           shards stream with prefetch (peak CSR = 2 blocks) and\n"
       "           labels match the in-memory run bit for bit\n"
       "  serve:   REPL on stdin; per line: a u v w | d u v | w u v w |\n"
-      "           b node k r_1..r_k | q v [v...] | labels | stats | quit.\n"
-      "           Updates reply 'ok sweeps=N' or 'error: ...' (state\n"
-      "           untouched on error); queries reply label lines\n"
+      "           b node k r_1..r_k | q v [v...] | labels | stats |\n"
+      "           metrics | quit. Updates reply 'ok sweeps=N' or\n"
+      "           'error: ...' (state untouched on error); queries reply\n"
+      "           label lines; stats adds update/query latency\n"
+      "           percentiles; metrics dumps Prometheus text exposition\n"
       "  trace:   writes start.lbps, final.lbps, updates.txt, eps.txt for\n"
       "           the serve round-trip (warm replay vs cold solve)\n";
 }
@@ -652,11 +669,10 @@ int RunStreamPipeline(const Options& options, std::string* output,
       // byte-identical), but on a dataset that truly dwarfs RAM an
       // explicit --eps skips this cost entirely; say so up front.
       if (variant == LinBpVariant::kLinBp) {
-        std::fprintf(stderr,
-                     "note: --eps=auto bisects the exact convergence "
-                     "threshold, streaming all shards once per power-"
-                     "iteration step; pass --eps=VALUE to skip this on "
-                     "large graphs\n");
+        obs::Log(
+            "note: --eps=auto bisects the exact convergence threshold, "
+            "streaming all shards once per power-iteration step; pass "
+            "--eps=VALUE to skip this on large graphs");
       }
       const double threshold = ExactEpsilonThreshold(
           *backend, coupling, variant, /*tolerance=*/1e-6, ctx);
@@ -838,6 +854,16 @@ int RunServe(const ServeOptions& options, std::istream& in,
     return 1;
   }
 
+  // Session-local latency accounting behind the `stats` line. Success-
+  // only on purpose: failed ops leave the state untouched, and the
+  // telemetry keeps the same guarantee (two stats probes bracketing any
+  // amount of rejected input print identically). The same events are
+  // mirrored into the global registry (per-op-kind series) for the
+  // `metrics` command's Prometheus exposition.
+  obs::Histogram update_latency;
+  obs::Histogram query_latency;
+  obs::Registry& registry = obs::Registry::Global();
+
   // The REPL: one reply per line, errors never abort and never touch the
   // state. Updates go through the same strict parser as stream files.
   std::string line;
@@ -848,10 +874,30 @@ int RunServe(const ServeOptions& options, std::istream& in,
     fields >> command;
     if (command == "quit") break;
     if (command == "stats") {
+      const obs::HistogramSnapshot updates = update_latency.Snapshot();
+      const obs::HistogramSnapshot queries = query_latency.Snapshot();
+      char latency[192];
+      std::snprintf(latency, sizeof(latency),
+                    " updates=%lld update_p50_ms=%.6g update_p95_ms=%.6g"
+                    " queries=%lld query_p50_ms=%.6g query_p95_ms=%.6g",
+                    static_cast<long long>(updates.count),
+                    updates.Quantile(0.5) * 1e3, updates.Quantile(0.95) * 1e3,
+                    static_cast<long long>(queries.count),
+                    queries.Quantile(0.5) * 1e3, queries.Quantile(0.95) * 1e3);
       out << "nodes=" << n << " edges=" << state.graph().num_undirected_edges()
           << " k=" << k << " eps=" << eps
           << " converged=" << (state.converged() ? 1 : 0)
-          << " cold_sweeps=" << state.cold_start_iterations() << '\n';
+          << " cold_sweeps=" << state.cold_start_iterations() << latency
+          << '\n';
+      continue;
+    }
+    if (command == "metrics") {
+      std::string extra;
+      if (fields >> extra) {
+        out << "error: metrics takes no arguments\n";
+        continue;
+      }
+      out << registry.PrometheusText();
       continue;
     }
     if (command == "labels") {
@@ -860,9 +906,14 @@ int RunServe(const ServeOptions& options, std::istream& in,
         out << "error: labels takes no arguments\n";
         continue;
       }
+      WallTimer query_timer;
       std::vector<std::int64_t> all(static_cast<std::size_t>(n));
       for (std::int64_t v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
       EmitTopBeliefLines(state.beliefs(), all, out);
+      const double seconds = query_timer.Seconds();
+      query_latency.Observe(seconds);
+      LINBP_OBS_COUNTER_ADD("serve_queries_total", 1);
+      LINBP_OBS_HISTOGRAM_OBSERVE("serve_query_seconds", seconds);
       continue;
     }
     if (command == "q") {
@@ -888,7 +939,12 @@ int RunServe(const ServeOptions& options, std::istream& in,
         out << "error: q needs at least one node id\n";
         continue;
       }
+      WallTimer query_timer;
       EmitTopBeliefLines(state.beliefs(), nodes, out);
+      const double seconds = query_timer.Seconds();
+      query_latency.Observe(seconds);
+      LINBP_OBS_COUNTER_ADD("serve_queries_total", 1);
+      LINBP_OBS_HISTOGRAM_OBSERVE("serve_query_seconds", seconds);
       continue;
     }
     if (command == "a" || command == "d" || command == "w" ||
@@ -896,19 +952,37 @@ int RunServe(const ServeOptions& options, std::istream& in,
       dataset::UpdateOp op;
       std::string problem;
       if (!dataset::ParseUpdateLine(line, k, &op, &problem)) {
+        LINBP_OBS_COUNTER_ADD("serve_errors_total", 1);
         out << "error: " << problem << '\n';
         continue;
       }
+      obs::ScopedSpan span("serve_update");
+      WallTimer update_timer;
       const int sweeps = dataset::ApplyUpdateOp(op, &state, &problem);
+      const double seconds = update_timer.Seconds();
+      const char* kind = command == "a"   ? "add"
+                         : command == "d" ? "delete"
+                         : command == "w" ? "reweight"
+                                          : "belief";
+      if (span.active()) {
+        span.SetAttr("kind", kind);
+        span.SetAttr("sweeps", sweeps);
+      }
       if (sweeps < 0) {
+        LINBP_OBS_COUNTER_ADD("serve_errors_total", 1);
         out << "error: " << problem << '\n';
       } else {
+        update_latency.Observe(seconds);
+        registry.GetCounter("serve_updates_total", {{"kind", kind}}).Add(1);
+        registry.GetHistogram("serve_update_seconds", {{"kind", kind}})
+            .Observe(seconds);
         out << "ok sweeps=" << sweeps << '\n';
       }
       continue;
     }
+    LINBP_OBS_COUNTER_ADD("serve_errors_total", 1);
     out << "error: unknown command '" << command
-        << "' (a d w b q labels stats quit)\n";
+        << "' (a d w b q labels stats metrics quit)\n";
   }
   return 0;
 }
@@ -995,8 +1069,11 @@ int RunTrace(const TraceOptions& options, std::string* output,
   return 0;
 }
 
-int RunMain(const std::vector<std::string>& args, std::string* output,
-            std::string* error, bool* usage_error) {
+namespace {
+
+int RunMainDispatch(const std::vector<std::string>& args,
+                    std::string* output, std::string* error,
+                    bool* usage_error) {
   bool parse_failed = false;
   if (usage_error == nullptr) usage_error = &parse_failed;
   *usage_error = false;
@@ -1074,6 +1151,42 @@ int RunMain(const std::vector<std::string>& args, std::string* output,
   const int code = RunPipeline(*options, output, error);
   // The label lines went to the output file; don't echo them to stdout.
   if (code == 0 && !options->output_path.empty()) output->clear();
+  return code;
+}
+
+}  // namespace
+
+int RunMain(const std::vector<std::string>& args, std::string* output,
+            std::string* error, bool* usage_error) {
+  // --quiet and --metrics-out=FILE apply to every subcommand, so they
+  // are stripped here rather than in each parser.
+  std::vector<std::string> rest;
+  rest.reserve(args.size());
+  std::string metrics_out;
+  for (const std::string& arg : args) {
+    if (arg == "--quiet") {
+      obs::SetQuiet(true);
+    } else if (auto v = FlagValue(arg, "--metrics-out=")) {
+      metrics_out = *v;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (metrics_out.empty()) {
+    return RunMainDispatch(rest, output, error, usage_error);
+  }
+  // Spans are retained only when a report was requested; without the
+  // flag ScopedSpan sees no active tracer and costs one atomic load.
+  obs::Tracer tracer;
+  obs::SetActiveTracer(&tracer);
+  int code = RunMainDispatch(rest, output, error, usage_error);
+  obs::SetActiveTracer(nullptr);
+  if (!obs::WriteMetricsReport(metrics_out, obs::Registry::Global(),
+                               &tracer) &&
+      code == 0) {
+    *error = "failed to write metrics report to " + metrics_out;
+    code = 1;
+  }
   return code;
 }
 

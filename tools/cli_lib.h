@@ -150,7 +150,9 @@ int RunPipeline(const Options& options, std::string* output,
 ///   a/d/w/b <update-stream line>  ->  "ok sweeps=N" | "error: ..."
 ///   q v [v...]                    ->  one "v class [class...]" per node
 ///   labels                        ->  label lines for every node
-///   stats                         ->  one summary line
+///   stats                         ->  one summary line (counts plus
+///                                     update/query latency percentiles)
+///   metrics                       ->  Prometheus text exposition dump
 /// Malformed or invalid lines get an "error: ..." reply and leave the
 /// state untouched; the loop never aborts on input. Returns nonzero only
 /// for setup failures (bad scenario, initial solve divergence).
@@ -164,6 +166,13 @@ int RunServe(const ServeOptions& options, std::istream& in,
 /// smaller exact threshold) so warm and cold runs are comparable.
 int RunTrace(const TraceOptions& options, std::string* output,
              std::string* error);
+
+/// True iff `linbp_cli info` should warn that a full (non-streamed) load
+/// of `payload_bytes` exceeds the machine's memory. `available_bytes`
+/// follows util::AvailableMemoryBytes semantics: 0 means UNKNOWN (no
+/// readable /proc/meminfo), and unknown never warns — a missing metric
+/// is not evidence of low RAM.
+bool LowRamWarning(std::int64_t payload_bytes, std::int64_t available_bytes);
 
 /// Top-level dispatcher: handles "list", "convert", "info", and the main
 /// pipeline. Fills *output with whatever should go to stdout. When
