@@ -139,23 +139,34 @@ inline std::string HostJsonBlock() {
   return buf;
 }
 
-/// Scoped --metrics-out=FILE support for a bench driver: installs a span
-/// tracer for the driver's lifetime and writes the combined metrics +
-/// trace report on destruction. A driver declares one at the top of
-/// main(); without the flag the guard is a no-op.
+/// Scoped --metrics-out=FILE / --trace-out=FILE support for a bench
+/// driver: installs a span tracer for the driver's lifetime and writes
+/// the combined metrics + time-series + trace report (and/or the Chrome
+/// trace-event file for chrome://tracing / ui.perfetto.dev) on
+/// destruction. A driver declares one at the top of main(); without
+/// either flag the guard is a no-op.
 class MetricsDumpGuard {
  public:
   explicit MetricsDumpGuard(const Args& args)
-      : path_(args.Str("metrics-out", "")) {
-    if (!path_.empty()) obs::SetActiveTracer(&tracer_);
+      : path_(args.Str("metrics-out", "")),
+        trace_path_(args.Str("trace-out", "")) {
+    if (!path_.empty() || !trace_path_.empty()) {
+      obs::SetActiveTracer(&tracer_);
+    }
   }
   ~MetricsDumpGuard() {
-    if (path_.empty()) return;
+    if (path_.empty() && trace_path_.empty()) return;
     obs::SetActiveTracer(nullptr);
-    if (!obs::WriteMetricsReport(path_, obs::Registry::Global(),
+    if (!path_.empty() &&
+        !obs::WriteMetricsReport(path_, obs::Registry::Global(),
                                  &tracer_)) {
       std::fprintf(stderr, "error: failed to write metrics report to %s\n",
                    path_.c_str());
+    }
+    if (!trace_path_.empty() &&
+        !obs::WriteChromeTrace(trace_path_, tracer_)) {
+      std::fprintf(stderr, "error: failed to write trace to %s\n",
+                   trace_path_.c_str());
     }
   }
   MetricsDumpGuard(const MetricsDumpGuard&) = delete;
@@ -163,6 +174,7 @@ class MetricsDumpGuard {
 
  private:
   std::string path_;
+  std::string trace_path_;
   obs::Tracer tracer_;
 };
 

@@ -18,6 +18,7 @@
 #include "src/core/sbp.h"
 #include "src/graph/beliefs.h"
 #include "src/la/kron_ops.h"
+#include "src/obs/timeseries.h"
 #include "src/util/table_printer.h"
 #include "src/util/timer.h"
 
@@ -116,22 +117,23 @@ int main(int argc, char** argv) {
               graph_index,
               static_cast<long long>(graph.num_directed_edges()));
 
-  // LinBP: time each sweep of B <- E + A B Hhat - D B Hhat^2.
+  // LinBP: run the library solver under the fixed-sweep protocol and
+  // read each sweep's wall time back from the "linbp_sweep" obs time
+  // series — the same per-sweep samples --metrics-out reports, so the
+  // table and the JSON report can never disagree.
   const DenseMatrix hhat = coupling.ScaledResidual(eps);
-  const DenseMatrix hhat2 = hhat.Multiply(hhat);
-  DenseMatrix beliefs = seeded.residuals;
-  std::vector<double> linbp_times;
-  for (int it = 0; it < iterations; ++it) {
-    WallTimer timer;
-    DenseMatrix next =
-        LinBpPropagate(graph.adjacency(), graph.weighted_degrees(), hhat,
-                       hhat2, beliefs, /*with_echo=*/true);
-    for (std::int64_t s = 0; s < next.rows(); ++s) {
-      for (std::int64_t c = 0; c < next.cols(); ++c) {
-        beliefs.At(s, c) = seeded.residuals.At(s, c) + next.At(s, c);
-      }
+  LinBpOptions lin_options;
+  lin_options.max_iterations = iterations;
+  lin_options.tolerance = 0.0;
+  RunLinBp(graph, hhat, seeded.residuals, lin_options);
+  std::vector<double> linbp_times(iterations, 0.0);
+  for (const obs::TimeSeriesSample& sample :
+       obs::TimeSeriesRegistry::Global().Get("linbp_sweep").Samples()) {
+    // Index by the recorded sweep number: past the recorder capacity the
+    // series decimates, and decimated samples keep their sweep ids.
+    if (sample.sweep >= 1 && sample.sweep <= iterations) {
+      linbp_times[sample.sweep - 1] = sample.seconds * 1e3;
     }
-    linbp_times.push_back(timer.Millis());
   }
 
   // SBP: time each geodesic level (its "iterations"); levels beyond the

@@ -1,6 +1,9 @@
 #include "src/core/fabp.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <vector>
 
 #include "src/engine/in_memory_backend.h"
 #include "src/la/kron_ops.h"
@@ -43,6 +46,22 @@ class FabpOperator final : public LinearOperator {
   const exec::ExecContext* ctx_;  // not owned
 };
 
+// Mirrors the helper in linbp.cc: per-iteration deltas of this counter
+// give the shard bytes a streamed backend read (0 for in-memory).
+std::int64_t StreamBytesCounterValue() {
+#ifndef LINBP_OBS_DISABLED
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("shard_stream_bytes_read_total");
+  return counter.Value();
+#else
+  return 0;
+#endif
+}
+
+// Consecutive rising-delta iterations JacobiSolve tolerates before its
+// divergence abort (matches LinBpOptions::divergence_patience's default).
+constexpr int kFabpDivergencePatience = 5;
+
 }  // namespace
 
 FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
@@ -58,31 +77,53 @@ FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
                         &exec);
   FabpResult result;
   // Bridge each Jacobi iteration into the shared sweep telemetry path
-  // (registry series fabp_*; magnitude is not tracked by JacobiSolve, so
-  // it reports as 0).
+  // (registry series fabp_*, the "fabp_sweep" time series; magnitude and
+  // delta_l2 are not tracked by JacobiSolve, so they report as 0). The
+  // deltas double as the input of the convergence-diagnostics fit.
   const std::int64_t rows = backend.num_nodes();
   const std::int64_t nnz = backend.num_stored_entries();
+  std::vector<double> deltas;
+  deltas.reserve(std::max(max_iterations, 0));
+  std::int64_t last_bytes = StreamBytesCounterValue();
+  double prev_delta = 0.0;
   const JacobiIterationObserver iteration_observer =
       [&](int it, double delta, double seconds) {
         LINBP_OBS_COUNTER_ADD("fabp_sweeps_total", 1);
         LINBP_OBS_COUNTER_ADD("fabp_rows_processed_total", rows);
         LINBP_OBS_COUNTER_ADD("fabp_nnz_processed_total", nnz);
         LINBP_OBS_HISTOGRAM_OBSERVE("fabp_sweep_seconds", seconds);
+        const std::int64_t bytes_now = StreamBytesCounterValue();
+        {
+          obs::TimeSeriesSample sample;
+          sample.sweep = it;
+          sample.delta = delta;
+          sample.seconds = seconds;
+          sample.bytes_streamed = bytes_now - last_bytes;
+          LINBP_OBS_TIMESERIES_APPEND("fabp_sweep", sample);
+        }
+        deltas.push_back(delta);
         if (observer) {
           SweepTelemetry telemetry;
           telemetry.sweep = it;
           telemetry.delta = delta;
           telemetry.seconds = seconds;
+          telemetry.contraction =
+              it > 1 && prev_delta > 0.0 ? delta / prev_delta : 0.0;
           telemetry.rows = rows;
           telemetry.nnz = nnz;
+          telemetry.bytes_streamed = bytes_now - last_bytes;
           observer(telemetry);
         }
+        last_bytes = bytes_now;
+        prev_delta = delta;
       };
   try {
     obs::ScopedSpan span("fabp_solve");
+    LINBP_OBS_TIMESERIES_BEGIN_RUN("fabp_sweep");
     const JacobiResult jacobi = JacobiSolve(op, explicit_residuals,
                                             max_iterations, tolerance,
-                                            iteration_observer);
+                                            iteration_observer,
+                                            kFabpDivergencePatience);
     if (span.active()) {
       span.SetAttr("iterations", jacobi.iterations);
       span.SetAttr("delta", jacobi.last_delta);
@@ -92,6 +133,54 @@ FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
     result.beliefs = jacobi.solution;
     result.iterations = jacobi.iterations;
     result.converged = jacobi.converged;
+    result.diagnostics.empirical_contraction = FitContractionRate(deltas);
+    {
+      const int window = 16;
+      const std::size_t begin =
+          deltas.size() > static_cast<std::size_t>(window)
+              ? deltas.size() - static_cast<std::size_t>(window)
+              : 0;
+      for (std::size_t i = begin; i < deltas.size(); ++i) {
+        if (std::isfinite(deltas[i]) && deltas[i] > 0.0) {
+          ++result.diagnostics.fitted_sweeps;
+        }
+      }
+    }
+    const double rho = result.diagnostics.empirical_contraction;
+    if (jacobi.converged) {
+      result.diagnostics.predicted_sweeps_to_tolerance = 0.0;
+    } else if (rho > 0.0 && rho < 1.0 && tolerance > 0.0 &&
+               jacobi.last_delta > tolerance) {
+      result.diagnostics.predicted_sweeps_to_tolerance = std::ceil(
+          std::log(tolerance / jacobi.last_delta) / std::log(rho));
+    }
+    if (jacobi.diverged) {
+      // rho(c1 A - c2 D) >= 1: report with the exact spectral estimate
+      // when the backend survives the extra products.
+      try {
+        const PowerIterationResult power = PowerIteration(op);
+        result.diagnostics.spectral_radius_estimate = power.spectral_radius;
+      } catch (const engine::StreamError&) {
+        // Estimate unavailable; the fit still carries the diagnosis.
+      }
+      result.diverged = true;
+      result.failed = true;
+      char spectral[64];
+      if (result.diagnostics.spectral_radius_estimate >= 0.0) {
+        std::snprintf(spectral, sizeof(spectral), "%.6g",
+                      result.diagnostics.spectral_radius_estimate);
+      } else {
+        std::snprintf(spectral, sizeof(spectral), "unavailable");
+      }
+      char buffer[256];
+      std::snprintf(buffer, sizeof(buffer),
+                    "diverging: residual delta rose for %d consecutive "
+                    "sweeps (completed %d sweeps, rho_hat=%.6g, spectral "
+                    "radius estimate=%s)",
+                    kFabpDivergencePatience, jacobi.iterations, rho,
+                    spectral);
+      result.error = buffer;
+    }
   } catch (const engine::StreamError& stream_error) {
     result.failed = true;
     result.error = stream_error.what();

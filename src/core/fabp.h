@@ -27,10 +27,20 @@ struct FabpResult {
   std::vector<double> beliefs;
   int iterations = 0;
   bool converged = false;
+  /// The Jacobi iteration was detected as diverging (residual delta grew
+  /// for several consecutive iterations with a fitted contraction rate
+  /// above 1) and aborted early. `failed` is then also set and `error`
+  /// carries the diagnostic (rho-hat and, when computable, the rho(M)
+  /// power-iteration estimate).
+  bool diverged = false;
   /// A streamed backend failed mid-solve; `error` describes the failure
-  /// and `beliefs` is empty. Always false for in-memory backends.
+  /// and `beliefs` is empty. Always false for in-memory backends. Also
+  /// set by a divergence abort (see `diverged`) — `beliefs` then holds
+  /// the last iterate for inspection.
   bool failed = false;
   std::string error;
+  /// Fitted convergence diagnostics of this run (see linbp.h).
+  ConvergenceDiagnostics diagnostics;
 };
 
 /// Solves the binary linearized system by Jacobi iteration over any

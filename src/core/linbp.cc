@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <vector>
 
+#include "src/core/convergence.h"
 #include "src/engine/backend_ops.h"
 #include "src/engine/in_memory_backend.h"
 #include "src/la/dense_linalg.h"
 #include "src/la/kron_ops.h"
+#include "src/la/solvers.h"
 #include "src/obs/obs.h"
 #include "src/util/check.h"
 #include "src/util/timer.h"
@@ -24,30 +28,187 @@ DenseMatrix ExactModulation(const DenseMatrix& hhat) {
 
 namespace core_internal {
 
-void ReportSweep(int sweep, double delta, double magnitude, double seconds,
-                 std::int64_t rows, std::int64_t nnz,
-                 const SweepObserver& observer, obs::ScopedSpan* span) {
+void ReportSweep(const SweepTelemetry& telemetry, const SweepObserver& observer,
+                 obs::ScopedSpan* span) {
   LINBP_OBS_COUNTER_ADD("linbp_sweeps_total", 1);
-  LINBP_OBS_COUNTER_ADD("linbp_rows_processed_total", rows);
-  LINBP_OBS_COUNTER_ADD("linbp_nnz_processed_total", nnz);
-  LINBP_OBS_HISTOGRAM_OBSERVE("linbp_sweep_seconds", seconds);
+  LINBP_OBS_COUNTER_ADD("linbp_rows_processed_total", telemetry.rows);
+  LINBP_OBS_COUNTER_ADD("linbp_nnz_processed_total", telemetry.nnz);
+  LINBP_OBS_HISTOGRAM_OBSERVE("linbp_sweep_seconds", telemetry.seconds);
+  {
+    obs::TimeSeriesSample sample;
+    sample.sweep = telemetry.sweep;
+    sample.delta = telemetry.delta;
+    sample.delta_l2 = telemetry.delta_l2;
+    sample.seconds = telemetry.seconds;
+    sample.bytes_streamed = telemetry.bytes_streamed;
+    LINBP_OBS_TIMESERIES_APPEND("linbp_sweep", sample);
+  }
   if (span != nullptr && span->active()) {
-    span->SetAttr("sweep", sweep);
-    span->SetAttr("delta", delta);
-    span->SetAttr("max_magnitude", magnitude);
-    span->SetAttr("rows", rows);
-    span->SetAttr("nnz", nnz);
+    span->SetAttr("sweep", telemetry.sweep);
+    span->SetAttr("delta", telemetry.delta);
+    span->SetAttr("max_magnitude", telemetry.max_magnitude);
+    span->SetAttr("rows", telemetry.rows);
+    span->SetAttr("nnz", telemetry.nnz);
   }
-  if (observer) {
+  if (observer) observer(telemetry);
+}
+
+namespace {
+
+// Current value of the shard-stream byte counter; per-sweep deltas give
+// the bytes a streamed backend read for that sweep (0 for in-memory
+// backends, which never touch the counter).
+std::int64_t StreamBytesCounterValue() {
+#ifndef LINBP_OBS_DISABLED
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("shard_stream_bytes_read_total");
+  return counter.Value();
+#else
+  return 0;
+#endif
+}
+
+// rho(M) via power iteration, or -1 when the estimate is unavailable
+// (kLinBpExact has no operator form here; streamed backends may fail).
+double EstimateSpectralRadius(const engine::PropagationBackend& backend,
+                              const DenseMatrix& hhat, LinBpVariant variant,
+                              const exec::ExecContext& ctx) {
+  if (variant == LinBpVariant::kLinBpExact) return -1.0;
+  try {
+    return LinBpOperatorSpectralRadius(backend, hhat, variant, 500, 1e-11,
+                                       ctx);
+  } catch (const std::exception&) {
+    return -1.0;
+  }
+}
+
+// How many deltas FitContractionRate's trailing window actually uses.
+int CountFittedDeltas(const std::vector<double>& deltas, int window) {
+  const std::size_t begin =
+      window > 0 && deltas.size() > static_cast<std::size_t>(window)
+          ? deltas.size() - static_cast<std::size_t>(window)
+          : 0;
+  int n = 0;
+  for (std::size_t i = begin; i < deltas.size(); ++i) {
+    if (std::isfinite(deltas[i]) && deltas[i] > 0.0) ++n;
+  }
+  return n;
+}
+
+std::string DivergenceAbortError(int sweeps, int streak, double rho_hat,
+                                 double spectral_estimate) {
+  char spectral[64];
+  if (spectral_estimate >= 0.0) {
+    std::snprintf(spectral, sizeof(spectral), "%.6g", spectral_estimate);
+  } else {
+    std::snprintf(spectral, sizeof(spectral), "unavailable");
+  }
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "diverging: residual delta rose for %d consecutive sweeps "
+                "(completed %d sweeps, rho_hat=%.6g, spectral radius "
+                "estimate=%s)",
+                streak, sweeps, rho_hat, spectral);
+  return buffer;
+}
+
+}  // namespace
+
+SweepLoopResult RunSweepLoop(const engine::PropagationBackend& backend,
+                             const DenseMatrix& hhat,
+                             const DenseMatrix& modulation,
+                             const DenseMatrix& echo_modulation, bool with_echo,
+                             const DenseMatrix& explicit_residuals,
+                             const LinBpOptions& options, double spectral_hint,
+                             DenseMatrix* beliefs) {
+  const std::int64_t n = backend.num_nodes();
+  const exec::ExecContext& ctx = options.exec;
+  SweepLoopResult result;
+  result.diagnostics.spectral_radius_estimate = spectral_hint;
+  if (spectral_hint < 0.0 && options.estimate_spectral_radius) {
+    result.diagnostics.spectral_radius_estimate =
+        EstimateSpectralRadius(backend, hhat, options.variant, ctx);
+  }
+
+  std::vector<double> deltas;
+  deltas.reserve(std::max(options.max_iterations, 0));
+  int growth_streak = 0;
+  double prev_delta = 0.0;
+  LINBP_OBS_TIMESERIES_BEGIN_RUN("linbp_sweep");
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    obs::ScopedSpan span("linbp_sweep");
+    WallTimer sweep_timer;
+    const std::int64_t bytes_before = StreamBytesCounterValue();
+    DenseMatrix next;
+    if (!engine::BackendLinBpPropagate(backend, modulation, echo_modulation,
+                                       *beliefs, with_echo, ctx, &next,
+                                       &result.error)) {
+      // The failing sweep was never applied: beliefs still hold sweep
+      // it - 1, so callers can report the error with their state intact.
+      result.failed = true;
+      break;
+    }
+    const LinBpSweepStats stats =
+        ApplyLinBpSweep(ctx, explicit_residuals, next, beliefs);
+    result.iterations = it;
+    result.last_delta = stats.delta;
+    deltas.push_back(stats.delta);
+
     SweepTelemetry telemetry;
-    telemetry.sweep = sweep;
-    telemetry.delta = delta;
-    telemetry.max_magnitude = magnitude;
-    telemetry.seconds = seconds;
-    telemetry.rows = rows;
-    telemetry.nnz = nnz;
-    observer(telemetry);
+    telemetry.sweep = it;
+    telemetry.delta = stats.delta;
+    telemetry.delta_l2 = stats.delta_l2;
+    telemetry.max_magnitude = stats.magnitude;
+    telemetry.seconds = sweep_timer.Seconds();
+    telemetry.contraction =
+        it > 1 && prev_delta > 0.0 ? stats.delta / prev_delta : 0.0;
+    telemetry.rows = n;
+    telemetry.nnz = backend.num_stored_entries();
+    telemetry.bytes_streamed = StreamBytesCounterValue() - bytes_before;
+    ReportSweep(telemetry, options.sweep_observer, &span);
+
+    growth_streak =
+        it > 1 && stats.delta > prev_delta ? growth_streak + 1 : 0;
+    prev_delta = stats.delta;
+    if (!std::isfinite(stats.delta) ||
+        stats.magnitude > options.divergence_threshold) {
+      result.diverged = true;
+      break;
+    }
+    if (stats.delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (options.divergence_patience > 0 &&
+        growth_streak >= options.divergence_patience &&
+        stats.delta > deltas.front()) {
+      const double rho_hat = FitContractionRate(deltas);
+      if (rho_hat > 1.0) {
+        if (result.diagnostics.spectral_radius_estimate < 0.0) {
+          result.diagnostics.spectral_radius_estimate =
+              EstimateSpectralRadius(backend, hhat, options.variant, ctx);
+        }
+        result.diverged = true;
+        result.failed = true;
+        result.error = DivergenceAbortError(
+            it, growth_streak, rho_hat,
+            result.diagnostics.spectral_radius_estimate);
+        break;
+      }
+    }
   }
+
+  result.diagnostics.empirical_contraction = FitContractionRate(deltas);
+  result.diagnostics.fitted_sweeps = CountFittedDeltas(deltas, 16);
+  const double rho = result.diagnostics.empirical_contraction;
+  if (result.converged) {
+    result.diagnostics.predicted_sweeps_to_tolerance = 0.0;
+  } else if (rho > 0.0 && rho < 1.0 && options.tolerance > 0.0 &&
+             result.last_delta > options.tolerance) {
+    result.diagnostics.predicted_sweeps_to_tolerance = std::ceil(
+        std::log(options.tolerance / result.last_delta) / std::log(rho));
+  }
+  return result;
 }
 
 }  // namespace core_internal
@@ -64,28 +225,37 @@ LinBpSweepStats ApplyLinBpSweep(const exec::ExecContext& ctx,
       std::max<std::int64_t>(n, 1),
       ctx.NumChunks(n * k, exec::kDefaultMinWorkPerChunk));
   std::vector<double> chunk_delta(chunks, 0.0);
+  std::vector<double> chunk_delta_sq(chunks, 0.0);
   std::vector<double> chunk_magnitude(chunks, 0.0);
   ctx.RunChunks(n, chunks, [&](std::int64_t chunk, std::int64_t row_begin,
                                std::int64_t row_end) {
     double local_delta = 0.0;
+    double local_delta_sq = 0.0;
     double local_magnitude = 0.0;
     for (std::int64_t s = row_begin; s < row_end; ++s) {
       for (std::int64_t c = 0; c < k; ++c) {
         const double value = explicit_residuals.At(s, c) + propagated.At(s, c);
-        local_delta =
-            std::max(local_delta, std::abs(value - beliefs->At(s, c)));
+        const double change = value - beliefs->At(s, c);
+        local_delta = std::max(local_delta, std::abs(change));
+        local_delta_sq += change * change;
         local_magnitude = std::max(local_magnitude, std::abs(value));
         beliefs->At(s, c) = value;
       }
     }
     chunk_delta[chunk] = local_delta;
+    chunk_delta_sq[chunk] = local_delta_sq;
     chunk_magnitude[chunk] = local_magnitude;
   });
   LinBpSweepStats stats;
+  // Sum-of-squares reduces in chunk order so delta_l2 is deterministic
+  // for a fixed chunk count (chunking depends only on n*k, not threads).
+  double delta_sq = 0.0;
   for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
     stats.delta = std::max(stats.delta, chunk_delta[chunk]);
+    delta_sq += chunk_delta_sq[chunk];
     stats.magnitude = std::max(stats.magnitude, chunk_magnitude[chunk]);
   }
+  stats.delta_l2 = std::sqrt(delta_sq);
   return stats;
 }
 
@@ -111,37 +281,16 @@ LinBpResult RunLinBp(const engine::PropagationBackend& backend,
 
   LinBpResult result;
   result.beliefs = explicit_residuals;
-  const exec::ExecContext& ctx = options.exec;
-  for (int it = 1; it <= options.max_iterations; ++it) {
-    obs::ScopedSpan span("linbp_sweep");
-    WallTimer sweep_timer;
-    DenseMatrix next;
-    if (!engine::BackendLinBpPropagate(backend, modulation, echo_modulation,
-                                       result.beliefs, with_echo, ctx, &next,
-                                       &result.error)) {
-      // The failing sweep was never applied: beliefs still hold sweep
-      // it - 1, so callers can report the error with their state intact.
-      result.failed = true;
-      break;
-    }
-    const LinBpSweepStats stats =
-        ApplyLinBpSweep(ctx, explicit_residuals, next, &result.beliefs);
-    result.iterations = it;
-    result.last_delta = stats.delta;
-    core_internal::ReportSweep(it, stats.delta, stats.magnitude,
-                               sweep_timer.Seconds(), n,
-                               backend.num_stored_entries(),
-                               options.sweep_observer, &span);
-    if (!std::isfinite(stats.delta) ||
-        stats.magnitude > options.divergence_threshold) {
-      result.diverged = true;
-      break;
-    }
-    if (stats.delta <= options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  const core_internal::SweepLoopResult loop = core_internal::RunSweepLoop(
+      backend, hhat, modulation, echo_modulation, with_echo,
+      explicit_residuals, options, -1.0, &result.beliefs);
+  result.iterations = loop.iterations;
+  result.converged = loop.converged;
+  result.diverged = loop.diverged;
+  result.failed = loop.failed;
+  result.error = loop.error;
+  result.last_delta = loop.last_delta;
+  result.diagnostics = loop.diagnostics;
   return result;
 }
 

@@ -39,10 +39,16 @@ enum class LinBpVariant {
 struct SweepTelemetry {
   int sweep = 0;                // 1-based within this (re-)solve
   double delta = 0.0;           // max abs belief change of the sweep
+  double delta_l2 = 0.0;        // L2 norm of the belief change
   double max_magnitude = 0.0;   // max abs belief after the sweep
   double seconds = 0.0;         // wall time of propagate + apply
+  /// delta / previous sweep's delta — the one-step contraction estimate
+  /// (values < 1 contract; 0 on the first sweep or a zero previous
+  /// delta). The run-level fit is on the result's diagnostics.
+  double contraction = 0.0;
   std::int64_t rows = 0;        // belief rows updated
   std::int64_t nnz = 0;         // stored adjacency entries propagated
+  std::int64_t bytes_streamed = 0;  // shard bytes read during the sweep
 };
 
 /// Per-sweep telemetry hook. Observers only *read* solver state —
@@ -66,9 +72,43 @@ struct LinBpOptions {
   exec::ExecContext exec = exec::ExecContext::Default();
   /// Called after every completed sweep (cold solves and LinBpState warm
   /// re-solves alike). Null to disable. Independent of this hook, every
-  /// sweep also records into the global obs registry and the active
-  /// tracer.
+  /// sweep also records into the global obs registry (metrics + the
+  /// "linbp_sweep" time series) and the active tracer.
   SweepObserver sweep_observer;
+  /// Estimate rho(M) of the update operator by power iteration before
+  /// the solve (Lemma 8's exact convergence criterion) and surface it on
+  /// the result's diagnostics. Costs ~hundreds of extra backend products,
+  /// so it is opt-in; ignored for kLinBpExact. Beliefs are unaffected.
+  bool estimate_spectral_radius = false;
+  /// Divergence early-abort: when the residual delta has risen for this
+  /// many consecutive sweeps, exceeds the run's first delta, and the
+  /// fitted contraction rate rho-hat is above 1, the solve stops with
+  /// failed (and diverged) set and a diagnostic error instead of
+  /// spinning to max_iterations. 0 disables the abort.
+  int divergence_patience = 5;
+};
+
+/// Convergence diagnostics of one (re-)solve, fitted from the per-sweep
+/// residual deltas. Purely observational: computed from the same sweep
+/// statistics the solver already tracks, never from extra solver math.
+struct ConvergenceDiagnostics {
+  /// Empirical contraction rate rho-hat (la FitContractionRate over the
+  /// trailing sweeps). Asymptotically equals rho(M) of the update
+  /// operator — the quantity Lemma 8 requires below 1. 0 when fewer
+  /// than 2 usable deltas exist.
+  double empirical_contraction = 0.0;
+  /// Sweeps whose deltas entered the rho-hat fit.
+  int fitted_sweeps = 0;
+  /// Predicted further sweeps to reach options.tolerance at rho-hat
+  /// geometric decay from the last delta. 0 when already converged, -1
+  /// when unknown (no usable fit or rho-hat >= 1).
+  double predicted_sweeps_to_tolerance = -1.0;
+  /// rho(M) power-iteration estimate (LinBpOperatorSpectralRadius), only
+  /// when options.estimate_spectral_radius was set or a divergence abort
+  /// computed it for its error message; -1 when not computed. Compare
+  /// against empirical_contraction: they agree within a few percent on a
+  /// converging run.
+  double spectral_radius_estimate = -1.0;
 };
 
 /// Result of a LinBP run. Beliefs are residuals (rows sum to ~0).
@@ -84,6 +124,8 @@ struct LinBpResult {
   bool failed = false;
   std::string error;
   double last_delta = 0.0;
+  /// Fitted convergence diagnostics of this run (see the struct docs).
+  ConvergenceDiagnostics diagnostics;
 };
 
 /// Runs LinBP over any propagation backend with scaled residual coupling
@@ -108,6 +150,7 @@ DenseMatrix ExactModulation(const DenseMatrix& hhat);
 /// Convergence statistics of one belief sweep.
 struct LinBpSweepStats {
   double delta = 0.0;      // max abs belief change
+  double delta_l2 = 0.0;   // L2 norm of the belief change
   double magnitude = 0.0;  // max abs belief
 };
 
@@ -124,12 +167,41 @@ LinBpSweepStats ApplyLinBpSweep(const exec::ExecContext& ctx,
 namespace core_internal {
 /// Records one completed LinBP sweep into the global metrics registry
 /// (linbp_sweeps_total, linbp_sweep_seconds, linbp_rows_processed_total,
-/// linbp_nnz_processed_total), the enclosing trace span (may be null),
-/// and the observer (may be empty). Shared by RunLinBp and
-/// LinBpState::Solve so cold and warm sweeps report identically.
-void ReportSweep(int sweep, double delta, double magnitude, double seconds,
-                 std::int64_t rows, std::int64_t nnz,
-                 const SweepObserver& observer, obs::ScopedSpan* span);
+/// linbp_nnz_processed_total), the "linbp_sweep" time series, the
+/// enclosing trace span (may be null), and the observer (may be empty).
+/// Shared by RunLinBp and LinBpState::Solve so cold and warm sweeps
+/// report identically.
+void ReportSweep(const SweepTelemetry& telemetry, const SweepObserver& observer,
+                 obs::ScopedSpan* span);
+
+/// Outcome of one RunSweepLoop call — LinBpResult minus the beliefs,
+/// which the loop updates in place.
+struct SweepLoopResult {
+  int iterations = 0;
+  bool converged = false;
+  bool diverged = false;
+  bool failed = false;
+  std::string error;
+  double last_delta = 0.0;
+  ConvergenceDiagnostics diagnostics;
+};
+
+/// The shared LinBP Jacobi sweep loop: propagate + apply until
+/// convergence, divergence, failure, or options.max_iterations, with all
+/// observability (metrics, time series, spans, observer, diagnostics
+/// fit, divergence early-abort) attached. `modulation` /
+/// `echo_modulation` / `with_echo` select the variant's update;
+/// `spectral_hint` >= 0 supplies a precomputed rho(M) estimate (warm
+/// LinBpState re-solves) so the loop never re-runs power iteration.
+/// `beliefs` is updated in place and never partially mutated by a
+/// failing sweep. Used by RunLinBp and LinBpState::Solve.
+SweepLoopResult RunSweepLoop(const engine::PropagationBackend& backend,
+                             const DenseMatrix& hhat,
+                             const DenseMatrix& modulation,
+                             const DenseMatrix& echo_modulation, bool with_echo,
+                             const DenseMatrix& explicit_residuals,
+                             const LinBpOptions& options, double spectral_hint,
+                             DenseMatrix* beliefs);
 }  // namespace core_internal
 
 }  // namespace linbp

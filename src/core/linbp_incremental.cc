@@ -6,12 +6,11 @@
 #include <string>
 #include <utility>
 
-#include "src/engine/backend_ops.h"
+#include "src/core/convergence.h"
 #include "src/engine/in_memory_backend.h"
 #include "src/la/kron_ops.h"
 #include "src/obs/obs.h"
 #include "src/util/check.h"
-#include "src/util/timer.h"
 
 namespace linbp {
 
@@ -87,34 +86,37 @@ const Graph& LinBpState::graph() const {
 int LinBpState::Solve() {
   const DenseMatrix hhat2 = hhat_.Multiply(hhat_);
   const bool with_echo = options_.variant == LinBpVariant::kLinBp;
-  const exec::ExecContext& ctx = options_.exec;
   converged_ = false;
   last_error_.clear();
-  for (int it = 1; it <= options_.max_iterations; ++it) {
-    obs::ScopedSpan span("linbp_sweep");
-    WallTimer sweep_timer;
-    DenseMatrix propagated;
-    if (!engine::BackendLinBpPropagate(*backend_, hhat_, hhat2, beliefs_,
-                                       with_echo, ctx, &propagated,
-                                       &last_error_)) {
-      return -1;  // beliefs_ still hold sweep it - 1
-    }
-    const LinBpSweepStats stats =
-        ApplyLinBpSweep(ctx, explicit_residuals_, propagated, &beliefs_);
-    core_internal::ReportSweep(it, stats.delta, stats.magnitude,
-                               sweep_timer.Seconds(), backend_->num_nodes(),
-                               backend_->num_stored_entries(),
-                               options_.sweep_observer, &span);
-    if (!std::isfinite(stats.delta) ||
-        stats.magnitude > options_.divergence_threshold) {
-      return it;  // diverged; converged_ stays false
-    }
-    if (stats.delta <= options_.tolerance) {
-      converged_ = true;
-      return it;
+  if (options_.estimate_spectral_radius && spectral_estimate_ < 0.0) {
+    try {
+      spectral_estimate_ = LinBpOperatorSpectralRadius(
+          *backend_, hhat_, options_.variant, 500, 1e-11, options_.exec);
+    } catch (const std::exception&) {
+      // Streamed backend failed mid-estimate: diagnostics stay without a
+      // spectral estimate; the solve itself proceeds (and reports its
+      // own failure if the stream is truly broken).
     }
   }
-  return options_.max_iterations;
+  // The estimate (when any) travels as the hint, so the shared loop
+  // never re-runs power iteration on a warm re-solve.
+  LinBpOptions loop_options = options_;
+  loop_options.estimate_spectral_radius = false;
+  const core_internal::SweepLoopResult loop = core_internal::RunSweepLoop(
+      *backend_, hhat_, hhat_, hhat2, with_echo, explicit_residuals_,
+      loop_options, spectral_estimate_, &beliefs_);
+  diagnostics_ = loop.diagnostics;
+  if (loop.diagnostics.spectral_radius_estimate >= 0.0) {
+    // A divergence abort computes the estimate for its error message;
+    // keep it cached for later re-solves on the same operator.
+    spectral_estimate_ = loop.diagnostics.spectral_radius_estimate;
+  }
+  converged_ = loop.converged;
+  if (loop.failed) {
+    last_error_ = loop.error;
+    return -1;  // beliefs_ hold the last completed sweep; callers roll back
+  }
+  return loop.iterations;
 }
 
 int LinBpState::UpdateExplicitBeliefs(const std::vector<std::int64_t>& nodes,
@@ -214,6 +216,9 @@ int LinBpState::RebuildGraphAndResolve(std::vector<Edge> new_edges,
   const DenseMatrix saved_beliefs = beliefs_;
   // Assign in place: the backend holds a pointer to *graph_.
   *graph_ = Graph(graph_->num_nodes(), new_edges);
+  // The mutation changed the operator, so any cached rho(M) is stale.
+  // (On rollback this is merely conservative: the next solve re-fits.)
+  spectral_estimate_ = -1.0;
   const int sweeps = Solve();
   if (sweeps < 0) {
     *graph_ = std::move(saved_graph);

@@ -119,6 +119,13 @@ class LinBpState {
   /// Failure message of the last solve (empty on success).
   const std::string& last_error() const { return last_error_; }
 
+  /// Convergence diagnostics of the most recent (re-)solve: fitted
+  /// rho-hat, predicted sweeps to tolerance, and — when
+  /// options.estimate_spectral_radius was set — the rho(M) power-
+  /// iteration estimate (computed once per graph shape and reused across
+  /// warm re-solves).
+  const ConvergenceDiagnostics& diagnostics() const { return diagnostics_; }
+
   /// Sweeps used by the initial cold solve, for comparison.
   int cold_start_iterations() const { return cold_start_iterations_; }
 
@@ -150,6 +157,11 @@ class LinBpState {
   bool converged_ = false;
   std::string last_error_;
   int cold_start_iterations_ = 0;
+  // Cached rho(M) estimate (-1 = not computed). Invalidated by edge
+  // mutations (they change the operator), reused by warm re-solves so
+  // power iteration runs once, not per update.
+  double spectral_estimate_ = -1.0;
+  ConvergenceDiagnostics diagnostics_;
 };
 
 }  // namespace linbp

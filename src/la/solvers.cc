@@ -47,13 +47,44 @@ PowerIterationResult PowerIteration(const LinearOperator& op,
   return result;
 }
 
+double FitContractionRate(const std::vector<double>& deltas, int window) {
+  // ln(delta_i) ~ a + b * i over the trailing window; rho-hat = e^b.
+  // Indices keep their position in `deltas` so skipped (non-positive)
+  // entries leave gaps instead of compressing the fit.
+  const std::size_t begin =
+      window > 0 && deltas.size() > static_cast<std::size_t>(window)
+          ? deltas.size() - static_cast<std::size_t>(window)
+          : 0;
+  double n = 0.0, sum_i = 0.0, sum_y = 0.0, sum_ii = 0.0, sum_iy = 0.0;
+  for (std::size_t i = begin; i < deltas.size(); ++i) {
+    const double d = deltas[i];
+    if (!std::isfinite(d) || d <= 0.0) continue;
+    const double xi = static_cast<double>(i);
+    const double yi = std::log(d);
+    n += 1.0;
+    sum_i += xi;
+    sum_y += yi;
+    sum_ii += xi * xi;
+    sum_iy += xi * yi;
+  }
+  if (n < 2.0) return 0.0;
+  const double denom = n * sum_ii - sum_i * sum_i;
+  if (denom <= 0.0) return 0.0;
+  const double slope = (n * sum_iy - sum_i * sum_y) / denom;
+  return std::exp(slope);
+}
+
 JacobiResult JacobiSolve(const LinearOperator& op, const std::vector<double>& x,
                          int max_iterations, double tolerance,
-                         const JacobiIterationObserver& observer) {
+                         const JacobiIterationObserver& observer,
+                         int divergence_patience) {
   LINBP_CHECK(static_cast<std::int64_t>(x.size()) == op.dim());
   JacobiResult result;
   result.solution.assign(x.size(), 0.0);
   std::vector<double> propagated;
+  std::vector<double> deltas;
+  if (divergence_patience > 0) deltas.reserve(max_iterations);
+  int growth_streak = 0;
   for (int it = 1; it <= max_iterations; ++it) {
     WallTimer iteration_timer;
     op.Apply(result.solution, &propagated);
@@ -64,10 +95,21 @@ JacobiResult JacobiSolve(const LinearOperator& op, const std::vector<double>& x,
       result.solution[i] = next;
     }
     result.iterations = it;
+    if (divergence_patience > 0) {
+      growth_streak = delta > result.last_delta && it > 1
+                          ? growth_streak + 1
+                          : 0;
+      deltas.push_back(delta);
+    }
     result.last_delta = delta;
     if (observer) observer(it, delta, iteration_timer.Seconds());
     if (delta <= tolerance) {
       result.converged = true;
+      break;
+    }
+    if (divergence_patience > 0 && growth_streak >= divergence_patience &&
+        delta > deltas.front() && FitContractionRate(deltas) > 1.0) {
+      result.diverged = true;
       break;
     }
   }

@@ -31,11 +31,23 @@ PowerIterationResult PowerIteration(const LinearOperator& op,
                                     double tolerance = 1e-9,
                                     std::uint64_t seed = 12345);
 
+/// Empirical contraction rate rho-hat: least-squares log-linear fit of
+/// the per-iteration residual deltas (the slope of ln(delta) over the
+/// iteration index, exponentiated). Uses the last `window` entries of
+/// `deltas`, skipping non-finite and non-positive values. Asymptotically
+/// this estimates rho(M) of the underlying Jacobi update (Eq. 13: the
+/// residual contracts by rho(M) per sweep). Returns 0 when fewer than 2
+/// usable deltas remain.
+double FitContractionRate(const std::vector<double>& deltas, int window = 16);
+
 /// Result of the Jacobi fixed-point solve.
 struct JacobiResult {
   std::vector<double> solution;
   int iterations = 0;
   bool converged = false;
+  /// The solve aborted early: the delta grew for `divergence_patience`
+  /// consecutive iterations with a fitted contraction rate above 1.
+  bool diverged = false;
   double last_delta = 0.0;  // max abs change in the final sweep
 };
 
@@ -48,10 +60,16 @@ using JacobiIterationObserver = std::function<void(int, double, double)>;
 
 /// Solves y = x + M y by fixed-point iteration from y = 0 (equivalently,
 /// y = (I - M)^-1 x when rho(M) < 1). Stops when the max abs change drops
-/// below `tolerance` or after `max_iterations` sweeps.
+/// below `tolerance` or after `max_iterations` sweeps. With
+/// `divergence_patience` > 0 the solve also aborts (result.diverged) once
+/// the delta has risen for that many consecutive iterations, exceeds its
+/// starting value, and FitContractionRate over the recent window is
+/// above 1 — a diverging rho(M) >= 1 system then stops in O(patience)
+/// sweeps instead of spinning to `max_iterations`.
 JacobiResult JacobiSolve(const LinearOperator& op, const std::vector<double>& x,
                          int max_iterations = 200, double tolerance = 1e-12,
-                         const JacobiIterationObserver& observer = {});
+                         const JacobiIterationObserver& observer = {},
+                         int divergence_patience = 0);
 
 }  // namespace linbp
 

@@ -22,24 +22,38 @@ void Log(const std::string& message) {
   std::fprintf(stderr, "linbp: %s\n", message.c_str());
 }
 
-std::string MetricsReportJson(const Registry& registry,
-                              const Tracer* tracer) {
-  std::string out = "{\"metrics\":" + registry.Json() + ",\"trace\":";
+std::string MetricsReportJson(const Registry& registry, const Tracer* tracer,
+                              const TimeSeriesRegistry& timeseries) {
+  std::string out = "{\"metrics\":" + registry.Json() +
+                    ",\"timeseries\":" + timeseries.Json() + ",\"trace\":";
   out += tracer != nullptr ? tracer->Json() : std::string("null");
   out += "}";
   return out;
 }
 
-bool WriteMetricsReport(const std::string& path, const Registry& registry,
-                        const Tracer* tracer) {
-  const std::string report = MetricsReportJson(registry, tracer);
+namespace {
+
+bool WriteWholeFile(const std::string& path, const std::string& payload) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) return false;
   const bool wrote =
-      std::fwrite(report.data(), 1, report.size(), file) == report.size();
+      std::fwrite(payload.data(), 1, payload.size(), file) == payload.size();
   const bool flushed = std::fflush(file) == 0;
   const bool closed = std::fclose(file) == 0;
   return wrote && flushed && closed;
+}
+
+}  // namespace
+
+bool WriteMetricsReport(const std::string& path, const Registry& registry,
+                        const Tracer* tracer,
+                        const TimeSeriesRegistry& timeseries) {
+  return WriteWholeFile(path,
+                        MetricsReportJson(registry, tracer, timeseries));
+}
+
+bool WriteChromeTrace(const std::string& path, const Tracer& tracer) {
+  return WriteWholeFile(path, tracer.ChromeTraceJson());
 }
 
 }  // namespace obs

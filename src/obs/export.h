@@ -1,5 +1,6 @@
-// Combined metrics + span-tree report, the payload behind every CLI and
-// bench driver's --metrics-out=FILE flag.
+// Combined metrics + time-series + span-tree report, the payload behind
+// every CLI and bench driver's --metrics-out=FILE flag, plus the Chrome
+// trace-event file behind --trace-out=FILE.
 
 #ifndef LINBP_OBS_EXPORT_H_
 #define LINBP_OBS_EXPORT_H_
@@ -7,18 +8,30 @@
 #include <string>
 
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 
 namespace linbp {
 namespace obs {
 
-/// {"metrics": <Registry::Json()>, "trace": <Tracer::Json() or null>}
-std::string MetricsReportJson(const Registry& registry, const Tracer* tracer);
+/// {"metrics": <Registry::Json()>,
+///  "timeseries": <TimeSeriesRegistry::Json()>,
+///  "trace": <Tracer::Json() or null>}
+std::string MetricsReportJson(const Registry& registry, const Tracer* tracer,
+                              const TimeSeriesRegistry& timeseries =
+                                  TimeSeriesRegistry::Global());
 
 /// Writes MetricsReportJson to `path` (flush- and close-checked).
 /// Returns false on any I/O failure.
 bool WriteMetricsReport(const std::string& path, const Registry& registry,
-                        const Tracer* tracer);
+                        const Tracer* tracer,
+                        const TimeSeriesRegistry& timeseries =
+                            TimeSeriesRegistry::Global());
+
+/// Writes `tracer`'s Tracer::ChromeTraceJson() to `path` (flush- and
+/// close-checked; load the file in chrome://tracing or Perfetto).
+/// Returns false on any I/O failure.
+bool WriteChromeTrace(const std::string& path, const Tracer& tracer);
 
 }  // namespace obs
 }  // namespace linbp

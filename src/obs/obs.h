@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 
 #ifndef LINBP_OBS_DISABLED
@@ -47,11 +48,31 @@
     linbp_obs_histogram_.Observe(value);                                   \
   } while (false)
 
+/// Starts a new run of global time series `name` (a string literal).
+#define LINBP_OBS_TIMESERIES_BEGIN_RUN(name)                                \
+  do {                                                                      \
+    static ::linbp::obs::TimeSeries& linbp_obs_series_ =                    \
+        ::linbp::obs::TimeSeriesRegistry::Global().Get(name);               \
+    linbp_obs_series_.BeginRun();                                           \
+  } while (false)
+
+/// Appends an obs::TimeSeriesSample to global time series `name`.
+#define LINBP_OBS_TIMESERIES_APPEND(name, sample)                           \
+  do {                                                                      \
+    static ::linbp::obs::TimeSeries& linbp_obs_series_ =                    \
+        ::linbp::obs::TimeSeriesRegistry::Global().Get(name);               \
+    linbp_obs_series_.Append(sample);                                       \
+  } while (false)
+
 #else  // LINBP_OBS_DISABLED
 
 #define LINBP_OBS_COUNTER_ADD(name, delta) ((void)0)
 #define LINBP_OBS_GAUGE_SET(name, value) ((void)0)
 #define LINBP_OBS_HISTOGRAM_OBSERVE(name, value) ((void)0)
+#define LINBP_OBS_TIMESERIES_BEGIN_RUN(name) ((void)0)
+// References `sample` unevaluated so locals built only for this call
+// stay warning-free in disabled builds.
+#define LINBP_OBS_TIMESERIES_APPEND(name, sample) ((void)sizeof(sample))
 
 #endif  // LINBP_OBS_DISABLED
 

@@ -22,7 +22,10 @@ int Tracer::BeginSpan(const std::string& name) {
   Span span;
   span.name = name;
   span.start_s = start;
-  std::vector<int>& stack = stacks_[std::this_thread::get_id()];
+  const std::thread::id thread = std::this_thread::get_id();
+  span.tid = tids_.emplace(thread, static_cast<int>(tids_.size()))
+                 .first->second;
+  std::vector<int>& stack = stacks_[thread];
   span.parent = stack.empty() ? -1 : stack.back();
   const int index = static_cast<int>(spans_.size());
   spans_.push_back(std::move(span));
@@ -105,6 +108,35 @@ std::string Tracer::Json() const {
     }
   }
   out += "]}";
+  return out;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "[";
+  bool first = true;
+  for (const Span& span : spans_) {
+    if (span.dur_s < 0.0) continue;  // still open: no complete event yet
+    if (!first) out.push_back(',');
+    first = false;
+    char timing[96];
+    // Complete ("X") events; ts/dur are microseconds. Nesting is implied
+    // by containment within one tid, which per-thread innermost-first
+    // span closing guarantees.
+    std::snprintf(timing, sizeof(timing),
+                  "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,"
+                  "\"tid\":%d",
+                  span.start_s * 1e6, span.dur_s * 1e6, span.tid);
+    out += "{\"name\":\"" + JsonEscape(span.name) +
+           "\",\"cat\":\"linbp\"," + timing + ",\"args\":{";
+    for (std::size_t a = 0; a < span.attrs.size(); ++a) {
+      if (a > 0) out.push_back(',');
+      out += "\"" + JsonEscape(span.attrs[a].first) +
+             "\":" + span.attrs[a].second;
+    }
+    out += "}}";
+  }
+  out += "]";
   return out;
 }
 

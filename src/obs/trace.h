@@ -53,10 +53,19 @@ class Tracer {
   /// open at export time appear with "dur_s": -1.
   std::string Json() const;
 
+  /// The span set as a Chrome trace-event JSON array (the format
+  /// chrome://tracing and Perfetto load): one complete ("ph":"X") event
+  /// per closed span with microsecond ts/dur, pid 0, and a small stable
+  /// tid per recording thread, so the per-thread nesting renders as
+  /// stacked slices. Attrs export as the event's "args". Spans still
+  /// open at export time are skipped (they have no duration yet).
+  std::string ChromeTraceJson() const;
+
  private:
   struct Span {
     std::string name;
     int parent = -1;
+    int tid = 0;
     double start_s = 0.0;
     double dur_s = -1.0;
     std::vector<std::pair<std::string, std::string>> attrs;
@@ -67,6 +76,7 @@ class Tracer {
   mutable std::mutex mutex_;
   std::vector<Span> spans_;
   std::map<std::thread::id, std::vector<int>> stacks_;
+  std::map<std::thread::id, int> tids_;
   std::chrono::steady_clock::time_point epoch_;
 };
 

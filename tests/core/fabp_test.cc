@@ -46,6 +46,38 @@ TEST(FabpTest, HeterophilyAlternatesSign) {
   EXPECT_LT(result.beliefs[3], 0.0);
 }
 
+TEST(FabpTest, DivergenceAbortsEarlyWithDiagnosticError) {
+  // h = 0.45 gives c1 = 2h/(1-4h^2) ~ 4.7, so rho(c1 A) >> 1 on a path
+  // graph: the Jacobi iteration diverges and must abort after a few
+  // growth sweeps instead of running out the iteration budget.
+  const Graph g = PathGraph(4);
+  const FabpResult result =
+      RunFabp(g, 0.45, {0.1, 0.0, 0.0, 0.0}, /*max_iterations=*/600);
+  EXPECT_TRUE(result.diverged);
+  EXPECT_TRUE(result.failed);
+  EXPECT_FALSE(result.converged);
+  EXPECT_LT(result.iterations, 100);
+  EXPECT_NE(result.error.find("diverging"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("rho_hat="), std::string::npos)
+      << result.error;
+  EXPECT_GT(result.diagnostics.empirical_contraction, 1.0);
+  EXPECT_GT(result.diagnostics.spectral_radius_estimate, 1.0);
+  // The last iterate is kept for inspection.
+  EXPECT_EQ(result.beliefs.size(), 4u);
+}
+
+TEST(FabpTest, ConvergedRunCarriesContractionDiagnostics) {
+  const Graph g = PathGraph(4);
+  const FabpResult result =
+      RunFabp(g, 0.1, {0.1, 0.0, 0.0, 0.0}, 2000, 1e-14);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.diagnostics.empirical_contraction, 0.0);
+  EXPECT_LT(result.diagnostics.empirical_contraction, 1.0);
+  EXPECT_EQ(result.diagnostics.predicted_sweeps_to_tolerance, 0.0);
+  EXPECT_GT(result.diagnostics.fitted_sweeps, 2);
+}
+
 TEST(FabpDeathTest, RejectsCouplingOutOfRange) {
   const Graph g = PathGraph(2);
   EXPECT_DEATH(RunFabp(g, 0.5, {0.0, 0.0}), "1/2");

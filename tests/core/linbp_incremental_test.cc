@@ -280,6 +280,61 @@ TEST(LinBpStateTest, UpdateExplicitBeliefsRejectsInvalidBatches) {
   ASSERT_TRUE(state.converged());
 }
 
+TEST(LinBpStateTest, DivergentEdgeUpdateRollsBackGraphAndBeliefs) {
+  const Graph g = RandomConnectedGraph(25, 20, /*seed=*/17);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.04);
+  const SeededBeliefs seeded = SeedPaperBeliefs(25, 3, 5, /*seed=*/18);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+  ASSERT_TRUE(state.converged());
+  const DenseMatrix before = state.beliefs();
+
+  // Reweighting every edge by 50x scales rho(M) well past 1, so the
+  // warm re-solve diverges. The early abort turns that into a failed
+  // solve, and the all-or-nothing contract rolls the mutation back.
+  std::vector<Edge> heavy = g.edges();
+  for (Edge& e : heavy) e.weight = 50.0;
+  std::string error;
+  EXPECT_EQ(state.UpdateEdgeWeights(heavy, &error), -1);
+  EXPECT_NE(error.find("diverging"), std::string::npos) << error;
+  EXPECT_NE(error.find("rho_hat="), std::string::npos) << error;
+  EXPECT_FALSE(state.converged());
+  for (const Edge& e : state.graph().edges()) {
+    EXPECT_EQ(e.weight, 1.0);
+  }
+  ExpectMatrixNear(state.beliefs(), before, 0.0);
+  // The abort's diagnostics survive on the state for inspection.
+  EXPECT_GT(state.diagnostics().empirical_contraction, 1.0);
+  EXPECT_GT(state.diagnostics().spectral_radius_estimate, 1.0);
+
+  // A sane reweight on the rolled-back state still applies cleanly.
+  Edge mild = g.edges()[0];
+  mild.weight = 1.5;
+  EXPECT_GT(state.UpdateEdgeWeights({mild}, &error), 0) << error;
+  ASSERT_TRUE(state.converged());
+}
+
+TEST(LinBpStateTest, DivergentAddEdgesRollsBackGraph) {
+  const Graph g = RandomConnectedGraph(25, 20, /*seed=*/19);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.04);
+  const SeededBeliefs seeded = SeedPaperBeliefs(25, 3, 5, /*seed=*/20);
+  LinBpState state(g, hhat, seeded.residuals, TightOptions());
+  ASSERT_TRUE(state.converged());
+  const DenseMatrix before = state.beliefs();
+
+  // Adding every missing edge at weight 50 pushes rho(M) far above 1.
+  std::vector<Edge> dense_batch;
+  for (std::int64_t u = 0; u < 25; ++u) {
+    for (std::int64_t v = u + 1; v < 25; ++v) {
+      if (g.adjacency().At(u, v) == 0.0) dense_batch.push_back({u, v, 50.0});
+    }
+  }
+  std::string error;
+  EXPECT_EQ(state.AddEdges(dense_batch, &error), -1);
+  EXPECT_NE(error.find("diverging"), std::string::npos) << error;
+  EXPECT_EQ(state.graph().num_undirected_edges(), g.num_undirected_edges());
+  ExpectMatrixNear(state.beliefs(), before, 0.0);
+}
+
 TEST(LinBpStateTest, StarVariantSupported) {
   const Graph g = RandomConnectedGraph(15, 10, /*seed=*/9);
   const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.05);

@@ -11,6 +11,7 @@
 #include "src/graph/beliefs.h"
 #include "src/graph/generators.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "tests/testing/test_util.h"
 
@@ -154,22 +155,27 @@ TEST(LinBpTest, InstrumentationIsBitInvisible) {
   const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.05);
   const DenseMatrix e = SeedResiduals(40, 3, /*seed=*/10);
 
-  // Baseline: metrics null-sinked, no tracer, no observer.
+  // Baseline: metrics and time series null-sinked, no tracer, no
+  // observer, no diagnostics extras.
   obs::Registry::Global().SetEnabled(false);
+  obs::TimeSeriesRegistry::Global().SetEnabled(false);
   const LinBpResult plain = RunLinBp(g, hhat, e);
   obs::Registry::Global().SetEnabled(true);
+  obs::TimeSeriesRegistry::Global().SetEnabled(true);
 
-  // Fully instrumented: metrics on, span tracer installed, sweep
-  // observer attached.
+  // Fully instrumented: metrics on, time series recording, span tracer
+  // installed, sweep observer attached, spectral estimate requested.
   obs::Tracer tracer;
   obs::SetActiveTracer(&tracer);
   LinBpOptions options;
+  options.estimate_spectral_radius = true;
   int observed_sweeps = 0;
   std::int64_t observed_rows = 0;
   options.sweep_observer = [&](const SweepTelemetry& telemetry) {
     ++observed_sweeps;
     observed_rows = telemetry.rows;
     EXPECT_GE(telemetry.seconds, 0.0);
+    EXPECT_GE(telemetry.delta_l2, 0.0);
   };
   const LinBpResult traced = RunLinBp(g, hhat, e, options);
   obs::SetActiveTracer(nullptr);
@@ -180,6 +186,16 @@ TEST(LinBpTest, InstrumentationIsBitInvisible) {
   EXPECT_EQ(observed_rows, 40);
   EXPECT_GE(tracer.num_spans(),
             static_cast<std::size_t>(traced.iterations));
+  // The instrumented run recorded one time-series sample per sweep.
+  const std::vector<obs::TimeSeriesSample> samples =
+      obs::TimeSeriesRegistry::Global().Get("linbp_sweep").Samples();
+  EXPECT_EQ(samples.size(), static_cast<std::size_t>(traced.iterations));
+  // And its diagnostics carry a contraction fit plus the spectral
+  // estimate the options requested.
+  EXPECT_GT(traced.diagnostics.empirical_contraction, 0.0);
+  EXPECT_LT(traced.diagnostics.empirical_contraction, 1.0);
+  EXPECT_GT(traced.diagnostics.spectral_radius_estimate, 0.0);
+  EXPECT_EQ(traced.diagnostics.predicted_sweeps_to_tolerance, 0.0);
   // Bit identity, not a tolerance: telemetry must never touch the math.
   ASSERT_EQ(plain.beliefs.rows(), traced.beliefs.rows());
   ASSERT_EQ(plain.beliefs.cols(), traced.beliefs.cols());
@@ -187,6 +203,96 @@ TEST(LinBpTest, InstrumentationIsBitInvisible) {
                         traced.beliefs.data().data(),
                         plain.beliefs.data().size() * sizeof(double)),
             0);
+}
+
+TEST(LinBpTest, ContractionFitMatchesSpectralRadiusOnTorus) {
+  // On a converging run the fitted rho-hat tracks rho(M): the Jacobi
+  // residual contracts by exactly rho(M) per sweep asymptotically
+  // (Eq. 13). Torus at eps 0.45, just under the ~0.488 threshold of
+  // Example 20, converges slowly enough for a clean trailing fit.
+  const Graph g = TorusExampleGraph();
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.45);
+  DenseMatrix e(8, 3);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.05;
+  e.At(0, 2) = -0.05;
+  LinBpOptions options;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-14;
+  options.estimate_spectral_radius = true;
+  const LinBpResult result = RunLinBp(g, hhat, e, options);
+  ASSERT_TRUE(result.converged);
+  const ConvergenceDiagnostics& diag = result.diagnostics;
+  ASSERT_GT(diag.spectral_radius_estimate, 0.0);
+  EXPECT_LT(diag.spectral_radius_estimate, 1.0);
+  EXPECT_GT(diag.fitted_sweeps, 2);
+  EXPECT_NEAR(diag.empirical_contraction, diag.spectral_radius_estimate,
+              0.05);
+}
+
+TEST(LinBpTest, PredictsRemainingSweepsWhenStoppedEarly) {
+  const Graph g = TorusExampleGraph();
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.45);
+  DenseMatrix e(8, 3);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.05;
+  e.At(0, 2) = -0.05;
+  LinBpOptions options;
+  options.tolerance = 1e-14;
+  options.max_iterations = 40;  // stop well before convergence
+  const LinBpResult result = RunLinBp(g, hhat, e, options);
+  ASSERT_FALSE(result.converged);
+  ASSERT_FALSE(result.failed);
+  // rho-hat in (0, 1) plus a positive prediction of the remaining work.
+  EXPECT_GT(result.diagnostics.empirical_contraction, 0.0);
+  EXPECT_LT(result.diagnostics.empirical_contraction, 1.0);
+  EXPECT_GT(result.diagnostics.predicted_sweeps_to_tolerance, 0.0);
+}
+
+TEST(LinBpTest, DivergenceAbortsEarlyWithDiagnosticError) {
+  // Example 20 again (eps 0.6 > ~0.488 diverges), but unlike the
+  // magnitude-threshold path the early abort stops in O(patience)
+  // sweeps with a diagnostic error instead of iterating until beliefs
+  // exceed 1e12.
+  const Graph g = TorusExampleGraph();
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.6);
+  DenseMatrix e(8, 3);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.05;
+  e.At(0, 2) = -0.05;
+  LinBpOptions options;
+  options.max_iterations = 600;
+  const LinBpResult result = RunLinBp(g, hhat, e, options);
+  EXPECT_TRUE(result.failed);
+  EXPECT_TRUE(result.diverged);
+  EXPECT_FALSE(result.converged);
+  EXPECT_LT(result.iterations, 100);
+  EXPECT_NE(result.error.find("diverging"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("rho_hat="), std::string::npos)
+      << result.error;
+  EXPECT_GT(result.diagnostics.empirical_contraction, 1.0);
+  // The abort computed the exact criterion for its message: rho(M) > 1
+  // confirms Lemma 8's divergence verdict.
+  EXPECT_GT(result.diagnostics.spectral_radius_estimate, 1.0);
+}
+
+TEST(LinBpTest, DivergencePatienceZeroDisablesEarlyAbort) {
+  const Graph g = TorusExampleGraph();
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.6);
+  DenseMatrix e(8, 3);
+  e.At(0, 0) = 0.1;
+  e.At(0, 1) = -0.05;
+  e.At(0, 2) = -0.05;
+  LinBpOptions options;
+  options.max_iterations = 600;
+  options.divergence_patience = 0;
+  const LinBpResult result = RunLinBp(g, hhat, e, options);
+  // The old magnitude-threshold path: diverged but not failed, and the
+  // run had to iterate until beliefs crossed divergence_threshold.
+  EXPECT_TRUE(result.diverged);
+  EXPECT_FALSE(result.failed);
+  EXPECT_TRUE(result.error.empty()) << result.error;
 }
 
 // The headline quality result (Sect. 7, Fig. 7f): LinBP's top-belief

@@ -25,6 +25,16 @@ TEST(ObsDisabledTest, MacrosCreateNoSeries) {
   EXPECT_EQ(global.num_metrics(), before);
 }
 
+TEST(ObsDisabledTest, TimeSeriesMacrosCreateNoSeries) {
+  TimeSeriesRegistry& global = TimeSeriesRegistry::Global();
+  const std::size_t before = global.num_series();
+  TimeSeriesSample sample;
+  sample.sweep = 1;
+  LINBP_OBS_TIMESERIES_BEGIN_RUN("disabled_series");
+  LINBP_OBS_TIMESERIES_APPEND("disabled_series", sample);
+  EXPECT_EQ(global.num_series(), before);
+}
+
 TEST(ObsDisabledTest, ClassApisStillWork) {
   // The flag gates only the macros; the library types keep full
   // behavior so one linbp_obs serves both build modes without ODR

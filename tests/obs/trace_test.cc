@@ -1,6 +1,8 @@
 // Span-tree semantics: per-thread nesting, the no-tracer no-op path,
 // attribute export, and JSON structure.
 
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <utility>
@@ -95,6 +97,90 @@ TEST_F(TraceTest, OpenSpansExportWithSentinelDuration) {
   const std::string json = tracer.Json();
   EXPECT_NE(json.find("\"dur_s\":-1"), std::string::npos);
   tracer.EndSpan(index, {});
+}
+
+TEST_F(TraceTest, ChromeTraceExportsCompleteEvents) {
+  Tracer tracer;
+  SetActiveTracer(&tracer);
+  {
+    ScopedSpan outer("outer");
+    outer.SetAttr("sweep", 3);
+    outer.SetAttr("label", "a\"b");
+    { ScopedSpan inner("inner"); }
+  }
+  SetActiveTracer(nullptr);
+  const std::string json = tracer.ChromeTraceJson();
+  // Top-level shape: a JSON array of "ph":"X" complete events.
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  // Timestamps and durations are microseconds; pid/tid present on every
+  // event; attributes travel in "args" with escaping intact.
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"sweep\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"a\\\"b\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceNestsByContainmentOnOneTid) {
+  Tracer tracer;
+  SetActiveTracer(&tracer);
+  {
+    ScopedSpan outer("outer");
+    { ScopedSpan inner("inner"); }
+  }
+  SetActiveTracer(nullptr);
+  const std::string json = tracer.ChromeTraceJson();
+  // chrome://tracing infers nesting from time containment within one
+  // tid: inner must start no earlier than outer and both must share a
+  // tid (single-threaded here, so every event carries tid 0).
+  const std::size_t outer_pos = json.find("\"name\":\"outer\"");
+  const std::size_t inner_pos = json.find("\"name\":\"inner\"");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  EXPECT_EQ(json.find("\"tid\":1"), std::string::npos);
+
+  auto event_field = [&](std::size_t from, const char* field) {
+    const std::size_t pos = json.find(field, from);
+    EXPECT_NE(pos, std::string::npos) << field;
+    return std::atof(json.c_str() + pos + std::strlen(field));
+  };
+  const double outer_ts = event_field(outer_pos, "\"ts\":");
+  const double outer_dur = event_field(outer_pos, "\"dur\":");
+  const double inner_ts = event_field(inner_pos, "\"ts\":");
+  const double inner_dur = event_field(inner_pos, "\"dur\":");
+  EXPECT_LE(outer_ts, inner_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur + 1e-3);
+}
+
+TEST_F(TraceTest, ChromeTraceSkipsOpenSpansAndAssignsThreadIds) {
+  Tracer tracer;
+  SetActiveTracer(&tracer);
+  {
+    ScopedSpan main_span("main_root");
+    std::thread worker([] { ScopedSpan span("worker_root"); });
+    worker.join();
+  }
+  const int open = tracer.BeginSpan("still_open");
+  SetActiveTracer(nullptr);
+  const std::string json = tracer.ChromeTraceJson();
+  // The unfinished span has no duration and must not emit an event.
+  EXPECT_EQ(json.find("still_open"), std::string::npos);
+  // The worker thread gets its own stable tid.
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  tracer.EndSpan(open, {});
+}
+
+TEST_F(TraceTest, ChromeTraceOfEmptyTracerIsAnEmptyArray) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.ChromeTraceJson(), "[]");
 }
 
 }  // namespace

@@ -1,0 +1,245 @@
+// bench_diff: parsing of both bench JSON shapes, record matching,
+// threshold gating, host-provenance warnings, and CLI exit codes.
+
+#include "tools/bench_diff_lib.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace linbp {
+namespace cli {
+namespace {
+
+// A minimal repo-format bench file with one record.
+std::string RepoFile(double load_seconds, const std::string& host_threads) {
+  return std::string("{\"context\":{\"date\":\"2026-01-01\"},\"runs\":[{") +
+         "\"bench\":\"snapshot_load\",\"scenario\":\"sbm:n=1000\"," +
+         "\"threads\":1,\"reps\":3," +
+         "\"load_seconds\":" + std::to_string(load_seconds) + "," +
+         "\"host\":{\"hardware_threads\":" + host_threads +
+         ",\"build\":\"Release\"}}]}";
+}
+
+std::vector<BenchRecord> MustParse(const std::string& json) {
+  std::vector<BenchRecord> records;
+  std::string error;
+  EXPECT_TRUE(ParseBenchRecords(json, &records, &error)) << error;
+  return records;
+}
+
+TEST(BenchDiffParseTest, ReadsRepoFormat) {
+  const std::vector<BenchRecord> records = MustParse(RepoFile(0.5, "1"));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "bench=snapshot_load scenario=sbm:n=1000 "
+                            "threads=1 reps=3");
+  EXPECT_DOUBLE_EQ(records[0].numbers.at("load_seconds"), 0.5);
+  EXPECT_EQ(records[0].host.at("hardware_threads"), "1");
+  EXPECT_EQ(records[0].host.at("build"), "Release");
+}
+
+TEST(BenchDiffParseTest, ReadsGoogleBenchmarkFormat) {
+  const std::string json =
+      "{\"context\":{\"host_name\":\"ci\",\"num_cpus\":4,"
+      "\"date\":\"ignored\",\"load_avg\":[0.1],"
+      "\"library_build_type\":\"release\"},"
+      "\"benchmarks\":[{\"name\":\"BM_Spmm/1024\",\"real_time\":12.5,"
+      "\"cpu_time\":12.0,\"iterations\":100,\"time_unit\":\"ms\"}]}";
+  const std::vector<BenchRecord> records = MustParse(json);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "BM_Spmm/1024");
+  EXPECT_DOUBLE_EQ(records[0].numbers.at("real_time"), 12.5);
+  EXPECT_DOUBLE_EQ(records[0].numbers.at("cpu_time"), 12.0);
+  // The shared context becomes per-record host provenance, minus the
+  // noise fields (date, load_avg) that differ on every run.
+  EXPECT_EQ(records[0].host.at("host_name"), "ci");
+  EXPECT_EQ(records[0].host.at("num_cpus"), "4");
+  EXPECT_EQ(records[0].host.count("date"), 0u);
+  EXPECT_EQ(records[0].host.count("load_avg"), 0u);
+}
+
+TEST(BenchDiffParseTest, RejectsMalformedJson) {
+  std::vector<BenchRecord> records;
+  std::string error;
+  EXPECT_FALSE(ParseBenchRecords("{\"runs\":[", &records, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(ParseBenchRecords("42", &records, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchDiffTest, GatedFieldClassification) {
+  EXPECT_TRUE(IsGatedTimingField("load_seconds"));
+  EXPECT_TRUE(IsGatedTimingField("real_time"));
+  EXPECT_TRUE(IsGatedTimingField("cpu_time"));
+  EXPECT_FALSE(IsGatedTimingField("iterations"));
+  EXPECT_FALSE(IsGatedTimingField("bytes_per_second"));
+}
+
+TEST(BenchDiffTest, ImprovementAndSmallSlowdownPass) {
+  const BenchDiffResult result =
+      DiffBenchRecords(MustParse(RepoFile(0.5, "1")),
+                       MustParse(RepoFile(0.6, "1")));
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.regressions, 0);
+  ASSERT_FALSE(result.entries.empty());
+  bool saw_load = false;
+  for (const BenchDiffEntry& entry : result.entries) {
+    if (entry.field != "load_seconds") continue;
+    saw_load = true;
+    EXPECT_TRUE(entry.gated);
+    EXPECT_NEAR(entry.percent, 20.0, 1e-9);
+    EXPECT_FALSE(entry.regression);
+  }
+  EXPECT_TRUE(saw_load);
+  EXPECT_TRUE(result.warnings.empty());
+  EXPECT_TRUE(result.missing.empty());
+}
+
+TEST(BenchDiffTest, SlowdownPastThresholdFails) {
+  BenchDiffOptions options;
+  options.threshold = 5.0;
+  const BenchDiffResult result = DiffBenchRecords(
+      MustParse(RepoFile(0.1, "1")), MustParse(RepoFile(0.6, "1")), options);
+  EXPECT_TRUE(result.failed);
+  EXPECT_EQ(result.regressions, 1);
+  const std::string report = FormatBenchDiffReport(result, options);
+  EXPECT_NE(report.find("REGRESSION"), std::string::npos) << report;
+  EXPECT_NE(report.find("FAIL"), std::string::npos) << report;
+}
+
+TEST(BenchDiffTest, UngatedFieldNeverRegresses) {
+  // reps is identity, so fabricate an informational numeric field.
+  const std::string base =
+      "[{\"bench\":\"x\",\"ops\":1,\"bytes\":100.0}]";
+  const std::string cur =
+      "[{\"bench\":\"x\",\"ops\":1,\"bytes\":100000.0}]";
+  const BenchDiffResult result =
+      DiffBenchRecords(MustParse(base), MustParse(cur));
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.regressions, 0);
+}
+
+TEST(BenchDiffTest, MissingRecordIsANoteUnlessFlagged) {
+  const std::string two =
+      "[{\"bench\":\"a\",\"run_seconds\":0.1},"
+      "{\"bench\":\"b\",\"run_seconds\":0.2}]";
+  const std::string one = "[{\"bench\":\"a\",\"run_seconds\":0.1}]";
+  BenchDiffOptions options;
+  BenchDiffResult result =
+      DiffBenchRecords(MustParse(two), MustParse(one), options);
+  EXPECT_FALSE(result.failed);
+  ASSERT_EQ(result.missing.size(), 1u);
+  EXPECT_NE(result.missing[0].find("bench=b"), std::string::npos);
+
+  options.fail_on_missing = true;
+  result = DiffBenchRecords(MustParse(two), MustParse(one), options);
+  EXPECT_TRUE(result.failed);
+  // And the reverse direction: an extra current record only warns.
+  result = DiffBenchRecords(MustParse(one), MustParse(two), options);
+  EXPECT_FALSE(result.failed);
+  EXPECT_FALSE(result.warnings.empty());
+}
+
+TEST(BenchDiffTest, HostMismatchWarnsButDoesNotGate) {
+  BenchDiffOptions options;
+  const BenchDiffResult result = DiffBenchRecords(
+      MustParse(RepoFile(0.5, "1")), MustParse(RepoFile(0.5, "64")), options);
+  EXPECT_FALSE(result.failed);
+  ASSERT_FALSE(result.warnings.empty());
+  bool saw_host_warning = false;
+  for (const std::string& warning : result.warnings) {
+    if (warning.find("hardware_threads") != std::string::npos) {
+      saw_host_warning = true;
+      EXPECT_NE(warning.find("not comparable"), std::string::npos) << warning;
+    }
+  }
+  EXPECT_TRUE(saw_host_warning);
+  const std::string report = FormatBenchDiffReport(result, options);
+  EXPECT_NE(report.find("hardware_threads"), std::string::npos) << report;
+}
+
+TEST(BenchDiffTest, ReportCountsFieldsAndVerdict) {
+  BenchDiffOptions options;
+  const BenchDiffResult result = DiffBenchRecords(
+      MustParse(RepoFile(0.5, "1")), MustParse(RepoFile(0.5, "1")), options);
+  const std::string report = FormatBenchDiffReport(result, options);
+  EXPECT_NE(report.find("OK"), std::string::npos) << report;
+  EXPECT_NE(report.find("0 regressions"), std::string::npos) << report;
+  EXPECT_NE(report.find("0 missing"), std::string::npos) << report;
+}
+
+class BenchDiffMainTest : public ::testing::Test {
+ protected:
+  std::string WriteTemp(const std::string& name, const std::string& body) {
+    const std::string path =
+        ::testing::TempDir() + "/bench_diff_" + name + ".json";
+    std::ofstream out(path);
+    out << body;
+    return path;
+  }
+};
+
+TEST_F(BenchDiffMainTest, ExitCodesFollowTheGate) {
+  const std::string base = WriteTemp("base", RepoFile(0.1, "1"));
+  const std::string same = WriteTemp("same", RepoFile(0.1, "1"));
+  const std::string slow = WriteTemp("slow", RepoFile(5.0, "1"));
+
+  std::string output;
+  std::string error;
+  EXPECT_EQ(BenchDiffMain({"--baseline=" + base, "--current=" + same},
+                          &output, &error),
+            0)
+      << error;
+  EXPECT_NE(output.find("OK"), std::string::npos) << output;
+
+  output.clear();
+  EXPECT_EQ(BenchDiffMain({"--baseline=" + base, "--current=" + slow},
+                          &output, &error),
+            1);
+  EXPECT_NE(output.find("FAIL"), std::string::npos) << output;
+
+  // A generous threshold turns the same pair green.
+  output.clear();
+  EXPECT_EQ(BenchDiffMain({"--baseline=" + base, "--current=" + slow,
+                           "--threshold=100"},
+                          &output, &error),
+            0)
+      << error;
+}
+
+TEST_F(BenchDiffMainTest, UsageAndParseErrorsExitTwo) {
+  std::string output;
+  std::string error;
+  EXPECT_EQ(BenchDiffMain({"--baseline=/nonexistent.json",
+                           "--current=/nonexistent.json"},
+                          &output, &error),
+            2);
+  EXPECT_FALSE(error.empty());
+
+  error.clear();
+  EXPECT_EQ(BenchDiffMain({"--bogus-flag"}, &output, &error), 2);
+  EXPECT_FALSE(error.empty());
+
+  error.clear();
+  const std::string bad = WriteTemp("bad", "{\"runs\":[");
+  EXPECT_EQ(BenchDiffMain({"--baseline=" + bad, "--current=" + bad},
+                          &output, &error),
+            2);
+  EXPECT_FALSE(error.empty());
+
+  error.clear();
+  const std::string base = WriteTemp("base2", RepoFile(0.1, "1"));
+  EXPECT_EQ(BenchDiffMain({"--baseline=" + base, "--current=" + base,
+                           "--threshold=0"},
+                          &output, &error),
+            2);
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace linbp

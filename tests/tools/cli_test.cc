@@ -569,7 +569,11 @@ TEST(RunServeTest, DivergentEpsFailsSetupCleanly) {
   std::ostringstream out;
   std::string error;
   EXPECT_EQ(RunServe(options, in, out, &error), 1);
-  EXPECT_NE(error.find("did not converge"), std::string::npos) << error;
+  // The divergence early-abort usually fires first with its diagnostic
+  // message; hitting max_iterations without converging is also valid.
+  EXPECT_TRUE(error.find("diverging") != std::string::npos ||
+              error.find("did not converge") != std::string::npos)
+      << error;
 }
 
 // The in-process version of the CI round-trip: trace a scenario, feed

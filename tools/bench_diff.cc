@@ -1,0 +1,18 @@
+// bench_diff entry point: compare two bench JSON files and gate on
+// timing regressions. See tools/bench_diff_lib.h for the format rules.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/bench_diff_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string output;
+  std::string error;
+  const int code = linbp::cli::BenchDiffMain(args, &output, &error);
+  if (!output.empty()) std::fputs(output.c_str(), stdout);
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
+  return code;
+}

@@ -1,0 +1,581 @@
+#include "tools/bench_diff_lib.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace linbp {
+namespace cli {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader. The repo emits all its bench
+// JSON by hand (no library dependency), so it reads it the same way.
+// Covers the full JSON grammar except \u escapes beyond ASCII, which
+// never appear in bench output (they decode to '?').
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& member : object) {
+      if (member.first == key) return &member.second;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* value) {
+    SkipWhitespace();
+    if (!ParseValue(value, 0)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing content after JSON value");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr) {
+      *error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(JsonValue* value, int depth) {
+    if (depth > 64) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(value, depth);
+    if (c == '[') return ParseArray(value, depth);
+    if (c == '"') {
+      value->kind = JsonValue::Kind::kString;
+      return ParseString(&value->string);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(value);
+    if (c == 'n') return ParseKeyword(value);
+    return ParseNumber(value);
+  }
+
+  bool ParseKeyword(JsonValue* value) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value->kind = JsonValue::Kind::kBool;
+      value->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      value->kind = JsonValue::Kind::kBool;
+      value->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      value->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return Fail("unrecognized token");
+  }
+
+  bool ParseNumber(JsonValue* value) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double parsed = std::strtod(begin, &end);
+    if (end == begin) return Fail("expected a value");
+    value->kind = JsonValue::Kind::kNumber;
+    value->number = parsed;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return Fail("unterminated escape");
+        const char escape = text_[pos_ + 1];
+        pos_ += 2;
+        switch (escape) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            const std::string hex = text_.substr(pos_, 4);
+            char* end = nullptr;
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return Fail("bad \\u escape");
+            out->push_back(code >= 0x20 && code < 0x7f
+                               ? static_cast<char>(code)
+                               : '?');
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue* value, int depth) {
+    value->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      SkipWhitespace();
+      if (!ParseValue(&element, depth + 1)) return false;
+      value->array.push_back(std::move(element));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* value, int depth) {
+    value->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      JsonValue member;
+      if (!ParseValue(&member, depth + 1)) return false;
+      value->object.emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Record extraction.
+
+std::string NumberToString(double value) {
+  char buf[32];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+std::string ScalarToString(const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kString: return value.string;
+    case JsonValue::Kind::kNumber: return NumberToString(value.number);
+    case JsonValue::Kind::kBool: return value.boolean ? "true" : "false";
+    default: return "";
+  }
+}
+
+bool IsScalar(const JsonValue& value) {
+  return value.kind == JsonValue::Kind::kString ||
+         value.kind == JsonValue::Kind::kNumber ||
+         value.kind == JsonValue::Kind::kBool;
+}
+
+// The fields that name a run (in key order) rather than measure it.
+// "name" covers google-benchmark records inside a "runs" array too.
+const char* const kIdentityFields[] = {"bench",  "name",       "scenario",
+                                       "method", "threads",    "num_shards",
+                                       "reps",   "iterations", "ops",
+                                       "seed"};
+
+bool IsIdentityField(const std::string& field) {
+  for (const char* id : kIdentityFields) {
+    if (field == id) return true;
+  }
+  return false;
+}
+
+// Stringifies the scalar members of a "host" / "context" object,
+// skipping fields that legitimately differ between runs on the same
+// machine (timestamps, load averages).
+std::map<std::string, std::string> HostFields(const JsonValue& object) {
+  std::map<std::string, std::string> host;
+  for (const auto& member : object.object) {
+    if (member.first == "date" || member.first == "load_avg" ||
+        member.first == "commands" || member.first == "notes") {
+      continue;
+    }
+    if (IsScalar(member.second)) {
+      host[member.first] = ScalarToString(member.second);
+    }
+  }
+  return host;
+}
+
+// One record object -> BenchRecord. `context_host` is the file-level
+// provenance fallback for records without their own "host" object.
+// `google_benchmark` keys the record by its "name" alone (the name
+// already encodes every parameter).
+BenchRecord ExtractRecord(const JsonValue& object,
+                          const std::map<std::string, std::string>&
+                              context_host,
+                          bool google_benchmark, std::size_t index) {
+  BenchRecord record;
+  const JsonValue* host = object.Find("host");
+  record.host = host != nullptr && host->kind == JsonValue::Kind::kObject
+                    ? HostFields(*host)
+                    : context_host;
+  std::string key;
+  if (google_benchmark) {
+    const JsonValue* name = object.Find("name");
+    if (name != nullptr && name->kind == JsonValue::Kind::kString) {
+      key = name->string;
+    }
+  } else {
+    for (const char* id : kIdentityFields) {
+      const JsonValue* value = object.Find(id);
+      if (value == nullptr || !IsScalar(*value)) continue;
+      if (!key.empty()) key += ' ';
+      key += std::string(id) + "=" + ScalarToString(*value);
+    }
+  }
+  if (key.empty()) key = "record[" + std::to_string(index) + "]";
+  record.key = key;
+  for (const auto& member : object.object) {
+    if (member.second.kind != JsonValue::Kind::kNumber) continue;
+    if (!google_benchmark && IsIdentityField(member.first)) continue;
+    record.numbers[member.first] = member.second.number;
+  }
+  return record;
+}
+
+bool LooksLikeRecord(const JsonValue& object) {
+  return object.Find("bench") != nullptr || object.Find("name") != nullptr;
+}
+
+std::string ReadFileOrEmpty(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *ok = in.good() || in.eof();
+  return buffer.str();
+}
+
+std::string Percent(double percent) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", percent);
+  return buf;
+}
+
+}  // namespace
+
+bool IsGatedTimingField(const std::string& field) {
+  const std::string kSuffix = "_seconds";
+  if (field.size() > kSuffix.size() &&
+      field.compare(field.size() - kSuffix.size(), kSuffix.size(),
+                    kSuffix) == 0) {
+    return true;
+  }
+  return field == "real_time" || field == "cpu_time";
+}
+
+bool ParseBenchRecords(const std::string& json,
+                       std::vector<BenchRecord>* records,
+                       std::string* error) {
+  records->clear();
+  JsonValue root;
+  JsonParser parser(json, error);
+  if (!parser.Parse(&root)) return false;
+
+  const JsonValue* list = nullptr;
+  bool google_benchmark = false;
+  std::map<std::string, std::string> context_host;
+  if (root.kind == JsonValue::Kind::kObject) {
+    const JsonValue* context = root.Find("context");
+    if (context != nullptr && context->kind == JsonValue::Kind::kObject) {
+      context_host = HostFields(*context);
+    }
+    if (const JsonValue* runs = root.Find("runs")) {
+      list = runs;
+    } else if (const JsonValue* benchmarks = root.Find("benchmarks")) {
+      list = benchmarks;
+      google_benchmark = true;
+    } else if (LooksLikeRecord(root)) {
+      records->push_back(ExtractRecord(root, context_host,
+                                       /*google_benchmark=*/false, 0));
+      return true;
+    } else {
+      if (error != nullptr) {
+        *error = "object has neither \"runs\" nor \"benchmarks\" nor "
+                 "record fields";
+      }
+      return false;
+    }
+    if (list->kind != JsonValue::Kind::kArray) {
+      if (error != nullptr) *error = "record list is not an array";
+      return false;
+    }
+  } else if (root.kind == JsonValue::Kind::kArray) {
+    list = &root;
+  } else {
+    if (error != nullptr) *error = "top-level JSON is not an object or array";
+    return false;
+  }
+
+  for (std::size_t i = 0; i < list->array.size(); ++i) {
+    const JsonValue& element = list->array[i];
+    if (element.kind != JsonValue::Kind::kObject) {
+      if (error != nullptr) {
+        *error = "record " + std::to_string(i) + " is not an object";
+      }
+      return false;
+    }
+    records->push_back(
+        ExtractRecord(element, context_host, google_benchmark, i));
+  }
+  return true;
+}
+
+BenchDiffResult DiffBenchRecords(const std::vector<BenchRecord>& baseline,
+                                 const std::vector<BenchRecord>& current,
+                                 const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  std::map<std::string, const BenchRecord*> current_by_key;
+  for (const BenchRecord& record : current) {
+    if (!current_by_key.emplace(record.key, &record).second) {
+      result.warnings.push_back("duplicate current record: " + record.key);
+    }
+  }
+  std::set<std::string> matched;
+  for (const BenchRecord& base : baseline) {
+    const auto it = current_by_key.find(base.key);
+    if (it == current_by_key.end()) {
+      result.missing.push_back(base.key);
+      continue;
+    }
+    matched.insert(base.key);
+    const BenchRecord& cur = *it->second;
+
+    // Host provenance: same-key fields must agree; a side without any
+    // host block at all gets one warning, not one per field.
+    if (base.host.empty() != cur.host.empty()) {
+      result.warnings.push_back(
+          "host provenance missing on " +
+          std::string(base.host.empty() ? "baseline" : "current") +
+          " side of: " + base.key);
+    }
+    for (const auto& field : base.host) {
+      const auto cur_field = cur.host.find(field.first);
+      if (cur_field != cur.host.end() &&
+          cur_field->second != field.second) {
+        result.warnings.push_back(
+            "host mismatch on " + base.key + ": " + field.first + " \"" +
+            field.second + "\" vs \"" + cur_field->second +
+            "\" (numbers are not comparable across host shapes)");
+      }
+    }
+
+    for (const auto& number : base.numbers) {
+      const auto cur_number = cur.numbers.find(number.first);
+      if (cur_number == cur.numbers.end()) continue;
+      BenchDiffEntry entry;
+      entry.key = base.key;
+      entry.field = number.first;
+      entry.baseline = number.second;
+      entry.current = cur_number->second;
+      entry.percent =
+          std::abs(number.second) > 1e-12
+              ? (cur_number->second - number.second) / number.second * 100.0
+              : 0.0;
+      entry.gated = IsGatedTimingField(number.first);
+      // Gate only meaningful baselines: sub-nanosecond noise floors
+      // produce arbitrary ratios.
+      entry.regression = entry.gated && number.second > 1e-9 &&
+                         cur_number->second / number.second >
+                             options.threshold;
+      if (entry.regression) ++result.regressions;
+      result.entries.push_back(entry);
+    }
+  }
+  for (const BenchRecord& record : current) {
+    if (matched.count(record.key) == 0) {
+      result.warnings.push_back("current record not in baseline: " +
+                                record.key);
+    }
+  }
+  result.failed = result.regressions > 0 ||
+                  (options.fail_on_missing && !result.missing.empty());
+  return result;
+}
+
+std::string FormatBenchDiffReport(const BenchDiffResult& result,
+                                  const BenchDiffOptions& options) {
+  std::ostringstream out;
+  std::string last_key;
+  for (const BenchDiffEntry& entry : result.entries) {
+    if (entry.key != last_key) {
+      out << entry.key << "\n";
+      last_key = entry.key;
+    }
+    out << "  " << entry.field << ": " << entry.baseline << " -> "
+        << entry.current << " (" << Percent(entry.percent) << ")"
+        << (entry.regression ? "  REGRESSION" : "") << "\n";
+  }
+  for (const std::string& key : result.missing) {
+    out << "missing in current: " << key << "\n";
+  }
+  for (const std::string& warning : result.warnings) {
+    out << "warning: " << warning << "\n";
+  }
+  int gated = 0;
+  for (const BenchDiffEntry& entry : result.entries) {
+    if (entry.gated) ++gated;
+  }
+  out << (result.failed ? "FAIL" : "OK") << ": " << result.entries.size()
+      << " fields compared (" << gated << " gated at "
+      << NumberToString(options.threshold) << "x), " << result.regressions
+      << " regressions, " << result.missing.size() << " missing\n";
+  return out.str();
+}
+
+int BenchDiffMain(const std::vector<std::string>& args, std::string* output,
+                  std::string* error) {
+  std::string baseline_path;
+  std::string current_path;
+  BenchDiffOptions options;
+  for (const std::string& arg : args) {
+    const std::string kBaseline = "--baseline=";
+    const std::string kCurrent = "--current=";
+    const std::string kThreshold = "--threshold=";
+    if (arg.compare(0, kBaseline.size(), kBaseline) == 0) {
+      baseline_path = arg.substr(kBaseline.size());
+    } else if (arg.compare(0, kCurrent.size(), kCurrent) == 0) {
+      current_path = arg.substr(kCurrent.size());
+    } else if (arg.compare(0, kThreshold.size(), kThreshold) == 0) {
+      options.threshold = std::atof(arg.c_str() + kThreshold.size());
+      if (options.threshold <= 0.0) {
+        *error = "--threshold must be positive";
+        return 2;
+      }
+    } else if (arg == "--fail-on-missing") {
+      options.fail_on_missing = true;
+    } else {
+      *error = "unknown argument '" + arg +
+               "'\nusage: bench_diff --baseline=FILE --current=FILE "
+               "[--threshold=X] [--fail-on-missing]";
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    *error = "usage: bench_diff --baseline=FILE --current=FILE "
+             "[--threshold=X] [--fail-on-missing]";
+    return 2;
+  }
+  bool ok = false;
+  const std::string baseline_json = ReadFileOrEmpty(baseline_path, &ok);
+  if (!ok) {
+    *error = "cannot read " + baseline_path;
+    return 2;
+  }
+  const std::string current_json = ReadFileOrEmpty(current_path, &ok);
+  if (!ok) {
+    *error = "cannot read " + current_path;
+    return 2;
+  }
+  std::vector<BenchRecord> baseline;
+  std::vector<BenchRecord> current;
+  std::string parse_error;
+  if (!ParseBenchRecords(baseline_json, &baseline, &parse_error)) {
+    *error = baseline_path + ": " + parse_error;
+    return 2;
+  }
+  if (!ParseBenchRecords(current_json, &current, &parse_error)) {
+    *error = current_path + ": " + parse_error;
+    return 2;
+  }
+  const BenchDiffResult result = DiffBenchRecords(baseline, current, options);
+  *output = FormatBenchDiffReport(result, options);
+  return result.failed ? 1 : 0;
+}
+
+}  // namespace cli
+}  // namespace linbp

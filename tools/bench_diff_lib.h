@@ -1,0 +1,104 @@
+// bench_diff: record-by-record comparison of two bench JSON files.
+//
+// Reads the repo's BENCH_*.json shapes — the {"context": ..., "runs":
+// [...]} format the bench drivers emit and the {"context": ...,
+// "benchmarks": [...]} format of google-benchmark — plus a bare record
+// array or a single record object. Records are matched by an identity
+// key (bench/scenario/threads/... fields, or the google-benchmark
+// "name"), timing fields are compared as current/baseline ratios, and
+// ratios above a threshold gate the exit status. Host-provenance
+// mismatches (different hardware_threads, build type, ...) warn instead
+// of gating: numbers from different host shapes are not comparable, and
+// the tool says so rather than failing or silently passing.
+
+#ifndef LINBP_TOOLS_BENCH_DIFF_LIB_H_
+#define LINBP_TOOLS_BENCH_DIFF_LIB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace linbp {
+namespace cli {
+
+/// One bench record, flattened for comparison.
+struct BenchRecord {
+  /// Identity of the record within its file, e.g.
+  /// "bench=dataset_snapshot_load scenario=sbm:... threads=1" or a
+  /// google-benchmark run name. Records in the two files match when
+  /// their keys are equal.
+  std::string key;
+  /// Every numeric field (timings, counts, ratios). Only timing fields
+  /// — names ending in "_seconds", plus "real_time" / "cpu_time" — are
+  /// gated; the rest are informational.
+  std::map<std::string, double> numbers;
+  /// Host-provenance fields ("host" object of a record, or the shared
+  /// top-level "context" of a google-benchmark file), stringified.
+  std::map<std::string, std::string> host;
+};
+
+/// Parses one bench JSON payload into records. Accepts {"runs": [...]},
+/// {"benchmarks": [...]}, a bare array of record objects, or a single
+/// record object. Returns false with *error set on malformed JSON or an
+/// unrecognized shape.
+bool ParseBenchRecords(const std::string& json,
+                       std::vector<BenchRecord>* records, std::string* error);
+
+/// True for fields where a larger current value is a slowdown and
+/// therefore gated: names ending "_seconds", "real_time", "cpu_time".
+bool IsGatedTimingField(const std::string& field);
+
+struct BenchDiffOptions {
+  /// A gated field regresses when current / baseline exceeds this (and
+  /// the baseline is meaningfully nonzero). The default is deliberately
+  /// loose — CI shares hardware with other jobs, so only order-of-
+  /// magnitude slowdowns are actionable there.
+  double threshold = 5.0;
+  /// Treat a baseline record with no matching current record as a
+  /// failure instead of a note.
+  bool fail_on_missing = false;
+};
+
+/// One compared numeric field of one matched record pair.
+struct BenchDiffEntry {
+  std::string key;    // record identity
+  std::string field;  // numeric field name
+  double baseline = 0.0;
+  double current = 0.0;
+  double percent = 0.0;  // (current - baseline) / baseline * 100
+  bool gated = false;    // IsGatedTimingField(field)
+  bool regression = false;
+};
+
+/// Full comparison outcome.
+struct BenchDiffResult {
+  std::vector<BenchDiffEntry> entries;  // matched fields, file order
+  std::vector<std::string> warnings;    // host mismatches, unmatched current
+  std::vector<std::string> missing;     // baseline records absent in current
+  int regressions = 0;
+  /// Gate verdict under the options: regressions > 0, or missing
+  /// records with fail_on_missing.
+  bool failed = false;
+};
+
+/// Compares records pairwise by key.
+BenchDiffResult DiffBenchRecords(const std::vector<BenchRecord>& baseline,
+                                 const std::vector<BenchRecord>& current,
+                                 const BenchDiffOptions& options = {});
+
+/// Human-readable report: one line per compared field plus warnings and
+/// the verdict.
+std::string FormatBenchDiffReport(const BenchDiffResult& result,
+                                  const BenchDiffOptions& options);
+
+/// The bench_diff CLI: --baseline=FILE --current=FILE [--threshold=X]
+/// [--fail-on-missing]. Writes the report to *output. Returns 0 when
+/// the gate passes, 1 on regression (or missing records with
+/// --fail-on-missing), 2 on usage or parse errors (*error set).
+int BenchDiffMain(const std::vector<std::string>& args, std::string* output,
+                  std::string* error);
+
+}  // namespace cli
+}  // namespace linbp
+
+#endif  // LINBP_TOOLS_BENCH_DIFF_LIB_H_

@@ -481,8 +481,10 @@ std::string Usage() {
       "linbp_cli trace --scenario=SPEC --out-dir=DIR [--ops=N] [--seed=S]\n"
       "          [--method=linbp|linbp*]\n"
       "  global flags (any command): --metrics-out=FILE writes a JSON\n"
-      "           metrics + trace-span report on exit; --quiet silences\n"
-      "           diagnostic notes on stderr\n"
+      "           metrics + time-series + trace-span report on exit;\n"
+      "           --trace-out=FILE writes a Chrome trace-event JSON\n"
+      "           (load in chrome://tracing or ui.perfetto.dev);\n"
+      "           --quiet silences diagnostic notes on stderr\n"
       "  EDGES:   'u v [w]' per line;  BELIEFS: 'v c b' per line\n"
       "  SPEC:    e.g. sbm:n=10000,k=4,mode=heterophily | snap:path=g.lbps\n"
       "           (snap: also accepts a shard manifest; see "
@@ -497,8 +499,10 @@ std::string Usage() {
       "           b node k r_1..r_k | q v [v...] | labels | stats |\n"
       "           metrics | quit. Updates reply 'ok sweeps=N' or\n"
       "           'error: ...' (state untouched on error); queries reply\n"
-      "           label lines; stats adds update/query latency\n"
-      "           percentiles; metrics dumps Prometheus text exposition\n"
+      "           label lines; stats adds convergence diagnostics\n"
+      "           (rho_hat, spectral_radius, predicted_sweeps) and\n"
+      "           update/query latency percentiles; metrics dumps\n"
+      "           Prometheus text exposition\n"
       "  trace:   writes start.lbps, final.lbps, updates.txt, eps.txt for\n"
       "           the serve round-trip (warm replay vs cold solve)\n";
 }
@@ -843,6 +847,10 @@ int RunServe(const ServeOptions& options, std::istream& in,
   lin_options.variant = variant;
   lin_options.max_iterations = 1000;
   lin_options.exec = ctx;
+  // The serve session reports rho(M) alongside rho-hat in `stats`; the
+  // power iteration runs once per graph shape and is reused by warm
+  // re-solves.
+  lin_options.estimate_spectral_radius = true;
   const std::int64_t k = scenario->k;
   const std::int64_t n = scenario->graph.num_nodes();
   LinBpState state(std::move(scenario->graph), coupling.ScaledResidual(eps),
@@ -884,11 +892,17 @@ int RunServe(const ServeOptions& options, std::istream& in,
                     updates.Quantile(0.5) * 1e3, updates.Quantile(0.95) * 1e3,
                     static_cast<long long>(queries.count),
                     queries.Quantile(0.5) * 1e3, queries.Quantile(0.95) * 1e3);
+      const ConvergenceDiagnostics& diag = state.diagnostics();
+      char convergence[160];
+      std::snprintf(convergence, sizeof(convergence),
+                    " rho_hat=%.6g spectral_radius=%.6g predicted_sweeps=%.6g",
+                    diag.empirical_contraction, diag.spectral_radius_estimate,
+                    diag.predicted_sweeps_to_tolerance);
       out << "nodes=" << n << " edges=" << state.graph().num_undirected_edges()
           << " k=" << k << " eps=" << eps
           << " converged=" << (state.converged() ? 1 : 0)
-          << " cold_sweeps=" << state.cold_start_iterations() << latency
-          << '\n';
+          << " cold_sweeps=" << state.cold_start_iterations() << convergence
+          << latency << '\n';
       continue;
     }
     if (command == "metrics") {
@@ -1158,33 +1172,42 @@ int RunMainDispatch(const std::vector<std::string>& args,
 
 int RunMain(const std::vector<std::string>& args, std::string* output,
             std::string* error, bool* usage_error) {
-  // --quiet and --metrics-out=FILE apply to every subcommand, so they
-  // are stripped here rather than in each parser.
+  // --quiet, --metrics-out=FILE, and --trace-out=FILE apply to every
+  // subcommand, so they are stripped here rather than in each parser.
   std::vector<std::string> rest;
   rest.reserve(args.size());
   std::string metrics_out;
+  std::string trace_out;
   for (const std::string& arg : args) {
     if (arg == "--quiet") {
       obs::SetQuiet(true);
     } else if (auto v = FlagValue(arg, "--metrics-out=")) {
       metrics_out = *v;
+    } else if (auto v = FlagValue(arg, "--trace-out=")) {
+      trace_out = *v;
     } else {
       rest.push_back(arg);
     }
   }
-  if (metrics_out.empty()) {
+  if (metrics_out.empty() && trace_out.empty()) {
     return RunMainDispatch(rest, output, error, usage_error);
   }
   // Spans are retained only when a report was requested; without the
-  // flag ScopedSpan sees no active tracer and costs one atomic load.
+  // flags ScopedSpan sees no active tracer and costs one atomic load.
   obs::Tracer tracer;
   obs::SetActiveTracer(&tracer);
   int code = RunMainDispatch(rest, output, error, usage_error);
   obs::SetActiveTracer(nullptr);
-  if (!obs::WriteMetricsReport(metrics_out, obs::Registry::Global(),
+  if (!metrics_out.empty() &&
+      !obs::WriteMetricsReport(metrics_out, obs::Registry::Global(),
                                &tracer) &&
       code == 0) {
     *error = "failed to write metrics report to " + metrics_out;
+    code = 1;
+  }
+  if (!trace_out.empty() && !obs::WriteChromeTrace(trace_out, tracer) &&
+      code == 0) {
+    *error = "failed to write trace to " + trace_out;
     code = 1;
   }
   return code;
