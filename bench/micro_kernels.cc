@@ -61,6 +61,24 @@ void BM_SparseDenseMultiply(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseDenseMultiply)->Arg(5)->Arg(7)->Arg(9);
 
+// Modeled memory traffic of one SpMM pass at the given scalar width:
+// per stored entry one value + one column index + a gathered k-wide
+// belief row, plus one output write per belief cell. Reported as
+// bytes/sec so the f32 bandwidth saving shows up directly next to the
+// f64 rows (same items/sec => ~half the bytes/sec).
+std::int64_t SpmmSweepBytes(const Graph& graph, std::int64_t k,
+                            std::int64_t scalar_bytes) {
+  return graph.num_directed_edges() * (scalar_bytes + 4 + k * scalar_bytes) +
+         graph.num_nodes() * k * scalar_bytes;
+}
+
+// Same model for SpMV: value + column index + one gathered x element per
+// entry, one y write per row.
+std::int64_t SpmvSweepBytes(const Graph& graph, std::int64_t scalar_bytes) {
+  return graph.num_directed_edges() * (2 * scalar_bytes + 4) +
+         graph.num_nodes() * scalar_bytes;
+}
+
 // Threaded SpMM sweep: args are (Kronecker power, thread count). The
 // speedup over the serial kernel at matching power is the ROADMAP hot-path
 // acceptance metric; the result is bit-identical at every width.
@@ -76,8 +94,33 @@ void BM_SpMMThreads(benchmark::State& state) {
         graph.adjacency().MultiplyDense(seeded.residuals, ctx));
   }
   state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+  state.SetBytesProcessed(state.iterations() * SpmmSweepBytes(graph, 3, 8));
 }
 BENCHMARK(BM_SpMMThreads)
+    ->ArgsProduct({{5, 7, 9}, {1, 2, 4, 8}})
+    ->ArgNames({"power", "threads"});
+
+// float32 twin of the threaded SpMM sweep: the same graphs through the
+// f32 belief-storage kernels (SpmmRowsT<float> behind MultiplyDenseF32).
+// A distinct benchmark name keeps f32 records from ever pairing with f64
+// ones in tools/bench_diff.
+void BM_SpMMThreadsF32(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const exec::ExecContext& ctx =
+      ContextForThreads(static_cast<int>(state.range(1)));
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(graph.num_nodes(), 3,
+                       graph.num_nodes() / 20 + 1, 42);
+  const DenseMatrixF32 beliefs = DenseMatrixF32::FromF64(seeded.residuals);
+  graph.adjacency().values_f32();  // build the value cache outside timing
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph.adjacency().MultiplyDenseF32(beliefs, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+  state.SetBytesProcessed(state.iterations() * SpmmSweepBytes(graph, 3, 4));
+}
+BENCHMARK(BM_SpMMThreadsF32)
     ->ArgsProduct({{5, 7, 9}, {1, 2, 4, 8}})
     ->ArgNames({"power", "threads"});
 
@@ -91,8 +134,27 @@ void BM_SpMVThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(graph.adjacency().MultiplyVector(x, ctx));
   }
   state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+  state.SetBytesProcessed(state.iterations() * SpmvSweepBytes(graph, 8));
 }
 BENCHMARK(BM_SpMVThreads)
+    ->ArgsProduct({{5, 7, 9}, {1, 2, 4, 8}})
+    ->ArgNames({"power", "threads"});
+
+// float32 twin of the threaded SpMV sweep (SpmvRowsT<float> behind
+// MultiplyVectorF32).
+void BM_SpMVThreadsF32(benchmark::State& state) {
+  const Graph& graph = GraphForPower(static_cast<int>(state.range(0)));
+  const exec::ExecContext& ctx =
+      ContextForThreads(static_cast<int>(state.range(1)));
+  std::vector<float> x(graph.num_nodes(), 1.0f);
+  graph.adjacency().values_f32();  // build the value cache outside timing
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.adjacency().MultiplyVectorF32(x, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_directed_edges());
+  state.SetBytesProcessed(state.iterations() * SpmvSweepBytes(graph, 4));
+}
+BENCHMARK(BM_SpMVThreadsF32)
     ->ArgsProduct({{5, 7, 9}, {1, 2, 4, 8}})
     ->ArgNames({"power", "threads"});
 

@@ -24,6 +24,14 @@
 //                     beliefs are bit-identical, and print a JSON record
 //                     with wall-clock and peak-RSS columns (also lands
 //                     in BENCH_dataset.json)
+//   --parity          run every suite spec (or --scenario=SPEC) with
+//                     float64 AND float32 belief storage and assert the
+//                     fp32 run stays faithful: label flips on at most
+//                     0.5% of nodes and a final residual delta at the
+//                     fp32 noise floor. Registered as a CTest test at 1
+//                     and 4 threads (the precision-seam guardrail).
+//   --precision=P     belief-storage precision for the sweep / stream
+//                     modes: f64 (default) or f32
 //   --threads=N       kernel thread count (0 = all hardware threads)
 
 #include <algorithm>
@@ -94,7 +102,7 @@ TopBeliefAssignment GroundTruthAssignment(
 }
 
 bool RunOne(const std::string& spec, const exec::ExecContext& ctx,
-            SweepResult* result) {
+            Precision precision, SweepResult* result) {
   result->spec = spec;
   std::string error;
   dataset::Scenario scenario;
@@ -118,6 +126,7 @@ bool RunOne(const std::string& spec, const exec::ExecContext& ctx,
   LinBpOptions options;
   options.max_iterations = 1000;
   options.exec = ctx;
+  options.precision = precision;
   result->linbp_seconds = bench::TimeSeconds([&] {
     linbp = RunLinBp(scenario.graph, coupling.ScaledResidual(eps),
                      scenario.explicit_residuals, options);
@@ -147,12 +156,12 @@ bool RunOne(const std::string& spec, const exec::ExecContext& ctx,
 }
 
 int RunSweep(const std::vector<std::string>& specs,
-             const exec::ExecContext& ctx) {
+             const exec::ExecContext& ctx, Precision precision) {
   TablePrinter table({"scenario", "n", "e", "build", "LinBP", "iters",
                       "SBP", "F1 LinBP", "F1 SBP", "agree"});
   for (const std::string& spec : specs) {
     SweepResult r;
-    if (!RunOne(spec, ctx, &r)) return 1;
+    if (!RunOne(spec, ctx, precision, &r)) return 1;
     auto f1 = [](double value) {
       return value < 0.0 ? std::string("-") : TablePrinter::Num(value, 4);
     };
@@ -209,7 +218,8 @@ int RunCheck(const exec::ExecContext& ctx, const std::string& spec_override,
   int failures = 0;
   for (std::size_t i = 0; i < suite.size(); ++i) {
     SweepResult r;
-    if (!RunOne(suite[i], ctx, &r)) return 1;
+    // Goldens were recorded at f64; --check always runs f64.
+    if (!RunOne(suite[i], ctx, Precision::kF64, &r)) return 1;
     auto check = [&](const char* what, double got, double want) {
       if (want < 0.0) return;  // no golden for truthless scenarios
       const bool ok = std::abs(got - want) <= kF1Tolerance;
@@ -226,6 +236,75 @@ int RunCheck(const exec::ExecContext& ctx, const std::string& spec_override,
     return 1;
   }
   std::printf("all golden checks passed\n");
+  return 0;
+}
+
+// --parity: the precision-seam quality guardrail. Solves every spec
+// twice — float64 and float32 belief storage, identical options
+// otherwise — and asserts the fp32 run stays faithful to fp64:
+//   * both runs finish without divergence or failure,
+//   * the top-1 labels differ on at most 0.5% of nodes (fp32 rounding
+//     may legitimately flip near-tie nodes, never well-separated ones),
+//   * the fp32 final residual delta sits at the float32 noise floor
+//     (<= 1e-5; the fp64 tolerance of 1e-12 is below float resolution,
+//     so the fp32 run is expected to stall there rather than meet it).
+int RunParity(const std::vector<std::string>& specs,
+              const exec::ExecContext& ctx) {
+  constexpr double kMaxFlipFraction = 0.005;
+  constexpr double kF32DeltaFloor = 1e-5;
+  int failures = 0;
+  for (const std::string& spec : specs) {
+    std::string error;
+    auto scenario = dataset::MakeScenario(spec, &error, ctx);
+    if (!scenario.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    const CouplingMatrix coupling = scenario->Coupling();
+    const double threshold = ExactEpsilonThreshold(scenario->graph, coupling,
+                                                   LinBpVariant::kLinBp);
+    const double eps = std::isfinite(threshold) ? 0.5 * threshold : 1.0;
+    LinBpOptions options;
+    options.max_iterations = 1000;
+    options.exec = ctx;
+    const LinBpResult f64 =
+        RunLinBp(scenario->graph, coupling.ScaledResidual(eps),
+                 scenario->explicit_residuals, options);
+    options.precision = Precision::kF32;
+    const LinBpResult f32 =
+        RunLinBp(scenario->graph, coupling.ScaledResidual(eps),
+                 scenario->explicit_residuals, options);
+    if (f64.diverged || f64.failed || f32.diverged || f32.failed) {
+      std::printf("parity %-50s solver FAILED (f64 %s, f32 %s)\n",
+                  spec.c_str(), f64.failed ? "failed" : "ok",
+                  f32.failed ? "failed" : "ok");
+      ++failures;
+      continue;
+    }
+    const TopBeliefAssignment top64 = TopBeliefs(f64.beliefs);
+    const TopBeliefAssignment top32 = TopBeliefs(f32.beliefs);
+    const std::int64_t n = scenario->graph.num_nodes();
+    std::int64_t flips = 0;
+    for (std::int64_t v = 0; v < n; ++v) {
+      if (top64.classes[v] != top32.classes[v]) ++flips;
+    }
+    const double flip_fraction =
+        n > 0 ? static_cast<double>(flips) / static_cast<double>(n) : 0.0;
+    const bool flips_ok = flip_fraction <= kMaxFlipFraction;
+    const bool delta_ok = f32.last_delta <= kF32DeltaFloor;
+    std::printf("parity %-50s flips %lld/%lld (%.4f%%, bound 0.5%%)  "
+                "f32 delta %.3e (floor %.0e)  %s\n",
+                spec.c_str(), static_cast<long long>(flips),
+                static_cast<long long>(n), 100.0 * flip_fraction,
+                f32.last_delta, kF32DeltaFloor,
+                (flips_ok && delta_ok) ? "OK" : "FAIL");
+    if (!flips_ok || !delta_ok) ++failures;
+  }
+  if (failures > 0) {
+    std::printf("%d precision parity check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("all precision parity checks passed\n");
   return 0;
 }
 
@@ -310,7 +389,8 @@ int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
 // process-wide VmHWM records; the streamed residency column is the
 // reader's exact byte counter, immune to that ordering.
 int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
-                   std::int64_t shards, int iterations) {
+                   std::int64_t shards, int iterations,
+                   Precision precision) {
   std::string error;
   auto scenario = dataset::MakeScenario(spec, &error, ctx);
   if (!scenario.has_value()) {
@@ -334,6 +414,10 @@ int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
   options.max_iterations = iterations;
   options.tolerance = 0.0;  // fixed-sweep timing protocol
   options.exec = ctx;
+  // Bit-identity between the resident and streamed runs holds per
+  // precision: the f32 path narrows shard values once per block load and
+  // runs the same row-owned kernels, so the assertion below stays exact.
+  options.precision = precision;
 
   LinBpResult in_memory;
   const double memory_seconds = bench::TimeSeconds([&] {
@@ -377,6 +461,7 @@ int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
       "  \"undirected_edges\": %lld,\n"
       "  \"threads\": %d,\n"
       "  \"iterations\": %d,\n"
+      "  \"precision\": \"%s\",\n"
       "  \"num_shards\": %lld,\n"
       "  \"inmemory_solve_seconds\": %.6f,\n"
       "  \"stream_open_seconds\": %.6f,\n"
@@ -391,7 +476,7 @@ int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
       "}\n",
       spec.c_str(), static_cast<long long>(scenario->graph.num_nodes()),
       static_cast<long long>(scenario->graph.num_undirected_edges()),
-      ctx.threads(), iterations,
+      ctx.threads(), iterations, PrecisionName(precision),
       static_cast<long long>(sharded->num_shards), memory_seconds,
       open_seconds, stream_seconds, stream_seconds / memory_seconds,
       static_cast<long long>(
@@ -410,8 +495,19 @@ int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   const bench::MetricsDumpGuard metrics_guard(args);
   const exec::ExecContext ctx = bench::ExecFromArgs(args);
+  Precision precision = Precision::kF64;
+  if (!ParsePrecision(args.Str("precision", "f64"), &precision)) {
+    std::fprintf(stderr, "error: --precision must be f32 or f64\n");
+    return 1;
+  }
   if (args.Has("check")) {
     return RunCheck(ctx, args.Str("scenario", ""), args.Int("golden", -1));
+  }
+  if (args.Has("parity")) {
+    const std::string spec = args.Str("scenario", "");
+    return RunParity(spec.empty() ? DefaultSuite()
+                                  : std::vector<std::string>{spec},
+                     ctx);
   }
   if (args.Has("io-bench")) {
     return RunIoBench(args.Str("scenario", "sbm:n=200000,k=4,deg=10,seed=5"),
@@ -422,12 +518,13 @@ int main(int argc, char** argv) {
     return RunStreamBench(
         args.Str("scenario", "sbm:n=200000,k=4,deg=10,seed=5"), ctx,
         args.Int("shards", 0),
-        static_cast<int>(args.Int("iterations", 10)));
+        static_cast<int>(args.Int("iterations", 10)), precision);
   }
   const std::string spec = args.Str("scenario", "");
-  std::printf("== scenario sweep (LinBP vs SBP) ==\n\n");
-  const int code = spec.empty() ? RunSweep(DefaultSuite(), ctx)
-                                : RunSweep({spec}, ctx);
+  std::printf("== scenario sweep (LinBP vs SBP, %s beliefs) ==\n\n",
+              PrecisionName(precision));
+  const int code = spec.empty() ? RunSweep(DefaultSuite(), ctx, precision)
+                                : RunSweep({spec}, ctx, precision);
   if (code == 0) {
     std::printf("\n(F1 columns compare against planted ground truth; "
                 "'agree' is LinBP-vs-SBP label agreement)\n");

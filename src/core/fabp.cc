@@ -10,6 +10,7 @@
 #include "src/la/solvers.h"
 #include "src/obs/obs.h"
 #include "src/util/check.h"
+#include "src/util/timer.h"
 
 namespace linbp {
 namespace {
@@ -62,19 +63,82 @@ std::int64_t StreamBytesCounterValue() {
 // divergence abort (matches LinBpOptions::divergence_patience's default).
 constexpr int kFabpDivergencePatience = 5;
 
+// The f32-storage twin of la JacobiSolve specialized to the FaBP
+// operator: the iterate lives in a float vector and the SpMV runs the
+// backend's f32 kernel, while the per-element update (c1 * (Ax)_s -
+// c2 * d_s * y_s, then + x_s) and the delta reduction accumulate in
+// fp64 with one rounding per stored element. Stopping and divergence
+// logic mirror JacobiSolve exactly. Throws engine::StreamError on a
+// backend failure, like FabpOperator::Apply.
+JacobiResult JacobiSolveFabpF32(const engine::PropagationBackend& backend,
+                                double c1, double c2,
+                                const std::vector<double>& x,
+                                int max_iterations, double tolerance,
+                                const JacobiIterationObserver& observer,
+                                int divergence_patience,
+                                const exec::ExecContext& ctx) {
+  const std::int64_t n = backend.num_nodes();
+  LINBP_CHECK(static_cast<std::int64_t>(x.size()) == n);
+  const std::vector<double>& degrees = backend.weighted_degrees();
+  JacobiResult result;
+  std::vector<float> y(n, 0.0f);
+  std::vector<float> ax;
+  std::vector<double> deltas;
+  if (divergence_patience > 0) deltas.reserve(max_iterations);
+  int growth_streak = 0;
+  for (int it = 1; it <= max_iterations; ++it) {
+    WallTimer iteration_timer;
+    std::string error;
+    if (!backend.MultiplyVectorF32(y, ctx, &ax, &error)) {
+      throw engine::StreamError(error);
+    }
+    double delta = 0.0;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const double propagated = c1 * static_cast<double>(ax[s]) -
+                                c2 * degrees[s] * static_cast<double>(y[s]);
+      const float next = static_cast<float>(x[s] + propagated);
+      delta = std::max(delta, std::abs(static_cast<double>(next) -
+                                       static_cast<double>(y[s])));
+      y[s] = next;
+    }
+    result.iterations = it;
+    if (divergence_patience > 0) {
+      growth_streak =
+          delta > result.last_delta && it > 1 ? growth_streak + 1 : 0;
+      deltas.push_back(delta);
+    }
+    result.last_delta = delta;
+    if (observer) observer(it, delta, iteration_timer.Seconds());
+    if (delta <= tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (divergence_patience > 0 && growth_streak >= divergence_patience &&
+        delta > deltas.front() && FitContractionRate(deltas) > 1.0) {
+      result.diverged = true;
+      break;
+    }
+  }
+  result.solution.assign(y.begin(), y.end());
+  return result;
+}
+
 }  // namespace
 
 FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
                    const std::vector<double>& explicit_residuals,
-                   int max_iterations, double tolerance,
-                   const exec::ExecContext& exec,
-                   const SweepObserver& observer) {
+                   const FabpOptions& options) {
+  const int max_iterations = options.max_iterations;
+  const double tolerance = options.tolerance;
+  const exec::ExecContext& exec = options.exec;
+  const SweepObserver& observer = options.observer;
   LINBP_CHECK(static_cast<std::int64_t>(explicit_residuals.size()) ==
               backend.num_nodes());
   LINBP_CHECK_MSG(std::abs(h) < 0.5, "|h| must be < 1/2");
   const double denom = 1.0 - 4.0 * h * h;
-  const FabpOperator op(&backend, 2.0 * h / denom, 4.0 * h * h / denom,
-                        &exec);
+  const double c1 = 2.0 * h / denom;
+  const double c2 = 4.0 * h * h / denom;
+  const FabpOperator op(&backend, c1, c2, &exec);
   FabpResult result;
   // Bridge each Jacobi iteration into the shared sweep telemetry path
   // (registry series fabp_*, the "fabp_sweep" time series; magnitude and
@@ -99,6 +163,7 @@ FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
           sample.delta = delta;
           sample.seconds = seconds;
           sample.bytes_streamed = bytes_now - last_bytes;
+          sample.precision = PrecisionName(options.precision);
           LINBP_OBS_TIMESERIES_APPEND("fabp_sweep", sample);
         }
         deltas.push_back(delta);
@@ -112,6 +177,7 @@ FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
           telemetry.rows = rows;
           telemetry.nnz = nnz;
           telemetry.bytes_streamed = bytes_now - last_bytes;
+          telemetry.precision = options.precision;
           observer(telemetry);
         }
         last_bytes = bytes_now;
@@ -120,15 +186,20 @@ FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
   try {
     obs::ScopedSpan span("fabp_solve");
     LINBP_OBS_TIMESERIES_BEGIN_RUN("fabp_sweep");
-    const JacobiResult jacobi = JacobiSolve(op, explicit_residuals,
-                                            max_iterations, tolerance,
-                                            iteration_observer,
-                                            kFabpDivergencePatience);
+    const JacobiResult jacobi =
+        options.precision == Precision::kF32
+            ? JacobiSolveFabpF32(backend, c1, c2, explicit_residuals,
+                                 max_iterations, tolerance,
+                                 iteration_observer, kFabpDivergencePatience,
+                                 exec)
+            : JacobiSolve(op, explicit_residuals, max_iterations, tolerance,
+                          iteration_observer, kFabpDivergencePatience);
     if (span.active()) {
       span.SetAttr("iterations", jacobi.iterations);
       span.SetAttr("delta", jacobi.last_delta);
       span.SetAttr("rows", rows);
       span.SetAttr("nnz", nnz);
+      span.SetAttr("precision", PrecisionName(options.precision));
     }
     result.beliefs = jacobi.solution;
     result.iterations = jacobi.iterations;
@@ -186,6 +257,26 @@ FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
     result.error = stream_error.what();
   }
   return result;
+}
+
+FabpResult RunFabp(const Graph& graph, double h,
+                   const std::vector<double>& explicit_residuals,
+                   const FabpOptions& options) {
+  const engine::InMemoryBackend backend(&graph);
+  return RunFabp(backend, h, explicit_residuals, options);
+}
+
+FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
+                   const std::vector<double>& explicit_residuals,
+                   int max_iterations, double tolerance,
+                   const exec::ExecContext& exec,
+                   const SweepObserver& observer) {
+  FabpOptions options;
+  options.max_iterations = max_iterations;
+  options.tolerance = tolerance;
+  options.exec = exec;
+  options.observer = observer;
+  return RunFabp(backend, h, explicit_residuals, options);
 }
 
 FabpResult RunFabp(const Graph& graph, double h,

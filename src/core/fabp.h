@@ -43,14 +43,42 @@ struct FabpResult {
   ConvergenceDiagnostics diagnostics;
 };
 
+/// Options for RunFabp (mirrors LinBpOptions for the binary solver).
+struct FabpOptions {
+  /// Maximum Jacobi iterations.
+  int max_iterations = 1000;
+  /// Stop when the max abs belief change falls below this.
+  double tolerance = 1e-13;
+  /// Where the per-iteration SpMV and scaling run.
+  exec::ExecContext exec = exec::ExecContext::Default();
+  /// Per-iteration telemetry hook (one SweepTelemetry per Jacobi
+  /// iteration); independent of it, iterations record into the global
+  /// obs registry and active tracer.
+  SweepObserver observer;
+  /// Storage precision of the belief vector on the iteration hot path.
+  /// kF32 runs the f32 SpMV kernels with fp64 delta accumulation and
+  /// widens the solution on exit; kF64 is bit-identical to the
+  /// pre-precision-seam solver.
+  Precision precision = Precision::kF64;
+};
+
 /// Solves the binary linearized system by Jacobi iteration over any
 /// propagation backend. `h` is the scalar coupling residual (homophily
 /// h > 0, heterophily h < 0, |h| < 1/2) and `explicit_residuals` the
 /// per-node scalar priors (0 if unlabeled). The per-sweep SpMV and
-/// scaling run on `exec` (bit-identical across backends and thread
-/// counts: per-row ownership throughout). `observer` receives one
-/// SweepTelemetry per Jacobi iteration (a FaBP "sweep"); independent of
-/// it, iterations record into the global obs registry and active tracer.
+/// scaling run on `options.exec` (bit-identical across backends and
+/// thread counts per precision: per-row ownership throughout).
+FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
+                   const std::vector<double>& explicit_residuals,
+                   const FabpOptions& options);
+
+/// RunFabp on a resident graph (wraps engine::InMemoryBackend).
+FabpResult RunFabp(const Graph& graph, double h,
+                   const std::vector<double>& explicit_residuals,
+                   const FabpOptions& options);
+
+/// Loose-argument overloads preserved for the pre-FabpOptions call
+/// surface; they delegate to the options form (precision kF64).
 FabpResult RunFabp(const engine::PropagationBackend& backend, double h,
                    const std::vector<double>& explicit_residuals,
                    int max_iterations = 1000, double tolerance = 1e-13,

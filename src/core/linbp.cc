@@ -41,6 +41,7 @@ void ReportSweep(const SweepTelemetry& telemetry, const SweepObserver& observer,
     sample.delta_l2 = telemetry.delta_l2;
     sample.seconds = telemetry.seconds;
     sample.bytes_streamed = telemetry.bytes_streamed;
+    sample.precision = PrecisionName(telemetry.precision);
     LINBP_OBS_TIMESERIES_APPEND("linbp_sweep", sample);
   }
   if (span != nullptr && span->active()) {
@@ -49,6 +50,7 @@ void ReportSweep(const SweepTelemetry& telemetry, const SweepObserver& observer,
     span->SetAttr("max_magnitude", telemetry.max_magnitude);
     span->SetAttr("rows", telemetry.rows);
     span->SetAttr("nnz", telemetry.nnz);
+    span->SetAttr("precision", PrecisionName(telemetry.precision));
   }
   if (observer) observer(telemetry);
 }
@@ -112,6 +114,58 @@ std::string DivergenceAbortError(int sweeps, int streak, double rho_hat,
   return buffer;
 }
 
+// The f32-storage twin of ApplyLinBpSweep: beliefs <- explicit +
+// propagated with every element stored as float, while the sweep
+// statistics (delta norms, magnitude) accumulate in fp64 exactly like
+// the fp64 sweep. Chunking is identical (it depends only on n*k), so
+// the update is bit-identical across thread counts for a fixed context.
+LinBpSweepStats ApplyLinBpSweepF32(const exec::ExecContext& ctx,
+                                   const DenseMatrixF32& explicit_residuals,
+                                   const DenseMatrixF32& propagated,
+                                   DenseMatrixF32* beliefs) {
+  const std::int64_t n = beliefs->rows();
+  const std::int64_t k = beliefs->cols();
+  LINBP_CHECK(explicit_residuals.rows() == n && explicit_residuals.cols() == k);
+  LINBP_CHECK(propagated.rows() == n && propagated.cols() == k);
+  const std::int64_t chunks = std::min<std::int64_t>(
+      std::max<std::int64_t>(n, 1),
+      ctx.NumChunks(n * k, exec::kDefaultMinWorkPerChunk));
+  std::vector<double> chunk_delta(chunks, 0.0);
+  std::vector<double> chunk_delta_sq(chunks, 0.0);
+  std::vector<double> chunk_magnitude(chunks, 0.0);
+  ctx.RunChunks(n, chunks, [&](std::int64_t chunk, std::int64_t row_begin,
+                               std::int64_t row_end) {
+    double local_delta = 0.0;
+    double local_delta_sq = 0.0;
+    double local_magnitude = 0.0;
+    for (std::int64_t s = row_begin; s < row_end; ++s) {
+      for (std::int64_t c = 0; c < k; ++c) {
+        const float value =
+            explicit_residuals.At(s, c) + propagated.At(s, c);
+        const double change = static_cast<double>(value) -
+                              static_cast<double>(beliefs->At(s, c));
+        local_delta = std::max(local_delta, std::abs(change));
+        local_delta_sq += change * change;
+        local_magnitude =
+            std::max(local_magnitude, std::abs(static_cast<double>(value)));
+        beliefs->At(s, c) = value;
+      }
+    }
+    chunk_delta[chunk] = local_delta;
+    chunk_delta_sq[chunk] = local_delta_sq;
+    chunk_magnitude[chunk] = local_magnitude;
+  });
+  LinBpSweepStats stats;
+  double delta_sq = 0.0;
+  for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+    stats.delta = std::max(stats.delta, chunk_delta[chunk]);
+    delta_sq += chunk_delta_sq[chunk];
+    stats.magnitude = std::max(stats.magnitude, chunk_magnitude[chunk]);
+  }
+  stats.delta_l2 = std::sqrt(delta_sq);
+  return stats;
+}
+
 }  // namespace
 
 SweepLoopResult RunSweepLoop(const engine::PropagationBackend& backend,
@@ -130,6 +184,17 @@ SweepLoopResult RunSweepLoop(const engine::PropagationBackend& backend,
         EstimateSpectralRadius(backend, hhat, options.variant, ctx);
   }
 
+  // In f32 mode the working state lives in float matrices for the whole
+  // loop (the bandwidth win) and is widened back into *beliefs on every
+  // exit path below. A failing sweep is never applied in either mode.
+  const bool f32 = options.precision == Precision::kF32;
+  DenseMatrixF32 beliefs32;
+  DenseMatrixF32 explicit32;
+  if (f32) {
+    beliefs32 = DenseMatrixF32::FromF64(*beliefs);
+    explicit32 = DenseMatrixF32::FromF64(explicit_residuals);
+  }
+
   std::vector<double> deltas;
   deltas.reserve(std::max(options.max_iterations, 0));
   int growth_streak = 0;
@@ -139,17 +204,30 @@ SweepLoopResult RunSweepLoop(const engine::PropagationBackend& backend,
     obs::ScopedSpan span("linbp_sweep");
     WallTimer sweep_timer;
     const std::int64_t bytes_before = StreamBytesCounterValue();
-    DenseMatrix next;
-    if (!engine::BackendLinBpPropagate(backend, modulation, echo_modulation,
-                                       *beliefs, with_echo, ctx, &next,
-                                       &result.error)) {
-      // The failing sweep was never applied: beliefs still hold sweep
-      // it - 1, so callers can report the error with their state intact.
-      result.failed = true;
-      break;
+    LinBpSweepStats stats;
+    if (f32) {
+      DenseMatrixF32 next32;
+      if (!engine::BackendLinBpPropagateF32(backend, modulation,
+                                            echo_modulation, beliefs32,
+                                            with_echo, ctx, &next32,
+                                            &result.error)) {
+        result.failed = true;
+        break;
+      }
+      stats = ApplyLinBpSweepF32(ctx, explicit32, next32, &beliefs32);
+    } else {
+      DenseMatrix next;
+      if (!engine::BackendLinBpPropagate(backend, modulation, echo_modulation,
+                                         *beliefs, with_echo, ctx, &next,
+                                         &result.error)) {
+        // The failing sweep was never applied: beliefs still hold sweep
+        // it - 1, so callers can report the error with their state
+        // intact.
+        result.failed = true;
+        break;
+      }
+      stats = ApplyLinBpSweep(ctx, explicit_residuals, next, beliefs);
     }
-    const LinBpSweepStats stats =
-        ApplyLinBpSweep(ctx, explicit_residuals, next, beliefs);
     result.iterations = it;
     result.last_delta = stats.delta;
     deltas.push_back(stats.delta);
@@ -165,6 +243,7 @@ SweepLoopResult RunSweepLoop(const engine::PropagationBackend& backend,
     telemetry.rows = n;
     telemetry.nnz = backend.num_stored_entries();
     telemetry.bytes_streamed = StreamBytesCounterValue() - bytes_before;
+    telemetry.precision = options.precision;
     ReportSweep(telemetry, options.sweep_observer, &span);
 
     growth_streak =
@@ -197,6 +276,11 @@ SweepLoopResult RunSweepLoop(const engine::PropagationBackend& backend,
       }
     }
   }
+
+  // Widen the f32 working state back to the caller's fp64 beliefs on
+  // every exit (converged, diverged, failed, max_iterations): completed
+  // sweeps were computed in f32, so the widening is exact.
+  if (f32) *beliefs = beliefs32.ToF64();
 
   result.diagnostics.empirical_contraction = FitContractionRate(deltas);
   result.diagnostics.fitted_sweeps = CountFittedDeltas(deltas, 16);

@@ -19,6 +19,7 @@
 #include "src/exec/exec_context.h"
 #include "src/graph/graph.h"
 #include "src/la/dense_matrix.h"
+#include "src/la/precision.h"
 
 namespace linbp {
 
@@ -49,6 +50,9 @@ struct SweepTelemetry {
   std::int64_t rows = 0;        // belief rows updated
   std::int64_t nnz = 0;         // stored adjacency entries propagated
   std::int64_t bytes_streamed = 0;  // shard bytes read during the sweep
+  /// Belief-storage precision the sweep ran at (recorded on the sweep's
+  /// trace span). Delta norms are fp64-accumulated either way.
+  Precision precision = Precision::kF64;
 };
 
 /// Per-sweep telemetry hook. Observers only *read* solver state —
@@ -86,6 +90,14 @@ struct LinBpOptions {
   /// failed (and diverged) set and a diagnostic error instead of
   /// spinning to max_iterations. 0 disables the abort.
   int divergence_patience = 5;
+  /// Storage precision of the belief matrices on the sweep hot path.
+  /// kF64 (the default) is bit-identical to the pre-precision-seam
+  /// solver. kF32 stores beliefs/residuals as float and runs the f32
+  /// backend kernels — roughly half the memory traffic per sweep — while
+  /// every delta norm, diagnostic fit, and spectral estimate still
+  /// accumulates in fp64; the result's beliefs are widened back to fp64
+  /// on exit. See src/la/precision.h for when f32 is safe.
+  Precision precision = Precision::kF64;
 };
 
 /// Convergence diagnostics of one (re-)solve, fitted from the per-sweep

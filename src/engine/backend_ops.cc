@@ -25,6 +25,24 @@ bool BackendLinBpPropagate(const PropagationBackend& backend,
   return true;
 }
 
+bool BackendLinBpPropagateF32(const PropagationBackend& backend,
+                              const DenseMatrix& hhat,
+                              const DenseMatrix& hhat2,
+                              const DenseMatrixF32& beliefs, bool with_echo,
+                              const exec::ExecContext& ctx,
+                              DenseMatrixF32* out, std::string* error) {
+  const std::int64_t n = backend.num_nodes();
+  LINBP_CHECK(beliefs.rows() == n && beliefs.cols() == hhat.rows());
+  // Same operation order as the fp64 step: A * B first, then * Hhat.
+  DenseMatrixF32 ab;
+  if (!backend.MultiplyDenseF32(beliefs, ctx, &ab, error)) return false;
+  *out = ab.MultiplyWide(hhat);
+  if (!with_echo) return true;
+  SubtractDegreeScaledEchoF32(backend.weighted_degrees(),
+                              beliefs.MultiplyWide(hhat2), ctx, out);
+  return true;
+}
+
 BackendAdjacencyOperator::BackendAdjacencyOperator(
     const PropagationBackend* backend, exec::ExecContext ctx)
     : backend_(backend), ctx_(std::move(ctx)) {

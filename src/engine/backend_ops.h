@@ -34,6 +34,17 @@ bool BackendLinBpPropagate(const PropagationBackend& backend,
                            const exec::ExecContext& ctx, DenseMatrix* out,
                            std::string* error);
 
+/// The Precision::kF32 propagation step: beliefs are stored f32, the
+/// SpMM runs the f32 kernels, and the tiny dense Hhat products / echo
+/// update accumulate each element in fp64 with one rounding on store.
+/// `hhat`/`hhat2` stay fp64. Same failure contract.
+bool BackendLinBpPropagateF32(const PropagationBackend& backend,
+                              const DenseMatrix& hhat,
+                              const DenseMatrix& hhat2,
+                              const DenseMatrixF32& beliefs, bool with_echo,
+                              const exec::ExecContext& ctx,
+                              DenseMatrixF32* out, std::string* error);
+
 /// The adjacency matrix of a backend as a LinearOperator (for power
 /// iteration). Apply() throws StreamError on a backend failure.
 class BackendAdjacencyOperator final : public LinearOperator {

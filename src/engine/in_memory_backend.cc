@@ -37,5 +37,23 @@ bool InMemoryBackend::MultiplyVector(const std::vector<double>& x,
   return true;
 }
 
+bool InMemoryBackend::MultiplyDenseF32(const DenseMatrixF32& b,
+                                       const exec::ExecContext& ctx,
+                                       DenseMatrixF32* out,
+                                       std::string* error) const {
+  (void)error;
+  *out = graph_->adjacency().MultiplyDenseF32(b, ctx);
+  return true;
+}
+
+bool InMemoryBackend::MultiplyVectorF32(const std::vector<float>& x,
+                                        const exec::ExecContext& ctx,
+                                        std::vector<float>* y,
+                                        std::string* error) const {
+  (void)error;
+  *y = graph_->adjacency().MultiplyVectorF32(x, ctx);
+  return true;
+}
+
 }  // namespace engine
 }  // namespace linbp

@@ -29,6 +29,12 @@ class InMemoryBackend final : public PropagationBackend {
   bool MultiplyVector(const std::vector<double>& x,
                       const exec::ExecContext& ctx, std::vector<double>* y,
                       std::string* error) const override;
+  bool MultiplyDenseF32(const DenseMatrixF32& b, const exec::ExecContext& ctx,
+                        DenseMatrixF32* out,
+                        std::string* error) const override;
+  bool MultiplyVectorF32(const std::vector<float>& x,
+                         const exec::ExecContext& ctx, std::vector<float>* y,
+                         std::string* error) const override;
 
   const Graph& graph() const { return *graph_; }
 

@@ -32,6 +32,7 @@
 
 #include "src/exec/exec_context.h"
 #include "src/la/dense_matrix.h"
+#include "src/la/dense_matrix_f32.h"
 
 namespace linbp {
 namespace engine {
@@ -64,6 +65,34 @@ class PropagationBackend {
                               const exec::ExecContext& ctx,
                               std::vector<double>* y,
                               std::string* error) const = 0;
+
+  /// Float32 *out = A * b: the Precision::kF32 hot path. The default
+  /// implementation widens to fp64, runs MultiplyDense, and narrows the
+  /// result — correct for any backend (so test doubles keep working) but
+  /// without the bandwidth win; both real backends override it with true
+  /// f32 kernels. Same failure contract as MultiplyDense.
+  virtual bool MultiplyDenseF32(const DenseMatrixF32& b,
+                                const exec::ExecContext& ctx,
+                                DenseMatrixF32* out,
+                                std::string* error) const {
+    DenseMatrix wide;
+    if (!MultiplyDense(b.ToF64(), ctx, &wide, error)) return false;
+    *out = DenseMatrixF32::FromF64(wide);
+    return true;
+  }
+
+  /// Float32 *y = A * x, with the same widening default as
+  /// MultiplyDenseF32.
+  virtual bool MultiplyVectorF32(const std::vector<float>& x,
+                                 const exec::ExecContext& ctx,
+                                 std::vector<float>* y,
+                                 std::string* error) const {
+    std::vector<double> xd(x.begin(), x.end());
+    std::vector<double> yd;
+    if (!MultiplyVector(xd, ctx, &yd, error)) return false;
+    y->assign(yd.begin(), yd.end());
+    return true;
+  }
 };
 
 /// Thrown by the LinearOperator adapters in src/engine/backend_ops.h when

@@ -1,5 +1,6 @@
 #include "src/engine/shard_stream_backend.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -172,6 +173,78 @@ bool ShardStreamBackend::MultiplyVector(const std::vector<double>& x,
           SpmvRows(block.row_ptr.data(), block.col_idx.data(),
                    block.values.data(), partition.begin(p),
                    partition.end(p), x_data, block_out);
+        });
+      },
+      error);
+}
+
+bool ShardStreamBackend::MultiplyDenseF32(const DenseMatrixF32& b,
+                                          const exec::ExecContext& ctx,
+                                          DenseMatrixF32* out,
+                                          std::string* error) const {
+  const std::int64_t n = num_nodes();
+  const std::int64_t k = b.cols();
+  LINBP_CHECK(b.rows() == n);
+  *out = DenseMatrixF32(n, k);
+  const float* b_data = b.data().data();
+  float* out_data = out->mutable_data().data();
+  // Reused across blocks so the narrowing conversion allocates once per
+  // product, not once per block.
+  std::vector<float> values_f32;
+  return StreamBlocks(
+      ctx,
+      [&](const dataset::ShardStreamBlock& block) {
+        values_f32.assign(block.values.begin(), block.values.end());
+        float* block_out = out_data + block.row_begin * k;
+        const std::int64_t chunks = ctx.NumChunks(
+            block.nnz() * std::max<std::int64_t>(1, k / 2),
+            exec::kDefaultMinWorkPerChunk);
+        if (chunks <= 1) {
+          SpmmRowsT<float>(block.row_ptr.data(), block.col_idx.data(),
+                           values_f32.data(), 0, block.num_rows(), b_data, k,
+                           block_out);
+          return;
+        }
+        const exec::RowPartition partition =
+            exec::RowPartition::NnzBalanced(block.row_ptr, chunks);
+        ctx.RunBlocks(partition.num_blocks(), [&](std::int64_t p) {
+          SpmmRowsT<float>(block.row_ptr.data(), block.col_idx.data(),
+                           values_f32.data(), partition.begin(p),
+                           partition.end(p), b_data, k, block_out);
+        });
+      },
+      error);
+}
+
+bool ShardStreamBackend::MultiplyVectorF32(const std::vector<float>& x,
+                                           const exec::ExecContext& ctx,
+                                           std::vector<float>* y,
+                                           std::string* error) const {
+  const std::int64_t n = num_nodes();
+  LINBP_CHECK(static_cast<std::int64_t>(x.size()) == n);
+  y->assign(n, 0.0f);
+  const float* x_data = x.data();
+  float* y_data = y->data();
+  std::vector<float> values_f32;
+  return StreamBlocks(
+      ctx,
+      [&](const dataset::ShardStreamBlock& block) {
+        values_f32.assign(block.values.begin(), block.values.end());
+        float* block_out = y_data + block.row_begin;
+        const std::int64_t chunks =
+            ctx.NumChunks(block.nnz(), exec::kDefaultMinWorkPerChunk);
+        if (chunks <= 1) {
+          SpmvRowsT<float>(block.row_ptr.data(), block.col_idx.data(),
+                           values_f32.data(), 0, block.num_rows(), x_data,
+                           block_out);
+          return;
+        }
+        const exec::RowPartition partition =
+            exec::RowPartition::NnzBalanced(block.row_ptr, chunks);
+        ctx.RunBlocks(partition.num_blocks(), [&](std::int64_t p) {
+          SpmvRowsT<float>(block.row_ptr.data(), block.col_idx.data(),
+                           values_f32.data(), partition.begin(p),
+                           partition.end(p), x_data, block_out);
         });
       },
       error);

@@ -60,6 +60,18 @@ class ShardStreamBackend final : public PropagationBackend {
   bool MultiplyVector(const std::vector<double>& x,
                       const exec::ExecContext& ctx, std::vector<double>* y,
                       std::string* error) const override;
+  /// f32 products: each streamed block's value array is narrowed to
+  /// float once, right after the block loads, then the f32 row-range
+  /// kernels run against it. On-disk shard bytes stay fp64, so the
+  /// shard_stream byte accounting (and bytes_streamed telemetry) is
+  /// unchanged by precision — the f32 win here is the belief-matrix
+  /// traffic, not the stream. Same failure contract as the fp64 pair.
+  bool MultiplyDenseF32(const DenseMatrixF32& b, const exec::ExecContext& ctx,
+                        DenseMatrixF32* out,
+                        std::string* error) const override;
+  bool MultiplyVectorF32(const std::vector<float>& x,
+                         const exec::ExecContext& ctx, std::vector<float>* y,
+                         std::string* error) const override;
 
   // Scenario-level inputs a solver pipeline needs, derived at Open()
   // without adopting a global CSR:

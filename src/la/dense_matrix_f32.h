@@ -1,0 +1,89 @@
+// Row-major dense float32 matrix: the belief-storage type of the f32
+// precision mode.
+//
+// Deliberately minimal — it exists so the hot-path SpMM operands can be
+// float without templating DenseMatrix and everything built on it. The
+// solvers convert at the precision seam (FromF64 on entry, ToF64 on
+// exit) and do all arithmetic that feeds diagnostics in fp64; this type
+// only stores and shuttles data.
+
+#ifndef LINBP_LA_DENSE_MATRIX_F32_H_
+#define LINBP_LA_DENSE_MATRIX_F32_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/la/dense_matrix.h"
+#include "src/util/check.h"
+
+namespace linbp {
+
+/// Row-major rows x cols matrix of floats.
+class DenseMatrixF32 {
+ public:
+  DenseMatrixF32() = default;
+  DenseMatrixF32(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+    LINBP_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Narrowing conversion from fp64 (round-to-nearest per element).
+  static DenseMatrixF32 FromF64(const DenseMatrix& m) {
+    DenseMatrixF32 out(m.rows(), m.cols());
+    const std::vector<double>& src = m.data();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      out.data_[i] = static_cast<float>(src[i]);
+    }
+    return out;
+  }
+
+  /// Widening conversion to fp64 (exact per element).
+  DenseMatrix ToF64() const {
+    DenseMatrix out(rows_, cols_);
+    std::vector<double>& dst = out.mutable_data();
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      dst[i] = static_cast<double>(data_[i]);
+    }
+    return out;
+  }
+
+  /// this (n x k, f32) * other (k x m, fp64) -> n x m f32. The coupling
+  /// matrices on the f32 path stay fp64 (they are tiny), so each output
+  /// element accumulates in fp64 and rounds once on store. Serial and
+  /// deterministic; m and k are paper-sized (<= ~10).
+  DenseMatrixF32 MultiplyWide(const DenseMatrix& other) const {
+    LINBP_CHECK(cols_ == other.rows());
+    const std::int64_t m = other.cols();
+    DenseMatrixF32 out(rows_, m);
+    for (std::int64_t r = 0; r < rows_; ++r) {
+      for (std::int64_t c = 0; c < m; ++c) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < cols_; ++i) {
+          acc += static_cast<double>(At(r, i)) * other.At(i, c);
+        }
+        out.At(r, c) = static_cast<float>(acc);
+      }
+    }
+    return out;
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  float& At(std::int64_t r, std::int64_t c) { return data_[r * cols_ + c]; }
+  float At(std::int64_t r, std::int64_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace linbp
+
+#endif  // LINBP_LA_DENSE_MATRIX_F32_H_

@@ -54,6 +54,28 @@ void SubtractDegreeScaledEcho(const std::vector<double>& degrees,
                   });
 }
 
+void SubtractDegreeScaledEchoF32(const std::vector<double>& degrees,
+                                 const DenseMatrixF32& echo,
+                                 const exec::ExecContext& ctx,
+                                 DenseMatrixF32* propagated) {
+  const std::int64_t n = propagated->rows();
+  const std::int64_t k = propagated->cols();
+  LINBP_CHECK(echo.rows() == n && echo.cols() == k);
+  LINBP_CHECK(static_cast<std::int64_t>(degrees.size()) == n);
+  ctx.ParallelFor(0, n,
+                  exec::kDefaultMinWorkPerChunk / std::max<std::int64_t>(1, k),
+                  [&](std::int64_t row_begin, std::int64_t row_end) {
+                    for (std::int64_t s = row_begin; s < row_end; ++s) {
+                      const double d = degrees[s];
+                      for (std::int64_t c = 0; c < k; ++c) {
+                        propagated->At(s, c) = static_cast<float>(
+                            static_cast<double>(propagated->At(s, c)) -
+                            d * static_cast<double>(echo.At(s, c)));
+                      }
+                    }
+                  });
+}
+
 LinBpOperator::LinBpOperator(const SparseMatrix* adjacency,
                              std::vector<double> degrees, DenseMatrix hhat,
                              bool with_echo, exec::ExecContext ctx)

@@ -74,6 +74,14 @@ void SubtractDegreeScaledEcho(const std::vector<double>& degrees,
                               const exec::ExecContext& ctx,
                               DenseMatrix* propagated);
 
+/// Float32-storage variant of the echo cancellation: operands are f32,
+/// each element's update is computed in fp64 and rounded once on store.
+/// Same per-row ownership, bit-identical across thread counts.
+void SubtractDegreeScaledEchoF32(const std::vector<double>& degrees,
+                                 const DenseMatrixF32& echo,
+                                 const exec::ExecContext& ctx,
+                                 DenseMatrixF32* propagated);
+
 /// The implicit operator vec(B) -> vec(A*B*Hhat [- D*B*Hhat^2]).
 /// Vectorization is column-major (class-major), matching the paper's vec().
 class LinBpOperator final : public LinearOperator {

@@ -1,0 +1,51 @@
+// Scalar precision selection for the propagation hot path.
+//
+// The LinBP sweep is a pure SpMM pipeline and memory bandwidth is its
+// binding resource, so storing beliefs (and streaming CSR values) as
+// float32 halves the bytes moved per sweep. The linearization theory
+// tolerates the perturbation when rho(M) < 1 — the iteration contracts
+// small errors the same way it contracts the residual — so f32 is an
+// accuracy-vs-cost knob, not a correctness risk, for classification
+// workloads. Convergence diagnostics (delta norms, rho-hat fits,
+// spectral estimates) always accumulate in fp64 regardless of the
+// storage precision.
+
+#ifndef LINBP_LA_PRECISION_H_
+#define LINBP_LA_PRECISION_H_
+
+#include <string>
+
+namespace linbp {
+
+/// Storage precision of the belief matrices and kernel operands on the
+/// solver hot path. kF64 is the default and is bit-identical to the
+/// pre-seam code path; kF32 stores beliefs/residuals as float and runs
+/// the float kernels, with fp64 accumulation for all norms and
+/// diagnostics.
+enum class Precision {
+  kF64,
+  kF32,
+};
+
+/// Canonical spelling used by --precision flags and bench records.
+inline const char* PrecisionName(Precision p) {
+  return p == Precision::kF32 ? "f32" : "f64";
+}
+
+/// Parses "f32"/"f64" (the only accepted spellings). Returns false and
+/// leaves *out untouched on anything else.
+inline bool ParsePrecision(const std::string& text, Precision* out) {
+  if (text == "f64") {
+    *out = Precision::kF64;
+    return true;
+  }
+  if (text == "f32") {
+    *out = Precision::kF32;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace linbp
+
+#endif  // LINBP_LA_PRECISION_H_

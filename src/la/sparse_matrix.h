@@ -18,10 +18,12 @@
 #define LINBP_LA_SPARSE_MATRIX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/exec/exec_context.h"
 #include "src/la/dense_matrix.h"
+#include "src/la/dense_matrix_f32.h"
 
 namespace linbp {
 
@@ -43,18 +45,73 @@ struct Triplet {
 /// `row_ptr` is indexed by the same row numbering as `out` (callers
 /// applying a rebased shard block pass its local row_ptr and an `out`
 /// pointer pre-offset to the block's first output row).
-void SpmmRows(const std::int64_t* row_ptr, const std::int32_t* col_idx,
-              const double* values, std::int64_t row_begin,
-              std::int64_t row_end, const double* b, std::int64_t k,
-              double* out);
+///
+/// There is exactly one implementation per scalar type: the double-named
+/// entry points below and the SparseMatrix::Multiply* methods all land
+/// on these templates, so the row-range and whole-matrix paths cannot
+/// drift. Instantiated for float and double only.
+template <typename Scalar>
+void SpmmRowsT(const std::int64_t* row_ptr, const std::int32_t* col_idx,
+               const Scalar* values, std::int64_t row_begin,
+               std::int64_t row_end, const Scalar* b, std::int64_t k,
+               Scalar* out);
 
 /// Block-apply SpMV entry point: the serial row-range kernel behind
 /// SparseMatrix::MultiplyVector (stored zero entries skipped). Writes
 /// y[r] for r in [row_begin, row_end) under the same conventions as
-/// SpmmRows.
-void SpmvRows(const std::int64_t* row_ptr, const std::int32_t* col_idx,
-              const double* values, std::int64_t row_begin,
-              std::int64_t row_end, const double* x, double* y);
+/// SpmmRowsT.
+template <typename Scalar>
+void SpmvRowsT(const std::int64_t* row_ptr, const std::int32_t* col_idx,
+               const Scalar* values, std::int64_t row_begin,
+               std::int64_t row_end, const Scalar* x, Scalar* y);
+
+/// Transpose-SpMV scatter over a row range: for every r in
+/// [row_begin, row_end) with x[r] != 0, adds values[e] * x[r] into
+/// out[col_idx[e]] (stored zeros skipped). Callers own the reduction
+/// discipline; SparseMatrix::TransposeMultiplyVector sums per-block
+/// partials in block order.
+template <typename Scalar>
+void SpmtvRowsT(const std::int64_t* row_ptr, const std::int32_t* col_idx,
+                const Scalar* values, std::int64_t row_begin,
+                std::int64_t row_end, const Scalar* x, Scalar* out);
+
+extern template void SpmmRowsT<double>(const std::int64_t*,
+                                       const std::int32_t*, const double*,
+                                       std::int64_t, std::int64_t,
+                                       const double*, std::int64_t, double*);
+extern template void SpmmRowsT<float>(const std::int64_t*,
+                                      const std::int32_t*, const float*,
+                                      std::int64_t, std::int64_t, const float*,
+                                      std::int64_t, float*);
+extern template void SpmvRowsT<double>(const std::int64_t*,
+                                       const std::int32_t*, const double*,
+                                       std::int64_t, std::int64_t,
+                                       const double*, double*);
+extern template void SpmvRowsT<float>(const std::int64_t*,
+                                      const std::int32_t*, const float*,
+                                      std::int64_t, std::int64_t, const float*,
+                                      float*);
+extern template void SpmtvRowsT<double>(const std::int64_t*,
+                                        const std::int32_t*, const double*,
+                                        std::int64_t, std::int64_t,
+                                        const double*, double*);
+extern template void SpmtvRowsT<float>(const std::int64_t*,
+                                       const std::int32_t*, const float*,
+                                       std::int64_t, std::int64_t,
+                                       const float*, float*);
+
+/// Double-named wrappers kept for the (large) existing call surface.
+inline void SpmmRows(const std::int64_t* row_ptr, const std::int32_t* col_idx,
+                     const double* values, std::int64_t row_begin,
+                     std::int64_t row_end, const double* b, std::int64_t k,
+                     double* out) {
+  SpmmRowsT<double>(row_ptr, col_idx, values, row_begin, row_end, b, k, out);
+}
+inline void SpmvRows(const std::int64_t* row_ptr, const std::int32_t* col_idx,
+                     const double* values, std::int64_t row_begin,
+                     std::int64_t row_end, const double* x, double* y) {
+  SpmvRowsT<double>(row_ptr, col_idx, values, row_begin, row_end, x, y);
+}
 
 /// Immutable CSR sparse matrix of doubles.
 class SparseMatrix {
@@ -106,6 +163,14 @@ class SparseMatrix {
   const std::vector<std::int32_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
 
+  /// Float32 copy of values(), built lazily on first use and cached for
+  /// the matrix's lifetime (the CSR arrays are immutable once built, so
+  /// the cache can never go stale — graph mutations construct a new
+  /// SparseMatrix). Thread-safe: concurrent first calls may both build,
+  /// but exactly one copy is published and all callers see a complete
+  /// vector. Costs nnz * 4 bytes while alive.
+  std::shared_ptr<const std::vector<float>> values_f32() const;
+
   /// y = A * x. Zero-weight stored entries are skipped. Bit-identical
   /// across thread counts (per-row ownership).
   std::vector<double> MultiplyVector(const std::vector<double>& x,
@@ -136,6 +201,18 @@ class SparseMatrix {
     return MultiplyDense(b, exec::ExecContext::Default());
   }
 
+  /// Float32 C = A * B: same kernel template and blocking as
+  /// MultiplyDense, running on the cached f32 value array. Bit-identical
+  /// across thread counts (per-row ownership), but NOT bit-comparable to
+  /// the fp64 product — parity is a statistical guarantee (see
+  /// src/la/precision.h).
+  DenseMatrixF32 MultiplyDenseF32(const DenseMatrixF32& b,
+                                  const exec::ExecContext& ctx) const;
+
+  /// Float32 y = A * x (stored zeros skipped, like MultiplyVector).
+  std::vector<float> MultiplyVectorF32(const std::vector<float>& x,
+                                       const exec::ExecContext& ctx) const;
+
   /// Returns the explicit transpose (CSR of A^T).
   SparseMatrix Transpose() const;
 
@@ -165,6 +242,10 @@ class SparseMatrix {
   std::vector<std::int64_t> row_ptr_;
   std::vector<std::int32_t> col_idx_;
   std::vector<double> values_;
+  // Lazily-built f32 copy of values_ (see values_f32()). Accessed only
+  // through std::atomic_load / std::atomic_compare_exchange_strong so
+  // concurrent kernel launches can share one publication.
+  mutable std::shared_ptr<const std::vector<float>> values_f32_cache_;
 };
 
 }  // namespace linbp

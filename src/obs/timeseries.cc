@@ -90,7 +90,8 @@ std::string TimeSeries::Json() const {
            ",\"delta\":" + FormatDouble(s.delta) +
            ",\"delta_l2\":" + FormatDouble(s.delta_l2) +
            ",\"seconds\":" + FormatDouble(s.seconds) +
-           ",\"bytes_streamed\":" + std::to_string(s.bytes_streamed) + "}";
+           ",\"bytes_streamed\":" + std::to_string(s.bytes_streamed) +
+           ",\"precision\":\"" + s.precision + "\"}";
   }
   out += "]";
   return out;

@@ -41,6 +41,9 @@ struct TimeSeriesSample {
   double delta_l2 = 0.0;         // L2 norm of the belief change
   double seconds = 0.0;          // wall seconds of the sweep
   std::int64_t bytes_streamed = 0;  // shard bytes read during the sweep
+  // Belief-storage precision of the run ("f64" or "f32"), kept as a
+  // plain string so obs stays independent of the la layer's enum.
+  std::string precision = "f64";
 };
 
 /// Default bound on stored samples per run. Must be even (the decimation

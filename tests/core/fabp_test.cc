@@ -78,6 +78,36 @@ TEST(FabpTest, ConvergedRunCarriesContractionDiagnostics) {
   EXPECT_GT(result.diagnostics.fitted_sweeps, 2);
 }
 
+TEST(FabpTest, F32PrecisionTracksF64WithinFloatResolution) {
+  // The f32 Jacobi twin stores the iterate as float but applies the
+  // update in fp64; on a well-conditioned problem the fixed points agree
+  // to float resolution, and the f64 options path stays bit-identical to
+  // the legacy loose-argument overload.
+  const Graph g = PathGraph(6);
+  const std::vector<double> priors = {0.1, 0.0, -0.05, 0.0, 0.0, 0.08};
+  FabpOptions options;
+  options.tolerance = 1e-7;  // reachable by a float-stored iterate
+  const FabpResult f64 = RunFabp(g, 0.12, priors, options);
+  ASSERT_TRUE(f64.converged);
+  options.precision = Precision::kF32;
+  const FabpResult f32 = RunFabp(g, 0.12, priors, options);
+  ASSERT_TRUE(f32.converged);
+  ASSERT_EQ(f32.beliefs.size(), f64.beliefs.size());
+  for (std::size_t i = 0; i < f32.beliefs.size(); ++i) {
+    EXPECT_NEAR(f32.beliefs[i], f64.beliefs[i], 1e-6) << "at node " << i;
+    // The stored iterate was float, so widening is exact.
+    EXPECT_EQ(f32.beliefs[i],
+              static_cast<double>(static_cast<float>(f32.beliefs[i])));
+  }
+  const FabpResult legacy = RunFabp(g, 0.12, priors,
+                                    /*max_iterations=*/1000,
+                                    /*tolerance=*/1e-7);
+  ASSERT_EQ(legacy.beliefs.size(), f64.beliefs.size());
+  for (std::size_t i = 0; i < legacy.beliefs.size(); ++i) {
+    EXPECT_EQ(legacy.beliefs[i], f64.beliefs[i]) << "at node " << i;
+  }
+}
+
 TEST(FabpDeathTest, RejectsCouplingOutOfRange) {
   const Graph g = PathGraph(2);
   EXPECT_DEATH(RunFabp(g, 0.5, {0.0, 0.0}), "1/2");

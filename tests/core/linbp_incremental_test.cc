@@ -56,6 +56,42 @@ TEST(LinBpStateTest, BeliefUpdateMatchesColdSolve) {
   ExpectMatrixNear(state.beliefs(), reference.beliefs, 1e-10);
 }
 
+TEST(LinBpStateTest, F32StateColdAndWarmSolvesTrackF64) {
+  // A warm state in f32 belief storage: the cold solve and a warm
+  // re-solve after a belief update both stay within float resolution of
+  // the f64 state, and the stored beliefs are exactly representable as
+  // float (the loop computed them in f32 and widened on exit).
+  const Graph g = RandomConnectedGraph(25, 20, /*seed=*/3);
+  const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.05);
+  SeededBeliefs seeded = SeedPaperBeliefs(25, 3, 6, /*seed=*/4);
+  LinBpOptions f32_options = TightOptions();
+  f32_options.tolerance = 1e-7;  // reachable by a float-stored iterate
+  f32_options.precision = Precision::kF32;
+  LinBpOptions f64_options = TightOptions();
+  f64_options.tolerance = 1e-7;
+  LinBpState f32_state(g, hhat, seeded.residuals, f32_options);
+  LinBpState f64_state(g, hhat, seeded.residuals, f64_options);
+  ASSERT_TRUE(f32_state.converged());
+  ASSERT_TRUE(f64_state.converged());
+  ExpectMatrixNear(f32_state.beliefs(), f64_state.beliefs(), 1e-5);
+
+  DenseMatrix row(1, 3);
+  row.At(0, 0) = -0.08;
+  row.At(0, 1) = 0.05;
+  row.At(0, 2) = 0.03;
+  const std::int64_t node = seeded.explicit_nodes[0];
+  ASSERT_GE(f32_state.UpdateExplicitBeliefs({node}, row), 0);
+  ASSERT_GE(f64_state.UpdateExplicitBeliefs({node}, row), 0);
+  ASSERT_TRUE(f32_state.converged());
+  ExpectMatrixNear(f32_state.beliefs(), f64_state.beliefs(), 1e-5);
+  for (std::int64_t v = 0; v < f32_state.beliefs().rows(); ++v) {
+    for (std::int64_t c = 0; c < f32_state.beliefs().cols(); ++c) {
+      const double b = f32_state.beliefs().At(v, c);
+      EXPECT_EQ(b, static_cast<double>(static_cast<float>(b)));
+    }
+  }
+}
+
 TEST(LinBpStateTest, WarmStartUsesFewerSweepsForSmallChanges) {
   const Graph g = RandomConnectedGraph(200, 300, /*seed=*/5);
   const DenseMatrix hhat = AuctionCoupling().ScaledResidual(0.03);

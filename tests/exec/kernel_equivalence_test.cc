@@ -9,6 +9,7 @@
 // guarantee to RunLinBp / RunSbp outputs.
 
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -132,6 +133,143 @@ TEST(KernelEquivalenceTest, TransposeSpMVMatchesSerialAndIsDeterministic) {
       ExpectBitEqual(graph.adjacency().TransposeMultiplyVector(x, ctx),
                      first);
     }
+  }
+}
+
+void ExpectBitEqualF32(const std::vector<float>& actual,
+                       const std::vector<float>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "at index " << i;
+  }
+}
+
+TEST(KernelEquivalenceTest, F32SpMMIsBitExactAcrossThreadCounts) {
+  for (const int power : kPowers) {
+    const Graph graph = KroneckerPowerGraph(power);
+    const DenseMatrixF32 b = DenseMatrixF32::FromF64(testing::RandomMatrix(
+        graph.num_nodes(), 3, /*scale=*/1.0, /*seed=*/7));
+    const DenseMatrixF32 serial =
+        graph.adjacency().MultiplyDenseF32(b, ExecContext::Serial());
+    for (const int threads : kThreadCounts) {
+      const DenseMatrixF32 parallel = graph.adjacency().MultiplyDenseF32(
+          b, ExecContext::WithThreads(threads));
+      SCOPED_TRACE(::testing::Message()
+                   << "power " << power << ", threads " << threads);
+      ExpectBitEqualF32(parallel.data(), serial.data());
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, F32SpMVIsBitExactAcrossThreadCounts) {
+  for (const int power : kPowers) {
+    const Graph graph = KroneckerPowerGraph(power);
+    std::vector<float> x(graph.num_nodes());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = 0.25f * static_cast<float>(i % 17) - 1.0f;
+    }
+    const std::vector<float> serial =
+        graph.adjacency().MultiplyVectorF32(x, ExecContext::Serial());
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << "power " << power << ", threads " << threads);
+      ExpectBitEqualF32(graph.adjacency().MultiplyVectorF32(
+                            x, ExecContext::WithThreads(threads)),
+                        serial);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, F32SpMVSkipsStoredZeroWeights) {
+  // The stored-zero skip lives in the one shared SpmvRowsT implementation,
+  // so float inherits the same non-finite masking as double.
+  const SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 0, 0.0}, {0, 1, 2.0}, {1, 2, 0.0}});
+  const std::vector<float> x = {std::numeric_limits<float>::infinity(), 3.0f,
+                                std::numeric_limits<float>::quiet_NaN()};
+  const std::vector<float> y = m.MultiplyVectorF32(x, ExecContext::Serial());
+  EXPECT_EQ(y[0], 6.0f);
+  EXPECT_EQ(y[1], 0.0f);
+}
+
+// The public entry points must be thin row-range dispatches over the ONE
+// templated kernel per scalar type: calling SpmmRowsT / SpmvRowsT
+// directly over the full row range must reproduce MultiplyDense* /
+// MultiplyVector* to the byte, in both precisions. This is the guard
+// against the row-range and whole-matrix paths drifting apart.
+TEST(KernelEquivalenceTest, EntryPointsMatchRawRowRangeKernelsByMemcmp) {
+  const Graph graph = KroneckerPowerGraph(7);
+  const SparseMatrix& m = graph.adjacency();
+  const std::int64_t n = m.rows();
+  const std::int64_t k = 3;
+  const DenseMatrix b64 =
+      testing::RandomMatrix(n, k, /*scale=*/1.0, /*seed=*/13);
+  const DenseMatrixF32 b32 = DenseMatrixF32::FromF64(b64);
+  std::vector<float> x32(n);
+  std::vector<double> x64(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    x64[i] = 0.5 * static_cast<double>(i % 11) - 2.0;
+    x32[i] = static_cast<float>(x64[i]);
+  }
+
+  const DenseMatrix spmm64 = m.MultiplyDense(b64, ExecContext::Serial());
+  std::vector<double> raw64(n * k, 0.0);
+  SpmmRowsT<double>(m.row_ptr().data(), m.col_idx().data(),
+                    m.values().data(), 0, n, b64.data().data(), k,
+                    raw64.data());
+  ASSERT_EQ(spmm64.data().size(), raw64.size());
+  EXPECT_EQ(std::memcmp(spmm64.data().data(), raw64.data(),
+                        raw64.size() * sizeof(double)),
+            0);
+
+  const DenseMatrixF32 spmm32 = m.MultiplyDenseF32(b32, ExecContext::Serial());
+  const auto values32 = m.values_f32();
+  std::vector<float> raw32(n * k, 0.0f);
+  SpmmRowsT<float>(m.row_ptr().data(), m.col_idx().data(), values32->data(),
+                   0, n, b32.data().data(), k, raw32.data());
+  ASSERT_EQ(spmm32.data().size(), raw32.size());
+  EXPECT_EQ(std::memcmp(spmm32.data().data(), raw32.data(),
+                        raw32.size() * sizeof(float)),
+            0);
+
+  const std::vector<double> spmv64 =
+      m.MultiplyVector(x64, ExecContext::Serial());
+  std::vector<double> rawv64(n, 0.0);
+  SpmvRowsT<double>(m.row_ptr().data(), m.col_idx().data(),
+                    m.values().data(), 0, n, x64.data(), rawv64.data());
+  EXPECT_EQ(std::memcmp(spmv64.data(), rawv64.data(), n * sizeof(double)),
+            0);
+
+  const std::vector<float> spmv32 =
+      m.MultiplyVectorF32(x32, ExecContext::Serial());
+  std::vector<float> rawv32(n, 0.0f);
+  SpmvRowsT<float>(m.row_ptr().data(), m.col_idx().data(), values32->data(),
+                   0, n, x32.data(), rawv32.data());
+  EXPECT_EQ(std::memcmp(spmv32.data(), rawv32.data(), n * sizeof(float)), 0);
+}
+
+TEST(KernelEquivalenceTest, F32RunLinBpIsBitExactAcrossThreadCounts) {
+  // The f32 sweep loop keeps per-row ownership and fp64 chunk-ordered
+  // norms, so — like the f64 path — its result must not depend on the
+  // thread count at all.
+  const Graph graph = KroneckerPowerGraph(5);
+  const DenseMatrix hhat =
+      testing::RandomResidualCoupling(3, /*scale=*/0.002, /*seed=*/3);
+  const SeededBeliefs seeded =
+      SeedPaperBeliefs(graph.num_nodes(), 3, graph.num_nodes() / 20 + 1, 21);
+  LinBpOptions options;
+  options.precision = Precision::kF32;
+  options.exec = ExecContext::Serial();
+  const LinBpResult serial = RunLinBp(graph, hhat, seeded.residuals, options);
+  ASSERT_TRUE(serial.converged);
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE(::testing::Message() << "threads " << threads);
+    options.exec = ExecContext::WithThreads(threads);
+    const LinBpResult parallel =
+        RunLinBp(graph, hhat, seeded.residuals, options);
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+    EXPECT_EQ(parallel.last_delta, serial.last_delta);
+    ExpectBitEqual(parallel.beliefs.data(), serial.beliefs.data());
   }
 }
 

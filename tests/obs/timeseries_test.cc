@@ -19,6 +19,7 @@ TimeSeriesSample Sample(int sweep) {
   sample.delta_l2 = 2.0 / sweep;
   sample.seconds = 0.001 * sweep;
   sample.bytes_streamed = 100 * sweep;
+  sample.precision = sweep % 2 == 0 ? "f32" : "f64";
   return sample;
 }
 
@@ -120,6 +121,7 @@ TEST(TimeSeriesTest, JsonCarriesRunMetadataAndSampleFields) {
   EXPECT_NE(json.find("\"delta_l2\":2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"seconds\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"bytes_streamed\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"precision\":\"f64\""), std::string::npos) << json;
 }
 
 TEST(TimeSeriesRegistryTest, GetReturnsTheSameSeriesByName) {

@@ -144,6 +144,69 @@ TEST(BenchDiffTest, MissingRecordIsANoteUnlessFlagged) {
   EXPECT_FALSE(result.warnings.empty());
 }
 
+TEST(BenchDiffTest, PrecisionIsIdentityNotMetric) {
+  // The precision field enters the record key (so f32 and f64 runs name
+  // different records) and never shows up as a compared number.
+  const std::string f64 =
+      "[{\"bench\":\"stream_solve\",\"scenario\":\"sbm:n=1000\","
+      "\"precision\":\"f64\",\"stream_solve_seconds\":0.4}]";
+  const std::vector<BenchRecord> records = MustParse(f64);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0].key.find("precision=f64"), std::string::npos)
+      << records[0].key;
+  EXPECT_EQ(records[0].numbers.count("precision"), 0u);
+}
+
+TEST(BenchDiffTest, PrecisionMismatchNeverPairsAndWarns) {
+  const std::string f64 =
+      "[{\"bench\":\"stream_solve\",\"scenario\":\"sbm:n=1000\","
+      "\"precision\":\"f64\",\"stream_solve_seconds\":0.4}]";
+  const std::string f32 =
+      "[{\"bench\":\"stream_solve\",\"scenario\":\"sbm:n=1000\","
+      "\"precision\":\"f32\",\"stream_solve_seconds\":0.1}]";
+  const BenchDiffResult result =
+      DiffBenchRecords(MustParse(f64), MustParse(f32));
+  // Not a comparison, not a regression — the 4x "speedup" is just the
+  // narrower scalar and must never enter the gate.
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_EQ(result.regressions, 0);
+  ASSERT_EQ(result.missing.size(), 1u);
+  bool saw_precision_warning = false;
+  for (const std::string& warning : result.warnings) {
+    if (warning.find("precision mismatch") != std::string::npos) {
+      saw_precision_warning = true;
+      EXPECT_NE(warning.find("\"f64\""), std::string::npos) << warning;
+      EXPECT_NE(warning.find("\"f32\""), std::string::npos) << warning;
+      EXPECT_NE(warning.find("not comparable"), std::string::npos) << warning;
+    }
+  }
+  EXPECT_TRUE(saw_precision_warning);
+}
+
+TEST(BenchDiffTest, PrecisionMissingVsPresentAlsoSeparates) {
+  // A baseline recorded before the precision seam (no field) must not
+  // pair with a current f64 record: the field's presence is part of the
+  // identity, and the warning names the absent side.
+  const std::string old_record =
+      "[{\"bench\":\"stream_solve\",\"scenario\":\"sbm:n=1000\","
+      "\"stream_solve_seconds\":0.4}]";
+  const std::string new_record =
+      "[{\"bench\":\"stream_solve\",\"scenario\":\"sbm:n=1000\","
+      "\"precision\":\"f64\",\"stream_solve_seconds\":0.4}]";
+  const BenchDiffResult result =
+      DiffBenchRecords(MustParse(old_record), MustParse(new_record));
+  EXPECT_TRUE(result.entries.empty());
+  ASSERT_EQ(result.missing.size(), 1u);
+  bool saw_precision_warning = false;
+  for (const std::string& warning : result.warnings) {
+    if (warning.find("precision mismatch") != std::string::npos) {
+      saw_precision_warning = true;
+      EXPECT_NE(warning.find("(absent)"), std::string::npos) << warning;
+    }
+  }
+  EXPECT_TRUE(saw_precision_warning);
+}
+
 TEST(BenchDiffTest, HostMismatchWarnsButDoesNotGate) {
   BenchDiffOptions options;
   const BenchDiffResult result = DiffBenchRecords(

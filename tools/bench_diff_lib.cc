@@ -258,9 +258,15 @@ bool IsScalar(const JsonValue& value) {
 
 // The fields that name a run (in key order) rather than measure it.
 // "name" covers google-benchmark records inside a "runs" array too.
-const char* const kIdentityFields[] = {"bench",  "name",       "scenario",
-                                       "method", "threads",    "num_shards",
-                                       "reps",   "iterations", "ops",
+// "precision" is identity, not a metric: an f32 record must never pair
+// with an f64 one (the numbers measure different memory traffic), and a
+// record without the field predates the precision seam, so missing-vs-
+// present also keeps records apart. DiffBenchRecords diagnoses such
+// near-pairs with a dedicated warning.
+const char* const kIdentityFields[] = {"bench",     "name",    "scenario",
+                                       "method",    "precision",
+                                       "threads",   "num_shards",
+                                       "reps",      "iterations", "ops",
                                        "seed"};
 
 bool IsIdentityField(const std::string& field) {
@@ -338,6 +344,29 @@ std::string ReadFileOrEmpty(const std::string& path, bool* ok) {
   buffer << in.rdbuf();
   *ok = in.good() || in.eof();
   return buffer.str();
+}
+
+// Splits a record key into its "precision=..." component (empty when the
+// record predates the precision field) and everything else. Keys that
+// agree on the remainder but differ in precision are the same logical
+// benchmark at different belief-storage widths — deliberately unpaired,
+// but worth a targeted warning instead of a bare "missing" line.
+std::string StripPrecisionComponent(const std::string& key,
+                                    std::string* precision) {
+  precision->clear();
+  const std::string kPrefix = "precision=";
+  std::string stripped;
+  std::istringstream tokens(key);
+  std::string token;
+  while (tokens >> token) {
+    if (token.compare(0, kPrefix.size(), kPrefix) == 0) {
+      *precision = token.substr(kPrefix.size());
+      continue;
+    }
+    if (!stripped.empty()) stripped += ' ';
+    stripped += token;
+  }
+  return stripped;
 }
 
 std::string Percent(double percent) {
@@ -425,11 +454,35 @@ BenchDiffResult DiffBenchRecords(const std::vector<BenchRecord>& baseline,
       result.warnings.push_back("duplicate current record: " + record.key);
     }
   }
+  // Stripped key -> precision components seen in `current`, for the
+  // precision-mismatch diagnosis of unpaired records.
+  std::map<std::string, std::vector<std::string>> current_by_stripped;
+  for (const BenchRecord& record : current) {
+    std::string precision;
+    current_by_stripped[StripPrecisionComponent(record.key, &precision)]
+        .push_back(precision);
+  }
   std::set<std::string> matched;
   for (const BenchRecord& base : baseline) {
     const auto it = current_by_key.find(base.key);
     if (it == current_by_key.end()) {
       result.missing.push_back(base.key);
+      std::string base_precision;
+      const std::string stripped =
+          StripPrecisionComponent(base.key, &base_precision);
+      const auto near = current_by_stripped.find(stripped);
+      if (near != current_by_stripped.end()) {
+        for (const std::string& cur_precision : near->second) {
+          if (cur_precision == base_precision) continue;
+          result.warnings.push_back(
+              "precision mismatch on " + stripped + ": baseline \"" +
+              (base_precision.empty() ? "(absent)" : base_precision) +
+              "\" vs current \"" +
+              (cur_precision.empty() ? "(absent)" : cur_precision) +
+              "\" (f32 and f64 runs never pair; numbers are not "
+              "comparable across precisions)");
+        }
+      }
       continue;
     }
     matched.insert(base.key);

@@ -390,6 +390,8 @@ std::optional<ServeOptions> ParseServeOptions(
       options.method = *v;
     } else if (auto v = FlagValue(arg, "--eps=")) {
       options.eps = *v;
+    } else if (auto v = FlagValue(arg, "--precision=")) {
+      options.precision = *v;
     } else if (auto v = FlagValue(arg, "--threads=")) {
       if (!ParseThreadsFlag(*v, &options.threads, error)) return std::nullopt;
     } else {
@@ -404,6 +406,11 @@ std::optional<ServeOptions> ParseServeOptions(
   if (options.method != "linbp" && options.method != "linbp*") {
     *error = "serve supports --method=linbp or linbp* (the warm state is "
              "linearized)";
+    return std::nullopt;
+  }
+  Precision precision = Precision::kF64;
+  if (!ParsePrecision(options.precision, &precision)) {
+    *error = "--precision must be f32 or f64";
     return std::nullopt;
   }
   return options;
@@ -469,7 +476,7 @@ std::string Usage() {
       "linbp_cli --graph=EDGES --beliefs=BELIEFS | --scenario=SPEC\n"
       "          [--coupling=PRESET|FILE] [--method=bp|linbp|linbp*|sbp]\n"
       "          [--eps=auto|VALUE] [--k=K] [--output=FILE] [--report]\n"
-      "          [--threads=N] [--stream]\n"
+      "          [--threads=N] [--stream] [--precision=f32|f64]\n"
       "linbp_cli list\n"
       "linbp_cli convert --scenario=SPEC [--out=SNAPSHOT]\n"
       "          [--out-shards=DIR [--shards=N]] [--out-graph=FILE]\n"
@@ -478,6 +485,7 @@ std::string Usage() {
       "linbp_cli info --snapshot=FILE|MANIFEST\n"
       "linbp_cli serve --scenario=SPEC [--coupling=PRESET|FILE]\n"
       "          [--method=linbp|linbp*] [--eps=auto|VALUE] [--threads=N]\n"
+      "          [--precision=f32|f64]\n"
       "linbp_cli trace --scenario=SPEC --out-dir=DIR [--ops=N] [--seed=S]\n"
       "          [--method=linbp|linbp*]\n"
       "  global flags (any command): --metrics-out=FILE writes a JSON\n"
@@ -492,6 +500,11 @@ std::string Usage() {
       "  presets: homophily2 heterophily2 auction dblp4 kronecker3\n"
       "  shards:  nnz-balanced row blocks (exec::RowPartition); default 4\n"
       "  threads: 0 = all hardware threads; default: LINBP_THREADS or 1\n"
+      "  precision: f64 (default, bit-exact to prior releases) or f32\n"
+      "           (float32 belief storage, ~half the memory traffic per\n"
+      "           sweep; delta norms and diagnostics stay fp64; labels\n"
+      "           can flip on a small fraction of borderline nodes;\n"
+      "           linbp/linbp* only)\n"
       "  stream:  out-of-core solve over a snap:path=MANIFEST spec; the\n"
       "           shards stream with prefetch (peak CSR = 2 blocks) and\n"
       "           labels match the in-memory run bit for bit\n"
@@ -529,6 +542,8 @@ std::optional<Options> ParseOptions(const std::vector<std::string>& args,
       options.output_path = *v;
     } else if (auto v = FlagValue(arg, "--threads=")) {
       if (!ParseThreadsFlag(*v, &options.threads, error)) return std::nullopt;
+    } else if (auto v = FlagValue(arg, "--precision=")) {
+      options.precision = *v;
     } else if (arg == "--report") {
       options.report = true;
     } else if (arg == "--stream") {
@@ -565,10 +580,31 @@ std::optional<Options> ParseOptions(const std::vector<std::string>& args,
       return std::nullopt;
     }
   }
+  Precision precision = Precision::kF64;
+  if (!ParsePrecision(options.precision, &precision)) {
+    *error = "--precision must be f32 or f64";
+    return std::nullopt;
+  }
+  if (precision == Precision::kF32 && options.method != "linbp" &&
+      options.method != "linbp*") {
+    *error = "--precision=f32 supports --method=linbp or linbp* (BP and "
+             "SBP have no float32 belief path)";
+    return std::nullopt;
+  }
   return options;
 }
 
 namespace {
+
+// Applies a validated --precision string to LinBpOptions. A float-stored
+// iterate stalls near 1e-8, so the f64 default tolerance (1e-12) is
+// unreachable at f32: it would burn the whole iteration budget on solve
+// and make serve's initial solve "fail" to converge. Stop at float
+// resolution instead; delta norms stay fp64 either way.
+void ApplyPrecision(const std::string& precision, LinBpOptions* options) {
+  ParsePrecision(precision, &options->precision);
+  if (options->precision == Precision::kF32) options->tolerance = 1e-6;
+}
 
 // Emits the "v class [class...]" label lines and honors --output.
 int EmitLabelLines(const TopBeliefAssignment& top, std::int64_t num_nodes,
@@ -706,6 +742,7 @@ int RunStreamPipeline(const Options& options, std::string* output,
   lin_options.variant = variant;
   lin_options.max_iterations = 1000;
   lin_options.exec = ctx;
+  ApplyPrecision(options.precision, &lin_options);
   const LinBpResult result =
       RunLinBp(*backend, coupling.ScaledResidual(eps),
                backend->explicit_residuals(), lin_options);
@@ -802,6 +839,7 @@ int RunPipeline(const Options& options, std::string* output,
                               : LinBpVariant::kLinBp;
     lin_options.max_iterations = 1000;
     lin_options.exec = ctx;
+    ApplyPrecision(options.precision, &lin_options);
     const LinBpResult result = RunLinBp(graph, coupling.ScaledResidual(eps),
                                         scenario->explicit_residuals,
                                         lin_options);
@@ -847,6 +885,7 @@ int RunServe(const ServeOptions& options, std::istream& in,
   lin_options.variant = variant;
   lin_options.max_iterations = 1000;
   lin_options.exec = ctx;
+  ApplyPrecision(options.precision, &lin_options);
   // The serve session reports rho(M) alongside rho-hat in `stats`; the
   // power iteration runs once per graph shape and is reused by warm
   // re-solves.

@@ -64,6 +64,11 @@ struct Options {
   /// graph (methods linbp / linbp* only). Labels are bit-identical to
   /// the in-memory run.
   bool stream = false;
+  /// Belief-storage precision on the solver hot path: "f64" (default,
+  /// bit-identical to previous releases) or "f32" (half the memory
+  /// traffic per sweep; labels may differ from f64 on a small fraction
+  /// of hard-to-classify nodes). linbp / linbp* only.
+  std::string precision = "f64";
 };
 
 /// Parsed `convert` options.
@@ -114,6 +119,9 @@ struct ServeOptions {
   /// pass an explicit value when the graph will grow much denser.
   std::string eps = "auto";
   int threads = -1;
+  /// Belief-storage precision of the warm state's re-solves ("f64" or
+  /// "f32"; see Options::precision).
+  std::string precision = "f64";
 };
 
 /// Parsed `trace` options: generate a mixed update trace from a scenario
