@@ -23,7 +23,13 @@
 //                     out-of-core (ShardStreamBackend), assert the
 //                     beliefs are bit-identical, and print a JSON record
 //                     with wall-clock and peak-RSS columns (also lands
-//                     in BENCH_dataset.json)
+//                     in BENCH_dataset.json).
+//                     --compress=none|f64|f32 picks the shard payload
+//                     encoding (v1 raw, v2 delta+varint, v2 + f32
+//                     values); --cache-budget=BYTES enables the decoded-
+//                     block LRU cache for the streamed solve. The record
+//                     carries both as identity fields plus the solve's
+//                     stream bytes per sweep and cache hit rate.
 //   --parity          run every suite spec (or --scenario=SPEC) with
 //                     float64 AND float32 belief storage and assert the
 //                     fp32 run stays faithful: label flips on at most
@@ -389,8 +395,9 @@ int RunIoBench(const std::string& spec, const exec::ExecContext& ctx,
 // process-wide VmHWM records; the streamed residency column is the
 // reader's exact byte counter, immune to that ordering.
 int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
-                   std::int64_t shards, int iterations,
-                   Precision precision) {
+                   std::int64_t shards, int iterations, Precision precision,
+                   const std::string& compress,
+                   std::int64_t cache_budget) {
   std::string error;
   auto scenario = dataset::MakeScenario(spec, &error, ctx);
   if (!scenario.has_value()) {
@@ -399,11 +406,34 @@ int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
   }
   const std::string shards_dir = "/tmp/linbp_streambench_shards";
   if (shards <= 0) shards = std::max<std::int64_t>(4, ctx.threads());
-  const auto sharded =
-      dataset::ShardSnapshot(*scenario, shards, shards_dir, &error);
+  dataset::ShardCompression compression = dataset::ShardCompression::kNone;
+  const char* compression_name = "none";
+  if (compress == "f64") {
+    compression = dataset::ShardCompression::kF64;
+    compression_name = "varint-f64";
+  } else if (compress == "f32") {
+    compression = dataset::ShardCompression::kF32;
+    compression_name = "varint-f32";
+  } else if (compress != "none") {
+    std::fprintf(stderr, "error: --compress must be none, f64, or f32\n");
+    return 1;
+  }
+  const auto sharded = dataset::ShardSnapshot(*scenario, shards, shards_dir,
+                                              &error, compression);
   if (!sharded.has_value()) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
+  }
+  if (compression == dataset::ShardCompression::kF32) {
+    // f32 shards narrow the values once at write time; the fair (and
+    // bit-identical) in-memory reference is a solve over the same
+    // narrowed graph, i.e. the shards loaded back whole.
+    scenario = dataset::LoadShardedSnapshot(sharded->manifest_path, &error,
+                                            ctx);
+    if (!scenario.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
   }
 
   const CouplingMatrix coupling = scenario->Coupling();
@@ -428,17 +458,37 @@ int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
   std::optional<linbp::engine::ShardStreamBackend> backend;
   const double open_seconds = bench::TimeSeconds([&] {
     backend = linbp::engine::ShardStreamBackend::Open(sharded->manifest_path,
-                                                      &error, ctx);
+                                                      &error, ctx,
+                                                      cache_budget);
   });
   if (!backend.has_value()) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
+  // Deltas around the timed solve isolate the sweeps' disk traffic from
+  // the derivation pass Open already charged to the same counters.
+  const std::int64_t bytes_before = backend->reader().file_bytes_read_total();
+  const std::int64_t blocks_before = backend->reader().blocks_read_total();
   LinBpResult streamed;
   const double stream_seconds = bench::TimeSeconds([&] {
     streamed = RunLinBp(*backend, coupling.ScaledResidual(eps),
                         backend->explicit_residuals(), options);
   });
+  const std::int64_t solve_bytes_read =
+      backend->reader().file_bytes_read_total() - bytes_before;
+  const std::int64_t solve_blocks_read =
+      backend->reader().blocks_read_total() - blocks_before;
+  std::int64_t cache_hits = 0;
+  double cache_hit_rate = 0.0;
+  if (backend->cache() != nullptr) {
+    cache_hits = backend->cache()->hits_total();
+    const std::int64_t lookups =
+        cache_hits + backend->cache()->misses_total();
+    if (lookups > 0) {
+      cache_hit_rate = static_cast<double>(cache_hits) /
+                       static_cast<double>(lookups);
+    }
+  }
   if (streamed.failed) {
     std::fprintf(stderr, "error: %s\n", streamed.error.c_str());
     return 1;
@@ -462,12 +512,19 @@ int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
       "  \"threads\": %d,\n"
       "  \"iterations\": %d,\n"
       "  \"precision\": \"%s\",\n"
+      "  \"compression\": \"%s\",\n"
+      "  \"cache_budget\": %lld,\n"
       "  \"num_shards\": %lld,\n"
       "  \"inmemory_solve_seconds\": %.6f,\n"
       "  \"stream_open_seconds\": %.6f,\n"
       "  \"stream_solve_seconds\": %.6f,\n"
       "  \"stream_vs_inmemory\": %.2f,\n"
       "  \"beliefs_bit_identical\": true,\n"
+      "  \"solve_bytes_read\": %lld,\n"
+      "  \"solve_bytes_per_sweep\": %lld,\n"
+      "  \"solve_blocks_read\": %lld,\n"
+      "  \"cache_hits\": %lld,\n"
+      "  \"cache_hit_rate\": %.4f,\n"
       "  \"full_csr_bytes\": %lld,\n"
       "  \"max_block_csr_bytes\": %lld,\n"
       "  \"peak_stream_resident_csr_bytes\": %lld,\n"
@@ -476,9 +533,15 @@ int RunStreamBench(const std::string& spec, const exec::ExecContext& ctx,
       "}\n",
       spec.c_str(), static_cast<long long>(scenario->graph.num_nodes()),
       static_cast<long long>(scenario->graph.num_undirected_edges()),
-      ctx.threads(), iterations, PrecisionName(precision),
+      ctx.threads(), iterations, PrecisionName(precision), compression_name,
+      static_cast<long long>(cache_budget),
       static_cast<long long>(sharded->num_shards), memory_seconds,
       open_seconds, stream_seconds, stream_seconds / memory_seconds,
+      static_cast<long long>(solve_bytes_read),
+      static_cast<long long>(iterations > 0 ? solve_bytes_read / iterations
+                                            : 0),
+      static_cast<long long>(solve_blocks_read),
+      static_cast<long long>(cache_hits), cache_hit_rate,
       static_cast<long long>(
           (scenario->graph.num_nodes() + 1) * 8 +
           scenario->graph.num_directed_edges() * 12),
@@ -518,7 +581,8 @@ int main(int argc, char** argv) {
     return RunStreamBench(
         args.Str("scenario", "sbm:n=200000,k=4,deg=10,seed=5"), ctx,
         args.Int("shards", 0),
-        static_cast<int>(args.Int("iterations", 10)), precision);
+        static_cast<int>(args.Int("iterations", 10)), precision,
+        args.Str("compress", "none"), args.Int("cache-budget", 0));
   }
   const std::string spec = args.Str("scenario", "");
   std::printf("== scenario sweep (LinBP vs SBP, %s beliefs) ==\n\n",

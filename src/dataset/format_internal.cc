@@ -72,10 +72,11 @@ bool WriteFileDurably(const std::string& path, const char* header,
   return true;
 }
 
-bool CheckMagicVersionEndian(const std::string& path, const char* data,
-                             std::size_t size, const char* magic,
-                             std::uint32_t expected_version, const char* what,
-                             std::string* error) {
+bool CheckMagicVersionEndianRange(const std::string& path, const char* data,
+                                  std::size_t size, const char* magic,
+                                  std::uint32_t min_version,
+                                  std::uint32_t max_version, const char* what,
+                                  std::uint32_t* version, std::string* error) {
   if (size < kHeaderBytes) {
     *error = path + ": truncated " + what + " (shorter than the header)";
     return false;
@@ -94,15 +95,27 @@ bool CheckMagicVersionEndian(const std::string& path, const char* data,
     *error = path + ": corrupted header (bad endian tag)";
     return false;
   }
-  std::uint32_t version = 0;
-  std::memcpy(&version, data + 8, 4);
-  if (version != expected_version) {
+  std::memcpy(version, data + 8, 4);
+  if (*version < min_version || *version > max_version) {
+    const std::string expected =
+        min_version == max_version
+            ? std::to_string(min_version)
+            : std::to_string(min_version) + ".." + std::to_string(max_version);
     *error = path + ": unsupported " + what + " version " +
-             std::to_string(version) + " (expected " +
-             std::to_string(expected_version) + ")";
+             std::to_string(*version) + " (expected " + expected + ")";
     return false;
   }
   return true;
+}
+
+bool CheckMagicVersionEndian(const std::string& path, const char* data,
+                             std::size_t size, const char* magic,
+                             std::uint32_t expected_version, const char* what,
+                             std::string* error) {
+  std::uint32_t version = 0;
+  return CheckMagicVersionEndianRange(path, data, size, magic,
+                                      expected_version, expected_version,
+                                      what, &version, error);
 }
 
 bool CheckCouplingResidual(const std::string& path,
@@ -130,7 +143,8 @@ bool CheckCouplingResidual(const std::string& path,
 bool CheckHeaderCounts(const std::string& path, std::int64_t num_nodes,
                        std::int64_t k, std::int64_t nnz,
                        std::int64_t num_explicit, std::uint32_t flags,
-                       const char* what, std::string* error) {
+                       std::uint32_t allowed_flags, const char* what,
+                       std::string* error) {
   if (num_nodes < 0 ||
       num_nodes > std::numeric_limits<std::int32_t>::max() || k < 1 ||
       k > kMaxClasses || nnz < 0 || num_explicit < 0 ||
@@ -138,7 +152,7 @@ bool CheckHeaderCounts(const std::string& path, std::int64_t num_nodes,
     *error = path + ": corrupted " + what + " (counts out of range)";
     return false;
   }
-  if ((flags & ~kFlagGroundTruth) != 0) {
+  if ((flags & ~allowed_flags) != 0) {
     *error = path + ": corrupted " + what + " (unknown flags)";
     return false;
   }
@@ -161,13 +175,122 @@ std::int64_t ShardPayloadBytes(std::int64_t rows, std::int64_t nnz,
          + (has_ground_truth ? rows * 4 : 0);
 }
 
+std::int64_t ShardDecodedPayloadBytes(std::int64_t rows, std::int64_t nnz,
+                                      std::int64_t num_explicit,
+                                      std::int64_t k, bool has_ground_truth,
+                                      bool values_f32) {
+  return (rows + 1) * 8 + nnz * (4 + (values_f32 ? 4 : 8)) +
+         num_explicit * 8 * (1 + k) + (has_ground_truth ? rows * 4 : 0);
+}
+
+std::int64_t ShardPayloadBytesV2Min(std::int64_t rows, std::int64_t nnz,
+                                    std::int64_t num_explicit, std::int64_t k,
+                                    bool has_ground_truth, bool values_f32) {
+  return 8 +                // u64 column-section byte count
+         rows + nnz +       // >= 1 varint byte per row count and column id
+         nnz * (values_f32 ? 4 : 8) + num_explicit * 8 * (1 + k) +
+         (has_ground_truth ? rows * 4 : 0);
+}
+
+void AppendVarint(std::uint64_t value, std::vector<char>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void EncodeColumnSection(const std::int64_t* local_row_ptr, std::int64_t rows,
+                         const std::int32_t* col_idx,
+                         std::vector<char>* out) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t begin = local_row_ptr[r];
+    const std::int64_t end = local_row_ptr[r + 1];
+    AppendVarint(static_cast<std::uint64_t>(end - begin), out);
+    std::int64_t prev = 0;
+    for (std::int64_t e = begin; e < end; ++e) {
+      const std::int64_t col = col_idx[e];
+      // First id raw, then strictly positive deltas (columns are sorted
+      // and duplicate-free per row, so col > prev always holds here).
+      AppendVarint(static_cast<std::uint64_t>(e == begin ? col : col - prev),
+                   out);
+      prev = col;
+    }
+  }
+}
+
+namespace {
+
+// One bounds-checked LEB128 read. A valid value fits int32, so anything
+// longer than 5 bytes is corrupt regardless of its numeric value.
+bool ReadVarint(const char** data, const char* end, std::uint64_t* value,
+                std::string* what) {
+  *value = 0;
+  for (int shift = 0; shift < 5 * 7; shift += 7) {
+    if (*data == end) {
+      *what = "truncated varint";
+      return false;
+    }
+    const std::uint8_t byte = static_cast<std::uint8_t>(*(*data)++);
+    *value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  *what = "varint overflow (more than 5 bytes)";
+  return false;
+}
+
+}  // namespace
+
+bool DecodeColumnSection(const char* data, std::size_t size,
+                         std::int64_t rows, std::int64_t expected_nnz,
+                         std::int64_t num_nodes, std::int64_t* local_row_ptr,
+                         std::int32_t* col_idx, std::string* what) {
+  const char* end = data + size;
+  std::int64_t written = 0;
+  local_row_ptr[0] = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::uint64_t row_nnz = 0;
+    if (!ReadVarint(&data, end, &row_nnz, what)) return false;
+    if (row_nnz > static_cast<std::uint64_t>(expected_nnz - written)) {
+      *what = "row entry counts exceed the header nnz";
+      return false;
+    }
+    std::int64_t col = 0;
+    for (std::uint64_t e = 0; e < row_nnz; ++e) {
+      std::uint64_t delta = 0;
+      if (!ReadVarint(&data, end, &delta, what)) return false;
+      if (e > 0 && delta == 0) {
+        *what = "non-monotone delta (columns not strictly increasing)";
+        return false;
+      }
+      col = e == 0 ? static_cast<std::int64_t>(delta)
+                   : col + static_cast<std::int64_t>(delta);
+      if (col >= num_nodes) {
+        *what = "column id out of range";
+        return false;
+      }
+      col_idx[written++] = static_cast<std::int32_t>(col);
+    }
+    local_row_ptr[r + 1] = written;
+  }
+  if (written != expected_nnz) {
+    *what = "row entry counts do not sum to the header nnz";
+    return false;
+  }
+  if (data != end) {
+    *what = "trailing bytes in the column section";
+    return false;
+  }
+  return true;
+}
+
 bool ParseShardManifest(const std::string& path,
                         const std::vector<char>& bytes,
-                        std::uint32_t expected_version, ShardManifest* m,
+                        std::uint32_t max_version, ShardManifest* m,
                         std::string* error) {
-  if (!CheckMagicVersionEndian(path, bytes.data(), bytes.size(),
-                               kShardManifestMagic, expected_version,
-                               "shard manifest", error)) {
+  if (!CheckMagicVersionEndianRange(path, bytes.data(), bytes.size(),
+                                    kShardManifestMagic, 1, max_version,
+                                    "shard manifest", &m->version, error)) {
     return false;
   }
   const char* data = bytes.data();
@@ -181,11 +304,14 @@ bool ParseShardManifest(const std::string& path,
   std::memcpy(&flags, data + 48, 4);
   std::memcpy(&num_shards, data + 52, 4);
   std::memcpy(&checksum, data + 56, 8);
+  const std::uint32_t allowed_flags =
+      m->version >= 2 ? kFlagGroundTruth | kFlagF32Values : kFlagGroundTruth;
   if (!CheckHeaderCounts(path, m->num_nodes, m->k, m->nnz, m->num_explicit,
-                         flags, "manifest header", error)) {
+                         flags, allowed_flags, "manifest header", error)) {
     return false;
   }
   m->has_ground_truth = (flags & kFlagGroundTruth) != 0;
+  m->values_f32 = (flags & kFlagF32Values) != 0;
   if (num_shards < 1 ||
       static_cast<std::int64_t>(num_shards) > kMaxShards ||
       static_cast<std::int64_t>(num_shards) > m->num_nodes) {
@@ -213,6 +339,7 @@ bool ParseShardManifest(const std::string& path,
     ShardManifestEntry& entry = m->entries[s];
     if (!cursor.Read(&entry.row_begin, 1) || !cursor.Read(&entry.row_end, 1) ||
         !cursor.Read(&entry.nnz, 1) || !cursor.Read(&entry.num_explicit, 1) ||
+        (m->version >= 2 && !cursor.Read(&entry.payload_bytes, 1)) ||
         !cursor.Read(&entry.checksum, 1) || !cursor.ReadString(&entry.file)) {
       *error = path + ": truncated manifest payload";
       return false;
@@ -245,6 +372,25 @@ bool ParseShardManifest(const std::string& path,
     if (entry.file.empty()) {
       *error = path + ": shard " + std::to_string(s) + " has no file name";
       return false;
+    }
+    const std::int64_t rows = entry.row_end - entry.row_begin;
+    if (m->version >= 2) {
+      // The encoded size is a declared field, so bound it both ways: at
+      // least one varint byte per row count and column id (the floor the
+      // preflight trusts against hostile decoded counts) and at most the
+      // 5-byte varint ceiling.
+      const std::int64_t floor = ShardPayloadBytesV2Min(
+          rows, entry.nnz, entry.num_explicit, m->k, m->has_ground_truth,
+          m->values_f32);
+      const std::int64_t ceiling = floor + 4 * (rows + entry.nnz);
+      if (entry.payload_bytes < floor || entry.payload_bytes > ceiling) {
+        *error = path + ": shard " + std::to_string(s) +
+                 " payload size is inconsistent with its counts";
+        return false;
+      }
+    } else {
+      entry.payload_bytes = ShardPayloadBytes(
+          rows, entry.nnz, entry.num_explicit, m->k, m->has_ground_truth);
     }
     // Incremental bound before accumulating: per-entry values are only
     // capped at 2^48, so a crafted 2^20-entry table could wrap a naive
@@ -282,12 +428,11 @@ bool ParseShardManifest(const std::string& path,
 bool CheckShardAgainstManifest(const std::string& path,
                                const std::vector<char>& bytes,
                                const ShardManifest& manifest,
-                               std::int64_t shard,
-                               std::uint32_t expected_version,
-                               ShardFileHeader* h, std::string* error) {
+                               std::int64_t shard, ShardFileHeader* h,
+                               std::string* error) {
   const ShardManifestEntry& entry = manifest.entries[shard];
   if (!CheckMagicVersionEndian(path, bytes.data(), bytes.size(),
-                               kShardFileMagic, expected_version,
+                               kShardFileMagic, manifest.version,
                                "snapshot shard", error)) {
     return false;
   }
@@ -299,7 +444,8 @@ bool CheckShardAgainstManifest(const std::string& path,
   std::memcpy(&h->shard_index, bytes.data() + 52, 4);
   std::memcpy(&h->checksum, bytes.data() + 56, 8);
   const std::uint32_t expected_flags =
-      manifest.has_ground_truth ? kFlagGroundTruth : 0;
+      (manifest.has_ground_truth ? kFlagGroundTruth : 0) |
+      (manifest.values_f32 ? kFlagF32Values : 0);
   if (h->row_begin != entry.row_begin || h->row_end != entry.row_end ||
       h->nnz != entry.nnz || h->num_explicit != entry.num_explicit ||
       h->flags != expected_flags ||

@@ -30,6 +30,8 @@ namespace internal {
 inline constexpr std::uint32_t kEndianTag = 0x01020304u;
 inline constexpr std::uint32_t kEndianTagSwapped = 0x04030201u;
 inline constexpr std::uint32_t kFlagGroundTruth = 1u;
+// v2 shards only: the value section stores f32 instead of f64.
+inline constexpr std::uint32_t kFlagF32Values = 2u;
 inline constexpr std::size_t kHeaderBytes = 64;
 // Far above any real class count; bounds k before allocating k*k doubles.
 inline constexpr std::int64_t kMaxClasses = 1024;
@@ -111,6 +113,15 @@ bool CheckMagicVersionEndian(const std::string& path, const char* data,
                              std::uint32_t expected_version, const char* what,
                              std::string* error);
 
+/// Multi-version variant: accepts any version in [min_version,
+/// max_version] and reports the one found through *version. The
+/// single-version overload above delegates here with min == max.
+bool CheckMagicVersionEndianRange(const std::string& path, const char* data,
+                                  std::size_t size, const char* magic,
+                                  std::uint32_t min_version,
+                                  std::uint32_t max_version, const char* what,
+                                  std::uint32_t* version, std::string* error);
+
 /// Validates a k*k row-major coupling residual: finite entries,
 /// symmetry, |row sum| <= 1e-9. One gate shared by the bulk loader
 /// (ValidateAndAssembleScenario) and the streaming reader
@@ -122,12 +133,15 @@ bool CheckCouplingResidual(const std::string& path,
 
 /// Validates the count fields every dataset header carries: num_nodes in
 /// [0, int32 max], k in [1, kMaxClasses], nnz >= 0, num_explicit in
-/// [0, num_nodes], and no flag bits beyond kFlagGroundTruth. `what`
-/// names the header in errors ("header", "manifest header").
+/// [0, num_nodes], and no flag bits outside `allowed_flags` (v1 headers
+/// pass kFlagGroundTruth; v2 shard headers additionally admit
+/// kFlagF32Values). `what` names the header in errors ("header",
+/// "manifest header").
 bool CheckHeaderCounts(const std::string& path, std::int64_t num_nodes,
                        std::int64_t k, std::int64_t nnz,
                        std::int64_t num_explicit, std::uint32_t flags,
-                       const char* what, std::string* error);
+                       std::uint32_t allowed_flags, const char* what,
+                       std::string* error);
 
 /// The deserialized sections of one Scenario, before validation. The
 /// monolithic loader fills this from a single payload; the sharded
@@ -158,23 +172,29 @@ inline constexpr char kShardManifestMagic[8] = {'L', 'I', 'N', 'B',
 inline constexpr char kShardFileMagic[8] = {'L', 'I', 'N', 'B',
                                             'P', 'S', 'H', 'D'};
 
-/// One parsed manifest shard entry.
+/// One parsed manifest shard entry. `payload_bytes` is the on-disk
+/// payload size (file size minus the 64-byte header): for v1 it is
+/// recomputed from the counts via ShardPayloadBytes, for v2 it is read
+/// from the manifest (the encoded size is not derivable from counts).
 struct ShardManifestEntry {
   std::int64_t row_begin = 0;
   std::int64_t row_end = 0;
   std::int64_t nnz = 0;
   std::int64_t num_explicit = 0;
+  std::int64_t payload_bytes = 0;
   std::uint64_t checksum = 0;
   std::string file;
 };
 
 /// A parsed + validated shard manifest.
 struct ShardManifest {
+  std::uint32_t version = 1;
   std::int64_t num_nodes = 0;
   std::int64_t k = 0;
   std::int64_t nnz = 0;
   std::int64_t num_explicit = 0;
   bool has_ground_truth = false;
+  bool values_f32 = false;  // v2 only: shard value sections store f32
   std::string name;
   std::string spec;
   std::vector<double> coupling;  // k*k
@@ -185,9 +205,11 @@ struct ShardManifest {
 /// Parses and fully validates a manifest: header ranges, payload
 /// checksum, and a shard table whose row ranges exactly tile
 /// [0, num_nodes) with per-shard counts summing to the global ones.
+/// Accepts format versions in [1, max_version] and records the one
+/// found in m->version.
 bool ParseShardManifest(const std::string& path,
                         const std::vector<char>& bytes,
-                        std::uint32_t expected_version, ShardManifest* m,
+                        std::uint32_t max_version, ShardManifest* m,
                         std::string* error);
 
 /// Joins a shard file name with the directory its manifest lives in.
@@ -206,6 +228,54 @@ std::int64_t ShardPayloadBytes(std::int64_t rows, std::int64_t nnz,
                                std::int64_t num_explicit, std::int64_t k,
                                bool has_ground_truth);
 
+/// Decoded (resident) payload byte count of one shard, any version: the
+/// v1 sections with the value width picked by `values_f32`. For v1 this
+/// equals ShardPayloadBytes; for v2 it is what the shard occupies after
+/// decoding, which is what RAM warnings and `info` report as "decoded".
+std::int64_t ShardDecodedPayloadBytes(std::int64_t rows, std::int64_t nnz,
+                                      std::int64_t num_explicit,
+                                      std::int64_t k, bool has_ground_truth,
+                                      bool values_f32);
+
+/// Smallest possible on-disk payload of a v2 shard with the given
+/// counts: the u64 column-section prefix, at least one varint byte per
+/// row and per column id, the exact value section, and the v1-layout
+/// explicit/ground-truth sections. The loader preflight checks each v2
+/// entry's payload_bytes against this floor, so a hostile manifest
+/// cannot claim huge decoded counts backed by a tiny file and trigger a
+/// multi-terabyte resize — the same hole ShardPayloadBytes closes for
+/// v1. Cannot overflow for the same count caps.
+std::int64_t ShardPayloadBytesV2Min(std::int64_t rows, std::int64_t nnz,
+                                    std::int64_t num_explicit, std::int64_t k,
+                                    bool has_ground_truth, bool values_f32);
+
+// ---------------------------------------------------------------------
+// v2 compressed column section: per row a varint entry count, then the
+// row's column ids as varints — the first id raw, each subsequent id as
+// the strictly positive delta to its predecessor (columns are sorted,
+// so deltas are small and most ids fit 1-2 bytes). Varints are LEB128
+// (7 payload bits per byte, high bit = continuation); every encoded
+// value fits int32, so a valid varint is at most 5 bytes.
+
+/// Appends one LEB128 varint.
+void AppendVarint(std::uint64_t value, std::vector<char>* out);
+
+/// Encodes `rows` rows of sorted column ids into the v2 column section.
+/// `local_row_ptr` has rows + 1 entries rebased to 0.
+void EncodeColumnSection(const std::int64_t* local_row_ptr, std::int64_t rows,
+                         const std::int32_t* col_idx, std::vector<char>* out);
+
+/// Decodes a v2 column section into a local row_ptr (rows + 1 entries)
+/// and expected_nnz column ids. Rejects, with a short reason in *what
+/// ("truncated varint", "varint overflow", "non-monotone delta", ...):
+/// truncated or over-long (> 5 byte) varints, column ids outside
+/// [0, num_nodes), zero deltas (equal or decreasing columns), per-row
+/// counts that do not sum to expected_nnz, and trailing section bytes.
+bool DecodeColumnSection(const char* data, std::size_t size,
+                         std::int64_t rows, std::int64_t expected_nnz,
+                         std::int64_t num_nodes, std::int64_t* local_row_ptr,
+                         std::int32_t* col_idx, std::string* what);
+
 /// Parsed header of one shard file.
 struct ShardFileHeader {
   std::int64_t row_begin = 0;
@@ -218,16 +288,17 @@ struct ShardFileHeader {
 };
 
 /// Validates one shard file's bytes against its manifest entry: magic /
-/// version / endianness, a header agreeing with the manifest (row range,
-/// counts, flags, index), and the payload checksum matching both the
-/// header and the manifest. Fills *h on success. The payload itself
-/// (bytes after the 64-byte header) is NOT deserialized here.
+/// version / endianness (the shard's version must equal the manifest's),
+/// a header agreeing with the manifest (row range, counts, flags —
+/// including the v2 f32-values bit — and index), and the payload
+/// checksum matching both the header and the manifest. Fills *h on
+/// success. The payload itself (bytes after the 64-byte header) is NOT
+/// deserialized here.
 bool CheckShardAgainstManifest(const std::string& path,
                                const std::vector<char>& bytes,
                                const ShardManifest& manifest,
-                               std::int64_t shard,
-                               std::uint32_t expected_version,
-                               ShardFileHeader* h, std::string* error);
+                               std::int64_t shard, ShardFileHeader* h,
+                               std::string* error);
 
 /// Validates every structural invariant with error returns (the checksum
 /// only proves the bytes match what was written, not that a writer was

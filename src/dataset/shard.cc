@@ -20,7 +20,9 @@ using internal::AppendPod;
 using internal::AppendString;
 using internal::CheckShardAgainstManifest;
 using internal::Cursor;
+using internal::EncodeColumnSection;
 using internal::Fnv1a;
+using internal::kFlagF32Values;
 using internal::kFlagGroundTruth;
 using internal::kHeaderBytes;
 using internal::kMaxClasses;
@@ -33,9 +35,10 @@ using internal::ShardManifestEntry;
 using internal::ShardPayloadBytes;
 using internal::ShardSiblingPath;
 
-void WriteShardHeader(const ShardFileHeader& h, char* out) {
+void WriteShardHeader(const ShardFileHeader& h, std::uint32_t version,
+                      char* out) {
   std::memcpy(out, kShardFileMagic, 8);
-  std::memcpy(out + 8, &kShardFormatVersion, 4);
+  std::memcpy(out + 8, &version, 4);
   std::memcpy(out + 12, &internal::kEndianTag, 4);
   std::memcpy(out + 16, &h.row_begin, 8);
   std::memcpy(out + 24, &h.row_end, 8);
@@ -60,36 +63,92 @@ bool LoadOneShard(const std::string& manifest_path,
   std::vector<char> bytes;
   if (!internal::ReadFileBytes(path, &bytes, error)) return false;
   ShardFileHeader h;
-  if (!CheckShardAgainstManifest(path, bytes, manifest, shard,
-                                 kShardFormatVersion, &h, error)) {
+  if (!CheckShardAgainstManifest(path, bytes, manifest, shard, &h, error)) {
     return false;
   }
 
   const std::int64_t rows = h.row_end - h.row_begin;
   const std::int64_t k = manifest.k;
-  Cursor cursor(bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
-  std::vector<std::int64_t> local_row_ptr;
-  if (!cursor.ReadVector(&local_row_ptr,
-                         static_cast<std::size_t>(rows + 1))) {
-    *error = path + ": truncated shard payload";
-    return false;
-  }
-  if (local_row_ptr.front() != 0 || local_row_ptr.back() != h.nnz) {
-    *error = path + ": invalid shard row pointers";
-    return false;
-  }
-  for (std::int64_t r = 0; r < rows; ++r) {
-    if (local_row_ptr[r] > local_row_ptr[r + 1]) {
+  const char* payload = bytes.data() + kHeaderBytes;
+  std::size_t payload_size = bytes.size() - kHeaderBytes;
+  bool csr_ok = true;
+  if (manifest.version >= 2) {
+    // v2: u64-prefixed delta+varint column section, then the values
+    // (possibly f32). The decoder writes straight into this shard's
+    // col_idx slice; f32 values widen exactly into the global array.
+    std::uint64_t encoded_bytes = 0;
+    if (payload_size < 8) {
+      *error = path + ": truncated shard payload";
+      return false;
+    }
+    std::memcpy(&encoded_bytes, payload, 8);
+    payload += 8;
+    payload_size -= 8;
+    if (encoded_bytes > payload_size) {
+      *error = path + ": truncated shard payload";
+      return false;
+    }
+    std::vector<std::int64_t> local_row_ptr(rows + 1);
+    std::string what;
+    if (!internal::DecodeColumnSection(
+            payload, static_cast<std::size_t>(encoded_bytes), rows, h.nnz,
+            manifest.num_nodes, local_row_ptr.data(),
+            parts->col_idx.data() + nnz_offset, &what)) {
+      *error = path + ": invalid shard column section (" + what + ")";
+      return false;
+    }
+    payload += encoded_bytes;
+    payload_size -= encoded_bytes;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      parts->row_ptr[h.row_begin + r] = nnz_offset + local_row_ptr[r];
+    }
+    Cursor cursor(payload, payload_size);
+    if (manifest.values_f32) {
+      std::vector<float> narrow;
+      csr_ok = cursor.ReadVector(&narrow, static_cast<std::size_t>(h.nnz));
+      if (csr_ok) {
+        std::copy(narrow.begin(), narrow.end(),
+                  parts->values.begin() + nnz_offset);
+      }
+    } else {
+      csr_ok = cursor.Read(parts->values.data() + nnz_offset,
+                           static_cast<std::size_t>(h.nnz));
+    }
+    if (csr_ok) {
+      payload += payload_size - cursor.remaining();
+      payload_size = cursor.remaining();
+    }
+  } else {
+    Cursor cursor(payload, payload_size);
+    std::vector<std::int64_t> local_row_ptr;
+    if (!cursor.ReadVector(&local_row_ptr,
+                           static_cast<std::size_t>(rows + 1))) {
+      *error = path + ": truncated shard payload";
+      return false;
+    }
+    if (local_row_ptr.front() != 0 || local_row_ptr.back() != h.nnz) {
       *error = path + ": invalid shard row pointers";
       return false;
     }
-    parts->row_ptr[h.row_begin + r] = nnz_offset + local_row_ptr[r];
+    for (std::int64_t r = 0; r < rows; ++r) {
+      if (local_row_ptr[r] > local_row_ptr[r + 1]) {
+        *error = path + ": invalid shard row pointers";
+        return false;
+      }
+      parts->row_ptr[h.row_begin + r] = nnz_offset + local_row_ptr[r];
+    }
+    csr_ok = cursor.Read(parts->col_idx.data() + nnz_offset,
+                         static_cast<std::size_t>(h.nnz)) &&
+             cursor.Read(parts->values.data() + nnz_offset,
+                         static_cast<std::size_t>(h.nnz));
+    if (csr_ok) {
+      payload += payload_size - cursor.remaining();
+      payload_size = cursor.remaining();
+    }
   }
+  Cursor cursor(payload, payload_size);
   const bool arrays_ok =
-      cursor.Read(parts->col_idx.data() + nnz_offset,
-                  static_cast<std::size_t>(h.nnz)) &&
-      cursor.Read(parts->values.data() + nnz_offset,
-                  static_cast<std::size_t>(h.nnz)) &&
+      csr_ok &&
       cursor.Read(parts->explicit_nodes.data() + explicit_offset,
                   static_cast<std::size_t>(h.num_explicit)) &&
       cursor.Read(parts->explicit_rows.data() + explicit_offset * k,
@@ -132,7 +191,8 @@ std::string ShardFileName(std::int64_t shard) {
 std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
                                               std::int64_t max_shards,
                                               const std::string& dir,
-                                              std::string* error) {
+                                              std::string* error,
+                                              ShardCompression compression) {
   LINBP_CHECK(error != nullptr);
   LINBP_CHECK(scenario.k >= 1 && scenario.k <= kMaxClasses);
   LINBP_CHECK(scenario.coupling_residual.rows() == scenario.k &&
@@ -164,8 +224,14 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
   const exec::RowPartition partition =
       exec::RowPartition::NnzBalanced(adjacency.row_ptr(), max_shards);
   const std::int64_t num_shards = partition.num_blocks();
+  const std::uint32_t version = compression == ShardCompression::kNone
+                                    ? kShardFormatVersion
+                                    : kShardFormatVersionV2;
+  const bool values_f32 = compression == ShardCompression::kF32;
   const std::uint32_t flags =
-      scenario.HasGroundTruth() ? kFlagGroundTruth : 0;
+      (scenario.HasGroundTruth() ? kFlagGroundTruth : 0) |
+      (values_f32 ? kFlagF32Values : 0);
+  const bool has_ground_truth = scenario.HasGroundTruth();
   const auto& row_ptr = adjacency.row_ptr();
   const auto& col_idx = adjacency.col_idx();
   const auto& values = adjacency.values();
@@ -187,16 +253,33 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
 
     std::vector<char> payload;
     payload.reserve(static_cast<std::size_t>(ShardPayloadBytes(
-        rows, nnz, num_explicit, scenario.k, flags != 0)));
+        rows, nnz, num_explicit, scenario.k, has_ground_truth)));
     std::vector<std::int64_t> local_row_ptr(rows + 1);
     for (std::int64_t r = 0; r <= rows; ++r) {
       local_row_ptr[r] = row_ptr[row_begin + r] - nnz_begin;
     }
-    AppendPod(local_row_ptr.data(), local_row_ptr.size(), &payload);
-    AppendPod(col_idx.data() + nnz_begin, static_cast<std::size_t>(nnz),
-              &payload);
-    AppendPod(values.data() + nnz_begin, static_cast<std::size_t>(nnz),
-              &payload);
+    if (version >= kShardFormatVersionV2) {
+      std::vector<char> cols;
+      EncodeColumnSection(local_row_ptr.data(), rows,
+                          col_idx.data() + nnz_begin, &cols);
+      const std::uint64_t encoded_bytes = cols.size();
+      AppendPod(&encoded_bytes, 1, &payload);
+      payload.insert(payload.end(), cols.begin(), cols.end());
+      if (values_f32) {
+        std::vector<float> narrow(values.begin() + nnz_begin,
+                                  values.begin() + nnz_begin + nnz);
+        AppendPod(narrow.data(), narrow.size(), &payload);
+      } else {
+        AppendPod(values.data() + nnz_begin, static_cast<std::size_t>(nnz),
+                  &payload);
+      }
+    } else {
+      AppendPod(local_row_ptr.data(), local_row_ptr.size(), &payload);
+      AppendPod(col_idx.data() + nnz_begin, static_cast<std::size_t>(nnz),
+                &payload);
+      AppendPod(values.data() + nnz_begin, static_cast<std::size_t>(nnz),
+                &payload);
+    }
     AppendPod(explicit_nodes.data() + (explicit_begin -
                                        explicit_nodes.begin()),
               static_cast<std::size_t>(num_explicit), &payload);
@@ -209,7 +292,7 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
       }
     }
     AppendPod(rows_buf.data(), rows_buf.size(), &payload);
-    if (flags != 0) {
+    if (has_ground_truth) {
       AppendPod(scenario.ground_truth.data() + row_begin,
                 static_cast<std::size_t>(rows), &payload);
     }
@@ -223,7 +306,7 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
     header.shard_index = static_cast<std::uint32_t>(s);
     header.checksum = Fnv1a(payload.data(), payload.size());
     char header_bytes[kHeaderBytes];
-    WriteShardHeader(header, header_bytes);
+    WriteShardHeader(header, version, header_bytes);
     const std::string file = ShardFileName(s);
     if (!internal::WriteFileDurably((std::filesystem::path(dir) / file)
                                         .string(),
@@ -231,8 +314,9 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
                                     error)) {
       return std::nullopt;
     }
-    entries[s] = ShardManifestEntry{row_begin, row_end, nnz, num_explicit,
-                                    header.checksum, file};
+    entries[s] = ShardManifestEntry{
+        row_begin, row_end, nnz, num_explicit,
+        static_cast<std::int64_t>(payload.size()), header.checksum, file};
   }
 
   // Manifest last: a crashed writer leaves shard files but no loadable
@@ -247,12 +331,15 @@ std::optional<ShardWriteResult> ShardSnapshot(const Scenario& scenario,
     AppendPod(&entry.row_end, 1, &payload);
     AppendPod(&entry.nnz, 1, &payload);
     AppendPod(&entry.num_explicit, 1, &payload);
+    if (version >= kShardFormatVersionV2) {
+      AppendPod(&entry.payload_bytes, 1, &payload);
+    }
     AppendPod(&entry.checksum, 1, &payload);
     AppendString(entry.file, &payload);
   }
   char header_bytes[kHeaderBytes];
   std::memcpy(header_bytes, kShardManifestMagic, 8);
-  std::memcpy(header_bytes + 8, &kShardFormatVersion, 4);
+  std::memcpy(header_bytes + 8, &version, 4);
   std::memcpy(header_bytes + 12, &internal::kEndianTag, 4);
   const std::int64_t nnz_total = adjacency.NumNonZeros();
   const std::int64_t num_explicit_total =
@@ -287,7 +374,7 @@ std::optional<Scenario> LoadShardedSnapshot(const std::string& manifest_path,
     return std::nullopt;
   }
   ShardManifest manifest;
-  if (!ParseShardManifest(manifest_path, bytes, kShardFormatVersion,
+  if (!ParseShardManifest(manifest_path, bytes, kShardFormatVersionV2,
                           &manifest, error)) {
     return std::nullopt;
   }
@@ -312,11 +399,12 @@ std::optional<Scenario> LoadShardedSnapshot(const std::string& manifest_path,
       *error = shard_path + ": cannot open";
       return std::nullopt;
     }
+    // entry.payload_bytes is either computed from the counts (v1) or
+    // declared but bounds-checked against them during parse (v2), so
+    // either way it ties the decoded allocation to real file bytes.
     const std::int64_t needed =
         static_cast<std::int64_t>(internal::kHeaderBytes) +
-        ShardPayloadBytes(entry.row_end - entry.row_begin, entry.nnz,
-                          entry.num_explicit, manifest.k,
-                          manifest.has_ground_truth);
+        entry.payload_bytes;
     if (file_size < static_cast<std::uintmax_t>(needed)) {
       *error = shard_path + ": truncated shard payload";
       return std::nullopt;
@@ -376,32 +464,36 @@ std::optional<ShardManifestInfo> ReadShardManifestInfo(
   std::vector<char> bytes;
   if (!internal::ReadFileBytes(path, &bytes, error)) return std::nullopt;
   ShardManifest manifest;
-  if (!ParseShardManifest(path, bytes, kShardFormatVersion, &manifest,
+  if (!ParseShardManifest(path, bytes, kShardFormatVersionV2, &manifest,
                           error)) {
     return std::nullopt;
   }
   ShardManifestInfo info;
-  info.version = kShardFormatVersion;
+  info.version = manifest.version;
   info.num_nodes = manifest.num_nodes;
   info.k = manifest.k;
   info.nnz = manifest.nnz;
   info.num_explicit = manifest.num_explicit;
   info.has_ground_truth = manifest.has_ground_truth;
+  info.values_f32 = manifest.values_f32;
   info.file_bytes = manifest.file_bytes;
   info.name = manifest.name;
   info.spec = manifest.spec;
   info.shards.reserve(manifest.entries.size());
   for (const ShardManifestEntry& entry : manifest.entries) {
     // Declared payload sizes, not on-disk file sizes: the info call
-    // stays manifest-only (no shard I/O), and the declared bytes are
-    // what a full load would have to hold resident.
-    const std::int64_t payload_bytes = ShardPayloadBytes(
+    // stays manifest-only (no shard I/O). The decoded bytes are what a
+    // full load would have to hold resident; for v1 they equal the
+    // on-disk payload.
+    const std::int64_t decoded_bytes = internal::ShardDecodedPayloadBytes(
         entry.row_end - entry.row_begin, entry.nnz, entry.num_explicit,
-        manifest.k, manifest.has_ground_truth);
-    info.total_shard_payload_bytes += payload_bytes;
+        manifest.k, manifest.has_ground_truth, manifest.values_f32);
+    info.total_shard_payload_bytes += decoded_bytes;
+    info.total_encoded_payload_bytes += entry.payload_bytes;
     info.shards.push_back(ShardRangeInfo{entry.row_begin, entry.row_end,
                                          entry.nnz, entry.num_explicit,
-                                         payload_bytes, entry.file});
+                                         entry.payload_bytes, decoded_bytes,
+                                         entry.file});
   }
   return info;
 }

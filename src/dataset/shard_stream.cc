@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "src/dataset/format_internal.h"
@@ -29,6 +30,7 @@ ShardStreamBlock::ShardStreamBlock(ShardStreamBlock&& other) noexcept
       row_ptr(std::move(other.row_ptr)),
       col_idx(std::move(other.col_idx)),
       values(std::move(other.values)),
+      values_f32(std::move(other.values_f32)),
       explicit_nodes(std::move(other.explicit_nodes)),
       explicit_rows(std::move(other.explicit_rows)),
       ground_truth(std::move(other.ground_truth)),
@@ -48,6 +50,7 @@ ShardStreamBlock& ShardStreamBlock::operator=(
   row_ptr = std::move(other.row_ptr);
   col_idx = std::move(other.col_idx);
   values = std::move(other.values);
+  values_f32 = std::move(other.values_f32);
   explicit_nodes = std::move(other.explicit_nodes);
   explicit_rows = std::move(other.explicit_rows);
   ground_truth = std::move(other.ground_truth);
@@ -70,7 +73,7 @@ std::optional<ShardStreamReader> ShardStreamReader::Open(
   }
   auto manifest = std::make_shared<internal::ShardManifest>();
   if (!internal::ParseShardManifest(manifest_path, bytes,
-                                    kShardFormatVersion, manifest.get(),
+                                    kShardFormatVersionV2, manifest.get(),
                                     error)) {
     return std::nullopt;
   }
@@ -100,6 +103,10 @@ std::int64_t ShardStreamReader::num_explicit() const {
 bool ShardStreamReader::has_ground_truth() const {
   return manifest_->has_ground_truth;
 }
+std::uint32_t ShardStreamReader::version() const {
+  return manifest_->version;
+}
+bool ShardStreamReader::values_f32() const { return manifest_->values_f32; }
 const std::string& ShardStreamReader::name() const {
   return manifest_->name;
 }
@@ -120,7 +127,8 @@ std::int64_t ShardStreamReader::row_end(std::int64_t shard) const {
 std::int64_t ShardStreamReader::block_csr_bytes(std::int64_t shard) const {
   const internal::ShardManifestEntry& entry = manifest_->entries[shard];
   const std::int64_t rows = entry.row_end - entry.row_begin;
-  return (rows + 1) * 8 + entry.nnz * (4 + 8);
+  return (rows + 1) * 8 +
+         entry.nnz * (4 + (manifest_->values_f32 ? 4 : 8));
 }
 
 std::int64_t ShardStreamReader::max_block_csr_bytes() const {
@@ -149,6 +157,9 @@ std::int64_t ShardStreamReader::csr_bytes_read_total() const {
 std::int64_t ShardStreamReader::checksum_retries_total() const {
   return accounting_->checksum_retries.load(std::memory_order_relaxed);
 }
+std::int64_t ShardStreamReader::encoded_bytes_read_total() const {
+  return accounting_->encoded_bytes_read.load(std::memory_order_relaxed);
+}
 
 bool ShardStreamReader::ReadBlock(std::int64_t shard,
                                   ShardStreamBlock* block,
@@ -163,8 +174,8 @@ bool ShardStreamReader::ReadBlock(std::int64_t shard,
   std::vector<char> bytes;
   if (!internal::ReadFileBytes(path, &bytes, error)) return false;
   internal::ShardFileHeader h;
-  if (!internal::CheckShardAgainstManifest(path, bytes, manifest, shard,
-                                           kShardFormatVersion, &h, error)) {
+  if (!internal::CheckShardAgainstManifest(path, bytes, manifest, shard, &h,
+                                           error)) {
     // One re-read before giving up: a mismatch can be a transient
     // partial read (e.g. a writer still flushing); persistent on-disk
     // corruption fails identically on the second pass.
@@ -172,21 +183,74 @@ bool ShardStreamReader::ReadBlock(std::int64_t shard,
     LINBP_OBS_COUNTER_ADD("shard_stream_checksum_retries_total", 1);
     if (!internal::ReadFileBytes(path, &bytes, error)) return false;
     if (!internal::CheckShardAgainstManifest(path, bytes, manifest, shard,
-                                             kShardFormatVersion, &h,
-                                             error)) {
+                                             &h, error)) {
       return false;
     }
   }
 
   const std::int64_t rows = h.row_end - h.row_begin;
   const std::int64_t k = manifest.k;
-  internal::Cursor cursor(bytes.data() + internal::kHeaderBytes,
-                          bytes.size() - internal::kHeaderBytes);
+  const char* payload = bytes.data() + internal::kHeaderBytes;
+  std::size_t payload_size = bytes.size() - internal::kHeaderBytes;
+  bool csr_ok = true;
+  if (manifest.version >= 2) {
+    // v2: u64-prefixed delta+varint column section, then an f64 or f32
+    // value section. The decoder enforces monotone row pointers,
+    // strictly increasing columns, and column bounds as it unpacks, so
+    // any malformed encoding is an error return here — never a crash.
+    std::uint64_t encoded_bytes = 0;
+    if (payload_size < 8) {
+      *error = path + ": truncated shard payload";
+      *block = ShardStreamBlock();
+      return false;
+    }
+    std::memcpy(&encoded_bytes, payload, 8);
+    payload += 8;
+    payload_size -= 8;
+    if (encoded_bytes > payload_size) {
+      *error = path + ": truncated shard payload";
+      *block = ShardStreamBlock();
+      return false;
+    }
+    block->row_ptr.resize(static_cast<std::size_t>(rows + 1));
+    block->col_idx.resize(static_cast<std::size_t>(h.nnz));
+    std::string what;
+    if (!internal::DecodeColumnSection(
+            payload, static_cast<std::size_t>(encoded_bytes), rows, h.nnz,
+            manifest.num_nodes, block->row_ptr.data(),
+            block->col_idx.data(), &what)) {
+      *error = path + ": invalid shard column section (" + what + ")";
+      *block = ShardStreamBlock();
+      return false;
+    }
+    payload += encoded_bytes;
+    payload_size -= encoded_bytes;
+    internal::Cursor v2_cursor(payload, payload_size);
+    csr_ok = manifest.values_f32
+                 ? v2_cursor.ReadVector(&block->values_f32,
+                                        static_cast<std::size_t>(h.nnz))
+                 : v2_cursor.ReadVector(&block->values,
+                                        static_cast<std::size_t>(h.nnz));
+    if (csr_ok) {
+      payload += payload_size - v2_cursor.remaining();
+      payload_size = v2_cursor.remaining();
+    }
+  } else {
+    internal::Cursor v1_cursor(payload, payload_size);
+    csr_ok = v1_cursor.ReadVector(&block->row_ptr,
+                                  static_cast<std::size_t>(rows + 1)) &&
+             v1_cursor.ReadVector(&block->col_idx,
+                                  static_cast<std::size_t>(h.nnz)) &&
+             v1_cursor.ReadVector(&block->values,
+                                  static_cast<std::size_t>(h.nnz));
+    if (csr_ok) {
+      payload += payload_size - v1_cursor.remaining();
+      payload_size = v1_cursor.remaining();
+    }
+  }
+  internal::Cursor cursor(payload, payload_size);
   const bool sections_ok =
-      cursor.ReadVector(&block->row_ptr,
-                        static_cast<std::size_t>(rows + 1)) &&
-      cursor.ReadVector(&block->col_idx, static_cast<std::size_t>(h.nnz)) &&
-      cursor.ReadVector(&block->values, static_cast<std::size_t>(h.nnz)) &&
+      csr_ok &&
       cursor.ReadVector(&block->explicit_nodes,
                         static_cast<std::size_t>(h.num_explicit)) &&
       cursor.ReadVector(&block->explicit_rows,
@@ -220,6 +284,11 @@ bool ShardStreamReader::ReadBlock(std::int64_t shard,
     return fail("invalid shard row pointers");
   }
   const std::int64_t n = manifest.num_nodes;
+  const bool f32 = manifest.values_f32;
+  const auto value_at = [&](std::int64_t e) -> double {
+    return f32 ? static_cast<double>(block->values_f32[e])
+               : block->values[e];
+  };
   for (std::int64_t r = 0; r < rows; ++r) {
     if (block->row_ptr[r] > block->row_ptr[r + 1]) {
       return fail("invalid shard row pointers");
@@ -228,7 +297,7 @@ bool ShardStreamReader::ReadBlock(std::int64_t shard,
          ++e) {
       const std::int64_t c = block->col_idx[e];
       if (c < 0 || c >= n || c == h.row_begin + r ||
-          !std::isfinite(block->values[e]) ||
+          !std::isfinite(value_at(e)) ||
           (e > block->row_ptr[r] && block->col_idx[e - 1] >= c)) {
         return fail(
             "invalid shard payload (CSR structure, self-loop, or "
@@ -265,7 +334,65 @@ bool ShardStreamReader::ReadBlock(std::int64_t shard,
   LINBP_OBS_COUNTER_ADD("shard_stream_bytes_read_total", file_bytes);
   LINBP_OBS_COUNTER_ADD("shard_stream_csr_bytes_total",
                         block->counted_bytes_);
+  if (manifest.version >= 2) {
+    const std::int64_t encoded =
+        file_bytes - static_cast<std::int64_t>(internal::kHeaderBytes);
+    accounting_->encoded_bytes_read.fetch_add(encoded,
+                                              std::memory_order_relaxed);
+    LINBP_OBS_COUNTER_ADD("shard_stream_encoded_bytes_total", encoded);
+  }
   return true;
+}
+
+ShardBlockCache::ShardBlockCache(std::int64_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+std::int64_t ShardBlockCache::cached_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cached_bytes_;
+}
+
+std::shared_ptr<const ShardStreamBlock> ShardBlockCache::Lookup(
+    std::int64_t shard) {
+  if (budget_bytes_ <= 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(shard);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  it->second.stamp = ++next_stamp_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  LINBP_OBS_COUNTER_ADD("shard_stream_cache_hits_total", 1);
+  return it->second.block;
+}
+
+void ShardBlockCache::Insert(std::int64_t shard,
+                             std::shared_ptr<const ShardStreamBlock> block) {
+  if (budget_bytes_ <= 0 || block == nullptr) return;
+  const std::int64_t bytes = block->resident_csr_bytes();
+  // A block larger than the whole budget can never fit; caching it
+  // anyway would turn the budget into a no-op.
+  if (bytes > budget_bytes_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto existing = entries_.find(shard);
+  if (existing != entries_.end()) {
+    // Concurrent readers can decode the same shard; keep the first.
+    existing->second.stamp = ++next_stamp_;
+    return;
+  }
+  while (cached_bytes_ + bytes > budget_bytes_ && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.stamp < victim->second.stamp) victim = it;
+    }
+    cached_bytes_ -= victim->second.block->resident_csr_bytes();
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    LINBP_OBS_COUNTER_ADD("shard_stream_cache_evictions_total", 1);
+  }
+  cached_bytes_ += bytes;
+  entries_.emplace(shard, Entry{std::move(block), ++next_stamp_});
 }
 
 }  // namespace dataset

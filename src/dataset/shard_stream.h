@@ -30,8 +30,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace linbp {
@@ -53,6 +55,10 @@ struct ShardByteAccounting {
   std::atomic<std::int64_t> file_bytes_read{0};
   std::atomic<std::int64_t> csr_bytes_read{0};
   std::atomic<std::int64_t> checksum_retries{0};
+  // On-disk payload bytes of compressed (v2) blocks read — the wire
+  // size the varint encoding is shrinking, vs csr_bytes_read's decoded
+  // size. Zero for v1 manifests.
+  std::atomic<std::int64_t> encoded_bytes_read{0};
 
   void Add(std::int64_t bytes) {
     const std::int64_t now =
@@ -85,15 +91,25 @@ class ShardStreamBlock {
   std::int64_t row_end = 0;
   std::vector<std::int64_t> row_ptr;  // local (rebased to 0), rows + 1
   std::vector<std::int32_t> col_idx;  // GLOBAL column ids
+  /// Exactly one of `values` / `values_f32` is populated: f64 for v1 and
+  /// v2/f64 manifests, f32 for v2/f32 ones. Keeping the narrow section
+  /// narrow is the point — an f32 shard's values really are half the
+  /// resident bytes, and the f32 kernels consume them with no second
+  /// narrowing pass. f64 consumers widen per block.
   std::vector<double> values;
+  std::vector<float> values_f32;
   std::vector<std::int64_t> explicit_nodes;  // global ids, sorted
   std::vector<double> explicit_rows;         // explicit_nodes.size() * k
   std::vector<std::int32_t> ground_truth;    // rows, iff manifest flag
 
   std::int64_t num_rows() const { return row_end - row_begin; }
   std::int64_t nnz() const {
-    return static_cast<std::int64_t>(values.size());
+    return static_cast<std::int64_t>(values_f32.empty() ? values.size()
+                                                        : values_f32.size());
   }
+  /// The CSR bytes this block counts against its reader's residency —
+  /// what a budgeted cache must account per cached block.
+  std::int64_t resident_csr_bytes() const { return counted_bytes_; }
 
  private:
   friend class ShardStreamReader;
@@ -123,6 +139,10 @@ class ShardStreamReader {
   std::int64_t nnz() const;
   std::int64_t num_explicit() const;
   bool has_ground_truth() const;
+  /// Manifest format version (1 or 2).
+  std::uint32_t version() const;
+  /// True when blocks carry f32 value sections (v2/f32 manifests).
+  bool values_f32() const;
   const std::string& name() const;
   const std::string& spec() const;
   /// The k*k residual coupling matrix from the manifest (row-major).
@@ -157,6 +177,8 @@ class ShardStreamReader {
   std::int64_t blocks_read_total() const;
   std::int64_t file_bytes_read_total() const;
   std::int64_t csr_bytes_read_total() const;
+  /// On-disk payload bytes of compressed (v2) blocks read; 0 for v1.
+  std::int64_t encoded_bytes_read_total() const;
   /// Times a shard failed manifest/checksum verification and the one
   /// re-read attempt was taken (transient-read protection; a second
   /// failure surfaces as the error).
@@ -168,6 +190,58 @@ class ShardStreamReader {
   std::string manifest_path_;
   std::shared_ptr<internal::ShardManifest> manifest_;
   std::shared_ptr<internal::ShardByteAccounting> accounting_;
+};
+
+/// Memory-budgeted LRU cache of decoded blocks, keyed by shard index.
+/// When a streamed solve's working set fits the budget, sweeps after the
+/// first hit the cache and re-read nothing from disk; otherwise LRU
+/// eviction bounds cached bytes by the budget. Thread-safe (one mutex:
+/// the cache sits on the slow path — a hit replaces a disk read and a
+/// full decode, so contention is dwarfed by the work it saves). Cached
+/// blocks keep their reader's ShardByteAccounting alive and counted, so
+/// residency instrumentation includes what the cache is holding.
+class ShardBlockCache {
+ public:
+  /// `budget_bytes` <= 0 disables caching entirely (every Lookup
+  /// misses, every Insert is dropped).
+  explicit ShardBlockCache(std::int64_t budget_bytes);
+
+  /// Returns the cached block for `shard` and refreshes its recency, or
+  /// nullptr on a miss.
+  std::shared_ptr<const ShardStreamBlock> Lookup(std::int64_t shard);
+
+  /// Offers a freshly decoded block. Blocks larger than the whole
+  /// budget are not cached; otherwise least-recently-used entries are
+  /// evicted until the block fits.
+  void Insert(std::int64_t shard,
+              std::shared_ptr<const ShardStreamBlock> block);
+
+  std::int64_t budget_bytes() const { return budget_bytes_; }
+  std::int64_t cached_bytes() const;
+  std::int64_t hits_total() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::int64_t misses_total() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::int64_t evictions_total() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ShardStreamBlock> block;
+    std::uint64_t stamp = 0;  // recency; larger = more recently used
+  };
+
+  std::int64_t budget_bytes_ = 0;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  mutable std::mutex mu_;
+  std::int64_t cached_bytes_ = 0;   // guarded by mu_
+  std::uint64_t next_stamp_ = 0;    // guarded by mu_
+  std::unordered_map<std::int64_t, Entry> entries_;  // guarded by mu_
 };
 
 }  // namespace dataset

@@ -60,7 +60,8 @@ bool ParseHeader(const std::string& path, const char* data, std::size_t size,
   std::memcpy(&h->flags, data + 48, 4);
   std::memcpy(&h->checksum, data + 56, 8);
   return internal::CheckHeaderCounts(path, h->num_nodes, h->k, h->nnz,
-                                     h->num_explicit, h->flags, "header",
+                                     h->num_explicit, h->flags,
+                                     internal::kFlagGroundTruth, "header",
                                      error);
 }
 

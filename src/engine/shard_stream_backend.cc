@@ -18,6 +18,7 @@ bool ShardStreamBackend::StreamBlocks(
     const std::function<void(const dataset::ShardStreamBlock&)>& apply,
     std::string* error) const {
   const dataset::ShardStreamReader& reader = *reader_;
+  dataset::ShardBlockCache* cache = cache_.get();
   // Prefetch overlap needs a second runnable lane; with a serial context
   // the read happens inline (results are identical either way).
   const bool overlap = ctx.threads() > 1;
@@ -26,13 +27,24 @@ bool ShardStreamBackend::StreamBlocks(
     span.SetAttr("shards", reader.num_shards());
     span.SetAttr("overlap", static_cast<std::int64_t>(overlap ? 1 : 0));
   }
-  return exec::RunDoubleBuffered<dataset::ShardStreamBlock>(
+  // Items are shared_ptr so a cached block can sit in the pipeline slot
+  // and in the cache at once; a hit costs a refcount bump, not a read.
+  using Item = std::shared_ptr<const dataset::ShardStreamBlock>;
+  return exec::RunDoubleBuffered<Item>(
       reader.num_shards(), overlap,
-      [&reader](std::int64_t s, dataset::ShardStreamBlock* block,
-                std::string* err) { return reader.ReadBlock(s, block, err); },
-      [&apply](std::int64_t, dataset::ShardStreamBlock* block,
-               std::string*) {
-        apply(*block);
+      [&reader, cache](std::int64_t s, Item* item, std::string* err) {
+        if (cache != nullptr) {
+          *item = cache->Lookup(s);
+          if (*item != nullptr) return true;
+        }
+        auto block = std::make_shared<dataset::ShardStreamBlock>();
+        if (!reader.ReadBlock(s, block.get(), err)) return false;
+        if (cache != nullptr) cache->Insert(s, block);
+        *item = std::move(block);
+        return true;
+      },
+      [&apply](std::int64_t, Item* item, std::string*) {
+        apply(**item);
         return true;
       },
       error);
@@ -40,7 +52,7 @@ bool ShardStreamBackend::StreamBlocks(
 
 std::optional<ShardStreamBackend> ShardStreamBackend::Open(
     const std::string& manifest_path, std::string* error,
-    const exec::ExecContext& ctx) {
+    const exec::ExecContext& ctx, std::int64_t cache_budget_bytes) {
   LINBP_CHECK(error != nullptr);
   auto reader = dataset::ShardStreamReader::Open(manifest_path, error);
   if (!reader.has_value()) return std::nullopt;
@@ -48,6 +60,10 @@ std::optional<ShardStreamBackend> ShardStreamBackend::Open(
   ShardStreamBackend backend;
   backend.reader_ = std::make_shared<const dataset::ShardStreamReader>(
       std::move(*reader));
+  if (cache_budget_bytes > 0) {
+    backend.cache_ =
+        std::make_shared<dataset::ShardBlockCache>(cache_budget_bytes);
+  }
   const std::int64_t n = backend.reader_->num_nodes();
   const std::int64_t k = backend.reader_->k();
 
@@ -70,12 +86,17 @@ std::optional<ShardStreamBackend> ShardStreamBackend::Open(
       ctx,
       [&](const dataset::ShardStreamBlock& block) {
         // Same per-row summation order as SquaredRowSums, so the echo
-        // term matches the in-memory degrees bit-for-bit.
+        // term matches the in-memory degrees bit-for-bit. f32-valued
+        // shards widen per entry — exactly what an in-memory load of
+        // the same shards holds, so identity is preserved there too.
+        const bool f32 = !block.values_f32.empty();
         for (std::int64_t r = 0; r < block.num_rows(); ++r) {
           double degree = 0.0;
           for (std::int64_t e = block.row_ptr[r]; e < block.row_ptr[r + 1];
                ++e) {
-            degree += block.values[e] * block.values[e];
+            const double v = f32 ? static_cast<double>(block.values_f32[e])
+                                 : block.values[e];
+            degree += v * v;
           }
           backend.weighted_degrees_[block.row_begin + r] = degree;
         }
@@ -119,6 +140,9 @@ bool ShardStreamBackend::MultiplyDense(const DenseMatrix& b,
   *out = DenseMatrix(n, k);
   const double* b_data = b.data().data();
   double* out_data = out->mutable_data().data();
+  // f32-valued shards widen once per block (reused buffer), mirroring
+  // the narrowing the f32 path applies to f64-valued shards.
+  std::vector<double> values_f64;
   return StreamBlocks(
       ctx,
       [&](const dataset::ShardStreamBlock& block) {
@@ -126,21 +150,26 @@ bool ShardStreamBackend::MultiplyDense(const DenseMatrix& b,
         // within the block the ExecContext fans out over nnz-balanced
         // local row ranges. SpmmRows is per-row-owned, so the result is
         // bit-identical to the monolithic kernel at every width.
+        const double* vals = block.values.data();
+        if (!block.values_f32.empty()) {
+          values_f64.assign(block.values_f32.begin(),
+                            block.values_f32.end());
+          vals = values_f64.data();
+        }
         double* block_out = out_data + block.row_begin * k;
         const std::int64_t chunks =
             ctx.NumChunks(block.nnz() * k, exec::kDefaultMinWorkPerChunk);
         if (chunks <= 1) {
-          SpmmRows(block.row_ptr.data(), block.col_idx.data(),
-                   block.values.data(), 0, block.num_rows(), b_data, k,
-                   block_out);
+          SpmmRows(block.row_ptr.data(), block.col_idx.data(), vals, 0,
+                   block.num_rows(), b_data, k, block_out);
           return;
         }
         const exec::RowPartition partition =
             exec::RowPartition::NnzBalanced(block.row_ptr, chunks);
         ctx.RunBlocks(partition.num_blocks(), [&](std::int64_t p) {
-          SpmmRows(block.row_ptr.data(), block.col_idx.data(),
-                   block.values.data(), partition.begin(p),
-                   partition.end(p), b_data, k, block_out);
+          SpmmRows(block.row_ptr.data(), block.col_idx.data(), vals,
+                   partition.begin(p), partition.end(p), b_data, k,
+                   block_out);
         });
       },
       error);
@@ -155,24 +184,29 @@ bool ShardStreamBackend::MultiplyVector(const std::vector<double>& x,
   y->assign(n, 0.0);
   const double* x_data = x.data();
   double* y_data = y->data();
+  std::vector<double> values_f64;
   return StreamBlocks(
       ctx,
       [&](const dataset::ShardStreamBlock& block) {
+        const double* vals = block.values.data();
+        if (!block.values_f32.empty()) {
+          values_f64.assign(block.values_f32.begin(),
+                            block.values_f32.end());
+          vals = values_f64.data();
+        }
         double* block_out = y_data + block.row_begin;
         const std::int64_t chunks =
             ctx.NumChunks(block.nnz(), exec::kDefaultMinWorkPerChunk);
         if (chunks <= 1) {
-          SpmvRows(block.row_ptr.data(), block.col_idx.data(),
-                   block.values.data(), 0, block.num_rows(), x_data,
-                   block_out);
+          SpmvRows(block.row_ptr.data(), block.col_idx.data(), vals, 0,
+                   block.num_rows(), x_data, block_out);
           return;
         }
         const exec::RowPartition partition =
             exec::RowPartition::NnzBalanced(block.row_ptr, chunks);
         ctx.RunBlocks(partition.num_blocks(), [&](std::int64_t p) {
-          SpmvRows(block.row_ptr.data(), block.col_idx.data(),
-                   block.values.data(), partition.begin(p),
-                   partition.end(p), x_data, block_out);
+          SpmvRows(block.row_ptr.data(), block.col_idx.data(), vals,
+                   partition.begin(p), partition.end(p), x_data, block_out);
         });
       },
       error);
@@ -189,28 +223,32 @@ bool ShardStreamBackend::MultiplyDenseF32(const DenseMatrixF32& b,
   const float* b_data = b.data().data();
   float* out_data = out->mutable_data().data();
   // Reused across blocks so the narrowing conversion allocates once per
-  // product, not once per block.
+  // product, not once per block. f32-valued shards skip it entirely —
+  // their stored floats feed the kernels as-is.
   std::vector<float> values_f32;
   return StreamBlocks(
       ctx,
       [&](const dataset::ShardStreamBlock& block) {
-        values_f32.assign(block.values.begin(), block.values.end());
+        const float* vals = block.values_f32.data();
+        if (block.values_f32.empty()) {
+          values_f32.assign(block.values.begin(), block.values.end());
+          vals = values_f32.data();
+        }
         float* block_out = out_data + block.row_begin * k;
         const std::int64_t chunks = ctx.NumChunks(
             block.nnz() * std::max<std::int64_t>(1, k / 2),
             exec::kDefaultMinWorkPerChunk);
         if (chunks <= 1) {
-          SpmmRowsT<float>(block.row_ptr.data(), block.col_idx.data(),
-                           values_f32.data(), 0, block.num_rows(), b_data, k,
-                           block_out);
+          SpmmRowsT<float>(block.row_ptr.data(), block.col_idx.data(), vals,
+                           0, block.num_rows(), b_data, k, block_out);
           return;
         }
         const exec::RowPartition partition =
             exec::RowPartition::NnzBalanced(block.row_ptr, chunks);
         ctx.RunBlocks(partition.num_blocks(), [&](std::int64_t p) {
-          SpmmRowsT<float>(block.row_ptr.data(), block.col_idx.data(),
-                           values_f32.data(), partition.begin(p),
-                           partition.end(p), b_data, k, block_out);
+          SpmmRowsT<float>(block.row_ptr.data(), block.col_idx.data(), vals,
+                           partition.begin(p), partition.end(p), b_data, k,
+                           block_out);
         });
       },
       error);
@@ -229,22 +267,25 @@ bool ShardStreamBackend::MultiplyVectorF32(const std::vector<float>& x,
   return StreamBlocks(
       ctx,
       [&](const dataset::ShardStreamBlock& block) {
-        values_f32.assign(block.values.begin(), block.values.end());
+        const float* vals = block.values_f32.data();
+        if (block.values_f32.empty()) {
+          values_f32.assign(block.values.begin(), block.values.end());
+          vals = values_f32.data();
+        }
         float* block_out = y_data + block.row_begin;
         const std::int64_t chunks =
             ctx.NumChunks(block.nnz(), exec::kDefaultMinWorkPerChunk);
         if (chunks <= 1) {
-          SpmvRowsT<float>(block.row_ptr.data(), block.col_idx.data(),
-                           values_f32.data(), 0, block.num_rows(), x_data,
-                           block_out);
+          SpmvRowsT<float>(block.row_ptr.data(), block.col_idx.data(), vals,
+                           0, block.num_rows(), x_data, block_out);
           return;
         }
         const exec::RowPartition partition =
             exec::RowPartition::NnzBalanced(block.row_ptr, chunks);
         ctx.RunBlocks(partition.num_blocks(), [&](std::int64_t p) {
-          SpmvRowsT<float>(block.row_ptr.data(), block.col_idx.data(),
-                           values_f32.data(), partition.begin(p),
-                           partition.end(p), x_data, block_out);
+          SpmvRowsT<float>(block.row_ptr.data(), block.col_idx.data(), vals,
+                           partition.begin(p), partition.end(p), x_data,
+                           block_out);
         });
       },
       error);

@@ -47,9 +47,15 @@ class ShardStreamBackend final : public PropagationBackend {
   /// Opens `manifest_path`, validates the manifest, and runs the single
   /// derivation pass (streamed, double-buffered on `ctx`). Returns
   /// nullopt and fills *error on any corruption or I/O failure.
+  /// `cache_budget_bytes` > 0 keeps decoded blocks in a budgeted LRU
+  /// cache across products/sweeps (see dataset::ShardBlockCache): when
+  /// the working set fits, sweeps after the first re-read nothing from
+  /// disk; 0 (the default) preserves the strict two-blocks-resident
+  /// streaming behavior.
   static std::optional<ShardStreamBackend> Open(
       const std::string& manifest_path, std::string* error,
-      const exec::ExecContext& ctx = exec::ExecContext::Default());
+      const exec::ExecContext& ctx = exec::ExecContext::Default(),
+      std::int64_t cache_budget_bytes = 0);
 
   // PropagationBackend:
   std::int64_t num_nodes() const override;
@@ -60,12 +66,12 @@ class ShardStreamBackend final : public PropagationBackend {
   bool MultiplyVector(const std::vector<double>& x,
                       const exec::ExecContext& ctx, std::vector<double>* y,
                       std::string* error) const override;
-  /// f32 products: each streamed block's value array is narrowed to
-  /// float once, right after the block loads, then the f32 row-range
-  /// kernels run against it. On-disk shard bytes stay fp64, so the
-  /// shard_stream byte accounting (and bytes_streamed telemetry) is
-  /// unchanged by precision — the f32 win here is the belief-matrix
-  /// traffic, not the stream. Same failure contract as the fp64 pair.
+  /// f32 products: for f64-valued shards each streamed block's value
+  /// array is narrowed to float once, right after the block loads, then
+  /// the f32 row-range kernels run against it; f32-valued (v2/f32)
+  /// shards feed the kernels their stored floats directly — no
+  /// conversion at all, and half the stream's value bytes. Same failure
+  /// contract as the fp64 pair.
   bool MultiplyDenseF32(const DenseMatrixF32& b, const exec::ExecContext& ctx,
                         DenseMatrixF32* out,
                         std::string* error) const override;
@@ -94,13 +100,17 @@ class ShardStreamBackend final : public PropagationBackend {
 
   /// The underlying reader (residency instrumentation, shard geometry).
   const dataset::ShardStreamReader& reader() const { return *reader_; }
+  /// The decoded-block cache; nullptr when opened with budget 0.
+  const dataset::ShardBlockCache* cache() const { return cache_.get(); }
 
  private:
   ShardStreamBackend() = default;
 
   // Streams every block once through the pipeline and hands it to
   // `apply` (called in shard order on the caller thread). Shared by the
-  // products and the Open() derivation pass.
+  // products and the Open() derivation pass. Blocks come from the cache
+  // when one is configured and hot; misses read from disk and populate
+  // it.
   bool StreamBlocks(
       const exec::ExecContext& ctx,
       const std::function<void(const dataset::ShardStreamBlock&)>& apply,
@@ -109,6 +119,7 @@ class ShardStreamBackend final : public PropagationBackend {
   // shared_ptr keeps the backend movable/copyable while blocks hold the
   // accounting alive; the reader itself is immutable after Open.
   std::shared_ptr<const dataset::ShardStreamReader> reader_;
+  std::shared_ptr<dataset::ShardBlockCache> cache_;
   std::vector<double> weighted_degrees_;
   DenseMatrix coupling_residual_;
   DenseMatrix explicit_residuals_;

@@ -5,7 +5,10 @@
 #include "src/dataset/shard_stream.h"
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
+#include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,12 +35,14 @@ Scenario TestScenario() {
   return std::move(*scenario);
 }
 
-std::string ShardScenario(const Scenario& scenario,
-                          const std::string& name) {
+std::string ShardScenario(const Scenario& scenario, const std::string& name,
+                          ShardCompression compression =
+                              ShardCompression::kNone) {
   const std::string dir = ::testing::TempDir() + "/" + name;
   std::filesystem::remove_all(dir);
   std::string error;
-  const auto result = ShardSnapshot(scenario, kShards, dir, &error);
+  const auto result =
+      ShardSnapshot(scenario, kShards, dir, &error, compression);
   EXPECT_TRUE(result.has_value()) << error;
   return result.has_value() ? result->manifest_path : "";
 }
@@ -189,6 +194,350 @@ TEST(ShardStreamReaderTest, OpenValidatesTheManifest) {
   WriteBytes(manifest, bytes);
   EXPECT_FALSE(ShardStreamReader::Open(manifest, &error).has_value());
   EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+// ---- Compressed (v2) streams ---------------------------------------------
+
+// FNV-1a, reimplemented so the corruption tests can forge checksum-valid
+// hostile bytes that only the structural decode can reject.
+std::uint64_t TestFnv1a(const char* data, std::size_t size) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void FixChecksum(std::vector<char>* bytes) {
+  const std::uint64_t checksum =
+      TestFnv1a(bytes->data() + 64, bytes->size() - 64);
+  std::memcpy(bytes->data() + 56, &checksum, 8);
+}
+
+// Byte offset of shard `index`'s manifest entry; v2 entries carry an
+// extra i64 payload_bytes before the checksum.
+std::size_t ManifestEntryOffset(const std::vector<char>& manifest,
+                                std::int64_t index) {
+  std::uint32_t version = 0;
+  std::memcpy(&version, manifest.data() + 8, 4);
+  std::int64_t k = 0;
+  std::memcpy(&k, manifest.data() + 24, 8);
+  std::size_t off = 64;
+  auto skip_string = [&] {
+    std::uint32_t length = 0;
+    std::memcpy(&length, manifest.data() + off, 4);
+    off += 4 + length;
+  };
+  skip_string();  // name
+  skip_string();  // spec
+  off += static_cast<std::size_t>(k * k) * 8;  // coupling residual
+  for (std::int64_t s = 0; s < index; ++s) {
+    off += (version >= 2 ? 8 * 5 : 8 * 4) + 8;
+    skip_string();  // file name
+  }
+  return off;
+}
+
+// Reads one LEB128 varint from pristine test bytes (trusted input).
+std::uint64_t ReadTestVarint(const std::vector<char>& bytes,
+                             std::size_t* off) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const unsigned char byte = static_cast<unsigned char>(bytes[*off]);
+    ++*off;
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+TEST(ShardStreamReaderTest, CompressedBlocksMatchTheMonolithicCsr) {
+  const Scenario scenario = TestScenario();
+  for (const bool f32 : {false, true}) {
+    const std::string manifest = ShardScenario(
+        scenario, f32 ? "v2_blocks_f32" : "v2_blocks_f64",
+        f32 ? ShardCompression::kF32 : ShardCompression::kF64);
+    const ShardStreamReader reader = OpenReader(manifest);
+    EXPECT_EQ(reader.version(), kShardFormatVersionV2);
+    EXPECT_EQ(reader.values_f32(), f32);
+    const auto& row_ptr = scenario.graph.adjacency().row_ptr();
+    const auto& col_idx = scenario.graph.adjacency().col_idx();
+    const auto& values = scenario.graph.adjacency().values();
+    for (std::int64_t s = 0; s < reader.num_shards(); ++s) {
+      ShardStreamBlock block;
+      std::string error;
+      ASSERT_TRUE(reader.ReadBlock(s, &block, &error)) << error;
+      // Exactly one value representation is populated per block.
+      EXPECT_EQ(block.values.empty(), f32);
+      EXPECT_EQ(block.values_f32.empty(), !f32);
+      const std::int64_t nnz_begin = row_ptr[block.row_begin];
+      for (std::int64_t r = 0; r < block.num_rows(); ++r) {
+        ASSERT_EQ(block.row_ptr[r],
+                  row_ptr[block.row_begin + r] - nnz_begin);
+      }
+      for (std::int64_t e = 0; e < block.nnz(); ++e) {
+        ASSERT_EQ(block.col_idx[e], col_idx[nnz_begin + e]);
+        if (f32) {
+          ASSERT_EQ(block.values_f32[e],
+                    static_cast<float>(values[nnz_begin + e]));
+        } else {
+          ASSERT_EQ(block.values[e], values[nnz_begin + e]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardStreamReaderTest, CompressedReadsCountEncodedBytes) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest =
+      ShardScenario(scenario, "v2_encoded", ShardCompression::kF64);
+  const ShardStreamReader reader = OpenReader(manifest);
+  const std::filesystem::path dir =
+      std::filesystem::path(manifest).parent_path();
+  std::int64_t expected_file = 0;
+  std::int64_t expected_encoded = 0;
+  std::string error;
+  for (std::int64_t s = 0; s < reader.num_shards(); ++s) {
+    ShardStreamBlock block;
+    ASSERT_TRUE(reader.ReadBlock(s, &block, &error)) << error;
+    const std::int64_t file_size = static_cast<std::int64_t>(
+        std::filesystem::file_size(dir / ShardFileName(s)));
+    expected_file += file_size;
+    expected_encoded += file_size - 64;
+  }
+  EXPECT_EQ(reader.file_bytes_read_total(), expected_file);
+  EXPECT_EQ(reader.encoded_bytes_read_total(), expected_encoded);
+  // The whole point of v2: the wire bytes undercut the decoded CSR.
+  EXPECT_LT(reader.encoded_bytes_read_total(),
+            reader.csr_bytes_read_total());
+}
+
+TEST(ShardStreamReaderTest, UncompressedReadsCountNoEncodedBytes) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "v1_encoded");
+  const ShardStreamReader reader = OpenReader(manifest);
+  ShardStreamBlock block;
+  std::string error;
+  ASSERT_TRUE(reader.ReadBlock(0, &block, &error)) << error;
+  EXPECT_EQ(reader.version(), kShardFormatVersion);
+  EXPECT_GT(reader.file_bytes_read_total(), 0);
+  EXPECT_EQ(reader.encoded_bytes_read_total(), 0);
+}
+
+// The v2 corruption matrix: every malformed column section is an error
+// return naming the defect — never a crash — even when every checksum on
+// the path to it has been re-forged to match the hostile bytes.
+TEST(ShardStreamReaderTest, CompressedRejectsEveryColumnSectionCorruption) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest =
+      ShardScenario(scenario, "v2_corrupt", ShardCompression::kF64);
+  const std::string shard1 =
+      std::filesystem::path(manifest).parent_path() / ShardFileName(1);
+  const std::vector<char> shard_pristine = ReadBytes(shard1);
+  const std::vector<char> manifest_pristine = ReadBytes(manifest);
+
+  // Applies `mutate` to shard 1, re-forges the shard header checksum,
+  // the manifest entry checksum, and the manifest header checksum, then
+  // expects both the streamed and the bulk load to fail with `what`.
+  const auto expect_rejected =
+      [&](const std::string& what,
+          const std::function<void(std::vector<char>*)>& mutate) {
+        std::vector<char> shard = shard_pristine;
+        mutate(&shard);
+        FixChecksum(&shard);
+        std::uint64_t forged = 0;
+        std::memcpy(&forged, shard.data() + 56, 8);
+        WriteBytes(shard1, shard);
+        std::vector<char> man = manifest_pristine;
+        std::memcpy(man.data() + ManifestEntryOffset(man, 1) + 40, &forged,
+                    8);
+        FixChecksum(&man);
+        WriteBytes(manifest, man);
+
+        std::string error;
+        auto reader = ShardStreamReader::Open(manifest, &error);
+        ASSERT_TRUE(reader.has_value()) << what << ": " << error;
+        ShardStreamBlock block;
+        EXPECT_FALSE(reader->ReadBlock(1, &block, &error)) << what;
+        EXPECT_NE(error.find(what), std::string::npos)
+            << what << " -> " << error;
+        EXPECT_EQ(reader->resident_csr_bytes(), 0) << what;
+        EXPECT_FALSE(LoadShardedSnapshot(manifest, &error).has_value())
+            << what;
+        EXPECT_NE(error.find(what), std::string::npos)
+            << what << " -> " << error;
+      };
+
+  // The column section starts at byte 72: 64-byte header, then the u64
+  // encoded-section size. Row 1's nnz varint leads the section.
+  expect_rejected("truncated varint", [](std::vector<char>* shard) {
+    const std::uint64_t one = 1;
+    std::memcpy(shard->data() + 64, &one, 8);
+    (*shard)[72] = static_cast<char>(0x80);
+  });
+
+  expect_rejected("varint overflow (more than 5 bytes)",
+                  [](std::vector<char>* shard) {
+                    for (int i = 0; i < 5; ++i) {
+                      (*shard)[72 + i] = static_cast<char>(0x80);
+                    }
+                  });
+
+  expect_rejected("column id out of range", [&](std::vector<char>* shard) {
+    std::size_t off = 72;
+    const std::uint64_t nnz0 = ReadTestVarint(*shard, &off);
+    ASSERT_GE(nnz0, 1u);
+    // Overwrite the first (absolute) column id with the 5-byte varint
+    // for 2^32 - 1 — far past any node id.
+    const unsigned char huge[5] = {0xFF, 0xFF, 0xFF, 0xFF, 0x0F};
+    std::memcpy(shard->data() + off, huge, 5);
+  });
+
+  expect_rejected("non-monotone delta (columns not strictly increasing)",
+                  [&](std::vector<char>* shard) {
+                    std::size_t off = 72;
+                    const std::uint64_t nnz0 = ReadTestVarint(*shard, &off);
+                    ASSERT_GE(nnz0, 2u);
+                    ReadTestVarint(*shard, &off);  // first column id
+                    (*shard)[off] = 0x00;  // delta 0: not strictly rising
+                  });
+
+  expect_rejected("trailing bytes in the column section",
+                  [](std::vector<char>* shard) {
+                    std::uint64_t encoded = 0;
+                    std::memcpy(&encoded, shard->data() + 64, 8);
+                    encoded += 8;  // steal the first value's bytes
+                    std::memcpy(shard->data() + 64, &encoded, 8);
+                  });
+
+  // Wrong value-section size: the file ends before the values the header
+  // counts promise.
+  {
+    std::vector<char> shard = shard_pristine;
+    shard.resize(shard.size() - 4);
+    FixChecksum(&shard);
+    std::uint64_t forged = 0;
+    std::memcpy(&forged, shard.data() + 56, 8);
+    WriteBytes(shard1, shard);
+    std::vector<char> man = manifest_pristine;
+    std::memcpy(man.data() + ManifestEntryOffset(man, 1) + 40, &forged, 8);
+    FixChecksum(&man);
+    WriteBytes(manifest, man);
+    std::string error;
+    auto reader = ShardStreamReader::Open(manifest, &error);
+    ASSERT_TRUE(reader.has_value()) << error;
+    ShardStreamBlock block;
+    EXPECT_FALSE(reader->ReadBlock(1, &block, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  }
+
+  // Forged checksums around a tampered stored value: per-block structure
+  // stays valid, so only the bulk loader's cross-shard symmetry sweep
+  // can catch it — with an error, never a crash.
+  {
+    std::vector<char> shard = shard_pristine;
+    std::uint64_t encoded = 0;
+    std::memcpy(&encoded, shard.data() + 64, 8);
+    const double tweaked = 7.5;
+    std::memcpy(shard.data() + 72 + encoded, &tweaked, 8);
+    FixChecksum(&shard);
+    std::uint64_t forged = 0;
+    std::memcpy(&forged, shard.data() + 56, 8);
+    WriteBytes(shard1, shard);
+    std::vector<char> man = manifest_pristine;
+    std::memcpy(man.data() + ManifestEntryOffset(man, 1) + 40, &forged, 8);
+    FixChecksum(&man);
+    WriteBytes(manifest, man);
+    std::string error;
+    EXPECT_FALSE(LoadShardedSnapshot(manifest, &error).has_value());
+    EXPECT_NE(error.find("invalid adjacency payload"), std::string::npos)
+        << error;
+  }
+
+  // Restored pristine bytes stream cleanly again.
+  WriteBytes(shard1, shard_pristine);
+  WriteBytes(manifest, manifest_pristine);
+  const ShardStreamReader reader = OpenReader(manifest);
+  ShardStreamBlock block;
+  std::string error;
+  EXPECT_TRUE(reader.ReadBlock(1, &block, &error)) << error;
+}
+
+// ---- Decoded-block cache -------------------------------------------------
+
+TEST(ShardBlockCacheTest, LruEvictsToStayWithinBudget) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "cache_lru");
+  const ShardStreamReader reader = OpenReader(manifest);
+  std::string error;
+
+  auto read_block = [&](std::int64_t s) {
+    auto block = std::make_shared<ShardStreamBlock>();
+    EXPECT_TRUE(reader.ReadBlock(s, block.get(), &error)) << error;
+    return std::shared_ptr<const ShardStreamBlock>(std::move(block));
+  };
+
+  // Budget for roughly two blocks.
+  ShardBlockCache cache(2 * reader.max_block_csr_bytes());
+  EXPECT_EQ(cache.Lookup(0), nullptr);
+  EXPECT_EQ(cache.misses_total(), 1);
+  cache.Insert(0, read_block(0));
+  cache.Insert(1, read_block(1));
+  EXPECT_NE(cache.Lookup(0), nullptr);
+  EXPECT_NE(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.hits_total(), 2);
+  EXPECT_LE(cache.cached_bytes(), cache.budget_bytes());
+
+  // A third block forces the least-recently-used entry out: block 0's
+  // hit predates block 1's, so 0 is the victim.
+  cache.Insert(2, read_block(2));
+  EXPECT_GE(cache.evictions_total(), 1);
+  EXPECT_LE(cache.cached_bytes(), cache.budget_bytes());
+  EXPECT_EQ(cache.Lookup(0), nullptr);  // the LRU victim
+  EXPECT_NE(cache.Lookup(2), nullptr);
+}
+
+TEST(ShardBlockCacheTest, ZeroBudgetAndOversizedBlocksNeverCache) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "cache_off");
+  const ShardStreamReader reader = OpenReader(manifest);
+  std::string error;
+  auto block = std::make_shared<ShardStreamBlock>();
+  ASSERT_TRUE(reader.ReadBlock(0, block.get(), &error)) << error;
+
+  ShardBlockCache off(0);
+  off.Insert(0, block);
+  EXPECT_EQ(off.Lookup(0), nullptr);
+  EXPECT_EQ(off.cached_bytes(), 0);
+
+  // A budget smaller than the block: Insert is a no-op, not an eviction
+  // storm.
+  ShardBlockCache tiny(16);
+  tiny.Insert(0, block);
+  EXPECT_EQ(tiny.cached_bytes(), 0);
+  EXPECT_EQ(tiny.evictions_total(), 0);
+  EXPECT_EQ(tiny.Lookup(0), nullptr);
+}
+
+TEST(ShardBlockCacheTest, DuplicateInsertKeepsTheFirstBlock) {
+  const Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(scenario, "cache_dup");
+  const ShardStreamReader reader = OpenReader(manifest);
+  std::string error;
+  auto first = std::make_shared<ShardStreamBlock>();
+  ASSERT_TRUE(reader.ReadBlock(0, first.get(), &error)) << error;
+  auto second = std::make_shared<ShardStreamBlock>();
+  ASSERT_TRUE(reader.ReadBlock(0, second.get(), &error)) << error;
+
+  ShardBlockCache cache(8 * reader.max_block_csr_bytes());
+  cache.Insert(0, first);
+  const std::int64_t bytes_after_first = cache.cached_bytes();
+  cache.Insert(0, second);
+  EXPECT_EQ(cache.cached_bytes(), bytes_after_first);
+  EXPECT_EQ(cache.Lookup(0).get(), first.get());
 }
 
 TEST(ShardManifestInfoTest, ReportsTotalShardPayloadBytes) {

@@ -98,8 +98,11 @@ void FixChecksum(std::vector<char>* bytes) {
 }
 
 // Byte offset of shard `index`'s manifest entry (the i64 row_begin).
+// Reads the header version: v2 entries carry an extra i64 payload_bytes.
 std::size_t ManifestEntryOffset(const std::vector<char>& manifest,
                                 std::int64_t index) {
+  std::uint32_t version = 0;
+  std::memcpy(&version, manifest.data() + 8, 4);
   std::int64_t k = 0;
   std::memcpy(&k, manifest.data() + 24, 8);
   std::size_t off = 64;
@@ -112,8 +115,9 @@ std::size_t ManifestEntryOffset(const std::vector<char>& manifest,
   skip_string();  // spec
   off += static_cast<std::size_t>(k * k) * 8;  // coupling residual
   for (std::int64_t s = 0; s < index; ++s) {
-    off += 8 * 4 + 8;  // row_begin, row_end, nnz, num_explicit, checksum
-    skip_string();     // file name
+    // row_begin, row_end, nnz, num_explicit, [payload_bytes,] checksum
+    off += (version >= 2 ? 8 * 5 : 8 * 4) + 8;
+    skip_string();  // file name
   }
   return off;
 }
@@ -244,6 +248,113 @@ TEST(ShardTest, ManifestInfoReportsTheShardTable) {
   }
   EXPECT_EQ(expected_begin, original.graph.num_nodes());
   EXPECT_EQ(nnz_sum, info->nnz);
+}
+
+// ---- Compressed (v2) shards ----------------------------------------------
+
+// Shards with an explicit compression choice; returns the manifest path.
+std::string ShardedCompressed(const Scenario& scenario,
+                              const std::string& name, std::int64_t shards,
+                              ShardCompression compression) {
+  const std::string dir = TempDir(name);
+  std::string error;
+  const auto result =
+      ShardSnapshot(scenario, shards, dir, &error, compression);
+  if (!result.has_value()) {
+    ADD_FAILURE() << "ShardedCompressed: " << error;
+    return std::string();
+  }
+  return result->manifest_path;
+}
+
+TEST(ShardTest, CompressedF64RoundTripsBitIdentically) {
+  const Scenario original = TestScenario();
+  const std::string manifest = ShardedCompressed(
+      original, "v2_f64", 4, ShardCompression::kF64);
+  std::string error;
+  const auto loaded = LoadShardedSnapshot(manifest, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ExpectScenariosIdentical(original, *loaded);
+}
+
+TEST(ShardTest, CompressedF32RoundTripWidensStoredFloatsExactly) {
+  const Scenario original = TestScenario();
+  const std::string manifest = ShardedCompressed(
+      original, "v2_f32", 4, ShardCompression::kF32);
+  std::string error;
+  const auto loaded = LoadShardedSnapshot(manifest, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  // Structure and the f64 side sections survive untouched; only the
+  // adjacency values pass through a single f32 narrowing.
+  EXPECT_EQ(original.graph.adjacency().row_ptr(),
+            loaded->graph.adjacency().row_ptr());
+  EXPECT_EQ(original.graph.adjacency().col_idx(),
+            loaded->graph.adjacency().col_idx());
+  EXPECT_EQ(original.explicit_residuals.data(),
+            loaded->explicit_residuals.data());
+  EXPECT_EQ(original.ground_truth, loaded->ground_truth);
+  const auto& expected = original.graph.adjacency().values();
+  const auto& actual = loaded->graph.adjacency().values();
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t e = 0; e < expected.size(); ++e) {
+    ASSERT_EQ(actual[e],
+              static_cast<double>(static_cast<float>(expected[e])))
+        << "entry " << e;
+  }
+
+  // Narrowing is idempotent: re-sharding the loaded scenario as f32 and
+  // loading again is a bit-identical round trip.
+  const std::string manifest2 = ShardedCompressed(
+      *loaded, "v2_f32_again", 4, ShardCompression::kF32);
+  const auto reloaded = LoadShardedSnapshot(manifest2, &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  ExpectScenariosIdentical(*loaded, *reloaded);
+}
+
+TEST(ShardTest, CompressedParallelLoadIsBitIdenticalToSerial) {
+  const Scenario original = TestScenario();
+  const std::string manifest = ShardedCompressed(
+      original, "v2_parallel", 4, ShardCompression::kF64);
+  std::string error;
+  const auto serial =
+      LoadShardedSnapshot(manifest, &error, exec::ExecContext::Serial());
+  ASSERT_TRUE(serial.has_value()) << error;
+  const auto threaded = LoadShardedSnapshot(
+      manifest, &error, exec::ExecContext::WithThreads(4));
+  ASSERT_TRUE(threaded.has_value()) << error;
+  ExpectScenariosIdentical(*serial, *threaded);
+}
+
+TEST(ShardTest, ManifestInfoReportsV2CompressionAndBothSizes) {
+  const Scenario original = TestScenario();
+  for (const bool f32 : {false, true}) {
+    const std::string manifest = ShardedCompressed(
+        original, f32 ? "v2_info_f32" : "v2_info_f64", 4,
+        f32 ? ShardCompression::kF32 : ShardCompression::kF64);
+    std::string error;
+    const auto info = ReadShardManifestInfo(manifest, &error);
+    ASSERT_TRUE(info.has_value()) << error;
+    EXPECT_EQ(info->version, kShardFormatVersionV2);
+    EXPECT_EQ(info->values_f32, f32);
+    const std::filesystem::path dir =
+        std::filesystem::path(manifest).parent_path();
+    std::int64_t encoded_total = 0;
+    std::int64_t decoded_total = 0;
+    for (const ShardRangeInfo& shard : info->shards) {
+      // Declared on-disk payload equals the file size minus the header;
+      // the decoded side is what the resident CSR blocks will cost.
+      EXPECT_EQ(static_cast<std::uintmax_t>(shard.payload_bytes + 64),
+                std::filesystem::file_size(dir / shard.file));
+      EXPECT_GT(shard.decoded_bytes, shard.payload_bytes);
+      encoded_total += shard.payload_bytes;
+      decoded_total += shard.decoded_bytes;
+    }
+    EXPECT_EQ(info->total_encoded_payload_bytes, encoded_total);
+    EXPECT_EQ(info->total_shard_payload_bytes, decoded_total);
+    // Delta+varint columns must beat raw i32s on a sorted-neighbor graph.
+    EXPECT_LT(info->total_encoded_payload_bytes,
+              info->total_shard_payload_bytes);
+  }
 }
 
 // ---- Corruption matrix ---------------------------------------------------

@@ -40,11 +40,14 @@ dataset::Scenario TestScenario() {
 
 // Shards the test scenario into a fresh temp dir; returns the manifest.
 std::string ShardScenario(const dataset::Scenario& scenario,
-                          const std::string& name) {
+                          const std::string& name,
+                          dataset::ShardCompression compression =
+                              dataset::ShardCompression::kNone) {
   const std::string dir = ::testing::TempDir() + "/" + name;
   std::filesystem::remove_all(dir);
   std::string error;
-  const auto result = dataset::ShardSnapshot(scenario, kShards, dir, &error);
+  const auto result =
+      dataset::ShardSnapshot(scenario, kShards, dir, &error, compression);
   EXPECT_TRUE(result.has_value()) << error;
   EXPECT_EQ(result->num_shards, kShards);
   return result.has_value() ? result->manifest_path : "";
@@ -52,9 +55,11 @@ std::string ShardScenario(const dataset::Scenario& scenario,
 
 engine::ShardStreamBackend OpenBackend(const std::string& manifest,
                                        const exec::ExecContext& ctx =
-                                           exec::ExecContext::Serial()) {
+                                           exec::ExecContext::Serial(),
+                                       std::int64_t cache_budget = 0) {
   std::string error;
-  auto backend = engine::ShardStreamBackend::Open(manifest, &error, ctx);
+  auto backend =
+      engine::ShardStreamBackend::Open(manifest, &error, ctx, cache_budget);
   EXPECT_TRUE(backend.has_value()) << error;
   return std::move(*backend);
 }
@@ -284,6 +289,144 @@ TEST(ShardStreamBackendTest, ChecksumCorruptionMidStreamKeepsStateIntact) {
   EXPECT_GT(state.UpdateExplicitBeliefs(nodes, update), 0);
   EXPECT_TRUE(state.last_error().empty());
   EXPECT_EQ(backend->reader().resident_csr_bytes(), 0);
+}
+
+// Compressed (v2) shards feed the exact same solves: streamed LinBP over
+// delta+varint shards is bit-identical to the in-memory run at 1 and 4
+// threads, with the decoded-block cache on and off.
+TEST(ShardStreamBackendTest, CompressedStreamBitIdenticalCacheOnAndOff) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(
+      scenario, "stream_v2_linbp", dataset::ShardCompression::kF64);
+  const CouplingMatrix coupling = scenario.Coupling();
+  const double eps =
+      0.5 * ExactEpsilonThreshold(scenario.graph, coupling,
+                                  LinBpVariant::kLinBp);
+  const DenseMatrix hhat = coupling.ScaledResidual(eps);
+  const LinBpResult reference =
+      RunLinBp(scenario.graph, hhat, scenario.explicit_residuals,
+               LinBpOptions{});
+  ASSERT_TRUE(reference.converged);
+
+  for (const int threads : {1, 4}) {
+    for (const std::int64_t budget : {std::int64_t{0}, std::int64_t{1} << 30}) {
+      const exec::ExecContext ctx = exec::ExecContext::WithThreads(threads);
+      const engine::ShardStreamBackend backend =
+          OpenBackend(manifest, ctx, budget);
+      LinBpOptions options;
+      options.exec = ctx;
+      const LinBpResult streamed =
+          RunLinBp(backend, hhat, backend.explicit_residuals(), options);
+      ASSERT_FALSE(streamed.failed) << streamed.error;
+      EXPECT_EQ(streamed.iterations, reference.iterations)
+          << "threads=" << threads << " budget=" << budget;
+      EXPECT_EQ(streamed.beliefs.MaxAbsDiff(reference.beliefs), 0.0)
+          << "threads=" << threads << " budget=" << budget;
+    }
+  }
+}
+
+// f32-valued shards: the streamed products match the in-memory products
+// of the same shards loaded back whole (one narrowing at write time, one
+// widening at load — both paths see identical doubles).
+TEST(ShardStreamBackendTest, F32ShardsMatchTheirBulkLoadBitForBit) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(
+      scenario, "stream_v2_f32", dataset::ShardCompression::kF32);
+  std::string error;
+  const auto widened = dataset::LoadShardedSnapshot(manifest, &error);
+  ASSERT_TRUE(widened.has_value()) << error;
+
+  const engine::ShardStreamBackend backend = OpenBackend(manifest);
+  EXPECT_EQ(backend.weighted_degrees(), widened->graph.weighted_degrees());
+
+  const exec::ExecContext ctx = exec::ExecContext::Serial();
+  const DenseMatrix b =
+      testing::RandomMatrix(widened->graph.num_nodes(), widened->k, 0.3, 21);
+  DenseMatrix ab;
+  ASSERT_TRUE(backend.MultiplyDense(b, ctx, &ab, &error)) << error;
+  EXPECT_EQ(ab.MaxAbsDiff(widened->graph.adjacency().MultiplyDense(b)), 0.0);
+
+  const CouplingMatrix coupling = widened->Coupling();
+  const double eps =
+      0.5 * ExactEpsilonThreshold(widened->graph, coupling,
+                                  LinBpVariant::kLinBp);
+  const DenseMatrix hhat = coupling.ScaledResidual(eps);
+  const LinBpResult in_memory = RunLinBp(
+      widened->graph, hhat, widened->explicit_residuals, LinBpOptions{});
+  const LinBpResult streamed =
+      RunLinBp(backend, hhat, backend.explicit_residuals(), LinBpOptions{});
+  ASSERT_FALSE(streamed.failed) << streamed.error;
+  EXPECT_EQ(streamed.iterations, in_memory.iterations);
+  EXPECT_EQ(streamed.beliefs.MaxAbsDiff(in_memory.beliefs), 0.0);
+}
+
+// A budget covering the whole working set: Open's derivation pass reads
+// each shard once and caches it; every later sweep is pure cache hits
+// with zero additional disk reads.
+TEST(ShardStreamBackendTest, CacheCoveringWorkingSetEndsDiskReads) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(
+      scenario, "stream_cache_all", dataset::ShardCompression::kF64);
+  const std::int64_t big_budget = std::int64_t{1} << 30;
+  const engine::ShardStreamBackend backend =
+      OpenBackend(manifest, exec::ExecContext::Serial(), big_budget);
+  const dataset::ShardStreamReader& reader = backend.reader();
+  ASSERT_NE(backend.cache(), nullptr);
+  EXPECT_EQ(reader.blocks_read_total(), kShards);
+  const std::int64_t bytes_after_open = reader.file_bytes_read_total();
+
+  std::vector<double> x(backend.num_nodes(), 1.0);
+  std::vector<double> y1, y2;
+  std::string error;
+  ASSERT_TRUE(
+      backend.MultiplyVector(x, exec::ExecContext::Serial(), &y1, &error))
+      << error;
+  ASSERT_TRUE(
+      backend.MultiplyVector(x, exec::ExecContext::Serial(), &y2, &error))
+      << error;
+  EXPECT_EQ(y1, y2);
+  // Two full passes, zero new reads: the cache served every block.
+  EXPECT_EQ(reader.blocks_read_total(), kShards);
+  EXPECT_EQ(reader.file_bytes_read_total(), bytes_after_open);
+  EXPECT_EQ(backend.cache()->hits_total(), 2 * kShards);
+  EXPECT_EQ(backend.cache()->evictions_total(), 0);
+  EXPECT_LE(backend.cache()->cached_bytes(),
+            backend.cache()->budget_bytes());
+}
+
+// A budget below the working set: eviction keeps residency bounded by
+// budget + the two in-flight pipeline blocks, and the stream still
+// produces bit-identical results.
+TEST(ShardStreamBackendTest, CacheBudgetBoundsResidency) {
+  const dataset::Scenario scenario = TestScenario();
+  const std::string manifest = ShardScenario(
+      scenario, "stream_cache_tight", dataset::ShardCompression::kF64);
+  const engine::ShardStreamBackend uncached = OpenBackend(manifest);
+  const std::int64_t budget = uncached.reader().max_block_csr_bytes();
+
+  const engine::ShardStreamBackend backend =
+      OpenBackend(manifest, exec::ExecContext::Serial(), budget);
+  const dataset::ShardStreamReader& reader = backend.reader();
+  ASSERT_NE(backend.cache(), nullptr);
+
+  std::vector<double> x(backend.num_nodes(), 1.0);
+  std::vector<double> y_cached, y_uncached;
+  std::string error;
+  ASSERT_TRUE(backend.MultiplyVector(x, exec::ExecContext::Serial(),
+                                     &y_cached, &error))
+      << error;
+  ASSERT_TRUE(uncached.MultiplyVector(x, exec::ExecContext::Serial(),
+                                      &y_uncached, &error))
+      << error;
+  EXPECT_EQ(y_cached, y_uncached);
+  // The budget can't hold all kShards blocks, so eviction must have run
+  // and later passes still hit the disk.
+  EXPECT_GE(backend.cache()->evictions_total(), 1);
+  EXPECT_GT(reader.blocks_read_total(), kShards);
+  EXPECT_LE(backend.cache()->cached_bytes(), budget);
+  EXPECT_LE(reader.peak_resident_csr_bytes(),
+            budget + 2 * reader.max_block_csr_bytes());
 }
 
 TEST(ShardStreamBackendTest, OpenRejectsCorruptManifestAndShards) {

@@ -207,6 +207,74 @@ TEST(BenchDiffTest, PrecisionMissingVsPresentAlsoSeparates) {
   EXPECT_TRUE(saw_precision_warning);
 }
 
+TEST(BenchDiffTest, CompressionAndCacheBudgetAreIdentityNotMetric) {
+  // Like precision, the shard encoding and cache budget enter the record
+  // key — compressed and raw (or cached and uncached) runs name
+  // different records and never pair.
+  const std::string compressed =
+      "[{\"bench\":\"stream_solve\",\"scenario\":\"sbm:n=1000\","
+      "\"compression\":\"varint-f64\",\"cache_budget\":1000000,"
+      "\"stream_solve_seconds\":0.4}]";
+  const std::vector<BenchRecord> records = MustParse(compressed);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0].key.find("compression=varint-f64"), std::string::npos)
+      << records[0].key;
+  EXPECT_NE(records[0].key.find("cache_budget=1000000"), std::string::npos)
+      << records[0].key;
+  EXPECT_EQ(records[0].numbers.count("cache_budget"), 0u);
+}
+
+TEST(BenchDiffTest, CompressionMismatchNeverPairsAndWarns) {
+  const std::string raw =
+      "[{\"bench\":\"stream_solve\",\"scenario\":\"sbm:n=1000\","
+      "\"compression\":\"none\",\"stream_solve_seconds\":0.4}]";
+  const std::string compressed =
+      "[{\"bench\":\"stream_solve\",\"scenario\":\"sbm:n=1000\","
+      "\"compression\":\"varint-f64\",\"stream_solve_seconds\":0.2}]";
+  const BenchDiffResult result =
+      DiffBenchRecords(MustParse(raw), MustParse(compressed));
+  // The 2x "speedup" is a different wire format, not a regression fix.
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_EQ(result.regressions, 0);
+  ASSERT_EQ(result.missing.size(), 1u);
+  bool saw_warning = false;
+  for (const std::string& warning : result.warnings) {
+    if (warning.find("compression mismatch") != std::string::npos) {
+      saw_warning = true;
+      EXPECT_NE(warning.find("\"none\""), std::string::npos) << warning;
+      EXPECT_NE(warning.find("\"varint-f64\""), std::string::npos) << warning;
+      EXPECT_NE(warning.find("not comparable"), std::string::npos) << warning;
+    }
+  }
+  EXPECT_TRUE(saw_warning);
+}
+
+TEST(BenchDiffTest, CacheBudgetMissingVsPresentAlsoSeparates) {
+  // A baseline recorded before the cache existed (no field) must not
+  // pair with a cached current run: disk traffic differs by design.
+  const std::string old_record =
+      "[{\"bench\":\"stream_solve\",\"scenario\":\"sbm:n=1000\","
+      "\"stream_solve_seconds\":0.4}]";
+  const std::string cached =
+      "[{\"bench\":\"stream_solve\",\"scenario\":\"sbm:n=1000\","
+      "\"cache_budget\":1000000,\"stream_solve_seconds\":0.1}]";
+  const BenchDiffResult result =
+      DiffBenchRecords(MustParse(old_record), MustParse(cached));
+  EXPECT_TRUE(result.entries.empty());
+  ASSERT_EQ(result.missing.size(), 1u);
+  bool saw_warning = false;
+  for (const std::string& warning : result.warnings) {
+    if (warning.find("cache_budget mismatch") != std::string::npos) {
+      saw_warning = true;
+      EXPECT_NE(warning.find("(absent)"), std::string::npos) << warning;
+      EXPECT_NE(warning.find("disk traffic differs by design"),
+                std::string::npos)
+          << warning;
+    }
+  }
+  EXPECT_TRUE(saw_warning);
+}
+
 TEST(BenchDiffTest, HostMismatchWarnsButDoesNotGate) {
   BenchDiffOptions options;
   const BenchDiffResult result = DiffBenchRecords(

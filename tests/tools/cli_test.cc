@@ -428,6 +428,138 @@ TEST(RunMainTest, StreamRejectsBadInputs) {
   EXPECT_NE(error.find("snap:path="), std::string::npos) << error;
 }
 
+TEST(RunMainTest, CompressedShardsStreamBitIdenticalLabels) {
+  // convert --out-shards --compress -> --stream solve == monolithic
+  // in-memory solve, for both v2 encodings, with and without the cache.
+  std::string output;
+  std::string error;
+  const std::string spec = "sbm:n=500,k=4,deg=8,seed=9";
+  std::string in_memory;
+  ASSERT_EQ(RunMain({"--scenario=" + spec}, &in_memory, &error), 0) << error;
+
+  for (const std::string compress : {"--compress", "--compress=f64"}) {
+    const std::string dir =
+        TempPath("cli_v2_shards_" + std::to_string(compress.size()));
+    ASSERT_EQ(RunMain({"convert", "--scenario=" + spec,
+                       "--out-shards=" + dir, "--shards=4", compress},
+                      &output, &error),
+              0)
+        << error;
+    const std::string manifest = dir + "/manifest.lbpm";
+    for (const std::string budget : {"0", "100000000"}) {
+      std::string streamed;
+      ASSERT_EQ(RunMain({"--stream", "--scenario=snap:path=" + manifest,
+                         "--threads=4", "--cache-budget=" + budget},
+                        &streamed, &error),
+                0)
+          << error;
+      EXPECT_EQ(streamed, in_memory)
+          << compress << " cache-budget=" << budget;
+    }
+  }
+}
+
+TEST(RunMainTest, F32CompressedStreamMatchesItsBulkLoad) {
+  // f32 shards lose one narrowing at write time, so the reference is the
+  // in-memory solve of the SAME manifest (which widens the floats), not
+  // of the original scenario.
+  std::string output;
+  std::string error;
+  const std::string dir = TempPath("cli_v2f32_shards");
+  ASSERT_EQ(RunMain({"shard", "--scenario=sbm:n=500,k=4,deg=8,seed=9",
+                     "--out-dir=" + dir, "--shards=4", "--compress=f32"},
+                    &output, &error),
+            0)
+      << error;
+  const std::string manifest = dir + "/manifest.lbpm";
+  std::string in_memory;
+  ASSERT_EQ(RunMain({"--scenario=snap:path=" + manifest}, &in_memory,
+                    &error),
+            0)
+      << error;
+  std::string streamed;
+  ASSERT_EQ(RunMain({"--stream", "--scenario=snap:path=" + manifest},
+                    &streamed, &error),
+            0)
+      << error;
+  EXPECT_EQ(streamed, in_memory);
+}
+
+TEST(RunMainTest, CompressFlagRejectsUnknownEncodings) {
+  std::string output;
+  std::string error;
+  EXPECT_EQ(RunMain({"convert", "--scenario=sbm:n=60,k=2",
+                     "--out-shards=" + TempPath("cli_badcomp"),
+                     "--compress=f16"},
+                    &output, &error),
+            1);
+  EXPECT_NE(error.find("--compress must be f64 or f32"), std::string::npos)
+      << error;
+}
+
+TEST(RunMainTest, CacheBudgetValidation) {
+  std::string output;
+  std::string error;
+  // Not a number.
+  EXPECT_EQ(RunMain({"--stream", "--scenario=snap:path=x",
+                     "--cache-budget=lots"},
+                    &output, &error),
+            1);
+  EXPECT_NE(error.find("--cache-budget must be a byte count >= 0"),
+            std::string::npos)
+      << error;
+  // Negative.
+  EXPECT_EQ(RunMain({"--stream", "--scenario=snap:path=x",
+                     "--cache-budget=-1"},
+                    &output, &error),
+            1);
+  EXPECT_NE(error.find("--cache-budget must be a byte count >= 0"),
+            std::string::npos)
+      << error;
+  // Without --stream the budget is meaningless.
+  EXPECT_EQ(RunMain({"--scenario=sbm:n=60,k=2", "--cache-budget=1000"},
+                    &output, &error),
+            1);
+  EXPECT_NE(error.find("--cache-budget requires --stream"),
+            std::string::npos)
+      << error;
+}
+
+TEST(RunMainTest, InfoReportsV2CompressionAndRatio) {
+  const std::string dir = TempPath("cli_v2_info");
+  std::string output;
+  std::string error;
+  ASSERT_EQ(RunMain({"shard", "--scenario=sbm:n=200,k=2,seed=5",
+                     "--out-dir=" + dir, "--shards=2", "--compress=f64"},
+                    &output, &error),
+            0)
+      << error;
+  ASSERT_EQ(RunMain({"info", "--snapshot=" + dir + "/manifest.lbpm"},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_NE(output.find("version:       2"), std::string::npos) << output;
+  EXPECT_NE(output.find("compression:   varint-f64"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("decoded;"), std::string::npos) << output;
+  EXPECT_NE(output.find("encoded on disk, ratio"), std::string::npos)
+      << output;
+
+  // The f32 encoding names itself too.
+  const std::string dir32 = TempPath("cli_v2_info_f32");
+  ASSERT_EQ(RunMain({"shard", "--scenario=sbm:n=200,k=2,seed=5",
+                     "--out-dir=" + dir32, "--shards=2", "--compress=f32"},
+                    &output, &error),
+            0)
+      << error;
+  ASSERT_EQ(RunMain({"info", "--snapshot=" + dir32 + "/manifest.lbpm"},
+                    &output, &error),
+            0)
+      << error;
+  EXPECT_NE(output.find("compression:   varint-f32"), std::string::npos)
+      << output;
+}
+
 TEST(RunMainTest, InfoReportsShardPayloadBytes) {
   const std::string dir = TempPath("cli_payload_shards");
   std::string output;

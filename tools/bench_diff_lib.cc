@@ -258,16 +258,25 @@ bool IsScalar(const JsonValue& value) {
 
 // The fields that name a run (in key order) rather than measure it.
 // "name" covers google-benchmark records inside a "runs" array too.
-// "precision" is identity, not a metric: an f32 record must never pair
-// with an f64 one (the numbers measure different memory traffic), and a
-// record without the field predates the precision seam, so missing-vs-
+// "precision", "compression", and "cache_budget" are identity, not
+// metrics: an f32 record must never pair with an f64 one, a compressed
+// stream never with a raw one, a cached run never with an uncached one
+// (the numbers measure different memory or disk traffic), and a record
+// without the field predates the corresponding seam, so missing-vs-
 // present also keeps records apart. DiffBenchRecords diagnoses such
-// near-pairs with a dedicated warning.
+// near-pairs with a dedicated warning per field.
 const char* const kIdentityFields[] = {"bench",     "name",    "scenario",
                                        "method",    "precision",
+                                       "compression", "cache_budget",
                                        "threads",   "num_shards",
                                        "reps",      "iterations", "ops",
                                        "seed"};
+
+// The identity fields whose absence-or-difference makes two records
+// "the same logical benchmark under a different knob" — worth a
+// targeted warning when it leaves a baseline record unpaired.
+const char* const kSoftIdentityFields[] = {"precision", "compression",
+                                           "cache_budget"};
 
 bool IsIdentityField(const std::string& field) {
   for (const char* id : kIdentityFields) {
@@ -346,27 +355,48 @@ std::string ReadFileOrEmpty(const std::string& path, bool* ok) {
   return buffer.str();
 }
 
-// Splits a record key into its "precision=..." component (empty when the
-// record predates the precision field) and everything else. Keys that
-// agree on the remainder but differ in precision are the same logical
-// benchmark at different belief-storage widths — deliberately unpaired,
-// but worth a targeted warning instead of a bare "missing" line.
-std::string StripPrecisionComponent(const std::string& key,
-                                    std::string* precision) {
-  precision->clear();
-  const std::string kPrefix = "precision=";
+// Splits a record key into its soft-identity components ("precision=…",
+// "compression=…", "cache_budget=…"; each empty when the record predates
+// that field) and everything else. Keys that agree on the remainder but
+// differ in a soft component are the same logical benchmark under a
+// different knob — deliberately unpaired, but worth a targeted warning
+// instead of a bare "missing" line.
+std::string StripSoftIdentityComponents(
+    const std::string& key,
+    std::map<std::string, std::string>* components) {
+  components->clear();
   std::string stripped;
   std::istringstream tokens(key);
   std::string token;
   while (tokens >> token) {
-    if (token.compare(0, kPrefix.size(), kPrefix) == 0) {
-      *precision = token.substr(kPrefix.size());
-      continue;
+    bool soft = false;
+    for (const char* field : kSoftIdentityFields) {
+      const std::string prefix = std::string(field) + "=";
+      if (token.compare(0, prefix.size(), prefix) == 0) {
+        (*components)[field] = token.substr(prefix.size());
+        soft = true;
+        break;
+      }
     }
+    if (soft) continue;
     if (!stripped.empty()) stripped += ' ';
     stripped += token;
   }
   return stripped;
+}
+
+// Why a given soft-identity field never pairs, for the mismatch warning.
+std::string SoftIdentityRationale(const std::string& field) {
+  if (field == "precision") {
+    return "f32 and f64 runs never pair; numbers are not comparable "
+           "across precisions";
+  }
+  if (field == "compression") {
+    return "compressed and raw shard runs never pair; stream bytes and "
+           "wall times are not comparable across encodings";
+  }
+  return "cached and uncached stream runs never pair; disk traffic "
+         "differs by design";
 }
 
 std::string Percent(double percent) {
@@ -454,33 +484,42 @@ BenchDiffResult DiffBenchRecords(const std::vector<BenchRecord>& baseline,
       result.warnings.push_back("duplicate current record: " + record.key);
     }
   }
-  // Stripped key -> precision components seen in `current`, for the
-  // precision-mismatch diagnosis of unpaired records.
-  std::map<std::string, std::vector<std::string>> current_by_stripped;
+  // Stripped key -> soft-identity components seen in `current`, for the
+  // mismatch diagnosis of unpaired records.
+  std::map<std::string, std::vector<std::map<std::string, std::string>>>
+      current_by_stripped;
   for (const BenchRecord& record : current) {
-    std::string precision;
-    current_by_stripped[StripPrecisionComponent(record.key, &precision)]
-        .push_back(precision);
+    std::map<std::string, std::string> components;
+    current_by_stripped[StripSoftIdentityComponents(record.key, &components)]
+        .push_back(components);
   }
   std::set<std::string> matched;
   for (const BenchRecord& base : baseline) {
     const auto it = current_by_key.find(base.key);
     if (it == current_by_key.end()) {
       result.missing.push_back(base.key);
-      std::string base_precision;
+      std::map<std::string, std::string> base_components;
       const std::string stripped =
-          StripPrecisionComponent(base.key, &base_precision);
+          StripSoftIdentityComponents(base.key, &base_components);
       const auto near = current_by_stripped.find(stripped);
       if (near != current_by_stripped.end()) {
-        for (const std::string& cur_precision : near->second) {
-          if (cur_precision == base_precision) continue;
-          result.warnings.push_back(
-              "precision mismatch on " + stripped + ": baseline \"" +
-              (base_precision.empty() ? "(absent)" : base_precision) +
-              "\" vs current \"" +
-              (cur_precision.empty() ? "(absent)" : cur_precision) +
-              "\" (f32 and f64 runs never pair; numbers are not "
-              "comparable across precisions)");
+        for (const auto& cur_components : near->second) {
+          for (const char* field : kSoftIdentityFields) {
+            const auto base_it = base_components.find(field);
+            const auto cur_it = cur_components.find(field);
+            const std::string base_value =
+                base_it == base_components.end() ? "" : base_it->second;
+            const std::string cur_value =
+                cur_it == cur_components.end() ? "" : cur_it->second;
+            if (base_value == cur_value) continue;
+            result.warnings.push_back(
+                std::string(field) + " mismatch on " + stripped +
+                ": baseline \"" +
+                (base_value.empty() ? "(absent)" : base_value) +
+                "\" vs current \"" +
+                (cur_value.empty() ? "(absent)" : cur_value) + "\" (" +
+                SoftIdentityRationale(field) + ")");
+          }
         }
       }
       continue;

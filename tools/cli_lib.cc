@@ -116,6 +116,24 @@ std::optional<dataset::Scenario> BuildProblem(const Options& options,
   return scenario;
 }
 
+// Strict "--compress[=f64|f32]" parse shared by convert and shard; the
+// bare flag means f64 (lossless).
+bool ParseCompressFlag(const std::string& value, std::string* compress,
+                       std::string* error) {
+  if (value != "f64" && value != "f32") {
+    *error = "--compress must be f64 or f32";
+    return false;
+  }
+  *compress = value;
+  return true;
+}
+
+dataset::ShardCompression CompressionFromFlag(const std::string& compress) {
+  if (compress == "f64") return dataset::ShardCompression::kF64;
+  if (compress == "f32") return dataset::ShardCompression::kF32;
+  return dataset::ShardCompression::kNone;
+}
+
 // Strict "--shards=N" parse shared by convert and shard.
 bool ParseShardsFlag(const std::string& value, std::int64_t* shards,
                      std::string* error) {
@@ -144,6 +162,12 @@ std::optional<ConvertOptions> ParseConvertOptions(
       options.shards_dir = *v;
     } else if (auto v = FlagValue(arg, "--shards=")) {
       if (!ParseShardsFlag(*v, &options.shards, error)) return std::nullopt;
+    } else if (arg == "--compress") {
+      options.compress = "f64";
+    } else if (auto v = FlagValue(arg, "--compress=")) {
+      if (!ParseCompressFlag(*v, &options.compress, error)) {
+        return std::nullopt;
+      }
     } else if (auto v = FlagValue(arg, "--out-graph=")) {
       options.graph_path = *v;
     } else if (auto v = FlagValue(arg, "--out-beliefs=")) {
@@ -183,8 +207,9 @@ int RunConvert(const ConvertOptions& options, std::string* output,
   }
   std::int64_t shards_written = 0;
   if (!options.shards_dir.empty()) {
-    const auto sharded = dataset::ShardSnapshot(*scenario, options.shards,
-                                                options.shards_dir, error);
+    const auto sharded = dataset::ShardSnapshot(
+        *scenario, options.shards, options.shards_dir, error,
+        CompressionFromFlag(options.compress));
     if (!sharded.has_value()) return 1;
     shards_written = sharded->num_shards;
   }
@@ -231,6 +256,12 @@ std::optional<ShardOptions> ParseShardOptions(
       options.out_dir = *v;
     } else if (auto v = FlagValue(arg, "--shards=")) {
       if (!ParseShardsFlag(*v, &options.shards, error)) return std::nullopt;
+    } else if (arg == "--compress") {
+      options.compress = "f64";
+    } else if (auto v = FlagValue(arg, "--compress=")) {
+      if (!ParseCompressFlag(*v, &options.compress, error)) {
+        return std::nullopt;
+      }
     } else if (auto v = FlagValue(arg, "--threads=")) {
       if (!ParseThreadsFlag(*v, &options.threads, error)) return std::nullopt;
     } else {
@@ -250,9 +281,9 @@ int RunShard(const ShardOptions& options, std::string* output,
   auto scenario = dataset::MakeScenario(options.scenario, error,
                                         ContextFor(options.threads));
   if (!scenario.has_value()) return 1;
-  const auto result =
-      dataset::ShardSnapshot(*scenario, options.shards, options.out_dir,
-                             error);
+  const auto result = dataset::ShardSnapshot(
+      *scenario, options.shards, options.out_dir, error,
+      CompressionFromFlag(options.compress));
   if (!result.has_value()) return 1;
   std::ostringstream lines;
   lines << scenario->name << ": " << scenario->graph.num_nodes()
@@ -268,9 +299,18 @@ int RunShardManifestInfo(const InfoOptions& options, std::string* output,
   const auto info =
       dataset::ReadShardManifestInfo(options.snapshot_path, error);
   if (!info.has_value()) return 1;
+  const bool compressed = info->version >= dataset::kShardFormatVersionV2;
+  const char* compression_name =
+      !compressed ? "none" : (info->values_f32 ? "varint-f32" : "varint-f64");
+  const auto ratio = [](std::int64_t encoded, std::int64_t decoded) {
+    return decoded > 0 ? static_cast<double>(encoded) /
+                             static_cast<double>(decoded)
+                       : 1.0;
+  };
   std::ostringstream lines;
   lines << "sharded snapshot: " << options.snapshot_path << "\n"
         << "version:       " << info->version << "\n"
+        << "compression:   " << compression_name << "\n"
         << "nodes:         " << info->num_nodes << "\n"
         << "classes k:     " << info->k << "\n"
         << "stored entries " << info->nnz << " (" << info->nnz / 2
@@ -282,14 +322,31 @@ int RunShardManifestInfo(const InfoOptions& options, std::string* output,
         << "spec:          " << info->spec << "\n"
         << "manifest bytes " << info->file_bytes << "\n"
         << "payload bytes  " << info->total_shard_payload_bytes
-        << " (all shards)\n"
+        << " (all shards";
+  if (compressed) {
+    char ratio_buf[32];
+    std::snprintf(ratio_buf, sizeof(ratio_buf), "%.2f",
+                  ratio(info->total_encoded_payload_bytes,
+                        info->total_shard_payload_bytes));
+    lines << ", decoded; " << info->total_encoded_payload_bytes
+          << " encoded on disk, ratio " << ratio_buf;
+  }
+  lines << ")\n"
         << "shards:        " << info->shards.size() << "\n";
   for (std::size_t s = 0; s < info->shards.size(); ++s) {
     const dataset::ShardRangeInfo& shard = info->shards[s];
     lines << "  shard " << s << ": rows [" << shard.row_begin << ", "
           << shard.row_end << "), " << shard.nnz << " entries, "
           << shard.num_explicit << " explicit, " << shard.payload_bytes
-          << " bytes, " << shard.file << "\n";
+          << " bytes";
+    if (compressed) {
+      char ratio_buf[32];
+      std::snprintf(ratio_buf, sizeof(ratio_buf), "%.2f",
+                    ratio(shard.payload_bytes, shard.decoded_bytes));
+      lines << " encoded (" << shard.decoded_bytes << " decoded, ratio "
+            << ratio_buf << ")";
+    }
+    lines << ", " << shard.file << "\n";
   }
   // A full (non-streamed) load must hold every shard's payload resident
   // at once; warn when that exceeds what the machine can offer so the
@@ -476,12 +533,15 @@ std::string Usage() {
       "linbp_cli --graph=EDGES --beliefs=BELIEFS | --scenario=SPEC\n"
       "          [--coupling=PRESET|FILE] [--method=bp|linbp|linbp*|sbp]\n"
       "          [--eps=auto|VALUE] [--k=K] [--output=FILE] [--report]\n"
-      "          [--threads=N] [--stream] [--precision=f32|f64]\n"
+      "          [--threads=N] [--stream [--cache-budget=BYTES]]\n"
+      "          [--precision=f32|f64]\n"
       "linbp_cli list\n"
       "linbp_cli convert --scenario=SPEC [--out=SNAPSHOT]\n"
-      "          [--out-shards=DIR [--shards=N]] [--out-graph=FILE]\n"
+      "          [--out-shards=DIR [--shards=N] [--compress[=f64|f32]]]\n"
+      "          [--out-graph=FILE]\n"
       "          [--out-beliefs=FILE] [--out-labels=FILE]\n"
       "linbp_cli shard --scenario=SPEC --out-dir=DIR [--shards=N]\n"
+      "          [--compress[=f64|f32]]\n"
       "linbp_cli info --snapshot=FILE|MANIFEST\n"
       "linbp_cli serve --scenario=SPEC [--coupling=PRESET|FILE]\n"
       "          [--method=linbp|linbp*] [--eps=auto|VALUE] [--threads=N]\n"
@@ -507,7 +567,14 @@ std::string Usage() {
       "           linbp/linbp* only)\n"
       "  stream:  out-of-core solve over a snap:path=MANIFEST spec; the\n"
       "           shards stream with prefetch (peak CSR = 2 blocks) and\n"
-      "           labels match the in-memory run bit for bit\n"
+      "           labels match the in-memory run bit for bit;\n"
+      "           --cache-budget=BYTES keeps decoded blocks in an LRU\n"
+      "           cache so sweeps after the first skip disk when the\n"
+      "           working set fits (0 = off, the default)\n"
+      "  compress: write format v2 — delta+varint column ids (lossless,\n"
+      "           labels unchanged) and, with =f32, float32 value\n"
+      "           sections (half the value bytes; beliefs then match the\n"
+      "           f32 solve of the same shards)\n"
       "  serve:   REPL on stdin; per line: a u v w | d u v | w u v w |\n"
       "           b node k r_1..r_k | q v [v...] | labels | stats |\n"
       "           metrics | quit. Updates reply 'ok sweeps=N' or\n"
@@ -544,6 +611,15 @@ std::optional<Options> ParseOptions(const std::vector<std::string>& args,
       if (!ParseThreadsFlag(*v, &options.threads, error)) return std::nullopt;
     } else if (auto v = FlagValue(arg, "--precision=")) {
       options.precision = *v;
+    } else if (auto v = FlagValue(arg, "--cache-budget=")) {
+      char* end = nullptr;
+      const long long parsed =
+          v->empty() ? -1 : std::strtoll(v->c_str(), &end, 10);
+      if (v->empty() || *end != '\0' || parsed < 0) {
+        *error = "--cache-budget must be a byte count >= 0";
+        return std::nullopt;
+      }
+      options.cache_budget = parsed;
     } else if (arg == "--report") {
       options.report = true;
     } else if (arg == "--stream") {
@@ -579,6 +655,11 @@ std::optional<Options> ParseOptions(const std::vector<std::string>& args,
                "need the materialized graph)";
       return std::nullopt;
     }
+  }
+  if (options.cache_budget > 0 && !options.stream) {
+    *error = "--cache-budget requires --stream (the in-memory solver "
+             "holds the whole CSR already)";
+    return std::nullopt;
   }
   Precision precision = Precision::kF64;
   if (!ParsePrecision(options.precision, &precision)) {
@@ -673,7 +754,8 @@ int RunStreamPipeline(const Options& options, std::string* output,
              "output; monolithic snapshots load in memory)";
     return 1;
   }
-  auto backend = engine::ShardStreamBackend::Open(manifest_path, error, ctx);
+  auto backend = engine::ShardStreamBackend::Open(manifest_path, error, ctx,
+                                                  options.cache_budget);
   if (!backend.has_value()) return 1;
   if (backend->explicit_nodes().empty()) {
     *error = "no explicit beliefs";

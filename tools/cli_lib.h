@@ -69,6 +69,11 @@ struct Options {
   /// traffic per sweep; labels may differ from f64 on a small fraction
   /// of hard-to-classify nodes). linbp / linbp* only.
   std::string precision = "f64";
+  /// Decoded-block cache budget in bytes for --stream solves (0 = off,
+  /// the strict two-blocks-resident mode). When the manifest's decoded
+  /// working set fits the budget, sweeps after the first hit the cache
+  /// and re-read nothing from disk. Requires --stream.
+  std::int64_t cache_budget = 0;
 };
 
 /// Parsed `convert` options.
@@ -81,6 +86,9 @@ struct ConvertOptions {
   /// nnz-balanced row-block count used when it is set.
   std::string shards_dir;
   std::int64_t shards = 4;
+  /// Shard payload encoding: "" = raw v1, "f64" / "f32" = compressed v2
+  /// (delta+varint columns; f32 also narrows the value sections).
+  std::string compress;
   /// Text export paths (each optional).
   std::string graph_path;
   std::string beliefs_path;
@@ -97,6 +105,8 @@ struct ShardOptions {
   /// Maximum shard count (nnz-balanced row blocks; fewer when rows run
   /// out).
   std::int64_t shards = 4;
+  /// Shard payload encoding, as in ConvertOptions::compress.
+  std::string compress;
   int threads = -1;
 };
 
